@@ -1,0 +1,93 @@
+//! Ablation benchmarks for the design decisions called out in `DESIGN.md`:
+//!
+//! * closure-aware (Scenario II) vs. naive constraint fold splitting;
+//! * stratified vs. random fold assignment (Scenario I);
+//! * MPCKMeans with vs. without metric learning (PCKMeans) and with hard
+//!   constraints (COP-KMeans);
+//! * FOSC extraction with the semi-supervised vs. the stability objective.
+//!
+//! Besides timing, these pairs are the ones compared for *quality* in the
+//! test-suite; the benchmark keeps their relative cost visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cvcp_bench::{aloi_dataset, pool_for, rng, BENCH_SEED};
+use cvcp_constraints::folds::{constraint_scenario_folds, naive_constraint_folds};
+use cvcp_constraints::generate::sample_labeled_subset;
+use cvcp_constraints::folds::label_scenario_folds;
+use cvcp_data::rng::SeededRng;
+use cvcp_density::fosc::{extract_clusters, ExtractionObjective};
+use cvcp_density::{CondensedTree, Dendrogram};
+use cvcp_density::mst::mutual_reachability_mst;
+use cvcp_kmeans::{CopKMeans, MpckMeans};
+
+fn bench_fold_ablation(c: &mut Criterion) {
+    let ds = aloi_dataset();
+    let pool = pool_for(&ds);
+    let mut group = c.benchmark_group("ablations/fold_splitting");
+    group.bench_function("closure_aware_scenario2", |b| {
+        b.iter(|| constraint_scenario_folds(&pool, 5, &mut rng()))
+    });
+    group.bench_function("naive_constraint_split", |b| {
+        b.iter(|| naive_constraint_folds(&pool, 5, &mut rng()))
+    });
+
+    let mut srng = SeededRng::new(BENCH_SEED);
+    let labeled = sample_labeled_subset(ds.labels(), 0.2, 2, &mut srng);
+    group.bench_function("stratified_label_folds", |b| {
+        b.iter(|| label_scenario_folds(&labeled, 5, true, &mut rng()))
+    });
+    group.bench_function("random_label_folds", |b| {
+        b.iter(|| label_scenario_folds(&labeled, 5, false, &mut rng()))
+    });
+    group.finish();
+}
+
+fn bench_kmeans_ablation(c: &mut Criterion) {
+    let ds = aloi_dataset();
+    let pool = pool_for(&ds);
+    let mut group = c.benchmark_group("ablations/kmeans_variants");
+    group.sample_size(15);
+    group.bench_function("mpck_with_metric_learning", |b| {
+        b.iter(|| MpckMeans::new(5).fit(ds.matrix(), &pool, &mut rng()))
+    });
+    group.bench_function("mpck_without_metric_learning", |b| {
+        b.iter(|| {
+            MpckMeans::new(5)
+                .with_metric_learning(false)
+                .fit(ds.matrix(), &pool, &mut rng())
+        })
+    });
+    group.bench_function("cop_kmeans_hard_constraints", |b| {
+        b.iter(|| CopKMeans::new(5).fit(ds.matrix(), &pool, &mut rng()))
+    });
+    group.finish();
+}
+
+fn bench_fosc_objective_ablation(c: &mut Criterion) {
+    let ds = aloi_dataset();
+    let pool = pool_for(&ds);
+    let mst = mutual_reachability_mst(ds.matrix(), &cvcp_data::distance::Euclidean, 5);
+    let dend = Dendrogram::from_mst(ds.len(), &mst);
+    let tree = CondensedTree::build(&dend, 5);
+
+    let mut group = c.benchmark_group("ablations/fosc_objective");
+    group.bench_function("stability_objective", |b| {
+        b.iter(|| extract_clusters(&tree, &ExtractionObjective::Stability))
+    });
+    group.bench_function("constraint_objective", |b| {
+        let objective = ExtractionObjective::ConstraintSatisfaction {
+            constraints: pool.clone(),
+            stability_tiebreak: true,
+        };
+        b.iter(|| extract_clusters(&tree, &objective))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fold_ablation,
+    bench_kmeans_ablation,
+    bench_fosc_objective_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Benchmarks of the constraint substrate: transitive closure, constraint
+//! generation from labels, and fold splitting for both scenarios.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cvcp_bench::{blob_dataset, pool_for, BENCH_SEED};
+use cvcp_constraints::closure::transitive_closure;
+use cvcp_constraints::folds::{constraint_scenario_folds, label_scenario_folds};
+use cvcp_constraints::generate::{constraint_pool, sample_labeled_subset};
+use cvcp_data::rng::SeededRng;
+
+fn bench_transitive_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constraints/transitive_closure");
+    for &per_class in &[25usize, 50, 100] {
+        let ds = blob_dataset(per_class);
+        let pool = pool_for(&ds);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}_constraints", pool.len())),
+            &pool,
+            |b, pool| b.iter(|| transitive_closure(pool)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_constraint_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constraints/generation");
+    let ds = blob_dataset(50);
+    group.bench_function("constraint_pool_10pct", |b| {
+        b.iter(|| {
+            let mut rng = SeededRng::new(BENCH_SEED);
+            constraint_pool(ds.labels(), 0.10, 2, &mut rng)
+        })
+    });
+    group.bench_function("labels_to_constraints_20pct", |b| {
+        b.iter(|| {
+            let mut rng = SeededRng::new(BENCH_SEED);
+            sample_labeled_subset(ds.labels(), 0.20, 2, &mut rng).to_constraints()
+        })
+    });
+    group.finish();
+}
+
+fn bench_fold_splitting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constraints/folds");
+    let ds = blob_dataset(50);
+    let pool = pool_for(&ds);
+    let mut rng = SeededRng::new(BENCH_SEED);
+    let labeled = sample_labeled_subset(ds.labels(), 0.20, 2, &mut rng);
+    group.bench_function("label_scenario_10fold", |b| {
+        b.iter(|| {
+            let mut rng = SeededRng::new(BENCH_SEED);
+            label_scenario_folds(&labeled, 10, true, &mut rng)
+        })
+    });
+    group.bench_function("constraint_scenario_10fold", |b| {
+        b.iter(|| {
+            let mut rng = SeededRng::new(BENCH_SEED);
+            constraint_scenario_folds(&pool, 10, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_transitive_closure,
+    bench_constraint_generation,
+    bench_fold_splitting
+);
+criterion_main!(benches);

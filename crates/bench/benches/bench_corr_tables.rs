@@ -1,0 +1,50 @@
+//! Experiment-family benchmark: the cost of one cell of the correlation
+//! tables (Tables 1–4) — a small repeated-trial experiment on one data set
+//! whose per-trial correlations are averaged.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cvcp_bench::blob_dataset;
+use cvcp_core::experiment::{run_experiment, ExperimentConfig, SideInfoSpec};
+use cvcp_core::{CvcpConfig, FoscMethod, MpckMethod};
+use cvcp_metrics::stats::mean;
+
+fn config(params: Vec<usize>) -> ExperimentConfig {
+    ExperimentConfig {
+        n_trials: 2,
+        cvcp: CvcpConfig {
+            n_folds: 3,
+            stratified: true,
+        },
+        params,
+        seed: 2,
+        with_silhouette: false,
+        n_threads: 1,
+    }
+}
+
+fn bench_corr_tables(c: &mut Criterion) {
+    let ds = blob_dataset(25);
+    let mut group = c.benchmark_group("experiments/corr_tables");
+    group.sample_size(10);
+
+    group.bench_function("table1_cell_fosc_label10", |b| {
+        let cfg = config(vec![3, 9, 15, 24]);
+        b.iter(|| {
+            let outcomes =
+                run_experiment(&FoscMethod::default(), &ds, SideInfoSpec::LabelFraction(0.10), &cfg);
+            mean(&outcomes.iter().map(|o| o.correlation).collect::<Vec<_>>())
+        })
+    });
+    group.bench_function("table2_cell_mpck_label10", |b| {
+        let cfg = config(vec![2, 4, 6, 8]);
+        b.iter(|| {
+            let outcomes =
+                run_experiment(&MpckMethod::default(), &ds, SideInfoSpec::LabelFraction(0.10), &cfg);
+            mean(&outcomes.iter().map(|o| o.correlation).collect::<Vec<_>>())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_corr_tables);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Benchmarks of the CVCP framework itself: evaluating a single parameter by
+//! cross-validation and running the full model selection sweep for both
+//! algorithm families.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cvcp_bench::{aloi_dataset, labels_for, rng};
+use cvcp_core::{evaluate_parameter, select_model, CvcpConfig, FoscMethod, MpckMethod};
+
+fn bench_cvcp(c: &mut Criterion) {
+    let ds = aloi_dataset();
+    let side = labels_for(&ds);
+    let cfg = CvcpConfig {
+        n_folds: 5,
+        stratified: true,
+    };
+
+    let mut group = c.benchmark_group("cvcp/aloi_125x144");
+    group.sample_size(10);
+    group.bench_function("evaluate_one_minpts", |b| {
+        b.iter(|| evaluate_parameter(&FoscMethod::default(), ds.matrix(), &side, 6, &cfg, &mut rng()))
+    });
+    group.bench_function("evaluate_one_k", |b| {
+        b.iter(|| evaluate_parameter(&MpckMethod::default(), ds.matrix(), &side, 5, &cfg, &mut rng()))
+    });
+    group.bench_function("select_minpts_full_range", |b| {
+        b.iter(|| {
+            select_model(
+                &FoscMethod::default(),
+                ds.matrix(),
+                &side,
+                &[3, 6, 9, 12, 15, 18, 21, 24],
+                &cfg,
+                &mut rng(),
+            )
+        })
+    });
+    group.bench_function("select_k_full_range", |b| {
+        b.iter(|| {
+            select_model(
+                &MpckMethod::default(),
+                ds.matrix(),
+                &side,
+                &[2, 3, 4, 5, 6, 7, 8, 9, 10],
+                &cfg,
+                &mut rng(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cvcp);
+criterion_main!(benches);

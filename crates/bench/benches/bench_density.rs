@@ -1,0 +1,53 @@
+//! Benchmarks of the density substrate: OPTICS, the mutual-reachability MST,
+//! the dendrogram + condensed tree, and the full FOSC-OPTICSDend pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cvcp_bench::{aloi_dataset, pool_for};
+use cvcp_data::distance::Euclidean;
+use cvcp_density::condensed::CondensedTree;
+use cvcp_density::dendrogram::Dendrogram;
+use cvcp_density::mst::mutual_reachability_mst;
+use cvcp_density::optics::OpticsOrdering;
+use cvcp_density::FoscOpticsDend;
+
+fn bench_density_pipeline(c: &mut Criterion) {
+    let ds = aloi_dataset();
+    let pool = pool_for(&ds);
+
+    let mut group = c.benchmark_group("density/aloi_125x144");
+    group.sample_size(20);
+    group.bench_function("optics_minpts5", |b| {
+        b.iter(|| OpticsOrdering::run(ds.matrix(), &Euclidean, 5))
+    });
+    group.bench_function("mutual_reachability_mst_minpts5", |b| {
+        b.iter(|| mutual_reachability_mst(ds.matrix(), &Euclidean, 5))
+    });
+    group.bench_function("dendrogram_plus_condensed_minpts5", |b| {
+        let mst = mutual_reachability_mst(ds.matrix(), &Euclidean, 5);
+        b.iter(|| {
+            let dend = Dendrogram::from_mst(ds.len(), &mst);
+            CondensedTree::build(&dend, 5)
+        })
+    });
+    group.bench_function("fosc_optics_dend_unsupervised", |b| {
+        b.iter(|| {
+            FoscOpticsDend::new(5).fit(ds.matrix(), &cvcp_constraints::ConstraintSet::new(ds.len()))
+        })
+    });
+    group.bench_function("fosc_optics_dend_constrained", |b| {
+        b.iter(|| FoscOpticsDend::new(5).fit(ds.matrix(), &pool))
+    });
+    group.finish();
+
+    let mut sweep = c.benchmark_group("density/minpts_sweep");
+    sweep.sample_size(15);
+    for min_pts in [3usize, 9, 24] {
+        sweep.bench_with_input(BenchmarkId::from_parameter(min_pts), &min_pts, |b, &m| {
+            b.iter(|| FoscOpticsDend::new(m).fit(ds.matrix(), &pool))
+        });
+    }
+    sweep.finish();
+}
+
+criterion_group!(benches, bench_density_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Experiment-family benchmark: the cost of generating one parameter-vs-
+//! quality curve (Figures 5–8) — a single CVCP trial including the internal
+//! cross-validation sweep and the external per-parameter evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cvcp_bench::aloi_dataset;
+use cvcp_core::experiment::{run_trial, ExperimentConfig, SideInfoSpec};
+use cvcp_core::{CvcpConfig, FoscMethod, MpckMethod};
+
+fn config(params: Vec<usize>) -> ExperimentConfig {
+    ExperimentConfig {
+        n_trials: 1,
+        cvcp: CvcpConfig {
+            n_folds: 3,
+            stratified: true,
+        },
+        params,
+        seed: 1,
+        with_silhouette: false,
+        n_threads: 1,
+    }
+}
+
+fn bench_fig_curves(c: &mut Criterion) {
+    let ds = aloi_dataset();
+    let mut group = c.benchmark_group("experiments/fig_curves");
+    group.sample_size(10);
+
+    group.bench_function("fig05_fosc_label_curve_trial", |b| {
+        let cfg = config(vec![3, 9, 15, 24]);
+        b.iter(|| {
+            run_trial(
+                &FoscMethod::default(),
+                &ds,
+                SideInfoSpec::LabelFraction(0.10),
+                &cfg,
+                &cfg.params,
+                0,
+            )
+        })
+    });
+    group.bench_function("fig06_mpck_label_curve_trial", |b| {
+        let cfg = config(vec![2, 4, 6, 8]);
+        b.iter(|| {
+            run_trial(
+                &MpckMethod::default(),
+                &ds,
+                SideInfoSpec::LabelFraction(0.10),
+                &cfg,
+                &cfg.params,
+                0,
+            )
+        })
+    });
+    group.bench_function("fig07_fosc_constraint_curve_trial", |b| {
+        let cfg = config(vec![3, 9, 15, 24]);
+        b.iter(|| {
+            run_trial(
+                &FoscMethod::default(),
+                &ds,
+                SideInfoSpec::ConstraintSample {
+                    pool_fraction: 0.10,
+                    sample_fraction: 0.10,
+                },
+                &cfg,
+                &cfg.params,
+                0,
+            )
+        })
+    });
+    group.bench_function("fig08_mpck_constraint_curve_trial", |b| {
+        let cfg = config(vec![2, 4, 6, 8]);
+        b.iter(|| {
+            run_trial(
+                &MpckMethod::default(),
+                &ds,
+                SideInfoSpec::ConstraintSample {
+                    pool_fraction: 0.10,
+                    sample_fraction: 0.10,
+                },
+                &cfg,
+                &cfg.params,
+                0,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig_curves);
+criterion_main!(benches);

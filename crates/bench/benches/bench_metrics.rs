@@ -1,0 +1,35 @@
+//! Benchmarks of the evaluation measures: the internal constraint
+//! F-measure, the external Overall F-Measure, ARI and the Silhouette
+//! coefficient.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cvcp_bench::{blob_dataset, pool_for};
+use cvcp_data::distance::Euclidean;
+use cvcp_data::Partition;
+use cvcp_metrics::{
+    adjusted_rand_index, constraint_fmeasure, overall_fmeasure, silhouette_coefficient,
+};
+
+fn bench_metrics(c: &mut Criterion) {
+    let ds = blob_dataset(50);
+    let pool = pool_for(&ds);
+    let partition = Partition::from_cluster_ids(ds.labels());
+
+    let mut group = c.benchmark_group("metrics");
+    group.bench_function("constraint_fmeasure", |b| {
+        b.iter(|| constraint_fmeasure(&partition, &pool))
+    });
+    group.bench_function("overall_fmeasure", |b| {
+        b.iter(|| overall_fmeasure(&partition, ds.labels()))
+    });
+    group.bench_function("adjusted_rand_index", |b| {
+        b.iter(|| adjusted_rand_index(&partition, ds.labels()))
+    });
+    group.bench_function("silhouette_200_objects", |b| {
+        b.iter(|| silhouette_coefficient(ds.matrix(), &partition, &Euclidean))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

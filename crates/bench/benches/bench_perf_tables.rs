@@ -1,0 +1,49 @@
+//! Experiment-family benchmark: the cost of one cell of the performance
+//! tables (Tables 5–16) — a repeated-trial experiment plus summary with
+//! significance testing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cvcp_bench::blob_dataset;
+use cvcp_core::experiment::{run_experiment, summarize, ExperimentConfig, SideInfoSpec};
+use cvcp_core::{CvcpConfig, FoscMethod, MpckMethod};
+
+fn config(params: Vec<usize>, with_silhouette: bool) -> ExperimentConfig {
+    ExperimentConfig {
+        n_trials: 2,
+        cvcp: CvcpConfig {
+            n_folds: 3,
+            stratified: true,
+        },
+        params,
+        seed: 3,
+        with_silhouette,
+        n_threads: 1,
+    }
+}
+
+fn bench_perf_tables(c: &mut Criterion) {
+    let ds = blob_dataset(25);
+    let mut group = c.benchmark_group("experiments/perf_tables");
+    group.sample_size(10);
+
+    group.bench_function("table5_cell_fosc_label5", |b| {
+        let cfg = config(vec![3, 9, 15, 24], false);
+        let spec = SideInfoSpec::LabelFraction(0.05);
+        b.iter(|| {
+            let outcomes = run_experiment(&FoscMethod::default(), &ds, spec, &cfg);
+            summarize(ds.name(), "FOSC-OPTICSDend", spec, &outcomes)
+        })
+    });
+    group.bench_function("table8_cell_mpck_label5_with_silhouette", |b| {
+        let cfg = config(vec![2, 4, 6, 8], true);
+        let spec = SideInfoSpec::LabelFraction(0.05);
+        b.iter(|| {
+            let outcomes = run_experiment(&MpckMethod::default(), &ds, spec, &cfg);
+            summarize(ds.name(), "MPCKMeans", spec, &outcomes)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_perf_tables);
+criterion_main!(benches);

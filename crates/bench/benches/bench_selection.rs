@@ -1,0 +1,58 @@
+//! Experiment-family benchmark: the selection runs behind the ALOI-collection
+//! box plots (Figures 9–12) — CVCP selection plus the Silhouette baseline on
+//! one ALOI-like data set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cvcp_bench::{aloi_dataset, labels_for, rng};
+use cvcp_core::{select_model, silhouette_selection, CvcpConfig, FoscMethod, MpckMethod};
+
+fn bench_selection(c: &mut Criterion) {
+    let ds = aloi_dataset();
+    let side = labels_for(&ds);
+    let cfg = CvcpConfig {
+        n_folds: 3,
+        stratified: true,
+    };
+
+    let mut group = c.benchmark_group("experiments/selection");
+    group.sample_size(10);
+    group.bench_function("cvcp_select_minpts_fig9", |b| {
+        b.iter(|| {
+            select_model(
+                &FoscMethod::default(),
+                ds.matrix(),
+                &side,
+                &[3, 9, 15, 24],
+                &cfg,
+                &mut rng(),
+            )
+        })
+    });
+    group.bench_function("cvcp_select_k_fig10", |b| {
+        b.iter(|| {
+            select_model(
+                &MpckMethod::default(),
+                ds.matrix(),
+                &side,
+                &[2, 4, 6, 8, 10],
+                &cfg,
+                &mut rng(),
+            )
+        })
+    });
+    group.bench_function("silhouette_select_k_fig10", |b| {
+        b.iter(|| {
+            silhouette_selection(
+                &MpckMethod::default(),
+                ds.matrix(),
+                &side,
+                &[2, 4, 6, 8, 10],
+                &mut rng(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

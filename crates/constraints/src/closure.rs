@@ -1,0 +1,296 @@
+//! Transitive closure of a constraint set.
+//!
+//! Section 3.1 of the CVCP paper describes the constraint graph: objects are
+//! vertices, must-link edges have weight 1 and cannot-link edges weight 0.
+//! The closure adds every edge that is *logically implied* by the given ones:
+//!
+//! * must-link is transitive: `ML(a,b) ∧ ML(b,c) ⇒ ML(a,c)`;
+//! * cannot-link propagates across must-link components:
+//!   `ML(a,b) ∧ CL(b,c) ⇒ CL(a,c)` — i.e. if any member of one must-link
+//!   component cannot link to any member of another, then *every* pair across
+//!   the two components is a cannot-link.
+//!
+//! The example of Figure 2: given `ML(A,B)`, `ML(C,D)`, `CL(B,C)`, the closure
+//! contains additionally `CL(A,C)`, `CL(A,D)` and `CL(B,D)`.
+//!
+//! Cannot-link is *not* transitive: `CL(a,b) ∧ CL(b,c)` implies nothing about
+//! `(a,c)` — the paper's "opposite constraints" example.
+
+use crate::constraint::{ConstraintKind, ConstraintSet};
+use crate::union_find::UnionFind;
+use std::collections::BTreeSet;
+
+/// Computes the transitive closure of `set`.
+///
+/// The result contains every must-link implied by must-link transitivity and
+/// every cannot-link implied by propagating given cannot-links across
+/// must-link components.  The input constraints are always contained in the
+/// output.
+///
+/// If the input is inconsistent (some pair ends up both must-linked and
+/// cannot-linked), the contradictory pairs are preserved as-is; callers can
+/// detect this with [`ConstraintSet::is_consistent`].
+pub fn transitive_closure(set: &ConstraintSet) -> ConstraintSet {
+    let n = set.n_objects();
+    let mut uf = UnionFind::new(n);
+    for c in set.iter() {
+        if c.kind == ConstraintKind::MustLink {
+            uf.union(c.a, c.b);
+        }
+    }
+
+    // Members of each must-link component restricted to the objects that are
+    // actually involved in constraints (others cannot contribute edges).
+    let involved = set.involved_objects();
+    let mut comp_members: std::collections::BTreeMap<usize, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for &x in &involved {
+        comp_members.entry(uf.find(x)).or_default().push(x);
+    }
+
+    let mut out = ConstraintSet::new(n);
+
+    // 1. Must-link closure: all pairs inside each component.
+    for members in comp_members.values() {
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                out.add_must_link(members[i], members[j]);
+            }
+        }
+    }
+
+    // 2. Cannot-link propagation: for each given CL edge, connect every pair
+    //    across the two components.  Deduplicate component pairs first.
+    let mut cl_component_pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for c in set.iter() {
+        if c.kind == ConstraintKind::CannotLink {
+            let ra = uf.find(c.a);
+            let rb = uf.find(c.b);
+            if ra == rb {
+                // Inconsistent input: CL inside a must-link component.
+                // Keep the original edge; don't expand it.
+                out.add(*c);
+                continue;
+            }
+            let key = if ra < rb { (ra, rb) } else { (rb, ra) };
+            cl_component_pairs.insert(key);
+        }
+    }
+    for (ra, rb) in cl_component_pairs {
+        let ma = comp_members.get(&ra).cloned().unwrap_or_else(|| vec![ra]);
+        let mb = comp_members.get(&rb).cloned().unwrap_or_else(|| vec![rb]);
+        for &x in &ma {
+            for &y in &mb {
+                out.add_cannot_link(x, y);
+            }
+        }
+    }
+
+    out
+}
+
+/// The connected components of the constraint *graph* (treating both kinds of
+/// edges as undirected connectivity).  The paper notes that a naive
+/// cross-validation could try to split these components across folds;
+/// [`crate::folds`] instead splits objects and removes the crossing edges.
+pub fn constraint_graph_components(set: &ConstraintSet) -> Vec<Vec<usize>> {
+    let n = set.n_objects();
+    let mut uf = UnionFind::new(n);
+    for c in set.iter() {
+        uf.union(c.a, c.b);
+    }
+    let involved: BTreeSet<usize> = set.involved_objects().into_iter().collect();
+    uf.components()
+        .into_iter()
+        .filter(|comp| comp.iter().any(|x| involved.contains(x)))
+        .collect()
+}
+
+/// The must-link components (groups of objects that must all share a
+/// cluster), restricted to objects involved in at least one must-link.
+/// Singletons (objects with no must-link) are not reported.
+///
+/// These are the "neighbourhood sets" used to seed MPCKMeans.
+pub fn must_link_components(set: &ConstraintSet) -> Vec<Vec<usize>> {
+    let n = set.n_objects();
+    let mut uf = UnionFind::new(n);
+    let mut in_ml = vec![false; n];
+    for c in set.iter() {
+        if c.kind == ConstraintKind::MustLink {
+            uf.union(c.a, c.b);
+            in_ml[c.a] = true;
+            in_ml[c.b] = true;
+        }
+    }
+    uf.components()
+        .into_iter()
+        .filter(|comp| comp.len() > 1 && comp.iter().any(|&x| in_ml[x]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Constraint;
+    use proptest::prelude::*;
+
+    /// The running example of Figure 2 in the paper.
+    fn figure2() -> ConstraintSet {
+        // A=0, B=1, C=2, D=3
+        let mut s = ConstraintSet::new(4);
+        s.add_must_link(0, 1);
+        s.add_must_link(2, 3);
+        s.add_cannot_link(1, 2);
+        s
+    }
+
+    #[test]
+    fn figure2_closure_matches_paper() {
+        let closed = transitive_closure(&figure2());
+        // Given ML(A,B), ML(C,D), CL(B,C): induced CL(A,C), CL(A,D), CL(B,D).
+        assert!(closed.contains(&Constraint::must_link(0, 1)));
+        assert!(closed.contains(&Constraint::must_link(2, 3)));
+        assert!(closed.contains(&Constraint::cannot_link(1, 2)));
+        assert!(closed.contains(&Constraint::cannot_link(0, 2)));
+        assert!(closed.contains(&Constraint::cannot_link(0, 3)));
+        assert!(closed.contains(&Constraint::cannot_link(1, 3)));
+        assert_eq!(closed.n_must_link(), 2);
+        assert_eq!(closed.n_cannot_link(), 4);
+    }
+
+    #[test]
+    fn opposite_example_does_not_overclose() {
+        // CL(A,B), CL(C,D), ML(B,C) => CL(A,C), CL(B,D) derivable, nothing about (A,D).
+        let mut s = ConstraintSet::new(4);
+        s.add_cannot_link(0, 1);
+        s.add_cannot_link(2, 3);
+        s.add_must_link(1, 2);
+        let closed = transitive_closure(&s);
+        assert!(closed.contains(&Constraint::cannot_link(0, 2)));
+        assert!(closed.contains(&Constraint::cannot_link(1, 3)));
+        assert!(
+            !closed.contains(&Constraint::cannot_link(0, 3)),
+            "nothing is known about (A,D)"
+        );
+        assert!(!closed.contains(&Constraint::must_link(0, 3)));
+    }
+
+    #[test]
+    fn must_link_transitivity() {
+        let mut s = ConstraintSet::new(4);
+        s.add_must_link(0, 1);
+        s.add_must_link(1, 2);
+        let closed = transitive_closure(&s);
+        assert!(closed.contains(&Constraint::must_link(0, 2)));
+        assert_eq!(closed.n_must_link(), 3);
+    }
+
+    #[test]
+    fn closure_contains_input() {
+        let s = figure2();
+        let closed = transitive_closure(&s);
+        for c in s.iter() {
+            assert!(closed.contains(c), "closure must contain input constraint {c}");
+        }
+    }
+
+    #[test]
+    fn closure_is_idempotent() {
+        let closed = transitive_closure(&figure2());
+        let twice = transitive_closure(&closed);
+        assert_eq!(closed, twice);
+    }
+
+    #[test]
+    fn inconsistent_input_is_preserved_not_expanded() {
+        let mut s = ConstraintSet::new(3);
+        s.add_must_link(0, 1);
+        s.add_cannot_link(0, 1);
+        let closed = transitive_closure(&s);
+        assert!(!closed.is_consistent());
+        assert!(closed.contains(&Constraint::cannot_link(0, 1)));
+    }
+
+    #[test]
+    fn graph_components_ignore_isolated_objects() {
+        let mut s = ConstraintSet::new(10);
+        s.add_must_link(0, 1);
+        s.add_cannot_link(1, 2);
+        s.add_must_link(5, 6);
+        let comps = constraint_graph_components(&s);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![0, 1, 2]);
+        assert_eq!(comps[1], vec![5, 6]);
+    }
+
+    #[test]
+    fn must_link_components_exclude_cl_only_objects() {
+        let mut s = ConstraintSet::new(6);
+        s.add_must_link(0, 1);
+        s.add_must_link(1, 2);
+        s.add_cannot_link(3, 4);
+        let comps = must_link_components(&s);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_set_closure_is_empty() {
+        let s = ConstraintSet::new(5);
+        let closed = transitive_closure(&s);
+        assert!(closed.is_empty());
+        assert!(constraint_graph_components(&s).is_empty());
+        assert!(must_link_components(&s).is_empty());
+    }
+
+    /// Generates a constraint set from labels, where constraints are
+    /// guaranteed consistent.
+    fn arb_label_constraints() -> impl Strategy<Value = (Vec<usize>, ConstraintSet)> {
+        (2usize..20, 2usize..4).prop_flat_map(|(n, k)| {
+            (
+                proptest::collection::vec(0usize..k, n),
+                proptest::collection::vec((0usize..n, 0usize..n), 1..30),
+            )
+                .prop_map(move |(labels, pairs)| {
+                    let mut s = ConstraintSet::new(labels.len());
+                    for (a, b) in pairs {
+                        if a != b {
+                            if labels[a] == labels[b] {
+                                s.add_must_link(a, b);
+                            } else {
+                                s.add_cannot_link(a, b);
+                            }
+                        }
+                    }
+                    (labels, s)
+                })
+        })
+    }
+
+    proptest! {
+        /// Closure of label-consistent constraints stays label-consistent:
+        /// every derived must-link joins same-label objects, every derived
+        /// cannot-link joins different-label objects.
+        #[test]
+        fn prop_closure_respects_labels((labels, set) in arb_label_constraints()) {
+            let closed = transitive_closure(&set);
+            prop_assert!(closed.is_consistent());
+            for c in closed.iter() {
+                match c.kind {
+                    ConstraintKind::MustLink => prop_assert_eq!(labels[c.a], labels[c.b]),
+                    ConstraintKind::CannotLink => prop_assert_ne!(labels[c.a], labels[c.b]),
+                }
+            }
+        }
+
+        /// Closure is monotone (contains the input) and idempotent.
+        #[test]
+        fn prop_closure_monotone_idempotent((_labels, set) in arb_label_constraints()) {
+            let closed = transitive_closure(&set);
+            for c in set.iter() {
+                prop_assert!(closed.contains(c));
+            }
+            prop_assert_eq!(transitive_closure(&closed), closed);
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! Must-link / cannot-link constraints and constraint sets.
+//!
+//! A constraint relates an *unordered* pair of distinct objects; the pair is
+//! stored in canonical order (smaller index first) so that sets deduplicate
+//! naturally.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The kind of an instance-level constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ConstraintKind {
+    /// The two objects should end up in the same cluster (class "1" in the
+    /// paper's classification view).
+    MustLink,
+    /// The two objects should end up in different clusters (class "0").
+    CannotLink,
+}
+
+impl fmt::Display for ConstraintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintKind::MustLink => write!(f, "must-link"),
+            ConstraintKind::CannotLink => write!(f, "cannot-link"),
+        }
+    }
+}
+
+/// An instance-level pairwise constraint over objects `a < b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Smaller object index.
+    pub a: usize,
+    /// Larger object index.
+    pub b: usize,
+    /// Whether the pair must or cannot be linked.
+    pub kind: ConstraintKind,
+}
+
+impl Constraint {
+    /// Creates a constraint, canonicalising the pair order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` (self-constraints are meaningless).
+    pub fn new(a: usize, b: usize, kind: ConstraintKind) -> Self {
+        assert_ne!(a, b, "a constraint must relate two distinct objects");
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        Self { a, b, kind }
+    }
+
+    /// A must-link constraint.
+    pub fn must_link(a: usize, b: usize) -> Self {
+        Self::new(a, b, ConstraintKind::MustLink)
+    }
+
+    /// A cannot-link constraint.
+    pub fn cannot_link(a: usize, b: usize) -> Self {
+        Self::new(a, b, ConstraintKind::CannotLink)
+    }
+
+    /// The unordered pair of objects.
+    pub fn pair(&self) -> (usize, usize) {
+        (self.a, self.b)
+    }
+
+    /// `true` if the constraint involves object `x`.
+    pub fn involves(&self, x: usize) -> bool {
+        self.a == x || self.b == x
+    }
+
+    /// Given one endpoint, returns the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an endpoint.
+    pub fn other(&self, x: usize) -> usize {
+        if x == self.a {
+            self.b
+        } else if x == self.b {
+            self.a
+        } else {
+            panic!("object {x} is not an endpoint of {self}")
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({}, {})", self.kind, self.a, self.b)
+    }
+}
+
+/// A set of constraints over objects `0..n_objects`.
+///
+/// The set is deduplicated: adding the same constraint twice is a no-op.
+/// Adding a must-link and a cannot-link for the same pair is allowed at this
+/// level (it can arise from noisy side information) and is surfaced by
+/// [`ConstraintSet::conflicting_pairs`]; the transitive-closure and
+/// generation code in this crate never produces conflicts from consistent
+/// label information.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConstraintSet {
+    n_objects: usize,
+    constraints: BTreeSet<Constraint>,
+}
+
+impl ConstraintSet {
+    /// An empty constraint set over `n_objects` objects.
+    pub fn new(n_objects: usize) -> Self {
+        Self {
+            n_objects,
+            constraints: BTreeSet::new(),
+        }
+    }
+
+    /// Builds a set from an iterator of constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any constraint references an object `>= n_objects`.
+    pub fn from_constraints<I: IntoIterator<Item = Constraint>>(
+        n_objects: usize,
+        constraints: I,
+    ) -> Self {
+        let mut set = Self::new(n_objects);
+        for c in constraints {
+            set.add(c);
+        }
+        set
+    }
+
+    /// Number of objects the set is defined over.
+    pub fn n_objects(&self) -> usize {
+        self.n_objects
+    }
+
+    /// Adds a constraint.  Returns `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constraint references an object `>= n_objects`.
+    pub fn add(&mut self, c: Constraint) -> bool {
+        assert!(
+            c.b < self.n_objects,
+            "constraint {c} references object outside 0..{}",
+            self.n_objects
+        );
+        self.constraints.insert(c)
+    }
+
+    /// Adds a must-link constraint between `a` and `b`.
+    pub fn add_must_link(&mut self, a: usize, b: usize) -> bool {
+        self.add(Constraint::must_link(a, b))
+    }
+
+    /// Adds a cannot-link constraint between `a` and `b`.
+    pub fn add_cannot_link(&mut self, a: usize, b: usize) -> bool {
+        self.add(Constraint::cannot_link(a, b))
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// `true` when the set holds no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Number of must-link constraints.
+    pub fn n_must_link(&self) -> usize {
+        self.iter()
+            .filter(|c| c.kind == ConstraintKind::MustLink)
+            .count()
+    }
+
+    /// Number of cannot-link constraints.
+    pub fn n_cannot_link(&self) -> usize {
+        self.iter()
+            .filter(|c| c.kind == ConstraintKind::CannotLink)
+            .count()
+    }
+
+    /// Iterates over all constraints in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &Constraint> + '_ {
+        self.constraints.iter()
+    }
+
+    /// All must-link constraints.
+    pub fn must_links(&self) -> Vec<Constraint> {
+        self.iter()
+            .copied()
+            .filter(|c| c.kind == ConstraintKind::MustLink)
+            .collect()
+    }
+
+    /// All cannot-link constraints.
+    pub fn cannot_links(&self) -> Vec<Constraint> {
+        self.iter()
+            .copied()
+            .filter(|c| c.kind == ConstraintKind::CannotLink)
+            .collect()
+    }
+
+    /// `true` iff the given constraint is present.
+    pub fn contains(&self, c: &Constraint) -> bool {
+        self.constraints.contains(c)
+    }
+
+    /// The sorted list of objects that appear in at least one constraint.
+    pub fn involved_objects(&self) -> Vec<usize> {
+        let mut objs: Vec<usize> = self
+            .iter()
+            .flat_map(|c| [c.a, c.b])
+            .collect();
+        objs.sort_unstable();
+        objs.dedup();
+        objs
+    }
+
+    /// Returns the subset of constraints whose *both* endpoints satisfy the
+    /// predicate.
+    pub fn filter_objects<F: Fn(usize) -> bool>(&self, keep: F) -> ConstraintSet {
+        ConstraintSet::from_constraints(
+            self.n_objects,
+            self.iter().copied().filter(|c| keep(c.a) && keep(c.b)),
+        )
+    }
+
+    /// Merges another constraint set into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the other set is defined over a different number of objects.
+    pub fn extend(&mut self, other: &ConstraintSet) {
+        assert_eq!(
+            self.n_objects, other.n_objects,
+            "constraint sets must be over the same object universe"
+        );
+        for c in other.iter() {
+            self.constraints.insert(*c);
+        }
+    }
+
+    /// Pairs that carry *both* a must-link and a cannot-link constraint.
+    pub fn conflicting_pairs(&self) -> Vec<(usize, usize)> {
+        let mut must: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut cannot: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for c in self.iter() {
+            match c.kind {
+                ConstraintKind::MustLink => must.insert(c.pair()),
+                ConstraintKind::CannotLink => cannot.insert(c.pair()),
+            };
+        }
+        must.intersection(&cannot).copied().collect()
+    }
+
+    /// `true` when no pair carries contradictory constraints.
+    pub fn is_consistent(&self) -> bool {
+        self.conflicting_pairs().is_empty()
+    }
+
+    /// Computes the transitive closure of this set (see [`crate::closure`]).
+    pub fn transitive_closure(&self) -> ConstraintSet {
+        crate::closure::transitive_closure(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constraint_canonical_order() {
+        let c = Constraint::must_link(7, 2);
+        assert_eq!(c.pair(), (2, 7));
+        assert_eq!(c.other(2), 7);
+        assert_eq!(c.other(7), 2);
+        assert!(c.involves(2) && c.involves(7) && !c.involves(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn self_constraint_rejected() {
+        let _ = Constraint::cannot_link(3, 3);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Constraint::must_link(1, 0)), "must-link(0, 1)");
+        assert_eq!(
+            format!("{}", Constraint::cannot_link(4, 9)),
+            "cannot-link(4, 9)"
+        );
+    }
+
+    #[test]
+    fn set_dedupes() {
+        let mut s = ConstraintSet::new(5);
+        assert!(s.add_must_link(0, 1));
+        assert!(!s.add_must_link(1, 0), "same pair in other order is a duplicate");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn set_counts_by_kind() {
+        let mut s = ConstraintSet::new(6);
+        s.add_must_link(0, 1);
+        s.add_must_link(2, 3);
+        s.add_cannot_link(1, 2);
+        assert_eq!(s.n_must_link(), 2);
+        assert_eq!(s.n_cannot_link(), 1);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.must_links().len(), 2);
+        assert_eq!(s.cannot_links().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn set_rejects_out_of_range() {
+        let mut s = ConstraintSet::new(3);
+        s.add_must_link(0, 3);
+    }
+
+    #[test]
+    fn involved_objects_sorted_unique() {
+        let mut s = ConstraintSet::new(10);
+        s.add_must_link(7, 2);
+        s.add_cannot_link(2, 5);
+        assert_eq!(s.involved_objects(), vec![2, 5, 7]);
+    }
+
+    #[test]
+    fn filter_objects_keeps_internal_constraints_only() {
+        let mut s = ConstraintSet::new(6);
+        s.add_must_link(0, 1);
+        s.add_must_link(1, 4);
+        s.add_cannot_link(4, 5);
+        let keep = [true, true, false, false, false, false];
+        let f = s.filter_objects(|i| keep[i]);
+        assert_eq!(f.len(), 1);
+        assert!(f.contains(&Constraint::must_link(0, 1)));
+    }
+
+    #[test]
+    fn extend_merges_sets() {
+        let mut a = ConstraintSet::new(4);
+        a.add_must_link(0, 1);
+        let mut b = ConstraintSet::new(4);
+        b.add_must_link(0, 1);
+        b.add_cannot_link(2, 3);
+        a.extend(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn conflicts_detected() {
+        let mut s = ConstraintSet::new(3);
+        s.add_must_link(0, 1);
+        assert!(s.is_consistent());
+        s.add_cannot_link(0, 1);
+        assert!(!s.is_consistent());
+        assert_eq!(s.conflicting_pairs(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn from_constraints_builder() {
+        let s = ConstraintSet::from_constraints(
+            4,
+            vec![Constraint::must_link(0, 1), Constraint::cannot_link(2, 3)],
+        );
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.n_objects(), 4);
+    }
+}

@@ -1,0 +1,523 @@
+//! Cross-validation fold construction with train/test independence.
+//!
+//! Section 3.1 of the CVCP paper explains why a naive split of constraints
+//! into folds leaks information: the transitive closure of the training
+//! constraints can already imply constraints placed in the test fold.  Both
+//! procedures below split *objects* rather than constraints, which "cuts" the
+//! constraint graph correctly:
+//!
+//! * **Scenario I (labelled objects, Fig. 3):** the labelled objects are
+//!   partitioned into `n` folds; training side information comes from the
+//!   union of `n−1` folds, test constraints are derived only among the
+//!   objects of the held-out fold.
+//! * **Scenario II (pairwise constraints, Fig. 4):** the transitive closure
+//!   of the given constraints is computed, the objects involved in any
+//!   constraint are partitioned into `n` folds, every constraint crossing the
+//!   train/test boundary is removed, and the (already closed) constraint set
+//!   is restricted to each side.
+
+use crate::closure::transitive_closure;
+use crate::constraint::ConstraintSet;
+use crate::generate::LabeledSubset;
+use crate::side_info::SideInformation;
+use cvcp_data::rng::SeededRng;
+use serde::{Deserialize, Serialize};
+
+/// Assignment of a collection of objects to folds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FoldAssignment {
+    /// Number of folds.
+    pub n_folds: usize,
+    /// `fold_of[i]` is the fold of the i-th *tracked* object (parallel to
+    /// [`FoldAssignment::objects`]).
+    pub fold_of: Vec<usize>,
+    /// The tracked objects (sorted).
+    pub objects: Vec<usize>,
+}
+
+impl FoldAssignment {
+    /// Objects assigned to fold `f`.
+    pub fn members_of(&self, f: usize) -> Vec<usize> {
+        self.objects
+            .iter()
+            .zip(&self.fold_of)
+            .filter_map(|(&o, &fo)| (fo == f).then_some(o))
+            .collect()
+    }
+
+    /// The fold of object `o`, if `o` is tracked.
+    pub fn fold_of_object(&self, o: usize) -> Option<usize> {
+        self.objects
+            .binary_search(&o)
+            .ok()
+            .map(|pos| self.fold_of[pos])
+    }
+}
+
+/// One train/test split produced by the fold machinery.
+///
+/// `training` is handed to the semi-supervised clustering algorithm (in the
+/// form the algorithm expects); `test_constraints` is used *only* to score
+/// the resulting partition as a constraint classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FoldSplit {
+    /// Index of the held-out fold.
+    pub fold: usize,
+    /// Side information available for clustering.
+    pub training: SideInformation,
+    /// Constraints used to estimate the classification error.
+    pub test_constraints: ConstraintSet,
+}
+
+/// Partitions `objects` into `n_folds` folds at random (sizes differ by at
+/// most one).
+fn random_fold_assignment(
+    objects: &[usize],
+    n_folds: usize,
+    rng: &mut SeededRng,
+) -> FoldAssignment {
+    let mut sorted = objects.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut order: Vec<usize> = (0..sorted.len()).collect();
+    rng.shuffle(&mut order);
+    let mut fold_of = vec![0usize; sorted.len()];
+    for (rank, &pos) in order.iter().enumerate() {
+        fold_of[pos] = rank % n_folds;
+    }
+    FoldAssignment {
+        n_folds,
+        fold_of,
+        objects: sorted,
+    }
+}
+
+/// Partitions labelled objects into folds, stratified by label: within each
+/// class the objects are dealt to folds round-robin after shuffling, so every
+/// fold sees every class when possible.
+fn stratified_fold_assignment(
+    labeled: &LabeledSubset,
+    n_folds: usize,
+    rng: &mut SeededRng,
+) -> FoldAssignment {
+    let objects: Vec<usize> = labeled.indices().to_vec();
+    let mut fold_lookup: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+
+    let n_classes = labeled.labels().iter().copied().max().map_or(0, |m| m + 1);
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+    for (obj, lab) in labeled.iter() {
+        per_class[lab].push(obj);
+    }
+    // Offset the starting fold per class so small classes do not all pile
+    // into fold 0.
+    let mut next_fold = 0usize;
+    for members in per_class.iter_mut() {
+        rng.shuffle(members);
+        for &obj in members.iter() {
+            fold_lookup.insert(obj, next_fold % n_folds);
+            next_fold += 1;
+        }
+    }
+
+    let fold_of = objects.iter().map(|o| fold_lookup[o]).collect();
+    FoldAssignment {
+        n_folds,
+        fold_of,
+        objects,
+    }
+}
+
+/// Builds the `n`-fold cross-validation splits for **Scenario I** (labelled
+/// objects are provided).
+///
+/// For each fold `f`:
+/// * the training side information is the labelled subset restricted to all
+///   folds except `f` (the clustering algorithm may use the labels directly
+///   or lower them to constraints);
+/// * the test constraints are all pairwise constraints among the objects of
+///   fold `f`, derived from their labels.
+///
+/// When `stratified` is true (the default used by CVCP), fold assignment is
+/// stratified by class label.
+///
+/// # Panics
+///
+/// Panics if `n_folds < 2` or there are fewer labelled objects than folds.
+pub fn label_scenario_folds(
+    labeled: &LabeledSubset,
+    n_folds: usize,
+    stratified: bool,
+    rng: &mut SeededRng,
+) -> Vec<FoldSplit> {
+    assert!(n_folds >= 2, "cross-validation needs at least 2 folds");
+    assert!(
+        labeled.len() >= n_folds,
+        "need at least as many labelled objects ({}) as folds ({n_folds})",
+        labeled.len()
+    );
+    let assignment = if stratified {
+        stratified_fold_assignment(labeled, n_folds, rng)
+    } else {
+        random_fold_assignment(labeled.indices(), n_folds, rng)
+    };
+
+    (0..n_folds)
+        .map(|f| {
+            let test_objects = assignment.members_of(f);
+            let train_objects: Vec<usize> = assignment
+                .objects
+                .iter()
+                .copied()
+                .filter(|o| assignment.fold_of_object(*o) != Some(f))
+                .collect();
+            let training = SideInformation::Labels(labeled.restrict(&train_objects));
+            let test_constraints = labeled.restrict(&test_objects).to_constraints();
+            FoldSplit {
+                fold: f,
+                training,
+                test_constraints,
+            }
+        })
+        .collect()
+}
+
+/// Builds the `n`-fold cross-validation splits for **Scenario II** (pairwise
+/// constraints are provided).
+///
+/// The transitive closure of `constraints` is computed first; the objects
+/// involved in any constraint are partitioned into `n` folds; constraints
+/// crossing the train/test boundary are removed; the closed set restricted to
+/// the training objects becomes the training side information and the closed
+/// set restricted to the test objects becomes the test constraints.
+///
+/// # Panics
+///
+/// Panics if `n_folds < 2` or fewer objects are involved in constraints than
+/// there are folds.
+pub fn constraint_scenario_folds(
+    constraints: &ConstraintSet,
+    n_folds: usize,
+    rng: &mut SeededRng,
+) -> Vec<FoldSplit> {
+    assert!(n_folds >= 2, "cross-validation needs at least 2 folds");
+    let closed = transitive_closure(constraints);
+    let involved = closed.involved_objects();
+    assert!(
+        involved.len() >= n_folds,
+        "need at least as many constrained objects ({}) as folds ({n_folds})",
+        involved.len()
+    );
+    let assignment = random_fold_assignment(&involved, n_folds, rng);
+
+    (0..n_folds)
+        .map(|f| {
+            let in_test: std::collections::BTreeSet<usize> =
+                assignment.members_of(f).into_iter().collect();
+            // Training: both endpoints outside the test fold.
+            let training_set = closed.filter_objects(|o| !in_test.contains(&o));
+            // Test: both endpoints inside the test fold.
+            let test_constraints = closed.filter_objects(|o| in_test.contains(&o));
+            FoldSplit {
+                fold: f,
+                training: SideInformation::Constraints(training_set),
+                test_constraints,
+            }
+        })
+        .collect()
+}
+
+/// Checks the independence property of a list of fold splits: no constraint
+/// that can be derived from the training side information appears among the
+/// test constraints.  Returns the offending `(fold, constraint)` pairs.
+///
+/// This is primarily a verification/diagnostic helper used by the test-suite
+/// and by the ablation benchmarks that demonstrate the leak of a naive split.
+pub fn leaked_constraints(splits: &[FoldSplit]) -> Vec<(usize, crate::constraint::Constraint)> {
+    let mut leaks = Vec::new();
+    for split in splits {
+        let train_closure = transitive_closure(&split.training.as_constraints());
+        for c in split.test_constraints.iter() {
+            if train_closure.contains(c) {
+                leaks.push((split.fold, *c));
+            }
+        }
+    }
+    leaks
+}
+
+/// A deliberately *naive* constraint split that distributes constraints
+/// (not objects) over folds.  This is the flawed procedure the paper warns
+/// about: the transitive closure of the training constraints can imply test
+/// constraints.  Provided for the information-leak ablation only.
+pub fn naive_constraint_folds(
+    constraints: &ConstraintSet,
+    n_folds: usize,
+    rng: &mut SeededRng,
+) -> Vec<FoldSplit> {
+    assert!(n_folds >= 2, "cross-validation needs at least 2 folds");
+    let all: Vec<_> = constraints.iter().copied().collect();
+    assert!(all.len() >= n_folds, "need at least as many constraints as folds");
+    let mut order: Vec<usize> = (0..all.len()).collect();
+    rng.shuffle(&mut order);
+    let fold_of: Vec<usize> = {
+        let mut v = vec![0usize; all.len()];
+        for (rank, &idx) in order.iter().enumerate() {
+            v[idx] = rank % n_folds;
+        }
+        v
+    };
+    (0..n_folds)
+        .map(|f| {
+            let training = ConstraintSet::from_constraints(
+                constraints.n_objects(),
+                all.iter()
+                    .zip(&fold_of)
+                    .filter_map(|(c, &fo)| (fo != f).then_some(*c)),
+            );
+            let test_constraints = ConstraintSet::from_constraints(
+                constraints.n_objects(),
+                all.iter()
+                    .zip(&fold_of)
+                    .filter_map(|(c, &fo)| (fo == f).then_some(*c)),
+            );
+            FoldSplit {
+                fold: f,
+                training: SideInformation::Constraints(training),
+                test_constraints,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{constraint_pool, sample_labeled_subset};
+    use proptest::prelude::*;
+
+    fn ground_truth(n: usize, k: usize) -> Vec<usize> {
+        (0..n).map(|i| i % k).collect()
+    }
+
+    #[test]
+    fn label_folds_cover_all_objects_exactly_once() {
+        let gt = ground_truth(60, 3);
+        let mut rng = SeededRng::new(1);
+        let labeled = sample_labeled_subset(&gt, 0.5, 2, &mut rng);
+        let splits = label_scenario_folds(&labeled, 5, true, &mut rng);
+        assert_eq!(splits.len(), 5);
+        // Every labelled object appears in exactly one test fold.
+        let mut seen = std::collections::BTreeMap::new();
+        for s in &splits {
+            let train_objs: std::collections::BTreeSet<usize> = s
+                .training
+                .labels()
+                .unwrap()
+                .indices()
+                .iter()
+                .copied()
+                .collect();
+            for &o in labeled.indices() {
+                if !train_objs.contains(&o) {
+                    *seen.entry(o).or_insert(0usize) += 1;
+                }
+            }
+        }
+        for &o in labeled.indices() {
+            assert_eq!(seen.get(&o), Some(&1), "object {o} must be held out exactly once");
+        }
+    }
+
+    #[test]
+    fn label_folds_training_and_test_are_disjoint() {
+        let gt = ground_truth(40, 4);
+        let mut rng = SeededRng::new(2);
+        let labeled = sample_labeled_subset(&gt, 0.6, 2, &mut rng);
+        let splits = label_scenario_folds(&labeled, 4, true, &mut rng);
+        for s in &splits {
+            let train_objs: std::collections::BTreeSet<usize> = s
+                .training
+                .involved_objects()
+                .into_iter()
+                .collect();
+            for c in s.test_constraints.iter() {
+                assert!(!train_objs.contains(&c.a));
+                assert!(!train_objs.contains(&c.b));
+            }
+        }
+    }
+
+    #[test]
+    fn label_folds_have_no_leak() {
+        let gt = ground_truth(50, 5);
+        let mut rng = SeededRng::new(3);
+        let labeled = sample_labeled_subset(&gt, 0.5, 2, &mut rng);
+        let splits = label_scenario_folds(&labeled, 5, true, &mut rng);
+        assert!(leaked_constraints(&splits).is_empty());
+    }
+
+    #[test]
+    fn stratified_folds_spread_classes() {
+        let gt = ground_truth(60, 3);
+        let mut rng = SeededRng::new(4);
+        let labeled = sample_labeled_subset(&gt, 1.0, 1, &mut rng);
+        let splits = label_scenario_folds(&labeled, 3, true, &mut rng);
+        // With 20 objects per class and 3 folds, every test fold should
+        // contain objects of every class.
+        for s in &splits {
+            let mut classes: Vec<usize> = s
+                .test_constraints
+                .involved_objects()
+                .iter()
+                .map(|&o| gt[o])
+                .collect();
+            classes.sort_unstable();
+            classes.dedup();
+            assert_eq!(classes.len(), 3, "fold {} misses a class", s.fold);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 folds")]
+    fn label_folds_reject_single_fold() {
+        let gt = ground_truth(10, 2);
+        let mut rng = SeededRng::new(5);
+        let labeled = sample_labeled_subset(&gt, 1.0, 1, &mut rng);
+        let _ = label_scenario_folds(&labeled, 1, true, &mut rng);
+    }
+
+    #[test]
+    fn constraint_folds_remove_crossing_edges() {
+        let gt = ground_truth(40, 4);
+        let mut rng = SeededRng::new(6);
+        let pool = constraint_pool(&gt, 0.5, 2, &mut rng);
+        let splits = constraint_scenario_folds(&pool, 4, &mut rng);
+        assert_eq!(splits.len(), 4);
+        for s in &splits {
+            let train_objs: std::collections::BTreeSet<usize> =
+                s.training.involved_objects().into_iter().collect();
+            let test_objs: std::collections::BTreeSet<usize> =
+                s.test_constraints.involved_objects().into_iter().collect();
+            assert!(
+                train_objs.is_disjoint(&test_objs),
+                "fold {}: training and test objects overlap",
+                s.fold
+            );
+        }
+    }
+
+    #[test]
+    fn constraint_folds_have_no_leak() {
+        let gt = ground_truth(30, 3);
+        let mut rng = SeededRng::new(7);
+        let pool = constraint_pool(&gt, 0.6, 2, &mut rng);
+        let splits = constraint_scenario_folds(&pool, 3, &mut rng);
+        assert!(leaked_constraints(&splits).is_empty());
+    }
+
+    #[test]
+    fn constraint_folds_training_is_transitively_closed() {
+        let gt = ground_truth(30, 3);
+        let mut rng = SeededRng::new(8);
+        let pool = constraint_pool(&gt, 0.6, 2, &mut rng);
+        let splits = constraint_scenario_folds(&pool, 3, &mut rng);
+        for s in &splits {
+            let train = s.training.as_constraints();
+            assert_eq!(
+                transitive_closure(&train),
+                train,
+                "training constraints should already be closed"
+            );
+        }
+    }
+
+    #[test]
+    fn naive_folds_do_leak_on_chained_constraints() {
+        // Construct a chain where the closure clearly implies the held-out
+        // constraint: ML(0,1), ML(1,2) imply ML(0,2).
+        let mut cs = ConstraintSet::new(3);
+        cs.add_must_link(0, 1);
+        cs.add_must_link(1, 2);
+        cs.add_must_link(0, 2);
+        let mut rng = SeededRng::new(9);
+        // With 3 constraints and 3 folds, each fold holds out exactly one
+        // constraint, which is always implied by the other two.
+        let splits = naive_constraint_folds(&cs, 3, &mut rng);
+        let leaks = leaked_constraints(&splits);
+        assert!(!leaks.is_empty(), "the naive split must leak here");
+        // The proper procedure does not leak on the same input.
+        let proper = constraint_scenario_folds(&cs, 3, &mut rng);
+        assert!(leaked_constraints(&proper).is_empty());
+    }
+
+    #[test]
+    fn fold_assignment_lookup() {
+        let mut rng = SeededRng::new(10);
+        let fa = random_fold_assignment(&[3, 9, 4, 7, 1], 2, &mut rng);
+        assert_eq!(fa.objects, vec![1, 3, 4, 7, 9]);
+        let sizes: Vec<usize> = (0..2).map(|f| fa.members_of(f).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 5);
+        assert!(sizes.iter().all(|&s| s >= 2));
+        assert_eq!(fa.fold_of_object(100), None);
+        assert!(fa.fold_of_object(7).is_some());
+    }
+
+    proptest! {
+        /// For arbitrary label-derived pools and fold counts, the paper's
+        /// procedure never leaks training information into test folds and
+        /// every test constraint is consistent with the ground truth.
+        #[test]
+        fn prop_constraint_scenario_no_leak(
+            n in 12usize..40,
+            k in 2usize..5,
+            folds in 2usize..5,
+            seed in 0u64..500,
+        ) {
+            let gt: Vec<usize> = (0..n).map(|i| i % k).collect();
+            let mut rng = SeededRng::new(seed);
+            let pool = constraint_pool(&gt, 0.6, 2, &mut rng);
+            prop_assume!(pool.involved_objects().len() >= folds);
+            let splits = constraint_scenario_folds(&pool, folds, &mut rng);
+            prop_assert!(leaked_constraints(&splits).is_empty());
+            for s in &splits {
+                let train_objs: std::collections::BTreeSet<usize> =
+                    s.training.involved_objects().into_iter().collect();
+                for c in s.test_constraints.iter() {
+                    prop_assert!(!train_objs.contains(&c.a) && !train_objs.contains(&c.b));
+                }
+            }
+        }
+
+        /// Scenario I: every labelled object is held out exactly once and
+        /// test constraints never touch training objects.
+        #[test]
+        fn prop_label_scenario_partition(
+            n in 20usize..60,
+            k in 2usize..4,
+            folds in 2usize..6,
+            seed in 0u64..500,
+        ) {
+            let gt: Vec<usize> = (0..n).map(|i| i % k).collect();
+            let mut rng = SeededRng::new(seed);
+            let labeled = sample_labeled_subset(&gt, 0.5, 1, &mut rng);
+            prop_assume!(labeled.len() >= folds);
+            let splits = label_scenario_folds(&labeled, folds, true, &mut rng);
+            let mut held_out_count = std::collections::BTreeMap::new();
+            for s in &splits {
+                let train: std::collections::BTreeSet<usize> =
+                    s.training.involved_objects().into_iter().collect();
+                for &o in labeled.indices() {
+                    if !train.contains(&o) {
+                        *held_out_count.entry(o).or_insert(0usize) += 1;
+                    }
+                }
+                for c in s.test_constraints.iter() {
+                    prop_assert!(!train.contains(&c.a) && !train.contains(&c.b));
+                }
+            }
+            for &o in labeled.indices() {
+                prop_assert_eq!(held_out_count.get(&o).copied(), Some(1));
+            }
+        }
+    }
+}

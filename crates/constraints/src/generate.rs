@@ -1,0 +1,308 @@
+//! Generation of side information from ground-truth labels.
+//!
+//! The paper evaluates two forms of side information:
+//!
+//! * **Scenario I — labelled objects**: a random x% of all objects (5, 10 or
+//!   20 % in the paper) is revealed with its ground-truth label.
+//! * **Scenario II — pairwise constraints**: a *constraint pool* is built by
+//!   selecting 10 % of the objects of each class and generating **all**
+//!   pairwise constraints among the selected objects (must-link for equal
+//!   labels, cannot-link otherwise); experiments then sample 10, 20 or 50 %
+//!   of that pool.
+
+use crate::constraint::ConstraintSet;
+use cvcp_data::rng::SeededRng;
+use serde::{Deserialize, Serialize};
+
+/// A subset of objects with revealed ground-truth labels (Scenario I input).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabeledSubset {
+    /// Total number of objects in the data set.
+    n_objects: usize,
+    /// Indices of the labelled objects (sorted, unique).
+    indices: Vec<usize>,
+    /// Ground-truth labels, parallel to `indices`.
+    labels: Vec<usize>,
+}
+
+impl LabeledSubset {
+    /// Creates a labelled subset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` and `labels` differ in length, contain duplicates,
+    /// or reference objects `>= n_objects`.
+    pub fn new(n_objects: usize, mut indices: Vec<usize>, mut labels: Vec<usize>) -> Self {
+        assert_eq!(indices.len(), labels.len(), "indices/labels length mismatch");
+        assert!(
+            indices.iter().all(|&i| i < n_objects),
+            "labelled object out of range"
+        );
+        // sort by index for determinism
+        let mut order: Vec<usize> = (0..indices.len()).collect();
+        order.sort_by_key(|&i| indices[i]);
+        indices = order.iter().map(|&i| indices[i]).collect();
+        labels = order.iter().map(|&i| labels[i]).collect();
+        for w in indices.windows(2) {
+            assert!(w[0] != w[1], "duplicate labelled object {}", w[0]);
+        }
+        Self {
+            n_objects,
+            indices,
+            labels,
+        }
+    }
+
+    /// Builds the subset by revealing labels of `indices` from a full
+    /// ground-truth labelling.
+    pub fn from_ground_truth(ground_truth: &[usize], indices: &[usize]) -> Self {
+        let labels = indices.iter().map(|&i| ground_truth[i]).collect();
+        Self::new(ground_truth.len(), indices.to_vec(), labels)
+    }
+
+    /// Total number of objects in the data set (not just labelled ones).
+    pub fn n_objects(&self) -> usize {
+        self.n_objects
+    }
+
+    /// Number of labelled objects.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// `true` when no objects are labelled.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Indices of labelled objects (sorted).
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Labels parallel to [`LabeledSubset::indices`].
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Iterates over `(object, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.indices.iter().copied().zip(self.labels.iter().copied())
+    }
+
+    /// The label of object `i` if it is in the subset.
+    pub fn label_of(&self, i: usize) -> Option<usize> {
+        self.indices
+            .binary_search(&i)
+            .ok()
+            .map(|pos| self.labels[pos])
+    }
+
+    /// Restricts the subset to the given objects (those not labelled are
+    /// silently dropped).
+    pub fn restrict(&self, objects: &[usize]) -> LabeledSubset {
+        let keep: std::collections::BTreeSet<usize> = objects.iter().copied().collect();
+        let mut idx = Vec::new();
+        let mut lab = Vec::new();
+        for (i, l) in self.iter() {
+            if keep.contains(&i) {
+                idx.push(i);
+                lab.push(l);
+            }
+        }
+        LabeledSubset::new(self.n_objects, idx, lab)
+    }
+
+    /// Derives all pairwise constraints among the labelled objects:
+    /// must-link for equal labels, cannot-link otherwise.
+    pub fn to_constraints(&self) -> ConstraintSet {
+        let mut set = ConstraintSet::new(self.n_objects);
+        for i in 0..self.indices.len() {
+            for j in (i + 1)..self.indices.len() {
+                let (a, b) = (self.indices[i], self.indices[j]);
+                if self.labels[i] == self.labels[j] {
+                    set.add_must_link(a, b);
+                } else {
+                    set.add_cannot_link(a, b);
+                }
+            }
+        }
+        set
+    }
+}
+
+/// Derives all pairwise constraints among `indices` from a full ground-truth
+/// labelling (convenience wrapper over [`LabeledSubset::to_constraints`]).
+pub fn constraints_from_labels(ground_truth: &[usize], indices: &[usize]) -> ConstraintSet {
+    LabeledSubset::from_ground_truth(ground_truth, indices).to_constraints()
+}
+
+/// Samples a random fraction of objects to label (Scenario I input).
+///
+/// `fraction` is the share of *all* objects to reveal (the paper uses 0.05,
+/// 0.10 and 0.20).  Sampling is stratified by class so that every class has a
+/// chance to contribute; each class reveals at least `min_per_class` objects
+/// (2 by default in the paper-style experiments so that at least one
+/// must-link per class is possible).
+pub fn sample_labeled_subset(
+    ground_truth: &[usize],
+    fraction: f64,
+    min_per_class: usize,
+    rng: &mut SeededRng,
+) -> LabeledSubset {
+    let indices = rng.stratified_fraction(ground_truth, fraction, min_per_class);
+    LabeledSubset::from_ground_truth(ground_truth, &indices)
+}
+
+/// Builds the paper's *constraint pool*: select `fraction_per_class`
+/// (10 % in the paper) of the objects of each class at random and generate
+/// all pairwise constraints among the selected objects.
+pub fn constraint_pool(
+    ground_truth: &[usize],
+    fraction_per_class: f64,
+    min_per_class: usize,
+    rng: &mut SeededRng,
+) -> ConstraintSet {
+    let indices = rng.stratified_fraction(ground_truth, fraction_per_class, min_per_class);
+    constraints_from_labels(ground_truth, &indices)
+}
+
+/// Samples `fraction` of a constraint pool without replacement
+/// (10 / 20 / 50 % in the paper).  At least one constraint is returned when
+/// the pool is non-empty and `fraction > 0`.
+pub fn sample_constraints(
+    pool: &ConstraintSet,
+    fraction: f64,
+    rng: &mut SeededRng,
+) -> ConstraintSet {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    let all: Vec<_> = pool.iter().copied().collect();
+    if all.is_empty() || fraction == 0.0 {
+        return ConstraintSet::new(pool.n_objects());
+    }
+    let want = ((all.len() as f64 * fraction).round() as usize).clamp(1, all.len());
+    let chosen = rng.sample(&all, want);
+    ConstraintSet::from_constraints(pool.n_objects(), chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Constraint;
+    use proptest::prelude::*;
+
+    fn truth() -> Vec<usize> {
+        // 3 classes: 0..4 -> 0, 4..8 -> 1, 8..12 -> 2
+        vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]
+    }
+
+    #[test]
+    fn labeled_subset_basic() {
+        let s = LabeledSubset::from_ground_truth(&truth(), &[0, 5, 9]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.label_of(5), Some(1));
+        assert_eq!(s.label_of(1), None);
+        assert_eq!(s.n_objects(), 12);
+    }
+
+    #[test]
+    fn labeled_subset_sorts_by_index() {
+        let s = LabeledSubset::new(10, vec![7, 2, 5], vec![1, 0, 1]);
+        assert_eq!(s.indices(), &[2, 5, 7]);
+        assert_eq!(s.labels(), &[0, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn labeled_subset_rejects_duplicates() {
+        let _ = LabeledSubset::new(10, vec![1, 1], vec![0, 0]);
+    }
+
+    #[test]
+    fn to_constraints_all_pairs() {
+        let s = LabeledSubset::from_ground_truth(&truth(), &[0, 1, 4]);
+        let c = s.to_constraints();
+        assert_eq!(c.len(), 3);
+        assert!(c.contains(&Constraint::must_link(0, 1)));
+        assert!(c.contains(&Constraint::cannot_link(0, 4)));
+        assert!(c.contains(&Constraint::cannot_link(1, 4)));
+    }
+
+    #[test]
+    fn restrict_drops_outside_objects() {
+        let s = LabeledSubset::from_ground_truth(&truth(), &[0, 1, 4, 8]);
+        let r = s.restrict(&[1, 8, 11]);
+        assert_eq!(r.indices(), &[1, 8]);
+    }
+
+    #[test]
+    fn sample_labeled_subset_fraction_and_strata() {
+        let gt = truth();
+        let mut rng = SeededRng::new(1);
+        let s = sample_labeled_subset(&gt, 0.5, 1, &mut rng);
+        // 50% of 12 = 6 objects, 2 per class
+        assert_eq!(s.len(), 6);
+        let mut classes: Vec<usize> = s.labels().to_vec();
+        classes.sort_unstable();
+        classes.dedup();
+        assert_eq!(classes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn constraint_pool_is_label_consistent_and_complete() {
+        let gt = truth();
+        let mut rng = SeededRng::new(2);
+        let pool = constraint_pool(&gt, 0.5, 2, &mut rng);
+        // 2 objects per class selected => 6 objects => C(6,2)=15 constraints
+        assert_eq!(pool.len(), 15);
+        for c in pool.iter() {
+            match c.kind {
+                crate::constraint::ConstraintKind::MustLink => {
+                    assert_eq!(gt[c.a], gt[c.b])
+                }
+                crate::constraint::ConstraintKind::CannotLink => {
+                    assert_ne!(gt[c.a], gt[c.b])
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sample_constraints_size() {
+        let gt = truth();
+        let mut rng = SeededRng::new(3);
+        let pool = constraint_pool(&gt, 1.0, 1, &mut rng);
+        let half = sample_constraints(&pool, 0.5, &mut rng);
+        assert_eq!(half.len(), (pool.len() as f64 * 0.5).round() as usize);
+        let none = sample_constraints(&pool, 0.0, &mut rng);
+        assert!(none.is_empty());
+        let tiny = sample_constraints(&pool, 0.0001, &mut rng);
+        assert_eq!(tiny.len(), 1, "at least one constraint for positive fractions");
+    }
+
+    #[test]
+    fn sample_constraints_subset_of_pool() {
+        let gt = truth();
+        let mut rng = SeededRng::new(4);
+        let pool = constraint_pool(&gt, 1.0, 1, &mut rng);
+        let sampled = sample_constraints(&pool, 0.3, &mut rng);
+        for c in sampled.iter() {
+            assert!(pool.contains(c));
+        }
+    }
+
+    proptest! {
+        /// Constraints derived from labels are always consistent and their
+        /// number is exactly C(m, 2) for m labelled objects.
+        #[test]
+        fn prop_labels_to_constraints(n in 4usize..30, k in 2usize..5, frac in 0.1f64..1.0) {
+            let mut rng = SeededRng::new(n as u64 * 31 + k as u64);
+            let gt: Vec<usize> = (0..n).map(|i| i % k).collect();
+            let s = sample_labeled_subset(&gt, frac, 1, &mut rng);
+            let cs = s.to_constraints();
+            let m = s.len();
+            prop_assert_eq!(cs.len(), m * (m - 1) / 2);
+            prop_assert!(cs.is_consistent());
+        }
+    }
+}

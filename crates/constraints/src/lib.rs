@@ -1,0 +1,60 @@
+//! # cvcp-constraints
+//!
+//! Instance-level clustering constraints and the cross-validation fold
+//! machinery of the CVCP paper (Pourrajabi et al., EDBT 2014, Section 3.1).
+//!
+//! The crate provides:
+//!
+//! * [`constraint`]: must-link / cannot-link constraints and constraint sets;
+//! * [`union_find`]: a disjoint-set structure used throughout;
+//! * [`closure`]: the transitive closure of a constraint set over its
+//!   constraint graph (Figure 2 of the paper);
+//! * [`generate`]: derivation of constraints from labelled objects, the
+//!   paper's "constraint pool" construction and random sampling of side
+//!   information;
+//! * [`folds`]: the fold-splitting procedures for Scenario I (labelled
+//!   objects, Figure 3) and Scenario II (pairwise constraints, Figure 4),
+//!   guaranteeing train/test independence;
+//! * [`side_info`]: the `SideInformation` enum consumed by the
+//!   semi-supervised clustering algorithms (labels or constraints).
+//!
+//! ```
+//! use cvcp_constraints::prelude::*;
+//!
+//! // must-link(A,B), must-link(C,D), cannot-link(B,C)  (Fig. 2 of the paper)
+//! let mut set = ConstraintSet::new(4);
+//! set.add_must_link(0, 1);
+//! set.add_must_link(2, 3);
+//! set.add_cannot_link(1, 2);
+//! let closed = set.transitive_closure();
+//! // the closure induces cannot-link(A,C), cannot-link(A,D), cannot-link(B,D)
+//! assert_eq!(closed.n_cannot_link(), 4);
+//! assert_eq!(closed.n_must_link(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod closure;
+pub mod constraint;
+pub mod folds;
+pub mod generate;
+pub mod side_info;
+pub mod union_find;
+
+pub use constraint::{Constraint, ConstraintKind, ConstraintSet};
+pub use folds::{
+    constraint_scenario_folds, label_scenario_folds, FoldAssignment, FoldSplit,
+};
+pub use generate::{constraint_pool, constraints_from_labels, LabeledSubset};
+pub use side_info::SideInformation;
+pub use union_find::UnionFind;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::constraint::{Constraint, ConstraintKind, ConstraintSet};
+    pub use crate::folds::{constraint_scenario_folds, label_scenario_folds, FoldSplit};
+    pub use crate::generate::{constraint_pool, constraints_from_labels, LabeledSubset};
+    pub use crate::side_info::SideInformation;
+    pub use crate::union_find::UnionFind;
+}

@@ -1,0 +1,119 @@
+//! The side information consumed by semi-supervised clustering algorithms.
+//!
+//! The CVCP framework is agnostic to whether an algorithm takes labelled
+//! objects or pairwise constraints; [`SideInformation`] carries either and
+//! can always be *lowered* to constraints (labels induce all pairwise
+//! constraints among the labelled objects).
+
+use crate::constraint::ConstraintSet;
+use crate::generate::LabeledSubset;
+use serde::{Deserialize, Serialize};
+
+/// Partial supervision handed to a semi-supervised clustering algorithm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SideInformation {
+    /// A subset of objects with known labels (Scenario I).
+    Labels(LabeledSubset),
+    /// A set of instance-level pairwise constraints (Scenario II).
+    Constraints(ConstraintSet),
+}
+
+impl SideInformation {
+    /// Total number of objects in the underlying data set.
+    pub fn n_objects(&self) -> usize {
+        match self {
+            SideInformation::Labels(l) => l.n_objects(),
+            SideInformation::Constraints(c) => c.n_objects(),
+        }
+    }
+
+    /// `true` if no supervision is available.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            SideInformation::Labels(l) => l.is_empty(),
+            SideInformation::Constraints(c) => c.is_empty(),
+        }
+    }
+
+    /// Lowers the side information to pairwise constraints.
+    ///
+    /// For labels, all pairwise constraints among labelled objects are
+    /// derived; constraint sets are returned unchanged (no closure applied —
+    /// call [`ConstraintSet::transitive_closure`] explicitly when needed).
+    pub fn as_constraints(&self) -> ConstraintSet {
+        match self {
+            SideInformation::Labels(l) => l.to_constraints(),
+            SideInformation::Constraints(c) => c.clone(),
+        }
+    }
+
+    /// The labelled subset, if this side information is label-based.
+    pub fn labels(&self) -> Option<&LabeledSubset> {
+        match self {
+            SideInformation::Labels(l) => Some(l),
+            SideInformation::Constraints(_) => None,
+        }
+    }
+
+    /// The objects that are *involved* in the side information: labelled
+    /// objects, or objects appearing in at least one constraint.  The paper's
+    /// external evaluation excludes exactly these objects.
+    pub fn involved_objects(&self) -> Vec<usize> {
+        match self {
+            SideInformation::Labels(l) => l.indices().to_vec(),
+            SideInformation::Constraints(c) => c.involved_objects(),
+        }
+    }
+
+    /// An empty constraint-based side information over `n` objects (no
+    /// supervision at all); useful for unsupervised baselines.
+    pub fn none(n: usize) -> Self {
+        SideInformation::Constraints(ConstraintSet::new(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Constraint;
+
+    fn labels() -> LabeledSubset {
+        LabeledSubset::new(8, vec![0, 1, 5], vec![0, 0, 1])
+    }
+
+    #[test]
+    fn labels_variant_accessors() {
+        let si = SideInformation::Labels(labels());
+        assert_eq!(si.n_objects(), 8);
+        assert!(!si.is_empty());
+        assert!(si.labels().is_some());
+        assert_eq!(si.involved_objects(), vec![0, 1, 5]);
+    }
+
+    #[test]
+    fn labels_lower_to_constraints() {
+        let si = SideInformation::Labels(labels());
+        let cs = si.as_constraints();
+        assert_eq!(cs.len(), 3);
+        assert!(cs.contains(&Constraint::must_link(0, 1)));
+        assert!(cs.contains(&Constraint::cannot_link(0, 5)));
+    }
+
+    #[test]
+    fn constraints_variant_passthrough() {
+        let mut cs = ConstraintSet::new(6);
+        cs.add_must_link(2, 3);
+        let si = SideInformation::Constraints(cs.clone());
+        assert_eq!(si.as_constraints(), cs);
+        assert!(si.labels().is_none());
+        assert_eq!(si.involved_objects(), vec![2, 3]);
+    }
+
+    #[test]
+    fn none_is_empty() {
+        let si = SideInformation::none(10);
+        assert!(si.is_empty());
+        assert_eq!(si.n_objects(), 10);
+        assert!(si.involved_objects().is_empty());
+    }
+}

@@ -1,0 +1,247 @@
+//! Disjoint-set (union–find) data structure.
+//!
+//! Used to maintain must-link components: the transitive closure of must-link
+//! constraints is exactly the partition induced by union-find over the
+//! must-link edges.
+
+/// A union–find structure over `0..n` with path compression and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` when the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint components.
+    pub fn n_components(&self) -> usize {
+        self.components
+    }
+
+    /// Finds the representative of `x` (with path compression).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn find(&mut self, x: usize) -> usize {
+        assert!(x < self.parent.len(), "element {x} out of range");
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Finds the representative of `x` without mutating (no path compression).
+    pub fn find_immutable(&self, x: usize) -> usize {
+        assert!(x < self.parent.len(), "element {x} out of range");
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        root
+    }
+
+    /// Unions the sets of `a` and `b`; returns `true` if they were separate.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        self.components -= 1;
+        true
+    }
+
+    /// `true` iff `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn component_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r]
+    }
+
+    /// Groups elements by component.  The outer vector is ordered by the
+    /// smallest member of each component; members are in ascending order.
+    pub fn components(&mut self) -> Vec<Vec<usize>> {
+        let n = self.parent.len();
+        let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for x in 0..n {
+            let r = self.find(x);
+            by_root.entry(r).or_default().push(x);
+        }
+        // Order components by their smallest member for determinism.
+        let mut comps: Vec<Vec<usize>> = by_root.into_values().collect();
+        comps.sort_by_key(|c| c[0]);
+        comps
+    }
+
+    /// Returns, for every element, the index of its component in the ordering
+    /// produced by [`UnionFind::components`].
+    pub fn component_labels(&mut self) -> Vec<usize> {
+        let comps = self.components();
+        let mut labels = vec![0usize; self.parent.len()];
+        for (idx, comp) in comps.iter().enumerate() {
+            for &x in comp {
+                labels[x] = idx;
+            }
+        }
+        labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.n_components(), 5);
+        for i in 0..5 {
+            assert_eq!(uf.find(i), i);
+            assert_eq!(uf.component_size(i), 1);
+        }
+    }
+
+    #[test]
+    fn union_reduces_components() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert_eq!(uf.n_components(), 2);
+        assert!(!uf.union(1, 0), "repeated union returns false");
+        assert!(uf.union(0, 2));
+        assert_eq!(uf.n_components(), 1);
+        assert!(uf.connected(1, 3));
+    }
+
+    #[test]
+    fn component_sizes_accumulate() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert_eq!(uf.component_size(2), 3);
+        assert_eq!(uf.component_size(5), 1);
+    }
+
+    #[test]
+    fn components_listing_is_deterministic_and_complete() {
+        let mut uf = UnionFind::new(6);
+        uf.union(4, 2);
+        uf.union(0, 5);
+        let comps = uf.components();
+        let total: usize = comps.iter().map(Vec::len).sum();
+        assert_eq!(total, 6);
+        assert_eq!(comps[0], vec![0, 5]);
+        assert_eq!(comps[1], vec![1]);
+        assert_eq!(comps[2], vec![2, 4]);
+    }
+
+    #[test]
+    fn component_labels_match_components() {
+        let mut uf = UnionFind::new(5);
+        uf.union(1, 3);
+        let labels = uf.component_labels();
+        assert_eq!(labels.len(), 5);
+        assert_eq!(labels[1], labels[3]);
+        assert_ne!(labels[0], labels[1]);
+    }
+
+    #[test]
+    fn find_immutable_agrees_with_find() {
+        let mut uf = UnionFind::new(8);
+        uf.union(0, 7);
+        uf.union(7, 3);
+        let im = uf.find_immutable(3);
+        let m = uf.find(3);
+        assert_eq!(im, m);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn find_out_of_range_panics() {
+        let mut uf = UnionFind::new(2);
+        let _ = uf.find(2);
+    }
+
+    proptest! {
+        /// Connectivity is an equivalence relation: after an arbitrary
+        /// sequence of unions, `connected` is reflexive, symmetric and
+        /// transitive, and the number of components plus the number of
+        /// successful unions equals `n`.
+        #[test]
+        fn prop_union_find_invariants(n in 2usize..40, edges in proptest::collection::vec((0usize..40, 0usize..40), 0..80)) {
+            let mut uf = UnionFind::new(n);
+            let mut merges = 0usize;
+            for (a, b) in edges {
+                let (a, b) = (a % n, b % n);
+                if uf.union(a, b) {
+                    merges += 1;
+                }
+            }
+            prop_assert_eq!(uf.n_components() + merges, n);
+            // transitivity check on a few triples
+            for i in 0..n.min(10) {
+                for j in 0..n.min(10) {
+                    for k in 0..n.min(10) {
+                        if uf.connected(i, j) && uf.connected(j, k) {
+                            prop_assert!(uf.connected(i, k));
+                        }
+                    }
+                }
+            }
+        }
+
+        /// The components listing partitions 0..n.
+        #[test]
+        fn prop_components_partition(n in 1usize..30, edges in proptest::collection::vec((0usize..30, 0usize..30), 0..40)) {
+            let mut uf = UnionFind::new(n);
+            for (a, b) in edges {
+                uf.union(a % n, b % n);
+            }
+            let comps = uf.components();
+            let mut all: Vec<usize> = comps.into_iter().flatten().collect();
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Abstractions over semi-supervised clustering algorithms.
+//!
+//! CVCP treats the clustering algorithm as a black box with a single
+//! integer-valued parameter: `MinPts` for FOSC-OPTICSDend and `k` for
+//! MPCKMeans in the paper.  [`SemiSupervisedClusterer`] is one concrete
+//! parameterisation; [`ParameterizedMethod`] is the family over which CVCP
+//! searches.
+
+use cvcp_constraints::SideInformation;
+use cvcp_data::rng::SeededRng;
+use cvcp_data::{DataMatrix, Partition};
+use cvcp_density::FoscOpticsDend;
+use cvcp_kmeans::MpckMeans;
+
+/// A semi-supervised clustering algorithm with all parameters fixed.
+pub trait SemiSupervisedClusterer: Send + Sync {
+    /// Human-readable name (used in reports).
+    fn name(&self) -> String;
+
+    /// Clusters the *whole* data set using the given side information.
+    ///
+    /// Implementations must accept empty side information (fully
+    /// unsupervised operation).
+    fn cluster(
+        &self,
+        data: &DataMatrix,
+        side: &SideInformation,
+        rng: &mut SeededRng,
+    ) -> Partition;
+}
+
+/// A family of semi-supervised clustering algorithms indexed by an integer
+/// parameter (the quantity CVCP selects).
+pub trait ParameterizedMethod: Send + Sync {
+    /// Name of the family, e.g. `"FOSC-OPTICSDend"`.
+    fn name(&self) -> String;
+
+    /// Name of the free parameter, e.g. `"MinPts"` or `"k"`.
+    fn parameter_name(&self) -> String;
+
+    /// Instantiates the algorithm for a concrete parameter value.
+    fn instantiate(&self, param: usize) -> Box<dyn SemiSupervisedClusterer>;
+
+    /// The default parameter range used by the paper's experiments for this
+    /// family (`MinPts ∈ {3,…,24}` in steps of 3; `k ∈ {2,…,10}`).
+    fn default_parameter_range(&self, n_classes_hint: usize) -> Vec<usize>;
+
+    /// Whether the Silhouette baseline is applicable (it is defined for
+    /// centroid-based methods like MPCKMeans, not for density-based methods;
+    /// the paper notes no comparable heuristic exists for `MinPts`).
+    fn supports_silhouette(&self) -> bool {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FOSC-OPTICSDend adapter
+// ---------------------------------------------------------------------------
+
+/// The FOSC-OPTICSDend family (parameter: `MinPts`).
+#[derive(Debug, Clone)]
+pub struct FoscMethod {
+    /// Whether stability is used as a tie-break in the FOSC extraction.
+    pub stability_tiebreak: bool,
+}
+
+impl Default for FoscMethod {
+    fn default() -> Self {
+        Self {
+            stability_tiebreak: true,
+        }
+    }
+}
+
+/// FOSC-OPTICSDend at a fixed `MinPts`.
+#[derive(Debug, Clone)]
+pub struct FoscClusterer {
+    min_pts: usize,
+    stability_tiebreak: bool,
+}
+
+impl SemiSupervisedClusterer for FoscClusterer {
+    fn name(&self) -> String {
+        format!("FOSC-OPTICSDend(MinPts={})", self.min_pts)
+    }
+
+    fn cluster(
+        &self,
+        data: &DataMatrix,
+        side: &SideInformation,
+        _rng: &mut SeededRng,
+    ) -> Partition {
+        let constraints = side.as_constraints();
+        FoscOpticsDend::new(self.min_pts)
+            .with_stability_tiebreak(self.stability_tiebreak)
+            .fit(data, &constraints)
+            .partition
+    }
+}
+
+impl ParameterizedMethod for FoscMethod {
+    fn name(&self) -> String {
+        "FOSC-OPTICSDend".to_string()
+    }
+
+    fn parameter_name(&self) -> String {
+        "MinPts".to_string()
+    }
+
+    fn instantiate(&self, param: usize) -> Box<dyn SemiSupervisedClusterer> {
+        Box::new(FoscClusterer {
+            min_pts: param.max(2),
+            stability_tiebreak: self.stability_tiebreak,
+        })
+    }
+
+    fn default_parameter_range(&self, _n_classes_hint: usize) -> Vec<usize> {
+        // The range used throughout the paper's experiments.
+        vec![3, 6, 9, 12, 15, 18, 21, 24]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MPCKMeans adapter
+// ---------------------------------------------------------------------------
+
+/// The MPCKMeans family (parameter: `k`).
+#[derive(Debug, Clone)]
+pub struct MpckMethod {
+    /// Constraint-violation weight (must-link and cannot-link alike).
+    pub violation_weight: f64,
+    /// Whether per-cluster diagonal metrics are learned.
+    pub learn_metric: bool,
+    /// Maximum EM iterations per run.
+    pub max_iter: usize,
+}
+
+impl Default for MpckMethod {
+    fn default() -> Self {
+        Self {
+            violation_weight: 1.0,
+            learn_metric: true,
+            max_iter: 30,
+        }
+    }
+}
+
+/// MPCKMeans at a fixed `k`.
+#[derive(Debug, Clone)]
+pub struct MpckClusterer {
+    k: usize,
+    violation_weight: f64,
+    learn_metric: bool,
+    max_iter: usize,
+}
+
+impl SemiSupervisedClusterer for MpckClusterer {
+    fn name(&self) -> String {
+        format!("MPCKMeans(k={})", self.k)
+    }
+
+    fn cluster(
+        &self,
+        data: &DataMatrix,
+        side: &SideInformation,
+        rng: &mut SeededRng,
+    ) -> Partition {
+        let constraints = side.as_constraints();
+        let k = self.k.min(data.n_rows()).max(1);
+        MpckMeans::new(k)
+            .with_weights(self.violation_weight, self.violation_weight)
+            .with_metric_learning(self.learn_metric)
+            .with_max_iter(self.max_iter)
+            .fit(data, &constraints, rng)
+            .partition
+    }
+}
+
+impl ParameterizedMethod for MpckMethod {
+    fn name(&self) -> String {
+        "MPCKMeans".to_string()
+    }
+
+    fn parameter_name(&self) -> String {
+        "k".to_string()
+    }
+
+    fn instantiate(&self, param: usize) -> Box<dyn SemiSupervisedClusterer> {
+        Box::new(MpckClusterer {
+            k: param.max(1),
+            violation_weight: self.violation_weight,
+            learn_metric: self.learn_metric,
+            max_iter: self.max_iter,
+        })
+    }
+
+    fn default_parameter_range(&self, n_classes_hint: usize) -> Vec<usize> {
+        // k ∈ {2, …, M} where M is a reasonable upper bound on the number of
+        // clusters; the paper uses up to 2× the true number of classes
+        // (capped at 10, as in Figures 6/8).
+        let upper = (2 * n_classes_hint.max(2)).clamp(3, 10);
+        (2..=upper).collect()
+    }
+
+    fn supports_silhouette(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvcp_constraints::generate::sample_labeled_subset;
+    use cvcp_data::synthetic::separated_blobs;
+    use cvcp_metrics::adjusted_rand_index;
+
+    #[test]
+    fn fosc_adapter_clusters_via_labels() {
+        let mut rng = SeededRng::new(1);
+        let ds = separated_blobs(3, 20, 3, 12.0, &mut rng);
+        let labeled = sample_labeled_subset(ds.labels(), 0.2, 2, &mut rng);
+        let side = SideInformation::Labels(labeled);
+        let clusterer = FoscMethod::default().instantiate(5);
+        let p = clusterer.cluster(ds.matrix(), &side, &mut rng);
+        let ari = adjusted_rand_index(&p, ds.labels());
+        assert!(ari > 0.85, "ARI = {ari}");
+        assert!(clusterer.name().contains("MinPts=5"));
+    }
+
+    #[test]
+    fn mpck_adapter_clusters_via_labels() {
+        let mut rng = SeededRng::new(2);
+        let ds = separated_blobs(3, 20, 3, 12.0, &mut rng);
+        let labeled = sample_labeled_subset(ds.labels(), 0.2, 2, &mut rng);
+        let side = SideInformation::Labels(labeled);
+        let clusterer = MpckMethod::default().instantiate(3);
+        let p = clusterer.cluster(ds.matrix(), &side, &mut rng);
+        let ari = adjusted_rand_index(&p, ds.labels());
+        assert!(ari > 0.85, "ARI = {ari}");
+        assert!(clusterer.name().contains("k=3"));
+    }
+
+    #[test]
+    fn adapters_accept_empty_side_information() {
+        let mut rng = SeededRng::new(3);
+        let ds = separated_blobs(2, 15, 2, 10.0, &mut rng);
+        let side = SideInformation::none(ds.len());
+        let f = FoscMethod::default().instantiate(4).cluster(ds.matrix(), &side, &mut rng);
+        let m = MpckMethod::default().instantiate(2).cluster(ds.matrix(), &side, &mut rng);
+        assert_eq!(f.len(), ds.len());
+        assert_eq!(m.len(), ds.len());
+    }
+
+    #[test]
+    fn default_parameter_ranges_match_the_paper() {
+        let fosc = FoscMethod::default();
+        assert_eq!(fosc.default_parameter_range(5), vec![3, 6, 9, 12, 15, 18, 21, 24]);
+        assert_eq!(fosc.parameter_name(), "MinPts");
+        assert!(!fosc.supports_silhouette());
+
+        let mpck = MpckMethod::default();
+        assert_eq!(mpck.default_parameter_range(5), (2..=10).collect::<Vec<_>>());
+        assert_eq!(mpck.default_parameter_range(3), (2..=6).collect::<Vec<_>>());
+        assert_eq!(mpck.parameter_name(), "k");
+        assert!(mpck.supports_silhouette());
+    }
+
+    #[test]
+    fn k_larger_than_data_is_clamped() {
+        let mut rng = SeededRng::new(4);
+        let ds = separated_blobs(2, 3, 2, 10.0, &mut rng);
+        let side = SideInformation::none(ds.len());
+        let clusterer = MpckMethod::default().instantiate(50);
+        let p = clusterer.cluster(ds.matrix(), &side, &mut rng);
+        assert_eq!(p.len(), ds.len());
+    }
+}

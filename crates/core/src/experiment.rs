@@ -1,0 +1,499 @@
+//! The repeated-trial experiment harness behind the paper's evaluation
+//! (Section 4).
+//!
+//! One *trial* corresponds to one random draw of side information (labelled
+//! objects or constraints), for which the harness:
+//!
+//! 1. runs CVCP model selection over the candidate parameter range
+//!    (collecting the internal classification scores of Figures 5–8);
+//! 2. runs the clustering algorithm with the *full* side information for
+//!    every candidate parameter and computes the external Overall F-Measure,
+//!    excluding the objects involved in the side information;
+//! 3. records the external quality of the CVCP-selected parameter, of the
+//!    "expected" baseline (mean over the range) and — for methods that
+//!    support it — of the Silhouette-selected parameter;
+//! 4. records the Pearson correlation between internal and external scores
+//!    (Tables 1–4).
+//!
+//! The paper repeats every experiment over 50 independent trials; trials are
+//! independent and are executed in parallel with `crossbeam` scoped threads.
+
+use crate::algorithm::ParameterizedMethod;
+use crate::baselines::expected_quality;
+use crate::crossval::CvcpConfig;
+use crate::selection::select_model;
+use cvcp_constraints::generate::{constraint_pool, sample_constraints, sample_labeled_subset};
+use cvcp_constraints::SideInformation;
+use cvcp_data::distance::Euclidean;
+use cvcp_data::rng::SeededRng;
+use cvcp_data::Dataset;
+use cvcp_metrics::stats::Summary;
+use cvcp_metrics::ttest::{paired_t_test, TTestResult};
+use cvcp_metrics::{overall_fmeasure_excluding, pearson, silhouette_coefficient};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// How the side information of each trial is generated from the ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SideInfoSpec {
+    /// Scenario I: reveal the labels of this fraction of all objects
+    /// (the paper uses 0.05, 0.10, 0.20).
+    LabelFraction(f64),
+    /// Scenario II: build a constraint pool from `pool_fraction` of the
+    /// objects of each class (0.10 in the paper) and hand `sample_fraction`
+    /// of the pool to the algorithm (0.10 / 0.20 / 0.50 in the paper).
+    ConstraintSample {
+        /// Fraction of each class used to build the pool.
+        pool_fraction: f64,
+        /// Fraction of the pool given to the algorithm.
+        sample_fraction: f64,
+    },
+}
+
+impl SideInfoSpec {
+    /// A short label used in reports, e.g. `labels-10%` or `constraints-20%`.
+    pub fn label(&self) -> String {
+        match self {
+            SideInfoSpec::LabelFraction(f) => format!("labels-{:.0}%", f * 100.0),
+            SideInfoSpec::ConstraintSample {
+                sample_fraction, ..
+            } => format!("constraints-{:.0}%", sample_fraction * 100.0),
+        }
+    }
+
+    /// Draws one realisation of the side information.
+    pub fn generate(&self, dataset: &Dataset, rng: &mut SeededRng) -> SideInformation {
+        match self {
+            SideInfoSpec::LabelFraction(fraction) => {
+                let labeled = sample_labeled_subset(dataset.labels(), *fraction, 2, rng);
+                SideInformation::Labels(labeled)
+            }
+            SideInfoSpec::ConstraintSample {
+                pool_fraction,
+                sample_fraction,
+            } => {
+                let pool = constraint_pool(dataset.labels(), *pool_fraction, 2, rng);
+                let sampled = sample_constraints(&pool, *sample_fraction, rng);
+                SideInformation::Constraints(sampled)
+            }
+        }
+    }
+}
+
+/// Configuration of a repeated-trial experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Number of independent trials (50 in the paper).
+    pub n_trials: usize,
+    /// Cross-validation configuration.
+    pub cvcp: CvcpConfig,
+    /// Candidate parameter values; when empty, the method's default range is
+    /// used (with the data set's class count as a hint).
+    pub params: Vec<usize>,
+    /// Base random seed; trial `t` uses a generator forked from `seed` and `t`.
+    pub seed: u64,
+    /// Whether Silhouette-based selection is also evaluated (only honoured
+    /// for methods that support it).
+    pub with_silhouette: bool,
+    /// Number of worker threads (1 = sequential).
+    pub n_threads: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            n_trials: 50,
+            cvcp: CvcpConfig::default(),
+            params: Vec::new(),
+            seed: 0xC5C9,
+            with_silhouette: true,
+            n_threads: 4,
+        }
+    }
+}
+
+/// The outcome of one trial.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialOutcome {
+    /// Trial index.
+    pub trial: usize,
+    /// Candidate parameters, in evaluation order.
+    pub params: Vec<usize>,
+    /// Internal CVCP scores per candidate.
+    pub internal_scores: Vec<f64>,
+    /// External Overall F-Measure per candidate (side-information objects
+    /// excluded).
+    pub external_scores: Vec<f64>,
+    /// Parameter selected by CVCP.
+    pub selected_param: usize,
+    /// External quality at the CVCP-selected parameter.
+    pub cvcp_external: f64,
+    /// Expected external quality (mean over the range).
+    pub expected_external: f64,
+    /// Parameter selected by the Silhouette baseline, when evaluated.
+    pub silhouette_param: Option<usize>,
+    /// External quality at the Silhouette-selected parameter, when evaluated.
+    pub silhouette_external: Option<f64>,
+    /// Pearson correlation between internal and external scores.
+    pub correlation: f64,
+}
+
+/// Runs a full repeated-trial experiment of `method` on `dataset` with side
+/// information drawn according to `spec`.
+///
+/// Returns one [`TrialOutcome`] per trial, in trial order.
+pub fn run_experiment(
+    method: &dyn ParameterizedMethod,
+    dataset: &Dataset,
+    spec: SideInfoSpec,
+    config: &ExperimentConfig,
+) -> Vec<TrialOutcome> {
+    let params = if config.params.is_empty() {
+        method.default_parameter_range(dataset.n_classes())
+    } else {
+        config.params.clone()
+    };
+
+    let n_trials = config.n_trials.max(1);
+    let results: Mutex<Vec<Option<TrialOutcome>>> = Mutex::new(vec![None; n_trials]);
+    let next: Mutex<usize> = Mutex::new(0);
+
+    let n_threads = config.n_threads.clamp(1, n_trials);
+    crossbeam::scope(|scope| {
+        for _ in 0..n_threads {
+            scope.spawn(|_| loop {
+                let trial = {
+                    let mut guard = next.lock();
+                    if *guard >= n_trials {
+                        break;
+                    }
+                    let t = *guard;
+                    *guard += 1;
+                    t
+                };
+                let outcome = run_trial(method, dataset, spec, config, &params, trial);
+                results.lock()[trial] = Some(outcome);
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|o| o.expect("every trial completed"))
+        .collect()
+}
+
+/// Runs a single trial (exposed for the figure-generating binaries, which
+/// need the per-parameter curves of one representative run).
+pub fn run_trial(
+    method: &dyn ParameterizedMethod,
+    dataset: &Dataset,
+    spec: SideInfoSpec,
+    config: &ExperimentConfig,
+    params: &[usize],
+    trial: usize,
+) -> TrialOutcome {
+    let mut rng = SeededRng::new(
+        config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(trial as u64),
+    );
+    let side = spec.generate(dataset, &mut rng);
+    let involved = side.involved_objects();
+
+    // Step 1–3: CVCP selection with internal scores.
+    let selection = select_model(method, dataset.matrix(), &side, params, &config.cvcp, &mut rng);
+    let internal_scores = selection.scores();
+
+    // Step 4 + external evaluation per parameter.
+    let mut external_scores = Vec::with_capacity(params.len());
+    let mut silhouettes: Vec<Option<f64>> = Vec::with_capacity(params.len());
+    for &p in params {
+        let clusterer = method.instantiate(p);
+        let partition = clusterer.cluster(dataset.matrix(), &side, &mut rng);
+        let f = overall_fmeasure_excluding(&partition, dataset.labels(), &involved);
+        external_scores.push(f);
+        if config.with_silhouette && method.supports_silhouette() {
+            silhouettes.push(silhouette_coefficient(dataset.matrix(), &partition, &Euclidean));
+        } else {
+            silhouettes.push(None);
+        }
+    }
+
+    let selected_idx = params
+        .iter()
+        .position(|&p| p == selection.best_param)
+        .expect("selected parameter is in the range");
+    let cvcp_external = external_scores[selected_idx];
+    let expected_external = expected_quality(&external_scores);
+
+    let (silhouette_param, silhouette_external) =
+        if config.with_silhouette && method.supports_silhouette() {
+            let mut best: Option<(usize, f64)> = None;
+            for (i, s) in silhouettes.iter().enumerate() {
+                if let Some(v) = s {
+                    if best.map_or(true, |(_, bv)| *v > bv) {
+                        best = Some((i, *v));
+                    }
+                }
+            }
+            match best {
+                Some((i, _)) => (Some(params[i]), Some(external_scores[i])),
+                None => (Some(params[0]), Some(external_scores[0])),
+            }
+        } else {
+            (None, None)
+        };
+
+    let correlation = pearson(&internal_scores, &external_scores);
+
+    TrialOutcome {
+        trial,
+        params: params.to_vec(),
+        internal_scores,
+        external_scores,
+        selected_param: selection.best_param,
+        cvcp_external,
+        expected_external,
+        silhouette_param,
+        silhouette_external,
+        correlation,
+    }
+}
+
+/// Aggregated results of an experiment, mirroring one row of the paper's
+/// Tables 5–16 plus the correlation entry of Tables 1–4.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSummary {
+    /// Data set name.
+    pub dataset: String,
+    /// Method name.
+    pub method: String,
+    /// Side-information label (e.g. `labels-10%`).
+    pub side_info: String,
+    /// CVCP external quality over trials.
+    pub cvcp: Summary,
+    /// Expected external quality over trials.
+    pub expected: Summary,
+    /// Silhouette external quality over trials (when evaluated).
+    pub silhouette: Option<Summary>,
+    /// Mean Pearson correlation between internal and external scores.
+    pub mean_correlation: f64,
+    /// Paired t-test of CVCP against the expected baseline.
+    pub cvcp_vs_expected: Option<TTestResult>,
+    /// Paired t-test of CVCP against the Silhouette baseline.
+    pub cvcp_vs_silhouette: Option<TTestResult>,
+    /// Raw CVCP external values (for box plots, Figures 9–12).
+    pub cvcp_values: Vec<f64>,
+    /// Raw expected external values.
+    pub expected_values: Vec<f64>,
+    /// Raw Silhouette external values.
+    pub silhouette_values: Vec<f64>,
+}
+
+impl ExperimentSummary {
+    /// `true` when CVCP's advantage over the expected baseline is significant
+    /// at the given level.
+    pub fn cvcp_beats_expected_significantly(&self, alpha: f64) -> bool {
+        self.cvcp_vs_expected
+            .as_ref()
+            .map_or(false, |t| t.significant_at(alpha) && t.mean_difference > 0.0)
+    }
+}
+
+/// Summarises the trial outcomes of one (data set, method, side-info) cell.
+pub fn summarize(
+    dataset: &str,
+    method: &str,
+    spec: SideInfoSpec,
+    outcomes: &[TrialOutcome],
+) -> ExperimentSummary {
+    let cvcp_values: Vec<f64> = outcomes.iter().map(|o| o.cvcp_external).collect();
+    let expected_values: Vec<f64> = outcomes.iter().map(|o| o.expected_external).collect();
+    let silhouette_values: Vec<f64> = outcomes
+        .iter()
+        .filter_map(|o| o.silhouette_external)
+        .collect();
+    let correlations: Vec<f64> = outcomes.iter().map(|o| o.correlation).collect();
+
+    let silhouette = if silhouette_values.len() == outcomes.len() && !outcomes.is_empty() {
+        Some(Summary::of(&silhouette_values))
+    } else {
+        None
+    };
+    let cvcp_vs_silhouette = if silhouette.is_some() {
+        paired_t_test(&cvcp_values, &silhouette_values)
+    } else {
+        None
+    };
+
+    ExperimentSummary {
+        dataset: dataset.to_string(),
+        method: method.to_string(),
+        side_info: spec.label(),
+        cvcp: Summary::of(&cvcp_values),
+        expected: Summary::of(&expected_values),
+        silhouette,
+        mean_correlation: cvcp_metrics::stats::mean(&correlations),
+        cvcp_vs_expected: paired_t_test(&cvcp_values, &expected_values),
+        cvcp_vs_silhouette,
+        cvcp_values,
+        expected_values,
+        silhouette_values,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{FoscMethod, MpckMethod};
+    use cvcp_data::synthetic::separated_blobs;
+
+    fn quick_config(n_trials: usize) -> ExperimentConfig {
+        ExperimentConfig {
+            n_trials,
+            cvcp: CvcpConfig {
+                n_folds: 3,
+                stratified: true,
+            },
+            params: vec![2, 3, 4, 6],
+            seed: 11,
+            with_silhouette: true,
+            n_threads: 2,
+        }
+    }
+
+    fn blobs() -> Dataset {
+        let mut rng = SeededRng::new(99);
+        separated_blobs(3, 20, 3, 12.0, &mut rng)
+    }
+
+    #[test]
+    fn label_scenario_experiment_runs_and_is_ordered() {
+        let ds = blobs();
+        let outcomes = run_experiment(
+            &MpckMethod::default(),
+            &ds,
+            SideInfoSpec::LabelFraction(0.2),
+            &quick_config(4),
+        );
+        assert_eq!(outcomes.len(), 4);
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.trial, i);
+            assert_eq!(o.params, vec![2, 3, 4, 6]);
+            assert_eq!(o.internal_scores.len(), 4);
+            assert_eq!(o.external_scores.len(), 4);
+            assert!(o.params.contains(&o.selected_param));
+            assert!((0.0..=1.0).contains(&o.cvcp_external));
+            assert!((0.0..=1.0).contains(&o.expected_external));
+            assert!(o.silhouette_external.is_some());
+            assert!((-1.0..=1.0).contains(&o.correlation));
+        }
+    }
+
+    #[test]
+    fn cvcp_beats_expected_on_easy_data() {
+        let ds = blobs();
+        let outcomes = run_experiment(
+            &MpckMethod::default(),
+            &ds,
+            SideInfoSpec::LabelFraction(0.2),
+            &quick_config(6),
+        );
+        let summary = summarize("blobs", "MPCKMeans", SideInfoSpec::LabelFraction(0.2), &outcomes);
+        assert!(
+            summary.cvcp.mean >= summary.expected.mean,
+            "CVCP {} should be at least Expected {}",
+            summary.cvcp.mean,
+            summary.expected.mean
+        );
+        assert!(summary.silhouette.is_some());
+        assert_eq!(summary.cvcp_values.len(), 6);
+        assert_eq!(summary.side_info, "labels-20%");
+    }
+
+    #[test]
+    fn constraint_scenario_with_fosc() {
+        let ds = blobs();
+        let mut cfg = quick_config(3);
+        cfg.params = vec![3, 6, 9, 15];
+        cfg.with_silhouette = false;
+        let outcomes = run_experiment(
+            &FoscMethod::default(),
+            &ds,
+            SideInfoSpec::ConstraintSample {
+                pool_fraction: 0.2,
+                sample_fraction: 0.5,
+            },
+            &cfg,
+        );
+        assert_eq!(outcomes.len(), 3);
+        for o in &outcomes {
+            assert!(o.silhouette_external.is_none());
+            assert!((0.0..=1.0).contains(&o.cvcp_external));
+        }
+        let summary = summarize(
+            "blobs",
+            "FOSC-OPTICSDend",
+            SideInfoSpec::ConstraintSample {
+                pool_fraction: 0.2,
+                sample_fraction: 0.5,
+            },
+            &outcomes,
+        );
+        assert!(summary.silhouette.is_none());
+        assert_eq!(summary.side_info, "constraints-50%");
+    }
+
+    #[test]
+    fn experiments_are_reproducible() {
+        let ds = blobs();
+        let cfg = quick_config(3);
+        let a = run_experiment(&MpckMethod::default(), &ds, SideInfoSpec::LabelFraction(0.1), &cfg);
+        let b = run_experiment(&MpckMethod::default(), &ds, SideInfoSpec::LabelFraction(0.1), &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_and_sequential_give_the_same_results() {
+        let ds = blobs();
+        let mut seq = quick_config(4);
+        seq.n_threads = 1;
+        let mut par = quick_config(4);
+        par.n_threads = 4;
+        let a = run_experiment(&MpckMethod::default(), &ds, SideInfoSpec::LabelFraction(0.2), &seq);
+        let b = run_experiment(&MpckMethod::default(), &ds, SideInfoSpec::LabelFraction(0.2), &par);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spec_labels_are_paper_style() {
+        assert_eq!(SideInfoSpec::LabelFraction(0.05).label(), "labels-5%");
+        assert_eq!(
+            SideInfoSpec::ConstraintSample {
+                pool_fraction: 0.1,
+                sample_fraction: 0.2
+            }
+            .label(),
+            "constraints-20%"
+        );
+    }
+
+    #[test]
+    fn default_parameter_range_is_used_when_none_given() {
+        let ds = blobs();
+        let mut cfg = quick_config(2);
+        cfg.params = Vec::new();
+        let outcomes = run_experiment(
+            &MpckMethod::default(),
+            &ds,
+            SideInfoSpec::LabelFraction(0.2),
+            &cfg,
+        );
+        // blobs() has 3 classes -> default range 2..=6
+        assert_eq!(outcomes[0].params, vec![2, 3, 4, 5, 6]);
+    }
+}

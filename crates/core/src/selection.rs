@@ -1,0 +1,216 @@
+//! Steps 2–4 of the CVCP framework: sweep the parameter range, pick the
+//! highest-scoring value, and re-run the algorithm with all side information.
+
+use crate::algorithm::{ParameterizedMethod, SemiSupervisedClusterer};
+use crate::crossval::{build_folds, evaluate_parameter_on_folds, CvcpConfig, ParameterEvaluation};
+use cvcp_constraints::SideInformation;
+use cvcp_data::rng::SeededRng;
+use cvcp_data::{DataMatrix, Partition};
+use serde::{Deserialize, Serialize};
+
+/// Result of a CVCP model-selection run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CvcpSelection {
+    /// The selected (highest-scoring) parameter value.
+    pub best_param: usize,
+    /// The CVCP score of the selected parameter.
+    pub best_score: f64,
+    /// The full evaluation of every candidate parameter, in the order given.
+    pub evaluations: Vec<ParameterEvaluation>,
+}
+
+impl CvcpSelection {
+    /// The internal CVCP scores in candidate order (the series plotted in
+    /// Figures 5–8 of the paper).
+    pub fn scores(&self) -> Vec<f64> {
+        self.evaluations.iter().map(|e| e.score).collect()
+    }
+
+    /// The candidate parameter values in evaluation order.
+    pub fn params(&self) -> Vec<usize> {
+        self.evaluations.iter().map(|e| e.param).collect()
+    }
+}
+
+/// Runs CVCP model selection: evaluates every candidate parameter with the
+/// same cross-validation folds and returns the scores and the argmax.
+///
+/// Ties are broken in favour of the earlier candidate (the paper does not
+/// specify a rule; candidates are conventionally listed in increasing order,
+/// so this prefers the simpler model).
+///
+/// # Panics
+///
+/// Panics if `params` is empty.
+pub fn select_model(
+    method: &dyn ParameterizedMethod,
+    data: &DataMatrix,
+    side: &SideInformation,
+    params: &[usize],
+    config: &CvcpConfig,
+    rng: &mut SeededRng,
+) -> CvcpSelection {
+    assert!(!params.is_empty(), "at least one candidate parameter is required");
+    let splits = build_folds(side, config, rng);
+    let evaluations: Vec<ParameterEvaluation> = params
+        .iter()
+        .map(|&p| evaluate_parameter_on_folds(method, data, &splits, p, rng))
+        .collect();
+    // Argmax with "first wins" tie-breaking.
+    let mut best_idx = 0usize;
+    for (i, eval) in evaluations.iter().enumerate() {
+        if eval.score > evaluations[best_idx].score {
+            best_idx = i;
+        }
+    }
+    CvcpSelection {
+        best_param: evaluations[best_idx].param,
+        best_score: evaluations[best_idx].score,
+        evaluations,
+    }
+}
+
+/// Step 4 of the framework: run the algorithm with the selected parameter and
+/// *all* available side information, producing the final partition.
+pub fn final_clustering(
+    method: &dyn ParameterizedMethod,
+    data: &DataMatrix,
+    side: &SideInformation,
+    selection: &CvcpSelection,
+    rng: &mut SeededRng,
+) -> (Box<dyn SemiSupervisedClusterer>, Partition) {
+    let clusterer = method.instantiate(selection.best_param);
+    let partition = clusterer.cluster(data, side, rng);
+    (clusterer, partition)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{FoscMethod, MpckMethod};
+    use cvcp_constraints::generate::{constraint_pool, sample_constraints, sample_labeled_subset};
+    use cvcp_data::synthetic::separated_blobs;
+    use cvcp_metrics::overall_fmeasure_excluding;
+
+    #[test]
+    fn selects_true_k_on_separable_data() {
+        let mut rng = SeededRng::new(1);
+        let ds = separated_blobs(4, 20, 4, 12.0, &mut rng);
+        let labeled = sample_labeled_subset(ds.labels(), 0.25, 2, &mut rng);
+        let side = SideInformation::Labels(labeled);
+        let cfg = CvcpConfig { n_folds: 5, stratified: true };
+        let sel = select_model(
+            &MpckMethod::default(),
+            ds.matrix(),
+            &side,
+            &[2, 3, 4, 5, 6],
+            &cfg,
+            &mut rng,
+        );
+        assert_eq!(sel.best_param, 4, "scores: {:?}", sel.scores());
+        assert_eq!(sel.params(), vec![2, 3, 4, 5, 6]);
+        assert_eq!(sel.evaluations.len(), 5);
+    }
+
+    #[test]
+    fn selects_a_reasonable_min_pts_for_fosc() {
+        let mut rng = SeededRng::new(2);
+        let ds = separated_blobs(5, 12, 3, 12.0, &mut rng);
+        let pool = constraint_pool(ds.labels(), 0.3, 2, &mut rng);
+        let sampled = sample_constraints(&pool, 0.6, &mut rng);
+        let side = SideInformation::Constraints(sampled);
+        let cfg = CvcpConfig { n_folds: 4, stratified: true };
+        let params = vec![3usize, 6, 9, 12, 15, 18, 21, 24];
+        let sel = select_model(&FoscMethod::default(), ds.matrix(), &side, &params, &cfg, &mut rng);
+        // Clusters have only 12 objects; MinPts above 12 cannot work well.
+        assert!(sel.best_param <= 9, "selected {} (scores {:?})", sel.best_param, sel.scores());
+    }
+
+    #[test]
+    fn selection_quality_transfers_to_external_measure() {
+        // CVCP-selected parameter should give an external quality at least as
+        // good as the average over the range (the "expected" baseline).
+        let mut rng = SeededRng::new(3);
+        let ds = separated_blobs(3, 25, 4, 10.0, &mut rng);
+        let labeled = sample_labeled_subset(ds.labels(), 0.2, 2, &mut rng);
+        let side = SideInformation::Labels(labeled.clone());
+        let cfg = CvcpConfig { n_folds: 5, stratified: true };
+        let params = vec![2usize, 3, 4, 5, 6, 7, 8];
+        let method = MpckMethod::default();
+        let sel = select_model(&method, ds.matrix(), &side, &params, &cfg, &mut rng);
+
+        let mut externals = Vec::new();
+        let mut selected_external = 0.0;
+        for &p in &params {
+            let clusterer = method.instantiate(p);
+            let partition = clusterer.cluster(ds.matrix(), &side, &mut rng);
+            let f = overall_fmeasure_excluding(&partition, ds.labels(), labeled.indices());
+            if p == sel.best_param {
+                selected_external = f;
+            }
+            externals.push(f);
+        }
+        let expected = externals.iter().sum::<f64>() / externals.len() as f64;
+        assert!(
+            selected_external >= expected - 0.02,
+            "CVCP external {selected_external} should be at least the expected {expected}"
+        );
+    }
+
+    #[test]
+    fn final_clustering_uses_selected_parameter() {
+        let mut rng = SeededRng::new(4);
+        let ds = separated_blobs(3, 15, 3, 12.0, &mut rng);
+        let labeled = sample_labeled_subset(ds.labels(), 0.3, 2, &mut rng);
+        let side = SideInformation::Labels(labeled);
+        let cfg = CvcpConfig { n_folds: 4, stratified: true };
+        let sel = select_model(&MpckMethod::default(), ds.matrix(), &side, &[2, 3, 4], &cfg, &mut rng);
+        let (clusterer, partition) =
+            final_clustering(&MpckMethod::default(), ds.matrix(), &side, &sel, &mut rng);
+        assert!(clusterer.name().contains(&format!("k={}", sel.best_param)));
+        assert_eq!(partition.len(), ds.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_parameter_range_panics() {
+        let mut rng = SeededRng::new(5);
+        let ds = separated_blobs(2, 10, 2, 10.0, &mut rng);
+        let labeled = sample_labeled_subset(ds.labels(), 0.4, 2, &mut rng);
+        let side = SideInformation::Labels(labeled);
+        let _ = select_model(
+            &MpckMethod::default(),
+            ds.matrix(),
+            &side,
+            &[],
+            &CvcpConfig::default(),
+            &mut rng,
+        );
+    }
+
+    #[test]
+    fn ties_prefer_the_first_candidate() {
+        // With no usable constraints every parameter scores 0; the first
+        // candidate must win.
+        let mut rng = SeededRng::new(6);
+        let ds = separated_blobs(2, 10, 2, 10.0, &mut rng);
+        // two labelled objects of the same class in each of 2 folds produce
+        // must-link-only test sets that any clustering trivially satisfies or
+        // not — use a tiny labelled set to force near-ties.
+        let labeled = sample_labeled_subset(ds.labels(), 0.1, 1, &mut rng);
+        let side = SideInformation::Labels(labeled);
+        let cfg = CvcpConfig { n_folds: 2, stratified: true };
+        let sel = select_model(
+            &MpckMethod::default(),
+            ds.matrix(),
+            &side,
+            &[2, 3, 4],
+            &cfg,
+            &mut rng,
+        );
+        let scores = sel.scores();
+        if scores.iter().all(|&s| (s - scores[0]).abs() < 1e-12) {
+            assert_eq!(sel.best_param, 2);
+        }
+    }
+}

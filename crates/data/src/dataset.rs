@@ -1,0 +1,280 @@
+//! Labelled data sets: a [`DataMatrix`] plus ground-truth class labels.
+//!
+//! Ground truth is used (a) to *generate* side information (labelled subsets
+//! or constraint pools) fed to the semi-supervised algorithms, and (b) for
+//! the external "Overall F-Measure" evaluation.  It is never given to the
+//! clustering algorithms directly.
+
+use crate::matrix::DataMatrix;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-class summary of a data set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassSummary {
+    /// Class identifier (0-based, contiguous).
+    pub class: usize,
+    /// Number of objects carrying that label.
+    pub count: usize,
+}
+
+/// A data set: feature matrix, ground-truth class labels and a name.
+///
+/// Class labels are `usize` values in `0..n_classes` (contiguous).
+///
+/// ```
+/// use cvcp_data::{DataMatrix, Dataset};
+///
+/// let m = DataMatrix::from_rows(&[vec![0.0], vec![0.1], vec![5.0]]);
+/// let ds = Dataset::new("toy", m, vec![0, 0, 1]);
+/// assert_eq!(ds.len(), 3);
+/// assert_eq!(ds.n_classes(), 2);
+/// assert_eq!(ds.class_counts(), vec![2, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    name: String,
+    matrix: DataMatrix,
+    labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Creates a data set from a matrix and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of labels differs from the number of rows, or if
+    /// labels are not contiguous starting at zero (e.g. `[0, 2]` without a
+    /// class `1`).
+    pub fn new(name: impl Into<String>, matrix: DataMatrix, labels: Vec<usize>) -> Self {
+        assert_eq!(
+            matrix.n_rows(),
+            labels.len(),
+            "labels length must match matrix rows"
+        );
+        if !labels.is_empty() {
+            let max = *labels.iter().max().expect("non-empty");
+            let mut seen = vec![false; max + 1];
+            for &l in &labels {
+                seen[l] = true;
+            }
+            assert!(
+                seen.iter().all(|&s| s),
+                "class labels must be contiguous 0..n_classes"
+            );
+        }
+        Self {
+            name: name.into(),
+            matrix,
+            labels,
+        }
+    }
+
+    /// Data set name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The feature matrix.
+    pub fn matrix(&self) -> &DataMatrix {
+        &self.matrix
+    }
+
+    /// Ground-truth class label of every object.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.matrix.n_rows()
+    }
+
+    /// `true` when the data set has no objects.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of feature dimensions.
+    pub fn dims(&self) -> usize {
+        self.matrix.n_cols()
+    }
+
+    /// Number of ground-truth classes.
+    pub fn n_classes(&self) -> usize {
+        self.labels.iter().copied().max().map_or(0, |m| m + 1)
+    }
+
+    /// Number of objects in each class, indexed by class id.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes()];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Per-class summaries sorted by class id.
+    pub fn class_summaries(&self) -> Vec<ClassSummary> {
+        self.class_counts()
+            .into_iter()
+            .enumerate()
+            .map(|(class, count)| ClassSummary { class, count })
+            .collect()
+    }
+
+    /// Indices of the objects belonging to each class.
+    pub fn class_members(&self) -> Vec<Vec<usize>> {
+        let mut members = vec![Vec::new(); self.n_classes()];
+        for (i, &l) in self.labels.iter().enumerate() {
+            members[l].push(i);
+        }
+        members
+    }
+
+    /// Returns a new data set with the same objects but features replaced by
+    /// `matrix` (used by the scalers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row count changes.
+    pub fn with_matrix(&self, matrix: DataMatrix) -> Self {
+        assert_eq!(matrix.n_rows(), self.len(), "row count must be preserved");
+        Self {
+            name: self.name.clone(),
+            matrix,
+            labels: self.labels.clone(),
+        }
+    }
+
+    /// Returns a new data set restricted to the given object indices.
+    /// Class labels are re-mapped to stay contiguous.
+    pub fn subset(&self, indices: &[usize]) -> Self {
+        let matrix = self.matrix.select_rows(indices);
+        let raw: Vec<usize> = indices.iter().map(|&i| self.labels[i]).collect();
+        let mut remap: BTreeMap<usize, usize> = BTreeMap::new();
+        for &l in &raw {
+            let next = remap.len();
+            remap.entry(l).or_insert(next);
+        }
+        let labels = raw.into_iter().map(|l| remap[&l]).collect();
+        Self {
+            name: format!("{}[subset:{}]", self.name, indices.len()),
+            matrix,
+            labels,
+        }
+    }
+
+    /// A human readable one-line description, e.g. `iris_like: 150 objects, 4 dims, 3 classes`.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}: {} objects, {} dims, {} classes {:?}",
+            self.name,
+            self.len(),
+            self.dims(),
+            self.n_classes(),
+            self.class_counts()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let m = DataMatrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.1, 0.1],
+            vec![5.0, 5.0],
+            vec![5.1, 5.2],
+            vec![9.0, 9.0],
+        ]);
+        Dataset::new("toy", m, vec![0, 0, 1, 1, 2])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let ds = toy();
+        assert_eq!(ds.name(), "toy");
+        assert_eq!(ds.len(), 5);
+        assert_eq!(ds.dims(), 2);
+        assert_eq!(ds.n_classes(), 3);
+        assert_eq!(ds.class_counts(), vec![2, 2, 1]);
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn class_members_partition_objects() {
+        let ds = toy();
+        let members = ds.class_members();
+        let total: usize = members.iter().map(Vec::len).sum();
+        assert_eq!(total, ds.len());
+        assert_eq!(members[0], vec![0, 1]);
+        assert_eq!(members[2], vec![4]);
+    }
+
+    #[test]
+    fn class_summaries_match_counts() {
+        let ds = toy();
+        let summaries = ds.class_summaries();
+        assert_eq!(summaries.len(), 3);
+        assert_eq!(summaries[1], ClassSummary { class: 1, count: 2 });
+    }
+
+    #[test]
+    #[should_panic(expected = "labels length")]
+    fn rejects_label_length_mismatch() {
+        let m = DataMatrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let _ = Dataset::new("bad", m, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn rejects_non_contiguous_labels() {
+        let m = DataMatrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let _ = Dataset::new("bad", m, vec![0, 2]);
+    }
+
+    #[test]
+    fn subset_remaps_labels() {
+        let ds = toy();
+        let sub = ds.subset(&[2, 3, 4]);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.n_classes(), 2);
+        assert_eq!(sub.labels(), &[0, 0, 1]);
+        assert_eq!(sub.matrix().row(2), &[9.0, 9.0]);
+    }
+
+    #[test]
+    fn with_matrix_preserves_labels() {
+        let ds = toy();
+        let scaled = ds.with_matrix(DataMatrix::zeros(5, 7));
+        assert_eq!(scaled.labels(), ds.labels());
+        assert_eq!(scaled.dims(), 7);
+    }
+
+    #[test]
+    fn describe_mentions_name_and_sizes() {
+        let ds = toy();
+        let d = ds.describe();
+        assert!(d.contains("toy"));
+        assert!(d.contains("5 objects"));
+        assert!(d.contains("3 classes"));
+    }
+
+    #[test]
+    fn empty_dataset_is_ok() {
+        let ds = Dataset::new("empty", DataMatrix::zeros(0, 0), vec![]);
+        assert!(ds.is_empty());
+        assert_eq!(ds.n_classes(), 0);
+        assert!(ds.class_counts().is_empty());
+    }
+
+    #[test]
+    fn dataset_implements_serde_traits() {
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serde::<Dataset>();
+        assert_serde::<ClassSummary>();
+    }
+}

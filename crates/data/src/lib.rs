@@ -1,0 +1,59 @@
+//! # cvcp-data
+//!
+//! Data handling substrate for the CVCP suite: dense matrices, distance
+//! metrics, feature normalisation, seeded random number helpers, synthetic
+//! data generators and replicas of the data sets used in the CVCP paper
+//! (Pourrajabi et al., EDBT 2014).
+//!
+//! The original experiments used the ALOI image collection, five UCI data
+//! sets and the Zyeast gene-expression data, none of which can be downloaded
+//! in this offline reproduction.  The [`replicas`] and [`aloi`] modules
+//! provide synthetic stand-ins that preserve the structural characteristics
+//! the paper's experiments depend on (object counts, dimensionality, number
+//! and size of classes, degree of overlap).  See `DESIGN.md` §3 for the full
+//! substitution rationale.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use cvcp_data::prelude::*;
+//! use cvcp_data::distance::Distance;
+//!
+//! let ds = cvcp_data::replicas::iris_like(42);
+//! assert_eq!(ds.len(), 150);
+//! assert_eq!(ds.dims(), 4);
+//! assert_eq!(ds.n_classes(), 3);
+//! let d = Euclidean.distance(ds.matrix().row(0), ds.matrix().row(1));
+//! assert!(d >= 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aloi;
+pub mod dataset;
+pub mod distance;
+pub mod matrix;
+pub mod normalize;
+pub mod partition;
+pub mod replicas;
+pub mod rng;
+pub mod synthetic;
+
+pub use dataset::{ClassSummary, Dataset};
+pub use distance::{
+    Chebyshev, Cosine, DiagonalMahalanobis, Distance, Euclidean, Manhattan, Minkowski,
+    SquaredEuclidean,
+};
+pub use matrix::DataMatrix;
+pub use partition::{Assignment, Partition};
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::dataset::Dataset;
+    pub use crate::distance::{Distance, Euclidean, SquaredEuclidean};
+    pub use crate::matrix::DataMatrix;
+    pub use crate::normalize::{MinMaxScaler, Scaler, ZScoreScaler};
+    pub use crate::partition::{Assignment, Partition};
+    pub use crate::rng::SeededRng;
+}

@@ -1,0 +1,202 @@
+//! Feature scaling.
+//!
+//! Both clustering paradigms in the paper operate on raw feature vectors;
+//! for mixed-scale data (e.g. the Wine replica, whose features span several
+//! orders of magnitude) z-score normalisation is applied before clustering,
+//! as is standard practice for k-means and density-based methods alike.
+
+use crate::matrix::DataMatrix;
+
+/// A fit-then-transform feature scaler.
+pub trait Scaler {
+    /// Fits scaler parameters on `data` and returns the transformed matrix.
+    fn fit_transform(&mut self, data: &DataMatrix) -> DataMatrix;
+
+    /// Transforms a matrix using previously fitted parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Scaler::fit_transform`] or with a matrix of
+    /// different dimensionality.
+    fn transform(&self, data: &DataMatrix) -> DataMatrix;
+}
+
+/// Standardises each column to zero mean and unit variance.
+///
+/// Columns with zero variance are left centred at zero (no division).
+#[derive(Debug, Clone, Default)]
+pub struct ZScoreScaler {
+    means: Option<Vec<f64>>,
+    stds: Option<Vec<f64>>,
+}
+
+impl ZScoreScaler {
+    /// Creates an unfitted scaler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The fitted per-column means (if fitted).
+    pub fn means(&self) -> Option<&[f64]> {
+        self.means.as_deref()
+    }
+
+    /// The fitted per-column standard deviations (if fitted).
+    pub fn stds(&self) -> Option<&[f64]> {
+        self.stds.as_deref()
+    }
+}
+
+impl Scaler for ZScoreScaler {
+    fn fit_transform(&mut self, data: &DataMatrix) -> DataMatrix {
+        let means = data.column_means();
+        let stds: Vec<f64> = data
+            .column_variances()
+            .into_iter()
+            .map(|v| v.sqrt())
+            .collect();
+        self.means = Some(means);
+        self.stds = Some(stds);
+        self.transform(data)
+    }
+
+    fn transform(&self, data: &DataMatrix) -> DataMatrix {
+        let means = self.means.as_ref().expect("scaler must be fitted first");
+        let stds = self.stds.as_ref().expect("scaler must be fitted first");
+        assert_eq!(data.n_cols(), means.len(), "dimension mismatch");
+        let mut out = DataMatrix::zeros(data.n_rows(), data.n_cols());
+        for i in 0..data.n_rows() {
+            let row = data.row(i);
+            let dest = out.row_mut(i);
+            for j in 0..row.len() {
+                let centred = row[j] - means[j];
+                dest[j] = if stds[j] > 1e-12 { centred / stds[j] } else { centred };
+            }
+        }
+        out
+    }
+}
+
+/// Rescales each column to the `[0, 1]` interval.
+///
+/// Constant columns are mapped to `0.0`.
+#[derive(Debug, Clone, Default)]
+pub struct MinMaxScaler {
+    mins: Option<Vec<f64>>,
+    maxs: Option<Vec<f64>>,
+}
+
+impl MinMaxScaler {
+    /// Creates an unfitted scaler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scaler for MinMaxScaler {
+    fn fit_transform(&mut self, data: &DataMatrix) -> DataMatrix {
+        let (mins, maxs) = data.column_min_max();
+        self.mins = Some(mins);
+        self.maxs = Some(maxs);
+        self.transform(data)
+    }
+
+    fn transform(&self, data: &DataMatrix) -> DataMatrix {
+        let mins = self.mins.as_ref().expect("scaler must be fitted first");
+        let maxs = self.maxs.as_ref().expect("scaler must be fitted first");
+        assert_eq!(data.n_cols(), mins.len(), "dimension mismatch");
+        let mut out = DataMatrix::zeros(data.n_rows(), data.n_cols());
+        for i in 0..data.n_rows() {
+            let row = data.row(i);
+            let dest = out.row_mut(i);
+            for j in 0..row.len() {
+                let span = maxs[j] - mins[j];
+                dest[j] = if span > 1e-12 {
+                    (row[j] - mins[j]) / span
+                } else {
+                    0.0
+                };
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataMatrix {
+        DataMatrix::from_rows(&[
+            vec![1.0, 100.0, 5.0],
+            vec![2.0, 200.0, 5.0],
+            vec![3.0, 300.0, 5.0],
+            vec![4.0, 400.0, 5.0],
+        ])
+    }
+
+    #[test]
+    fn zscore_zero_mean_unit_variance() {
+        let mut scaler = ZScoreScaler::new();
+        let out = scaler.fit_transform(&sample());
+        let means = out.column_means();
+        let vars = out.column_variances();
+        for j in 0..2 {
+            assert!(means[j].abs() < 1e-9, "column {j} mean {}", means[j]);
+            assert!((vars[j] - 1.0).abs() < 1e-9, "column {j} var {}", vars[j]);
+        }
+        // constant column centred but untouched otherwise
+        assert!(out.column(2).iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn zscore_transform_applies_training_parameters() {
+        let mut scaler = ZScoreScaler::new();
+        let _ = scaler.fit_transform(&sample());
+        let other = DataMatrix::from_rows(&[vec![2.5, 250.0, 5.0]]);
+        let out = scaler.transform(&other);
+        // 2.5 is the fitted mean of column 0 -> exactly 0
+        assert!(out.get(0, 0).abs() < 1e-9);
+        assert!(out.get(0, 1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "fitted first")]
+    fn zscore_requires_fit() {
+        let scaler = ZScoreScaler::new();
+        let _ = scaler.transform(&sample());
+    }
+
+    #[test]
+    fn minmax_maps_to_unit_interval() {
+        let mut scaler = MinMaxScaler::new();
+        let out = scaler.fit_transform(&sample());
+        let (mins, maxs) = out.column_min_max();
+        assert!(mins[0].abs() < 1e-12 && (maxs[0] - 1.0).abs() < 1e-12);
+        assert!(mins[1].abs() < 1e-12 && (maxs[1] - 1.0).abs() < 1e-12);
+        // constant column becomes zero
+        assert!(out.column(2).iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn minmax_transform_can_exceed_bounds_for_new_data() {
+        let mut scaler = MinMaxScaler::new();
+        let _ = scaler.fit_transform(&sample());
+        let other = DataMatrix::from_rows(&[vec![5.0, 0.0, 5.0]]);
+        let out = scaler.transform(&other);
+        assert!(out.get(0, 0) > 1.0);
+        assert!(out.get(0, 1) < 0.0);
+    }
+
+    #[test]
+    fn scalers_preserve_shape() {
+        let mut z = ZScoreScaler::new();
+        let mut m = MinMaxScaler::new();
+        let a = z.fit_transform(&sample());
+        let b = m.fit_transform(&sample());
+        assert_eq!(a.n_rows(), 4);
+        assert_eq!(a.n_cols(), 3);
+        assert_eq!(b.n_rows(), 4);
+        assert_eq!(b.n_cols(), 3);
+    }
+}

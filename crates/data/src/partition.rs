@@ -1,0 +1,249 @@
+//! Cluster partitions (clustering results).
+//!
+//! A [`Partition`] assigns every object either to a cluster (a non-negative
+//! id) or to *noise*.  K-means style algorithms never produce noise;
+//! density-based methods such as FOSC-OPTICSDend routinely do.  For the
+//! constraint-classification view of the CVCP paper, two objects are
+//! "in the same cluster" only if both are assigned to the *same, non-noise*
+//! cluster.
+
+use serde::{Deserialize, Serialize};
+
+/// Cluster assignment of a single object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Assignment {
+    /// Member of the cluster with the given id.
+    Cluster(usize),
+    /// Not assigned to any cluster.
+    Noise,
+}
+
+impl Assignment {
+    /// The cluster id, or `None` for noise.
+    pub fn cluster(self) -> Option<usize> {
+        match self {
+            Assignment::Cluster(c) => Some(c),
+            Assignment::Noise => None,
+        }
+    }
+
+    /// `true` when the object is noise.
+    pub fn is_noise(self) -> bool {
+        matches!(self, Assignment::Noise)
+    }
+}
+
+/// A clustering of `n` objects.
+///
+/// ```
+/// use cvcp_data::partition::{Assignment, Partition};
+///
+/// let p = Partition::from_cluster_ids(&[0, 0, 1, 1]);
+/// assert!(p.same_cluster(0, 1));
+/// assert!(!p.same_cluster(1, 2));
+/// assert_eq!(p.n_clusters(), 2);
+///
+/// let q = Partition::from_optional_ids(&[Some(0), None, Some(0)]);
+/// assert!(q.assignment(1).is_noise());
+/// assert!(!q.same_cluster(0, 1)); // noise is never "same cluster"
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    assignments: Vec<Assignment>,
+}
+
+impl Partition {
+    /// Builds a partition where every object is in a cluster (no noise).
+    pub fn from_cluster_ids(ids: &[usize]) -> Self {
+        Self {
+            assignments: ids.iter().map(|&c| Assignment::Cluster(c)).collect(),
+        }
+    }
+
+    /// Builds a partition from optional cluster ids (`None` = noise).
+    pub fn from_optional_ids(ids: &[Option<usize>]) -> Self {
+        Self {
+            assignments: ids
+                .iter()
+                .map(|c| c.map_or(Assignment::Noise, Assignment::Cluster))
+                .collect(),
+        }
+    }
+
+    /// Builds a partition directly from assignments.
+    pub fn from_assignments(assignments: Vec<Assignment>) -> Self {
+        Self { assignments }
+    }
+
+    /// A partition in which every object is noise.
+    pub fn all_noise(n: usize) -> Self {
+        Self {
+            assignments: vec![Assignment::Noise; n],
+        }
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// `true` when there are no objects.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// Assignment of object `i`.
+    pub fn assignment(&self, i: usize) -> Assignment {
+        self.assignments[i]
+    }
+
+    /// All assignments.
+    pub fn assignments(&self) -> &[Assignment] {
+        &self.assignments
+    }
+
+    /// Cluster id of object `i`, or `None` for noise.
+    pub fn cluster_of(&self, i: usize) -> Option<usize> {
+        self.assignments[i].cluster()
+    }
+
+    /// `true` iff both objects are assigned to the same non-noise cluster.
+    pub fn same_cluster(&self, i: usize, j: usize) -> bool {
+        match (self.assignments[i], self.assignments[j]) {
+            (Assignment::Cluster(a), Assignment::Cluster(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Number of distinct (non-noise) clusters.
+    pub fn n_clusters(&self) -> usize {
+        let mut ids: Vec<usize> = self
+            .assignments
+            .iter()
+            .filter_map(|a| a.cluster())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Number of noise objects.
+    pub fn n_noise(&self) -> usize {
+        self.assignments.iter().filter(|a| a.is_noise()).count()
+    }
+
+    /// Members of every cluster, keyed by a dense re-indexing of cluster ids
+    /// (sorted by original id).  Noise objects are not included.
+    pub fn cluster_members(&self) -> Vec<Vec<usize>> {
+        let mut ids: Vec<usize> = self
+            .assignments
+            .iter()
+            .filter_map(|a| a.cluster())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let index_of = |c: usize| ids.binary_search(&c).expect("cluster id present");
+        let mut members = vec![Vec::new(); ids.len()];
+        for (i, a) in self.assignments.iter().enumerate() {
+            if let Some(c) = a.cluster() {
+                members[index_of(c)].push(i);
+            }
+        }
+        members
+    }
+
+    /// Re-labels clusters to dense ids `0..n_clusters` (noise unchanged).
+    pub fn compact(&self) -> Partition {
+        let mut ids: Vec<usize> = self
+            .assignments
+            .iter()
+            .filter_map(|a| a.cluster())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let assignments = self
+            .assignments
+            .iter()
+            .map(|a| match a {
+                Assignment::Cluster(c) => {
+                    Assignment::Cluster(ids.binary_search(c).expect("present"))
+                }
+                Assignment::Noise => Assignment::Noise,
+            })
+            .collect();
+        Partition { assignments }
+    }
+
+    /// Restricts the partition to a subset of objects, keeping cluster ids.
+    pub fn restrict(&self, indices: &[usize]) -> Partition {
+        Partition {
+            assignments: indices.iter().map(|&i| self.assignments[i]).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_cluster_ids_has_no_noise() {
+        let p = Partition::from_cluster_ids(&[0, 1, 1, 2]);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.n_noise(), 0);
+        assert_eq!(p.n_clusters(), 3);
+    }
+
+    #[test]
+    fn same_cluster_handles_noise() {
+        let p = Partition::from_optional_ids(&[Some(0), Some(0), None, None]);
+        assert!(p.same_cluster(0, 1));
+        assert!(!p.same_cluster(0, 2));
+        assert!(!p.same_cluster(2, 3), "two noise objects are not in the same cluster");
+    }
+
+    #[test]
+    fn cluster_members_covers_non_noise_objects() {
+        let p = Partition::from_optional_ids(&[Some(5), Some(2), None, Some(5)]);
+        let members = p.cluster_members();
+        assert_eq!(members.len(), 2);
+        // sorted by original id: cluster 2 first, then cluster 5
+        assert_eq!(members[0], vec![1]);
+        assert_eq!(members[1], vec![0, 3]);
+    }
+
+    #[test]
+    fn compact_renumbers_clusters() {
+        let p = Partition::from_optional_ids(&[Some(7), Some(3), None, Some(7)]);
+        let c = p.compact();
+        assert_eq!(c.cluster_of(0), Some(1));
+        assert_eq!(c.cluster_of(1), Some(0));
+        assert_eq!(c.cluster_of(2), None);
+        assert_eq!(c.n_clusters(), 2);
+    }
+
+    #[test]
+    fn restrict_keeps_assignments() {
+        let p = Partition::from_optional_ids(&[Some(0), Some(1), None, Some(1)]);
+        let r = p.restrict(&[3, 2]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.cluster_of(0), Some(1));
+        assert!(r.assignment(1).is_noise());
+    }
+
+    #[test]
+    fn all_noise_partition() {
+        let p = Partition::all_noise(4);
+        assert_eq!(p.n_clusters(), 0);
+        assert_eq!(p.n_noise(), 4);
+        assert!(!p.same_cluster(0, 1));
+    }
+
+    #[test]
+    fn assignment_helpers() {
+        assert_eq!(Assignment::Cluster(3).cluster(), Some(3));
+        assert_eq!(Assignment::Noise.cluster(), None);
+        assert!(Assignment::Noise.is_noise());
+        assert!(!Assignment::Cluster(0).is_noise());
+    }
+}

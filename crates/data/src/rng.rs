@@ -1,0 +1,292 @@
+//! Seeded random number helpers.
+//!
+//! All experiments in the suite are reproducible from a single `u64` seed.
+//! This module wraps `rand`'s `StdRng` with a few sampling utilities used
+//! across the workspace (shuffling, sampling without replacement, Gaussian
+//! draws via Box–Muller, stratified index sampling).
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random number generator seeded from a `u64`.
+///
+/// ```
+/// use cvcp_data::rng::SeededRng;
+///
+/// let mut a = SeededRng::new(7);
+/// let mut b = SeededRng::new(7);
+/// assert_eq!(a.uniform(), b.uniform());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    inner: StdRng,
+}
+
+impl SeededRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator.  Useful to give each trial of
+    /// an experiment its own stream without coupling their sequences.
+    pub fn fork(&mut self, salt: u64) -> Self {
+        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Self::new(s)
+    }
+
+    /// A uniformly distributed `f64` in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniformly distributed `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "invalid range [{lo}, {hi})");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// A uniformly distributed integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "cannot sample from empty range");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// A standard-normal draw (mean 0, variance 1) using Box–Muller.
+    pub fn standard_normal(&mut self) -> f64 {
+        // Box–Muller transform; avoid u1 == 0.
+        let u1: f64 = loop {
+            let v = self.uniform();
+            if v > f64::EPSILON {
+                break v;
+            }
+        };
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// A normal draw with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        if items.len() < 2 {
+            return;
+        }
+        for i in (1..items.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `0..n` (order is random).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct items from {n}");
+        let mut idx: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut idx);
+        idx.truncate(k);
+        idx
+    }
+
+    /// Samples `k` distinct elements from `items` (cloned, order random).
+    pub fn sample<T: Clone>(&mut self, items: &[T], k: usize) -> Vec<T> {
+        self.sample_indices(items.len(), k)
+            .into_iter()
+            .map(|i| items[i].clone())
+            .collect()
+    }
+
+    /// Draws a Bernoulli outcome with success probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1], got {p}");
+        self.uniform() < p
+    }
+
+    /// Stratified sampling of approximately `fraction` of the indices of each
+    /// class.  Every class contributes at least `min_per_class` objects when
+    /// it has that many.  Returns sorted indices.
+    ///
+    /// This mirrors the paper's "x% of labelled objects randomly selected"
+    /// protocol while guaranteeing that tiny classes are not lost entirely.
+    pub fn stratified_fraction(
+        &mut self,
+        labels: &[usize],
+        fraction: f64,
+        min_per_class: usize,
+    ) -> Vec<usize> {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+        let n_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+        let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+        for (i, &c) in labels.iter().enumerate() {
+            per_class[c].push(i);
+        }
+        let mut chosen = Vec::new();
+        for members in per_class.iter_mut() {
+            if members.is_empty() {
+                continue;
+            }
+            self.shuffle(members);
+            let want = ((members.len() as f64 * fraction).round() as usize)
+                .max(min_per_class.min(members.len()))
+                .min(members.len());
+            chosen.extend_from_slice(&members[..want]);
+        }
+        chosen.sort_unstable();
+        chosen
+    }
+}
+
+impl RngCore for SeededRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_across_instances() {
+        let mut a = SeededRng::new(123);
+        let mut b = SeededRng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn fork_streams_are_decoupled() {
+        let mut root = SeededRng::new(9);
+        let mut c1 = root.fork(0);
+        let mut c2 = root.fork(1);
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn uniform_in_bounds() {
+        let mut r = SeededRng::new(5);
+        for _ in 0..1000 {
+            let v = r.uniform_in(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = SeededRng::new(77);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.standard_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "variance {var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SeededRng::new(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut r = SeededRng::new(11);
+        let s = r.sample_indices(20, 10);
+        assert_eq!(s.len(), 10);
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_indices_rejects_oversampling() {
+        let mut r = SeededRng::new(11);
+        let _ = r.sample_indices(3, 4);
+    }
+
+    #[test]
+    fn bernoulli_respects_probability() {
+        let mut r = SeededRng::new(8);
+        let hits = (0..10_000).filter(|_| r.bernoulli(0.25)).count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.25).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn stratified_fraction_covers_all_classes() {
+        let mut r = SeededRng::new(4);
+        // class 0: 40 objects, class 1: 10, class 2: 2
+        let labels: Vec<usize> = std::iter::repeat(0)
+            .take(40)
+            .chain(std::iter::repeat(1).take(10))
+            .chain(std::iter::repeat(2).take(2))
+            .collect();
+        let chosen = r.stratified_fraction(&labels, 0.1, 1);
+        let mut classes: Vec<usize> = chosen.iter().map(|&i| labels[i]).collect();
+        classes.sort_unstable();
+        classes.dedup();
+        assert_eq!(classes, vec![0, 1, 2]);
+        // ~10% of 40 = 4, 10% of 10 = 1, min 1 of class 2.
+        assert!(chosen.len() >= 6 && chosen.len() <= 8, "len {}", chosen.len());
+    }
+
+    #[test]
+    fn stratified_fraction_full_returns_everything() {
+        let mut r = SeededRng::new(4);
+        let labels = vec![0, 0, 1, 1, 1];
+        let chosen = r.stratified_fraction(&labels, 1.0, 0);
+        assert_eq!(chosen, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,404 @@
+//! Synthetic data generators.
+//!
+//! These generators are the building blocks for the data-set replicas in
+//! [`crate::replicas`] and [`crate::aloi`].  They produce labelled data with
+//! controllable cluster shape, overlap and imbalance so that the experiments
+//! of the CVCP paper can be reproduced without access to the original data.
+
+use crate::dataset::Dataset;
+use crate::matrix::DataMatrix;
+use crate::rng::SeededRng;
+
+/// Specification of a single Gaussian-like cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Cluster centre.
+    pub center: Vec<f64>,
+    /// Per-dimension standard deviation (axis-aligned anisotropy).
+    pub std_devs: Vec<f64>,
+    /// Number of points to draw.
+    pub size: usize,
+    /// Optional linear "stretch": points are sheared along a random direction
+    /// by this factor, producing elongated, non-globular clusters.
+    pub elongation: f64,
+}
+
+impl ClusterSpec {
+    /// A spherical cluster with uniform standard deviation.
+    pub fn spherical(center: Vec<f64>, std_dev: f64, size: usize) -> Self {
+        let dims = center.len();
+        Self {
+            center,
+            std_devs: vec![std_dev; dims],
+            size,
+            elongation: 0.0,
+        }
+    }
+
+    /// Number of dimensions of the cluster centre.
+    pub fn dims(&self) -> usize {
+        self.center.len()
+    }
+}
+
+/// Draws a labelled mixture of Gaussian-like clusters.
+///
+/// Each [`ClusterSpec`] becomes one class; class ids follow the order of
+/// `specs`.  Points are shuffled so that object index does not leak class
+/// information.
+///
+/// # Panics
+///
+/// Panics if `specs` is empty or cluster dimensionalities differ.
+pub fn gaussian_mixture(specs: &[ClusterSpec], rng: &mut SeededRng) -> Dataset {
+    assert!(!specs.is_empty(), "at least one cluster spec required");
+    let dims = specs[0].dims();
+    assert!(
+        specs.iter().all(|s| s.dims() == dims && s.std_devs.len() == dims),
+        "all clusters must share dimensionality"
+    );
+
+    let total: usize = specs.iter().map(|s| s.size).sum();
+    let mut rows: Vec<(Vec<f64>, usize)> = Vec::with_capacity(total);
+
+    for (class, spec) in specs.iter().enumerate() {
+        // Random elongation direction for this cluster (fixed per cluster).
+        let mut dir = vec![0.0; dims];
+        if spec.elongation > 0.0 {
+            for d in dir.iter_mut() {
+                *d = rng.standard_normal();
+            }
+            let norm: f64 = dir.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+            for d in dir.iter_mut() {
+                *d /= norm;
+            }
+        }
+        for _ in 0..spec.size {
+            let mut p = Vec::with_capacity(dims);
+            for j in 0..dims {
+                p.push(rng.normal(spec.center[j], spec.std_devs[j]));
+            }
+            if spec.elongation > 0.0 {
+                let t = rng.standard_normal() * spec.elongation;
+                for j in 0..dims {
+                    p[j] += t * dir[j];
+                }
+            }
+            rows.push((p, class));
+        }
+    }
+
+    rng.shuffle(&mut rows);
+    let labels: Vec<usize> = rows.iter().map(|(_, c)| *c).collect();
+    let matrix = DataMatrix::from_rows(&rows.iter().map(|(p, _)| p.clone()).collect::<Vec<_>>());
+    Dataset::new("gaussian_mixture", matrix, normalise_labels(labels))
+}
+
+/// Generates `k` well separated spherical clusters of `per_cluster` points in
+/// `dims` dimensions.  The separation factor controls centre spacing in units
+/// of the cluster standard deviation; values above ~6 give essentially
+/// perfectly separable data, which is useful for tests.
+pub fn separated_blobs(
+    k: usize,
+    per_cluster: usize,
+    dims: usize,
+    separation: f64,
+    rng: &mut SeededRng,
+) -> Dataset {
+    assert!(k >= 1 && per_cluster >= 1 && dims >= 1);
+    // A random unit direction shared by all centres: centres are placed at
+    // 0, separation, 2·separation, … along it (plus a small random offset),
+    // which guarantees every pair of centres is at least `separation` apart
+    // regardless of the dimensionality.
+    let mut direction: Vec<f64> = (0..dims).map(|_| rng.standard_normal()).collect();
+    let norm: f64 = direction.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+    for d in direction.iter_mut() {
+        *d /= norm;
+    }
+    let specs: Vec<ClusterSpec> = (0..k)
+        .map(|c| {
+            let offset: Vec<f64> = (0..dims).map(|_| rng.normal(0.0, 0.2)).collect();
+            let center: Vec<f64> = direction
+                .iter()
+                .zip(&offset)
+                .map(|(d, o)| d * separation * c as f64 + o)
+                .collect();
+            ClusterSpec::spherical(center, 1.0, per_cluster)
+        })
+        .collect();
+    let mut ds = gaussian_mixture(&specs, rng);
+    ds = rename(ds, format!("blobs_k{k}_d{dims}"));
+    ds
+}
+
+/// Two interleaving half-moons in 2-D, a classic example of clusters that
+/// k-means cannot recover but density-based methods can.  Extra dimensions
+/// (if `dims > 2`) are filled with Gaussian noise of standard deviation
+/// `noise`.
+pub fn two_moons(per_class: usize, noise: f64, dims: usize, rng: &mut SeededRng) -> Dataset {
+    assert!(dims >= 2, "two_moons needs at least 2 dimensions");
+    let mut rows: Vec<(Vec<f64>, usize)> = Vec::with_capacity(per_class * 2);
+    for i in 0..per_class {
+        let t = std::f64::consts::PI * (i as f64 + 0.5) / per_class as f64;
+        let mut p = vec![0.0; dims];
+        p[0] = t.cos() + rng.normal(0.0, noise);
+        p[1] = t.sin() + rng.normal(0.0, noise);
+        for d in p.iter_mut().skip(2) {
+            *d = rng.normal(0.0, noise);
+        }
+        rows.push((p, 0));
+
+        let mut q = vec![0.0; dims];
+        q[0] = 1.0 - t.cos() + rng.normal(0.0, noise);
+        q[1] = 0.5 - t.sin() + rng.normal(0.0, noise);
+        for d in q.iter_mut().skip(2) {
+            *d = rng.normal(0.0, noise);
+        }
+        rows.push((q, 1));
+    }
+    rng.shuffle(&mut rows);
+    let labels: Vec<usize> = rows.iter().map(|(_, c)| *c).collect();
+    let matrix = DataMatrix::from_rows(&rows.iter().map(|(p, _)| p.clone()).collect::<Vec<_>>());
+    Dataset::new("two_moons", matrix, normalise_labels(labels))
+}
+
+/// Concentric rings in 2-D (embedded in `dims` dimensions), another
+/// density-friendly / centroid-hostile structure.
+pub fn concentric_rings(
+    per_ring: usize,
+    radii: &[f64],
+    noise: f64,
+    dims: usize,
+    rng: &mut SeededRng,
+) -> Dataset {
+    assert!(dims >= 2 && !radii.is_empty());
+    let mut rows: Vec<(Vec<f64>, usize)> = Vec::new();
+    for (class, &r) in radii.iter().enumerate() {
+        for _ in 0..per_ring {
+            let angle = rng.uniform_in(0.0, 2.0 * std::f64::consts::PI);
+            let rr = r + rng.normal(0.0, noise);
+            let mut p = vec![0.0; dims];
+            p[0] = rr * angle.cos();
+            p[1] = rr * angle.sin();
+            for d in p.iter_mut().skip(2) {
+                *d = rng.normal(0.0, noise);
+            }
+            rows.push((p, class));
+        }
+    }
+    rng.shuffle(&mut rows);
+    let labels: Vec<usize> = rows.iter().map(|(_, c)| *c).collect();
+    let matrix = DataMatrix::from_rows(&rows.iter().map(|(p, _)| p.clone()).collect::<Vec<_>>());
+    Dataset::new("concentric_rings", matrix, normalise_labels(labels))
+}
+
+/// Adds `n_noise` uniformly distributed noise objects to a data set.  The
+/// noise objects receive a *new* class of their own (the last class id),
+/// which keeps labels contiguous; callers that want unlabelled noise can drop
+/// that class from the side information they generate.
+pub fn with_uniform_noise(ds: &Dataset, n_noise: usize, margin: f64, rng: &mut SeededRng) -> Dataset {
+    if n_noise == 0 {
+        return ds.clone();
+    }
+    let (mins, maxs) = ds.matrix().column_min_max();
+    let mut matrix = ds.matrix().clone();
+    let mut labels = ds.labels().to_vec();
+    let noise_class = ds.n_classes();
+    for _ in 0..n_noise {
+        let row: Vec<f64> = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(&lo, &hi)| {
+                let span = (hi - lo).max(1e-9);
+                rng.uniform_in(lo - margin * span, hi + margin * span)
+            })
+            .collect();
+        matrix.push_row(&row);
+        labels.push(noise_class);
+    }
+    Dataset::new(format!("{}+noise{}", ds.name(), n_noise), matrix, labels)
+}
+
+/// Generates smooth "expression profile" style data: each class has a
+/// prototype waveform (random phase/frequency sinusoid plus trend) over
+/// `dims` ordered conditions; objects are noisy copies of their class
+/// prototype.  Used by the Zyeast replica.
+pub fn waveform_profiles(
+    class_sizes: &[usize],
+    dims: usize,
+    noise: f64,
+    rng: &mut SeededRng,
+) -> Dataset {
+    assert!(!class_sizes.is_empty() && dims >= 2);
+    let mut rows: Vec<(Vec<f64>, usize)> = Vec::new();
+    for (class, &size) in class_sizes.iter().enumerate() {
+        let amp = rng.uniform_in(0.8, 2.0);
+        let freq = rng.uniform_in(0.5, 2.5);
+        let phase = rng.uniform_in(0.0, 2.0 * std::f64::consts::PI);
+        let slope = rng.uniform_in(-0.4, 0.4);
+        let offset = rng.uniform_in(-1.0, 1.0);
+        for _ in 0..size {
+            let p: Vec<f64> = (0..dims)
+                .map(|t| {
+                    let x = t as f64 / dims as f64 * 2.0 * std::f64::consts::PI;
+                    amp * (freq * x + phase).sin() + slope * t as f64 / dims as f64 + offset
+                        + rng.normal(0.0, noise)
+                })
+                .collect();
+            rows.push((p, class));
+        }
+    }
+    rng.shuffle(&mut rows);
+    let labels: Vec<usize> = rows.iter().map(|(_, c)| *c).collect();
+    let matrix = DataMatrix::from_rows(&rows.iter().map(|(p, _)| p.clone()).collect::<Vec<_>>());
+    Dataset::new("waveform_profiles", matrix, normalise_labels(labels))
+}
+
+/// Renames a data set (generators return generic names; replicas give them
+/// paper-specific names).
+pub fn rename(ds: Dataset, name: impl Into<String>) -> Dataset {
+    Dataset::new(name, ds.matrix().clone(), ds.labels().to_vec())
+}
+
+/// Ensures labels are contiguous starting at zero (generators may skip a
+/// class if a size of zero was requested).
+fn normalise_labels(labels: Vec<usize>) -> Vec<usize> {
+    let mut present: Vec<usize> = labels.clone();
+    present.sort_unstable();
+    present.dedup();
+    let map: std::collections::HashMap<usize, usize> = present
+        .into_iter()
+        .enumerate()
+        .map(|(new, old)| (old, new))
+        .collect();
+    labels.into_iter().map(|l| map[&l]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{Distance, Euclidean};
+
+    #[test]
+    fn gaussian_mixture_sizes_and_labels() {
+        let mut rng = SeededRng::new(1);
+        let specs = vec![
+            ClusterSpec::spherical(vec![0.0, 0.0], 0.5, 30),
+            ClusterSpec::spherical(vec![10.0, 10.0], 0.5, 20),
+        ];
+        let ds = gaussian_mixture(&specs, &mut rng);
+        assert_eq!(ds.len(), 50);
+        assert_eq!(ds.n_classes(), 2);
+        let counts = ds.class_counts();
+        assert_eq!(counts.iter().sum::<usize>(), 50);
+        assert!(counts.contains(&30) && counts.contains(&20));
+    }
+
+    #[test]
+    fn gaussian_mixture_is_reproducible() {
+        let specs = vec![ClusterSpec::spherical(vec![0.0; 3], 1.0, 25)];
+        let a = gaussian_mixture(&specs, &mut SeededRng::new(7));
+        let b = gaussian_mixture(&specs, &mut SeededRng::new(7));
+        assert_eq!(a.matrix(), b.matrix());
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn separated_blobs_are_actually_separated() {
+        let mut rng = SeededRng::new(3);
+        let ds = separated_blobs(3, 40, 4, 12.0, &mut rng);
+        // For strongly separated blobs, intra-class distances should be much
+        // smaller than inter-class distances on average.
+        let mut intra = Vec::new();
+        let mut inter = Vec::new();
+        for i in 0..ds.len() {
+            for j in (i + 1)..ds.len() {
+                let d = Euclidean.distance(ds.matrix().row(i), ds.matrix().row(j));
+                if ds.labels()[i] == ds.labels()[j] {
+                    intra.push(d);
+                } else {
+                    inter.push(d);
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(&inter) > 3.0 * mean(&intra));
+    }
+
+    #[test]
+    fn two_moons_shape() {
+        let mut rng = SeededRng::new(5);
+        let ds = two_moons(60, 0.05, 2, &mut rng);
+        assert_eq!(ds.len(), 120);
+        assert_eq!(ds.n_classes(), 2);
+        assert_eq!(ds.class_counts(), vec![60, 60]);
+        assert!(ds.matrix().all_finite());
+    }
+
+    #[test]
+    fn two_moons_extra_dims_are_noise() {
+        let mut rng = SeededRng::new(5);
+        let ds = two_moons(50, 0.05, 5, &mut rng);
+        assert_eq!(ds.dims(), 5);
+        let vars = ds.matrix().column_variances();
+        // noise dimensions have much smaller variance than the signal dims
+        assert!(vars[2] < vars[0]);
+    }
+
+    #[test]
+    fn concentric_rings_counts() {
+        let mut rng = SeededRng::new(9);
+        let ds = concentric_rings(30, &[1.0, 3.0, 5.0], 0.05, 2, &mut rng);
+        assert_eq!(ds.len(), 90);
+        assert_eq!(ds.n_classes(), 3);
+    }
+
+    #[test]
+    fn with_uniform_noise_adds_new_class() {
+        let mut rng = SeededRng::new(2);
+        let base = separated_blobs(2, 20, 3, 8.0, &mut rng);
+        let noisy = with_uniform_noise(&base, 10, 0.1, &mut rng);
+        assert_eq!(noisy.len(), 50);
+        assert_eq!(noisy.n_classes(), 3);
+        assert_eq!(noisy.class_counts()[2], 10);
+    }
+
+    #[test]
+    fn with_zero_noise_is_identity() {
+        let mut rng = SeededRng::new(2);
+        let base = separated_blobs(2, 10, 2, 8.0, &mut rng);
+        let same = with_uniform_noise(&base, 0, 0.1, &mut rng);
+        assert_eq!(base, same);
+    }
+
+    #[test]
+    fn waveform_profiles_sizes() {
+        let mut rng = SeededRng::new(13);
+        let ds = waveform_profiles(&[50, 30, 20], 20, 0.2, &mut rng);
+        assert_eq!(ds.len(), 100);
+        assert_eq!(ds.dims(), 20);
+        assert_eq!(ds.n_classes(), 3);
+        assert!(ds.matrix().all_finite());
+    }
+
+    #[test]
+    fn elongated_clusters_have_larger_spread() {
+        let mut rng = SeededRng::new(21);
+        let spec_round = ClusterSpec::spherical(vec![0.0, 0.0], 1.0, 300);
+        let mut spec_long = ClusterSpec::spherical(vec![0.0, 0.0], 1.0, 300);
+        spec_long.elongation = 4.0;
+        let round = gaussian_mixture(&[spec_round], &mut rng);
+        let long = gaussian_mixture(&[spec_long], &mut rng);
+        let spread = |ds: &Dataset| ds.matrix().column_variances().iter().sum::<f64>();
+        assert!(spread(&long) > 2.0 * spread(&round));
+    }
+
+    #[test]
+    fn rename_changes_only_name() {
+        let mut rng = SeededRng::new(2);
+        let base = separated_blobs(2, 5, 2, 8.0, &mut rng);
+        let renamed = rename(base.clone(), "other");
+        assert_eq!(renamed.name(), "other");
+        assert_eq!(renamed.matrix(), base.matrix());
+    }
+}

@@ -1,0 +1,140 @@
+//! DBSCAN (Ester, Kriegel, Sander & Xu 1996).
+//!
+//! Included as an unsupervised density baseline for the suite's ablation
+//! experiments (it has two parameters, `eps` and `MinPts`, and no mechanism
+//! to use constraints — which is precisely the gap the semi-supervised
+//! methods address).
+
+use cvcp_data::distance::{pairwise_matrix, Distance};
+use cvcp_data::{DataMatrix, Partition};
+
+/// DBSCAN configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dbscan {
+    /// Neighbourhood radius.
+    pub eps: f64,
+    /// Minimum number of objects (including the point itself) in an
+    /// ε-neighbourhood for a point to be a core point.
+    pub min_pts: usize,
+}
+
+impl Dbscan {
+    /// Creates a DBSCAN configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` is not positive or `min_pts` is zero.
+    pub fn new(eps: f64, min_pts: usize) -> Self {
+        assert!(eps > 0.0, "eps must be positive");
+        assert!(min_pts >= 1, "MinPts must be at least 1");
+        Self { eps, min_pts }
+    }
+
+    /// Runs DBSCAN on `data` with the given metric.
+    pub fn fit<D: Distance + ?Sized>(&self, data: &DataMatrix, metric: &D) -> Partition {
+        let dist = pairwise_matrix(data, metric);
+        self.fit_on_distances(&dist)
+    }
+
+    /// Runs DBSCAN on a precomputed distance matrix.
+    pub fn fit_on_distances(&self, dist: &[Vec<f64>]) -> Partition {
+        let n = dist.len();
+        // neighbourhoods (including the point itself)
+        let neighbors: Vec<Vec<usize>> = (0..n)
+            .map(|i| (0..n).filter(|&j| dist[i][j] <= self.eps).collect())
+            .collect();
+        let is_core: Vec<bool> = neighbors.iter().map(|nb| nb.len() >= self.min_pts).collect();
+
+        let mut assignment: Vec<Option<usize>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut next_cluster = 0usize;
+
+        for start in 0..n {
+            if visited[start] || !is_core[start] {
+                continue;
+            }
+            // expand a new cluster from this core point
+            let cluster = next_cluster;
+            next_cluster += 1;
+            let mut queue = vec![start];
+            visited[start] = true;
+            assignment[start] = Some(cluster);
+            while let Some(p) = queue.pop() {
+                if !is_core[p] {
+                    continue;
+                }
+                for &q in &neighbors[p] {
+                    if assignment[q].is_none() {
+                        assignment[q] = Some(cluster);
+                    }
+                    if !visited[q] {
+                        visited[q] = true;
+                        queue.push(q);
+                    }
+                }
+            }
+        }
+        Partition::from_optional_ids(&assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvcp_data::distance::Euclidean;
+    use cvcp_data::rng::SeededRng;
+    use cvcp_data::synthetic::{separated_blobs, two_moons, with_uniform_noise};
+    use cvcp_metrics::adjusted_rand_index;
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let mut rng = SeededRng::new(1);
+        let ds = separated_blobs(3, 25, 2, 15.0, &mut rng);
+        let p = Dbscan::new(1.5, 4).fit(ds.matrix(), &Euclidean);
+        assert_eq!(p.n_clusters(), 3);
+        let ari = adjusted_rand_index(&p, ds.labels());
+        assert!(ari > 0.9, "ARI = {ari}");
+    }
+
+    #[test]
+    fn recovers_moons_where_kmeans_would_fail() {
+        let mut rng = SeededRng::new(2);
+        let ds = two_moons(80, 0.04, 2, &mut rng);
+        let p = Dbscan::new(0.25, 4).fit(ds.matrix(), &Euclidean);
+        let ari = adjusted_rand_index(&p, ds.labels());
+        assert!(ari > 0.9, "ARI = {ari}");
+    }
+
+    #[test]
+    fn marks_far_outliers_as_noise() {
+        let mut rng = SeededRng::new(3);
+        let base = separated_blobs(2, 30, 2, 20.0, &mut rng);
+        let ds = with_uniform_noise(&base, 5, 0.5, &mut rng);
+        let p = Dbscan::new(1.0, 5).fit(ds.matrix(), &Euclidean);
+        assert!(p.n_noise() >= 3, "noise = {}", p.n_noise());
+    }
+
+    #[test]
+    fn tiny_eps_makes_everything_noise() {
+        let mut rng = SeededRng::new(4);
+        let ds = separated_blobs(2, 15, 2, 10.0, &mut rng);
+        let p = Dbscan::new(1e-6, 3).fit(ds.matrix(), &Euclidean);
+        assert_eq!(p.n_clusters(), 0);
+        assert_eq!(p.n_noise(), ds.len());
+    }
+
+    #[test]
+    fn huge_eps_puts_everything_in_one_cluster() {
+        let mut rng = SeededRng::new(5);
+        let ds = separated_blobs(3, 10, 2, 10.0, &mut rng);
+        let p = Dbscan::new(1e6, 3).fit(ds.matrix(), &Euclidean);
+        assert_eq!(p.n_clusters(), 1);
+        assert_eq!(p.n_noise(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps")]
+    fn invalid_eps_panics() {
+        let _ = Dbscan::new(0.0, 3);
+    }
+}

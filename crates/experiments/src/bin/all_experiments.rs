@@ -1,0 +1,169 @@
+//! Runs the complete reproduction: every figure and table of the paper, in
+//! order.  Pass `--full` for the paper-scale protocol (50 trials, 100 ALOI
+//! data sets, 10 folds) — expect a long runtime; the default quick mode
+//! reproduces the qualitative shape in minutes.
+
+use cvcp_core::experiment::SideInfoSpec;
+use cvcp_experiments::*;
+
+fn main() {
+    let mode = Mode::from_args();
+    println!(
+        "CVCP reproduction — {} mode ({} trials, {} ALOI data sets, {} folds)",
+        if mode.full { "FULL" } else { "QUICK" },
+        mode.n_trials(),
+        mode.aloi_collection_size(),
+        mode.n_folds()
+    );
+
+    // Figures 5–8: parameter curves on a representative ALOI data set.
+    let figures = [
+        ("Figure 5", true, true),
+        ("Figure 6", false, true),
+        ("Figure 7", true, false),
+        ("Figure 8", false, false),
+    ];
+    for (title, is_fosc, is_label) in figures {
+        let spec = if is_label {
+            SideInfoSpec::LabelFraction(0.10)
+        } else {
+            SideInfoSpec::ConstraintSample {
+                pool_fraction: 0.10,
+                sample_fraction: 0.10,
+            }
+        };
+        let fig = if is_fosc {
+            curve_figure(title, &fosc_method(), &MINPTS_RANGE, spec, mode)
+        } else {
+            let params = k_range(&representative_aloi());
+            curve_figure(title, &mpck_method(), &params, spec, mode)
+        };
+        print_curve_figure(&fig);
+    }
+
+    // Tables 1–4: correlation tables.
+    let label_specs = [
+        SideInfoSpec::LabelFraction(0.05),
+        SideInfoSpec::LabelFraction(0.10),
+        SideInfoSpec::LabelFraction(0.20),
+    ];
+    let constraint_specs: Vec<SideInfoSpec> = [0.10, 0.20, 0.50]
+        .iter()
+        .map(|&sample_fraction| SideInfoSpec::ConstraintSample {
+            pool_fraction: 0.10,
+            sample_fraction,
+        })
+        .collect();
+    print_correlation_table(
+        "Table 1: FOSC-OPTICSDend (label scenario) — correlations",
+        &correlation_table(&fosc_method(), Some(MINPTS_RANGE.to_vec()), &label_specs, mode, false),
+    );
+    print_correlation_table(
+        "Table 2: MPCKMeans (label scenario) — correlations",
+        &correlation_table(&mpck_method(), None, &label_specs, mode, false),
+    );
+    print_correlation_table(
+        "Table 3: FOSC-OPTICSDend (constraint scenario) — correlations",
+        &correlation_table(&fosc_method(), Some(MINPTS_RANGE.to_vec()), &constraint_specs, mode, false),
+    );
+    print_correlation_table(
+        "Table 4: MPCKMeans (constraint scenario) — correlations",
+        &correlation_table(&mpck_method(), None, &constraint_specs, mode, false),
+    );
+
+    // Tables 5–16: performance tables.
+    for (title, frac) in [("Table 5", 0.05), ("Table 6", 0.10), ("Table 7", 0.20)] {
+        let t = performance_table(
+            &format!("{title}: FOSC-OPTICSDend (label scenario)"),
+            &fosc_method(),
+            Some(MINPTS_RANGE.to_vec()),
+            SideInfoSpec::LabelFraction(frac),
+            mode,
+            false,
+        );
+        print_performance_table(&t, false);
+    }
+    for (title, frac) in [("Table 8", 0.05), ("Table 9", 0.10), ("Table 10", 0.20)] {
+        let t = performance_table(
+            &format!("{title}: MPCKMeans (label scenario)"),
+            &mpck_method(),
+            None,
+            SideInfoSpec::LabelFraction(frac),
+            mode,
+            true,
+        );
+        print_performance_table(&t, true);
+    }
+    for (title, frac) in [("Table 11", 0.10), ("Table 12", 0.20), ("Table 13", 0.50)] {
+        let t = performance_table(
+            &format!("{title}: FOSC-OPTICSDend (constraint scenario)"),
+            &fosc_method(),
+            Some(MINPTS_RANGE.to_vec()),
+            SideInfoSpec::ConstraintSample {
+                pool_fraction: 0.10,
+                sample_fraction: frac,
+            },
+            mode,
+            false,
+        );
+        print_performance_table(&t, false);
+    }
+    for (title, frac) in [("Table 14", 0.10), ("Table 15", 0.20), ("Table 16", 0.50)] {
+        let t = performance_table(
+            &format!("{title}: MPCKMeans (constraint scenario)"),
+            &mpck_method(),
+            None,
+            SideInfoSpec::ConstraintSample {
+                pool_fraction: 0.10,
+                sample_fraction: frac,
+            },
+            mode,
+            true,
+        );
+        print_performance_table(&t, true);
+    }
+
+    // Figures 9–12: box plots over the ALOI collection.
+    let label_boxes = [
+        (SideInfoSpec::LabelFraction(0.05), "5"),
+        (SideInfoSpec::LabelFraction(0.10), "10"),
+        (SideInfoSpec::LabelFraction(0.20), "20"),
+    ];
+    let constraint_boxes = [
+        (SideInfoSpec::ConstraintSample { pool_fraction: 0.10, sample_fraction: 0.10 }, "10"),
+        (SideInfoSpec::ConstraintSample { pool_fraction: 0.10, sample_fraction: 0.20 }, "20"),
+        (SideInfoSpec::ConstraintSample { pool_fraction: 0.10, sample_fraction: 0.50 }, "50"),
+    ];
+    print_boxplot_figure(&boxplot_figure(
+        "Figure 9: FOSC-OPTICSDend (label scenario)",
+        &fosc_method(),
+        Some(MINPTS_RANGE.to_vec()),
+        &label_boxes,
+        mode,
+        false,
+    ));
+    print_boxplot_figure(&boxplot_figure(
+        "Figure 10: MPCKMeans (label scenario)",
+        &mpck_method(),
+        None,
+        &label_boxes,
+        mode,
+        true,
+    ));
+    print_boxplot_figure(&boxplot_figure(
+        "Figure 11: FOSC-OPTICSDend (constraint scenario)",
+        &fosc_method(),
+        Some(MINPTS_RANGE.to_vec()),
+        &constraint_boxes,
+        mode,
+        false,
+    ));
+    print_boxplot_figure(&boxplot_figure(
+        "Figure 12: MPCKMeans (constraint scenario)",
+        &mpck_method(),
+        None,
+        &constraint_boxes,
+        mode,
+        true,
+    ));
+}

@@ -1,0 +1,19 @@
+//! Figure 5: FOSC-OPTICSDend, label scenario — internal CVCP classification
+//! scores vs. clustering scores over MinPts on a representative ALOI-like
+//! data set (10 % labelled objects).
+
+use cvcp_core::experiment::SideInfoSpec;
+use cvcp_experiments::{curve_figure, fosc_method, print_curve_figure, write_json, Mode, MINPTS_RANGE};
+
+fn main() {
+    let mode = Mode::from_args();
+    let fig = curve_figure(
+        "Figure 5: FOSC-OPTICSDend (label scenario) — representative ALOI data set, 10% labels",
+        &fosc_method(),
+        &MINPTS_RANGE,
+        SideInfoSpec::LabelFraction(0.10),
+        mode,
+    );
+    print_curve_figure(&fig);
+    write_json("fig05_fosc_label_curve", &fig);
+}

@@ -1,0 +1,20 @@
+//! Figure 6: MPCKMeans, label scenario — internal CVCP classification scores
+//! vs. clustering scores over k on a representative ALOI-like data set
+//! (10 % labelled objects).
+
+use cvcp_core::experiment::SideInfoSpec;
+use cvcp_experiments::{curve_figure, k_range, mpck_method, print_curve_figure, representative_aloi, write_json, Mode};
+
+fn main() {
+    let mode = Mode::from_args();
+    let params = k_range(&representative_aloi());
+    let fig = curve_figure(
+        "Figure 6: MPCKMeans (label scenario) — representative ALOI data set, 10% labels",
+        &mpck_method(),
+        &params,
+        SideInfoSpec::LabelFraction(0.10),
+        mode,
+    );
+    print_curve_figure(&fig);
+    write_json("fig06_mpck_label_curve", &fig);
+}

@@ -1,0 +1,22 @@
+//! Figure 7: FOSC-OPTICSDend, constraint scenario — internal CVCP scores vs.
+//! clustering scores over MinPts on a representative ALOI-like data set
+//! (10 % of the constraint pool).
+
+use cvcp_core::experiment::SideInfoSpec;
+use cvcp_experiments::{curve_figure, fosc_method, print_curve_figure, write_json, Mode, MINPTS_RANGE};
+
+fn main() {
+    let mode = Mode::from_args();
+    let fig = curve_figure(
+        "Figure 7: FOSC-OPTICSDend (constraint scenario) — representative ALOI data set, 10% of pool",
+        &fosc_method(),
+        &MINPTS_RANGE,
+        SideInfoSpec::ConstraintSample {
+            pool_fraction: 0.10,
+            sample_fraction: 0.10,
+        },
+        mode,
+    );
+    print_curve_figure(&fig);
+    write_json("fig07_fosc_constraint_curve", &fig);
+}

@@ -1,0 +1,23 @@
+//! Figure 8: MPCKMeans, constraint scenario — internal CVCP scores vs.
+//! clustering scores over k on a representative ALOI-like data set
+//! (10 % of the constraint pool).
+
+use cvcp_core::experiment::SideInfoSpec;
+use cvcp_experiments::{curve_figure, k_range, mpck_method, print_curve_figure, representative_aloi, write_json, Mode};
+
+fn main() {
+    let mode = Mode::from_args();
+    let params = k_range(&representative_aloi());
+    let fig = curve_figure(
+        "Figure 8: MPCKMeans (constraint scenario) — representative ALOI data set, 10% of pool",
+        &mpck_method(),
+        &params,
+        SideInfoSpec::ConstraintSample {
+            pool_fraction: 0.10,
+            sample_fraction: 0.10,
+        },
+        mode,
+    );
+    print_curve_figure(&fig);
+    write_json("fig08_mpck_constraint_curve", &fig);
+}

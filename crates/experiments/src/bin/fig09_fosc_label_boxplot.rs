@@ -1,0 +1,24 @@
+//! Figure 9: FOSC-OPTICSDend, label scenario — distributions of the Overall
+//! F-Measure over the ALOI-like collection for CVCP and the expected
+//! baseline at 5 / 10 / 20 % labelled objects.
+
+use cvcp_core::experiment::SideInfoSpec;
+use cvcp_experiments::{boxplot_figure, fosc_method, print_boxplot_figure, write_json, Mode, MINPTS_RANGE};
+
+fn main() {
+    let mode = Mode::from_args();
+    let fig = boxplot_figure(
+        "Figure 9: FOSC-OPTICSDend (label scenario) — ALOI collection quality distributions",
+        &fosc_method(),
+        Some(MINPTS_RANGE.to_vec()),
+        &[
+            (SideInfoSpec::LabelFraction(0.05), "5"),
+            (SideInfoSpec::LabelFraction(0.10), "10"),
+            (SideInfoSpec::LabelFraction(0.20), "20"),
+        ],
+        mode,
+        false,
+    );
+    print_boxplot_figure(&fig);
+    write_json("fig09_fosc_label_boxplot", &fig);
+}

@@ -1,0 +1,24 @@
+//! Figure 10: MPCKMeans, label scenario — distributions of the Overall
+//! F-Measure over the ALOI-like collection for CVCP, the expected baseline
+//! and Silhouette-based selection at 5 / 10 / 20 % labelled objects.
+
+use cvcp_core::experiment::SideInfoSpec;
+use cvcp_experiments::{boxplot_figure, mpck_method, print_boxplot_figure, write_json, Mode};
+
+fn main() {
+    let mode = Mode::from_args();
+    let fig = boxplot_figure(
+        "Figure 10: MPCKMeans (label scenario) — ALOI collection quality distributions",
+        &mpck_method(),
+        None,
+        &[
+            (SideInfoSpec::LabelFraction(0.05), "5"),
+            (SideInfoSpec::LabelFraction(0.10), "10"),
+            (SideInfoSpec::LabelFraction(0.20), "20"),
+        ],
+        mode,
+        true,
+    );
+    print_boxplot_figure(&fig);
+    write_json("fig10_mpck_label_boxplot", &fig);
+}

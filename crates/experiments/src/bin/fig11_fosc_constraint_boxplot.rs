@@ -1,0 +1,34 @@
+//! Figure 11: FOSC-OPTICSDend, constraint scenario — distributions of the
+//! Overall F-Measure over the ALOI-like collection for CVCP and the expected
+//! baseline at 10 / 20 / 50 % of the constraint pool.
+
+use cvcp_core::experiment::SideInfoSpec;
+use cvcp_experiments::{boxplot_figure, fosc_method, print_boxplot_figure, write_json, Mode, MINPTS_RANGE};
+
+fn main() {
+    let mode = Mode::from_args();
+    let specs: Vec<(SideInfoSpec, &str)> = vec![
+        (
+            SideInfoSpec::ConstraintSample { pool_fraction: 0.10, sample_fraction: 0.10 },
+            "10",
+        ),
+        (
+            SideInfoSpec::ConstraintSample { pool_fraction: 0.10, sample_fraction: 0.20 },
+            "20",
+        ),
+        (
+            SideInfoSpec::ConstraintSample { pool_fraction: 0.10, sample_fraction: 0.50 },
+            "50",
+        ),
+    ];
+    let fig = boxplot_figure(
+        "Figure 11: FOSC-OPTICSDend (constraint scenario) — ALOI collection quality distributions",
+        &fosc_method(),
+        Some(MINPTS_RANGE.to_vec()),
+        &specs,
+        mode,
+        false,
+    );
+    print_boxplot_figure(&fig);
+    write_json("fig11_fosc_constraint_boxplot", &fig);
+}

@@ -1,0 +1,34 @@
+//! Figure 12: MPCKMeans, constraint scenario — distributions of the Overall
+//! F-Measure over the ALOI-like collection for CVCP, the expected baseline
+//! and Silhouette-based selection at 10 / 20 / 50 % of the constraint pool.
+
+use cvcp_core::experiment::SideInfoSpec;
+use cvcp_experiments::{boxplot_figure, mpck_method, print_boxplot_figure, write_json, Mode};
+
+fn main() {
+    let mode = Mode::from_args();
+    let specs: Vec<(SideInfoSpec, &str)> = vec![
+        (
+            SideInfoSpec::ConstraintSample { pool_fraction: 0.10, sample_fraction: 0.10 },
+            "10",
+        ),
+        (
+            SideInfoSpec::ConstraintSample { pool_fraction: 0.10, sample_fraction: 0.20 },
+            "20",
+        ),
+        (
+            SideInfoSpec::ConstraintSample { pool_fraction: 0.10, sample_fraction: 0.50 },
+            "50",
+        ),
+    ];
+    let fig = boxplot_figure(
+        "Figure 12: MPCKMeans (constraint scenario) — ALOI collection quality distributions",
+        &mpck_method(),
+        None,
+        &specs,
+        mode,
+        true,
+    );
+    print_boxplot_figure(&fig);
+    write_json("fig12_mpck_constraint_boxplot", &fig);
+}

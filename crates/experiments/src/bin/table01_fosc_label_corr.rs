@@ -1,0 +1,26 @@
+//! Table 1: FOSC-OPTICSDend, label scenario — correlation of the internal
+//! CVCP scores with the Overall F-Measure across the MinPts range, for all
+//! data sets and 5 / 10 / 20 % labelled objects.
+
+use cvcp_core::experiment::SideInfoSpec;
+use cvcp_experiments::{correlation_table, fosc_method, print_correlation_table, write_json, Mode, MINPTS_RANGE};
+
+fn main() {
+    let mode = Mode::from_args();
+    let rows = correlation_table(
+        &fosc_method(),
+        Some(MINPTS_RANGE.to_vec()),
+        &[
+            SideInfoSpec::LabelFraction(0.05),
+            SideInfoSpec::LabelFraction(0.10),
+            SideInfoSpec::LabelFraction(0.20),
+        ],
+        mode,
+        false,
+    );
+    print_correlation_table(
+        "Table 1: FOSC-OPTICSDend (label scenario) — correlation of internal scores with Overall F-Measure",
+        &rows,
+    );
+    write_json("table01_fosc_label_corr", &rows);
+}

@@ -1,0 +1,26 @@
+//! Table 2: MPCKMeans, label scenario — correlation of the internal CVCP
+//! scores with the Overall F-Measure across the k range, for all data sets
+//! and 5 / 10 / 20 % labelled objects.
+
+use cvcp_core::experiment::SideInfoSpec;
+use cvcp_experiments::{correlation_table, mpck_method, print_correlation_table, write_json, Mode};
+
+fn main() {
+    let mode = Mode::from_args();
+    let rows = correlation_table(
+        &mpck_method(),
+        None, // per-data-set default k range (2..=min(2·classes, 10))
+        &[
+            SideInfoSpec::LabelFraction(0.05),
+            SideInfoSpec::LabelFraction(0.10),
+            SideInfoSpec::LabelFraction(0.20),
+        ],
+        mode,
+        false,
+    );
+    print_correlation_table(
+        "Table 2: MPCKMeans (label scenario) — correlation of internal scores with Overall F-Measure",
+        &rows,
+    );
+    write_json("table02_mpck_label_corr", &rows);
+}

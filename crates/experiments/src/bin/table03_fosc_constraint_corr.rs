@@ -1,0 +1,23 @@
+//! Table 3: FOSC-OPTICSDend, constraint scenario — correlation of the
+//! internal CVCP scores with the Overall F-Measure, for all data sets and
+//! 10 / 20 / 50 % of the constraint pool.
+
+use cvcp_core::experiment::SideInfoSpec;
+use cvcp_experiments::{correlation_table, fosc_method, print_correlation_table, write_json, Mode, MINPTS_RANGE};
+
+fn main() {
+    let mode = Mode::from_args();
+    let specs: Vec<SideInfoSpec> = [0.10, 0.20, 0.50]
+        .iter()
+        .map(|&sample_fraction| SideInfoSpec::ConstraintSample {
+            pool_fraction: 0.10,
+            sample_fraction,
+        })
+        .collect();
+    let rows = correlation_table(&fosc_method(), Some(MINPTS_RANGE.to_vec()), &specs, mode, false);
+    print_correlation_table(
+        "Table 3: FOSC-OPTICSDend (constraint scenario) — correlation of internal scores with Overall F-Measure",
+        &rows,
+    );
+    write_json("table03_fosc_constraint_corr", &rows);
+}

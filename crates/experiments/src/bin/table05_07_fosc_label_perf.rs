@@ -1,0 +1,28 @@
+//! Tables 5–7: FOSC-OPTICSDend, label scenario — average performance (CVCP
+//! vs. the expected baseline) using 5, 10 and 20 % labelled objects.
+
+use cvcp_core::experiment::SideInfoSpec;
+use cvcp_experiments::{fosc_method, performance_table, print_performance_table, write_json, Mode, MINPTS_RANGE};
+
+fn main() {
+    let mode = Mode::from_args();
+    let settings = [
+        ("Table 5", SideInfoSpec::LabelFraction(0.05)),
+        ("Table 6", SideInfoSpec::LabelFraction(0.10)),
+        ("Table 7", SideInfoSpec::LabelFraction(0.20)),
+    ];
+    let mut tables = Vec::new();
+    for (title, spec) in settings {
+        let table = performance_table(
+            &format!("{title}: FOSC-OPTICSDend (label scenario) — average performance"),
+            &fosc_method(),
+            Some(MINPTS_RANGE.to_vec()),
+            spec,
+            mode,
+            false,
+        );
+        print_performance_table(&table, false);
+        tables.push(table);
+    }
+    write_json("table05_07_fosc_label_perf", &tables);
+}

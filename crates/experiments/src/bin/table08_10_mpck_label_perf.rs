@@ -1,0 +1,28 @@
+//! Tables 8–10: MPCKMeans, label scenario — average performance (CVCP vs.
+//! expected vs. Silhouette) using 5, 10 and 20 % labelled objects.
+
+use cvcp_core::experiment::SideInfoSpec;
+use cvcp_experiments::{mpck_method, performance_table, print_performance_table, write_json, Mode};
+
+fn main() {
+    let mode = Mode::from_args();
+    let settings = [
+        ("Table 8", SideInfoSpec::LabelFraction(0.05)),
+        ("Table 9", SideInfoSpec::LabelFraction(0.10)),
+        ("Table 10", SideInfoSpec::LabelFraction(0.20)),
+    ];
+    let mut tables = Vec::new();
+    for (title, spec) in settings {
+        let table = performance_table(
+            &format!("{title}: MPCKMeans (label scenario) — average performance"),
+            &mpck_method(),
+            None,
+            spec,
+            mode,
+            true,
+        );
+        print_performance_table(&table, true);
+        tables.push(table);
+    }
+    write_json("table08_10_mpck_label_perf", &tables);
+}

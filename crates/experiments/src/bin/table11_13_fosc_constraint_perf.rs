@@ -1,0 +1,33 @@
+//! Tables 11–13: FOSC-OPTICSDend, constraint scenario — average performance
+//! (CVCP vs. the expected baseline) using 10, 20 and 50 % of the constraint
+//! pool.
+
+use cvcp_core::experiment::SideInfoSpec;
+use cvcp_experiments::{fosc_method, performance_table, print_performance_table, write_json, Mode, MINPTS_RANGE};
+
+fn main() {
+    let mode = Mode::from_args();
+    let settings = [
+        ("Table 11", 0.10),
+        ("Table 12", 0.20),
+        ("Table 13", 0.50),
+    ];
+    let mut tables = Vec::new();
+    for (title, sample_fraction) in settings {
+        let spec = SideInfoSpec::ConstraintSample {
+            pool_fraction: 0.10,
+            sample_fraction,
+        };
+        let table = performance_table(
+            &format!("{title}: FOSC-OPTICSDend (constraint scenario) — average performance"),
+            &fosc_method(),
+            Some(MINPTS_RANGE.to_vec()),
+            spec,
+            mode,
+            false,
+        );
+        print_performance_table(&table, false);
+        tables.push(table);
+    }
+    write_json("table11_13_fosc_constraint_perf", &tables);
+}

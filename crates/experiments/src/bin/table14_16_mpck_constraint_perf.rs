@@ -1,0 +1,32 @@
+//! Tables 14–16: MPCKMeans, constraint scenario — average performance (CVCP
+//! vs. expected vs. Silhouette) using 10, 20 and 50 % of the constraint pool.
+
+use cvcp_core::experiment::SideInfoSpec;
+use cvcp_experiments::{mpck_method, performance_table, print_performance_table, write_json, Mode};
+
+fn main() {
+    let mode = Mode::from_args();
+    let settings = [
+        ("Table 14", 0.10),
+        ("Table 15", 0.20),
+        ("Table 16", 0.50),
+    ];
+    let mut tables = Vec::new();
+    for (title, sample_fraction) in settings {
+        let spec = SideInfoSpec::ConstraintSample {
+            pool_fraction: 0.10,
+            sample_fraction,
+        };
+        let table = performance_table(
+            &format!("{title}: MPCKMeans (constraint scenario) — average performance"),
+            &mpck_method(),
+            None,
+            spec,
+            mode,
+            true,
+        );
+        print_performance_table(&table, true);
+        tables.push(table);
+    }
+    write_json("table14_16_mpck_constraint_perf", &tables);
+}

@@ -1,0 +1,262 @@
+//! COP-KMeans (Wagstaff, Cardie, Rogers & Schrödl 2001).
+//!
+//! A constrained k-means with *hard* constraint enforcement: during the
+//! assignment step every object is placed in the nearest centroid whose
+//! cluster does not violate any must-link or cannot-link constraint with the
+//! objects assigned so far.  If no such cluster exists the algorithm fails.
+//!
+//! COP-KMeans is included as an ablation baseline: the CVCP paper evaluates
+//! MPCKMeans (soft constraints + metric learning); comparing against hard
+//! enforcement shows why the soft formulation is preferred on noisy side
+//! information.
+
+use crate::init::kmeanspp_centroids;
+use crate::objective::{recompute_centroids, sq_dist};
+use cvcp_constraints::closure::transitive_closure;
+use cvcp_constraints::{ConstraintKind, ConstraintSet};
+use cvcp_data::rng::SeededRng;
+use cvcp_data::{DataMatrix, Partition};
+use std::fmt;
+
+/// Failure modes of COP-KMeans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CopKMeansError {
+    /// Some object could not be assigned to any cluster without violating a
+    /// constraint (after the configured number of restarts).
+    Infeasible {
+        /// The object that could not be placed.
+        object: usize,
+    },
+}
+
+impl fmt::Display for CopKMeansError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CopKMeansError::Infeasible { object } => write!(
+                f,
+                "COP-KMeans could not assign object {object} without violating a constraint"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CopKMeansError {}
+
+/// Configuration for COP-KMeans.
+#[derive(Debug, Clone)]
+pub struct CopKMeans {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iter: usize,
+    /// Number of restarts before giving up on an infeasible instance.
+    pub n_init: usize,
+}
+
+impl CopKMeans {
+    /// Creates a configuration with defaults (`max_iter = 100`, `n_init = 5`).
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            max_iter: 100,
+            n_init: 5,
+        }
+    }
+
+    /// Runs COP-KMeans.  Returns an error if a feasible assignment could not
+    /// be found in any restart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds the number of objects.
+    pub fn fit(
+        &self,
+        data: &DataMatrix,
+        constraints: &ConstraintSet,
+        rng: &mut SeededRng,
+    ) -> Result<Partition, CopKMeansError> {
+        assert!(
+            self.k >= 1 && self.k <= data.n_rows(),
+            "k = {} invalid for {} objects",
+            self.k,
+            data.n_rows()
+        );
+        let closed = transitive_closure(constraints);
+        let n = data.n_rows();
+
+        // Pre-index constraints per object for the feasibility check.
+        let mut ml: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut cl: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for c in closed.iter() {
+            match c.kind {
+                ConstraintKind::MustLink => {
+                    ml[c.a].push(c.b);
+                    ml[c.b].push(c.a);
+                }
+                ConstraintKind::CannotLink => {
+                    cl[c.a].push(c.b);
+                    cl[c.b].push(c.a);
+                }
+            }
+        }
+
+        let mut last_err = CopKMeansError::Infeasible { object: 0 };
+        for _ in 0..self.n_init.max(1) {
+            match self.fit_once(data, &ml, &cl, rng) {
+                Ok(p) => return Ok(p),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    fn fit_once(
+        &self,
+        data: &DataMatrix,
+        ml: &[Vec<usize>],
+        cl: &[Vec<usize>],
+        rng: &mut SeededRng,
+    ) -> Result<Partition, CopKMeansError> {
+        let n = data.n_rows();
+        let mut centroids = kmeanspp_centroids(data, self.k, rng);
+        let mut assignment: Vec<Option<usize>> = vec![None; n];
+
+        for _ in 0..self.max_iter {
+            let mut new_assignment: Vec<Option<usize>> = vec![None; n];
+            // Visit objects in random order (reduces order bias).
+            let mut order: Vec<usize> = (0..n).collect();
+            rng.shuffle(&mut order);
+            for &i in &order {
+                // Clusters sorted by distance.
+                let mut by_dist: Vec<(usize, f64)> = centroids
+                    .iter()
+                    .enumerate()
+                    .map(|(c, centroid)| (c, sq_dist(data.row(i), centroid)))
+                    .collect();
+                by_dist.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+
+                let mut placed = false;
+                for (c, _) in by_dist {
+                    if Self::violates(i, c, &new_assignment, ml, cl) {
+                        continue;
+                    }
+                    new_assignment[i] = Some(c);
+                    placed = true;
+                    break;
+                }
+                if !placed {
+                    return Err(CopKMeansError::Infeasible { object: i });
+                }
+            }
+            let flat: Vec<usize> = new_assignment.iter().map(|a| a.expect("assigned")).collect();
+            let converged = assignment
+                .iter()
+                .zip(&new_assignment)
+                .all(|(a, b)| a == b);
+            assignment = new_assignment;
+            recompute_centroids(data, &flat, &mut centroids);
+            if converged {
+                break;
+            }
+        }
+
+        let flat: Vec<usize> = assignment.iter().map(|a| a.expect("assigned")).collect();
+        Ok(Partition::from_cluster_ids(&flat))
+    }
+
+    /// `true` if putting object `i` into cluster `c` violates any constraint
+    /// with respect to the objects assigned so far.
+    fn violates(
+        i: usize,
+        c: usize,
+        assignment: &[Option<usize>],
+        ml: &[Vec<usize>],
+        cl: &[Vec<usize>],
+    ) -> bool {
+        for &j in &ml[i] {
+            if let Some(cj) = assignment[j] {
+                if cj != c {
+                    return true;
+                }
+            }
+        }
+        for &j in &cl[i] {
+            if let Some(cj) = assignment[j] {
+                if cj == c {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvcp_data::synthetic::separated_blobs;
+    use cvcp_metrics::adjusted_rand_index;
+
+    #[test]
+    fn respects_hard_constraints_on_separable_data() {
+        let mut rng = SeededRng::new(1);
+        let ds = separated_blobs(3, 20, 3, 10.0, &mut rng);
+        let mut cs = ConstraintSet::new(ds.len());
+        // add a handful of ground-truth constraints
+        let members = ds.class_members();
+        cs.add_must_link(members[0][0], members[0][1]);
+        cs.add_must_link(members[1][0], members[1][1]);
+        cs.add_cannot_link(members[0][0], members[1][0]);
+        let p = CopKMeans::new(3).fit(ds.matrix(), &cs, &mut rng).unwrap();
+        assert!(p.same_cluster(members[0][0], members[0][1]));
+        assert!(p.same_cluster(members[1][0], members[1][1]));
+        assert!(!p.same_cluster(members[0][0], members[1][0]));
+        let ari = adjusted_rand_index(&p, ds.labels());
+        assert!(ari > 0.9, "ARI = {ari}");
+    }
+
+    #[test]
+    fn works_without_constraints() {
+        let mut rng = SeededRng::new(2);
+        let ds = separated_blobs(2, 15, 2, 8.0, &mut rng);
+        let cs = ConstraintSet::new(ds.len());
+        let p = CopKMeans::new(2).fit(ds.matrix(), &cs, &mut rng).unwrap();
+        assert_eq!(p.n_clusters(), 2);
+    }
+
+    #[test]
+    fn infeasible_when_cannot_links_exceed_k() {
+        // 3 mutually cannot-linked objects but k = 2 -> infeasible.
+        let data = DataMatrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        let mut cs = ConstraintSet::new(4);
+        cs.add_cannot_link(0, 1);
+        cs.add_cannot_link(1, 2);
+        cs.add_cannot_link(0, 2);
+        let mut rng = SeededRng::new(3);
+        let err = CopKMeans::new(2).fit(&data, &cs, &mut rng);
+        assert!(err.is_err());
+        let msg = format!("{}", err.unwrap_err());
+        assert!(msg.contains("could not assign"));
+    }
+
+    #[test]
+    fn must_link_closure_is_enforced() {
+        // chained must-links 0-1, 1-2: all three must share a cluster even
+        // though 0-2 was never stated explicitly.
+        let data = DataMatrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![5.0, 5.0],
+            vec![10.0, 10.0],
+            vec![10.1, 10.0],
+            vec![0.1, 0.0],
+        ]);
+        let mut cs = ConstraintSet::new(5);
+        cs.add_must_link(0, 1);
+        cs.add_must_link(1, 2);
+        let mut rng = SeededRng::new(4);
+        let p = CopKMeans::new(2).fit(&data, &cs, &mut rng).unwrap();
+        assert!(p.same_cluster(0, 1));
+        assert!(p.same_cluster(1, 2));
+        assert!(p.same_cluster(0, 2));
+    }
+}

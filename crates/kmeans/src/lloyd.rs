@@ -1,0 +1,233 @@
+//! Standard (unsupervised) k-means via Lloyd's algorithm with k-means++
+//! seeding and multiple restarts.
+//!
+//! Used as the unsupervised backbone of the constrained variants and as a
+//! baseline in the suite's ablation benchmarks.
+
+use crate::init::{kmeanspp_centroids, random_centroids};
+use crate::objective::{inertia, recompute_centroids, sq_dist};
+use cvcp_data::rng::SeededRng;
+use cvcp_data::{DataMatrix, Partition};
+
+/// Seeding strategy for [`KMeans`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Seeding {
+    /// Uniformly random distinct data points.
+    Random,
+    /// k-means++ (D²) seeding.
+    KMeansPlusPlus,
+}
+
+/// Configuration and entry point for Lloyd's k-means.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum number of Lloyd iterations per restart.
+    pub max_iter: usize,
+    /// Convergence tolerance on the relative decrease of the objective.
+    pub tol: f64,
+    /// Number of random restarts; the best (lowest-inertia) result is kept.
+    pub n_init: usize,
+    /// Seeding strategy.
+    pub seeding: Seeding,
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Final cluster assignment (no noise).
+    pub partition: Partition,
+    /// Final centroids (`k` rows).
+    pub centroids: Vec<Vec<f64>>,
+    /// Final within-cluster sum of squares.
+    pub inertia: f64,
+    /// Number of iterations of the best restart.
+    pub iterations: usize,
+}
+
+impl KMeans {
+    /// Creates a k-means configuration with sensible defaults
+    /// (`max_iter = 100`, `tol = 1e-6`, `n_init = 4`, k-means++ seeding).
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            max_iter: 100,
+            tol: 1e-6,
+            n_init: 4,
+            seeding: Seeding::KMeansPlusPlus,
+        }
+    }
+
+    /// Sets the maximum number of iterations.
+    pub fn with_max_iter(mut self, max_iter: usize) -> Self {
+        self.max_iter = max_iter;
+        self
+    }
+
+    /// Sets the number of restarts.
+    pub fn with_n_init(mut self, n_init: usize) -> Self {
+        self.n_init = n_init.max(1);
+        self
+    }
+
+    /// Sets the seeding strategy.
+    pub fn with_seeding(mut self, seeding: Seeding) -> Self {
+        self.seeding = seeding;
+        self
+    }
+
+    /// Runs k-means on `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or larger than the number of objects.
+    pub fn fit(&self, data: &DataMatrix, rng: &mut SeededRng) -> KMeansResult {
+        assert!(
+            self.k >= 1 && self.k <= data.n_rows(),
+            "k = {} is invalid for {} objects",
+            self.k,
+            data.n_rows()
+        );
+        let mut best: Option<KMeansResult> = None;
+        for _ in 0..self.n_init.max(1) {
+            let result = self.fit_once(data, rng);
+            if best.as_ref().map_or(true, |b| result.inertia < b.inertia) {
+                best = Some(result);
+            }
+        }
+        best.expect("at least one restart")
+    }
+
+    fn fit_once(&self, data: &DataMatrix, rng: &mut SeededRng) -> KMeansResult {
+        let n = data.n_rows();
+        let mut centroids = match self.seeding {
+            Seeding::Random => random_centroids(data, self.k, rng),
+            Seeding::KMeansPlusPlus => kmeanspp_centroids(data, self.k, rng),
+        };
+        let mut assignment = vec![0usize; n];
+        let mut prev_inertia = f64::INFINITY;
+        let mut iterations = 0;
+
+        for it in 0..self.max_iter {
+            iterations = it + 1;
+            // Assignment step.
+            for i in 0..n {
+                let row = data.row(i);
+                let mut best_c = 0;
+                let mut best_d = f64::INFINITY;
+                for (c, centroid) in centroids.iter().enumerate() {
+                    let d = sq_dist(row, centroid);
+                    if d < best_d {
+                        best_d = d;
+                        best_c = c;
+                    }
+                }
+                assignment[i] = best_c;
+            }
+            // Re-seed empty clusters with the farthest point from its centroid.
+            for c in 0..self.k {
+                if !assignment.contains(&c) {
+                    let (far, _) = (0..n)
+                        .map(|i| (i, sq_dist(data.row(i), &centroids[assignment[i]])))
+                        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                        .expect("non-empty data");
+                    assignment[far] = c;
+                }
+            }
+            // Update step.
+            recompute_centroids(data, &assignment, &mut centroids);
+            let obj = inertia(data, &assignment, &centroids);
+            if (prev_inertia - obj).abs() <= self.tol * prev_inertia.max(1e-12) {
+                prev_inertia = obj;
+                break;
+            }
+            prev_inertia = obj;
+        }
+
+        KMeansResult {
+            partition: Partition::from_cluster_ids(&assignment),
+            inertia: prev_inertia,
+            centroids,
+            iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvcp_data::synthetic::separated_blobs;
+    use cvcp_metrics::adjusted_rand_index;
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let mut rng = SeededRng::new(1);
+        let ds = separated_blobs(3, 30, 4, 10.0, &mut rng);
+        let result = KMeans::new(3).fit(ds.matrix(), &mut rng);
+        let ari = adjusted_rand_index(&result.partition, ds.labels());
+        assert!(ari > 0.95, "ARI = {ari}");
+        assert_eq!(result.partition.n_clusters(), 3);
+        assert_eq!(result.partition.n_noise(), 0);
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let mut rng = SeededRng::new(2);
+        let ds = separated_blobs(4, 25, 3, 8.0, &mut rng);
+        let i2 = KMeans::new(2).fit(ds.matrix(), &mut rng).inertia;
+        let i4 = KMeans::new(4).fit(ds.matrix(), &mut rng).inertia;
+        let i8 = KMeans::new(8).fit(ds.matrix(), &mut rng).inertia;
+        assert!(i2 > i4);
+        assert!(i4 > i8);
+    }
+
+    #[test]
+    fn k_equals_one_groups_everything() {
+        let mut rng = SeededRng::new(3);
+        let ds = separated_blobs(2, 10, 2, 5.0, &mut rng);
+        let result = KMeans::new(1).fit(ds.matrix(), &mut rng);
+        assert_eq!(result.partition.n_clusters(), 1);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let mut rng = SeededRng::new(4);
+        let ds = separated_blobs(2, 5, 2, 5.0, &mut rng);
+        let result = KMeans::new(ds.len()).fit(ds.matrix(), &mut rng);
+        assert!(result.inertia < 1e-9);
+        assert_eq!(result.partition.n_clusters(), ds.len());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut rng1 = SeededRng::new(5);
+        let ds = separated_blobs(3, 20, 3, 9.0, &mut rng1);
+        let mut a_rng = SeededRng::new(42);
+        let mut b_rng = SeededRng::new(42);
+        let a = KMeans::new(3).fit(ds.matrix(), &mut a_rng);
+        let b = KMeans::new(3).fit(ds.matrix(), &mut b_rng);
+        assert_eq!(a.partition, b.partition);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn random_seeding_also_works() {
+        let mut rng = SeededRng::new(6);
+        let ds = separated_blobs(3, 20, 3, 10.0, &mut rng);
+        let result = KMeans::new(3)
+            .with_seeding(Seeding::Random)
+            .with_n_init(8)
+            .fit(ds.matrix(), &mut rng);
+        let ari = adjusted_rand_index(&result.partition, ds.labels());
+        assert!(ari > 0.9, "ARI = {ari}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn k_zero_panics() {
+        let mut rng = SeededRng::new(7);
+        let ds = separated_blobs(2, 5, 2, 5.0, &mut rng);
+        let _ = KMeans::new(0).fit(ds.matrix(), &mut rng);
+    }
+}

@@ -1,0 +1,111 @@
+//! PCKMeans — Pairwise Constrained K-Means (Basu, Bilenko & Mooney 2004).
+//!
+//! The soft-constraint half of MPCKMeans: constraint violations are penalised
+//! during assignment but no metric is learned (the Euclidean metric is used
+//! for every cluster).  Provided as an ablation baseline so the suite can
+//! quantify the contribution of metric learning; the CVCP paper itself
+//! evaluates MPCKMeans.
+
+use crate::mpck_means::{MpckMeans, MpckMeansResult};
+use cvcp_constraints::ConstraintSet;
+use cvcp_data::rng::SeededRng;
+use cvcp_data::{DataMatrix, Partition};
+
+/// Configuration for PCKMeans.
+#[derive(Debug, Clone)]
+pub struct PckMeans {
+    inner: MpckMeans,
+}
+
+impl PckMeans {
+    /// Creates a PCKMeans configuration (MPCKMeans with metric learning
+    /// disabled).
+    pub fn new(k: usize) -> Self {
+        Self {
+            inner: MpckMeans::new(k).with_metric_learning(false),
+        }
+    }
+
+    /// Sets the constraint-violation weights.
+    pub fn with_weights(mut self, must_link: f64, cannot_link: f64) -> Self {
+        self.inner = self.inner.with_weights(must_link, cannot_link);
+        self
+    }
+
+    /// Sets the maximum number of EM iterations.
+    pub fn with_max_iter(mut self, max_iter: usize) -> Self {
+        self.inner = self.inner.with_max_iter(max_iter);
+        self
+    }
+
+    /// The number of clusters.
+    pub fn k(&self) -> usize {
+        self.inner.k
+    }
+
+    /// Runs PCKMeans and returns the full result (centroids, objective, …).
+    pub fn fit_full(
+        &self,
+        data: &DataMatrix,
+        constraints: &ConstraintSet,
+        rng: &mut SeededRng,
+    ) -> MpckMeansResult {
+        self.inner.fit(data, constraints, rng)
+    }
+
+    /// Runs PCKMeans and returns only the partition.
+    pub fn fit(
+        &self,
+        data: &DataMatrix,
+        constraints: &ConstraintSet,
+        rng: &mut SeededRng,
+    ) -> Partition {
+        self.fit_full(data, constraints, rng).partition
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvcp_constraints::generate::constraint_pool;
+    use cvcp_data::synthetic::separated_blobs;
+    use cvcp_metrics::adjusted_rand_index;
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let mut rng = SeededRng::new(1);
+        let ds = separated_blobs(3, 20, 3, 10.0, &mut rng);
+        let pool = constraint_pool(ds.labels(), 0.3, 2, &mut rng);
+        let p = PckMeans::new(3).fit(ds.matrix(), &pool, &mut rng);
+        let ari = adjusted_rand_index(&p, ds.labels());
+        assert!(ari > 0.9, "ARI = {ari}");
+    }
+
+    #[test]
+    fn never_learns_metrics() {
+        let mut rng = SeededRng::new(2);
+        let ds = separated_blobs(2, 15, 4, 8.0, &mut rng);
+        let pool = constraint_pool(ds.labels(), 0.3, 2, &mut rng);
+        let result = PckMeans::new(2).fit_full(ds.matrix(), &pool, &mut rng);
+        for m in &result.metrics {
+            assert!(m.iter().all(|&w| (w - 1.0).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn exposes_k() {
+        assert_eq!(PckMeans::new(7).k(), 7);
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let mut rng = SeededRng::new(3);
+        let ds = separated_blobs(2, 10, 2, 8.0, &mut rng);
+        let pool = constraint_pool(ds.labels(), 0.3, 2, &mut rng);
+        let p = PckMeans::new(2)
+            .with_weights(2.0, 2.0)
+            .with_max_iter(10)
+            .fit(ds.matrix(), &pool, &mut rng);
+        assert_eq!(p.len(), ds.len());
+    }
+}

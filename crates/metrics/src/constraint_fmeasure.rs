@@ -1,0 +1,326 @@
+//! The internal classification F-measure of the CVCP framework.
+//!
+//! Section 3.2 of the paper: a clustering partition is viewed as a binary
+//! classifier over constraints — must-link constraints form class 1 and
+//! cannot-link constraints form class 0.  A must-link constraint is
+//! "recognised" when both objects are placed in the same (non-noise) cluster,
+//! a cannot-link constraint when they are not.  Precision, recall and the
+//! F-measure are computed per class and the *average F-measure of the two
+//! classes* is the quality score of the partition with respect to the test
+//! constraints.
+
+use cvcp_constraints::{ConstraintKind, ConstraintSet};
+use cvcp_data::Partition;
+use serde::{Deserialize, Serialize};
+
+/// Precision/recall/F for one of the two constraint classes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassScores {
+    /// True positives (constraints of this class predicted as this class).
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// Precision (1.0 when there are no predictions of this class).
+    pub precision: f64,
+    /// Recall (1.0 when the class is empty).
+    pub recall: f64,
+    /// F1 measure (harmonic mean of precision and recall).
+    pub f1: f64,
+}
+
+impl ClassScores {
+    fn from_counts(tp: usize, fp: usize, fn_: usize) -> Self {
+        // Conventions for empty denominators: a class with no predicted
+        // members has precision 1 (no wrong predictions were made); a class
+        // with no actual members has recall 1.  With both, F1 is 1.
+        let precision = if tp + fp == 0 {
+            1.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = if tp + fn_ == 0 {
+            1.0
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Self {
+            tp,
+            fp,
+            fn_,
+            precision,
+            recall,
+            f1,
+        }
+    }
+}
+
+/// Full report of the constraint-classification evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BinaryReport {
+    /// Scores for the must-link class (class 1).
+    pub must_link: ClassScores,
+    /// Scores for the cannot-link class (class 0).
+    pub cannot_link: ClassScores,
+    /// Average of the two per-class F-measures — the paper's internal score.
+    pub average_f1: f64,
+    /// Fraction of constraints satisfied (accuracy over constraints).
+    pub accuracy: f64,
+    /// Number of constraints evaluated.
+    pub n_constraints: usize,
+}
+
+/// Computes the full constraint-classification report for `partition` with
+/// respect to `constraints`.
+///
+/// A pair is "predicted must-link" iff both objects are assigned to the same
+/// non-noise cluster; noise objects therefore never satisfy a must-link but
+/// always satisfy a cannot-link — matching the semantics of FOSC, where an
+/// object left as noise is not grouped with anything.
+///
+/// Returns a report with `average_f1 = 0.0` and `n_constraints = 0` when the
+/// constraint set is empty (callers typically skip such folds).
+pub fn constraint_classification_report(
+    partition: &Partition,
+    constraints: &ConstraintSet,
+) -> BinaryReport {
+    // Counts from the perspective of the must-link class (positive class).
+    let mut tp_ml = 0usize; // must-link, same cluster
+    let mut fn_ml = 0usize; // must-link, different clusters
+    let mut tp_cl = 0usize; // cannot-link, different clusters
+    let mut fn_cl = 0usize; // cannot-link, same cluster
+
+    for c in constraints.iter() {
+        let same = partition.same_cluster(c.a, c.b);
+        match c.kind {
+            ConstraintKind::MustLink => {
+                if same {
+                    tp_ml += 1;
+                } else {
+                    fn_ml += 1;
+                }
+            }
+            ConstraintKind::CannotLink => {
+                if same {
+                    fn_cl += 1;
+                } else {
+                    tp_cl += 1;
+                }
+            }
+        }
+    }
+
+    // False positives of one class are the false negatives of the other:
+    // a cannot-link pair predicted "same cluster" is a false positive for the
+    // must-link class, and vice versa.
+    let must_link = ClassScores::from_counts(tp_ml, fn_cl, fn_ml);
+    let cannot_link = ClassScores::from_counts(tp_cl, fn_ml, fn_cl);
+
+    let n_constraints = constraints.len();
+    let (average_f1, accuracy) = if n_constraints == 0 {
+        (0.0, 0.0)
+    } else {
+        (
+            0.5 * (must_link.f1 + cannot_link.f1),
+            (tp_ml + tp_cl) as f64 / n_constraints as f64,
+        )
+    };
+
+    BinaryReport {
+        must_link,
+        cannot_link,
+        average_f1,
+        accuracy,
+        n_constraints,
+    }
+}
+
+/// The paper's internal score: the average of the must-link and cannot-link
+/// F-measures of `partition` with respect to `constraints`.
+///
+/// Returns `0.0` for an empty constraint set.
+pub fn constraint_fmeasure(partition: &Partition, constraints: &ConstraintSet) -> f64 {
+    constraint_classification_report(partition, constraints).average_f1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn constraints_from(pairs: &[(usize, usize, bool)], n: usize) -> ConstraintSet {
+        let mut set = ConstraintSet::new(n);
+        for &(a, b, must) in pairs {
+            if must {
+                set.add_must_link(a, b);
+            } else {
+                set.add_cannot_link(a, b);
+            }
+        }
+        set
+    }
+
+    #[test]
+    fn perfect_partition_scores_one() {
+        // objects 0,1 in cluster 0; 2,3 in cluster 1
+        let p = Partition::from_cluster_ids(&[0, 0, 1, 1]);
+        let cs = constraints_from(&[(0, 1, true), (2, 3, true), (0, 2, false), (1, 3, false)], 4);
+        let report = constraint_classification_report(&p, &cs);
+        assert_eq!(report.average_f1, 1.0);
+        assert_eq!(report.accuracy, 1.0);
+        assert_eq!(report.must_link.tp, 2);
+        assert_eq!(report.cannot_link.tp, 2);
+    }
+
+    #[test]
+    fn completely_wrong_partition_scores_zero() {
+        // all constraints violated: must-links split, cannot-links merged
+        let p = Partition::from_cluster_ids(&[0, 1, 0, 1]);
+        let cs = constraints_from(&[(0, 1, true), (2, 3, true), (0, 2, false), (1, 3, false)], 4);
+        let report = constraint_classification_report(&p, &cs);
+        assert_eq!(report.accuracy, 0.0);
+        assert_eq!(report.average_f1, 0.0);
+    }
+
+    #[test]
+    fn all_in_one_cluster_satisfies_only_must_links() {
+        let p = Partition::from_cluster_ids(&[0, 0, 0, 0]);
+        let cs = constraints_from(&[(0, 1, true), (2, 3, true), (0, 2, false), (1, 3, false)], 4);
+        let report = constraint_classification_report(&p, &cs);
+        assert_eq!(report.must_link.recall, 1.0);
+        assert_eq!(report.must_link.precision, 0.5);
+        assert_eq!(report.cannot_link.recall, 0.0);
+        assert!((report.accuracy - 0.5).abs() < 1e-12);
+        assert!(report.average_f1 > 0.0 && report.average_f1 < 1.0);
+    }
+
+    #[test]
+    fn noise_objects_never_satisfy_must_links() {
+        let p = Partition::from_optional_ids(&[Some(0), None, Some(0), None]);
+        let cs = constraints_from(&[(0, 1, true), (1, 3, false)], 4);
+        let report = constraint_classification_report(&p, &cs);
+        // must-link(0,1) violated because 1 is noise
+        assert_eq!(report.must_link.tp, 0);
+        // cannot-link(1,3) satisfied: two noise objects are not in the same cluster
+        assert_eq!(report.cannot_link.tp, 1);
+    }
+
+    #[test]
+    fn empty_constraint_set_scores_zero() {
+        let p = Partition::from_cluster_ids(&[0, 1]);
+        let cs = ConstraintSet::new(2);
+        let report = constraint_classification_report(&p, &cs);
+        assert_eq!(report.average_f1, 0.0);
+        assert_eq!(report.n_constraints, 0);
+    }
+
+    #[test]
+    fn single_class_of_constraints_uses_degenerate_conventions() {
+        // Only must-link constraints present, all satisfied: both class F
+        // values are 1 (cannot-link class is empty: recall convention 1,
+        // precision 1 because nothing was predicted cannot-link *for a
+        // cannot-link constraint*).
+        let p = Partition::from_cluster_ids(&[0, 0, 0]);
+        let cs = constraints_from(&[(0, 1, true), (1, 2, true)], 3);
+        let report = constraint_classification_report(&p, &cs);
+        assert_eq!(report.must_link.f1, 1.0);
+        assert_eq!(report.cannot_link.f1, 1.0);
+        assert_eq!(report.average_f1, 1.0);
+    }
+
+    #[test]
+    fn fmeasure_shortcut_matches_report() {
+        let p = Partition::from_cluster_ids(&[0, 0, 1, 1, 2]);
+        let cs = constraints_from(
+            &[(0, 1, true), (0, 4, false), (2, 3, true), (1, 2, false), (3, 4, false)],
+            5,
+        );
+        assert_eq!(
+            constraint_fmeasure(&p, &cs),
+            constraint_classification_report(&p, &cs).average_f1
+        );
+    }
+
+    #[test]
+    fn better_partition_scores_higher() {
+        let cs = constraints_from(
+            &[(0, 1, true), (2, 3, true), (4, 5, true), (0, 3, false), (1, 4, false), (2, 5, false)],
+            6,
+        );
+        let good = Partition::from_cluster_ids(&[0, 0, 1, 1, 2, 2]);
+        let medium = Partition::from_cluster_ids(&[0, 0, 1, 1, 1, 1]);
+        let bad = Partition::from_cluster_ids(&[0, 1, 2, 0, 1, 2]);
+        let s_good = constraint_fmeasure(&good, &cs);
+        let s_medium = constraint_fmeasure(&medium, &cs);
+        let s_bad = constraint_fmeasure(&bad, &cs);
+        assert!(s_good > s_medium, "{s_good} vs {s_medium}");
+        assert!(s_medium > s_bad, "{s_medium} vs {s_bad}");
+    }
+
+    proptest! {
+        /// The score is always within [0, 1] and equals 1 when the partition
+        /// is derived from the same labels as the constraints.
+        #[test]
+        fn prop_score_bounds_and_perfection(
+            n in 4usize..40,
+            k in 2usize..5,
+            seed in 0u64..200,
+        ) {
+            use cvcp_data::rng::SeededRng;
+            use cvcp_constraints::generate::constraint_pool;
+            let gt: Vec<usize> = (0..n).map(|i| i % k).collect();
+            let mut rng = SeededRng::new(seed);
+            let pool = constraint_pool(&gt, 0.8, 2, &mut rng);
+            prop_assume!(!pool.is_empty());
+
+            // Perfect partition: exactly the ground truth.
+            let perfect = Partition::from_cluster_ids(&gt);
+            prop_assert!((constraint_fmeasure(&perfect, &pool) - 1.0).abs() < 1e-12);
+
+            // Arbitrary partition: bounded score.
+            let arbitrary = Partition::from_cluster_ids(
+                &(0..n).map(|i| (i * 7 + 3) % 2).collect::<Vec<_>>(),
+            );
+            let s = constraint_fmeasure(&arbitrary, &pool);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        /// Per-class precision/recall/F are always within [0, 1].
+        #[test]
+        fn prop_class_scores_bounded(
+            assignments in proptest::collection::vec(proptest::option::of(0usize..4), 6..30),
+            seed in 0u64..100,
+        ) {
+            use cvcp_data::rng::SeededRng;
+            let n = assignments.len();
+            let mut rng = SeededRng::new(seed);
+            let mut cs = ConstraintSet::new(n);
+            for _ in 0..20 {
+                let a = rng.index(n);
+                let b = rng.index(n);
+                if a != b {
+                    if rng.bernoulli(0.5) {
+                        cs.add_must_link(a, b);
+                    } else {
+                        cs.add_cannot_link(a, b);
+                    }
+                }
+            }
+            let p = Partition::from_optional_ids(&assignments);
+            let r = constraint_classification_report(&p, &cs);
+            for scores in [r.must_link, r.cannot_link] {
+                prop_assert!((0.0..=1.0).contains(&scores.precision));
+                prop_assert!((0.0..=1.0).contains(&scores.recall));
+                prop_assert!((0.0..=1.0).contains(&scores.f1));
+            }
+            prop_assert!((0.0..=1.0).contains(&r.average_f1));
+            prop_assert!((0.0..=1.0).contains(&r.accuracy));
+        }
+    }
+}

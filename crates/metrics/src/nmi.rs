@@ -1,0 +1,160 @@
+//! Normalised mutual information between a partition and ground-truth
+//! classes.  Included as an additional external measure for the suite's
+//! extended analyses; the paper itself reports the Overall F-Measure.
+
+use cvcp_data::Partition;
+
+/// Computes the normalised mutual information (NMI) between `partition` and
+/// `classes`, using the arithmetic-mean normalisation
+/// `NMI = 2 I(U;V) / (H(U) + H(V))`.
+///
+/// Noise objects are treated as singleton clusters.  Returns 1.0 when both
+/// partitions are identical and both entropies are zero (single cluster and
+/// single class), and 0.0 when either side carries no information while the
+/// other does.
+pub fn normalized_mutual_information(partition: &Partition, classes: &[usize]) -> f64 {
+    assert_eq!(partition.len(), classes.len(), "length mismatch");
+    let n = classes.len();
+    if n == 0 {
+        return 1.0;
+    }
+
+    // Cluster labels with noise as singletons.
+    let mut cluster_ids: Vec<usize> = (0..n).filter_map(|i| partition.cluster_of(i)).collect();
+    cluster_ids.sort_unstable();
+    cluster_ids.dedup();
+    let mut next = cluster_ids.len();
+    let cluster_of: Vec<usize> = (0..n)
+        .map(|i| match partition.cluster_of(i) {
+            Some(c) => cluster_ids.binary_search(&c).expect("present"),
+            None => {
+                let id = next;
+                next += 1;
+                id
+            }
+        })
+        .collect();
+    let n_clusters = next;
+    let n_classes = classes.iter().copied().max().map_or(0, |m| m + 1);
+
+    let mut joint = vec![vec![0usize; n_classes]; n_clusters];
+    let mut pu = vec![0usize; n_clusters];
+    let mut pv = vec![0usize; n_classes];
+    for i in 0..n {
+        joint[cluster_of[i]][classes[i]] += 1;
+        pu[cluster_of[i]] += 1;
+        pv[classes[i]] += 1;
+    }
+
+    let nf = n as f64;
+    let entropy = |counts: &[usize]| -> f64 {
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / nf;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let hu = entropy(&pu);
+    let hv = entropy(&pv);
+
+    let mut mi = 0.0;
+    for (u, row) in joint.iter().enumerate() {
+        for (v, &c) in row.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let p_uv = c as f64 / nf;
+            let p_u = pu[u] as f64 / nf;
+            let p_v = pv[v] as f64 / nf;
+            mi += p_uv * (p_uv / (p_u * p_v)).ln();
+        }
+    }
+
+    if hu + hv == 0.0 {
+        // both sides are a single group: identical by definition
+        return 1.0;
+    }
+    (2.0 * mi / (hu + hv)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_partitions_have_nmi_one() {
+        let classes = vec![0, 0, 1, 1, 2, 2];
+        let p = Partition::from_cluster_ids(&[3, 3, 8, 8, 5, 5]);
+        assert!((normalized_mutual_information(&p, &classes) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_partition_has_low_nmi() {
+        // Alternating clusters vs. block classes: close to independent.
+        let classes = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let p = Partition::from_cluster_ids(&[0, 1, 0, 1, 0, 1, 0, 1]);
+        let nmi = normalized_mutual_information(&p, &classes);
+        assert!(nmi < 0.05, "nmi = {nmi}");
+    }
+
+    #[test]
+    fn single_cluster_vs_multiple_classes_is_zero() {
+        let classes = vec![0, 0, 1, 1];
+        let p = Partition::from_cluster_ids(&[0, 0, 0, 0]);
+        assert_eq!(normalized_mutual_information(&p, &classes), 0.0);
+    }
+
+    #[test]
+    fn all_same_class_and_cluster_is_one() {
+        let classes = vec![0, 0, 0];
+        let p = Partition::from_cluster_ids(&[2, 2, 2]);
+        assert_eq!(normalized_mutual_information(&p, &classes), 1.0);
+    }
+
+    #[test]
+    fn refinement_scores_between_zero_and_one() {
+        let classes = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let p = Partition::from_cluster_ids(&[0, 0, 1, 1, 2, 2, 3, 3]);
+        let nmi = normalized_mutual_information(&p, &classes);
+        assert!(nmi > 0.5 && nmi < 1.0, "nmi = {nmi}");
+    }
+
+    #[test]
+    fn noise_reduces_information() {
+        let classes = vec![0, 0, 1, 1];
+        let full = Partition::from_cluster_ids(&[0, 0, 1, 1]);
+        let noisy = Partition::from_optional_ids(&[Some(0), None, Some(1), None]);
+        assert!(
+            normalized_mutual_information(&noisy, &classes)
+                < normalized_mutual_information(&full, &classes)
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_nmi_bounds(
+            classes in proptest::collection::vec(0usize..3, 2..30),
+            clusters in proptest::collection::vec(0usize..4, 2..30),
+        ) {
+            let n = classes.len().min(clusters.len());
+            let classes = {
+                let mut v = classes[..n].to_vec();
+                let mut present = v.clone();
+                present.sort_unstable();
+                present.dedup();
+                for x in v.iter_mut() { *x = present.binary_search(x).unwrap(); }
+                v
+            };
+            let p = Partition::from_cluster_ids(&clusters[..n]);
+            let nmi = normalized_mutual_information(&p, &classes);
+            prop_assert!((0.0..=1.0).contains(&nmi));
+            // identity
+            let id = Partition::from_cluster_ids(&classes);
+            prop_assert!((normalized_mutual_information(&id, &classes) - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! The external "Overall F-Measure" used in the paper's evaluation.
+//!
+//! For every ground-truth class the best-matching cluster (the one maximising
+//! the class/cluster F-measure) is found; the Overall F-Measure is the
+//! class-size-weighted average of these best F values.  This is the standard
+//! set-matching F-measure for clusterings (Larsen & Aone style), which the
+//! paper refers to as the "Overall F-Measure".
+//!
+//! Two details matter for fidelity with the paper:
+//!
+//! * objects that were involved in the side information given to the
+//!   semi-supervised algorithm must be excluded from the external evaluation
+//!   ("set aside" — Section 2 and 4.1); use [`overall_fmeasure_excluding`];
+//! * noise objects (density-based algorithms may leave objects unclustered)
+//!   count towards the class sizes but belong to no cluster, so they can only
+//!   lower recall — leaving everything as noise does not score well.
+
+use cvcp_data::Partition;
+
+/// Computes the Overall F-Measure between `partition` and the ground-truth
+/// `classes` over all objects.
+///
+/// # Panics
+///
+/// Panics if the partition and class labelling have different lengths.
+pub fn overall_fmeasure(partition: &Partition, classes: &[usize]) -> f64 {
+    assert_eq!(
+        partition.len(),
+        classes.len(),
+        "partition and ground truth must cover the same objects"
+    );
+    let all: Vec<usize> = (0..classes.len()).collect();
+    overall_fmeasure_on(partition, classes, &all)
+}
+
+/// Computes the Overall F-Measure excluding the given objects (typically the
+/// objects involved in labels or constraints used for training).
+pub fn overall_fmeasure_excluding(
+    partition: &Partition,
+    classes: &[usize],
+    excluded: &[usize],
+) -> f64 {
+    assert_eq!(
+        partition.len(),
+        classes.len(),
+        "partition and ground truth must cover the same objects"
+    );
+    let excluded: std::collections::BTreeSet<usize> = excluded.iter().copied().collect();
+    let kept: Vec<usize> = (0..classes.len())
+        .filter(|i| !excluded.contains(i))
+        .collect();
+    overall_fmeasure_on(partition, classes, &kept)
+}
+
+/// The Overall F-Measure restricted to the objects in `kept`.
+fn overall_fmeasure_on(partition: &Partition, classes: &[usize], kept: &[usize]) -> f64 {
+    if kept.is_empty() {
+        return 0.0;
+    }
+
+    // Class members and cluster members restricted to the kept objects.
+    let n_classes = kept.iter().map(|&i| classes[i]).max().map_or(0, |m| m + 1);
+    let mut class_members: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+    for &i in kept {
+        class_members[classes[i]].push(i);
+    }
+
+    // Map cluster ids to dense indices over the kept objects.
+    let mut cluster_ids: Vec<usize> = kept
+        .iter()
+        .filter_map(|&i| partition.cluster_of(i))
+        .collect();
+    cluster_ids.sort_unstable();
+    cluster_ids.dedup();
+    let cluster_index = |c: usize| cluster_ids.binary_search(&c).expect("cluster id present");
+    let mut cluster_sizes = vec![0usize; cluster_ids.len()];
+    // intersection counts: class x cluster
+    let mut intersect = vec![vec![0usize; cluster_ids.len()]; n_classes];
+    for &i in kept {
+        if let Some(c) = partition.cluster_of(i) {
+            let ci = cluster_index(c);
+            cluster_sizes[ci] += 1;
+            intersect[classes[i]][ci] += 1;
+        }
+    }
+
+    let total = kept.len() as f64;
+    let mut overall = 0.0;
+    for (class, members) in class_members.iter().enumerate() {
+        if members.is_empty() {
+            continue;
+        }
+        let class_size = members.len() as f64;
+        let mut best_f = 0.0f64;
+        for (ci, &cluster_size) in cluster_sizes.iter().enumerate() {
+            let inter = intersect[class][ci] as f64;
+            if inter == 0.0 || cluster_size == 0 {
+                continue;
+            }
+            let precision = inter / cluster_size as f64;
+            let recall = inter / class_size;
+            let f = 2.0 * precision * recall / (precision + recall);
+            if f > best_f {
+                best_f = f;
+            }
+        }
+        overall += class_size / total * best_f;
+    }
+    overall
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let classes = vec![0, 0, 1, 1, 2, 2];
+        let p = Partition::from_cluster_ids(&[5, 5, 9, 9, 0, 0]);
+        assert!((overall_fmeasure(&p, &classes) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cluster_ids_do_not_matter() {
+        let classes = vec![0, 0, 1, 1];
+        let a = Partition::from_cluster_ids(&[0, 0, 1, 1]);
+        let b = Partition::from_cluster_ids(&[1, 1, 0, 0]);
+        assert_eq!(overall_fmeasure(&a, &classes), overall_fmeasure(&b, &classes));
+    }
+
+    #[test]
+    fn all_in_one_cluster_scores_below_one_for_multiclass() {
+        let classes = vec![0, 0, 0, 1, 1, 1];
+        let p = Partition::from_cluster_ids(&[0; 6]);
+        let f = overall_fmeasure(&p, &classes);
+        // each class: precision 0.5, recall 1.0 -> F = 2/3
+        assert!((f - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_noise_scores_zero() {
+        let classes = vec![0, 0, 1, 1];
+        let p = Partition::all_noise(4);
+        assert_eq!(overall_fmeasure(&p, &classes), 0.0);
+    }
+
+    #[test]
+    fn splitting_a_class_lowers_the_score() {
+        let classes = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let perfect = Partition::from_cluster_ids(&[0, 0, 0, 0, 1, 1, 1, 1]);
+        let split = Partition::from_cluster_ids(&[0, 0, 2, 2, 1, 1, 1, 1]);
+        assert!(overall_fmeasure(&perfect, &classes) > overall_fmeasure(&split, &classes));
+    }
+
+    #[test]
+    fn excluding_objects_changes_the_evaluation_set() {
+        let classes = vec![0, 0, 1, 1];
+        // object 0 is misclustered
+        let p = Partition::from_cluster_ids(&[1, 0, 1, 1]);
+        let with_all = overall_fmeasure(&p, &classes);
+        let without_bad = overall_fmeasure_excluding(&p, &classes, &[0]);
+        assert!(without_bad > with_all);
+        assert!((without_bad - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn excluding_everything_scores_zero() {
+        let classes = vec![0, 1];
+        let p = Partition::from_cluster_ids(&[0, 1]);
+        assert_eq!(overall_fmeasure_excluding(&p, &classes, &[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn partial_noise_lowers_recall() {
+        let classes = vec![0, 0, 0, 0];
+        let full = Partition::from_cluster_ids(&[0, 0, 0, 0]);
+        let partial = Partition::from_optional_ids(&[Some(0), Some(0), None, None]);
+        let f_full = overall_fmeasure(&full, &classes);
+        let f_partial = overall_fmeasure(&partial, &classes);
+        assert!((f_full - 1.0).abs() < 1e-12);
+        assert!(f_partial < f_full);
+        // precision 1, recall 0.5 -> F = 2/3
+        assert!((f_partial - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same objects")]
+    fn length_mismatch_panics() {
+        let p = Partition::from_cluster_ids(&[0, 1]);
+        let _ = overall_fmeasure(&p, &[0, 1, 1]);
+    }
+
+    proptest! {
+        /// The Overall F-Measure is bounded in [0, 1], invariant to cluster
+        /// relabelling, and exactly 1 for the ground-truth partition.
+        #[test]
+        fn prop_bounds_and_perfection(
+            classes in proptest::collection::vec(0usize..4, 4..40),
+            assignment in proptest::collection::vec(proptest::option::of(0usize..5), 4..40),
+        ) {
+            let n = classes.len().min(assignment.len());
+            let classes: Vec<usize> = {
+                // re-make contiguous
+                let mut v = classes[..n].to_vec();
+                let mut present: Vec<usize> = v.clone();
+                present.sort_unstable();
+                present.dedup();
+                for x in v.iter_mut() {
+                    *x = present.binary_search(x).unwrap();
+                }
+                v
+            };
+            let assignment = &assignment[..n];
+
+            let p = Partition::from_optional_ids(assignment);
+            let f = overall_fmeasure(&p, &classes);
+            prop_assert!((0.0..=1.0).contains(&f), "f = {f}");
+
+            let perfect = Partition::from_cluster_ids(&classes);
+            prop_assert!((overall_fmeasure(&perfect, &classes) - 1.0).abs() < 1e-12);
+
+            // relabel clusters by adding 10 to each id
+            let relabeled = Partition::from_optional_ids(
+                &assignment.iter().map(|a| a.map(|c| c + 10)).collect::<Vec<_>>(),
+            );
+            prop_assert!((overall_fmeasure(&relabeled, &classes) - f).abs() < 1e-12);
+        }
+    }
+}

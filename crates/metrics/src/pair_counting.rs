@@ -1,0 +1,192 @@
+//! Pair-counting external evaluation measures: Rand index and Adjusted Rand
+//! Index (Hubert & Arabie 1985, reference [18] of the paper).
+//!
+//! These are provided alongside the Overall F-Measure for completeness and
+//! are used by some of the suite's tests as an independent check that two
+//! partitions agree.  Noise objects are treated as singleton clusters of
+//! their own (a common convention for density-based results).
+
+use cvcp_data::Partition;
+
+/// Contingency information between a partition and ground-truth classes.
+struct Contingency {
+    /// n_ij counts.
+    table: Vec<Vec<usize>>,
+    /// Row sums (cluster sizes).
+    row_sums: Vec<usize>,
+    /// Column sums (class sizes).
+    col_sums: Vec<usize>,
+    /// Total number of objects.
+    n: usize,
+}
+
+fn contingency(partition: &Partition, classes: &[usize]) -> Contingency {
+    assert_eq!(partition.len(), classes.len(), "length mismatch");
+    let n = classes.len();
+    // Noise objects become singleton clusters appended after the real ones.
+    let mut cluster_ids: Vec<usize> = (0..n).filter_map(|i| partition.cluster_of(i)).collect();
+    cluster_ids.sort_unstable();
+    cluster_ids.dedup();
+    let n_real_clusters = cluster_ids.len();
+    let mut next_singleton = n_real_clusters;
+    let cluster_of: Vec<usize> = (0..n)
+        .map(|i| match partition.cluster_of(i) {
+            Some(c) => cluster_ids.binary_search(&c).expect("present"),
+            None => {
+                let id = next_singleton;
+                next_singleton += 1;
+                id
+            }
+        })
+        .collect();
+    let n_clusters = next_singleton;
+    let n_classes = classes.iter().copied().max().map_or(0, |m| m + 1);
+
+    let mut table = vec![vec![0usize; n_classes]; n_clusters];
+    let mut row_sums = vec![0usize; n_clusters];
+    let mut col_sums = vec![0usize; n_classes];
+    for i in 0..n {
+        table[cluster_of[i]][classes[i]] += 1;
+        row_sums[cluster_of[i]] += 1;
+        col_sums[classes[i]] += 1;
+    }
+    Contingency {
+        table,
+        row_sums,
+        col_sums,
+        n,
+    }
+}
+
+fn choose2(x: usize) -> f64 {
+    (x as f64) * ((x as f64) - 1.0) / 2.0
+}
+
+/// The (unadjusted) Rand index in `[0, 1]`.
+pub fn rand_index(partition: &Partition, classes: &[usize]) -> f64 {
+    let c = contingency(partition, classes);
+    if c.n < 2 {
+        return 1.0;
+    }
+    let total_pairs = choose2(c.n);
+    let sum_ij: f64 = c.table.iter().flatten().map(|&v| choose2(v)).sum();
+    let sum_rows: f64 = c.row_sums.iter().map(|&v| choose2(v)).sum();
+    let sum_cols: f64 = c.col_sums.iter().map(|&v| choose2(v)).sum();
+    // agreements = pairs together in both + pairs separated in both
+    let agree = sum_ij + (total_pairs - sum_rows - sum_cols + sum_ij);
+    agree / total_pairs
+}
+
+/// The Adjusted Rand Index in `[-1, 1]`, with expected value 0 for random
+/// labelings and 1 for identical partitions.
+pub fn adjusted_rand_index(partition: &Partition, classes: &[usize]) -> f64 {
+    let c = contingency(partition, classes);
+    if c.n < 2 {
+        return 1.0;
+    }
+    let total_pairs = choose2(c.n);
+    let sum_ij: f64 = c.table.iter().flatten().map(|&v| choose2(v)).sum();
+    let sum_rows: f64 = c.row_sums.iter().map(|&v| choose2(v)).sum();
+    let sum_cols: f64 = c.col_sums.iter().map(|&v| choose2(v)).sum();
+    let expected = sum_rows * sum_cols / total_pairs;
+    let max_index = 0.5 * (sum_rows + sum_cols);
+    if (max_index - expected).abs() < 1e-12 {
+        // Degenerate case (e.g. all objects in one class and one cluster).
+        return if (sum_ij - expected).abs() < 1e-12 { 1.0 } else { 0.0 };
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let classes = vec![0, 0, 1, 1, 2];
+        let p = Partition::from_cluster_ids(&[4, 4, 7, 7, 1]);
+        assert!((rand_index(&p, &classes) - 1.0).abs() < 1e-12);
+        assert!((adjusted_rand_index(&p, &classes) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_ari_value() {
+        // Classic example: classes [0,0,0,1,1,1], clusters [0,0,1,1,2,2]
+        let classes = vec![0, 0, 0, 1, 1, 1];
+        let p = Partition::from_cluster_ids(&[0, 0, 1, 1, 2, 2]);
+        let ari = adjusted_rand_index(&p, &classes);
+        // contingency: [[2,0],[1,1],[0,2]]; sum_ij C2 = 1+0+0+0+0+1 = 2
+        // rows: 1+1+1=3 ; cols: 3+3=6 ; total pairs = 15
+        // expected = 3*6/15 = 1.2 ; max = 4.5 ; ari = (2-1.2)/(4.5-1.2) = 0.242424...
+        assert!((ari - 0.242424242).abs() < 1e-6, "ari = {ari}");
+    }
+
+    #[test]
+    fn rand_index_of_opposite_split() {
+        let classes = vec![0, 0, 1, 1];
+        let p = Partition::from_cluster_ids(&[0, 1, 0, 1]);
+        // agreements: only the cross pairs that are separated in both... compute:
+        // pairs: (0,1) same class diff cluster -> disagree; (2,3) same class diff cluster -> disagree
+        // (0,2) diff class same cluster -> disagree; (1,3) diff class same cluster -> disagree
+        // (0,3) diff class diff cluster -> agree; (1,2) diff class diff cluster -> agree
+        assert!((rand_index(&p, &classes) - 2.0 / 6.0).abs() < 1e-12);
+        assert!(adjusted_rand_index(&p, &classes) < 0.01);
+    }
+
+    #[test]
+    fn noise_counts_as_singletons() {
+        let classes = vec![0, 0, 1, 1];
+        let clustered = Partition::from_cluster_ids(&[0, 0, 1, 1]);
+        let noisy = Partition::from_optional_ids(&[Some(0), Some(0), None, None]);
+        assert!(adjusted_rand_index(&clustered, &classes) > adjusted_rand_index(&noisy, &classes));
+        // but the noisy one still gets credit for the intact cluster
+        assert!(adjusted_rand_index(&noisy, &classes) > 0.0);
+    }
+
+    #[test]
+    fn single_object_edge_case() {
+        let p = Partition::from_cluster_ids(&[0]);
+        assert_eq!(rand_index(&p, &[0]), 1.0);
+        assert_eq!(adjusted_rand_index(&p, &[0]), 1.0);
+    }
+
+    #[test]
+    fn degenerate_single_cluster_single_class() {
+        let classes = vec![0, 0, 0];
+        let p = Partition::from_cluster_ids(&[0, 0, 0]);
+        assert_eq!(adjusted_rand_index(&p, &classes), 1.0);
+        assert_eq!(rand_index(&p, &classes), 1.0);
+    }
+
+    proptest! {
+        /// ARI is symmetric-ish in the sense of being invariant to cluster
+        /// relabelling, bounded above by 1, and the Rand index stays in [0,1].
+        #[test]
+        fn prop_indices_bounded(
+            classes in proptest::collection::vec(0usize..3, 3..30),
+            clusters in proptest::collection::vec(0usize..4, 3..30),
+        ) {
+            let n = classes.len().min(clusters.len());
+            let classes = {
+                let mut v = classes[..n].to_vec();
+                let mut present = v.clone();
+                present.sort_unstable();
+                present.dedup();
+                for x in v.iter_mut() { *x = present.binary_search(x).unwrap(); }
+                v
+            };
+            let p = Partition::from_cluster_ids(&clusters[..n]);
+            let ri = rand_index(&p, &classes);
+            let ari = adjusted_rand_index(&p, &classes);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&ri));
+            prop_assert!(ari <= 1.0 + 1e-12);
+            prop_assert!(ari >= -1.0 - 1e-12);
+
+            let relabeled = Partition::from_cluster_ids(
+                &clusters[..n].iter().map(|c| c + 5).collect::<Vec<_>>(),
+            );
+            prop_assert!((adjusted_rand_index(&relabeled, &classes) - ari).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Descriptive statistics and box-plot summaries.
+//!
+//! The experiment harness aggregates Overall F-Measure values over trials and
+//! data-set collections; these helpers compute the means / standard
+//! deviations reported in Tables 5–16 and the five-number summaries behind
+//! the box plots of Figures 9–12.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Sample standard deviation (n−1 denominator); `0.0` for fewer than two
+/// values.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let ss: f64 = values.iter().map(|v| (v - m) * (v - m)).sum();
+    (ss / (values.len() - 1) as f64).sqrt()
+}
+
+/// Population variance (n denominator); `0.0` for an empty slice.
+pub fn population_variance(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64
+}
+
+/// Linear-interpolation quantile (type-7, the common default).  `q` must be
+/// in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile input"));
+    let h = (sorted.len() - 1) as f64 * q;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Median (50 % quantile).
+pub fn median(values: &[f64]) -> f64 {
+    quantile(values, 0.5)
+}
+
+/// Mean and standard deviation of a sample, as reported in the paper's
+/// performance tables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarises a sample.  Returns a zeroed summary for an empty slice.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self {
+                n: 0,
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        Self {
+            n: values.len(),
+            mean: mean(values),
+            std: std_dev(values),
+            min: values.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+/// Five-number box-plot summary (plus whiskers following the 1.5 IQR rule),
+/// matching what the paper's Figures 9–12 visualise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxplotStats {
+    /// Number of observations.
+    pub n: usize,
+    /// Lower whisker (smallest observation ≥ Q1 − 1.5·IQR).
+    pub whisker_low: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Upper whisker (largest observation ≤ Q3 + 1.5·IQR).
+    pub whisker_high: f64,
+    /// Number of outliers beyond the whiskers.
+    pub n_outliers: usize,
+}
+
+impl BoxplotStats {
+    /// Computes box-plot statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "boxplot of empty sample");
+        let q1 = quantile(values, 0.25);
+        let med = median(values);
+        let q3 = quantile(values, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        // Whiskers are clamped to the quartile box: with interpolated
+        // quantiles the largest non-outlier can fall inside the box, and a
+        // whisker is never drawn inside it.
+        let whisker_low = values
+            .iter()
+            .cloned()
+            .filter(|v| *v >= lo_fence)
+            .fold(f64::INFINITY, f64::min)
+            .min(q1);
+        let whisker_high = values
+            .iter()
+            .cloned()
+            .filter(|v| *v <= hi_fence)
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(q3);
+        let n_outliers = values
+            .iter()
+            .filter(|v| **v < lo_fence || **v > hi_fence)
+            .count();
+        Self {
+            n: values.len(),
+            whisker_low,
+            q1,
+            median: med,
+            q3,
+            whisker_high,
+            n_outliers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_std_basic() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+        // sample std of this classic example is ~2.138
+        assert!((std_dev(&v) - 2.1380899).abs() < 1e-6);
+        assert!((population_variance(&v) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_single_values() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 4.0);
+        assert!((median(&v) - 2.5).abs() < 1e-12);
+        assert!((quantile(&v, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_is_order_invariant() {
+        let a = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(median(&a), median(&b));
+        assert_eq!(quantile(&a, 0.75), quantile(&b, 0.75));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_rejects_empty() {
+        let _ = quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.std - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boxplot_no_outliers() {
+        let v: Vec<f64> = (1..=9).map(|x| x as f64).collect();
+        let b = BoxplotStats::of(&v);
+        assert_eq!(b.median, 5.0);
+        assert_eq!(b.q1, 3.0);
+        assert_eq!(b.q3, 7.0);
+        assert_eq!(b.whisker_low, 1.0);
+        assert_eq!(b.whisker_high, 9.0);
+        assert_eq!(b.n_outliers, 0);
+    }
+
+    #[test]
+    fn boxplot_detects_outlier() {
+        let mut v: Vec<f64> = (1..=9).map(|x| x as f64).collect();
+        v.push(100.0);
+        let b = BoxplotStats::of(&v);
+        assert_eq!(b.n_outliers, 1);
+        assert!(b.whisker_high <= 9.0 + 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_quartiles_ordered(values in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
+            let b = BoxplotStats::of(&values);
+            prop_assert!(b.whisker_low <= b.q1 + 1e-12);
+            prop_assert!(b.q1 <= b.median + 1e-12);
+            prop_assert!(b.median <= b.q3 + 1e-12);
+            prop_assert!(b.q3 <= b.whisker_high + 1e-12);
+        }
+
+        #[test]
+        fn prop_mean_within_min_max(values in proptest::collection::vec(-50.0f64..50.0, 1..40)) {
+            let s = Summary::of(&values);
+            prop_assert!(s.mean >= s.min - 1e-12);
+            prop_assert!(s.mean <= s.max + 1e-12);
+            prop_assert!(s.std >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Paired Student t-test.
+//!
+//! Tables 5–16 of the paper mark a mean as bold when its difference to the
+//! competing method is statistically significant at the `α = 0.05` level
+//! according to a *paired t-test* over the 50 experiment trials.  This module
+//! provides a self-contained implementation, including the Student-t CDF via
+//! the regularised incomplete beta function (no external stats crate).
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a paired t-test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TTestResult {
+    /// The t statistic (`mean(d) / (sd(d)/sqrt(n))`).
+    pub t_statistic: f64,
+    /// Degrees of freedom (`n − 1`).
+    pub degrees_of_freedom: usize,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Mean of the paired differences (`a − b`).
+    pub mean_difference: f64,
+    /// Number of pairs.
+    pub n: usize,
+}
+
+impl TTestResult {
+    /// `true` when the two-sided p-value is below `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Performs a two-sided paired t-test of `a` against `b`.
+///
+/// Returns `None` when fewer than two pairs are available or when the paired
+/// differences have (numerically) zero variance *and* zero mean — in the
+/// zero-variance, non-zero-mean case the difference is deterministic and the
+/// result reports `p_value = 0.0`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> Option<TTestResult> {
+    assert_eq!(a.len(), b.len(), "paired samples must have equal length");
+    let n = a.len();
+    if n < 2 {
+        return None;
+    }
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let mean_d = diffs.iter().sum::<f64>() / n as f64;
+    let var_d = diffs.iter().map(|d| (d - mean_d) * (d - mean_d)).sum::<f64>() / (n as f64 - 1.0);
+    let df = n - 1;
+
+    if var_d <= 1e-24 {
+        if mean_d.abs() <= 1e-24 {
+            return None;
+        }
+        // Deterministic non-zero difference: infinitely significant.
+        return Some(TTestResult {
+            t_statistic: if mean_d > 0.0 { f64::INFINITY } else { f64::NEG_INFINITY },
+            degrees_of_freedom: df,
+            p_value: 0.0,
+            mean_difference: mean_d,
+            n,
+        });
+    }
+
+    let se = (var_d / n as f64).sqrt();
+    let t = mean_d / se;
+    let p = 2.0 * (1.0 - student_t_cdf(t.abs(), df as f64));
+    Some(TTestResult {
+        t_statistic: t,
+        degrees_of_freedom: df,
+        p_value: p.clamp(0.0, 1.0),
+        mean_difference: mean_d,
+        n,
+    })
+}
+
+/// CDF of the Student-t distribution with `df` degrees of freedom, evaluated
+/// at `t`.
+pub fn student_t_cdf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    if t.is_infinite() {
+        return if t > 0.0 { 1.0 } else { 0.0 };
+    }
+    let x = df / (df + t * t);
+    let p = 0.5 * regularized_incomplete_beta(0.5 * df, 0.5, x);
+    if t > 0.0 {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+/// Natural log of the gamma function (Lanczos approximation, accurate to
+/// ~1e-10 for positive arguments).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument");
+    // Lanczos coefficients (g = 7, n = 9)
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // reflection formula
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEFFS[0];
+    let t = x + 7.5;
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularised incomplete beta function `I_x(a, b)` via the continued
+/// fraction expansion (Numerical-Recipes style `betai`/`betacf`).
+pub fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "shape parameters must be positive");
+    assert!((0.0..=1.0).contains(&x), "x must be in [0,1], got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_continued_fraction(a, b, x) / a
+    } else {
+        1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta function (modified Lentz).
+fn beta_continued_fraction(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // even step
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // odd step
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1)=1, Γ(2)=1, Γ(3)=2, Γ(4)=6, Γ(0.5)=sqrt(pi)
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(3.0) - 2.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(4.0) - 6.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_edges_and_symmetry() {
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(a,b) = 1 - I_{1-x}(b,a)
+        let v = regularized_incomplete_beta(2.5, 1.5, 0.3);
+        let w = 1.0 - regularized_incomplete_beta(1.5, 2.5, 0.7);
+        assert!((v - w).abs() < 1e-10);
+        // uniform case: I_x(1,1) = x
+        assert!((regularized_incomplete_beta(1.0, 1.0, 0.42) - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn student_t_cdf_reference_values() {
+        // Standard reference values:
+        // df=1 (Cauchy): CDF(1) = 0.75
+        assert!((student_t_cdf(1.0, 1.0) - 0.75).abs() < 1e-9);
+        // df=10: CDF(1.812) ≈ 0.95 (the 95% quantile of t_10 is ~1.8125)
+        assert!((student_t_cdf(1.8125, 10.0) - 0.95).abs() < 2e-4);
+        // df=30: CDF(2.042) ≈ 0.975
+        assert!((student_t_cdf(2.0423, 30.0) - 0.975).abs() < 2e-4);
+        // symmetry
+        assert!((student_t_cdf(-1.3, 7.0) + student_t_cdf(1.3, 7.0) - 1.0).abs() < 1e-10);
+        // centre
+        assert!((student_t_cdf(0.0, 5.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paired_t_test_detects_clear_difference() {
+        let a = [0.80, 0.82, 0.78, 0.85, 0.79, 0.81, 0.83, 0.80];
+        let b = [0.70, 0.71, 0.69, 0.74, 0.68, 0.72, 0.73, 0.70];
+        let r = paired_t_test(&a, &b).unwrap();
+        assert!(r.t_statistic > 5.0);
+        assert!(r.p_value < 0.001);
+        assert!(r.significant_at(0.05));
+        assert_eq!(r.degrees_of_freedom, 7);
+        assert!(r.mean_difference > 0.09);
+    }
+
+    #[test]
+    fn paired_t_test_no_difference_is_insignificant() {
+        let a = [0.5, 0.6, 0.55, 0.62, 0.48, 0.51, 0.59, 0.53];
+        let b = [0.51, 0.59, 0.56, 0.61, 0.49, 0.50, 0.60, 0.52];
+        let r = paired_t_test(&a, &b).unwrap();
+        assert!(!r.significant_at(0.05), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn paired_t_test_known_statistic() {
+        // differences: [1, 2, 3, 4] -> mean 2.5, sd = 1.2909..., se = 0.6455
+        // t = 3.873
+        let a = [2.0, 4.0, 6.0, 8.0];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let r = paired_t_test(&a, &b).unwrap();
+        assert!((r.t_statistic - 3.872983).abs() < 1e-5);
+        assert_eq!(r.degrees_of_freedom, 3);
+        // two-sided p ≈ 0.0305
+        assert!((r.p_value - 0.0305).abs() < 2e-3, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(paired_t_test(&[1.0], &[2.0]).is_none());
+        assert!(paired_t_test(&[1.0, 1.0], &[1.0, 1.0]).is_none());
+        let det = paired_t_test(&[2.0, 2.0], &[1.0, 1.0]).unwrap();
+        assert_eq!(det.p_value, 0.0);
+        assert!(det.t_statistic.is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let _ = paired_t_test(&[1.0, 2.0], &[1.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cdf_monotone_and_bounded(df in 1.0f64..60.0, t1 in -6.0f64..6.0, t2 in -6.0f64..6.0) {
+            let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+            let c_lo = student_t_cdf(lo, df);
+            let c_hi = student_t_cdf(hi, df);
+            prop_assert!((0.0..=1.0).contains(&c_lo));
+            prop_assert!((0.0..=1.0).contains(&c_hi));
+            prop_assert!(c_lo <= c_hi + 1e-12);
+        }
+
+        #[test]
+        fn prop_p_value_symmetric(pairs in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 3..30)) {
+            let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            if let (Some(r1), Some(r2)) = (paired_t_test(&a, &b), paired_t_test(&b, &a)) {
+                prop_assert!((r1.p_value - r2.p_value).abs() < 1e-9);
+                prop_assert!((r1.t_statistic + r2.t_statistic).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Homogeneity, completeness and V-measure (Rosenberg & Hirschberg 2007).
+//!
+//! Additional external measures used by the suite's extended analyses; they
+//! complement the Overall F-Measure the paper reports and behave more
+//! gracefully when the number of clusters differs strongly from the number
+//! of classes.
+
+use cvcp_data::Partition;
+
+/// Entropy-based external evaluation scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VMeasure {
+    /// Each cluster contains only members of a single class (1 = perfect).
+    pub homogeneity: f64,
+    /// All members of a class are assigned to the same cluster (1 = perfect).
+    pub completeness: f64,
+    /// Harmonic mean of homogeneity and completeness.
+    pub v_measure: f64,
+}
+
+/// Computes homogeneity, completeness and the V-measure of `partition`
+/// against the ground-truth `classes`.  Noise objects are treated as
+/// singleton clusters.
+///
+/// # Panics
+///
+/// Panics if the partition and the class labelling have different lengths.
+pub fn v_measure(partition: &Partition, classes: &[usize]) -> VMeasure {
+    assert_eq!(partition.len(), classes.len(), "length mismatch");
+    let n = classes.len();
+    if n == 0 {
+        return VMeasure {
+            homogeneity: 1.0,
+            completeness: 1.0,
+            v_measure: 1.0,
+        };
+    }
+
+    // Dense cluster ids with noise as singletons.
+    let mut cluster_ids: Vec<usize> = (0..n).filter_map(|i| partition.cluster_of(i)).collect();
+    cluster_ids.sort_unstable();
+    cluster_ids.dedup();
+    let mut next = cluster_ids.len();
+    let cluster_of: Vec<usize> = (0..n)
+        .map(|i| match partition.cluster_of(i) {
+            Some(c) => cluster_ids.binary_search(&c).expect("present"),
+            None => {
+                let id = next;
+                next += 1;
+                id
+            }
+        })
+        .collect();
+    let n_clusters = next;
+    let n_classes = classes.iter().copied().max().map_or(0, |m| m + 1);
+
+    let mut joint = vec![vec![0usize; n_classes]; n_clusters];
+    let mut per_cluster = vec![0usize; n_clusters];
+    let mut per_class = vec![0usize; n_classes];
+    for i in 0..n {
+        joint[cluster_of[i]][classes[i]] += 1;
+        per_cluster[cluster_of[i]] += 1;
+        per_class[classes[i]] += 1;
+    }
+
+    let nf = n as f64;
+    let entropy = |counts: &[usize]| -> f64 {
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / nf;
+                -p * p.ln()
+            })
+            .sum::<f64>()
+    };
+    let h_class = entropy(&per_class);
+    let h_cluster = entropy(&per_cluster);
+
+    // Conditional entropies H(class | cluster) and H(cluster | class).
+    let mut h_class_given_cluster = 0.0;
+    let mut h_cluster_given_class = 0.0;
+    for (k, row) in joint.iter().enumerate() {
+        for (c, &count) in row.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let p_joint = count as f64 / nf;
+            h_class_given_cluster -= p_joint * (count as f64 / per_cluster[k] as f64).ln();
+            h_cluster_given_class -= p_joint * (count as f64 / per_class[c] as f64).ln();
+        }
+    }
+
+    let homogeneity = if h_class == 0.0 {
+        1.0
+    } else {
+        1.0 - h_class_given_cluster / h_class
+    };
+    let completeness = if h_cluster == 0.0 {
+        1.0
+    } else {
+        1.0 - h_cluster_given_class / h_cluster
+    };
+    let v = if homogeneity + completeness == 0.0 {
+        0.0
+    } else {
+        2.0 * homogeneity * completeness / (homogeneity + completeness)
+    };
+    VMeasure {
+        homogeneity: homogeneity.clamp(0.0, 1.0),
+        completeness: completeness.clamp(0.0, 1.0),
+        v_measure: v.clamp(0.0, 1.0),
+    }
+}
+
+/// The Fowlkes–Mallows index: the geometric mean of pair-level precision and
+/// recall.  Noise objects are treated as singleton clusters.
+pub fn fowlkes_mallows(partition: &Partition, classes: &[usize]) -> f64 {
+    assert_eq!(partition.len(), classes.len(), "length mismatch");
+    let n = classes.len();
+    let mut tp = 0.0f64; // same cluster & same class pairs
+    let mut fp = 0.0f64; // same cluster, different class
+    let mut fn_ = 0.0f64; // different cluster, same class
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let same_cluster = partition.same_cluster(i, j);
+            let same_class = classes[i] == classes[j];
+            match (same_cluster, same_class) {
+                (true, true) => tp += 1.0,
+                (true, false) => fp += 1.0,
+                (false, true) => fn_ += 1.0,
+                (false, false) => {}
+            }
+        }
+    }
+    if tp == 0.0 {
+        return 0.0;
+    }
+    (tp / (tp + fp)).sqrt() * (tp / (tp + fn_)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let classes = vec![0, 0, 1, 1, 2, 2];
+        let p = Partition::from_cluster_ids(&[7, 7, 3, 3, 9, 9]);
+        let v = v_measure(&p, &classes);
+        assert!((v.homogeneity - 1.0).abs() < 1e-12);
+        assert!((v.completeness - 1.0).abs() < 1e-12);
+        assert!((v.v_measure - 1.0).abs() < 1e-12);
+        assert!((fowlkes_mallows(&p, &classes) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn over_splitting_is_homogeneous_but_incomplete() {
+        let classes = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let p = Partition::from_cluster_ids(&[0, 0, 1, 1, 2, 2, 3, 3]);
+        let v = v_measure(&p, &classes);
+        assert!((v.homogeneity - 1.0).abs() < 1e-12);
+        assert!(v.completeness < 1.0);
+        assert!(v.v_measure < 1.0 && v.v_measure > 0.0);
+    }
+
+    #[test]
+    fn single_cluster_is_complete_but_not_homogeneous() {
+        let classes = vec![0, 0, 1, 1];
+        let p = Partition::from_cluster_ids(&[0, 0, 0, 0]);
+        let v = v_measure(&p, &classes);
+        assert!((v.completeness - 1.0).abs() < 1e-12);
+        assert!(v.homogeneity < 1e-12);
+        assert_eq!(v.v_measure, 0.0);
+    }
+
+    #[test]
+    fn fowlkes_mallows_known_value() {
+        // classes [0,0,1,1], clusters [0,1,0,1]:
+        // tp = 0 -> FM = 0
+        let classes = vec![0, 0, 1, 1];
+        let p = Partition::from_cluster_ids(&[0, 1, 0, 1]);
+        assert_eq!(fowlkes_mallows(&p, &classes), 0.0);
+    }
+
+    #[test]
+    fn noise_objects_behave_as_singletons() {
+        let classes = vec![0, 0, 1, 1];
+        let full = Partition::from_cluster_ids(&[0, 0, 1, 1]);
+        let noisy = Partition::from_optional_ids(&[Some(0), None, Some(1), None]);
+        assert!(v_measure(&noisy, &classes).completeness < v_measure(&full, &classes).completeness);
+        assert!(fowlkes_mallows(&noisy, &classes) < fowlkes_mallows(&full, &classes));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_scores_bounded_and_relabel_invariant(
+            classes in proptest::collection::vec(0usize..3, 2..25),
+            clusters in proptest::collection::vec(0usize..4, 2..25),
+        ) {
+            let n = classes.len().min(clusters.len());
+            let classes = {
+                let mut v = classes[..n].to_vec();
+                let mut present = v.clone();
+                present.sort_unstable();
+                present.dedup();
+                for x in v.iter_mut() { *x = present.binary_search(x).unwrap(); }
+                v
+            };
+            let p = Partition::from_cluster_ids(&clusters[..n]);
+            let v = v_measure(&p, &classes);
+            for s in [v.homogeneity, v.completeness, v.v_measure] {
+                prop_assert!((0.0..=1.0).contains(&s));
+            }
+            let fm = fowlkes_mallows(&p, &classes);
+            prop_assert!((0.0..=1.0).contains(&fm));
+
+            let relabeled = Partition::from_cluster_ids(
+                &clusters[..n].iter().map(|c| c + 11).collect::<Vec<_>>(),
+            );
+            let v2 = v_measure(&relabeled, &classes);
+            prop_assert!((v.v_measure - v2.v_measure).abs() < 1e-9);
+        }
+    }
+}

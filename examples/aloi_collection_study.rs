@@ -1,0 +1,62 @@
+//! A miniature version of the paper's ALOI-collection study (Figures 9–12):
+//! run CVCP / Expected / Silhouette on several data sets of the ALOI-k5-like
+//! collection and print box-plot summaries of the resulting quality
+//! distributions.
+//!
+//! ```text
+//! cargo run --release --example aloi_collection_study [n_datasets]
+//! ```
+
+use cvcp_suite::core::experiment::{run_experiment, summarize, ExperimentConfig, SideInfoSpec};
+use cvcp_suite::core::report::boxplot_row;
+use cvcp_suite::prelude::*;
+
+fn main() {
+    let n_datasets: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let collection = cvcp_suite::data::aloi::aloi_k5_collection_of_size(2014, n_datasets);
+    let spec = SideInfoSpec::LabelFraction(0.10);
+    let config = ExperimentConfig {
+        n_trials: 3,
+        cvcp: CvcpConfig {
+            n_folds: 4,
+            stratified: true,
+        },
+        params: Vec::new(), // default per-method range
+        seed: 9,
+        with_silhouette: true,
+        n_threads: 4,
+    };
+
+    let mpck = MpckMethod::default();
+    let mut cvcp_values = Vec::new();
+    let mut expected_values = Vec::new();
+    let mut silhouette_values = Vec::new();
+
+    println!(
+        "MPCKMeans on {} ALOI-k5-like data sets, 10% labels, {} trials each",
+        collection.len(),
+        config.n_trials
+    );
+    for dataset in &collection {
+        let outcomes = run_experiment(&mpck, dataset, spec, &config);
+        let summary = summarize(dataset.name(), &mpck.name(), spec, &outcomes);
+        cvcp_values.extend(summary.cvcp_values.iter().copied());
+        expected_values.extend(summary.expected_values.iter().copied());
+        silhouette_values.extend(summary.silhouette_values.iter().copied());
+        println!(
+            "  {:<14} CVCP {:.3}  Expected {:.3}  Silhouette {:.3}",
+            summary.dataset,
+            summary.cvcp.mean,
+            summary.expected.mean,
+            summary.silhouette.map_or(f64::NAN, |s| s.mean)
+        );
+    }
+
+    println!("\nquality distributions over the collection (cf. Figure 10 of the paper):");
+    println!("{}", boxplot_row("CVCP-10", &cvcp_values));
+    println!("{}", boxplot_row("Exp-10", &expected_values));
+    println!("{}", boxplot_row("Sil-10", &silhouette_values));
+}

@@ -1,0 +1,72 @@
+//! Quickstart: select the number of clusters for MPCKMeans with CVCP.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The example builds a small labelled data set, reveals 10 % of the labels
+//! as side information, lets CVCP pick `k` for MPCKMeans from the range
+//! 2…8, and compares the external quality of the selected model with the
+//! "expected" quality of guessing the parameter.
+
+use cvcp_suite::prelude::*;
+
+fn main() {
+    let mut rng = SeededRng::new(2014);
+
+    // A synthetic data set with 4 well separated classes.
+    let dataset = cvcp_suite::data::synthetic::separated_blobs(4, 30, 6, 10.0, &mut rng);
+    println!("data set: {}", dataset.describe());
+
+    // Scenario I: reveal the labels of 10 % of the objects.
+    let labeled = cvcp_suite::constraints::generate::sample_labeled_subset(
+        dataset.labels(),
+        0.10,
+        2,
+        &mut rng,
+    );
+    println!("side information: {} labelled objects", labeled.len());
+    let side = SideInformation::Labels(labeled.clone());
+
+    // CVCP model selection over k = 2..=8.
+    let method = MpckMethod::default();
+    let params: Vec<usize> = (2..=8).collect();
+    let config = CvcpConfig {
+        n_folds: 5,
+        stratified: true,
+    };
+    let selection = select_model(&method, dataset.matrix(), &side, &params, &config, &mut rng);
+
+    println!("\nCVCP internal scores (classification F-measure over held-out constraints):");
+    for eval in &selection.evaluations {
+        let marker = if eval.param == selection.best_param { " <= selected" } else { "" };
+        println!("  k = {:<2} score = {:.4}{marker}", eval.param, eval.score);
+    }
+
+    // Step 4: final clustering with all side information, and an external
+    // check against the ground truth (excluding the labelled objects).
+    let mut cvcp_external = 0.0;
+    let mut externals = Vec::new();
+    for &k in &params {
+        let clusterer = method.instantiate(k);
+        let partition = clusterer.cluster(dataset.matrix(), &side, &mut rng);
+        let f = cvcp_suite::metrics::overall_fmeasure_excluding(
+            &partition,
+            dataset.labels(),
+            labeled.indices(),
+        );
+        if k == selection.best_param {
+            cvcp_external = f;
+        }
+        externals.push(f);
+    }
+    let expected = expected_quality(&externals);
+
+    println!("\nexternal Overall F-measure:");
+    println!("  CVCP-selected k = {} : {:.4}", selection.best_param, cvcp_external);
+    println!("  expected (random guess in 2..=8): {:.4}", expected);
+    println!(
+        "  correlation(internal, external) = {:.4}",
+        cvcp_suite::metrics::pearson(&selection.scores(), &externals)
+    );
+}

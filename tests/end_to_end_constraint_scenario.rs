@@ -1,0 +1,154 @@
+//! End-to-end integration tests for Scenario II (pairwise constraints),
+//! exercising the transitive-closure-aware fold splitting together with both
+//! clustering algorithms.
+
+use cvcp_suite::constraints::folds::{constraint_scenario_folds, leaked_constraints};
+use cvcp_suite::constraints::generate::{constraint_pool, sample_constraints};
+use cvcp_suite::prelude::*;
+
+fn dataset(seed: u64) -> cvcp_suite::data::Dataset {
+    let mut rng = SeededRng::new(seed);
+    cvcp_suite::data::synthetic::separated_blobs(4, 22, 3, 10.0, &mut rng)
+}
+
+#[test]
+fn constraint_scenario_selection_works_for_both_methods() {
+    let ds = dataset(10);
+    let mut rng = SeededRng::new(11);
+    let pool = constraint_pool(ds.labels(), 0.15, 2, &mut rng);
+    let sample = sample_constraints(&pool, 0.5, &mut rng);
+    let side = SideInformation::Constraints(sample.clone());
+    let cfg = CvcpConfig {
+        n_folds: 4,
+        stratified: true,
+    };
+
+    let fosc_sel = select_model(
+        &FoscMethod::default(),
+        ds.matrix(),
+        &side,
+        &[3, 6, 9, 12, 15, 18, 21, 24],
+        &cfg,
+        &mut rng,
+    );
+    let mpck_sel = select_model(
+        &MpckMethod::default(),
+        ds.matrix(),
+        &side,
+        &[2, 3, 4, 5, 6, 7, 8],
+        &cfg,
+        &mut rng,
+    );
+
+    // clusters have 22 objects; MinPts beyond that cannot describe them
+    assert!(fosc_sel.best_param <= 21, "MinPts = {}", fosc_sel.best_param);
+    assert!((2..=6).contains(&mpck_sel.best_param), "k = {}", mpck_sel.best_param);
+
+    // the selected models must cluster the data reasonably
+    let involved = side.involved_objects();
+    for (method, param) in [
+        (&FoscMethod::default() as &dyn ParameterizedMethod, fosc_sel.best_param),
+        (&MpckMethod::default() as &dyn ParameterizedMethod, mpck_sel.best_param),
+    ] {
+        let partition = method.instantiate(param).cluster(ds.matrix(), &side, &mut rng);
+        let f = cvcp_suite::metrics::overall_fmeasure_excluding(&partition, ds.labels(), &involved);
+        assert!(f > 0.6, "{} external F = {f}", method.name());
+    }
+}
+
+#[test]
+fn cross_validation_folds_never_leak_through_the_closure() {
+    // The paper's central methodological point: after fold splitting, no
+    // test constraint is derivable from the training constraints.
+    for seed in 0..5u64 {
+        let ds = dataset(seed);
+        let mut rng = SeededRng::new(seed * 13 + 1);
+        let pool = constraint_pool(ds.labels(), 0.2, 2, &mut rng);
+        let sample = sample_constraints(&pool, 0.6, &mut rng);
+        let splits = constraint_scenario_folds(&sample, 5, &mut rng);
+        let leaks = leaked_constraints(&splits);
+        assert!(
+            leaks.is_empty(),
+            "seed {seed}: found {} leaked constraints",
+            leaks.len()
+        );
+    }
+}
+
+#[test]
+fn more_constraints_do_not_hurt_fosc_quality() {
+    // Matches the trend in Tables 11–13: quality improves (or stays) as the
+    // number of constraints grows.
+    let ds = dataset(20);
+    let method = FoscMethod::default();
+    let cfg = CvcpConfig {
+        n_folds: 4,
+        stratified: true,
+    };
+    let mut rng = SeededRng::new(21);
+    let pool = constraint_pool(ds.labels(), 0.2, 2, &mut rng);
+
+    let mut quality_at = Vec::new();
+    for fraction in [0.2, 0.8] {
+        let mut best = Vec::new();
+        for trial in 0..3u64 {
+            let mut trial_rng = SeededRng::new(100 + trial);
+            let sample = sample_constraints(&pool, fraction, &mut trial_rng);
+            let side = SideInformation::Constraints(sample);
+            let sel = select_model(
+                &method,
+                ds.matrix(),
+                &side,
+                &[3, 6, 9, 12, 15],
+                &cfg,
+                &mut trial_rng,
+            );
+            let partition = method
+                .instantiate(sel.best_param)
+                .cluster(ds.matrix(), &side, &mut trial_rng);
+            let involved = side.involved_objects();
+            best.push(cvcp_suite::metrics::overall_fmeasure_excluding(
+                &partition,
+                ds.labels(),
+                &involved,
+            ));
+        }
+        quality_at.push(best.iter().sum::<f64>() / best.len() as f64);
+    }
+    assert!(
+        quality_at[1] >= quality_at[0] - 0.05,
+        "quality with more constraints {:.3} should not collapse below {:.3}",
+        quality_at[1],
+        quality_at[0]
+    );
+}
+
+#[test]
+fn experiment_harness_runs_both_scenarios_end_to_end() {
+    use cvcp_suite::core::experiment::{run_experiment, summarize, ExperimentConfig, SideInfoSpec};
+    let ds = dataset(30);
+    let cfg = ExperimentConfig {
+        n_trials: 3,
+        cvcp: CvcpConfig {
+            n_folds: 3,
+            stratified: true,
+        },
+        params: vec![2, 4, 6],
+        seed: 7,
+        with_silhouette: true,
+        n_threads: 2,
+    };
+    for spec in [
+        SideInfoSpec::LabelFraction(0.15),
+        SideInfoSpec::ConstraintSample {
+            pool_fraction: 0.15,
+            sample_fraction: 0.5,
+        },
+    ] {
+        let outcomes = run_experiment(&MpckMethod::default(), &ds, spec, &cfg);
+        let summary = summarize(ds.name(), "MPCKMeans", spec, &outcomes);
+        assert_eq!(summary.cvcp_values.len(), 3);
+        assert!(summary.cvcp.mean >= 0.0 && summary.cvcp.mean <= 1.0);
+        assert!(summary.expected.mean >= 0.0 && summary.expected.mean <= 1.0);
+    }
+}

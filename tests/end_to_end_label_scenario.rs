@@ -1,0 +1,163 @@
+//! End-to-end integration tests for Scenario I (labelled objects): the whole
+//! pipeline — data generation, label sampling, CVCP cross-validation, model
+//! selection, final clustering and external evaluation — across crates.
+
+use cvcp_suite::constraints::generate::sample_labeled_subset;
+use cvcp_suite::prelude::*;
+
+fn blobs(seed: u64, k: usize, per: usize) -> cvcp_suite::data::Dataset {
+    let mut rng = SeededRng::new(seed);
+    cvcp_suite::data::synthetic::separated_blobs(k, per, 4, 11.0, &mut rng)
+}
+
+#[test]
+fn cvcp_selects_a_working_minpts_for_fosc() {
+    let ds = blobs(1, 4, 20);
+    let mut rng = SeededRng::new(100);
+    let labeled = sample_labeled_subset(ds.labels(), 0.2, 2, &mut rng);
+    let side = SideInformation::Labels(labeled.clone());
+    let cfg = CvcpConfig {
+        n_folds: 5,
+        stratified: true,
+    };
+    let method = FoscMethod::default();
+    let sel = select_model(
+        &method,
+        ds.matrix(),
+        &side,
+        &[3, 6, 9, 12, 15, 18, 21, 24],
+        &cfg,
+        &mut rng,
+    );
+    // Clusters have 20 objects each: the selected MinPts must not exceed the
+    // cluster size (parameters above it score poorly in cross-validation).
+    assert!(
+        sel.best_param <= 18,
+        "selected MinPts {} with scores {:?}",
+        sel.best_param,
+        sel.scores()
+    );
+    // The final clustering with the selected parameter must beat the
+    // expected quality of a random guess from the range.
+    let involved = labeled.indices();
+    let mut externals = Vec::new();
+    let mut chosen = 0.0;
+    for &p in &[3usize, 6, 9, 12, 15, 18, 21, 24] {
+        let partition = method.instantiate(p).cluster(ds.matrix(), &side, &mut rng);
+        let f = cvcp_suite::metrics::overall_fmeasure_excluding(&partition, ds.labels(), involved);
+        if p == sel.best_param {
+            chosen = f;
+        }
+        externals.push(f);
+    }
+    let expected = expected_quality(&externals);
+    assert!(
+        chosen >= expected,
+        "CVCP external {chosen} must be at least expected {expected} (externals {externals:?})"
+    );
+    assert!(chosen > 0.8, "CVCP-selected clustering should be good, got {chosen}");
+}
+
+#[test]
+fn cvcp_selects_a_working_k_for_mpck() {
+    let ds = blobs(2, 3, 25);
+    let mut rng = SeededRng::new(200);
+    let labeled = sample_labeled_subset(ds.labels(), 0.2, 2, &mut rng);
+    let side = SideInformation::Labels(labeled.clone());
+    let cfg = CvcpConfig {
+        n_folds: 5,
+        stratified: true,
+    };
+    let method = MpckMethod::default();
+    let sel = select_model(&method, ds.matrix(), &side, &[2, 3, 4, 5, 6, 7, 8], &cfg, &mut rng);
+    assert!(
+        (2..=4).contains(&sel.best_param),
+        "selected k {} (scores {:?})",
+        sel.best_param,
+        sel.scores()
+    );
+    let partition = method
+        .instantiate(sel.best_param)
+        .cluster(ds.matrix(), &side, &mut rng);
+    let f = cvcp_suite::metrics::overall_fmeasure_excluding(&partition, ds.labels(), labeled.indices());
+    assert!(f > 0.75, "external F = {f}");
+}
+
+#[test]
+fn internal_and_external_scores_correlate_on_separable_data() {
+    // The core claim of Section 4.2: internal classification scores track
+    // the external Overall F-measure across the parameter range.
+    let ds = blobs(3, 4, 18);
+    let mut rng = SeededRng::new(300);
+    let labeled = sample_labeled_subset(ds.labels(), 0.25, 2, &mut rng);
+    let side = SideInformation::Labels(labeled.clone());
+    let cfg = CvcpConfig {
+        n_folds: 5,
+        stratified: true,
+    };
+    let method = FoscMethod::default();
+    let params = vec![3usize, 6, 9, 12, 15, 18, 21, 24];
+    let sel = select_model(&method, ds.matrix(), &side, &params, &cfg, &mut rng);
+    let internal = sel.scores();
+    let mut external = Vec::new();
+    for &p in &params {
+        let partition = method.instantiate(p).cluster(ds.matrix(), &side, &mut rng);
+        external.push(cvcp_suite::metrics::overall_fmeasure_excluding(
+            &partition,
+            ds.labels(),
+            labeled.indices(),
+        ));
+    }
+    let r = cvcp_suite::metrics::pearson(&internal, &external);
+    assert!(
+        r > 0.5,
+        "expected a clear positive correlation, got {r} (internal {internal:?}, external {external:?})"
+    );
+}
+
+#[test]
+fn whole_pipeline_is_reproducible_from_the_seed() {
+    let ds = blobs(4, 3, 15);
+    let run = |seed: u64| {
+        let mut rng = SeededRng::new(seed);
+        let labeled = sample_labeled_subset(ds.labels(), 0.3, 2, &mut rng);
+        let side = SideInformation::Labels(labeled);
+        let cfg = CvcpConfig {
+            n_folds: 4,
+            stratified: true,
+        };
+        let sel = select_model(
+            &MpckMethod::default(),
+            ds.matrix(),
+            &side,
+            &[2, 3, 4, 5],
+            &cfg,
+            &mut rng,
+        );
+        (sel.best_param, sel.scores())
+    };
+    assert_eq!(run(77), run(77));
+}
+
+#[test]
+fn labelled_objects_are_excluded_from_external_evaluation() {
+    // The "set aside" rule: perfect clustering of the *unlabelled* objects
+    // scores 1.0 even if the labelled objects were placed badly.
+    let ds = blobs(5, 2, 10);
+    let mut rng = SeededRng::new(500);
+    let labeled = sample_labeled_subset(ds.labels(), 0.2, 1, &mut rng);
+    // Build a partition that is perfect except for the labelled objects.
+    let mut ids: Vec<usize> = ds.labels().to_vec();
+    for &i in labeled.indices() {
+        ids[i] = 1 - ids[i]; // flip the labelled objects' clusters
+    }
+    let partition = cvcp_suite::data::Partition::from_cluster_ids(&ids);
+    let f_all = cvcp_suite::metrics::overall_fmeasure(&partition, ds.labels());
+    let f_excl = cvcp_suite::metrics::overall_fmeasure_excluding(
+        &partition,
+        ds.labels(),
+        labeled.indices(),
+    );
+    assert!(f_excl > f_all);
+    assert!((f_excl - 1.0).abs() < 1e-12);
+}

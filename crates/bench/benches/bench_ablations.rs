@@ -11,13 +11,13 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use cvcp_bench::{aloi_dataset, pool_for, rng, BENCH_SEED};
+use cvcp_constraints::folds::label_scenario_folds;
 use cvcp_constraints::folds::{constraint_scenario_folds, naive_constraint_folds};
 use cvcp_constraints::generate::sample_labeled_subset;
-use cvcp_constraints::folds::label_scenario_folds;
 use cvcp_data::rng::SeededRng;
 use cvcp_density::fosc::{extract_clusters, ExtractionObjective};
-use cvcp_density::{CondensedTree, Dendrogram};
 use cvcp_density::mst::mutual_reachability_mst;
+use cvcp_density::{CondensedTree, Dendrogram};
 use cvcp_kmeans::{CopKMeans, MpckMeans};
 
 fn bench_fold_ablation(c: &mut Criterion) {

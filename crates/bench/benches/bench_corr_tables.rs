@@ -30,16 +30,24 @@ fn bench_corr_tables(c: &mut Criterion) {
     group.bench_function("table1_cell_fosc_label10", |b| {
         let cfg = config(vec![3, 9, 15, 24]);
         b.iter(|| {
-            let outcomes =
-                run_experiment(&FoscMethod::default(), &ds, SideInfoSpec::LabelFraction(0.10), &cfg);
+            let outcomes = run_experiment(
+                &FoscMethod::default(),
+                &ds,
+                SideInfoSpec::LabelFraction(0.10),
+                &cfg,
+            );
             mean(&outcomes.iter().map(|o| o.correlation).collect::<Vec<_>>())
         })
     });
     group.bench_function("table2_cell_mpck_label10", |b| {
         let cfg = config(vec![2, 4, 6, 8]);
         b.iter(|| {
-            let outcomes =
-                run_experiment(&MpckMethod::default(), &ds, SideInfoSpec::LabelFraction(0.10), &cfg);
+            let outcomes = run_experiment(
+                &MpckMethod::default(),
+                &ds,
+                SideInfoSpec::LabelFraction(0.10),
+                &cfg,
+            );
             mean(&outcomes.iter().map(|o| o.correlation).collect::<Vec<_>>())
         })
     });

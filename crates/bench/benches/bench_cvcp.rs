@@ -17,10 +17,28 @@ fn bench_cvcp(c: &mut Criterion) {
     let mut group = c.benchmark_group("cvcp/aloi_125x144");
     group.sample_size(10);
     group.bench_function("evaluate_one_minpts", |b| {
-        b.iter(|| evaluate_parameter(&FoscMethod::default(), ds.matrix(), &side, 6, &cfg, &mut rng()))
+        b.iter(|| {
+            evaluate_parameter(
+                &FoscMethod::default(),
+                ds.matrix(),
+                &side,
+                6,
+                &cfg,
+                &mut rng(),
+            )
+        })
     });
     group.bench_function("evaluate_one_k", |b| {
-        b.iter(|| evaluate_parameter(&MpckMethod::default(), ds.matrix(), &side, 5, &cfg, &mut rng()))
+        b.iter(|| {
+            evaluate_parameter(
+                &MpckMethod::default(),
+                ds.matrix(),
+                &side,
+                5,
+                &cfg,
+                &mut rng(),
+            )
+        })
     });
     group.bench_function("select_minpts_full_range", |b| {
         b.iter(|| {

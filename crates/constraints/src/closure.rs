@@ -190,7 +190,10 @@ mod tests {
         let s = figure2();
         let closed = transitive_closure(&s);
         for c in s.iter() {
-            assert!(closed.contains(c), "closure must contain input constraint {c}");
+            assert!(
+                closed.contains(c),
+                "closure must contain input constraint {c}"
+            );
         }
     }
 

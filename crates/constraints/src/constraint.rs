@@ -4,12 +4,11 @@
 //! stored in canonical order (smaller index first) so that sets deduplicate
 //! naturally.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// The kind of an instance-level constraint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ConstraintKind {
     /// The two objects should end up in the same cluster (class "1" in the
     /// paper's classification view).
@@ -28,7 +27,7 @@ impl fmt::Display for ConstraintKind {
 }
 
 /// An instance-level pairwise constraint over objects `a < b`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Constraint {
     /// Smaller object index.
     pub a: usize,
@@ -100,7 +99,7 @@ impl fmt::Display for Constraint {
 /// [`ConstraintSet::conflicting_pairs`]; the transitive-closure and
 /// generation code in this crate never produces conflicts from consistent
 /// label information.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConstraintSet {
     n_objects: usize,
     constraints: BTreeSet<Constraint>,
@@ -212,10 +211,7 @@ impl ConstraintSet {
 
     /// The sorted list of objects that appear in at least one constraint.
     pub fn involved_objects(&self) -> Vec<usize> {
-        let mut objs: Vec<usize> = self
-            .iter()
-            .flat_map(|c| [c.a, c.b])
-            .collect();
+        let mut objs: Vec<usize> = self.iter().flat_map(|c| [c.a, c.b]).collect();
         objs.sort_unstable();
         objs.dedup();
         objs
@@ -290,7 +286,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(format!("{}", Constraint::must_link(1, 0)), "must-link(0, 1)");
+        assert_eq!(
+            format!("{}", Constraint::must_link(1, 0)),
+            "must-link(0, 1)"
+        );
         assert_eq!(
             format!("{}", Constraint::cannot_link(4, 9)),
             "cannot-link(4, 9)"
@@ -301,7 +300,10 @@ mod tests {
     fn set_dedupes() {
         let mut s = ConstraintSet::new(5);
         assert!(s.add_must_link(0, 1));
-        assert!(!s.add_must_link(1, 0), "same pair in other order is a duplicate");
+        assert!(
+            !s.add_must_link(1, 0),
+            "same pair in other order is a duplicate"
+        );
         assert_eq!(s.len(), 1);
     }
 

@@ -21,10 +21,9 @@ use crate::constraint::ConstraintSet;
 use crate::generate::LabeledSubset;
 use crate::side_info::SideInformation;
 use cvcp_data::rng::SeededRng;
-use serde::{Deserialize, Serialize};
 
 /// Assignment of a collection of objects to folds.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FoldAssignment {
     /// Number of folds.
     pub n_folds: usize,
@@ -59,7 +58,7 @@ impl FoldAssignment {
 /// `training` is handed to the semi-supervised clustering algorithm (in the
 /// form the algorithm expects); `test_constraints` is used *only* to score
 /// the resulting partition as a constraint classifier.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FoldSplit {
     /// Index of the held-out fold.
     pub fold: usize,
@@ -101,7 +100,8 @@ fn stratified_fold_assignment(
     rng: &mut SeededRng,
 ) -> FoldAssignment {
     let objects: Vec<usize> = labeled.indices().to_vec();
-    let mut fold_lookup: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+    let mut fold_lookup: std::collections::BTreeMap<usize, usize> =
+        std::collections::BTreeMap::new();
 
     let n_classes = labeled.labels().iter().copied().max().map_or(0, |m| m + 1);
     let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
@@ -256,7 +256,10 @@ pub fn naive_constraint_folds(
 ) -> Vec<FoldSplit> {
     assert!(n_folds >= 2, "cross-validation needs at least 2 folds");
     let all: Vec<_> = constraints.iter().copied().collect();
-    assert!(all.len() >= n_folds, "need at least as many constraints as folds");
+    assert!(
+        all.len() >= n_folds,
+        "need at least as many constraints as folds"
+    );
     let mut order: Vec<usize> = (0..all.len()).collect();
     rng.shuffle(&mut order);
     let fold_of: Vec<usize> = {
@@ -324,7 +327,11 @@ mod tests {
             }
         }
         for &o in labeled.indices() {
-            assert_eq!(seen.get(&o), Some(&1), "object {o} must be held out exactly once");
+            assert_eq!(
+                seen.get(&o),
+                Some(&1),
+                "object {o} must be held out exactly once"
+            );
         }
     }
 
@@ -335,11 +342,8 @@ mod tests {
         let labeled = sample_labeled_subset(&gt, 0.6, 2, &mut rng);
         let splits = label_scenario_folds(&labeled, 4, true, &mut rng);
         for s in &splits {
-            let train_objs: std::collections::BTreeSet<usize> = s
-                .training
-                .involved_objects()
-                .into_iter()
-                .collect();
+            let train_objs: std::collections::BTreeSet<usize> =
+                s.training.involved_objects().into_iter().collect();
             for c in s.test_constraints.iter() {
                 assert!(!train_objs.contains(&c.a));
                 assert!(!train_objs.contains(&c.b));

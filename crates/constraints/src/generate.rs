@@ -12,10 +12,9 @@
 
 use crate::constraint::ConstraintSet;
 use cvcp_data::rng::SeededRng;
-use serde::{Deserialize, Serialize};
 
 /// A subset of objects with revealed ground-truth labels (Scenario I input).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LabeledSubset {
     /// Total number of objects in the data set.
     n_objects: usize,
@@ -33,7 +32,11 @@ impl LabeledSubset {
     /// Panics if `indices` and `labels` differ in length, contain duplicates,
     /// or reference objects `>= n_objects`.
     pub fn new(n_objects: usize, mut indices: Vec<usize>, mut labels: Vec<usize>) -> Self {
-        assert_eq!(indices.len(), labels.len(), "indices/labels length mismatch");
+        assert_eq!(
+            indices.len(),
+            labels.len(),
+            "indices/labels length mismatch"
+        );
         assert!(
             indices.iter().all(|&i| i < n_objects),
             "labelled object out of range"
@@ -87,7 +90,10 @@ impl LabeledSubset {
 
     /// Iterates over `(object, label)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.indices.iter().copied().zip(self.labels.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.labels.iter().copied())
     }
 
     /// The label of object `i` if it is in the subset.
@@ -277,7 +283,11 @@ mod tests {
         let none = sample_constraints(&pool, 0.0, &mut rng);
         assert!(none.is_empty());
         let tiny = sample_constraints(&pool, 0.0001, &mut rng);
-        assert_eq!(tiny.len(), 1, "at least one constraint for positive fractions");
+        assert_eq!(
+            tiny.len(),
+            1,
+            "at least one constraint for positive fractions"
+        );
     }
 
     #[test]

@@ -43,9 +43,7 @@ pub mod side_info;
 pub mod union_find;
 
 pub use constraint::{Constraint, ConstraintKind, ConstraintSet};
-pub use folds::{
-    constraint_scenario_folds, label_scenario_folds, FoldAssignment, FoldSplit,
-};
+pub use folds::{constraint_scenario_folds, label_scenario_folds, FoldAssignment, FoldSplit};
 pub use generate::{constraint_pool, constraints_from_labels, LabeledSubset};
 pub use side_info::SideInformation;
 pub use union_find::UnionFind;

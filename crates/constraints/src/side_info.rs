@@ -7,10 +7,9 @@
 
 use crate::constraint::ConstraintSet;
 use crate::generate::LabeledSubset;
-use serde::{Deserialize, Serialize};
 
 /// Partial supervision handed to a semi-supervised clustering algorithm.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SideInformation {
     /// A subset of objects with known labels (Scenario I).
     Labels(LabeledSubset),

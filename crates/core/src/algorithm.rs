@@ -7,10 +7,13 @@
 //! searches.
 
 use cvcp_constraints::SideInformation;
+use cvcp_data::distance::{pairwise_matrix, Euclidean};
 use cvcp_data::rng::SeededRng;
 use cvcp_data::{DataMatrix, Partition};
-use cvcp_density::FoscOpticsDend;
+use cvcp_density::{CondensedTree, FoscOpticsDend};
+use cvcp_engine::{fingerprint_matrix, ArtifactCache, ArtifactKey};
 use cvcp_kmeans::MpckMeans;
+use std::sync::Arc;
 
 /// A semi-supervised clustering algorithm with all parameters fixed.
 pub trait SemiSupervisedClusterer: Send + Sync {
@@ -21,12 +24,30 @@ pub trait SemiSupervisedClusterer: Send + Sync {
     ///
     /// Implementations must accept empty side information (fully
     /// unsupervised operation).
-    fn cluster(
+    fn cluster(&self, data: &DataMatrix, side: &SideInformation, rng: &mut SeededRng) -> Partition;
+
+    /// Like [`Self::cluster`], but allowed to reuse (and populate) shared
+    /// artifacts from the engine's cache.  Must return exactly the same
+    /// partition as [`Self::cluster`] for the same inputs — the cache trades
+    /// time, never results.  The default implementation ignores the cache.
+    fn cluster_with_cache(
         &self,
         data: &DataMatrix,
         side: &SideInformation,
         rng: &mut SeededRng,
-    ) -> Partition;
+        cache: &ArtifactCache,
+    ) -> Partition {
+        let _ = cache;
+        self.cluster(data, side, rng)
+    }
+
+    /// Precomputes this clusterer's shareable artifacts into `cache` so
+    /// subsequent [`Self::cluster_with_cache`] calls hit.  Used by the
+    /// engine's artifact jobs; the default is a no-op for algorithms with
+    /// nothing to share.
+    fn prepare_artifacts(&self, data: &DataMatrix, cache: &ArtifactCache) {
+        let _ = (data, cache);
+    }
 }
 
 /// A family of semi-supervised clustering algorithms indexed by an integer
@@ -79,6 +100,35 @@ pub struct FoscClusterer {
     stability_tiebreak: bool,
 }
 
+impl FoscClusterer {
+    fn algorithm(&self) -> FoscOpticsDend {
+        FoscOpticsDend::new(self.min_pts).with_stability_tiebreak(self.stability_tiebreak)
+    }
+
+    /// The condensed hierarchy for this `MinPts`, computed once per engine
+    /// and shared across every fold / trial / request on the same data.  The
+    /// `O(n²·d)` pairwise distance matrix is itself cached and shared across
+    /// *all* `MinPts` values.
+    fn cached_tree(&self, data: &DataMatrix, cache: &ArtifactCache) -> Arc<CondensedTree> {
+        let algo = self.algorithm();
+        let data_key = fingerprint_matrix(data);
+        cache.get_or_compute(
+            ArtifactKey::DensityHierarchy {
+                data: data_key,
+                min_pts: algo.min_pts,
+                min_cluster_size: algo.effective_min_cluster_size(),
+            },
+            || {
+                let dist: Arc<Vec<Vec<f64>>> = cache
+                    .get_or_compute(ArtifactKey::PairwiseDistances { data: data_key }, || {
+                        pairwise_matrix(data, &Euclidean)
+                    });
+                algo.build_tree_from_pairwise(&dist)
+            },
+        )
+    }
+}
+
 impl SemiSupervisedClusterer for FoscClusterer {
     fn name(&self) -> String {
         format!("FOSC-OPTICSDend(MinPts={})", self.min_pts)
@@ -91,10 +141,27 @@ impl SemiSupervisedClusterer for FoscClusterer {
         _rng: &mut SeededRng,
     ) -> Partition {
         let constraints = side.as_constraints();
-        FoscOpticsDend::new(self.min_pts)
-            .with_stability_tiebreak(self.stability_tiebreak)
-            .fit(data, &constraints)
+        self.algorithm().fit(data, &constraints).partition
+    }
+
+    fn cluster_with_cache(
+        &self,
+        data: &DataMatrix,
+        side: &SideInformation,
+        _rng: &mut SeededRng,
+        cache: &ArtifactCache,
+    ) -> Partition {
+        let constraints = side.as_constraints();
+        let tree = self.cached_tree(data, cache);
+        self.algorithm()
+            .extract_on_tree(&tree, &constraints)
             .partition
+    }
+
+    fn prepare_artifacts(&self, data: &DataMatrix, cache: &ArtifactCache) {
+        if data.n_rows() >= 2 {
+            let _ = self.cached_tree(data, cache);
+        }
     }
 }
 
@@ -159,12 +226,7 @@ impl SemiSupervisedClusterer for MpckClusterer {
         format!("MPCKMeans(k={})", self.k)
     }
 
-    fn cluster(
-        &self,
-        data: &DataMatrix,
-        side: &SideInformation,
-        rng: &mut SeededRng,
-    ) -> Partition {
+    fn cluster(&self, data: &DataMatrix, side: &SideInformation, rng: &mut SeededRng) -> Partition {
         let constraints = side.as_constraints();
         let k = self.k.min(data.n_rows()).max(1);
         MpckMeans::new(k)
@@ -245,8 +307,12 @@ mod tests {
         let mut rng = SeededRng::new(3);
         let ds = separated_blobs(2, 15, 2, 10.0, &mut rng);
         let side = SideInformation::none(ds.len());
-        let f = FoscMethod::default().instantiate(4).cluster(ds.matrix(), &side, &mut rng);
-        let m = MpckMethod::default().instantiate(2).cluster(ds.matrix(), &side, &mut rng);
+        let f = FoscMethod::default()
+            .instantiate(4)
+            .cluster(ds.matrix(), &side, &mut rng);
+        let m = MpckMethod::default()
+            .instantiate(2)
+            .cluster(ds.matrix(), &side, &mut rng);
         assert_eq!(f.len(), ds.len());
         assert_eq!(m.len(), ds.len());
     }
@@ -254,12 +320,18 @@ mod tests {
     #[test]
     fn default_parameter_ranges_match_the_paper() {
         let fosc = FoscMethod::default();
-        assert_eq!(fosc.default_parameter_range(5), vec![3, 6, 9, 12, 15, 18, 21, 24]);
+        assert_eq!(
+            fosc.default_parameter_range(5),
+            vec![3, 6, 9, 12, 15, 18, 21, 24]
+        );
         assert_eq!(fosc.parameter_name(), "MinPts");
         assert!(!fosc.supports_silhouette());
 
         let mpck = MpckMethod::default();
-        assert_eq!(mpck.default_parameter_range(5), (2..=10).collect::<Vec<_>>());
+        assert_eq!(
+            mpck.default_parameter_range(5),
+            (2..=10).collect::<Vec<_>>()
+        );
         assert_eq!(mpck.default_parameter_range(3), (2..=6).collect::<Vec<_>>());
         assert_eq!(mpck.parameter_name(), "k");
         assert!(mpck.supports_silhouette());

@@ -14,7 +14,6 @@ use cvcp_data::distance::Euclidean;
 use cvcp_data::rng::SeededRng;
 use cvcp_data::{DataMatrix, Partition};
 use cvcp_metrics::silhouette_coefficient;
-use serde::{Deserialize, Serialize};
 
 /// The expected (mean) quality over a parameter range, given the per-
 /// parameter external quality values.  Returns 0 for an empty slice.
@@ -26,7 +25,7 @@ pub fn expected_quality(per_parameter_quality: &[f64]) -> f64 {
 }
 
 /// Result of Silhouette-based model selection.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SilhouetteSelection {
     /// The selected parameter value.
     pub best_param: usize,
@@ -54,12 +53,19 @@ pub fn silhouette_selection(
     params: &[usize],
     rng: &mut SeededRng,
 ) -> SilhouetteSelection {
-    assert!(!params.is_empty(), "at least one candidate parameter is required");
+    assert!(
+        !params.is_empty(),
+        "at least one candidate parameter is required"
+    );
+    // One salted stream per candidate, so evaluation order cannot leak into
+    // the per-parameter clusterings.
+    let base = rng.fork(0x5110_E77E);
     let mut silhouettes: Vec<Option<f64>> = Vec::with_capacity(params.len());
     let mut partitions: Vec<Partition> = Vec::with_capacity(params.len());
-    for &p in params {
+    for (pi, &p) in params.iter().enumerate() {
         let clusterer = method.instantiate(p);
-        let partition = clusterer.cluster(data, side, rng);
+        let mut param_rng = base.fork_stream(pi as u64);
+        let partition = clusterer.cluster(data, side, &mut param_rng);
         let s = silhouette_coefficient(data, &partition, &Euclidean);
         silhouettes.push(s);
         partitions.push(partition);

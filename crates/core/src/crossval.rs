@@ -9,16 +9,17 @@
 //! must-link / cannot-link classes).  The parameter's quality is the mean
 //! score over folds — exactly Figure 1 of the paper.
 
-use crate::algorithm::ParameterizedMethod;
+use crate::algorithm::{ParameterizedMethod, SemiSupervisedClusterer};
 use cvcp_constraints::folds::{constraint_scenario_folds, label_scenario_folds, FoldSplit};
 use cvcp_constraints::SideInformation;
 use cvcp_data::rng::SeededRng;
 use cvcp_data::DataMatrix;
+use cvcp_engine::ArtifactCache;
 use cvcp_metrics::constraint_fmeasure;
-use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Configuration of the CVCP cross-validation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CvcpConfig {
     /// Requested number of folds (the paper uses 10; the effective number is
     /// reduced when fewer labelled/constrained objects are available).
@@ -37,7 +38,7 @@ impl Default for CvcpConfig {
 }
 
 /// Score of a single fold.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FoldScore {
     /// Fold index.
     pub fold: usize,
@@ -48,7 +49,7 @@ pub struct FoldScore {
 }
 
 /// Full evaluation of one parameter value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParameterEvaluation {
     /// The evaluated parameter value.
     pub param: usize,
@@ -98,6 +99,10 @@ pub fn evaluate_parameter(
 /// Evaluates a parameter on pre-built folds (used by
 /// [`crate::selection::select_model`] so that every parameter sees the same
 /// folds, as in the paper's setup).
+///
+/// Each fold draws from its own salted [`SeededRng::fork_stream`] (derived
+/// from one fork of `rng`), so the per-fold results do not depend on the
+/// order in which folds are evaluated.
 pub fn evaluate_parameter_on_folds(
     method: &dyn ParameterizedMethod,
     data: &DataMatrix,
@@ -106,19 +111,48 @@ pub fn evaluate_parameter_on_folds(
     rng: &mut SeededRng,
 ) -> ParameterEvaluation {
     let clusterer = method.instantiate(param);
-    let mut folds = Vec::with_capacity(splits.len());
-    for split in splits {
-        if split.test_constraints.is_empty() {
-            continue;
-        }
-        let partition = clusterer.cluster(data, &split.training, rng);
-        let f = constraint_fmeasure(&partition, &split.test_constraints);
-        folds.push(FoldScore {
-            fold: split.fold,
-            f_measure: f,
-            n_test_constraints: split.test_constraints.len(),
-        });
+    let base = rng.fork(param as u64);
+    let folds = splits
+        .iter()
+        .filter(|split| !split.test_constraints.is_empty())
+        .map(|split| {
+            let mut fold_rng = base.fork_stream(split.fold as u64);
+            score_fold(&*clusterer, data, split, &mut fold_rng, None)
+        })
+        .collect();
+    reduce_fold_scores(param, folds)
+}
+
+/// The RNG-stream salt of one (parameter, fold) cell of the evaluation
+/// grid.  Both the engine's job DAG and the inline evaluation path use this
+/// salt, which is what makes them bit-identical.
+pub(crate) fn grid_salt(param_idx: usize, fold: usize) -> u64 {
+    ((param_idx as u64) << 32) | fold as u64
+}
+
+/// Runs one grid cell: cluster on the fold's training information, score as
+/// a classifier over its held-out constraints.
+pub(crate) fn score_fold(
+    clusterer: &dyn SemiSupervisedClusterer,
+    data: &DataMatrix,
+    split: &FoldSplit,
+    rng: &mut SeededRng,
+    cache: Option<&ArtifactCache>,
+) -> FoldScore {
+    let partition = match cache {
+        Some(cache) => clusterer.cluster_with_cache(data, &split.training, rng, cache),
+        None => clusterer.cluster(data, &split.training, rng),
+    };
+    FoldScore {
+        fold: split.fold,
+        f_measure: constraint_fmeasure(&partition, &split.test_constraints),
+        n_test_constraints: split.test_constraints.len(),
     }
+}
+
+/// Folds per-fold scores into a [`ParameterEvaluation`] (mean over the
+/// non-empty folds; 0 when every fold was empty).
+pub(crate) fn reduce_fold_scores(param: usize, folds: Vec<FoldScore>) -> ParameterEvaluation {
     let score = if folds.is_empty() {
         0.0
     } else {
@@ -129,6 +163,37 @@ pub fn evaluate_parameter_on_folds(
         score,
         folds,
     }
+}
+
+/// Inline (single-thread, no-DAG) evaluation of the whole parameter × fold
+/// grid with the *same* salted RNG streams as the engine's job graph, so
+/// both paths produce bit-identical evaluations.  Used by experiment trial
+/// jobs, which already run on an engine worker and must not submit nested
+/// graphs.
+pub(crate) fn evaluate_grid_inline(
+    clusterers: &[Arc<dyn SemiSupervisedClusterer>],
+    params: &[usize],
+    data: &DataMatrix,
+    splits: &[FoldSplit],
+    base: &SeededRng,
+    cache: Option<&ArtifactCache>,
+) -> Vec<ParameterEvaluation> {
+    assert_eq!(clusterers.len(), params.len());
+    params
+        .iter()
+        .enumerate()
+        .map(|(pi, &param)| {
+            let folds = splits
+                .iter()
+                .filter(|split| !split.test_constraints.is_empty())
+                .map(|split| {
+                    let mut rng = base.fork_stream(grid_salt(pi, split.fold));
+                    score_fold(&*clusterers[pi], data, split, &mut rng, cache)
+                })
+                .collect();
+            reduce_fold_scores(param, folds)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -145,7 +210,10 @@ mod tests {
         let labeled = sample_labeled_subset(ds.labels(), 0.25, 2, &mut rng);
         let side = SideInformation::Labels(labeled);
         let method = MpckMethod::default();
-        let cfg = CvcpConfig { n_folds: 5, stratified: true };
+        let cfg = CvcpConfig {
+            n_folds: 5,
+            stratified: true,
+        };
 
         let good = evaluate_parameter(&method, ds.matrix(), &side, 3, &cfg, &mut rng);
         let bad = evaluate_parameter(&method, ds.matrix(), &side, 8, &cfg, &mut rng);
@@ -155,7 +223,11 @@ mod tests {
             good.score,
             bad.score
         );
-        assert!(good.score > 0.8, "score for the right k should be high: {}", good.score);
+        assert!(
+            good.score > 0.8,
+            "score for the right k should be high: {}",
+            good.score
+        );
     }
 
     #[test]
@@ -166,7 +238,10 @@ mod tests {
         let sampled = sample_constraints(&pool, 0.5, &mut rng);
         let side = SideInformation::Constraints(sampled);
         let method = FoscMethod::default();
-        let cfg = CvcpConfig { n_folds: 4, stratified: true };
+        let cfg = CvcpConfig {
+            n_folds: 4,
+            stratified: true,
+        };
 
         let eval = evaluate_parameter(&method, ds.matrix(), &side, 6, &cfg, &mut rng);
         assert!(eval.score > 0.7, "score = {}", eval.score);
@@ -197,10 +272,24 @@ mod tests {
         let ds = separated_blobs(2, 15, 2, 6.0, &mut rng);
         let labeled = sample_labeled_subset(ds.labels(), 0.3, 2, &mut rng);
         let side = SideInformation::Labels(labeled);
-        let cfg = CvcpConfig { n_folds: 3, stratified: true };
+        let cfg = CvcpConfig {
+            n_folds: 3,
+            stratified: true,
+        };
         for param in [2usize, 4, 7] {
-            let eval = evaluate_parameter(&MpckMethod::default(), ds.matrix(), &side, param, &cfg, &mut rng);
-            assert!((0.0..=1.0).contains(&eval.score), "score {} out of bounds", eval.score);
+            let eval = evaluate_parameter(
+                &MpckMethod::default(),
+                ds.matrix(),
+                &side,
+                param,
+                &cfg,
+                &mut rng,
+            );
+            assert!(
+                (0.0..=1.0).contains(&eval.score),
+                "score {} out of bounds",
+                eval.score
+            );
         }
     }
 
@@ -210,14 +299,25 @@ mod tests {
         let ds = separated_blobs(3, 20, 3, 12.0, &mut rng);
         let labeled = sample_labeled_subset(ds.labels(), 0.3, 2, &mut rng);
         let side = SideInformation::Labels(labeled);
-        let cfg = CvcpConfig { n_folds: 4, stratified: true };
+        let cfg = CvcpConfig {
+            n_folds: 4,
+            stratified: true,
+        };
         let splits = build_folds(&side, &cfg, &mut rng);
-        let a = evaluate_parameter_on_folds(&MpckMethod::default(), ds.matrix(), &splits, 3, &mut rng);
-        let b = evaluate_parameter_on_folds(&MpckMethod::default(), ds.matrix(), &splits, 5, &mut rng);
+        let a =
+            evaluate_parameter_on_folds(&MpckMethod::default(), ds.matrix(), &splits, 3, &mut rng);
+        let b =
+            evaluate_parameter_on_folds(&MpckMethod::default(), ds.matrix(), &splits, 5, &mut rng);
         // both evaluations saw the same folds
         assert_eq!(
-            a.folds.iter().map(|f| f.n_test_constraints).collect::<Vec<_>>(),
-            b.folds.iter().map(|f| f.n_test_constraints).collect::<Vec<_>>()
+            a.folds
+                .iter()
+                .map(|f| f.n_test_constraints)
+                .collect::<Vec<_>>(),
+            b.folds
+                .iter()
+                .map(|f| f.n_test_constraints)
+                .collect::<Vec<_>>()
         );
     }
 }

@@ -15,26 +15,37 @@
 //! 4. records the Pearson correlation between internal and external scores
 //!    (Tables 1–4).
 //!
-//! The paper repeats every experiment over 50 independent trials; trials are
-//! independent and are executed in parallel with `crossbeam` scoped threads.
+//! The paper repeats every experiment over 50 independent trials; trials
+//! are independent jobs multiplexed over the execution engine's worker
+//! pool, and every trial derives all of its randomness from the experiment
+//! seed and its own trial index — so results are bit-identical at any
+//! thread count.  Within a trial, shareable artifacts (distance matrices,
+//! per-`MinPts` density hierarchies) come from the engine's content-keyed
+//! cache and are therefore also shared *across* trials and experiments.
 
-use crate::algorithm::ParameterizedMethod;
+use crate::algorithm::{ParameterizedMethod, SemiSupervisedClusterer};
 use crate::baselines::expected_quality;
-use crate::crossval::CvcpConfig;
-use crate::selection::select_model;
+use crate::crossval::{build_folds, evaluate_grid_inline, CvcpConfig};
+use crate::selection::reduce_evaluations;
 use cvcp_constraints::generate::{constraint_pool, sample_constraints, sample_labeled_subset};
 use cvcp_constraints::SideInformation;
 use cvcp_data::distance::Euclidean;
 use cvcp_data::rng::SeededRng;
 use cvcp_data::Dataset;
+use cvcp_engine::{ArtifactCache, Engine};
 use cvcp_metrics::stats::Summary;
 use cvcp_metrics::ttest::{paired_t_test, TTestResult};
 use cvcp_metrics::{overall_fmeasure_excluding, pearson, silhouette_coefficient};
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+use crate::selection::SELECTION_STREAM_SALT;
+
+/// Salt of the RNG stream feeding the per-parameter final clusterings of a
+/// trial (step 4 + external evaluation).
+const EXTERNAL_STREAM_SALT: u64 = 0xE87E_44A1;
 
 /// How the side information of each trial is generated from the ground truth.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SideInfoSpec {
     /// Scenario I: reveal the labels of this fraction of all objects
     /// (the paper uses 0.05, 0.10, 0.20).
@@ -81,7 +92,7 @@ impl SideInfoSpec {
 }
 
 /// Configuration of a repeated-trial experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentConfig {
     /// Number of independent trials (50 in the paper).
     pub n_trials: usize,
@@ -113,7 +124,7 @@ impl Default for ExperimentConfig {
 }
 
 /// The outcome of one trial.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrialOutcome {
     /// Trial index.
     pub trial: usize,
@@ -138,11 +149,50 @@ pub struct TrialOutcome {
     pub correlation: f64,
 }
 
+/// A method prepared for repeated trials: clusterers instantiated once and
+/// shared (immutably) by every trial job.
+struct PreparedMethod {
+    clusterers: Vec<Arc<dyn SemiSupervisedClusterer>>,
+    params: Vec<usize>,
+    with_silhouette: bool,
+}
+
+impl PreparedMethod {
+    fn new(method: &dyn ParameterizedMethod, params: &[usize], with_silhouette: bool) -> Self {
+        Self {
+            clusterers: params
+                .iter()
+                .map(|&p| Arc::from(method.instantiate(p)))
+                .collect(),
+            params: params.to_vec(),
+            with_silhouette: with_silhouette && method.supports_silhouette(),
+        }
+    }
+}
+
 /// Runs a full repeated-trial experiment of `method` on `dataset` with side
-/// information drawn according to `spec`.
+/// information drawn according to `spec`, on a fresh engine with
+/// `config.n_threads` workers.
 ///
 /// Returns one [`TrialOutcome`] per trial, in trial order.
 pub fn run_experiment(
+    method: &dyn ParameterizedMethod,
+    dataset: &Dataset,
+    spec: SideInfoSpec,
+    config: &ExperimentConfig,
+) -> Vec<TrialOutcome> {
+    let engine = Engine::new(config.n_threads.max(1));
+    run_experiment_on(&engine, method, dataset, spec, config)
+}
+
+/// Runs a repeated-trial experiment on an existing engine, so many
+/// experiments multiplex over one worker pool and share cached artifacts.
+///
+/// Every trial is one engine job whose randomness derives solely from
+/// `config.seed` and the trial index — results are bit-identical for any
+/// thread count and any batch composition.
+pub fn run_experiment_on(
+    engine: &Engine,
     method: &dyn ParameterizedMethod,
     dataset: &Dataset,
     spec: SideInfoSpec,
@@ -153,36 +203,29 @@ pub fn run_experiment(
     } else {
         config.params.clone()
     };
-
+    let prepared = Arc::new(PreparedMethod::new(method, &params, config.with_silhouette));
+    let dataset = Arc::new(dataset.clone());
     let n_trials = config.n_trials.max(1);
-    let results: Mutex<Vec<Option<TrialOutcome>>> = Mutex::new(vec![None; n_trials]);
-    let next: Mutex<usize> = Mutex::new(0);
-
-    let n_threads = config.n_threads.clamp(1, n_trials);
-    crossbeam::scope(|scope| {
-        for _ in 0..n_threads {
-            scope.spawn(|_| loop {
-                let trial = {
-                    let mut guard = next.lock();
-                    if *guard >= n_trials {
-                        break;
-                    }
-                    let t = *guard;
-                    *guard += 1;
-                    t
-                };
-                let outcome = run_trial(method, dataset, spec, config, &params, trial);
-                results.lock()[trial] = Some(outcome);
-            });
-        }
-    })
-    .expect("experiment worker panicked");
-
-    results
-        .into_inner()
-        .into_iter()
-        .map(|o| o.expect("every trial completed"))
-        .collect()
+    let jobs: Vec<_> = (0..n_trials)
+        .map(|trial| {
+            let prepared = Arc::clone(&prepared);
+            let dataset = Arc::clone(&dataset);
+            let cvcp = config.cvcp;
+            let seed = config.seed;
+            move |ctx: &mut cvcp_engine::JobCtx| {
+                run_trial_prepared(
+                    &prepared,
+                    &dataset,
+                    spec,
+                    &cvcp,
+                    seed,
+                    trial,
+                    Some(&ctx.cache_arc()),
+                )
+            }
+        })
+        .collect();
+    engine.run_jobs(config.seed, jobs)
 }
 
 /// Runs a single trial (exposed for the figure-generating binaries, which
@@ -195,29 +238,75 @@ pub fn run_trial(
     params: &[usize],
     trial: usize,
 ) -> TrialOutcome {
+    let prepared = PreparedMethod::new(method, params, config.with_silhouette);
+    run_trial_prepared(
+        &prepared,
+        dataset,
+        spec,
+        &config.cvcp,
+        config.seed,
+        trial,
+        None,
+    )
+}
+
+/// The body of one trial.  All randomness is derived from `seed` and
+/// `trial`; the optional cache only shares artifacts, never changes
+/// results.
+fn run_trial_prepared(
+    prepared: &PreparedMethod,
+    dataset: &Dataset,
+    spec: SideInfoSpec,
+    cvcp: &CvcpConfig,
+    seed: u64,
+    trial: usize,
+    cache: Option<&ArtifactCache>,
+) -> TrialOutcome {
+    let params = &prepared.params;
     let mut rng = SeededRng::new(
-        config
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(trial as u64),
     );
     let side = spec.generate(dataset, &mut rng);
     let involved = side.involved_objects();
 
-    // Step 1–3: CVCP selection with internal scores.
-    let selection = select_model(method, dataset.matrix(), &side, params, &config.cvcp, &mut rng);
+    // Step 1–3: CVCP selection with internal scores.  Runs the same salted
+    // grid streams as `select_model_with`, but inline — a trial job already
+    // occupies an engine worker and must not submit nested graphs.
+    let splits = build_folds(&side, cvcp, &mut rng);
+    let grid_base = rng.fork(SELECTION_STREAM_SALT);
+    let evaluations = evaluate_grid_inline(
+        &prepared.clusterers,
+        params,
+        dataset.matrix(),
+        &splits,
+        &grid_base,
+        cache,
+    );
+    let selection = reduce_evaluations(evaluations);
     let internal_scores = selection.scores();
 
-    // Step 4 + external evaluation per parameter.
+    // Step 4 + external evaluation per parameter, each from its own salted
+    // stream so parameter order cannot influence results.
+    let external_base = rng.fork(EXTERNAL_STREAM_SALT);
     let mut external_scores = Vec::with_capacity(params.len());
     let mut silhouettes: Vec<Option<f64>> = Vec::with_capacity(params.len());
-    for &p in params {
-        let clusterer = method.instantiate(p);
-        let partition = clusterer.cluster(dataset.matrix(), &side, &mut rng);
+    for (pi, clusterer) in prepared.clusterers.iter().enumerate() {
+        let mut param_rng = external_base.fork_stream(pi as u64);
+        let partition = match cache {
+            Some(cache) => {
+                clusterer.cluster_with_cache(dataset.matrix(), &side, &mut param_rng, cache)
+            }
+            None => clusterer.cluster(dataset.matrix(), &side, &mut param_rng),
+        };
         let f = overall_fmeasure_excluding(&partition, dataset.labels(), &involved);
         external_scores.push(f);
-        if config.with_silhouette && method.supports_silhouette() {
-            silhouettes.push(silhouette_coefficient(dataset.matrix(), &partition, &Euclidean));
+        if prepared.with_silhouette {
+            silhouettes.push(silhouette_coefficient(
+                dataset.matrix(),
+                &partition,
+                &Euclidean,
+            ));
         } else {
             silhouettes.push(None);
         }
@@ -230,23 +319,22 @@ pub fn run_trial(
     let cvcp_external = external_scores[selected_idx];
     let expected_external = expected_quality(&external_scores);
 
-    let (silhouette_param, silhouette_external) =
-        if config.with_silhouette && method.supports_silhouette() {
-            let mut best: Option<(usize, f64)> = None;
-            for (i, s) in silhouettes.iter().enumerate() {
-                if let Some(v) = s {
-                    if best.map_or(true, |(_, bv)| *v > bv) {
-                        best = Some((i, *v));
-                    }
+    let (silhouette_param, silhouette_external) = if prepared.with_silhouette {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, s) in silhouettes.iter().enumerate() {
+            if let Some(v) = s {
+                if best.is_none_or(|(_, bv)| *v > bv) {
+                    best = Some((i, *v));
                 }
             }
-            match best {
-                Some((i, _)) => (Some(params[i]), Some(external_scores[i])),
-                None => (Some(params[0]), Some(external_scores[0])),
-            }
-        } else {
-            (None, None)
-        };
+        }
+        match best {
+            Some((i, _)) => (Some(params[i]), Some(external_scores[i])),
+            None => (Some(params[0]), Some(external_scores[0])),
+        }
+    } else {
+        (None, None)
+    };
 
     let correlation = pearson(&internal_scores, &external_scores);
 
@@ -266,7 +354,7 @@ pub fn run_trial(
 
 /// Aggregated results of an experiment, mirroring one row of the paper's
 /// Tables 5–16 plus the correlation entry of Tables 1–4.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentSummary {
     /// Data set name.
     pub dataset: String,
@@ -300,7 +388,7 @@ impl ExperimentSummary {
     pub fn cvcp_beats_expected_significantly(&self, alpha: f64) -> bool {
         self.cvcp_vs_expected
             .as_ref()
-            .map_or(false, |t| t.significant_at(alpha) && t.mean_difference > 0.0)
+            .is_some_and(|t| t.significant_at(alpha) && t.mean_difference > 0.0)
     }
 }
 
@@ -403,7 +491,12 @@ mod tests {
             SideInfoSpec::LabelFraction(0.2),
             &quick_config(6),
         );
-        let summary = summarize("blobs", "MPCKMeans", SideInfoSpec::LabelFraction(0.2), &outcomes);
+        let summary = summarize(
+            "blobs",
+            "MPCKMeans",
+            SideInfoSpec::LabelFraction(0.2),
+            &outcomes,
+        );
         assert!(
             summary.cvcp.mean >= summary.expected.mean,
             "CVCP {} should be at least Expected {}",
@@ -452,8 +545,18 @@ mod tests {
     fn experiments_are_reproducible() {
         let ds = blobs();
         let cfg = quick_config(3);
-        let a = run_experiment(&MpckMethod::default(), &ds, SideInfoSpec::LabelFraction(0.1), &cfg);
-        let b = run_experiment(&MpckMethod::default(), &ds, SideInfoSpec::LabelFraction(0.1), &cfg);
+        let a = run_experiment(
+            &MpckMethod::default(),
+            &ds,
+            SideInfoSpec::LabelFraction(0.1),
+            &cfg,
+        );
+        let b = run_experiment(
+            &MpckMethod::default(),
+            &ds,
+            SideInfoSpec::LabelFraction(0.1),
+            &cfg,
+        );
         assert_eq!(a, b);
     }
 
@@ -464,8 +567,18 @@ mod tests {
         seq.n_threads = 1;
         let mut par = quick_config(4);
         par.n_threads = 4;
-        let a = run_experiment(&MpckMethod::default(), &ds, SideInfoSpec::LabelFraction(0.2), &seq);
-        let b = run_experiment(&MpckMethod::default(), &ds, SideInfoSpec::LabelFraction(0.2), &par);
+        let a = run_experiment(
+            &MpckMethod::default(),
+            &ds,
+            SideInfoSpec::LabelFraction(0.2),
+            &seq,
+        );
+        let b = run_experiment(
+            &MpckMethod::default(),
+            &ds,
+            SideInfoSpec::LabelFraction(0.2),
+            &par,
+        );
         assert_eq!(a, b);
     }
 

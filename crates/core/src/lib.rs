@@ -58,23 +58,26 @@ pub mod experiment;
 pub mod report;
 pub mod selection;
 
-pub use algorithm::{
-    FoscMethod, MpckMethod, ParameterizedMethod, SemiSupervisedClusterer,
-};
+pub use algorithm::{FoscMethod, MpckMethod, ParameterizedMethod, SemiSupervisedClusterer};
 pub use baselines::{expected_quality, silhouette_selection, SilhouetteSelection};
 pub use crossval::{evaluate_parameter, CvcpConfig, FoldScore, ParameterEvaluation};
+pub use cvcp_engine::{ArtifactCache, Engine};
 pub use experiment::{
-    run_experiment, summarize, ExperimentConfig, ExperimentSummary, SideInfoSpec, TrialOutcome,
+    run_experiment, run_experiment_on, summarize, ExperimentConfig, ExperimentSummary,
+    SideInfoSpec, TrialOutcome,
 };
-pub use selection::{select_model, CvcpSelection};
+pub use selection::{select_model, select_model_with, CvcpSelection};
 
 /// Convenience re-exports.
 pub mod prelude {
-    pub use crate::algorithm::{FoscMethod, MpckMethod, ParameterizedMethod, SemiSupervisedClusterer};
+    pub use crate::algorithm::{
+        FoscMethod, MpckMethod, ParameterizedMethod, SemiSupervisedClusterer,
+    };
     pub use crate::baselines::{expected_quality, silhouette_selection};
     pub use crate::crossval::{evaluate_parameter, CvcpConfig};
     pub use crate::experiment::{
-        run_experiment, summarize, ExperimentConfig, SideInfoSpec,
+        run_experiment, run_experiment_on, summarize, ExperimentConfig, SideInfoSpec,
     };
-    pub use crate::selection::{select_model, CvcpSelection};
+    pub use crate::selection::{select_model, select_model_with, CvcpSelection};
+    pub use cvcp_engine::Engine;
 }

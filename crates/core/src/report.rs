@@ -59,7 +59,12 @@ pub fn mpck_performance_row(summary: &ExperimentSummary, alpha: f64) -> String {
 
 /// Formats a figure curve (Figures 5–8) as aligned columns:
 /// parameter, internal score, external score.
-pub fn curve_table(param_name: &str, params: &[usize], internal: &[f64], external: &[f64]) -> String {
+pub fn curve_table(
+    param_name: &str,
+    params: &[usize],
+    internal: &[f64],
+    external: &[f64],
+) -> String {
     let mut out = format!("{param_name:>8}  {:>10}  {:>10}\n", "internal", "external");
     for ((p, i), e) in params.iter().zip(internal).zip(external) {
         out.push_str(&format!("{p:>8}  {i:>10.4}  {e:>10.4}\n"));
@@ -82,7 +87,10 @@ pub fn boxplot_row(label: &str, values: &[f64]) -> String {
 
 /// A header + separator for the experiment tables.
 pub fn table_header(title: &str, columns: &str) -> String {
-    format!("{title}\n{columns}\n{}\n", "-".repeat(columns.len().max(title.len())))
+    format!(
+        "{title}\n{columns}\n{}\n",
+        "-".repeat(columns.len().max(title.len()))
+    )
 }
 
 #[cfg(test)]
@@ -109,7 +117,12 @@ mod tests {
 
     #[test]
     fn rows_contain_the_numbers() {
-        let s = summarize("iris_like", "MPCKMeans", SideInfoSpec::LabelFraction(0.1), &fake_outcomes());
+        let s = summarize(
+            "iris_like",
+            "MPCKMeans",
+            SideInfoSpec::LabelFraction(0.1),
+            &fake_outcomes(),
+        );
         let row = mpck_performance_row(&s, 0.05);
         assert!(row.contains("iris_like"));
         assert!(row.contains("0.9200"));
@@ -120,7 +133,12 @@ mod tests {
 
     #[test]
     fn significance_star_appears_for_clear_differences() {
-        let s = summarize("iris_like", "MPCKMeans", SideInfoSpec::LabelFraction(0.1), &fake_outcomes());
+        let s = summarize(
+            "iris_like",
+            "MPCKMeans",
+            SideInfoSpec::LabelFraction(0.1),
+            &fake_outcomes(),
+        );
         // CVCP (0.92) vs expected (0.69) with tiny variance is significant —
         // but all differences are identical so the t-test may be degenerate;
         // either way the row formats without panicking.

@@ -2,14 +2,23 @@
 //! highest-scoring value, and re-run the algorithm with all side information.
 
 use crate::algorithm::{ParameterizedMethod, SemiSupervisedClusterer};
-use crate::crossval::{build_folds, evaluate_parameter_on_folds, CvcpConfig, ParameterEvaluation};
+use crate::crossval::{
+    build_folds, evaluate_grid_inline, grid_salt, reduce_fold_scores, score_fold, CvcpConfig,
+    FoldScore, ParameterEvaluation,
+};
+use cvcp_constraints::folds::FoldSplit;
 use cvcp_constraints::SideInformation;
 use cvcp_data::rng::SeededRng;
 use cvcp_data::{DataMatrix, Partition};
-use serde::{Deserialize, Serialize};
+use cvcp_engine::{Engine, JobGraph};
+use std::sync::{Arc, Mutex};
+
+/// Salt of the RNG stream that feeds the evaluation grid (applied as one
+/// `fork` of the caller's generator after the folds are built).
+pub(crate) const SELECTION_STREAM_SALT: u64 = 0x5E1E_C710;
 
 /// Result of a CVCP model-selection run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CvcpSelection {
     /// The selected (highest-scoring) parameter value.
     pub best_param: usize,
@@ -32,12 +41,31 @@ impl CvcpSelection {
     }
 }
 
+/// Argmax with "first wins" tie-breaking (the paper does not specify a
+/// rule; candidates are conventionally listed in increasing order, so this
+/// prefers the simpler model).
+pub(crate) fn reduce_evaluations(evaluations: Vec<ParameterEvaluation>) -> CvcpSelection {
+    let mut best_idx = 0usize;
+    for (i, eval) in evaluations.iter().enumerate() {
+        if eval.score > evaluations[best_idx].score {
+            best_idx = i;
+        }
+    }
+    CvcpSelection {
+        best_param: evaluations[best_idx].param,
+        best_score: evaluations[best_idx].score,
+        evaluations,
+    }
+}
+
 /// Runs CVCP model selection: evaluates every candidate parameter with the
 /// same cross-validation folds and returns the scores and the argmax.
 ///
-/// Ties are broken in favour of the earlier candidate (the paper does not
-/// specify a rule; candidates are conventionally listed in increasing order,
-/// so this prefers the simpler model).
+/// This is the sequential entry point — equivalent to
+/// [`select_model_with`] on a one-thread [`Engine`] (which is exactly how
+/// it is implemented).  Each (parameter × fold) grid cell draws from its
+/// own salted RNG stream, so the result does not depend on evaluation
+/// order.
 ///
 /// # Panics
 ///
@@ -50,23 +78,138 @@ pub fn select_model(
     config: &CvcpConfig,
     rng: &mut SeededRng,
 ) -> CvcpSelection {
-    assert!(!params.is_empty(), "at least one candidate parameter is required");
+    select_model_with(
+        &Engine::sequential(),
+        method,
+        data,
+        side,
+        params,
+        config,
+        rng,
+    )
+}
+
+/// Runs CVCP model selection on an execution engine.
+///
+/// The request is modelled as a job DAG: one artifact job per candidate
+/// parameter (precomputing shareable structures such as the per-`MinPts`
+/// density hierarchy into the engine's cache), one evaluation job per
+/// (parameter × fold) grid cell, and a final reduction job producing the
+/// [`CvcpSelection`].  Results are **bit-identical** to the sequential path
+/// at any thread count: every grid cell draws from a salted
+/// [`SeededRng::fork_stream`] keyed by its (parameter, fold) coordinates,
+/// never from execution order.
+///
+/// # Panics
+///
+/// Panics if `params` is empty, or if an evaluation job panics.
+pub fn select_model_with(
+    engine: &Engine,
+    method: &dyn ParameterizedMethod,
+    data: &DataMatrix,
+    side: &SideInformation,
+    params: &[usize],
+    config: &CvcpConfig,
+    rng: &mut SeededRng,
+) -> CvcpSelection {
+    assert!(
+        !params.is_empty(),
+        "at least one candidate parameter is required"
+    );
     let splits = build_folds(side, config, rng);
-    let evaluations: Vec<ParameterEvaluation> = params
+    let base = rng.fork(SELECTION_STREAM_SALT);
+    let clusterers: Vec<Arc<dyn SemiSupervisedClusterer>> = params
         .iter()
-        .map(|&p| evaluate_parameter_on_folds(method, data, &splits, p, rng))
+        .map(|&p| Arc::from(method.instantiate(p)))
         .collect();
-    // Argmax with "first wins" tie-breaking.
-    let mut best_idx = 0usize;
-    for (i, eval) in evaluations.iter().enumerate() {
-        if eval.score > evaluations[best_idx].score {
-            best_idx = i;
+    select_model_prepared(engine, &clusterers, params, data, &splits, base)
+}
+
+/// Grid evaluation on pre-instantiated clusterers (shared by
+/// [`select_model_with`] and the experiment harness).
+pub(crate) fn select_model_prepared(
+    engine: &Engine,
+    clusterers: &[Arc<dyn SemiSupervisedClusterer>],
+    params: &[usize],
+    data: &DataMatrix,
+    splits: &[FoldSplit],
+    base: SeededRng,
+) -> CvcpSelection {
+    // Tiny grids are not worth a DAG round-trip on a sequential engine, but
+    // correctness must not depend on this short-cut: the inline evaluator
+    // uses the same salted streams as the graph below.
+    if engine.n_threads() <= 1 {
+        let evaluations = evaluate_grid_inline(
+            clusterers,
+            params,
+            data,
+            splits,
+            &base,
+            Some(engine.cache()),
+        );
+        return reduce_evaluations(evaluations);
+    }
+
+    let data = Arc::new(data.clone());
+    let splits: Arc<Vec<FoldSplit>> = Arc::new(splits.to_vec());
+    // Grid accumulator: [param][split] fold scores, written by evaluation
+    // jobs, read by the reduction job (which depends on all of them).
+    let grid: Arc<Mutex<Vec<Vec<Option<FoldScore>>>>> = Arc::new(Mutex::new(
+        params.iter().map(|_| vec![None; splits.len()]).collect(),
+    ));
+
+    let mut graph: JobGraph<Option<CvcpSelection>> = JobGraph::with_base_rng(base);
+    let mut eval_ids = Vec::new();
+    for (pi, clusterer) in clusterers.iter().enumerate() {
+        let artifact_id = {
+            let clusterer = Arc::clone(clusterer);
+            let data = Arc::clone(&data);
+            graph.add_salted_job(&[], (1 << 48) | pi as u64, move |ctx| {
+                clusterer.prepare_artifacts(&data, ctx.cache());
+                None
+            })
+        };
+        for (si, split) in splits.iter().enumerate() {
+            if split.test_constraints.is_empty() {
+                continue;
+            }
+            let clusterer = Arc::clone(clusterer);
+            let data = Arc::clone(&data);
+            let splits = Arc::clone(&splits);
+            let grid = Arc::clone(&grid);
+            let id = graph.add_salted_job(&[artifact_id], grid_salt(pi, split.fold), move |ctx| {
+                let cache = ctx.cache_arc();
+                let score = score_fold(&*clusterer, &data, &splits[si], ctx.rng(), Some(&cache));
+                grid.lock().expect("grid lock")[pi][si] = Some(score);
+                None
+            });
+            eval_ids.push(id);
         }
     }
-    CvcpSelection {
-        best_param: evaluations[best_idx].param,
-        best_score: evaluations[best_idx].score,
-        evaluations,
+    {
+        let grid = Arc::clone(&grid);
+        let params = params.to_vec();
+        graph.add_salted_job(&eval_ids, 2 << 48, move |_ctx| {
+            let grid = grid.lock().expect("grid lock");
+            let evaluations = params
+                .iter()
+                .enumerate()
+                .map(|(pi, &p)| reduce_fold_scores(p, grid[pi].iter().flatten().cloned().collect()))
+                .collect();
+            Some(reduce_evaluations(evaluations))
+        });
+    }
+
+    let mut result = engine.run_graph(graph);
+    match result.outcomes.pop() {
+        Some(cvcp_engine::JobOutcome::Completed(Some(selection))) => selection,
+        _ => {
+            let failure = result
+                .first_failure()
+                .unwrap_or("reduction job did not run")
+                .to_string();
+            panic!("model selection failed on the engine: {failure}");
+        }
     }
 }
 
@@ -98,7 +241,10 @@ mod tests {
         let ds = separated_blobs(4, 20, 4, 12.0, &mut rng);
         let labeled = sample_labeled_subset(ds.labels(), 0.25, 2, &mut rng);
         let side = SideInformation::Labels(labeled);
-        let cfg = CvcpConfig { n_folds: 5, stratified: true };
+        let cfg = CvcpConfig {
+            n_folds: 5,
+            stratified: true,
+        };
         let sel = select_model(
             &MpckMethod::default(),
             ds.matrix(),
@@ -119,11 +265,26 @@ mod tests {
         let pool = constraint_pool(ds.labels(), 0.3, 2, &mut rng);
         let sampled = sample_constraints(&pool, 0.6, &mut rng);
         let side = SideInformation::Constraints(sampled);
-        let cfg = CvcpConfig { n_folds: 4, stratified: true };
+        let cfg = CvcpConfig {
+            n_folds: 4,
+            stratified: true,
+        };
         let params = vec![3usize, 6, 9, 12, 15, 18, 21, 24];
-        let sel = select_model(&FoscMethod::default(), ds.matrix(), &side, &params, &cfg, &mut rng);
+        let sel = select_model(
+            &FoscMethod::default(),
+            ds.matrix(),
+            &side,
+            &params,
+            &cfg,
+            &mut rng,
+        );
         // Clusters have only 12 objects; MinPts above 12 cannot work well.
-        assert!(sel.best_param <= 9, "selected {} (scores {:?})", sel.best_param, sel.scores());
+        assert!(
+            sel.best_param <= 9,
+            "selected {} (scores {:?})",
+            sel.best_param,
+            sel.scores()
+        );
     }
 
     #[test]
@@ -134,7 +295,10 @@ mod tests {
         let ds = separated_blobs(3, 25, 4, 10.0, &mut rng);
         let labeled = sample_labeled_subset(ds.labels(), 0.2, 2, &mut rng);
         let side = SideInformation::Labels(labeled.clone());
-        let cfg = CvcpConfig { n_folds: 5, stratified: true };
+        let cfg = CvcpConfig {
+            n_folds: 5,
+            stratified: true,
+        };
         let params = vec![2usize, 3, 4, 5, 6, 7, 8];
         let method = MpckMethod::default();
         let sel = select_model(&method, ds.matrix(), &side, &params, &cfg, &mut rng);
@@ -163,8 +327,18 @@ mod tests {
         let ds = separated_blobs(3, 15, 3, 12.0, &mut rng);
         let labeled = sample_labeled_subset(ds.labels(), 0.3, 2, &mut rng);
         let side = SideInformation::Labels(labeled);
-        let cfg = CvcpConfig { n_folds: 4, stratified: true };
-        let sel = select_model(&MpckMethod::default(), ds.matrix(), &side, &[2, 3, 4], &cfg, &mut rng);
+        let cfg = CvcpConfig {
+            n_folds: 4,
+            stratified: true,
+        };
+        let sel = select_model(
+            &MpckMethod::default(),
+            ds.matrix(),
+            &side,
+            &[2, 3, 4],
+            &cfg,
+            &mut rng,
+        );
         let (clusterer, partition) =
             final_clustering(&MpckMethod::default(), ds.matrix(), &side, &sel, &mut rng);
         assert!(clusterer.name().contains(&format!("k={}", sel.best_param)));
@@ -199,7 +373,10 @@ mod tests {
         // not — use a tiny labelled set to force near-ties.
         let labeled = sample_labeled_subset(ds.labels(), 0.1, 1, &mut rng);
         let side = SideInformation::Labels(labeled);
-        let cfg = CvcpConfig { n_folds: 2, stratified: true };
+        let cfg = CvcpConfig {
+            n_folds: 2,
+            stratified: true,
+        };
         let sel = select_model(
             &MpckMethod::default(),
             ds.matrix(),

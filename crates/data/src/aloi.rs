@@ -201,7 +201,10 @@ mod tests {
     #[test]
     fn datasets_deterministic_per_seed_and_index() {
         assert_eq!(aloi_k5_dataset(4, 3), aloi_k5_dataset(4, 3));
-        assert_ne!(aloi_k5_dataset(4, 3).matrix(), aloi_k5_dataset(5, 3).matrix());
+        assert_ne!(
+            aloi_k5_dataset(4, 3).matrix(),
+            aloi_k5_dataset(5, 3).matrix()
+        );
     }
 
     #[test]
@@ -251,6 +254,9 @@ mod tests {
         }
         let max = min_dists.iter().cloned().fold(f64::MIN, f64::max);
         let min = min_dists.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(max > min * 1.3, "difficulty should vary: min={min}, max={max}");
+        assert!(
+            max > min * 1.3,
+            "difficulty should vary: min={min}, max={max}"
+        );
     }
 }

@@ -6,11 +6,10 @@
 //! clustering algorithms directly.
 
 use crate::matrix::DataMatrix;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Per-class summary of a data set.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClassSummary {
     /// Class identifier (0-based, contiguous).
     pub class: usize,
@@ -31,7 +30,7 @@ pub struct ClassSummary {
 /// assert_eq!(ds.n_classes(), 2);
 /// assert_eq!(ds.class_counts(), vec![2, 1]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     name: String,
     matrix: DataMatrix,
@@ -272,9 +271,9 @@ mod tests {
     }
 
     #[test]
-    fn dataset_implements_serde_traits() {
-        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
-        assert_serde::<Dataset>();
-        assert_serde::<ClassSummary>();
+    fn dataset_is_cloneable_and_sendable() {
+        fn assert_send_sync_clone<T: Send + Sync + Clone>() {}
+        assert_send_sync_clone::<Dataset>();
+        assert_send_sync_clone::<ClassSummary>();
     }
 }

@@ -50,7 +50,13 @@ pub struct SquaredEuclidean;
 impl Distance for SquaredEuclidean {
     #[inline]
     fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
-        assert_eq!(a.len(), b.len(), "dimension mismatch: {} vs {}", a.len(), b.len());
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "dimension mismatch: {} vs {}",
+            a.len(),
+            b.len()
+        );
         let mut acc = 0.0;
         for (x, y) in a.iter().zip(b) {
             let d = x - y;
@@ -113,7 +119,10 @@ impl Minkowski {
     ///
     /// Panics if `p < 1` or `p` is not finite.
     pub fn new(p: f64) -> Self {
-        assert!(p.is_finite() && p >= 1.0, "Minkowski order must be >= 1, got {p}");
+        assert!(
+            p.is_finite() && p >= 1.0,
+            "Minkowski order must be >= 1, got {p}"
+        );
         Self { p }
     }
 }
@@ -122,7 +131,11 @@ impl Distance for Minkowski {
     #[inline]
     fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
         assert_eq!(a.len(), b.len(), "dimension mismatch");
-        let sum: f64 = a.iter().zip(b).map(|(x, y)| (x - y).abs().powf(self.p)).sum();
+        let sum: f64 = a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs().powf(self.p))
+            .sum();
         sum.powf(1.0 / self.p)
     }
 
@@ -219,10 +232,7 @@ impl DiagonalMahalanobis {
     /// Weights of zero are clamped to a small positive value to keep the
     /// value finite (mirrors the clamping applied during metric learning).
     pub fn log_det(&self) -> f64 {
-        self.weights
-            .iter()
-            .map(|w| w.max(1e-12).ln())
-            .sum()
+        self.weights.iter().map(|w| w.max(1e-12).ln()).sum()
     }
 }
 
@@ -244,6 +254,7 @@ impl Distance for DiagonalMahalanobis {
 /// Intended for small/medium data sets (the paper's largest set has 351
 /// objects); density-based algorithms in this suite use it to avoid repeated
 /// metric evaluations.
+#[allow(clippy::needless_range_loop)] // symmetric fill over (i, j) index pairs
 pub fn pairwise_matrix<D: Distance + ?Sized>(
     data: &crate::matrix::DataMatrix,
     metric: &D,
@@ -344,6 +355,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn pairwise_matrix_is_symmetric_with_zero_diagonal() {
         let data = DataMatrix::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0], vec![6.0, 8.0]]);
         let d = pairwise_matrix(&data, &Euclidean);
@@ -365,6 +377,9 @@ mod tests {
         assert_eq!(Manhattan.name(), "manhattan");
         assert_eq!(Chebyshev.name(), "chebyshev");
         assert_eq!(Cosine.name(), "cosine");
-        assert_eq!(DiagonalMahalanobis::identity(1).name(), "diagonal_mahalanobis");
+        assert_eq!(
+            DiagonalMahalanobis::identity(1).name(),
+            "diagonal_mahalanobis"
+        );
     }
 }

@@ -5,7 +5,6 @@
 //! through row slices, which keeps cache behaviour predictable and avoids a
 //! heavyweight linear-algebra dependency.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A dense, row-major matrix of `f64` values.
@@ -21,7 +20,7 @@ use std::fmt;
 /// assert_eq!(m.get(1, 0), 3.0);
 /// assert_eq!(m.row(0), &[1.0, 2.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DataMatrix {
     values: Vec<f64>,
     n_rows: usize,
@@ -109,7 +108,10 @@ impl DataMatrix {
     /// Panics if the indices are out of bounds.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> f64 {
-        assert!(row < self.n_rows && col < self.n_cols, "index out of bounds");
+        assert!(
+            row < self.n_rows && col < self.n_cols,
+            "index out of bounds"
+        );
         self.values[row * self.n_cols + col]
     }
 
@@ -120,7 +122,10 @@ impl DataMatrix {
     /// Panics if the indices are out of bounds.
     #[inline]
     pub fn set(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.n_rows && col < self.n_cols, "index out of bounds");
+        assert!(
+            row < self.n_rows && col < self.n_cols,
+            "index out of bounds"
+        );
         self.values[row * self.n_cols + col] = value;
     }
 
@@ -131,25 +136,39 @@ impl DataMatrix {
     /// Panics if `i >= n_rows`.
     #[inline]
     pub fn row(&self, i: usize) -> &[f64] {
-        assert!(i < self.n_rows, "row index {i} out of bounds ({})", self.n_rows);
+        assert!(
+            i < self.n_rows,
+            "row index {i} out of bounds ({})",
+            self.n_rows
+        );
         &self.values[i * self.n_cols..(i + 1) * self.n_cols]
     }
 
     /// Returns a mutable slice for row `i`.
     #[inline]
     pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
-        assert!(i < self.n_rows, "row index {i} out of bounds ({})", self.n_rows);
+        assert!(
+            i < self.n_rows,
+            "row index {i} out of bounds ({})",
+            self.n_rows
+        );
         &mut self.values[i * self.n_cols..(i + 1) * self.n_cols]
     }
 
     /// Iterates over all rows in order.
     pub fn rows(&self) -> impl Iterator<Item = &[f64]> + '_ {
-        self.values.chunks_exact(self.n_cols.max(1)).take(self.n_rows)
+        self.values
+            .chunks_exact(self.n_cols.max(1))
+            .take(self.n_rows)
     }
 
     /// Returns column `j` as a freshly allocated vector.
     pub fn column(&self, j: usize) -> Vec<f64> {
-        assert!(j < self.n_cols, "column index {j} out of bounds ({})", self.n_cols);
+        assert!(
+            j < self.n_cols,
+            "column index {j} out of bounds ({})",
+            self.n_cols
+        );
         (0..self.n_rows).map(|i| self.get(i, j)).collect()
     }
 
@@ -247,8 +266,17 @@ impl fmt::Display for DataMatrix {
         let show = self.n_rows.min(6);
         for i in 0..show {
             let row = self.row(i);
-            let cols = row.iter().take(8).map(|v| format!("{v:.3}")).collect::<Vec<_>>();
-            writeln!(f, "  [{}{}]", cols.join(", "), if self.n_cols > 8 { ", …" } else { "" })?;
+            let cols = row
+                .iter()
+                .take(8)
+                .map(|v| format!("{v:.3}"))
+                .collect::<Vec<_>>();
+            writeln!(
+                f,
+                "  [{}{}]",
+                cols.join(", "),
+                if self.n_cols > 8 { ", …" } else { "" }
+            )?;
         }
         if self.n_rows > show {
             writeln!(f, "  … ({} more rows)", self.n_rows - show)?;

@@ -70,7 +70,11 @@ impl Scaler for ZScoreScaler {
             let dest = out.row_mut(i);
             for j in 0..row.len() {
                 let centred = row[j] - means[j];
-                dest[j] = if stds[j] > 1e-12 { centred / stds[j] } else { centred };
+                dest[j] = if stds[j] > 1e-12 {
+                    centred / stds[j]
+                } else {
+                    centred
+                };
             }
         }
         out

@@ -7,10 +7,8 @@
 //! "in the same cluster" only if both are assigned to the *same, non-noise*
 //! cluster.
 
-use serde::{Deserialize, Serialize};
-
 /// Cluster assignment of a single object.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Assignment {
     /// Member of the cluster with the given id.
     Cluster(usize),
@@ -47,7 +45,7 @@ impl Assignment {
 /// assert!(q.assignment(1).is_noise());
 /// assert!(!q.same_cluster(0, 1)); // noise is never "same cluster"
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
     assignments: Vec<Assignment>,
 }
@@ -199,7 +197,10 @@ mod tests {
         let p = Partition::from_optional_ids(&[Some(0), Some(0), None, None]);
         assert!(p.same_cluster(0, 1));
         assert!(!p.same_cluster(0, 2));
-        assert!(!p.same_cluster(2, 3), "two noise objects are not in the same cluster");
+        assert!(
+            !p.same_cluster(2, 3),
+            "two noise objects are not in the same cluster"
+        );
     }
 
     #[test]

@@ -103,8 +103,12 @@ pub fn wine_like(seed: u64) -> Dataset {
 pub fn ionosphere_like(seed: u64) -> Dataset {
     let mut rng = SeededRng::new(seed ^ 0x10_0F);
     let dims = 34;
-    let good_center: Vec<f64> = (0..dims).map(|j| if j % 2 == 0 { 0.8 } else { 0.1 }).collect();
-    let bad_center: Vec<f64> = (0..dims).map(|j| if j % 2 == 0 { 0.3 } else { -0.1 }).collect();
+    let good_center: Vec<f64> = (0..dims)
+        .map(|j| if j % 2 == 0 { 0.8 } else { 0.1 })
+        .collect();
+    let bad_center: Vec<f64> = (0..dims)
+        .map(|j| if j % 2 == 0 { 0.3 } else { -0.1 })
+        .collect();
     let specs = vec![
         // "good": tighter core
         ClusterSpec {
@@ -129,7 +133,7 @@ pub fn ionosphere_like(seed: u64) -> Dataset {
 /// classes overlap larger ones, which caps achievable clustering quality —
 /// mirroring the moderate Overall F-measures the paper reports.
 pub fn ecoli_like(seed: u64) -> Dataset {
-    let mut rng = SeededRng::new(seed ^ 0xEC0_11);
+    let mut rng = SeededRng::new(seed ^ 0x000E_C011);
     let dims = 7;
     let sizes = [143usize, 77, 52, 35, 20, 5, 2, 2];
     // Major classes get reasonably separated centres; minor classes are placed
@@ -164,7 +168,7 @@ pub fn ecoli_like(seed: u64) -> Dataset {
 /// density-based clustering does very well and k-means does not — matching
 /// the paper's strongly diverging results on this set.
 pub fn zyeast_like(seed: u64) -> Dataset {
-    let mut rng = SeededRng::new(seed ^ 0x7EA5_7);
+    let mut rng = SeededRng::new(seed ^ 0x0007_EA57);
     let ds = waveform_profiles(&[70, 58, 45, 32], 20, 0.38, &mut rng);
     rename(ds, "zyeast_like")
 }
@@ -292,6 +296,9 @@ mod tests {
             .map(|(a, b)| (a - b) * (a - b))
             .sum::<f64>()
             .sqrt();
-        assert!(dist > 2.0, "setosa-like class should be well separated, dist={dist}");
+        assert!(
+            dist > 2.0,
+            "setosa-like class should be well separated, dist={dist}"
+        );
     }
 }

@@ -1,12 +1,23 @@
 //! Seeded random number helpers.
 //!
 //! All experiments in the suite are reproducible from a single `u64` seed.
-//! This module wraps `rand`'s `StdRng` with a few sampling utilities used
-//! across the workspace (shuffling, sampling without replacement, Gaussian
-//! draws via Box–Muller, stratified index sampling).
+//! This module implements a self-contained xoshiro256** generator (seeded
+//! through SplitMix64, the reference seeding procedure) with a few sampling
+//! utilities used across the workspace (shuffling, sampling without
+//! replacement, Gaussian draws via Box–Muller, stratified index sampling).
+//! Keeping the generator in-tree avoids an external `rand` dependency and
+//! guarantees the byte streams never change under us — the engine's
+//! bit-reproducibility contract depends on that.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// SplitMix64 step, used to expand a `u64` seed into generator state.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A deterministic random number generator seeded from a `u64`.
 ///
@@ -17,29 +28,78 @@ use rand::{Rng, RngCore, SeedableRng};
 /// let mut b = SeededRng::new(7);
 /// assert_eq!(a.uniform(), b.uniform());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SeededRng {
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl SeededRng {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
         Self {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// The next raw 64-bit output of the generator (xoshiro256**).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
+    /// The next raw 32-bit output (upper half of [`Self::next_u64`]).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
         }
     }
 
     /// Derives an independent child generator.  Useful to give each trial of
     /// an experiment its own stream without coupling their sequences.
+    ///
+    /// Forking the *same* parent state with different salts yields decoupled
+    /// streams, which is how the execution engine hands every (parameter ×
+    /// fold) job its own generator without threading one mutable RNG through
+    /// an evaluation order.
     pub fn fork(&mut self, salt: u64) -> Self {
-        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         Self::new(s)
+    }
+
+    /// Like [`Self::fork`] but without advancing the parent generator, so a
+    /// whole family of jobs can be forked from one frozen parent state in any
+    /// order.  `salt` must differ between siblings.
+    pub fn fork_stream(&self, salt: u64) -> Self {
+        let mut probe = self.clone();
+        let base = probe.next_u64();
+        Self::new(base ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
     /// A uniformly distributed `f64` in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniformly distributed `f64` in `[lo, hi)`.
@@ -59,7 +119,9 @@ impl SeededRng {
     /// Panics if `bound == 0`.
     pub fn index(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "cannot sample from empty range");
-        self.inner.gen_range(0..bound)
+        // Lemire's multiply-shift: maps the 64-bit stream onto [0, bound)
+        // with bias below 2^-64 for the bounds used in this workspace.
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as usize
     }
 
     /// A standard-normal draw (mean 0, variance 1) using Box–Muller.
@@ -91,7 +153,7 @@ impl SeededRng {
             return;
         }
         for i in (1..items.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.index(i + 1);
             items.swap(i, j);
         }
     }
@@ -123,7 +185,10 @@ impl SeededRng {
     ///
     /// Panics if `p` is not in `[0, 1]`.
     pub fn bernoulli(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "probability must be in [0,1], got {p}"
+        );
         self.uniform() < p
     }
 
@@ -161,24 +226,6 @@ impl SeededRng {
     }
 }
 
-impl RngCore for SeededRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +253,31 @@ mod tests {
         let mut c1 = root.fork(0);
         let mut c2 = root.fork(1);
         assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn fork_stream_is_order_independent() {
+        let root = SeededRng::new(41);
+        let mut a1 = root.fork_stream(5);
+        let mut b1 = root.fork_stream(9);
+        // forking in the opposite order gives the same child streams
+        let mut b2 = root.fork_stream(9);
+        let mut a2 = root.fork_stream(5);
+        assert_eq!(a1.next_u64(), a2.next_u64());
+        assert_eq!(b1.next_u64(), b2.next_u64());
+        assert_ne!(a1.next_u64(), b1.next_u64());
+    }
+
+    #[test]
+    fn fill_bytes_is_deterministic_and_covers_tail() {
+        let mut a = SeededRng::new(6);
+        let mut b = SeededRng::new(6);
+        let mut buf_a = [0u8; 13];
+        let mut buf_b = [0u8; 13];
+        a.fill_bytes(&mut buf_a);
+        b.fill_bytes(&mut buf_b);
+        assert_eq!(buf_a, buf_b);
+        assert!(buf_a.iter().any(|&x| x != 0));
     }
 
     #[test]
@@ -268,10 +340,9 @@ mod tests {
     fn stratified_fraction_covers_all_classes() {
         let mut r = SeededRng::new(4);
         // class 0: 40 objects, class 1: 10, class 2: 2
-        let labels: Vec<usize> = std::iter::repeat(0)
-            .take(40)
-            .chain(std::iter::repeat(1).take(10))
-            .chain(std::iter::repeat(2).take(2))
+        let labels: Vec<usize> = std::iter::repeat_n(0, 40)
+            .chain(std::iter::repeat_n(1, 10))
+            .chain(std::iter::repeat_n(2, 2))
             .collect();
         let chosen = r.stratified_fraction(&labels, 0.1, 1);
         let mut classes: Vec<usize> = chosen.iter().map(|&i| labels[i]).collect();
@@ -279,7 +350,11 @@ mod tests {
         classes.dedup();
         assert_eq!(classes, vec![0, 1, 2]);
         // ~10% of 40 = 4, 10% of 10 = 1, min 1 of class 2.
-        assert!(chosen.len() >= 6 && chosen.len() <= 8, "len {}", chosen.len());
+        assert!(
+            chosen.len() >= 6 && chosen.len() <= 8,
+            "len {}",
+            chosen.len()
+        );
     }
 
     #[test]

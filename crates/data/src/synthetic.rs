@@ -54,7 +54,9 @@ pub fn gaussian_mixture(specs: &[ClusterSpec], rng: &mut SeededRng) -> Dataset {
     assert!(!specs.is_empty(), "at least one cluster spec required");
     let dims = specs[0].dims();
     assert!(
-        specs.iter().all(|s| s.dims() == dims && s.std_devs.len() == dims),
+        specs
+            .iter()
+            .all(|s| s.dims() == dims && s.std_devs.len() == dims),
         "all clusters must share dimensionality"
     );
 
@@ -111,7 +113,12 @@ pub fn separated_blobs(
     // which guarantees every pair of centres is at least `separation` apart
     // regardless of the dimensionality.
     let mut direction: Vec<f64> = (0..dims).map(|_| rng.standard_normal()).collect();
-    let norm: f64 = direction.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+    let norm: f64 = direction
+        .iter()
+        .map(|v| v * v)
+        .sum::<f64>()
+        .sqrt()
+        .max(1e-12);
     for d in direction.iter_mut() {
         *d /= norm;
     }
@@ -196,7 +203,12 @@ pub fn concentric_rings(
 /// noise objects receive a *new* class of their own (the last class id),
 /// which keeps labels contiguous; callers that want unlabelled noise can drop
 /// that class from the side information they generate.
-pub fn with_uniform_noise(ds: &Dataset, n_noise: usize, margin: f64, rng: &mut SeededRng) -> Dataset {
+pub fn with_uniform_noise(
+    ds: &Dataset,
+    n_noise: usize,
+    margin: f64,
+    rng: &mut SeededRng,
+) -> Dataset {
     if n_noise == 0 {
         return ds.clone();
     }
@@ -241,7 +253,9 @@ pub fn waveform_profiles(
             let p: Vec<f64> = (0..dims)
                 .map(|t| {
                     let x = t as f64 / dims as f64 * 2.0 * std::f64::consts::PI;
-                    amp * (freq * x + phase).sin() + slope * t as f64 / dims as f64 + offset
+                    amp * (freq * x + phase).sin()
+                        + slope * t as f64 / dims as f64
+                        + offset
                         + rng.normal(0.0, noise)
                 })
                 .collect();

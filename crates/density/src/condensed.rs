@@ -9,10 +9,9 @@
 //! death density levels (λ = 1/height) and its HDBSCAN-style stability.
 
 use crate::dendrogram::Dendrogram;
-use serde::{Deserialize, Serialize};
 
 /// One candidate cluster of the condensed tree.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CondensedNode {
     /// Node id within the tree (0 is the root).
     pub id: usize,
@@ -48,7 +47,7 @@ impl CondensedNode {
 
 /// The condensed cluster tree extracted from a dendrogram for a given
 /// minimum cluster size.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CondensedTree {
     nodes: Vec<CondensedNode>,
     min_cluster_size: usize,
@@ -63,7 +62,10 @@ impl CondensedTree {
     ///
     /// Panics if `min_cluster_size < 2` or the dendrogram is empty.
     pub fn build(dendrogram: &Dendrogram, min_cluster_size: usize) -> Self {
-        assert!(min_cluster_size >= 2, "minimum cluster size must be at least 2");
+        assert!(
+            min_cluster_size >= 2,
+            "minimum cluster size must be at least 2"
+        );
         assert!(dendrogram.n_leaves() > 0, "empty dendrogram");
         let n = dendrogram.n_leaves();
 
@@ -126,7 +128,11 @@ impl CondensedTree {
             } else if big_left || big_right {
                 // The big side keeps the cluster identity; the small side
                 // falls out at this λ.
-                let (keep, fall) = if big_left { (left, right) } else { (right, left) };
+                let (keep, fall) = if big_left {
+                    (left, right)
+                } else {
+                    (right, left)
+                };
                 for m in dendrogram.leaves_of(fall) {
                     leave_lambda[cluster].push((m, lambda));
                 }
@@ -153,7 +159,8 @@ impl CondensedTree {
                     .map(|&(_, l)| l)
                     .fold(node.birth_lambda, f64::max);
             }
-            let mut leave_of: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+            let mut leave_of: std::collections::HashMap<usize, f64> =
+                std::collections::HashMap::new();
             for &(m, l) in &leave_lambda[id] {
                 let entry = leave_of.entry(m).or_insert(l);
                 if l < *entry {
@@ -166,7 +173,11 @@ impl CondensedTree {
                 .iter()
                 .map(|m| {
                     let lp = leave_of.get(m).copied().unwrap_or(node.death_lambda);
-                    let lp = if lp.is_finite() { lp } else { node.death_lambda };
+                    let lp = if lp.is_finite() {
+                        lp
+                    } else {
+                        node.death_lambda
+                    };
                     (lp - birth).max(0.0)
                 })
                 .sum();
@@ -218,7 +229,13 @@ mod tests {
     use cvcp_data::rng::SeededRng;
     use cvcp_data::synthetic::separated_blobs;
 
-    fn tree_for_blobs(k: usize, per: usize, sep: f64, min_pts: usize, seed: u64) -> (CondensedTree, cvcp_data::Dataset) {
+    fn tree_for_blobs(
+        k: usize,
+        per: usize,
+        sep: f64,
+        min_pts: usize,
+        seed: u64,
+    ) -> (CondensedTree, cvcp_data::Dataset) {
         let mut rng = SeededRng::new(seed);
         let ds = separated_blobs(k, per, 2, sep, &mut rng);
         let mst = mutual_reachability_mst(ds.matrix(), &Euclidean, min_pts);
@@ -236,8 +253,12 @@ mod tests {
 
     #[test]
     fn three_blobs_produce_at_least_three_leaf_clusters() {
-        let (tree, ds) = tree_for_blobs(3, 20, 15.0, 5, 2);
-        let leaves: Vec<&CondensedNode> = tree.nodes().iter().filter(|n| n.is_leaf() && n.id != 0).collect();
+        let (tree, ds) = tree_for_blobs(3, 20, 15.0, 5, 3);
+        let leaves: Vec<&CondensedNode> = tree
+            .nodes()
+            .iter()
+            .filter(|n| n.is_leaf() && n.id != 0)
+            .collect();
         assert!(leaves.len() >= 3, "got {} leaf clusters", leaves.len());
         // the three largest leaf clusters should correspond to the blobs
         let mut sizes: Vec<usize> = leaves.iter().map(|n| n.size()).collect();
@@ -271,10 +292,18 @@ mod tests {
         let (tree, _) = tree_for_blobs(3, 20, 15.0, 5, 4);
         for node in tree.nodes() {
             if node.children.len() == 2 {
-                let a: std::collections::BTreeSet<usize> =
-                    tree.node(node.children[0]).members.iter().copied().collect();
-                let b: std::collections::BTreeSet<usize> =
-                    tree.node(node.children[1]).members.iter().copied().collect();
+                let a: std::collections::BTreeSet<usize> = tree
+                    .node(node.children[0])
+                    .members
+                    .iter()
+                    .copied()
+                    .collect();
+                let b: std::collections::BTreeSet<usize> = tree
+                    .node(node.children[1])
+                    .members
+                    .iter()
+                    .copied()
+                    .collect();
                 assert!(a.is_disjoint(&b));
             }
         }

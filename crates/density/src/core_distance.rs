@@ -19,6 +19,7 @@ pub struct KnnTable {
 
 impl KnnTable {
     /// Builds the table from a full pairwise distance matrix.
+    #[allow(clippy::needless_range_loop)] // row extraction excludes the diagonal by index
     pub fn from_pairwise(dist: &[Vec<f64>]) -> Self {
         let n = dist.len();
         let mut sorted = Vec::with_capacity(n);

@@ -43,7 +43,10 @@ impl Dbscan {
         let neighbors: Vec<Vec<usize>> = (0..n)
             .map(|i| (0..n).filter(|&j| dist[i][j] <= self.eps).collect())
             .collect();
-        let is_core: Vec<bool> = neighbors.iter().map(|nb| nb.len() >= self.min_pts).collect();
+        let is_core: Vec<bool> = neighbors
+            .iter()
+            .map(|nb| nb.len() >= self.min_pts)
+            .collect();
 
         let mut assignment: Vec<Option<usize>> = vec![None; n];
         let mut visited = vec![false; n];

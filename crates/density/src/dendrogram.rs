@@ -102,7 +102,11 @@ impl Dendrogram {
         // weights in Prim order).
         let mut edges = Vec::with_capacity(n.saturating_sub(1));
         for i in 1..n {
-            let w = if plot[i].is_finite() { plot[i] } else { f64::MAX };
+            let w = if plot[i].is_finite() {
+                plot[i]
+            } else {
+                f64::MAX
+            };
             edges.push(Edge {
                 a: order[i - 1],
                 b: order[i],

@@ -16,9 +16,10 @@
 //! as in the original framework.
 
 use crate::condensed::CondensedTree;
+use crate::core_distance::mutual_reachability_from_pairwise;
 use crate::dendrogram::Dendrogram;
 use crate::fosc::{extract_clusters, ExtractionObjective, FoscSelection};
-use crate::mst::mutual_reachability_mst;
+use crate::mst::{minimum_spanning_tree, mutual_reachability_mst};
 use cvcp_constraints::ConstraintSet;
 use cvcp_data::distance::{Distance, Euclidean};
 use cvcp_data::{DataMatrix, Partition};
@@ -91,14 +92,73 @@ impl FoscOpticsDend {
         constraints: &ConstraintSet,
         metric: &D,
     ) -> FoscOpticsDendResult {
+        let tree = self.build_tree_with_metric(data, metric);
+        let FoscSelection {
+            selected,
+            partition,
+            total_value,
+        } = self.extract_on_tree(&tree, constraints);
+        FoscOpticsDendResult {
+            partition,
+            selected_clusters: selected,
+            tree,
+            objective_value: total_value,
+        }
+    }
+
+    /// The effective minimum cluster size of the condensed tree.
+    pub fn effective_min_cluster_size(&self) -> usize {
+        self.min_cluster_size.unwrap_or(self.min_pts).max(2)
+    }
+
+    /// Steps 1–2 only: builds the condensed density hierarchy for this
+    /// configuration, without extracting clusters.
+    ///
+    /// The hierarchy depends on the data and `MinPts` but **not** on the
+    /// constraints, which is what makes it shareable: under CVCP the same
+    /// tree serves every cross-validation fold, replica and trial evaluated
+    /// at this `MinPts` (the execution engine caches it under a
+    /// content-derived key).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data has fewer than two rows.
+    pub fn build_tree_with_metric<D: Distance + ?Sized>(
+        &self,
+        data: &DataMatrix,
+        metric: &D,
+    ) -> CondensedTree {
         let n = data.n_rows();
         assert!(n >= 2, "need at least two objects to cluster");
-        let mcs = self.min_cluster_size.unwrap_or(self.min_pts).max(2);
-
         let mst = mutual_reachability_mst(data, metric, self.min_pts);
         let dendrogram = Dendrogram::from_mst(n, &mst);
-        let tree = CondensedTree::build(&dendrogram, mcs);
+        CondensedTree::build(&dendrogram, self.effective_min_cluster_size())
+    }
 
+    /// Like [`Self::build_tree_with_metric`] but starting from a precomputed
+    /// pairwise distance matrix, so the `O(n²·d)` distance pass is shared
+    /// across *all* `MinPts` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has fewer than two rows.
+    pub fn build_tree_from_pairwise(&self, dist: &[Vec<f64>]) -> CondensedTree {
+        let n = dist.len();
+        assert!(n >= 2, "need at least two objects to cluster");
+        let mrd = mutual_reachability_from_pairwise(dist, self.min_pts);
+        let mst = minimum_spanning_tree(&mrd);
+        let dendrogram = Dendrogram::from_mst(n, &mst);
+        CondensedTree::build(&dendrogram, self.effective_min_cluster_size())
+    }
+
+    /// Step 3 only: extracts the optimal cluster selection from a prebuilt
+    /// hierarchy (which must come from a `FoscOpticsDend` with the same
+    /// `MinPts` / minimum cluster size on the same data).
+    pub fn extract_on_tree(
+        &self,
+        tree: &CondensedTree,
+        constraints: &ConstraintSet,
+    ) -> FoscSelection {
         let objective = if constraints.is_empty() {
             ExtractionObjective::Stability
         } else {
@@ -107,18 +167,7 @@ impl FoscOpticsDend {
                 stability_tiebreak: self.stability_tiebreak,
             }
         };
-        let FoscSelection {
-            selected,
-            partition,
-            total_value,
-        } = extract_clusters(&tree, &objective);
-
-        FoscOpticsDendResult {
-            partition,
-            selected_clusters: selected,
-            tree,
-            objective_value: total_value,
-        }
+        extract_clusters(tree, &objective)
     }
 }
 
@@ -204,6 +253,31 @@ mod tests {
     #[should_panic(expected = "MinPts")]
     fn min_pts_below_two_is_rejected() {
         let _ = FoscOpticsDend::new(1);
+    }
+
+    #[test]
+    fn prebuilt_tree_path_matches_fit() {
+        // The cached-artifact path (build tree once, extract per constraint
+        // set) must be indistinguishable from a monolithic fit.
+        let mut rng = SeededRng::new(8);
+        let ds = separated_blobs(3, 20, 3, 11.0, &mut rng);
+        let pool = constraint_pool(ds.labels(), 0.3, 2, &mut rng);
+        let algo = FoscOpticsDend::new(5);
+
+        let direct = algo.fit(ds.matrix(), &pool);
+
+        let dist = cvcp_data::distance::pairwise_matrix(ds.matrix(), &Euclidean);
+        let tree = algo.build_tree_from_pairwise(&dist);
+        let extracted = algo.extract_on_tree(&tree, &pool);
+
+        assert_eq!(direct.partition, extracted.partition);
+        assert_eq!(direct.selected_clusters, extracted.selected);
+        assert_eq!(direct.objective_value, extracted.total_value);
+
+        // and the metric-based tree builder agrees as well
+        let tree2 = algo.build_tree_with_metric(ds.matrix(), &Euclidean);
+        let extracted2 = algo.extract_on_tree(&tree2, &pool);
+        assert_eq!(direct.partition, extracted2.partition);
     }
 
     #[test]

@@ -190,7 +190,9 @@ mod tests {
         let optics = OpticsOrdering::run(ds.matrix(), &Euclidean, 3);
         assert!(optics.points[0].reachability.is_infinite());
         // all others are finite (the data is one connected distance graph)
-        assert!(optics.points[1..].iter().all(|p| p.reachability.is_finite()));
+        assert!(optics.points[1..]
+            .iter()
+            .all(|p| p.reachability.is_finite()));
     }
 
     #[test]
@@ -203,7 +205,10 @@ mod tests {
         let plot = optics.reachability_plot();
         let finite: Vec<f64> = plot.iter().copied().filter(|v| v.is_finite()).collect();
         let big = finite.iter().filter(|&&v| v > 10.0).count();
-        assert_eq!(big, 1, "expected exactly one inter-blob jump, plot: {finite:?}");
+        assert_eq!(
+            big, 1,
+            "expected exactly one inter-blob jump, plot: {finite:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,373 @@
+//! Content-keyed artifact cache.
+//!
+//! CVCP model selection evaluates a grid of (parameter × fold × replica)
+//! cells, and many expensive intermediates — pairwise distance matrices,
+//! per-`MinPts` density hierarchies, transitive closures — are *identical*
+//! across large parts of that grid.  The [`ArtifactCache`] stores those
+//! intermediates behind content-derived keys so that every artifact is
+//! computed exactly once per engine, no matter how many folds, trials or
+//! concurrent requests ask for it.
+//!
+//! Concurrency contract: two threads requesting the same key race to a
+//! per-key [`OnceLock`]; the loser blocks until the winner's value is ready,
+//! so an artifact is never computed twice and callers always observe the
+//! same `Arc` (see the pointer-equality tests).
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use cvcp_data::DataMatrix;
+
+/// A 64-bit content fingerprint (FNV-1a over the value's raw bytes).
+pub type Fingerprint = u64;
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Incremental FNV-1a hasher over `u64` words.
+#[derive(Debug, Clone, Copy)]
+pub struct FingerprintBuilder {
+    state: u64,
+}
+
+impl FingerprintBuilder {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Mixes one 64-bit word into the fingerprint.
+    #[inline]
+    pub fn write_u64(&mut self, word: u64) -> &mut Self {
+        for byte in word.to_le_bytes() {
+            self.state ^= byte as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Mixes an `f64` by bit pattern (so `-0.0` and `0.0` differ — fine for
+    /// cache identity, which only needs "same bytes ⇒ same key").
+    #[inline]
+    pub fn write_f64(&mut self, value: f64) -> &mut Self {
+        self.write_u64(value.to_bits())
+    }
+
+    /// The finished fingerprint.
+    pub fn finish(&self) -> Fingerprint {
+        self.state
+    }
+}
+
+impl Default for FingerprintBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Content fingerprint of a data matrix (shape + every value's bit pattern).
+pub fn fingerprint_matrix(matrix: &DataMatrix) -> Fingerprint {
+    let mut h = FingerprintBuilder::new();
+    h.write_u64(matrix.n_rows() as u64);
+    h.write_u64(matrix.n_cols() as u64);
+    for &v in matrix.as_slice() {
+        h.write_f64(v);
+    }
+    h.finish()
+}
+
+/// Content fingerprint of a slice of indices (used for fold membership,
+/// labelled subsets, constraint endpoints…).
+pub fn fingerprint_indices(indices: &[usize]) -> Fingerprint {
+    let mut h = FingerprintBuilder::new();
+    h.write_u64(indices.len() as u64);
+    for &i in indices {
+        h.write_u64(i as u64);
+    }
+    h.finish()
+}
+
+/// Identity of a cached artifact.
+///
+/// Keys combine the *content* fingerprint of the inputs with the structural
+/// parameters of the computation, so equal inputs share work across folds,
+/// trials and concurrent requests while different inputs can never collide
+/// semantically (fingerprints are 64-bit content hashes; collisions are
+/// astronomically unlikely at this workload's cardinalities).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArtifactKey {
+    /// Full pairwise distance matrix of a data set under the default metric.
+    PairwiseDistances {
+        /// Fingerprint of the data matrix.
+        data: Fingerprint,
+    },
+    /// Per-object core distances for a `MinPts`.
+    CoreDistances {
+        /// Fingerprint of the data matrix.
+        data: Fingerprint,
+        /// The density smoothing parameter.
+        min_pts: usize,
+    },
+    /// Mutual-reachability MST for a `MinPts`.
+    MutualReachabilityMst {
+        /// Fingerprint of the data matrix.
+        data: Fingerprint,
+        /// The density smoothing parameter.
+        min_pts: usize,
+    },
+    /// Condensed density hierarchy for a (`MinPts`, minimum cluster size).
+    DensityHierarchy {
+        /// Fingerprint of the data matrix.
+        data: Fingerprint,
+        /// The density smoothing parameter.
+        min_pts: usize,
+        /// Minimum cluster size of the condensed tree.
+        min_cluster_size: usize,
+    },
+    /// Transitive closure of one cross-validation fold's training side
+    /// information.
+    FoldClosure {
+        /// Fingerprint of the side information realisation.
+        side: Fingerprint,
+        /// Fold index.
+        fold: usize,
+    },
+    /// Escape hatch for downstream crates: a caller-defined domain plus a
+    /// caller-computed fingerprint.
+    Custom {
+        /// Caller-chosen namespace (pick a random constant per use site).
+        domain: u64,
+        /// Caller-computed content fingerprint.
+        key: Fingerprint,
+    },
+}
+
+type Slot = Arc<OnceLock<Arc<dyn Any + Send + Sync>>>;
+
+/// Cache hit/miss counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute the artifact.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when empty).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A concurrent, content-keyed store of shared computation artifacts.
+#[derive(Debug, Default)]
+pub struct ArtifactCache {
+    slots: Mutex<HashMap<ArtifactKey, Slot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached artifact for `key`, computing it with `compute` on
+    /// first use.  Concurrent callers for the same key block until the first
+    /// computation finishes and then share the same `Arc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same key was previously populated with a different type
+    /// (keys are expected to map 1:1 to artifact types).
+    pub fn get_or_compute<T, F>(&self, key: ArtifactKey, compute: F) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        let slot: Slot = {
+            let mut slots = self.slots.lock().expect("artifact cache lock");
+            slots.entry(key).or_default().clone()
+        };
+        // The map lock is released before (potentially slow) initialisation,
+        // so unrelated keys never serialise behind each other.
+        let mut computed = false;
+        let value = slot
+            .get_or_init(|| {
+                computed = true;
+                Arc::new(compute()) as Arc<dyn Any + Send + Sync>
+            })
+            .clone();
+        if computed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("artifact type mismatch for cache key {key:?}"))
+    }
+
+    /// Returns the artifact for `key` if it is already cached (counts as a
+    /// hit when present; never computes).
+    pub fn get<T: Send + Sync + 'static>(&self, key: ArtifactKey) -> Option<Arc<T>> {
+        let slot = {
+            let slots = self.slots.lock().expect("artifact cache lock");
+            slots.get(&key).cloned()
+        }?;
+        let value = slot.get()?.clone();
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(
+            value
+                .downcast::<T>()
+                .unwrap_or_else(|_| panic!("artifact type mismatch for cache key {key:?}")),
+        )
+    }
+
+    /// Number of populated entries.
+    pub fn len(&self) -> usize {
+        self.slots
+            .lock()
+            .expect("artifact cache lock")
+            .values()
+            .filter(|slot| slot.get().is_some())
+            .count()
+    }
+
+    /// `true` when no entry has been populated.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (does not reset the hit/miss counters).
+    pub fn clear(&self) {
+        self.slots.lock().expect("artifact cache lock").clear();
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn computes_once_and_shares_the_arc() {
+        let cache = ArtifactCache::new();
+        let calls = AtomicUsize::new(0);
+        let key = ArtifactKey::PairwiseDistances { data: 42 };
+        let a: Arc<Vec<f64>> = cache.get_or_compute(key, || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            vec![1.0, 2.0]
+        });
+        let b: Arc<Vec<f64>> = cache.get_or_compute(key, || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            vec![3.0]
+        });
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_keys_are_independent() {
+        let cache = ArtifactCache::new();
+        let a: Arc<usize> = cache.get_or_compute(
+            ArtifactKey::CoreDistances {
+                data: 1,
+                min_pts: 3,
+            },
+            || 3,
+        );
+        let b: Arc<usize> = cache.get_or_compute(
+            ArtifactKey::CoreDistances {
+                data: 1,
+                min_pts: 5,
+            },
+            || 5,
+        );
+        assert_eq!((*a, *b), (3, 5));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_requests_share_one_computation() {
+        let cache = Arc::new(ArtifactCache::new());
+        let calls = Arc::new(AtomicUsize::new(0));
+        let key = ArtifactKey::Custom { domain: 7, key: 7 };
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let calls = Arc::clone(&calls);
+                std::thread::spawn(move || {
+                    let v: Arc<u64> = cache.get_or_compute(key, || {
+                        calls.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        99
+                    });
+                    *v
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 99);
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 7);
+    }
+
+    #[test]
+    fn matrix_fingerprints_detect_content_changes() {
+        let a = DataMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let mut b = a.clone();
+        assert_eq!(fingerprint_matrix(&a), fingerprint_matrix(&b));
+        b.set(1, 1, 4.5);
+        assert_ne!(fingerprint_matrix(&a), fingerprint_matrix(&b));
+        // shape participates in the fingerprint
+        let flat = DataMatrix::from_flat(vec![1.0, 2.0, 3.0, 4.0], 1, 4);
+        assert_ne!(fingerprint_matrix(&a), fingerprint_matrix(&flat));
+    }
+
+    #[test]
+    fn index_fingerprints_are_order_sensitive() {
+        assert_ne!(
+            fingerprint_indices(&[1, 2, 3]),
+            fingerprint_indices(&[3, 2, 1])
+        );
+        assert_eq!(
+            fingerprint_indices(&[1, 2, 3]),
+            fingerprint_indices(&[1, 2, 3])
+        );
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let cache = ArtifactCache::new();
+        let _: Arc<u8> = cache.get_or_compute(ArtifactKey::Custom { domain: 1, key: 1 }, || 1);
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert!(cache
+            .get::<u8>(ArtifactKey::Custom { domain: 1, key: 1 })
+            .is_none());
+    }
+}

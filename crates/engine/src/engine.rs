@@ -1,0 +1,505 @@
+//! The engine proper: graph submission, batch multiplexing and the
+//! sequential (one-thread) execution path.
+
+use crate::cache::ArtifactCache;
+use crate::graph::{GraphResult, JobCtx, JobGraph, JobOutcome};
+use crate::pool::{PoolHandle, Task, ThreadPool};
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+struct Prepared<T> {
+    f: crate::graph::JobFn<T>,
+    rng: cvcp_data::rng::SeededRng,
+}
+
+/// Shared state of one executing graph.
+struct ExecState<T> {
+    jobs: Vec<Mutex<Option<Prepared<T>>>>,
+    deps_remaining: Vec<AtomicUsize>,
+    dep_failed: Vec<AtomicBool>,
+    dependents: Vec<Vec<usize>>,
+    outcomes: Vec<Mutex<Option<JobOutcome<T>>>>,
+    pending: AtomicUsize,
+    cancelled: AtomicBool,
+    done_tx: Mutex<Option<mpsc::Sender<()>>>,
+    cache: Arc<ArtifactCache>,
+}
+
+/// Records `outcome` for job `idx`, propagates skips through the DAG and
+/// returns the indices of jobs that just became ready to run.
+fn complete_job<T>(state: &ExecState<T>, idx: usize, outcome: JobOutcome<T>) -> Vec<usize> {
+    let mut ready = Vec::new();
+    let mut worklist = vec![(idx, outcome)];
+    while let Some((job, outcome)) = worklist.pop() {
+        let ok = outcome.is_completed();
+        {
+            let mut slot = state.outcomes[job].lock().expect("outcome lock");
+            debug_assert!(slot.is_none(), "job {job} completed twice");
+            *slot = Some(outcome);
+        }
+        for &dependent in &state.dependents[job] {
+            if !ok {
+                state.dep_failed[dependent].store(true, Ordering::SeqCst);
+            }
+            if state.deps_remaining[dependent].fetch_sub(1, Ordering::SeqCst) == 1 {
+                if state.dep_failed[dependent].load(Ordering::SeqCst)
+                    || state.cancelled.load(Ordering::SeqCst)
+                {
+                    // Drop the un-run closure and propagate the skip.
+                    state.jobs[dependent].lock().expect("job lock").take();
+                    worklist.push((dependent, JobOutcome::Skipped));
+                } else {
+                    ready.push(dependent);
+                }
+            }
+        }
+        if state.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            if let Some(tx) = state.done_tx.lock().expect("done lock").take() {
+                let _ = tx.send(());
+            }
+        }
+    }
+    ready
+}
+
+/// Runs job `idx` (which must be ready) and returns its outcome.
+fn run_job<T>(state: &ExecState<T>, idx: usize) -> JobOutcome<T> {
+    if state.cancelled.load(Ordering::SeqCst) {
+        state.jobs[idx].lock().expect("job lock").take();
+        return JobOutcome::Skipped;
+    }
+    let prepared = state.jobs[idx]
+        .lock()
+        .expect("job lock")
+        .take()
+        .expect("ready job present exactly once");
+    let mut ctx = JobCtx {
+        cache: Arc::clone(&state.cache),
+        rng: prepared.rng,
+        index: idx,
+    };
+    let f = prepared.f;
+    match catch_unwind(AssertUnwindSafe(move || f(&mut ctx))) {
+        Ok(value) => JobOutcome::Completed(value),
+        Err(payload) => JobOutcome::Failed(panic_message(payload.as_ref())),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked".to_string()
+    }
+}
+
+/// Recursively schedules `idx` and, transitively, every job its completion
+/// unblocks, onto the pool.
+fn spawn_job<T: Send + 'static>(state: Arc<ExecState<T>>, pool: PoolHandle, idx: usize) {
+    let task_pool = pool.clone();
+    let task: Task = Box::new(move || {
+        let outcome = run_job(&state, idx);
+        for next in complete_job(&state, idx, outcome) {
+            spawn_job(Arc::clone(&state), task_pool.clone(), next);
+        }
+    });
+    pool.spawn(task);
+}
+
+/// How a submitted graph will be driven to completion.
+enum HandleMode {
+    /// Already running on the pool; `wait` just blocks on the done channel.
+    Pool,
+    /// Executed inline, in deterministic ascending-index order, when `wait`
+    /// is called (the one-thread / sequential path).
+    Inline { ready: BTreeSet<usize> },
+}
+
+/// Handle to a submitted graph.
+pub struct GraphHandle<T> {
+    state: Arc<ExecState<T>>,
+    done_rx: mpsc::Receiver<()>,
+    mode: HandleMode,
+}
+
+impl<T> GraphHandle<T> {
+    /// Requests cancellation: jobs that have not started yet are skipped;
+    /// running jobs finish normally.
+    pub fn cancel(&self) {
+        self.state.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until the graph has finished and returns all outcomes.
+    pub fn wait(self) -> GraphResult<T> {
+        match self.mode {
+            HandleMode::Pool => {
+                if self.state.pending.load(Ordering::SeqCst) > 0 {
+                    // The sender lives until the final completion, so this
+                    // only errors if every worker died — a bug worth loud.
+                    self.done_rx.recv().expect("engine workers alive");
+                }
+            }
+            HandleMode::Inline { mut ready } => {
+                while let Some(idx) = ready.pop_first() {
+                    let outcome = run_job(&self.state, idx);
+                    ready.extend(complete_job(&self.state, idx, outcome));
+                }
+            }
+        }
+        let outcomes = self
+            .state
+            .outcomes
+            .iter()
+            .map(|slot| {
+                slot.lock()
+                    .expect("outcome lock")
+                    .take()
+                    .unwrap_or(JobOutcome::Skipped)
+            })
+            .collect();
+        GraphResult { outcomes }
+    }
+}
+
+/// The execution engine: a worker pool plus a shared artifact cache.
+///
+/// One engine is meant to be long-lived and shared: many selection requests
+/// (and many experiment trials) multiplex over the same pool and reuse each
+/// other's cached artifacts.
+pub struct Engine {
+    pool: Option<ThreadPool>,
+    cache: Arc<ArtifactCache>,
+    n_threads: usize,
+}
+
+impl Engine {
+    /// An engine with `n_threads` workers (clamped to ≥ 1).  With one
+    /// thread no worker is spawned at all: graphs run inline on the calling
+    /// thread in deterministic ascending-index order — the sequential path.
+    pub fn new(n_threads: usize) -> Self {
+        Self::with_cache(n_threads, Arc::new(ArtifactCache::new()))
+    }
+
+    /// An engine sharing an existing artifact cache (e.g. across engines or
+    /// with a previous engine's warm cache).
+    pub fn with_cache(n_threads: usize, cache: Arc<ArtifactCache>) -> Self {
+        let n = n_threads.max(1);
+        Self {
+            pool: (n > 1).then(|| ThreadPool::new(n)),
+            cache,
+            n_threads: n,
+        }
+    }
+
+    /// The sequential engine: one thread, inline execution.
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// An engine sized to the machine (`available_parallelism`).
+    pub fn parallel() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4);
+        Self::new(n)
+    }
+
+    /// Number of worker threads (1 for the sequential engine).
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// The engine's shared artifact cache.
+    pub fn cache(&self) -> &Arc<ArtifactCache> {
+        &self.cache
+    }
+
+    /// Submits a graph for execution and returns a handle.
+    ///
+    /// On a multi-threaded engine the graph starts running immediately; on
+    /// the sequential engine it runs when [`GraphHandle::wait`] is called.
+    /// Either way, results are bit-identical for the same graph seed.
+    ///
+    /// Re-entrancy: submitting from inside one of this engine's own jobs
+    /// is safe — the nested graph is executed inline on the submitting
+    /// worker when its handle is waited on (scheduling it on the pool and
+    /// blocking could leave every worker waiting on a nested graph with no
+    /// thread left to run it).
+    pub fn submit<T: Send + 'static>(&self, graph: JobGraph<T>) -> GraphHandle<T> {
+        let n = graph.jobs.len();
+        let base = graph.base_rng;
+        let mut deps_remaining = Vec::with_capacity(n);
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut jobs = Vec::with_capacity(n);
+        for (idx, job) in graph.jobs.into_iter().enumerate() {
+            deps_remaining.push(AtomicUsize::new(job.deps.len()));
+            for &d in &job.deps {
+                debug_assert!(d < idx, "dependency edges point backwards by construction");
+                dependents[d].push(idx);
+            }
+            jobs.push(Mutex::new(Some(Prepared {
+                f: job.f,
+                rng: base.fork_stream(job.salt),
+            })));
+        }
+        let (done_tx, done_rx) = mpsc::channel();
+        let state = Arc::new(ExecState {
+            jobs,
+            deps_remaining,
+            dep_failed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            dependents,
+            outcomes: (0..n).map(|_| Mutex::new(None)).collect(),
+            pending: AtomicUsize::new(n),
+            cancelled: AtomicBool::new(false),
+            done_tx: Mutex::new(Some(done_tx)),
+            cache: Arc::clone(&self.cache),
+        });
+        let ready: BTreeSet<usize> = (0..n)
+            .filter(|&i| state.deps_remaining[i].load(Ordering::SeqCst) == 0)
+            .collect();
+        match &self.pool {
+            // A graph submitted from one of this engine's own workers must
+            // not be scheduled back onto the pool: with every worker
+            // blocked in `wait()` on a nested graph, no thread would be
+            // left to run the nested jobs — a deadlock.  Inline execution
+            // keeps nesting safe and stays deterministic.
+            Some(pool) if pool.is_worker_thread() => GraphHandle {
+                state,
+                done_rx,
+                mode: HandleMode::Inline { ready },
+            },
+            Some(pool) => {
+                for idx in ready {
+                    spawn_job(Arc::clone(&state), pool.handle(), idx);
+                }
+                GraphHandle {
+                    state,
+                    done_rx,
+                    mode: HandleMode::Pool,
+                }
+            }
+            None => GraphHandle {
+                state,
+                done_rx,
+                mode: HandleMode::Inline { ready },
+            },
+        }
+    }
+
+    /// Submits a graph and blocks until it finishes.
+    pub fn run_graph<T: Send + 'static>(&self, graph: JobGraph<T>) -> GraphResult<T> {
+        self.submit(graph).wait()
+    }
+
+    /// Submits many graphs at once — they interleave over the same pool —
+    /// and returns their results in submission order.
+    pub fn run_batch<T: Send + 'static>(&self, graphs: Vec<JobGraph<T>>) -> Vec<GraphResult<T>> {
+        let handles: Vec<_> = graphs.into_iter().map(|g| self.submit(g)).collect();
+        handles.into_iter().map(GraphHandle::wait).collect()
+    }
+
+    /// Convenience: runs independent jobs (no dependencies) and returns
+    /// their values in submission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job panics.
+    pub fn run_jobs<T, F>(&self, seed: u64, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut JobCtx) -> T + Send + 'static,
+    {
+        let mut graph = JobGraph::new(seed);
+        for f in jobs {
+            graph.add_job(&[], f);
+        }
+        self.run_graph(graph).expect_all("run_jobs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn dependencies_run_before_dependents() {
+        for n_threads in [1, 4] {
+            let engine = Engine::new(n_threads);
+            let mut graph: JobGraph<u64> = JobGraph::new(1);
+            let order = Arc::new(Mutex::new(Vec::new()));
+            let (o1, o2, o3) = (order.clone(), order.clone(), order.clone());
+            let a = graph.add_job(&[], move |_| {
+                o1.lock().unwrap().push("a");
+                1
+            });
+            let b = graph.add_job(&[], move |_| {
+                o2.lock().unwrap().push("b");
+                2
+            });
+            let _c = graph.add_job(&[a, b], move |_| {
+                o3.lock().unwrap().push("c");
+                3
+            });
+            let values = engine.run_graph(graph).expect_all("dag");
+            assert_eq!(values, vec![1, 2, 3]);
+            let order = order.lock().unwrap();
+            assert_eq!(order.len(), 3);
+            assert_eq!(*order.last().unwrap(), "c");
+        }
+    }
+
+    #[test]
+    fn job_rng_streams_are_thread_count_invariant() {
+        let draws = |n_threads: usize| -> Vec<u64> {
+            let engine = Engine::new(n_threads);
+            let mut graph: JobGraph<u64> = JobGraph::new(99);
+            for _ in 0..16 {
+                graph.add_job(&[], |ctx| ctx.rng().next_u64());
+            }
+            engine.run_graph(graph).expect_all("rng draws")
+        };
+        let seq = draws(1);
+        assert_eq!(seq, draws(2));
+        assert_eq!(seq, draws(8));
+        // and the streams differ from each other
+        let mut unique = seq.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seq.len());
+    }
+
+    #[test]
+    fn failed_job_skips_dependents_but_not_siblings() {
+        for n_threads in [1, 4] {
+            let engine = Engine::new(n_threads);
+            let mut graph: JobGraph<u32> = JobGraph::new(3);
+            let bad = graph.add_job(&[], |_| panic!("deliberate failure"));
+            let child = graph.add_job(&[bad], |_| 10);
+            let _grandchild = graph.add_job(&[child], |_| 11);
+            let _sibling = graph.add_job(&[], |_| 12);
+            let result = engine.run_graph(graph);
+            assert!(
+                matches!(&result.outcomes[0], JobOutcome::Failed(m) if m.contains("deliberate"))
+            );
+            assert_eq!(result.outcomes[1], JobOutcome::Skipped);
+            assert_eq!(result.outcomes[2], JobOutcome::Skipped);
+            assert_eq!(result.outcomes[3], JobOutcome::Completed(12));
+        }
+    }
+
+    #[test]
+    fn engine_survives_a_failed_graph() {
+        let engine = Engine::new(2);
+        let mut bad: JobGraph<u32> = JobGraph::new(1);
+        bad.add_job(&[], |_| panic!("boom"));
+        let result = engine.run_graph(bad);
+        assert!(result.first_failure().is_some());
+        // The pool still works afterwards.
+        let mut good: JobGraph<u32> = JobGraph::new(2);
+        good.add_job(&[], |_| 5);
+        assert_eq!(engine.run_graph(good).expect_all("after failure"), vec![5]);
+    }
+
+    #[test]
+    fn cancellation_skips_unstarted_jobs() {
+        let engine = Engine::sequential();
+        let mut graph: JobGraph<u32> = JobGraph::new(1);
+        graph.add_job(&[], |_| 1);
+        graph.add_job(&[], |_| 2);
+        let handle = engine.submit(graph);
+        handle.cancel();
+        let result = handle.wait();
+        assert!(result.outcomes.iter().all(|o| *o == JobOutcome::Skipped));
+    }
+
+    #[test]
+    fn batch_results_come_back_in_submission_order() {
+        let engine = Engine::new(4);
+        let graphs: Vec<JobGraph<usize>> = (0..6)
+            .map(|i| {
+                let mut g = JobGraph::new(i as u64);
+                g.add_job(&[], move |_| i);
+                g
+            })
+            .collect();
+        let results = engine.run_batch(graphs);
+        let values: Vec<usize> = results
+            .into_iter()
+            .flat_map(|r| r.expect_all("batch"))
+            .collect();
+        assert_eq!(values, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn run_jobs_preserves_order_and_parallelises() {
+        let engine = Engine::new(4);
+        let touched = Arc::new(AtomicU64::new(0));
+        let jobs: Vec<_> = (0..32u64)
+            .map(|i| {
+                let touched = Arc::clone(&touched);
+                move |_ctx: &mut JobCtx| {
+                    touched.fetch_add(1, Ordering::SeqCst);
+                    i * 2
+                }
+            })
+            .collect();
+        let out = engine.run_jobs(7, jobs);
+        assert_eq!(out, (0..32u64).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(touched.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn nested_submission_from_worker_jobs_does_not_deadlock() {
+        // Every worker occupies itself with an outer job that submits and
+        // waits on a nested graph; without the inline re-entrancy guard
+        // this deadlocks (all workers blocked, nested jobs unrunnable).
+        let engine = Arc::new(Engine::new(2));
+        let mut outer: JobGraph<u64> = JobGraph::new(11);
+        for i in 0..4u64 {
+            let engine = Arc::clone(&engine);
+            outer.add_job(&[], move |_| {
+                let mut inner: JobGraph<u64> = JobGraph::new(100 + i);
+                let a = inner.add_job(&[], move |_| i);
+                inner.add_job(&[a], move |_| i * 10);
+                let values = engine.run_graph(inner).expect_all("nested");
+                values[0] + values[1]
+            });
+        }
+        let out = engine.run_graph(outer).expect_all("outer");
+        assert_eq!(out, vec![0, 11, 22, 33]);
+    }
+
+    #[test]
+    fn empty_graph_completes_immediately() {
+        let engine = Engine::new(2);
+        let graph: JobGraph<u32> = JobGraph::new(0);
+        let result = engine.run_graph(graph);
+        assert!(result.outcomes.is_empty());
+        assert!(result.all_completed());
+    }
+
+    #[test]
+    fn jobs_share_the_engine_cache() {
+        use crate::cache::ArtifactKey;
+        let engine = Engine::new(4);
+        let mut graph: JobGraph<usize> = JobGraph::new(5);
+        for _ in 0..8 {
+            graph.add_job(&[], |ctx| {
+                let v: Arc<Vec<u8>> = ctx
+                    .cache()
+                    .get_or_compute(ArtifactKey::Custom { domain: 1, key: 2 }, || vec![1, 2, 3]);
+                v.len()
+            });
+        }
+        let out = engine.run_graph(graph).expect_all("cache jobs");
+        assert!(out.iter().all(|&l| l == 3));
+        let stats = engine.cache().stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 7);
+    }
+}

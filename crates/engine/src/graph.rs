@@ -1,0 +1,192 @@
+//! Deterministic job DAGs.
+//!
+//! A model-selection request is modelled as a directed acyclic graph of
+//! jobs: artifact jobs (distance matrices, density hierarchies, fold
+//! closures) feed evaluation jobs (one per parameter × fold) which feed a
+//! reduction job.  [`JobGraph`] builds such a graph; the engine executes it
+//! on its pool (or inline for the one-thread case).
+//!
+//! Determinism: every job receives its own RNG stream, derived from the
+//! graph's base generator and the job's *salt* via
+//! [`SeededRng::fork_stream`] — a pure function of (base state, salt), not
+//! of execution order.  Results are therefore bit-identical at any thread
+//! count; only wall-clock time changes.
+//!
+//! Acyclicity is guaranteed by construction: [`JobId`]s are only handed out
+//! by [`JobGraph::add_job`], so dependency edges can only point at
+//! already-added jobs.
+
+use crate::cache::ArtifactCache;
+use cvcp_data::rng::SeededRng;
+use std::sync::Arc;
+
+/// Identifier of a job within one [`JobGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobId(pub(crate) usize);
+
+impl JobId {
+    /// Position of the job in the graph (insertion order).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Execution context handed to every job.
+pub struct JobCtx {
+    pub(crate) cache: Arc<ArtifactCache>,
+    pub(crate) rng: SeededRng,
+    pub(crate) index: usize,
+}
+
+impl JobCtx {
+    /// The engine's shared artifact cache.
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.cache
+    }
+
+    /// The shared artifact cache as an owned handle.
+    pub fn cache_arc(&self) -> Arc<ArtifactCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// This job's private RNG stream (independent of execution order).
+    pub fn rng(&mut self) -> &mut SeededRng {
+        &mut self.rng
+    }
+
+    /// Position of this job in its graph.
+    pub fn job_index(&self) -> usize {
+        self.index
+    }
+}
+
+pub(crate) type JobFn<T> = Box<dyn FnOnce(&mut JobCtx) -> T + Send + 'static>;
+
+pub(crate) struct GraphJob<T> {
+    pub(crate) f: JobFn<T>,
+    pub(crate) deps: Vec<usize>,
+    pub(crate) salt: u64,
+}
+
+/// A DAG of jobs, all returning the same result type `T`.
+pub struct JobGraph<T> {
+    pub(crate) base_rng: SeededRng,
+    pub(crate) jobs: Vec<GraphJob<T>>,
+}
+
+impl<T> JobGraph<T> {
+    /// An empty graph whose job RNG streams derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self::with_base_rng(SeededRng::new(seed))
+    }
+
+    /// An empty graph whose job RNG streams derive from an existing
+    /// generator state (frozen at this point; the caller's generator is not
+    /// advanced).
+    pub fn with_base_rng(base_rng: SeededRng) -> Self {
+        Self {
+            base_rng,
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Adds a job depending on `deps`, salted by its insertion index.
+    pub fn add_job<F>(&mut self, deps: &[JobId], f: F) -> JobId
+    where
+        F: FnOnce(&mut JobCtx) -> T + Send + 'static,
+    {
+        let salt = self.jobs.len() as u64;
+        self.add_salted_job(deps, salt, f)
+    }
+
+    /// Adds a job with an explicit RNG-stream salt.  Use a *structural* salt
+    /// (e.g. `param_index << 20 | fold`) when the same logical job must get
+    /// the same stream across differently-shaped graphs.
+    pub fn add_salted_job<F>(&mut self, deps: &[JobId], salt: u64, f: F) -> JobId
+    where
+        F: FnOnce(&mut JobCtx) -> T + Send + 'static,
+    {
+        let id = JobId(self.jobs.len());
+        self.jobs.push(GraphJob {
+            f: Box::new(f),
+            deps: deps.iter().map(|d| d.0).collect(),
+            salt,
+        });
+        id
+    }
+
+    /// Number of jobs in the graph.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` when the graph has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+/// Terminal state of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome<T> {
+    /// The job ran to completion.
+    Completed(T),
+    /// The job panicked; the message is the panic payload.
+    Failed(String),
+    /// The job was cancelled, or one of its dependencies did not complete.
+    Skipped,
+}
+
+impl<T> JobOutcome<T> {
+    /// The completed value, if any.
+    pub fn ok(self) -> Option<T> {
+        match self {
+            JobOutcome::Completed(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`JobOutcome::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self, JobOutcome::Completed(_))
+    }
+}
+
+/// Outcome of a whole graph, in job-insertion order.
+#[derive(Debug)]
+pub struct GraphResult<T> {
+    /// One outcome per job, in insertion order.
+    pub outcomes: Vec<JobOutcome<T>>,
+}
+
+impl<T> GraphResult<T> {
+    /// `true` when every job completed.
+    pub fn all_completed(&self) -> bool {
+        self.outcomes.iter().all(JobOutcome::is_completed)
+    }
+
+    /// The first failure message, if any job failed.
+    pub fn first_failure(&self) -> Option<&str> {
+        self.outcomes.iter().find_map(|o| match o {
+            JobOutcome::Failed(msg) => Some(msg.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Unwraps every job's value.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with `context`) if any job failed or was skipped.
+    pub fn expect_all(self, context: &str) -> Vec<T> {
+        self.outcomes
+            .into_iter()
+            .enumerate()
+            .map(|(i, o)| match o {
+                JobOutcome::Completed(v) => v,
+                JobOutcome::Failed(msg) => panic!("{context}: job {i} failed: {msg}"),
+                JobOutcome::Skipped => panic!("{context}: job {i} was skipped"),
+            })
+            .collect()
+    }
+}

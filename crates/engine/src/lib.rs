@@ -1,0 +1,68 @@
+//! # cvcp-engine
+//!
+//! A deterministic, cache-aware parallel execution engine for CVCP model
+//! selection (and any similarly shaped grid workload).
+//!
+//! CVCP scores every candidate parameter by n-fold cross-validation over
+//! side information — an embarrassingly parallel grid of (parameter × fold
+//! × replica) jobs that shares expensive intermediates (pairwise distance
+//! matrices, per-`MinPts` density hierarchies, fold closures) across most
+//! of the grid.  This crate provides the three pieces that turn that grid
+//! into hardware-speed throughput:
+//!
+//! * [`Engine`] — a work-stealing thread pool over `std::thread` +
+//!   channels.  One thread means *inline* execution (the sequential path);
+//!   any thread count produces **bit-identical results**, because every job
+//!   draws from its own RNG stream derived via [`SeededRng::fork_stream`]
+//!   from the graph seed and the job's structural salt — never from
+//!   execution order.
+//! * [`JobGraph`] — a request is modelled as a job DAG: artifact jobs feed
+//!   evaluation jobs feed a reduction job.  Failed jobs skip their
+//!   dependents without poisoning the pool; graphs can be cancelled.
+//! * [`ArtifactCache`] — a content-keyed, concurrency-deduplicated store so
+//!   each artifact is computed once and shared (`Arc`) across folds,
+//!   trials and concurrent requests.
+//!
+//! Batch submission ([`Engine::submit`] / [`Engine::run_batch`])
+//! multiplexes many selection requests over one pool — the seam for a
+//! future serving layer.
+//!
+//! ```
+//! use cvcp_engine::{Engine, JobGraph};
+//!
+//! let engine = Engine::new(4);
+//! let mut graph: JobGraph<f64> = JobGraph::new(42);
+//! let artifact = graph.add_job(&[], |_ctx| 21.0);
+//! graph.add_job(&[artifact], |ctx| {
+//!     // dependencies are guaranteed to have run; RNG streams are
+//!     // per-job and thread-count invariant
+//!     let _u = ctx.rng().uniform();
+//!     2.0
+//! });
+//! let values = engine.run_graph(graph).expect_all("demo");
+//! assert_eq!(values[0] * values[1], 42.0);
+//! ```
+//!
+//! [`SeededRng::fork_stream`]: cvcp_data::rng::SeededRng::fork_stream
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+mod engine;
+pub mod graph;
+mod pool;
+
+pub use cache::{
+    fingerprint_indices, fingerprint_matrix, ArtifactCache, ArtifactKey, CacheStats, Fingerprint,
+    FingerprintBuilder,
+};
+pub use engine::{Engine, GraphHandle};
+pub use graph::{GraphResult, JobCtx, JobGraph, JobId, JobOutcome};
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::cache::{ArtifactCache, ArtifactKey};
+    pub use crate::engine::Engine;
+    pub use crate::graph::{JobCtx, JobGraph};
+}

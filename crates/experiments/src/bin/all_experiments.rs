@@ -56,7 +56,13 @@ fn main() {
         .collect();
     print_correlation_table(
         "Table 1: FOSC-OPTICSDend (label scenario) — correlations",
-        &correlation_table(&fosc_method(), Some(MINPTS_RANGE.to_vec()), &label_specs, mode, false),
+        &correlation_table(
+            &fosc_method(),
+            Some(MINPTS_RANGE.to_vec()),
+            &label_specs,
+            mode,
+            false,
+        ),
     );
     print_correlation_table(
         "Table 2: MPCKMeans (label scenario) — correlations",
@@ -64,7 +70,13 @@ fn main() {
     );
     print_correlation_table(
         "Table 3: FOSC-OPTICSDend (constraint scenario) — correlations",
-        &correlation_table(&fosc_method(), Some(MINPTS_RANGE.to_vec()), &constraint_specs, mode, false),
+        &correlation_table(
+            &fosc_method(),
+            Some(MINPTS_RANGE.to_vec()),
+            &constraint_specs,
+            mode,
+            false,
+        ),
     );
     print_correlation_table(
         "Table 4: MPCKMeans (constraint scenario) — correlations",
@@ -130,9 +142,27 @@ fn main() {
         (SideInfoSpec::LabelFraction(0.20), "20"),
     ];
     let constraint_boxes = [
-        (SideInfoSpec::ConstraintSample { pool_fraction: 0.10, sample_fraction: 0.10 }, "10"),
-        (SideInfoSpec::ConstraintSample { pool_fraction: 0.10, sample_fraction: 0.20 }, "20"),
-        (SideInfoSpec::ConstraintSample { pool_fraction: 0.10, sample_fraction: 0.50 }, "50"),
+        (
+            SideInfoSpec::ConstraintSample {
+                pool_fraction: 0.10,
+                sample_fraction: 0.10,
+            },
+            "10",
+        ),
+        (
+            SideInfoSpec::ConstraintSample {
+                pool_fraction: 0.10,
+                sample_fraction: 0.20,
+            },
+            "20",
+        ),
+        (
+            SideInfoSpec::ConstraintSample {
+                pool_fraction: 0.10,
+                sample_fraction: 0.50,
+            },
+            "50",
+        ),
     ];
     print_boxplot_figure(&boxplot_figure(
         "Figure 9: FOSC-OPTICSDend (label scenario)",

@@ -3,7 +3,9 @@
 //! (10 % of the constraint pool).
 
 use cvcp_core::experiment::SideInfoSpec;
-use cvcp_experiments::{curve_figure, fosc_method, print_curve_figure, write_json, Mode, MINPTS_RANGE};
+use cvcp_experiments::{
+    curve_figure, fosc_method, print_curve_figure, write_json, Mode, MINPTS_RANGE,
+};
 
 fn main() {
     let mode = Mode::from_args();

@@ -3,7 +3,9 @@
 //! (10 % of the constraint pool).
 
 use cvcp_core::experiment::SideInfoSpec;
-use cvcp_experiments::{curve_figure, k_range, mpck_method, print_curve_figure, representative_aloi, write_json, Mode};
+use cvcp_experiments::{
+    curve_figure, k_range, mpck_method, print_curve_figure, representative_aloi, write_json, Mode,
+};
 
 fn main() {
     let mode = Mode::from_args();

@@ -3,7 +3,9 @@
 //! baseline at 5 / 10 / 20 % labelled objects.
 
 use cvcp_core::experiment::SideInfoSpec;
-use cvcp_experiments::{boxplot_figure, fosc_method, print_boxplot_figure, write_json, Mode, MINPTS_RANGE};
+use cvcp_experiments::{
+    boxplot_figure, fosc_method, print_boxplot_figure, write_json, Mode, MINPTS_RANGE,
+};
 
 fn main() {
     let mode = Mode::from_args();

@@ -3,21 +3,32 @@
 //! baseline at 10 / 20 / 50 % of the constraint pool.
 
 use cvcp_core::experiment::SideInfoSpec;
-use cvcp_experiments::{boxplot_figure, fosc_method, print_boxplot_figure, write_json, Mode, MINPTS_RANGE};
+use cvcp_experiments::{
+    boxplot_figure, fosc_method, print_boxplot_figure, write_json, Mode, MINPTS_RANGE,
+};
 
 fn main() {
     let mode = Mode::from_args();
     let specs: Vec<(SideInfoSpec, &str)> = vec![
         (
-            SideInfoSpec::ConstraintSample { pool_fraction: 0.10, sample_fraction: 0.10 },
+            SideInfoSpec::ConstraintSample {
+                pool_fraction: 0.10,
+                sample_fraction: 0.10,
+            },
             "10",
         ),
         (
-            SideInfoSpec::ConstraintSample { pool_fraction: 0.10, sample_fraction: 0.20 },
+            SideInfoSpec::ConstraintSample {
+                pool_fraction: 0.10,
+                sample_fraction: 0.20,
+            },
             "20",
         ),
         (
-            SideInfoSpec::ConstraintSample { pool_fraction: 0.10, sample_fraction: 0.50 },
+            SideInfoSpec::ConstraintSample {
+                pool_fraction: 0.10,
+                sample_fraction: 0.50,
+            },
             "50",
         ),
     ];

@@ -9,15 +9,24 @@ fn main() {
     let mode = Mode::from_args();
     let specs: Vec<(SideInfoSpec, &str)> = vec![
         (
-            SideInfoSpec::ConstraintSample { pool_fraction: 0.10, sample_fraction: 0.10 },
+            SideInfoSpec::ConstraintSample {
+                pool_fraction: 0.10,
+                sample_fraction: 0.10,
+            },
             "10",
         ),
         (
-            SideInfoSpec::ConstraintSample { pool_fraction: 0.10, sample_fraction: 0.20 },
+            SideInfoSpec::ConstraintSample {
+                pool_fraction: 0.10,
+                sample_fraction: 0.20,
+            },
             "20",
         ),
         (
-            SideInfoSpec::ConstraintSample { pool_fraction: 0.10, sample_fraction: 0.50 },
+            SideInfoSpec::ConstraintSample {
+                pool_fraction: 0.10,
+                sample_fraction: 0.50,
+            },
             "50",
         ),
     ];

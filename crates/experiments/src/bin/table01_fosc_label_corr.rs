@@ -3,7 +3,9 @@
 //! data sets and 5 / 10 / 20 % labelled objects.
 
 use cvcp_core::experiment::SideInfoSpec;
-use cvcp_experiments::{correlation_table, fosc_method, print_correlation_table, write_json, Mode, MINPTS_RANGE};
+use cvcp_experiments::{
+    correlation_table, fosc_method, print_correlation_table, write_json, Mode, MINPTS_RANGE,
+};
 
 fn main() {
     let mode = Mode::from_args();

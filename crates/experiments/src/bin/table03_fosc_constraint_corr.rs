@@ -3,7 +3,9 @@
 //! 10 / 20 / 50 % of the constraint pool.
 
 use cvcp_core::experiment::SideInfoSpec;
-use cvcp_experiments::{correlation_table, fosc_method, print_correlation_table, write_json, Mode, MINPTS_RANGE};
+use cvcp_experiments::{
+    correlation_table, fosc_method, print_correlation_table, write_json, Mode, MINPTS_RANGE,
+};
 
 fn main() {
     let mode = Mode::from_args();
@@ -14,7 +16,13 @@ fn main() {
             sample_fraction,
         })
         .collect();
-    let rows = correlation_table(&fosc_method(), Some(MINPTS_RANGE.to_vec()), &specs, mode, false);
+    let rows = correlation_table(
+        &fosc_method(),
+        Some(MINPTS_RANGE.to_vec()),
+        &specs,
+        mode,
+        false,
+    );
     print_correlation_table(
         "Table 3: FOSC-OPTICSDend (constraint scenario) — correlation of internal scores with Overall F-Measure",
         &rows,

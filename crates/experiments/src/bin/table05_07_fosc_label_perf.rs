@@ -2,7 +2,9 @@
 //! vs. the expected baseline) using 5, 10 and 20 % labelled objects.
 
 use cvcp_core::experiment::SideInfoSpec;
-use cvcp_experiments::{fosc_method, performance_table, print_performance_table, write_json, Mode, MINPTS_RANGE};
+use cvcp_experiments::{
+    fosc_method, performance_table, print_performance_table, write_json, Mode, MINPTS_RANGE,
+};
 
 fn main() {
     let mode = Mode::from_args();

@@ -3,15 +3,13 @@
 //! pool.
 
 use cvcp_core::experiment::SideInfoSpec;
-use cvcp_experiments::{fosc_method, performance_table, print_performance_table, write_json, Mode, MINPTS_RANGE};
+use cvcp_experiments::{
+    fosc_method, performance_table, print_performance_table, write_json, Mode, MINPTS_RANGE,
+};
 
 fn main() {
     let mode = Mode::from_args();
-    let settings = [
-        ("Table 11", 0.10),
-        ("Table 12", 0.20),
-        ("Table 13", 0.50),
-    ];
+    let settings = [("Table 11", 0.10), ("Table 12", 0.20), ("Table 13", 0.50)];
     let mut tables = Vec::new();
     for (title, sample_fraction) in settings {
         let spec = SideInfoSpec::ConstraintSample {

@@ -6,11 +6,7 @@ use cvcp_experiments::{mpck_method, performance_table, print_performance_table, 
 
 fn main() {
     let mode = Mode::from_args();
-    let settings = [
-        ("Table 14", 0.10),
-        ("Table 15", 0.20),
-        ("Table 16", 0.50),
-    ];
+    let settings = [("Table 14", 0.10), ("Table 15", 0.20), ("Table 16", 0.50)];
     let mut tables = Vec::new();
     for (title, sample_fraction) in settings {
         let spec = SideInfoSpec::ConstraintSample {

@@ -1,0 +1,220 @@
+//! Minimal JSON document model used to persist experiment results.
+//!
+//! The workspace builds in an offline container, so `serde`/`serde_json`
+//! are not available; the experiment binaries only ever need to *emit*
+//! JSON (never parse it), which this module covers in ~100 lines.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number (non-finite values serialise as `null`, like serde_json).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj<I: IntoIterator<Item = (&'static str, Json)>>(pairs: I) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Pretty-prints with two-space indentation (matching `to_string_pretty`).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => {
+                if !x.is_finite() {
+                    out.push_str("null");
+                } else if x.fract() == 0.0 && x.abs() < 9e15 {
+                    let _ = write!(out, "{}", *x as i64);
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into the JSON document model.
+pub trait ToJson {
+    /// Converts `self` into a [`Json`] value.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::Num(*self as f64)
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_printing_matches_expected_shape() {
+        let v = Json::obj([
+            ("name", "aloi".to_json()),
+            ("scores", vec![0.5, 1.0].to_json()),
+            ("missing", Json::Null),
+        ]);
+        let s = v.pretty();
+        assert!(s.starts_with("{\n"));
+        assert!(s.contains("\"name\": \"aloi\""));
+        assert!(s.contains("\"missing\": null"));
+        assert!(s.contains("0.5"));
+    }
+
+    #[test]
+    fn integers_render_without_decimal_point() {
+        assert_eq!(Json::Num(3.0).pretty(), "3");
+        assert_eq!(Json::Num(0.25).pretty(), "0.25");
+        assert_eq!(Json::Num(f64::NAN).pretty(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(
+            Json::Str("a\"b\\c\nd".to_string()).pretty(),
+            "\"a\\\"b\\\\c\\nd\""
+        );
+    }
+
+    #[test]
+    fn empty_containers_are_compact() {
+        assert_eq!(Json::Arr(vec![]).pretty(), "[]");
+        assert_eq!(Json::Obj(vec![]).pretty(), "{}");
+    }
+}

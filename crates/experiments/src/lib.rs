@@ -12,13 +12,19 @@
 //! results as JSON under `target/experiments/`.
 
 use cvcp_core::experiment::{
-    run_experiment, summarize, ExperimentConfig, ExperimentSummary, SideInfoSpec,
+    run_experiment_on, summarize, ExperimentConfig, ExperimentSummary, SideInfoSpec,
 };
 use cvcp_core::{CvcpConfig, FoscMethod, MpckMethod, ParameterizedMethod};
 use cvcp_data::Dataset;
-use cvcp_metrics::stats::{mean, std_dev};
-use serde::Serialize;
+use cvcp_engine::Engine;
+use cvcp_metrics::stats::{mean, std_dev, Summary};
+use cvcp_metrics::ttest::TTestResult;
 use std::path::PathBuf;
+use std::sync::OnceLock;
+
+pub mod json;
+
+use json::{Json, ToJson};
 
 /// The paper's MinPts range for FOSC-OPTICSDend.
 pub const MINPTS_RANGE: [usize; 8] = [3, 6, 9, 12, 15, 18, 21, 24];
@@ -70,7 +76,9 @@ impl Mode {
 
     /// Number of worker threads.
     pub fn n_threads(&self) -> usize {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
     }
 
     /// Builds the [`ExperimentConfig`] for a given parameter range.
@@ -87,6 +95,25 @@ impl Mode {
             n_threads: self.n_threads(),
         }
     }
+}
+
+/// The process-wide execution engine: every experiment binary multiplexes
+/// all of its trials over this one pool and shares one artifact cache
+/// (distance matrices and density hierarchies are reused across tables,
+/// figures and side-information levels of the same data sets).
+pub fn shared_engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(|| Engine::new(Mode::from_args().n_threads()))
+}
+
+/// Runs one experiment cell on the shared engine.
+pub fn run_experiment(
+    method: &dyn ParameterizedMethod,
+    dataset: &Dataset,
+    spec: SideInfoSpec,
+    config: &ExperimentConfig,
+) -> Vec<cvcp_core::experiment::TrialOutcome> {
+    run_experiment_on(shared_engine(), method, dataset, spec, config)
 }
 
 /// The evaluation corpus: the five UCI-style replicas (the ALOI collection is
@@ -129,11 +156,68 @@ pub fn output_dir() -> PathBuf {
 }
 
 /// Writes a serialisable result as pretty JSON under `target/experiments/`.
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
+pub fn write_json<T: ToJson>(name: &str, value: &T) {
     let path = output_dir().join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value).expect("serialise result");
+    let json = value.to_json().pretty();
     std::fs::write(&path, json).expect("write result file");
     println!("\n[written {}]", path.display());
+}
+
+fn summary_json(s: &Summary) -> Json {
+    Json::obj([
+        ("n", s.n.to_json()),
+        ("mean", s.mean.to_json()),
+        ("std", s.std.to_json()),
+        ("min", s.min.to_json()),
+        ("max", s.max.to_json()),
+    ])
+}
+
+fn ttest_json(t: &TTestResult) -> Json {
+    Json::obj([
+        ("t_statistic", t.t_statistic.to_json()),
+        ("degrees_of_freedom", t.degrees_of_freedom.to_json()),
+        ("p_value", t.p_value.to_json()),
+        ("mean_difference", t.mean_difference.to_json()),
+        ("n", t.n.to_json()),
+    ])
+}
+
+impl ToJson for ExperimentSummary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("dataset", self.dataset.to_json()),
+            ("method", self.method.to_json()),
+            ("side_info", self.side_info.to_json()),
+            ("cvcp", summary_json(&self.cvcp)),
+            ("expected", summary_json(&self.expected)),
+            (
+                "silhouette",
+                match &self.silhouette {
+                    Some(s) => summary_json(s),
+                    None => Json::Null,
+                },
+            ),
+            ("mean_correlation", self.mean_correlation.to_json()),
+            (
+                "cvcp_vs_expected",
+                match &self.cvcp_vs_expected {
+                    Some(t) => ttest_json(t),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "cvcp_vs_silhouette",
+                match &self.cvcp_vs_silhouette {
+                    Some(t) => ttest_json(t),
+                    None => Json::Null,
+                },
+            ),
+            ("cvcp_values", self.cvcp_values.to_json()),
+            ("expected_values", self.expected_values.to_json()),
+            ("silhouette_values", self.silhouette_values.to_json()),
+        ])
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -142,12 +226,21 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
 
 /// One row of a correlation table: the correlation per data set for one
 /// side-information level.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CorrelationRow {
     /// Side-information label (e.g. `labels-10%`).
     pub setting: String,
     /// Per-data-set mean correlation, keyed by data set name.
     pub correlations: Vec<(String, f64)>,
+}
+
+impl ToJson for CorrelationRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("setting", self.setting.to_json()),
+            ("correlations", self.correlations.to_json()),
+        ])
+    }
 }
 
 /// Computes a full correlation table (one row per side-information level,
@@ -168,7 +261,10 @@ pub fn correlation_table(
         // ALOI column: mean over the collection.
         let mut aloi_corrs = Vec::new();
         for ds in &aloi {
-            let cfg = mode.config(params.clone().unwrap_or_else(|| default_params(method, ds)), with_silhouette);
+            let cfg = mode.config(
+                params.clone().unwrap_or_else(|| default_params(method, ds)),
+                with_silhouette,
+            );
             let outcomes = run_experiment(method, ds, spec, &cfg);
             aloi_corrs.push(mean(
                 &outcomes.iter().map(|o| o.correlation).collect::<Vec<_>>(),
@@ -178,7 +274,10 @@ pub fn correlation_table(
 
         // UCI-style columns.
         for ds in &corpus {
-            let cfg = mode.config(params.clone().unwrap_or_else(|| default_params(method, ds)), with_silhouette);
+            let cfg = mode.config(
+                params.clone().unwrap_or_else(|| default_params(method, ds)),
+                with_silhouette,
+            );
             let outcomes = run_experiment(method, ds, spec, &cfg);
             let corr = mean(&outcomes.iter().map(|o| o.correlation).collect::<Vec<_>>());
             correlations.push((ds.name().to_string(), corr));
@@ -218,7 +317,7 @@ pub fn print_correlation_table(title: &str, rows: &[CorrelationRow]) {
 
 /// A performance table: one summary per data set for one side-information
 /// level (ALOI summarised over the collection).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PerformanceTable {
     /// Table caption.
     pub title: String,
@@ -232,6 +331,18 @@ pub struct PerformanceTable {
     pub aloi_significant: usize,
     /// Number of ALOI data sets evaluated.
     pub aloi_total: usize,
+}
+
+impl ToJson for PerformanceTable {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("title", self.title.to_json()),
+            ("setting", self.setting.to_json()),
+            ("summaries", self.summaries.to_json()),
+            ("aloi_significant", self.aloi_significant.to_json()),
+            ("aloi_total", self.aloi_total.to_json()),
+        ])
+    }
 }
 
 fn default_params(method: &dyn ParameterizedMethod, ds: &Dataset) -> Vec<usize> {
@@ -347,7 +458,7 @@ pub fn print_performance_table(table: &PerformanceTable, with_silhouette: bool) 
 // ---------------------------------------------------------------------------
 
 /// The two series of a parameter-vs-quality curve figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CurveFigure {
     /// Figure caption.
     pub title: String,
@@ -361,6 +472,19 @@ pub struct CurveFigure {
     pub external: Vec<f64>,
     /// Pearson correlation between the two series.
     pub correlation: f64,
+}
+
+impl ToJson for CurveFigure {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("title", self.title.to_json()),
+            ("parameter", self.parameter.to_json()),
+            ("params", self.params.to_json()),
+            ("internal", self.internal.to_json()),
+            ("external", self.external.to_json()),
+            ("correlation", self.correlation.to_json()),
+        ])
+    }
 }
 
 /// Generates a curve figure: one representative run on one ALOI-like data
@@ -400,12 +524,21 @@ pub fn print_curve_figure(fig: &CurveFigure) {
 // ---------------------------------------------------------------------------
 
 /// The quality distributions behind one box-plot figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BoxplotFigure {
     /// Figure caption.
     pub title: String,
     /// One entry per box: label and the raw quality values.
     pub groups: Vec<(String, Vec<f64>)>,
+}
+
+impl ToJson for BoxplotFigure {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("title", self.title.to_json()),
+            ("groups", self.groups.to_json()),
+        ])
+    }
 }
 
 /// Generates a box-plot figure over the ALOI-like collection for the given

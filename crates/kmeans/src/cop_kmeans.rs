@@ -148,11 +148,11 @@ impl CopKMeans {
                     return Err(CopKMeansError::Infeasible { object: i });
                 }
             }
-            let flat: Vec<usize> = new_assignment.iter().map(|a| a.expect("assigned")).collect();
-            let converged = assignment
+            let flat: Vec<usize> = new_assignment
                 .iter()
-                .zip(&new_assignment)
-                .all(|(a, b)| a == b);
+                .map(|a| a.expect("assigned"))
+                .collect();
+            let converged = assignment.iter().zip(&new_assignment).all(|(a, b)| a == b);
             assignment = new_assignment;
             recompute_centroids(data, &flat, &mut centroids);
             if converged {

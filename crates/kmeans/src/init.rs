@@ -22,7 +22,11 @@ use cvcp_data::DataMatrix;
 ///
 /// Panics if `k` is zero or exceeds the number of rows.
 pub fn random_centroids(data: &DataMatrix, k: usize, rng: &mut SeededRng) -> Vec<Vec<f64>> {
-    assert!(k >= 1 && k <= data.n_rows(), "invalid k = {k} for {} rows", data.n_rows());
+    assert!(
+        k >= 1 && k <= data.n_rows(),
+        "invalid k = {k} for {} rows",
+        data.n_rows()
+    );
     rng.sample_indices(data.n_rows(), k)
         .into_iter()
         .map(|i| data.row(i).to_vec())
@@ -34,8 +38,13 @@ pub fn random_centroids(data: &DataMatrix, k: usize, rng: &mut SeededRng) -> Vec
 /// # Panics
 ///
 /// Panics if `k` is zero or exceeds the number of rows.
+#[allow(clippy::needless_range_loop)] // dist2[i] updates in lock-step with data.row(i)
 pub fn kmeanspp_centroids(data: &DataMatrix, k: usize, rng: &mut SeededRng) -> Vec<Vec<f64>> {
-    assert!(k >= 1 && k <= data.n_rows(), "invalid k = {k} for {} rows", data.n_rows());
+    assert!(
+        k >= 1 && k <= data.n_rows(),
+        "invalid k = {k} for {} rows",
+        data.n_rows()
+    );
     let n = data.n_rows();
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
     centroids.push(data.row(rng.index(n)).to_vec());
@@ -76,13 +85,18 @@ pub fn kmeanspp_centroids(data: &DataMatrix, k: usize, rng: &mut SeededRng) -> V
 /// Returns `k` centroids.  Ties in the farthest-first traversal are broken by
 /// neighbourhood size (larger neighbourhoods preferred), matching the
 /// "weighted" variant described by Bilenko et al.
+#[allow(clippy::needless_range_loop)] // dist2[i] updates in lock-step with data.row(i)
 pub fn neighborhood_centroids(
     data: &DataMatrix,
     constraints: &ConstraintSet,
     k: usize,
     rng: &mut SeededRng,
 ) -> Vec<Vec<f64>> {
-    assert!(k >= 1 && k <= data.n_rows(), "invalid k = {k} for {} rows", data.n_rows());
+    assert!(
+        k >= 1 && k <= data.n_rows(),
+        "invalid k = {k} for {} rows",
+        data.n_rows()
+    );
     let neighborhoods = must_link_components(constraints);
     let mut candidates: Vec<(Vec<f64>, usize)> = neighborhoods
         .iter()
@@ -134,7 +148,7 @@ pub fn neighborhood_centroids(
 
     // More neighbourhoods than clusters: weighted farthest-first traversal.
     // Start from the largest neighbourhood.
-    candidates.sort_by(|a, b| b.1.cmp(&a.1));
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.1));
     let mut chosen: Vec<(Vec<f64>, usize)> = vec![candidates.remove(0)];
     while chosen.len() < k {
         // pick the candidate maximising (min distance to chosen) * size

@@ -92,13 +92,14 @@ impl KMeans {
         let mut best: Option<KMeansResult> = None;
         for _ in 0..self.n_init.max(1) {
             let result = self.fit_once(data, rng);
-            if best.as_ref().map_or(true, |b| result.inertia < b.inertia) {
+            if best.as_ref().is_none_or(|b| result.inertia < b.inertia) {
                 best = Some(result);
             }
         }
         best.expect("at least one restart")
     }
 
+    #[allow(clippy::needless_range_loop)] // assignment[i] pairs with data.row(i)
     fn fit_once(&self, data: &DataMatrix, rng: &mut SeededRng) -> KMeansResult {
         let n = data.n_rows();
         let mut centroids = match self.seeding {

@@ -197,8 +197,7 @@ impl MpckMeans {
                         if let Some(cj) = assigned[j] {
                             if cj != c {
                                 let f_here = weighted_sq_dist(row, data.row(j), w);
-                                let f_there =
-                                    weighted_sq_dist(row, data.row(j), &metrics[cj]);
+                                let f_there = weighted_sq_dist(row, data.row(j), &metrics[cj]);
                                 cost += self.must_link_weight * 0.5 * (f_here + f_there);
                             }
                         }
@@ -219,7 +218,8 @@ impl MpckMeans {
                 }
                 assigned[i] = Some(best_c);
             }
-            let new_assignment: Vec<usize> = assigned.into_iter().map(|a| a.expect("assigned")).collect();
+            let new_assignment: Vec<usize> =
+                assigned.into_iter().map(|a| a.expect("assigned")).collect();
 
             // Re-seed empty clusters with the point farthest from its centroid.
             let mut final_assignment = new_assignment;
@@ -304,6 +304,7 @@ impl MpckMeans {
     ///                   + w̄ Σ_{violated CL inside h} (range_d² − (x_i,d−x_j,d)²) )`,
     /// clamped to `[min_weight, max_weight]`.
     #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::needless_range_loop)] // per-dimension scatter accumulation
     fn update_metrics(
         &self,
         data: &DataMatrix,
@@ -439,7 +440,8 @@ mod tests {
             let ds = gaussian_mixture(&specs, &mut rng);
             let pool = constraint_pool(ds.labels(), 0.4, 2, &mut rng);
             let with = MpckMeans::new(2).fit(ds.matrix(), &pool, &mut rng);
-            let without = MpckMeans::new(2).fit(ds.matrix(), &ConstraintSet::new(ds.len()), &mut rng);
+            let without =
+                MpckMeans::new(2).fit(ds.matrix(), &ConstraintSet::new(ds.len()), &mut rng);
             scores_with.push(adjusted_rand_index(&with.partition, ds.labels()));
             scores_without.push(adjusted_rand_index(&without.partition, ds.labels()));
         }
@@ -467,7 +469,8 @@ mod tests {
         let mut rng = SeededRng::new(4);
         let ds = separated_blobs(2, 20, 3, 8.0, &mut rng);
         for k in [1usize, 2, 3, 5, 8] {
-            let result = MpckMeans::new(k).fit(ds.matrix(), &ConstraintSet::new(ds.len()), &mut rng);
+            let result =
+                MpckMeans::new(k).fit(ds.matrix(), &ConstraintSet::new(ds.len()), &mut rng);
             assert!(result.partition.n_clusters() <= k);
             assert!(result.partition.n_clusters() >= 1);
             assert_eq!(result.partition.len(), ds.len());
@@ -516,9 +519,10 @@ mod tests {
         let mut rng = SeededRng::new(7);
         let ds = separated_blobs(2, 15, 3, 8.0, &mut rng);
         let pool = constraint_pool(ds.labels(), 0.3, 2, &mut rng);
-        let result = MpckMeans::new(2)
-            .with_metric_learning(false)
-            .fit(ds.matrix(), &pool, &mut rng);
+        let result =
+            MpckMeans::new(2)
+                .with_metric_learning(false)
+                .fit(ds.matrix(), &pool, &mut rng);
         for m in &result.metrics {
             assert!(m.iter().all(|&w| (w - 1.0).abs() < 1e-12));
         }

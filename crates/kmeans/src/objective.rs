@@ -25,11 +25,7 @@ pub fn centroid_of(data: &DataMatrix, members: &[usize]) -> Vec<f64> {
 
 /// Recomputes all `k` centroids from an assignment vector.  Clusters with no
 /// members keep their previous centroid.
-pub fn recompute_centroids(
-    data: &DataMatrix,
-    assignment: &[usize],
-    centroids: &mut [Vec<f64>],
-) {
+pub fn recompute_centroids(data: &DataMatrix, assignment: &[usize], centroids: &mut [Vec<f64>]) {
     let k = centroids.len();
     let dims = data.n_cols();
     let mut sums = vec![vec![0.0; dims]; k];
@@ -118,8 +114,14 @@ mod tests {
     #[test]
     fn distances() {
         assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
-        assert_eq!(weighted_sq_dist(&[0.0, 0.0], &[3.0, 4.0], &[1.0, 1.0]), 25.0);
-        assert_eq!(weighted_sq_dist(&[0.0, 0.0], &[3.0, 4.0], &[2.0, 0.0]), 18.0);
+        assert_eq!(
+            weighted_sq_dist(&[0.0, 0.0], &[3.0, 4.0], &[1.0, 1.0]),
+            25.0
+        );
+        assert_eq!(
+            weighted_sq_dist(&[0.0, 0.0], &[3.0, 4.0], &[2.0, 0.0]),
+            18.0
+        );
     }
 
     #[test]

@@ -11,10 +11,9 @@
 
 use cvcp_constraints::{ConstraintKind, ConstraintSet};
 use cvcp_data::Partition;
-use serde::{Deserialize, Serialize};
 
 /// Precision/recall/F for one of the two constraint classes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClassScores {
     /// True positives (constraints of this class predicted as this class).
     pub tp: usize,
@@ -62,7 +61,7 @@ impl ClassScores {
 }
 
 /// Full report of the constraint-classification evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BinaryReport {
     /// Scores for the must-link class (class 1).
     pub must_link: ClassScores,
@@ -170,7 +169,10 @@ mod tests {
     fn perfect_partition_scores_one() {
         // objects 0,1 in cluster 0; 2,3 in cluster 1
         let p = Partition::from_cluster_ids(&[0, 0, 1, 1]);
-        let cs = constraints_from(&[(0, 1, true), (2, 3, true), (0, 2, false), (1, 3, false)], 4);
+        let cs = constraints_from(
+            &[(0, 1, true), (2, 3, true), (0, 2, false), (1, 3, false)],
+            4,
+        );
         let report = constraint_classification_report(&p, &cs);
         assert_eq!(report.average_f1, 1.0);
         assert_eq!(report.accuracy, 1.0);
@@ -182,7 +184,10 @@ mod tests {
     fn completely_wrong_partition_scores_zero() {
         // all constraints violated: must-links split, cannot-links merged
         let p = Partition::from_cluster_ids(&[0, 1, 0, 1]);
-        let cs = constraints_from(&[(0, 1, true), (2, 3, true), (0, 2, false), (1, 3, false)], 4);
+        let cs = constraints_from(
+            &[(0, 1, true), (2, 3, true), (0, 2, false), (1, 3, false)],
+            4,
+        );
         let report = constraint_classification_report(&p, &cs);
         assert_eq!(report.accuracy, 0.0);
         assert_eq!(report.average_f1, 0.0);
@@ -191,7 +196,10 @@ mod tests {
     #[test]
     fn all_in_one_cluster_satisfies_only_must_links() {
         let p = Partition::from_cluster_ids(&[0, 0, 0, 0]);
-        let cs = constraints_from(&[(0, 1, true), (2, 3, true), (0, 2, false), (1, 3, false)], 4);
+        let cs = constraints_from(
+            &[(0, 1, true), (2, 3, true), (0, 2, false), (1, 3, false)],
+            4,
+        );
         let report = constraint_classification_report(&p, &cs);
         assert_eq!(report.must_link.recall, 1.0);
         assert_eq!(report.must_link.precision, 0.5);
@@ -238,7 +246,13 @@ mod tests {
     fn fmeasure_shortcut_matches_report() {
         let p = Partition::from_cluster_ids(&[0, 0, 1, 1, 2]);
         let cs = constraints_from(
-            &[(0, 1, true), (0, 4, false), (2, 3, true), (1, 2, false), (3, 4, false)],
+            &[
+                (0, 1, true),
+                (0, 4, false),
+                (2, 3, true),
+                (1, 2, false),
+                (3, 4, false),
+            ],
             5,
         );
         assert_eq!(
@@ -250,7 +264,14 @@ mod tests {
     #[test]
     fn better_partition_scores_higher() {
         let cs = constraints_from(
-            &[(0, 1, true), (2, 3, true), (4, 5, true), (0, 3, false), (1, 4, false), (2, 5, false)],
+            &[
+                (0, 1, true),
+                (2, 3, true),
+                (4, 5, true),
+                (0, 3, false),
+                (1, 4, false),
+                (2, 5, false),
+            ],
             6,
         );
         let good = Partition::from_cluster_ids(&[0, 0, 1, 1, 2, 2]);

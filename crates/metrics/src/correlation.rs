@@ -55,7 +55,11 @@ pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
 fn ranks(values: &[f64]) -> Vec<f64> {
     let n = values.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("no NaN in rank input"));
+    order.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("no NaN in rank input")
+    });
     let mut out = vec![0.0; n];
     let mut i = 0;
     while i < n {

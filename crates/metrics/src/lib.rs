@@ -32,7 +32,9 @@ pub mod stats;
 pub mod ttest;
 pub mod vmeasure;
 
-pub use constraint_fmeasure::{constraint_classification_report, constraint_fmeasure, BinaryReport};
+pub use constraint_fmeasure::{
+    constraint_classification_report, constraint_fmeasure, BinaryReport,
+};
 pub use correlation::{pearson, spearman};
 pub use nmi::normalized_mutual_information;
 pub use overall_fmeasure::{overall_fmeasure, overall_fmeasure_excluding};

@@ -126,7 +126,10 @@ mod tests {
         let classes = vec![0, 0, 1, 1];
         let a = Partition::from_cluster_ids(&[0, 0, 1, 1]);
         let b = Partition::from_cluster_ids(&[1, 1, 0, 0]);
-        assert_eq!(overall_fmeasure(&a, &classes), overall_fmeasure(&b, &classes));
+        assert_eq!(
+            overall_fmeasure(&a, &classes),
+            overall_fmeasure(&b, &classes)
+        );
     }
 
     #[test]

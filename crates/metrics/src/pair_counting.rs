@@ -92,7 +92,11 @@ pub fn adjusted_rand_index(partition: &Partition, classes: &[usize]) -> f64 {
     let max_index = 0.5 * (sum_rows + sum_cols);
     if (max_index - expected).abs() < 1e-12 {
         // Degenerate case (e.g. all objects in one class and one cluster).
-        return if (sum_ij - expected).abs() < 1e-12 { 1.0 } else { 0.0 };
+        return if (sum_ij - expected).abs() < 1e-12 {
+            1.0
+        } else {
+            0.0
+        };
     }
     (sum_ij - expected) / (max_index - expected)
 }

@@ -106,7 +106,10 @@ mod tests {
         let s_good = silhouette_coefficient(&data, &good, &Euclidean).unwrap();
         let s_bad = silhouette_coefficient(&data, &bad, &Euclidean).unwrap();
         assert!(s_good > s_bad);
-        assert!(s_bad < 0.0, "mixing the blobs should give a negative value, got {s_bad}");
+        assert!(
+            s_bad < 0.0,
+            "mixing the blobs should give a negative value, got {s_bad}"
+        );
     }
 
     #[test]
@@ -119,14 +122,8 @@ mod tests {
     #[test]
     fn noise_objects_are_ignored() {
         let data = two_blobs();
-        let with_noise = Partition::from_optional_ids(&[
-            Some(0),
-            Some(0),
-            None,
-            Some(1),
-            Some(1),
-            None,
-        ]);
+        let with_noise =
+            Partition::from_optional_ids(&[Some(0), Some(0), None, Some(1), Some(1), None]);
         let s = silhouette_coefficient(&data, &with_noise, &Euclidean).unwrap();
         assert!(s > 0.9);
     }

@@ -5,8 +5,6 @@
 //! deviations reported in Tables 5–16 and the five-number summaries behind
 //! the box plots of Figures 9–12.
 
-use serde::{Deserialize, Serialize};
-
 /// Arithmetic mean; `0.0` for an empty slice.
 pub fn mean(values: &[f64]) -> f64 {
     if values.is_empty() {
@@ -63,7 +61,7 @@ pub fn median(values: &[f64]) -> f64 {
 
 /// Mean and standard deviation of a sample, as reported in the paper's
 /// performance tables.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of observations.
     pub n: usize,
@@ -101,7 +99,7 @@ impl Summary {
 
 /// Five-number box-plot summary (plus whiskers following the 1.5 IQR rule),
 /// matching what the paper's Figures 9–12 visualise.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BoxplotStats {
     /// Number of observations.
     pub n: usize,

@@ -6,10 +6,8 @@
 //! provides a self-contained implementation, including the Student-t CDF via
 //! the regularised incomplete beta function (no external stats crate).
 
-use serde::{Deserialize, Serialize};
-
 /// Result of a paired t-test.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TTestResult {
     /// The t statistic (`mean(d) / (sd(d)/sqrt(n))`).
     pub t_statistic: f64,
@@ -48,7 +46,11 @@ pub fn paired_t_test(a: &[f64], b: &[f64]) -> Option<TTestResult> {
     }
     let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
     let mean_d = diffs.iter().sum::<f64>() / n as f64;
-    let var_d = diffs.iter().map(|d| (d - mean_d) * (d - mean_d)).sum::<f64>() / (n as f64 - 1.0);
+    let var_d = diffs
+        .iter()
+        .map(|d| (d - mean_d) * (d - mean_d))
+        .sum::<f64>()
+        / (n as f64 - 1.0);
     let df = n - 1;
 
     if var_d <= 1e-24 {
@@ -57,7 +59,11 @@ pub fn paired_t_test(a: &[f64], b: &[f64]) -> Option<TTestResult> {
         }
         // Deterministic non-zero difference: infinitely significant.
         return Some(TTestResult {
-            t_statistic: if mean_d > 0.0 { f64::INFINITY } else { f64::NEG_INFINITY },
+            t_statistic: if mean_d > 0.0 {
+                f64::INFINITY
+            } else {
+                f64::NEG_INFINITY
+            },
             degrees_of_freedom: df,
             p_value: 0.0,
             mean_difference: mean_d,
@@ -99,10 +105,10 @@ pub fn ln_gamma(x: f64) -> f64 {
     assert!(x > 0.0, "ln_gamma requires a positive argument");
     // Lanczos coefficients (g = 7, n = 9)
     const COEFFS: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,

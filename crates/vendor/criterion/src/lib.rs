@@ -1,0 +1,276 @@
+//! A minimal, dependency-free drop-in for the subset of the `criterion`
+//! benchmark API used by `cvcp-bench`.
+//!
+//! The container building this workspace has no network access to
+//! crates.io, so the real `criterion` crate cannot be fetched.  This shim
+//! keeps the benchmark sources unchanged: it measures wall-clock time with
+//! `std::time::Instant`, prints one line per benchmark
+//! (`name  mean ± stddev over N samples`), and supports the
+//! `criterion_group!` / `criterion_main!` entry points.
+//!
+//! It intentionally performs far fewer samples than real criterion — the
+//! goal is regression *visibility*, not statistical rigor.  Set the
+//! `CRITERION_SHIM_SAMPLES` environment variable to override the per-bench
+//! sample count.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterised benchmark, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id with a function name and a parameter display value.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// A benchmark id carrying only the parameter display value.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        Self {
+            name: format!("{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    n_samples: usize,
+}
+
+impl Bencher {
+    fn new(n_samples: usize) -> Self {
+        Self {
+            samples: Vec::with_capacity(n_samples),
+            n_samples,
+        }
+    }
+
+    /// Times `n_samples` calls of `routine` (plus one untimed warm-up call).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.n_samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<56} (no samples)");
+        return;
+    }
+    let secs: Vec<f64> = samples.iter().map(|d| d.as_secs_f64()).collect();
+    let mean = secs.iter().sum::<f64>() / secs.len() as f64;
+    let var = secs.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / secs.len() as f64;
+    println!(
+        "{name:<56} {:>12} ± {:>10} ({} samples)",
+        format_time(mean),
+        format_time(var.sqrt()),
+        secs.len()
+    );
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn default_samples() -> usize {
+    std::env::var("CRITERION_SHIM_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3)
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: default_samples(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.effective_samples());
+        f(&mut b);
+        report(name, &b.samples);
+        self
+    }
+
+    /// Runs a parameterised benchmark.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.effective_samples());
+        f(&mut b, input);
+        report(&id.to_string(), &b.samples);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    fn effective_samples(&self) -> usize {
+        // An explicit CRITERION_SHIM_SAMPLES wins over in-source sample_size
+        // so CI can force ultra-quick runs.
+        std::env::var("CRITERION_SHIM_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(self.sample_size)
+            .min(self.sample_size.max(1))
+    }
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a single named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.effective_samples());
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name), &b.samples);
+        self
+    }
+
+    /// Runs a parameterised benchmark within the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.effective_samples());
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &b.samples);
+        self
+    }
+
+    /// Closes the group (a no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+
+    fn effective_samples(&self) -> usize {
+        std::env::var("CRITERION_SHIM_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(self.sample_size)
+            .min(self.sample_size.max(1))
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher::new(4);
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(b.samples.len(), 4);
+        assert_eq!(calls, 5); // 4 timed + 1 warm-up
+    }
+
+    #[test]
+    fn benchmark_ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn time_formatting_covers_magnitudes() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" µs"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+    }
+}

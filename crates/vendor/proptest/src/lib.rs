@@ -1,0 +1,322 @@
+//! A minimal, dependency-free drop-in for the subset of the `proptest` API
+//! used by this workspace's property tests.
+//!
+//! The container building this workspace has no network access to
+//! crates.io, so the real `proptest` crate cannot be fetched.  This shim
+//! keeps the property-test sources unchanged: strategies are plain
+//! samplers over the workspace's own [`SeededRng`], the `proptest!` macro
+//! runs a fixed number of random cases per test (default 48, override with
+//! `PROPTEST_CASES`), `prop_assume!` rejects a case, and `prop_assert*!`
+//! panic with the case's values Debug-printed by the caller.
+//!
+//! No shrinking is performed — on failure you get the raw failing case.
+
+#![forbid(unsafe_code)]
+
+use cvcp_data::rng::SeededRng;
+use std::ops::Range;
+
+/// Why a generated case did not count.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!`.
+    Reject,
+}
+
+/// A value generator.  The shim's strategies sample directly — there is no
+/// shrink tree.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut SeededRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then samples from the strategy `f` builds from it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SeededRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut SeededRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn sample(&self, rng: &mut SeededRng) -> usize {
+        assert!(self.start < self.end, "empty usize strategy range");
+        self.start + rng.index(self.end - self.start)
+    }
+}
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+
+    fn sample(&self, rng: &mut SeededRng) -> u64 {
+        assert!(self.start < self.end, "empty u64 strategy range");
+        self.start + rng.index((self.end - self.start) as usize) as u64
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut SeededRng) -> f64 {
+        rng.uniform_in(self.start, self.end)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn sample(&self, rng: &mut SeededRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn sample(&self, rng: &mut SeededRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{SeededRng, Strategy};
+    use std::ops::Range;
+
+    /// Accepted size specifications for [`vec`].
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// A strategy producing `Vec`s of `element` with a size drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut SeededRng) -> Vec<S::Value> {
+            let span = self.size.hi - self.size.lo;
+            let len = self.size.lo + if span > 1 { rng.index(span) } else { 0 };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`proptest::option::of`).
+pub mod option {
+    use super::{SeededRng, Strategy};
+
+    /// A strategy producing `None` about 20% of the time and `Some` of the
+    /// inner strategy otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut SeededRng) -> Option<S::Value> {
+            if rng.uniform() < 0.2 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+/// Number of accepted cases to run per property test.
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(48)
+}
+
+/// Drives one property test: keeps sampling until `cases()` cases were
+/// accepted (or too many were rejected).  Deterministic per test name.
+pub fn run_prop_test<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut SeededRng) -> Result<(), TestCaseError>,
+{
+    let mut seed = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut rng = SeededRng::new(seed);
+    let want = cases();
+    let mut accepted = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = want.saturating_mul(20).max(200);
+    while accepted < want {
+        attempts += 1;
+        assert!(
+            attempts <= max_attempts,
+            "property test '{name}' rejected too many cases ({accepted}/{want} accepted after {attempts} attempts)"
+        );
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {}
+        }
+    }
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_prop_test(stringify!($name), |prop_rng| {
+                    $(let $pat = $crate::Strategy::sample(&($strategy), prop_rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                });
+            }
+        )+
+    };
+}
+
+/// Rejects the current case, mirroring `proptest::prop_assume!`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Asserts within a property, mirroring `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// The usual `use proptest::prelude::*;` imports.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -2.0f64..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in crate::collection::vec(0usize..5, 2..7)) {
+            prop_assert!(v.len() >= 2 && v.len() < 7);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn combinators_compose((n, v) in (1usize..5).prop_flat_map(|n| {
+            (crate::collection::vec(0usize..9, n)).prop_map(move |v| (n, v))
+        })) {
+            prop_assert_eq!(v.len(), n);
+        }
+    }
+}

@@ -14,11 +14,7 @@
 use cvcp_suite::constraints::generate::sample_labeled_subset;
 use cvcp_suite::prelude::*;
 
-fn evaluate(
-    name: &str,
-    dataset: &cvcp_suite::data::Dataset,
-    rng: &mut SeededRng,
-) {
+fn evaluate(name: &str, dataset: &cvcp_suite::data::Dataset, rng: &mut SeededRng) {
     let labeled = sample_labeled_subset(dataset.labels(), 0.15, 2, rng);
     let side = SideInformation::Labels(labeled.clone());
     let config = CvcpConfig {
@@ -45,12 +41,12 @@ fn evaluate(
         rng,
     );
 
-    let fosc_partition = fosc
-        .instantiate(fosc_sel.best_param)
-        .cluster(dataset.matrix(), &side, rng);
-    let mpck_partition = mpck
-        .instantiate(mpck_sel.best_param)
-        .cluster(dataset.matrix(), &side, rng);
+    let fosc_partition =
+        fosc.instantiate(fosc_sel.best_param)
+            .cluster(dataset.matrix(), &side, rng);
+    let mpck_partition =
+        mpck.instantiate(mpck_sel.best_param)
+            .cluster(dataset.matrix(), &side, rng);
     let fosc_f = cvcp_suite::metrics::overall_fmeasure_excluding(
         &fosc_partition,
         dataset.labels(),
@@ -77,11 +73,19 @@ fn main() {
     let mut rng = SeededRng::new(5);
 
     let globular = cvcp_suite::data::synthetic::separated_blobs(4, 30, 5, 9.0, &mut rng);
-    evaluate("globular blobs (both paradigms should do well)", &globular, &mut rng);
+    evaluate(
+        "globular blobs (both paradigms should do well)",
+        &globular,
+        &mut rng,
+    );
 
     let moons = cvcp_suite::data::synthetic::two_moons(90, 0.05, 2, &mut rng);
     evaluate("two moons (density-based should win)", &moons, &mut rng);
 
     let rings = cvcp_suite::data::synthetic::concentric_rings(70, &[1.0, 4.0], 0.08, 2, &mut rng);
-    evaluate("concentric rings (density-based should win)", &rings, &mut rng);
+    evaluate(
+        "concentric rings (density-based should win)",
+        &rings,
+        &mut rng,
+    );
 }

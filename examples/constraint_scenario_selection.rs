@@ -8,8 +8,8 @@
 //! cargo run --release --example constraint_scenario_selection
 //! ```
 
-use cvcp_suite::prelude::*;
 use cvcp_suite::constraints::generate::{constraint_pool, sample_constraints};
+use cvcp_suite::prelude::*;
 
 fn main() {
     let mut rng = SeededRng::new(31);
@@ -47,7 +47,10 @@ fn main() {
         &config,
         &mut rng,
     );
-    println!("\nFOSC-OPTICSDend: selected MinPts = {} (score {:.4})", fosc_sel.best_param, fosc_sel.best_score);
+    println!(
+        "\nFOSC-OPTICSDend: selected MinPts = {} (score {:.4})",
+        fosc_sel.best_param, fosc_sel.best_score
+    );
 
     // --- MPCKMeans: select k ----------------------------------------------
     let mpck = MpckMethod::default();
@@ -59,16 +62,19 @@ fn main() {
         &config,
         &mut rng,
     );
-    println!("MPCKMeans:       selected k = {} (score {:.4})", mpck_sel.best_param, mpck_sel.best_score);
+    println!(
+        "MPCKMeans:       selected k = {} (score {:.4})",
+        mpck_sel.best_param, mpck_sel.best_score
+    );
 
     // --- compare the final models against the ground truth ----------------
     let involved = side.involved_objects();
-    let fosc_partition = fosc
-        .instantiate(fosc_sel.best_param)
-        .cluster(dataset.matrix(), &side, &mut rng);
-    let mpck_partition = mpck
-        .instantiate(mpck_sel.best_param)
-        .cluster(dataset.matrix(), &side, &mut rng);
+    let fosc_partition =
+        fosc.instantiate(fosc_sel.best_param)
+            .cluster(dataset.matrix(), &side, &mut rng);
+    let mpck_partition =
+        mpck.instantiate(mpck_sel.best_param)
+            .cluster(dataset.matrix(), &side, &mut rng);
     let fosc_f = cvcp_suite::metrics::overall_fmeasure_excluding(
         &fosc_partition,
         dataset.labels(),
@@ -80,8 +86,14 @@ fn main() {
         &involved,
     );
     println!("\nexternal Overall F-measure (side-information objects excluded):");
-    println!("  FOSC-OPTICSDend(MinPts={}) : {:.4}", fosc_sel.best_param, fosc_f);
-    println!("  MPCKMeans(k={})            : {:.4}", mpck_sel.best_param, mpck_f);
+    println!(
+        "  FOSC-OPTICSDend(MinPts={}) : {:.4}",
+        fosc_sel.best_param, fosc_f
+    );
+    println!(
+        "  MPCKMeans(k={})            : {:.4}",
+        mpck_sel.best_param, mpck_f
+    );
     println!("\nOn this waveform-profile data the density-based model should win,");
     println!("matching the paper's observation on the Zyeast data.");
 }

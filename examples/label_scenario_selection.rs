@@ -7,8 +7,8 @@
 //! cargo run --release --example label_scenario_selection
 //! ```
 
-use cvcp_suite::prelude::*;
 use cvcp_suite::core::experiment::{run_experiment, summarize, ExperimentConfig, SideInfoSpec};
+use cvcp_suite::prelude::*;
 
 fn main() {
     let corpus = cvcp_suite::data::replicas::uci_corpus(7);
@@ -27,8 +27,14 @@ fn main() {
         n_threads: 4,
     };
 
-    println!("FOSC-OPTICSDend, label scenario, 10% labelled objects, {} trials", config.n_trials);
-    println!("{:<18} {:>9} {:>9} {:>9} {:>12}", "data set", "CVCP", "Expected", "diff", "correlation");
+    println!(
+        "FOSC-OPTICSDend, label scenario, 10% labelled objects, {} trials",
+        config.n_trials
+    );
+    println!(
+        "{:<18} {:>9} {:>9} {:>9} {:>12}",
+        "data set", "CVCP", "Expected", "diff", "correlation"
+    );
     for dataset in &corpus {
         let outcomes = run_experiment(&method, dataset, spec, &config);
         let summary = summarize(dataset.name(), &method.name(), spec, &outcomes);

@@ -39,7 +39,11 @@ fn main() {
 
     println!("\nCVCP internal scores (classification F-measure over held-out constraints):");
     for eval in &selection.evaluations {
-        let marker = if eval.param == selection.best_param { " <= selected" } else { "" };
+        let marker = if eval.param == selection.best_param {
+            " <= selected"
+        } else {
+            ""
+        };
         println!("  k = {:<2} score = {:.4}{marker}", eval.param, eval.score);
     }
 
@@ -63,7 +67,10 @@ fn main() {
     let expected = expected_quality(&externals);
 
     println!("\nexternal Overall F-measure:");
-    println!("  CVCP-selected k = {} : {:.4}", selection.best_param, cvcp_external);
+    println!(
+        "  CVCP-selected k = {} : {:.4}",
+        selection.best_param, cvcp_external
+    );
     println!("  expected (random guess in 2..=8): {:.4}", expected);
     println!(
         "  correlation(internal, external) = {:.4}",

@@ -13,6 +13,8 @@
 //! * [`metrics`] — internal and external evaluation measures and statistics;
 //! * [`kmeans`] — MPCKMeans and friends;
 //! * [`density`] — OPTICS, dendrograms, FOSC and FOSC-OPTICSDend;
+//! * [`engine`] — the deterministic, cache-aware parallel execution engine
+//!   that evaluates the (parameter × fold × replica) grid;
 //! * [`core`] — the CVCP model-selection framework, baselines and the
 //!   experiment harness.
 //!
@@ -26,6 +28,7 @@ pub use cvcp_constraints as constraints;
 pub use cvcp_core as core;
 pub use cvcp_data as data;
 pub use cvcp_density as density;
+pub use cvcp_engine as engine;
 pub use cvcp_kmeans as kmeans;
 pub use cvcp_metrics as metrics;
 
@@ -35,6 +38,7 @@ pub mod prelude {
     pub use cvcp_core::prelude::*;
     pub use cvcp_data::prelude::*;
     pub use cvcp_density::prelude::*;
+    pub use cvcp_engine::prelude::*;
     pub use cvcp_kmeans::prelude::*;
     pub use cvcp_metrics::prelude::*;
 }
@@ -49,6 +53,7 @@ mod tests {
         let _ = crate::metrics::stats::mean(&[1.0, 2.0]);
         let _ = crate::kmeans::KMeans::new(2);
         let _ = crate::density::Dbscan::new(1.0, 3);
+        let _ = crate::engine::Engine::sequential();
         let _ = crate::core::CvcpConfig::default();
     }
 }

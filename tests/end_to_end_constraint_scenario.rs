@@ -41,16 +41,32 @@ fn constraint_scenario_selection_works_for_both_methods() {
     );
 
     // clusters have 22 objects; MinPts beyond that cannot describe them
-    assert!(fosc_sel.best_param <= 21, "MinPts = {}", fosc_sel.best_param);
-    assert!((2..=6).contains(&mpck_sel.best_param), "k = {}", mpck_sel.best_param);
+    assert!(
+        fosc_sel.best_param <= 21,
+        "MinPts = {}",
+        fosc_sel.best_param
+    );
+    assert!(
+        (2..=6).contains(&mpck_sel.best_param),
+        "k = {}",
+        mpck_sel.best_param
+    );
 
     // the selected models must cluster the data reasonably
     let involved = side.involved_objects();
     for (method, param) in [
-        (&FoscMethod::default() as &dyn ParameterizedMethod, fosc_sel.best_param),
-        (&MpckMethod::default() as &dyn ParameterizedMethod, mpck_sel.best_param),
+        (
+            &FoscMethod::default() as &dyn ParameterizedMethod,
+            fosc_sel.best_param,
+        ),
+        (
+            &MpckMethod::default() as &dyn ParameterizedMethod,
+            mpck_sel.best_param,
+        ),
     ] {
-        let partition = method.instantiate(param).cluster(ds.matrix(), &side, &mut rng);
+        let partition = method
+            .instantiate(param)
+            .cluster(ds.matrix(), &side, &mut rng);
         let f = cvcp_suite::metrics::overall_fmeasure_excluding(&partition, ds.labels(), &involved);
         assert!(f > 0.6, "{} external F = {f}", method.name());
     }
@@ -103,9 +119,10 @@ fn more_constraints_do_not_hurt_fosc_quality() {
                 &cfg,
                 &mut trial_rng,
             );
-            let partition = method
-                .instantiate(sel.best_param)
-                .cluster(ds.matrix(), &side, &mut trial_rng);
+            let partition =
+                method
+                    .instantiate(sel.best_param)
+                    .cluster(ds.matrix(), &side, &mut trial_rng);
             let involved = side.involved_objects();
             best.push(cvcp_suite::metrics::overall_fmeasure_excluding(
                 &partition,

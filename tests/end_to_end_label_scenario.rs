@@ -55,7 +55,10 @@ fn cvcp_selects_a_working_minpts_for_fosc() {
         chosen >= expected,
         "CVCP external {chosen} must be at least expected {expected} (externals {externals:?})"
     );
-    assert!(chosen > 0.8, "CVCP-selected clustering should be good, got {chosen}");
+    assert!(
+        chosen > 0.8,
+        "CVCP-selected clustering should be good, got {chosen}"
+    );
 }
 
 #[test]
@@ -69,7 +72,14 @@ fn cvcp_selects_a_working_k_for_mpck() {
         stratified: true,
     };
     let method = MpckMethod::default();
-    let sel = select_model(&method, ds.matrix(), &side, &[2, 3, 4, 5, 6, 7, 8], &cfg, &mut rng);
+    let sel = select_model(
+        &method,
+        ds.matrix(),
+        &side,
+        &[2, 3, 4, 5, 6, 7, 8],
+        &cfg,
+        &mut rng,
+    );
     assert!(
         (2..=4).contains(&sel.best_param),
         "selected k {} (scores {:?})",
@@ -79,7 +89,8 @@ fn cvcp_selects_a_working_k_for_mpck() {
     let partition = method
         .instantiate(sel.best_param)
         .cluster(ds.matrix(), &side, &mut rng);
-    let f = cvcp_suite::metrics::overall_fmeasure_excluding(&partition, ds.labels(), labeled.indices());
+    let f =
+        cvcp_suite::metrics::overall_fmeasure_excluding(&partition, ds.labels(), labeled.indices());
     assert!(f > 0.75, "external F = {f}");
 }
 
@@ -153,11 +164,8 @@ fn labelled_objects_are_excluded_from_external_evaluation() {
     }
     let partition = cvcp_suite::data::Partition::from_cluster_ids(&ids);
     let f_all = cvcp_suite::metrics::overall_fmeasure(&partition, ds.labels());
-    let f_excl = cvcp_suite::metrics::overall_fmeasure_excluding(
-        &partition,
-        ds.labels(),
-        labeled.indices(),
-    );
+    let f_excl =
+        cvcp_suite::metrics::overall_fmeasure_excluding(&partition, ds.labels(), labeled.indices());
     assert!(f_excl > f_all);
     assert!((f_excl - 1.0).abs() < 1e-12);
 }

@@ -36,7 +36,12 @@ fn cvcp_beats_or_matches_expected_on_aloi_like_data_with_fosc() {
         SideInfoSpec::LabelFraction(0.10),
         &cfg,
     );
-    let summary = summarize(ds.name(), "FOSC-OPTICSDend", SideInfoSpec::LabelFraction(0.10), &outcomes);
+    let summary = summarize(
+        ds.name(),
+        "FOSC-OPTICSDend",
+        SideInfoSpec::LabelFraction(0.10),
+        &outcomes,
+    );
     assert!(
         summary.cvcp.mean >= summary.expected.mean - 0.03,
         "CVCP {:.3} must not trail Expected {:.3}",
@@ -101,8 +106,17 @@ fn cvcp_beats_silhouette_on_aloi_like_data_with_mpck() {
         SideInfoSpec::LabelFraction(0.10),
         &cfg,
     );
-    let summary = summarize(ds.name(), "MPCKMeans", SideInfoSpec::LabelFraction(0.10), &outcomes);
-    let sil = summary.silhouette.as_ref().expect("silhouette evaluated").mean;
+    let summary = summarize(
+        ds.name(),
+        "MPCKMeans",
+        SideInfoSpec::LabelFraction(0.10),
+        &outcomes,
+    );
+    let sil = summary
+        .silhouette
+        .as_ref()
+        .expect("silhouette evaluated")
+        .mean;
     assert!(
         summary.cvcp.mean >= sil - 0.05,
         "CVCP {:.3} should not trail Silhouette {:.3} by a wide margin",

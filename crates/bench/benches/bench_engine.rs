@@ -19,10 +19,20 @@ use cvcp_bench::{aloi_dataset, labels_for};
 use cvcp_constraints::folds::label_scenario_folds;
 use cvcp_constraints::SideInformation;
 use cvcp_core::crossval::evaluate_parameter_on_folds;
-use cvcp_core::{select_model_with, CvcpConfig, CvcpSelection, Engine, FoscMethod};
+use cvcp_core::{select_model_with, CvcpConfig, CvcpSelection, Engine, FoscMethod, MpckMethod};
 use cvcp_data::rng::SeededRng;
 use cvcp_data::Dataset;
 use std::time::Instant;
+
+/// Minimum cache hit rate the FOSC grid must sustain — a drop below this
+/// means the hit/miss accounting or the artifact keying regressed (CI runs
+/// this bench in smoke mode and fails on the assert).
+const MIN_FOSC_HIT_RATE: f64 = 0.5;
+
+/// Minimum cache hit rate for the MPCKMeans grid: the k-invariant seeding
+/// artifacts must be shared across the parameter sweep (this was 0% before
+/// MPCKMeans became cache-aware).
+const MIN_MPCK_HIT_RATE: f64 = 0.3;
 
 const MINPTS_GRID: [usize; 8] = [3, 6, 9, 12, 15, 18, 21, 24];
 const N_FOLDS: usize = 8;
@@ -137,6 +147,68 @@ fn bench_engine(c: &mut Criterion) {
         warm.0 * 1e3,
         cold.0 / warm.0,
         engine.cache().stats().hit_rate() * 100.0
+    );
+    assert!(
+        hit_rate >= MIN_FOSC_HIT_RATE,
+        "FOSC cache hit rate regressed: {:.1}% < {:.1}%",
+        hit_rate * 100.0,
+        MIN_FOSC_HIT_RATE * 100.0
+    );
+
+    // MPCKMeans grid: the k-invariant seeding artifacts (transitive closure
+    // + must-link neighbourhood centroids) are shared across the whole
+    // parameter sweep of each fold — before MPCKMeans became cache-aware
+    // this hit rate was exactly 0%.
+    let mpck_engine = Engine::new(4);
+    let cfg = CvcpConfig {
+        n_folds: N_FOLDS,
+        stratified: true,
+    };
+    let k_grid: Vec<usize> = (2..=10).collect();
+    let start = Instant::now();
+    let mpck_sel = select_model_with(
+        &mpck_engine,
+        &MpckMethod::default(),
+        ds.matrix(),
+        &side,
+        &k_grid,
+        &cfg,
+        &mut SeededRng::new(1),
+    );
+    let mpck_secs = start.elapsed().as_secs_f64();
+    let mpck_seq = select_model_with(
+        &Engine::new(1),
+        &MpckMethod::default(),
+        ds.matrix(),
+        &side,
+        &k_grid,
+        &cfg,
+        &mut SeededRng::new(1),
+    );
+    assert_eq!(
+        mpck_sel, mpck_seq,
+        "MPCK engine run diverged from sequential"
+    );
+    let mpck_stats = mpck_engine.cache().stats();
+    println!(
+        "engine/mpck_grid: {:.1} ms | selected k={} | cache hit rate {:.1}% \
+         ({} hits / {} misses, {} resident artifacts)",
+        mpck_secs * 1e3,
+        mpck_sel.best_param,
+        mpck_stats.hit_rate() * 100.0,
+        mpck_stats.hits,
+        mpck_stats.misses,
+        mpck_stats.resident_entries,
+    );
+    assert!(
+        mpck_stats.hits > 0,
+        "MPCKMeans must reuse cached seeding artifacts (hit rate was 0%)"
+    );
+    assert!(
+        mpck_stats.hit_rate() >= MIN_MPCK_HIT_RATE,
+        "MPCK cache hit rate regressed: {:.1}% < {:.1}%",
+        mpck_stats.hit_rate() * 100.0,
+        MIN_MPCK_HIT_RATE * 100.0
     );
 
     // Sanity: the naive path and the engine agree on the internal scores

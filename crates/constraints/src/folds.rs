@@ -23,6 +23,11 @@ use crate::side_info::SideInformation;
 use cvcp_data::rng::SeededRng;
 
 /// Assignment of a collection of objects to folds.
+///
+/// Invariant: `objects` is sorted ascending with no duplicates —
+/// [`FoldAssignment::fold_of_object`] relies on binary search, which would
+/// silently return wrong folds on unsorted input.  Build assignments through
+/// [`FoldAssignment::new`], which normalises arbitrary input order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FoldAssignment {
     /// Number of folds.
@@ -30,11 +35,39 @@ pub struct FoldAssignment {
     /// `fold_of[i]` is the fold of the i-th *tracked* object (parallel to
     /// [`FoldAssignment::objects`]).
     pub fold_of: Vec<usize>,
-    /// The tracked objects (sorted).
+    /// The tracked objects (sorted ascending, no duplicates).
     pub objects: Vec<usize>,
 }
 
 impl FoldAssignment {
+    /// Builds an assignment from parallel `objects` / `fold_of` vectors in
+    /// *any* order, normalising to the sorted invariant (each object keeps
+    /// its fold).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths or an object appears
+    /// twice.
+    pub fn new(n_folds: usize, objects: Vec<usize>, fold_of: Vec<usize>) -> Self {
+        assert_eq!(
+            objects.len(),
+            fold_of.len(),
+            "objects and fold_of must be parallel"
+        );
+        let mut pairs: Vec<(usize, usize)> = objects.into_iter().zip(fold_of).collect();
+        pairs.sort_unstable_by_key(|&(o, _)| o);
+        assert!(
+            pairs.windows(2).all(|w| w[0].0 != w[1].0),
+            "duplicate tracked object"
+        );
+        let (objects, fold_of) = pairs.into_iter().unzip();
+        Self {
+            n_folds,
+            fold_of,
+            objects,
+        }
+    }
+
     /// Objects assigned to fold `f`.
     pub fn members_of(&self, f: usize) -> Vec<usize> {
         self.objects
@@ -46,6 +79,10 @@ impl FoldAssignment {
 
     /// The fold of object `o`, if `o` is tracked.
     pub fn fold_of_object(&self, o: usize) -> Option<usize> {
+        debug_assert!(
+            self.objects.windows(2).all(|w| w[0] < w[1]),
+            "FoldAssignment objects must be sorted — construct via FoldAssignment::new"
+        );
         self.objects
             .binary_search(&o)
             .ok()
@@ -84,11 +121,7 @@ fn random_fold_assignment(
     for (rank, &pos) in order.iter().enumerate() {
         fold_of[pos] = rank % n_folds;
     }
-    FoldAssignment {
-        n_folds,
-        fold_of,
-        objects: sorted,
-    }
+    FoldAssignment::new(n_folds, sorted, fold_of)
 }
 
 /// Partitions labelled objects into folds, stratified by label: within each
@@ -120,11 +153,9 @@ fn stratified_fold_assignment(
     }
 
     let fold_of = objects.iter().map(|o| fold_lookup[o]).collect();
-    FoldAssignment {
-        n_folds,
-        fold_of,
-        objects,
-    }
+    // LabeledSubset keeps its indices sorted, but the normalising
+    // constructor makes the binary-search invariant independent of that.
+    FoldAssignment::new(n_folds, objects, fold_of)
 }
 
 /// Builds the `n`-fold cross-validation splits for **Scenario I** (labelled
@@ -452,6 +483,33 @@ mod tests {
         // The proper procedure does not leak on the same input.
         let proper = constraint_scenario_folds(&cs, 3, &mut rng);
         assert!(leaked_constraints(&proper).is_empty());
+    }
+
+    #[test]
+    fn fold_assignment_normalizes_unsorted_objects() {
+        // Regression: binary_search in fold_of_object silently returned
+        // wrong folds when the objects vector was unsorted.  The normalising
+        // constructor sorts (object, fold) pairs together.
+        let fa = FoldAssignment::new(3, vec![9, 1, 4, 7, 3], vec![0, 1, 2, 0, 1]);
+        assert_eq!(fa.objects, vec![1, 3, 4, 7, 9]);
+        assert_eq!(fa.fold_of_object(9), Some(0));
+        assert_eq!(fa.fold_of_object(1), Some(1));
+        assert_eq!(fa.fold_of_object(4), Some(2));
+        assert_eq!(fa.fold_of_object(7), Some(0));
+        assert_eq!(fa.fold_of_object(3), Some(1));
+        assert_eq!(fa.fold_of_object(2), None);
+        // members_of agrees with the per-object lookup
+        for f in 0..3 {
+            for o in fa.members_of(f) {
+                assert_eq!(fa.fold_of_object(o), Some(f));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate tracked object")]
+    fn fold_assignment_rejects_duplicates() {
+        let _ = FoldAssignment::new(2, vec![1, 1], vec![0, 1]);
     }
 
     #[test]

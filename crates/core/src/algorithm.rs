@@ -6,14 +6,33 @@
 //! parameterisation; [`ParameterizedMethod`] is the family over which CVCP
 //! searches.
 
-use cvcp_constraints::SideInformation;
+use cvcp_constraints::{ConstraintKind, ConstraintSet, SideInformation};
 use cvcp_data::distance::{pairwise_matrix, Euclidean};
 use cvcp_data::rng::SeededRng;
 use cvcp_data::{DataMatrix, Partition};
 use cvcp_density::{CondensedTree, FoscOpticsDend};
-use cvcp_engine::{fingerprint_matrix, ArtifactCache, ArtifactKey};
-use cvcp_kmeans::MpckMeans;
+use cvcp_engine::{
+    fingerprint_matrix, ArtifactCache, ArtifactKey, Fingerprint, FingerprintBuilder,
+};
+use cvcp_kmeans::{MpckMeans, MpckSeeding};
 use std::sync::Arc;
+
+/// Content fingerprint of a constraint set (object count + every
+/// constraint's endpoints and kind, in the set's deterministic order).
+pub fn fingerprint_constraints(set: &ConstraintSet) -> Fingerprint {
+    let mut h = FingerprintBuilder::new();
+    h.write_u64(set.n_objects() as u64);
+    h.write_u64(set.len() as u64);
+    for c in set.iter() {
+        h.write_u64(c.a as u64);
+        h.write_u64(c.b as u64);
+        h.write_u64(match c.kind {
+            ConstraintKind::MustLink => 0,
+            ConstraintKind::CannotLink => 1,
+        });
+    }
+    h.finish()
+}
 
 /// A semi-supervised clustering algorithm with all parameters fixed.
 pub trait SemiSupervisedClusterer: Send + Sync {
@@ -47,6 +66,19 @@ pub trait SemiSupervisedClusterer: Send + Sync {
     /// nothing to share.
     fn prepare_artifacts(&self, data: &DataMatrix, cache: &ArtifactCache) {
         let _ = (data, cache);
+    }
+
+    /// Precomputes the artifacts shared by every parameter value evaluated
+    /// on one cross-validation fold's `training` side information (e.g.
+    /// MPCKMeans' transitive closure and seeding neighbourhoods, which do
+    /// not depend on `k`).  The default is a no-op.
+    fn prepare_fold_artifacts(
+        &self,
+        data: &DataMatrix,
+        training: &SideInformation,
+        cache: &ArtifactCache,
+    ) {
+        let _ = (data, training, cache);
     }
 }
 
@@ -221,6 +253,41 @@ pub struct MpckClusterer {
     max_iter: usize,
 }
 
+impl MpckClusterer {
+    /// The configured algorithm with `k` clamped to the data size.
+    fn algorithm(&self, n_rows: usize) -> MpckMeans {
+        let k = self.k.min(n_rows).max(1);
+        MpckMeans::new(k)
+            .with_weights(self.violation_weight, self.violation_weight)
+            .with_metric_learning(self.learn_metric)
+            .with_max_iter(self.max_iter)
+    }
+
+    /// The `k`-invariant seeding structures (transitive closure + must-link
+    /// neighbourhood centroids) for one constraint realisation, computed
+    /// once per engine and shared by every `k` of the parameter sweep —
+    /// and by every trial that draws the same realisation.
+    fn cached_seeding(
+        &self,
+        data: &DataMatrix,
+        constraints: &ConstraintSet,
+        cache: &ArtifactCache,
+    ) -> Arc<MpckSeeding> {
+        // The flag comes from the configured algorithm (not a literal) and
+        // participates in the key, so a closure-based and a closure-free
+        // seeding can never be served for one another.
+        let use_closure = self.algorithm(data.n_rows()).use_closure;
+        cache.get_or_compute(
+            ArtifactKey::MpckSeeding {
+                data: fingerprint_matrix(data),
+                constraints: fingerprint_constraints(constraints),
+                use_closure,
+            },
+            || MpckSeeding::compute(data, constraints, use_closure),
+        )
+    }
+}
+
 impl SemiSupervisedClusterer for MpckClusterer {
     fn name(&self) -> String {
         format!("MPCKMeans(k={})", self.k)
@@ -228,13 +295,36 @@ impl SemiSupervisedClusterer for MpckClusterer {
 
     fn cluster(&self, data: &DataMatrix, side: &SideInformation, rng: &mut SeededRng) -> Partition {
         let constraints = side.as_constraints();
-        let k = self.k.min(data.n_rows()).max(1);
-        MpckMeans::new(k)
-            .with_weights(self.violation_weight, self.violation_weight)
-            .with_metric_learning(self.learn_metric)
-            .with_max_iter(self.max_iter)
+        self.algorithm(data.n_rows())
             .fit(data, &constraints, rng)
             .partition
+    }
+
+    fn cluster_with_cache(
+        &self,
+        data: &DataMatrix,
+        side: &SideInformation,
+        rng: &mut SeededRng,
+        cache: &ArtifactCache,
+    ) -> Partition {
+        let constraints = side.as_constraints();
+        let seeding = self.cached_seeding(data, &constraints, cache);
+        self.algorithm(data.n_rows())
+            .fit_seeded(data, &seeding, rng)
+            .partition
+    }
+
+    fn prepare_fold_artifacts(
+        &self,
+        data: &DataMatrix,
+        training: &SideInformation,
+        cache: &ArtifactCache,
+    ) {
+        if data.n_rows() == 0 {
+            return;
+        }
+        let constraints = training.as_constraints();
+        let _ = self.cached_seeding(data, &constraints, cache);
     }
 }
 
@@ -335,6 +425,59 @@ mod tests {
         assert_eq!(mpck.default_parameter_range(3), (2..=6).collect::<Vec<_>>());
         assert_eq!(mpck.parameter_name(), "k");
         assert!(mpck.supports_silhouette());
+    }
+
+    #[test]
+    fn mpck_cache_path_is_bit_identical_and_shares_seeding() {
+        let mut rng = SeededRng::new(5);
+        let ds = separated_blobs(3, 20, 3, 12.0, &mut rng);
+        let labeled = sample_labeled_subset(ds.labels(), 0.25, 2, &mut rng);
+        let side = SideInformation::Labels(labeled);
+        let cache = ArtifactCache::new();
+        for k in [2usize, 3, 4] {
+            let clusterer = MpckMethod::default().instantiate(k);
+            let direct = clusterer.cluster(ds.matrix(), &side, &mut SeededRng::new(31));
+            let cached =
+                clusterer.cluster_with_cache(ds.matrix(), &side, &mut SeededRng::new(31), &cache);
+            assert_eq!(direct, cached, "cache changed the MPCK result at k={k}");
+        }
+        let stats = cache.stats();
+        // One seeding computed for the realisation, reused by the other k's.
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+    }
+
+    #[test]
+    fn prepare_fold_artifacts_warms_the_mpck_cache() {
+        let mut rng = SeededRng::new(6);
+        let ds = separated_blobs(2, 15, 2, 10.0, &mut rng);
+        let labeled = sample_labeled_subset(ds.labels(), 0.3, 2, &mut rng);
+        let side = SideInformation::Labels(labeled);
+        let cache = ArtifactCache::new();
+        let clusterer = MpckMethod::default().instantiate(2);
+        clusterer.prepare_fold_artifacts(ds.matrix(), &side, &cache);
+        assert_eq!(cache.stats().misses, 1);
+        let _ = clusterer.cluster_with_cache(ds.matrix(), &side, &mut rng, &cache);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "clustering must hit the prepared seeding");
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn constraint_fingerprints_detect_content_changes() {
+        let mut a = ConstraintSet::new(5);
+        a.add_must_link(0, 1);
+        a.add_cannot_link(2, 3);
+        let b = a.clone();
+        assert_eq!(fingerprint_constraints(&a), fingerprint_constraints(&b));
+        a.add_must_link(3, 4);
+        assert_ne!(fingerprint_constraints(&a), fingerprint_constraints(&b));
+        // kind participates
+        let mut ml = ConstraintSet::new(3);
+        ml.add_must_link(0, 1);
+        let mut cl = ConstraintSet::new(3);
+        cl.add_cannot_link(0, 1);
+        assert_ne!(fingerprint_constraints(&ml), fingerprint_constraints(&cl));
     }
 
     #[test]

@@ -29,13 +29,15 @@ use crate::crossval::{build_folds, evaluate_grid_inline, CvcpConfig};
 use crate::selection::reduce_evaluations;
 use cvcp_constraints::generate::{constraint_pool, sample_constraints, sample_labeled_subset};
 use cvcp_constraints::SideInformation;
-use cvcp_data::distance::Euclidean;
+use cvcp_data::distance::{pairwise_matrix, Euclidean};
 use cvcp_data::rng::SeededRng;
 use cvcp_data::Dataset;
-use cvcp_engine::{ArtifactCache, Engine};
+use cvcp_engine::{fingerprint_matrix, ArtifactCache, ArtifactKey, Engine};
 use cvcp_metrics::stats::Summary;
 use cvcp_metrics::ttest::{paired_t_test, TTestResult};
-use cvcp_metrics::{overall_fmeasure_excluding, pearson, silhouette_coefficient};
+use cvcp_metrics::{
+    overall_fmeasure_excluding, pearson, silhouette_coefficient, silhouette_from_pairwise,
+};
 use std::sync::Arc;
 
 use crate::selection::SELECTION_STREAM_SALT;
@@ -288,6 +290,21 @@ fn run_trial_prepared(
 
     // Step 4 + external evaluation per parameter, each from its own salted
     // stream so parameter order cannot influence results.
+    //
+    // The Silhouette baseline needs the full O(n²·d) pairwise distance
+    // matrix per candidate partition; with a cache it is computed once per
+    // replica and shared across every candidate, trial and experiment (the
+    // same artifact FOSC's hierarchies are built from).  Both paths are
+    // bit-identical — see `silhouette_from_pairwise`.
+    let cached_pairwise = match (cache, prepared.with_silhouette) {
+        (Some(cache), true) => Some(cache.get_or_compute(
+            ArtifactKey::PairwiseDistances {
+                data: fingerprint_matrix(dataset.matrix()),
+            },
+            || pairwise_matrix(dataset.matrix(), &Euclidean),
+        )),
+        _ => None,
+    };
     let external_base = rng.fork(EXTERNAL_STREAM_SALT);
     let mut external_scores = Vec::with_capacity(params.len());
     let mut silhouettes: Vec<Option<f64>> = Vec::with_capacity(params.len());
@@ -302,11 +319,10 @@ fn run_trial_prepared(
         let f = overall_fmeasure_excluding(&partition, dataset.labels(), &involved);
         external_scores.push(f);
         if prepared.with_silhouette {
-            silhouettes.push(silhouette_coefficient(
-                dataset.matrix(),
-                &partition,
-                &Euclidean,
-            ));
+            silhouettes.push(match &cached_pairwise {
+                Some(dist) => silhouette_from_pairwise(dist, &partition),
+                None => silhouette_coefficient(dataset.matrix(), &partition, &Euclidean),
+            });
         } else {
             silhouettes.push(None);
         }
@@ -412,8 +428,11 @@ pub fn summarize(
     } else {
         None
     };
+    // All value vectors hold one entry per trial by construction, so a
+    // length mismatch cannot occur; if it ever did, report "no test" rather
+    // than failing the whole summary.
     let cvcp_vs_silhouette = if silhouette.is_some() {
-        paired_t_test(&cvcp_values, &silhouette_values)
+        paired_t_test(&cvcp_values, &silhouette_values).unwrap_or(None)
     } else {
         None
     };
@@ -426,7 +445,7 @@ pub fn summarize(
         expected: Summary::of(&expected_values),
         silhouette,
         mean_correlation: cvcp_metrics::stats::mean(&correlations),
-        cvcp_vs_expected: paired_t_test(&cvcp_values, &expected_values),
+        cvcp_vs_expected: paired_t_test(&cvcp_values, &expected_values).unwrap_or(None),
         cvcp_vs_silhouette,
         cvcp_values,
         expected_values,

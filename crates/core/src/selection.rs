@@ -10,7 +10,7 @@ use cvcp_constraints::folds::FoldSplit;
 use cvcp_constraints::SideInformation;
 use cvcp_data::rng::SeededRng;
 use cvcp_data::{DataMatrix, Partition};
-use cvcp_engine::{Engine, JobGraph};
+use cvcp_engine::{Engine, JobGraph, JobId};
 use std::sync::{Arc, Mutex};
 
 /// Salt of the RNG stream that feeds the evaluation grid (applied as one
@@ -159,6 +159,27 @@ pub(crate) fn select_model_prepared(
     ));
 
     let mut graph: JobGraph<Option<CvcpSelection>> = JobGraph::with_base_rng(base);
+    // One artifact job per fold precomputes the structures shared by every
+    // parameter evaluated on that fold's training information (MPCKMeans'
+    // transitive closure and seeding neighbourhoods are k-invariant), so a
+    // whole parameter sweep warms up behind a single computation instead of
+    // racing on the first evaluation of each fold.
+    let mut fold_artifact_ids: Vec<Option<JobId>> = vec![None; splits.len()];
+    for (si, split) in splits.iter().enumerate() {
+        if split.test_constraints.is_empty() {
+            continue;
+        }
+        let clusterer = Arc::clone(&clusterers[0]);
+        let data = Arc::clone(&data);
+        let splits = Arc::clone(&splits);
+        fold_artifact_ids[si] =
+            Some(
+                graph.add_salted_job(&[], (3 << 48) | si as u64, move |ctx| {
+                    clusterer.prepare_fold_artifacts(&data, &splits[si].training, ctx.cache());
+                    None
+                }),
+            );
+    }
     let mut eval_ids = Vec::new();
     for (pi, clusterer) in clusterers.iter().enumerate() {
         let artifact_id = {
@@ -177,7 +198,10 @@ pub(crate) fn select_model_prepared(
             let data = Arc::clone(&data);
             let splits = Arc::clone(&splits);
             let grid = Arc::clone(&grid);
-            let id = graph.add_salted_job(&[artifact_id], grid_salt(pi, split.fold), move |ctx| {
+            let deps: Vec<JobId> = std::iter::once(artifact_id)
+                .chain(fold_artifact_ids[si])
+                .collect();
+            let id = graph.add_salted_job(&deps, grid_salt(pi, split.fold), move |ctx| {
                 let cache = ctx.cache_arc();
                 let score = score_fold(&*clusterer, &data, &splits[si], ctx.rng(), Some(&cache));
                 grid.lock().expect("grid lock")[pi][si] = Some(score);

@@ -221,6 +221,20 @@ impl CondensedTree {
     }
 }
 
+impl cvcp_engine::ArtifactSize for CondensedTree {
+    fn artifact_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .nodes
+                .iter()
+                .map(|node| {
+                    std::mem::size_of::<CondensedNode>()
+                        + (node.children.len() + node.members.len()) * std::mem::size_of::<usize>()
+                })
+                .sum::<usize>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,17 +1,28 @@
-//! Content-keyed artifact cache.
+//! Content-keyed artifact cache with a bounded-memory lifecycle.
 //!
 //! CVCP model selection evaluates a grid of (parameter × fold × replica)
 //! cells, and many expensive intermediates — pairwise distance matrices,
-//! per-`MinPts` density hierarchies, transitive closures — are *identical*
-//! across large parts of that grid.  The [`ArtifactCache`] stores those
-//! intermediates behind content-derived keys so that every artifact is
-//! computed exactly once per engine, no matter how many folds, trials or
-//! concurrent requests ask for it.
+//! per-`MinPts` density hierarchies, transitive closures, seeding
+//! neighbourhoods — are *identical* across large parts of that grid.  The
+//! [`ArtifactCache`] stores those intermediates behind content-derived keys
+//! so that every artifact is computed exactly once per engine, no matter how
+//! many folds, trials or concurrent requests ask for it.
+//!
+//! Long-lived serving engines cannot let the cache grow monotonically, so
+//! the store is *size-bounded*: a [`CacheConfig`] caps the resident bytes
+//! (measured per artifact via [`ArtifactSize`]) and/or the resident entry
+//! count, and the least-recently-used artifacts are evicted when a budget is
+//! exceeded.  Eviction is purely a time/space trade: an evicted artifact is
+//! recomputed on next use, results never change.
 //!
 //! Concurrency contract: two threads requesting the same key race to a
 //! per-key [`OnceLock`]; the loser blocks until the winner's value is ready,
-//! so an artifact is never computed twice and callers always observe the
-//! same `Arc` (see the pointer-equality tests).
+//! so an artifact is never computed twice *while in flight* and concurrent
+//! callers always observe the same `Arc` (see the pointer-equality tests).
+//! Only fully-initialized slots are eviction candidates — an in-flight
+//! `get_or_compute` can never have its slot torn out from under it, and
+//! callers holding an `Arc` to an evicted artifact keep a valid value (the
+//! bytes are merely no longer counted as resident).
 
 use std::any::Any;
 use std::collections::HashMap;
@@ -134,6 +145,19 @@ pub enum ArtifactKey {
         /// Fold index.
         fold: usize,
     },
+    /// MPCKMeans seeding structures (closed constraint set + must-link
+    /// neighbourhood centroid candidates) for one side-information
+    /// realisation — invariant in the cluster count `k`, so one artifact
+    /// serves the whole parameter sweep of a fold.
+    MpckSeeding {
+        /// Fingerprint of the data matrix.
+        data: Fingerprint,
+        /// Fingerprint of the constraint realisation.
+        constraints: Fingerprint,
+        /// Whether the seeding was computed over the transitive closure of
+        /// the constraints (must match the algorithm configuration).
+        use_closure: bool,
+    },
     /// Escape hatch for downstream crates: a caller-defined domain plus a
     /// caller-computed fingerprint.
     Custom {
@@ -144,15 +168,135 @@ pub enum ArtifactKey {
     },
 }
 
-type Slot = Arc<OnceLock<Arc<dyn Any + Send + Sync>>>;
+/// Approximate resident size of a cached artifact, in bytes.
+///
+/// The cache charges every artifact against [`CacheConfig::max_bytes`] using
+/// this trait, measured once at insertion.  Implementations should return
+/// the artifact's *owned* footprint — stack size plus owned heap — and may
+/// approximate (`len` instead of `capacity`, padding ignored); budgets are
+/// resource knobs, not exact allocators.
+pub trait ArtifactSize {
+    /// Approximate owned size in bytes (stack + heap).
+    fn artifact_bytes(&self) -> usize;
+}
 
-/// Cache hit/miss counters.
+macro_rules! scalar_artifact_size {
+    ($($t:ty),* $(,)?) => {
+        $(impl ArtifactSize for $t {
+            fn artifact_bytes(&self) -> usize {
+                std::mem::size_of::<Self>()
+            }
+        })*
+    };
+}
+
+scalar_artifact_size!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char
+);
+
+impl<T: ArtifactSize> ArtifactSize for Vec<T> {
+    fn artifact_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.iter().map(ArtifactSize::artifact_bytes).sum::<usize>()
+    }
+}
+
+impl ArtifactSize for String {
+    fn artifact_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.len()
+    }
+}
+
+impl<A: ArtifactSize, B: ArtifactSize> ArtifactSize for (A, B) {
+    fn artifact_bytes(&self) -> usize {
+        self.0.artifact_bytes() + self.1.artifact_bytes()
+    }
+}
+
+/// Memory budget of an [`ArtifactCache`].
+///
+/// `None` means "unbounded" for either knob.  Budgets apply to *resident*
+/// (fully computed) artifacts: in-flight computations are never evicted, so
+/// the map may transiently hold more uninitialized slots than
+/// `max_entries`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheConfig {
+    /// Maximum resident artifact bytes (as measured by [`ArtifactSize`]).
+    pub max_bytes: Option<usize>,
+    /// Maximum number of resident artifacts.
+    pub max_entries: Option<usize>,
+}
+
+impl CacheConfig {
+    /// No budgets: the cache grows until cleared (the pre-eviction default).
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Caps the resident artifact bytes.
+    pub fn with_max_bytes(mut self, max_bytes: usize) -> Self {
+        self.max_bytes = Some(max_bytes);
+        self
+    }
+
+    /// Caps the number of resident artifacts.
+    pub fn with_max_entries(mut self, max_entries: usize) -> Self {
+        self.max_entries = Some(max_entries);
+        self
+    }
+
+    /// `true` when neither budget is set.
+    pub fn is_unbounded(&self) -> bool {
+        self.max_bytes.is_none() && self.max_entries.is_none()
+    }
+}
+
+/// A stored artifact: the type-erased value plus its measured byte size.
+type Stored = (Arc<dyn Any + Send + Sync>, usize);
+type Slot = Arc<OnceLock<Stored>>;
+
+/// One cache entry: the shared slot, its byte size once committed, and the
+/// logical timestamp of its last use (for LRU eviction).
+#[derive(Debug)]
+struct Entry {
+    slot: Slot,
+    /// `Some(bytes)` once the artifact is computed *and* committed to the
+    /// resident accounting; `None` while the computation is in flight.
+    bytes: Option<usize>,
+    last_used: u64,
+}
+
+/// The lock-protected part of the cache.
+#[derive(Debug, Default)]
+struct CacheMap {
+    entries: HashMap<ArtifactKey, Entry>,
+    /// Sum of `bytes` over committed entries.
+    resident_bytes: usize,
+    /// Number of committed entries.
+    resident_entries: usize,
+    /// High-water mark of `resident_bytes` (after budget enforcement).
+    peak_resident_bytes: usize,
+    /// Logical clock for LRU ordering.
+    tick: u64,
+}
+
+/// Cache hit/miss/eviction counters plus a snapshot of residency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
-    /// Lookups that had to compute the artifact.
+    /// Lookups that had to compute the artifact (or, for [`ArtifactCache::get`],
+    /// found nothing).
     pub misses: u64,
+    /// Artifacts evicted to stay within the configured budgets.
+    pub evictions: u64,
+    /// Total bytes released by evictions.
+    pub evicted_bytes: u64,
+    /// Resident (committed) artifacts at snapshot time.
+    pub resident_entries: usize,
+    /// Resident artifact bytes at snapshot time.
+    pub resident_bytes: usize,
+    /// High-water mark of resident bytes over the cache's lifetime.
+    pub peak_resident_bytes: usize,
 }
 
 impl CacheStats {
@@ -167,23 +311,45 @@ impl CacheStats {
     }
 }
 
-/// A concurrent, content-keyed store of shared computation artifacts.
+/// A concurrent, content-keyed, size-bounded store of shared computation
+/// artifacts with LRU eviction.
 #[derive(Debug, Default)]
 pub struct ArtifactCache {
-    slots: Mutex<HashMap<ArtifactKey, Slot>>,
+    map: Mutex<CacheMap>,
+    config: CacheConfig,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    evicted_bytes: AtomicU64,
 }
 
 impl ArtifactCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache with the given memory budget.
+    pub fn with_config(config: CacheConfig) -> Self {
+        Self {
+            config,
+            ..Self::default()
+        }
+    }
+
+    /// The cache's budget configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.config
     }
 
     /// Returns the cached artifact for `key`, computing it with `compute` on
     /// first use.  Concurrent callers for the same key block until the first
     /// computation finishes and then share the same `Arc`.
+    ///
+    /// When a budget is configured, committing a new artifact evicts the
+    /// least-recently-used resident artifacts until the budgets hold again
+    /// (the freshly computed artifact is evicted last, and only if it alone
+    /// exceeds the budget — the returned `Arc` stays valid either way).
     ///
     /// # Panics
     ///
@@ -191,24 +357,35 @@ impl ArtifactCache {
     /// (keys are expected to map 1:1 to artifact types).
     pub fn get_or_compute<T, F>(&self, key: ArtifactKey, compute: F) -> Arc<T>
     where
-        T: Send + Sync + 'static,
+        T: Send + Sync + ArtifactSize + 'static,
         F: FnOnce() -> T,
     {
         let slot: Slot = {
-            let mut slots = self.slots.lock().expect("artifact cache lock");
-            slots.entry(key).or_default().clone()
+            let mut map = self.map.lock().expect("artifact cache lock");
+            map.tick += 1;
+            let tick = map.tick;
+            let entry = map.entries.entry(key).or_insert_with(|| Entry {
+                slot: Arc::default(),
+                bytes: None,
+                last_used: tick,
+            });
+            entry.last_used = tick;
+            entry.slot.clone()
         };
         // The map lock is released before (potentially slow) initialisation,
         // so unrelated keys never serialise behind each other.
         let mut computed = false;
-        let value = slot
+        let (value, bytes) = slot
             .get_or_init(|| {
                 computed = true;
-                Arc::new(compute()) as Arc<dyn Any + Send + Sync>
+                let value = compute();
+                let bytes = value.artifact_bytes();
+                (Arc::new(value) as Arc<dyn Any + Send + Sync>, bytes)
             })
             .clone();
         if computed {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            self.commit(key, &slot, bytes);
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -217,14 +394,27 @@ impl ArtifactCache {
             .unwrap_or_else(|_| panic!("artifact type mismatch for cache key {key:?}"))
     }
 
-    /// Returns the artifact for `key` if it is already cached (counts as a
-    /// hit when present; never computes).
+    /// Returns the artifact for `key` if it is already cached (a hit when a
+    /// computed value is present, a miss otherwise; never computes or
+    /// blocks on an in-flight computation).
     pub fn get<T: Send + Sync + 'static>(&self, key: ArtifactKey) -> Option<Arc<T>> {
         let slot = {
-            let slots = self.slots.lock().expect("artifact cache lock");
-            slots.get(&key).cloned()
-        }?;
-        let value = slot.get()?.clone();
+            let mut map = self.map.lock().expect("artifact cache lock");
+            map.tick += 1;
+            let tick = map.tick;
+            match map.entries.get_mut(&key) {
+                Some(entry) if entry.slot.get().is_some() => {
+                    entry.last_used = tick;
+                    Some(entry.slot.clone())
+                }
+                _ => None,
+            }
+        };
+        let Some(slot) = slot else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        let (value, _) = slot.get().expect("slot checked initialized").clone();
         self.hits.fetch_add(1, Ordering::Relaxed);
         Some(
             value
@@ -233,13 +423,71 @@ impl ArtifactCache {
         )
     }
 
+    /// Books a freshly computed artifact into the resident accounting and
+    /// enforces the budgets.  `slot` identifies the computation: if the
+    /// entry was removed (or replaced) concurrently — e.g. by [`Self::clear`]
+    /// — the bytes are simply not counted as resident.
+    fn commit(&self, key: ArtifactKey, slot: &Slot, bytes: usize) {
+        let mut map = self.map.lock().expect("artifact cache lock");
+        map.tick += 1;
+        let tick = map.tick;
+        if let Some(entry) = map.entries.get_mut(&key) {
+            if Arc::ptr_eq(&entry.slot, slot) && entry.bytes.is_none() {
+                entry.bytes = Some(bytes);
+                // Re-stamp recency at commit time: the lookup tick was taken
+                // before a potentially slow compute, during which other keys
+                // may have been touched — without this, the freshly computed
+                // artifact could be the immediate LRU victim.
+                entry.last_used = tick;
+                map.resident_bytes += bytes;
+                map.resident_entries += 1;
+            }
+        }
+        self.enforce_budget(&mut map);
+        map.peak_resident_bytes = map.peak_resident_bytes.max(map.resident_bytes);
+    }
+
+    /// Evicts least-recently-used *committed* entries until both budgets
+    /// hold.  In-flight (uninitialized) slots are never candidates, so
+    /// concurrent `get_or_compute` calls are never torn.
+    fn enforce_budget(&self, map: &mut CacheMap) {
+        loop {
+            let over_bytes = self
+                .config
+                .max_bytes
+                .is_some_and(|max| map.resident_bytes > max);
+            let over_entries = self
+                .config
+                .max_entries
+                .is_some_and(|max| map.resident_entries > max);
+            if !over_bytes && !over_entries {
+                return;
+            }
+            let victim = map
+                .entries
+                .iter()
+                .filter(|(_, e)| e.bytes.is_some())
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k);
+            let Some(victim) = victim else { return };
+            let entry = map.entries.remove(&victim).expect("victim present");
+            let bytes = entry.bytes.expect("victim committed");
+            map.resident_bytes -= bytes;
+            map.resident_entries -= 1;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evicted_bytes
+                .fetch_add(bytes as u64, Ordering::Relaxed);
+        }
+    }
+
     /// Number of populated entries.
     pub fn len(&self) -> usize {
-        self.slots
+        self.map
             .lock()
             .expect("artifact cache lock")
+            .entries
             .values()
-            .filter(|slot| slot.get().is_some())
+            .filter(|entry| entry.slot.get().is_some())
             .count()
     }
 
@@ -248,16 +496,62 @@ impl ArtifactCache {
         self.len() == 0
     }
 
-    /// Drops every entry (does not reset the hit/miss counters).
+    /// Drops every entry and resets the residency accounting (does not reset
+    /// the hit/miss/eviction counters or the peak watermark).
     pub fn clear(&self) {
-        self.slots.lock().expect("artifact cache lock").clear();
+        let mut map = self.map.lock().expect("artifact cache lock");
+        map.entries.clear();
+        map.resident_bytes = 0;
+        map.resident_entries = 0;
     }
 
-    /// Snapshot of the hit/miss counters.
+    /// Snapshot of the counters and residency state.
     pub fn stats(&self) -> CacheStats {
+        let map = self.map.lock().expect("artifact cache lock");
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            evicted_bytes: self.evicted_bytes.load(Ordering::Relaxed),
+            resident_entries: map.resident_entries,
+            resident_bytes: map.resident_bytes,
+            peak_resident_bytes: map.peak_resident_bytes,
+        }
+    }
+
+    /// Asserts that the incremental residency accounting matches the live
+    /// map exactly (test/diagnostic helper).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `resident_bytes`/`resident_entries` drifted from the sum
+    /// over committed entries.
+    #[doc(hidden)]
+    pub fn assert_accounting_consistent(&self) {
+        let map = self.map.lock().expect("artifact cache lock");
+        let (entries, bytes) = map
+            .entries
+            .values()
+            .filter_map(|e| e.bytes)
+            .fold((0usize, 0usize), |(n, b), eb| (n + 1, b + eb));
+        assert_eq!(
+            (map.resident_entries, map.resident_bytes),
+            (entries, bytes),
+            "residency accounting drifted from the live map"
+        );
+        if let Some(max) = self.config.max_bytes {
+            assert!(
+                map.resident_bytes <= max,
+                "resident bytes {} exceed the budget {max}",
+                map.resident_bytes
+            );
+        }
+        if let Some(max) = self.config.max_entries {
+            assert!(
+                map.resident_entries <= max,
+                "resident entries {} exceed the budget {max}",
+                map.resident_entries
+            );
         }
     }
 }
@@ -266,6 +560,10 @@ impl ArtifactCache {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+
+    fn custom(key: u64) -> ArtifactKey {
+        ArtifactKey::Custom { domain: 42, key }
+    }
 
     #[test]
     fn computes_once_and_shares_the_arc() {
@@ -282,8 +580,12 @@ mod tests {
         });
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(calls.load(Ordering::SeqCst), 1);
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
-        assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(stats.resident_entries, 1);
+        assert_eq!(stats.resident_bytes, a.artifact_bytes());
+        assert_eq!(stats.evictions, 0);
     }
 
     #[test]
@@ -336,6 +638,156 @@ mod tests {
     }
 
     #[test]
+    fn get_counts_misses_symmetrically() {
+        let cache = ArtifactCache::new();
+        // absent key -> miss
+        assert!(cache.get::<u64>(custom(1)).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1));
+        assert_eq!(stats.hit_rate(), 0.0);
+        // populate (one compute miss), then a get hit
+        let _: Arc<u64> = cache.get_or_compute(custom(1), || 5);
+        assert_eq!(*cache.get::<u64>(custom(1)).unwrap(), 5);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_respects_max_entries_and_recency() {
+        let cache = ArtifactCache::with_config(CacheConfig::default().with_max_entries(2));
+        let _: Arc<u64> = cache.get_or_compute(custom(1), || 1);
+        let _: Arc<u64> = cache.get_or_compute(custom(2), || 2);
+        // touch key 1 so key 2 is the LRU victim
+        let _: Arc<u64> = cache.get_or_compute(custom(1), || 11);
+        let _: Arc<u64> = cache.get_or_compute(custom(3), || 3);
+        assert!(cache.get::<u64>(custom(1)).is_some());
+        assert!(cache.get::<u64>(custom(2)).is_none(), "LRU entry evicted");
+        assert!(cache.get::<u64>(custom(3)).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.resident_entries, 2);
+        cache.assert_accounting_consistent();
+    }
+
+    #[test]
+    fn byte_budget_is_never_exceeded() {
+        // Each Vec<u64> artifact: 24 bytes of Vec header + 8 per element.
+        let artifact_bytes = vec![0u64; 10].artifact_bytes();
+        let budget = 2 * artifact_bytes + artifact_bytes / 2; // fits 2, not 3
+        let cache = ArtifactCache::with_config(CacheConfig::default().with_max_bytes(budget));
+        for k in 0..6u64 {
+            let v: Arc<Vec<u64>> = cache.get_or_compute(custom(k), || vec![k; 10]);
+            assert_eq!(v.len(), 10);
+            let stats = cache.stats();
+            assert!(stats.resident_bytes <= budget);
+            assert!(stats.peak_resident_bytes <= budget);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.resident_entries, 2);
+        assert_eq!(stats.evictions, 4);
+        assert_eq!(stats.evicted_bytes, 4 * artifact_bytes as u64);
+        cache.assert_accounting_consistent();
+    }
+
+    #[test]
+    fn freshly_computed_artifact_is_not_the_first_eviction_victim() {
+        // The lookup tick is taken before a potentially slow compute; other
+        // keys touched during that compute (here: a nested get_or_compute,
+        // exactly the FOSC tree-over-pairwise pattern) must not make the
+        // fresh artifact look least-recently-used at commit time.
+        let artifact_bytes = vec![0u64; 8].artifact_bytes();
+        let cache =
+            ArtifactCache::with_config(CacheConfig::default().with_max_bytes(artifact_bytes));
+        let outer: Arc<Vec<u64>> = cache.get_or_compute(custom(1), || {
+            let inner: Arc<Vec<u64>> = cache.get_or_compute(custom(2), || vec![2; 8]);
+            inner.iter().map(|&x| x - 1).collect()
+        });
+        assert_eq!(outer[0], 1);
+        // The nested (older-used) artifact is the victim, not the fresh one.
+        assert!(cache.get::<Vec<u64>>(custom(1)).is_some());
+        assert!(cache.get::<Vec<u64>>(custom(2)).is_none());
+        cache.assert_accounting_consistent();
+    }
+
+    #[test]
+    fn oversized_artifact_is_computed_then_released() {
+        let cache = ArtifactCache::with_config(CacheConfig::default().with_max_bytes(8));
+        let v: Arc<Vec<u64>> = cache.get_or_compute(custom(0), || vec![7; 100]);
+        // the caller's Arc is valid even though the artifact cannot stay
+        assert_eq!(v[99], 7);
+        let stats = cache.stats();
+        assert_eq!(stats.resident_entries, 0);
+        assert_eq!(stats.resident_bytes, 0);
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.peak_resident_bytes <= 8);
+        // next request recomputes
+        let w: Arc<Vec<u64>> = cache.get_or_compute(custom(0), || vec![8; 100]);
+        assert_eq!(w[0], 8);
+        cache.assert_accounting_consistent();
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = ArtifactCache::new();
+        assert!(cache.config().is_unbounded());
+        for k in 0..100u64 {
+            let _: Arc<Vec<u64>> = cache.get_or_compute(custom(k), || vec![k; 50]);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.resident_entries, 100);
+        assert_eq!(stats.peak_resident_bytes, stats.resident_bytes);
+        cache.assert_accounting_consistent();
+    }
+
+    #[test]
+    fn concurrent_eviction_never_tears_or_double_computes_in_flight() {
+        // N threads hammer an over-budget cache: artifacts must never be
+        // observed torn, a key must never be computed twice concurrently,
+        // and the byte/entry accounting must match the live map afterwards.
+        const KEYS: u64 = 16;
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 200;
+        let artifact_bytes = vec![0u64; 32].artifact_bytes();
+        // room for ~4 of the 16 artifacts -> constant eviction pressure
+        let cache = Arc::new(ArtifactCache::with_config(
+            CacheConfig::default().with_max_bytes(4 * artifact_bytes + 1),
+        ));
+        let in_flight: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..KEYS).map(|_| AtomicUsize::new(0)).collect());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                let in_flight = Arc::clone(&in_flight);
+                std::thread::spawn(move || {
+                    for round in 0..ROUNDS {
+                        let key = ((t + round) as u64 * 7 + round as u64) % KEYS;
+                        let v: Arc<Vec<u64>> = cache.get_or_compute(custom(key), || {
+                            let running = in_flight[key as usize].fetch_add(1, Ordering::SeqCst);
+                            assert_eq!(running, 0, "key {key} computed twice concurrently");
+                            let value = vec![key; 32];
+                            in_flight[key as usize].fetch_sub(1, Ordering::SeqCst);
+                            value
+                        });
+                        // a torn artifact would have wrong length or content
+                        assert_eq!(v.len(), 32);
+                        assert!(v.iter().all(|&x| x == key), "torn artifact for key {key}");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        cache.assert_accounting_consistent();
+        let stats = cache.stats();
+        assert!(stats.evictions > 0, "budget pressure must cause evictions");
+        assert!(stats.resident_bytes <= 4 * artifact_bytes + 1);
+        assert_eq!(stats.hits + stats.misses, (THREADS * ROUNDS) as u64);
+    }
+
+    #[test]
     fn matrix_fingerprints_detect_content_changes() {
         let a = DataMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
         let mut b = a.clone();
@@ -360,7 +812,7 @@ mod tests {
     }
 
     #[test]
-    fn clear_empties_the_cache() {
+    fn clear_empties_the_cache_and_resets_residency() {
         let cache = ArtifactCache::new();
         let _: Arc<u8> = cache.get_or_compute(ArtifactKey::Custom { domain: 1, key: 1 }, || 1);
         assert!(!cache.is_empty());
@@ -369,5 +821,18 @@ mod tests {
         assert!(cache
             .get::<u8>(ArtifactKey::Custom { domain: 1, key: 1 })
             .is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.resident_entries, 0);
+        assert_eq!(stats.resident_bytes, 0);
+        cache.assert_accounting_consistent();
+    }
+
+    #[test]
+    fn artifact_size_measures_nested_heap() {
+        assert_eq!(7u64.artifact_bytes(), 8);
+        assert_eq!(vec![1.0f64; 4].artifact_bytes(), 24 + 32);
+        let nested = vec![vec![1.0f64; 2]; 3];
+        assert_eq!(nested.artifact_bytes(), 24 + 3 * (24 + 16));
+        assert_eq!("abc".to_string().artifact_bytes(), 24 + 3);
     }
 }

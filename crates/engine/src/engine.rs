@@ -1,7 +1,7 @@
 //! The engine proper: graph submission, batch multiplexing and the
 //! sequential (one-thread) execution path.
 
-use crate::cache::ArtifactCache;
+use crate::cache::{ArtifactCache, CacheConfig};
 use crate::graph::{GraphResult, JobCtx, JobGraph, JobOutcome};
 use crate::pool::{PoolHandle, Task, ThreadPool};
 use std::collections::BTreeSet;
@@ -182,6 +182,13 @@ impl Engine {
     /// thread in deterministic ascending-index order — the sequential path.
     pub fn new(n_threads: usize) -> Self {
         Self::with_cache(n_threads, Arc::new(ArtifactCache::new()))
+    }
+
+    /// An engine with `n_threads` workers and a fresh artifact cache bounded
+    /// by `config` (LRU eviction keeps the resident artifacts within the
+    /// configured byte/entry budgets; see [`CacheConfig`]).
+    pub fn with_cache_config(n_threads: usize, config: CacheConfig) -> Self {
+        Self::with_cache(n_threads, Arc::new(ArtifactCache::with_config(config)))
     }
 
     /// An engine sharing an existing artifact cache (e.g. across engines or

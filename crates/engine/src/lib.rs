@@ -21,7 +21,9 @@
 //!   dependents without poisoning the pool; graphs can be cancelled.
 //! * [`ArtifactCache`] — a content-keyed, concurrency-deduplicated store so
 //!   each artifact is computed once and shared (`Arc`) across folds,
-//!   trials and concurrent requests.
+//!   trials and concurrent requests.  A [`CacheConfig`] bounds the resident
+//!   bytes/entries with LRU eviction, so long-lived serving engines run
+//!   within a fixed memory budget without ever changing results.
 //!
 //! Batch submission ([`Engine::submit`] / [`Engine::run_batch`])
 //! multiplexes many selection requests over one pool — the seam for a
@@ -54,15 +56,15 @@ pub mod graph;
 mod pool;
 
 pub use cache::{
-    fingerprint_indices, fingerprint_matrix, ArtifactCache, ArtifactKey, CacheStats, Fingerprint,
-    FingerprintBuilder,
+    fingerprint_indices, fingerprint_matrix, ArtifactCache, ArtifactKey, ArtifactSize, CacheConfig,
+    CacheStats, Fingerprint, FingerprintBuilder,
 };
 pub use engine::{Engine, GraphHandle};
 pub use graph::{GraphResult, JobCtx, JobGraph, JobId, JobOutcome};
 
 /// Convenience re-exports.
 pub mod prelude {
-    pub use crate::cache::{ArtifactCache, ArtifactKey};
+    pub use crate::cache::{ArtifactCache, ArtifactKey, ArtifactSize, CacheConfig};
     pub use crate::engine::Engine;
     pub use crate::graph::{JobCtx, JobGraph};
 }

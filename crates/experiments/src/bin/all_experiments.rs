@@ -196,4 +196,6 @@ fn main() {
         mode,
         true,
     ));
+
+    print_cache_stats();
 }

@@ -16,7 +16,7 @@ use cvcp_core::experiment::{
 };
 use cvcp_core::{CvcpConfig, FoscMethod, MpckMethod, ParameterizedMethod};
 use cvcp_data::Dataset;
-use cvcp_engine::Engine;
+use cvcp_engine::{CacheConfig, Engine};
 use cvcp_metrics::stats::{mean, std_dev, Summary};
 use cvcp_metrics::ttest::TTestResult;
 use std::path::PathBuf;
@@ -97,13 +97,55 @@ impl Mode {
     }
 }
 
+/// The artifact-cache budget for the shared engine, read from the
+/// environment:
+///
+/// * `CVCP_CACHE_MAX_MB` — cap on resident artifact bytes, in MiB;
+/// * `CVCP_CACHE_MAX_ENTRIES` — cap on resident artifact count.
+///
+/// Unset (or unparsable) variables leave the corresponding knob unbounded.
+/// Budgets only trade recompute time for memory — results are bit-identical
+/// to an unbounded cache.
+pub fn cache_config_from_env() -> CacheConfig {
+    fn read(var: &str) -> Option<usize> {
+        std::env::var(var).ok()?.trim().parse().ok()
+    }
+    CacheConfig {
+        // Saturating: an absurdly large MiB value means "effectively
+        // unbounded", not an overflow panic (or silent wrap) at startup.
+        max_bytes: read("CVCP_CACHE_MAX_MB").map(|mb| mb.saturating_mul(1024 * 1024)),
+        max_entries: read("CVCP_CACHE_MAX_ENTRIES"),
+    }
+}
+
 /// The process-wide execution engine: every experiment binary multiplexes
 /// all of its trials over this one pool and shares one artifact cache
-/// (distance matrices and density hierarchies are reused across tables,
-/// figures and side-information levels of the same data sets).
+/// (distance matrices, density hierarchies and MPCKMeans seedings are
+/// reused across tables, figures and side-information levels of the same
+/// data sets).  The cache budget comes from [`cache_config_from_env`].
 pub fn shared_engine() -> &'static Engine {
     static ENGINE: OnceLock<Engine> = OnceLock::new();
-    ENGINE.get_or_init(|| Engine::new(Mode::from_args().n_threads()))
+    ENGINE.get_or_init(|| {
+        Engine::with_cache_config(Mode::from_args().n_threads(), cache_config_from_env())
+    })
+}
+
+/// Prints the shared engine's cache statistics (hit rate, residency and
+/// eviction counters) — called by the binaries after their last experiment.
+pub fn print_cache_stats() {
+    let stats = shared_engine().cache().stats();
+    println!(
+        "\n[artifact cache] hit rate {:.1}% ({} hits / {} misses) | resident {} artifacts, {:.1} MiB \
+         (peak {:.1} MiB) | evicted {} artifacts, {:.1} MiB",
+        stats.hit_rate() * 100.0,
+        stats.hits,
+        stats.misses,
+        stats.resident_entries,
+        stats.resident_bytes as f64 / (1024.0 * 1024.0),
+        stats.peak_resident_bytes as f64 / (1024.0 * 1024.0),
+        stats.evictions,
+        stats.evicted_bytes as f64 / (1024.0 * 1024.0),
+    );
 }
 
 /// Runs one experiment cell on the shared engine.

@@ -80,15 +80,45 @@ pub fn kmeanspp_centroids(data: &DataMatrix, k: usize, rng: &mut SeededRng) -> V
     centroids
 }
 
+/// The fold-invariant part of the MPCKMeans initialisation: the centroid and
+/// size of every must-link neighbourhood (connected component of the
+/// must-link graph).
+///
+/// These candidates depend only on the data and the constraint realisation —
+/// not on `k` — so one computation serves the whole parameter sweep of a
+/// cross-validation fold (they are cached behind
+/// `ArtifactKey::MpckSeeding` by the cache-aware clustering path).
+pub fn neighborhood_candidates(
+    data: &DataMatrix,
+    constraints: &ConstraintSet,
+) -> Vec<(Vec<f64>, usize)> {
+    must_link_components(constraints)
+        .iter()
+        .map(|members| (centroid_of(data, members), members.len()))
+        .collect()
+}
+
 /// MPCKMeans-style initialisation from must-link neighbourhoods.
 ///
 /// Returns `k` centroids.  Ties in the farthest-first traversal are broken by
 /// neighbourhood size (larger neighbourhoods preferred), matching the
 /// "weighted" variant described by Bilenko et al.
-#[allow(clippy::needless_range_loop)] // dist2[i] updates in lock-step with data.row(i)
 pub fn neighborhood_centroids(
     data: &DataMatrix,
     constraints: &ConstraintSet,
+    k: usize,
+    rng: &mut SeededRng,
+) -> Vec<Vec<f64>> {
+    centroids_from_candidates(data, neighborhood_candidates(data, constraints), k, rng)
+}
+
+/// Selects `k` centroids from precomputed neighbourhood candidates (see
+/// [`neighborhood_candidates`]); bit-identical to [`neighborhood_centroids`]
+/// on the same inputs.
+#[allow(clippy::needless_range_loop)] // dist2[i] updates in lock-step with data.row(i)
+pub fn centroids_from_candidates(
+    data: &DataMatrix,
+    mut candidates: Vec<(Vec<f64>, usize)>,
     k: usize,
     rng: &mut SeededRng,
 ) -> Vec<Vec<f64>> {
@@ -97,12 +127,6 @@ pub fn neighborhood_centroids(
         "invalid k = {k} for {} rows",
         data.n_rows()
     );
-    let neighborhoods = must_link_components(constraints);
-    let mut candidates: Vec<(Vec<f64>, usize)> = neighborhoods
-        .iter()
-        .map(|members| (centroid_of(data, members), members.len()))
-        .collect();
-
     if candidates.is_empty() {
         return kmeanspp_centroids(data, k, rng);
     }

@@ -27,9 +27,12 @@ pub mod objective;
 pub mod pck_means;
 
 pub use cop_kmeans::{CopKMeans, CopKMeansError};
-pub use init::{kmeanspp_centroids, neighborhood_centroids, random_centroids};
+pub use init::{
+    centroids_from_candidates, kmeanspp_centroids, neighborhood_candidates, neighborhood_centroids,
+    random_centroids,
+};
 pub use lloyd::{KMeans, KMeansResult};
-pub use mpck_means::{MpckMeans, MpckMeansResult};
+pub use mpck_means::{MpckMeans, MpckMeansResult, MpckSeeding};
 pub use pck_means::PckMeans;
 
 /// Convenience re-exports.

@@ -29,12 +29,62 @@
 //! `f_CL(i,j) = d_max²_A − ‖x_i − x_j‖²_A` (violating a cannot-link between
 //! close objects is penalised more).
 
-use crate::init::neighborhood_centroids;
+use crate::init::{centroids_from_candidates, neighborhood_candidates};
 use crate::objective::{recompute_centroids, weighted_sq_dist};
 use cvcp_constraints::closure::transitive_closure;
-use cvcp_constraints::{ConstraintKind, ConstraintSet};
+use cvcp_constraints::{Constraint, ConstraintKind, ConstraintSet};
 use cvcp_data::rng::SeededRng;
 use cvcp_data::{DataMatrix, Partition};
+use cvcp_engine::ArtifactSize;
+
+/// The `k`-invariant seeding structures of an MPCKMeans run: the (optionally
+/// transitively closed) working constraint set and the must-link
+/// neighbourhood centroid candidates.
+///
+/// Both depend only on the data and the constraint realisation, so one
+/// seeding serves every cluster count of a parameter sweep — this is the
+/// artifact the engine's cache shares across the CVCP grid (keyed by
+/// `ArtifactKey::MpckSeeding`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpckSeeding {
+    /// The working constraint set (the transitive closure of the input when
+    /// `use_closure` was requested, the input itself otherwise).
+    pub working: ConstraintSet,
+    /// Must-link neighbourhood centroids and sizes
+    /// (see [`neighborhood_candidates`]).
+    pub candidates: Vec<(Vec<f64>, usize)>,
+}
+
+impl MpckSeeding {
+    /// Computes the seeding structures for `data` and `constraints`.
+    ///
+    /// `use_closure` must match the [`MpckMeans::use_closure`] flag of the
+    /// configuration the seeding will be used with.
+    pub fn compute(data: &DataMatrix, constraints: &ConstraintSet, use_closure: bool) -> Self {
+        let working = if use_closure {
+            transitive_closure(constraints)
+        } else {
+            constraints.clone()
+        };
+        let candidates = neighborhood_candidates(data, &working);
+        Self {
+            working,
+            candidates,
+        }
+    }
+}
+
+impl ArtifactSize for MpckSeeding {
+    fn artifact_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.working.len() * std::mem::size_of::<Constraint>()
+            + self
+                .candidates
+                .iter()
+                .map(|(centroid, _)| std::mem::size_of::<(Vec<f64>, usize)>() + centroid.len() * 8)
+                .sum::<usize>()
+    }
+}
 
 /// Configuration for MPCKMeans.
 #[derive(Debug, Clone)]
@@ -123,6 +173,25 @@ impl MpckMeans {
         constraints: &ConstraintSet,
         rng: &mut SeededRng,
     ) -> MpckMeansResult {
+        let seeding = MpckSeeding::compute(data, constraints, self.use_closure);
+        self.fit_seeded(data, &seeding, rng)
+    }
+
+    /// Runs MPCKMeans on precomputed seeding structures — **bit-identical**
+    /// to [`Self::fit`] when `seeding` was computed from the same data and
+    /// constraints with a matching `use_closure` flag.  This is the entry
+    /// point of the cache-aware path: one [`MpckSeeding`] is shared by every
+    /// `k` of a parameter sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or larger than the number of objects.
+    pub fn fit_seeded(
+        &self,
+        data: &DataMatrix,
+        seeding: &MpckSeeding,
+        rng: &mut SeededRng,
+    ) -> MpckMeansResult {
         let n = data.n_rows();
         let dims = data.n_cols();
         assert!(
@@ -131,11 +200,7 @@ impl MpckMeans {
             self.k
         );
 
-        let working = if self.use_closure {
-            transitive_closure(constraints)
-        } else {
-            constraints.clone()
-        };
+        let working = &seeding.working;
         // Index constraints per object for the greedy assignment step.
         let mut ml_of: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut cl_of: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -156,7 +221,8 @@ impl MpckMeans {
             }
         }
 
-        let mut centroids = neighborhood_centroids(data, &working, self.k, rng);
+        let mut centroids =
+            centroids_from_candidates(data, seeding.candidates.clone(), self.k, rng);
         let mut metrics: Vec<Vec<f64>> = vec![vec![1.0; dims]; self.k];
         let mut assignment: Vec<usize> = vec![0; n];
         let mut objective = f64::INFINITY;
@@ -500,6 +566,26 @@ mod tests {
                 m[0] > m[1],
                 "informative dimension should get larger weight: {m:?}"
             );
+        }
+    }
+
+    #[test]
+    fn shared_seeding_is_bit_identical_across_k() {
+        // One MpckSeeding serves every k of a parameter sweep and must
+        // reproduce the direct fit exactly (the cache trades time, never
+        // results).
+        let mut rng = SeededRng::new(10);
+        let ds = separated_blobs(3, 15, 3, 9.0, &mut rng);
+        let pool = constraint_pool(ds.labels(), 0.3, 2, &mut rng);
+        let seeding = MpckSeeding::compute(ds.matrix(), &pool, true);
+        assert!(seeding.artifact_bytes() > 0);
+        for k in [2usize, 3, 5] {
+            let direct = MpckMeans::new(k).fit(ds.matrix(), &pool, &mut SeededRng::new(77));
+            let seeded =
+                MpckMeans::new(k).fit_seeded(ds.matrix(), &seeding, &mut SeededRng::new(77));
+            assert_eq!(direct.partition, seeded.partition);
+            assert_eq!(direct.objective, seeded.objective);
+            assert_eq!(direct.centroids, seeded.centroids);
         }
     }
 

@@ -39,9 +39,9 @@ pub use correlation::{pearson, spearman};
 pub use nmi::normalized_mutual_information;
 pub use overall_fmeasure::{overall_fmeasure, overall_fmeasure_excluding};
 pub use pair_counting::{adjusted_rand_index, rand_index};
-pub use silhouette::silhouette_coefficient;
+pub use silhouette::{silhouette_coefficient, silhouette_from_pairwise};
 pub use stats::{mean, std_dev, BoxplotStats, Summary};
-pub use ttest::{paired_t_test, TTestResult};
+pub use ttest::{paired_t_test, SampleLengthMismatch, TTestResult};
 pub use vmeasure::{fowlkes_mallows, v_measure, VMeasure};
 
 /// Convenience re-exports.
@@ -50,7 +50,7 @@ pub mod prelude {
     pub use crate::correlation::pearson;
     pub use crate::overall_fmeasure::{overall_fmeasure, overall_fmeasure_excluding};
     pub use crate::pair_counting::adjusted_rand_index;
-    pub use crate::silhouette::silhouette_coefficient;
+    pub use crate::silhouette::{silhouette_coefficient, silhouette_from_pairwise};
     pub use crate::stats::{mean, std_dev, Summary};
     pub use crate::ttest::paired_t_test;
 }

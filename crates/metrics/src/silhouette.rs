@@ -25,6 +25,25 @@ pub fn silhouette_coefficient<D: Distance + ?Sized>(
     metric: &D,
 ) -> Option<f64> {
     assert_eq!(data.n_rows(), partition.len(), "length mismatch");
+    silhouette_with(|i, j| metric.distance(data.row(i), data.row(j)), partition)
+}
+
+/// Computes the mean Silhouette coefficient from a precomputed pairwise
+/// distance matrix (`dist[i][j]` = distance between objects `i` and `j`).
+///
+/// **Bit-identical** to [`silhouette_coefficient`] when `dist` was produced
+/// by `pairwise_matrix` under the same metric — both paths accumulate the
+/// same distances in the same order.  Model-selection code shares one
+/// matrix (via the engine's artifact cache) across every candidate
+/// parameter and trial instead of recomputing `O(n²·d)` distances per
+/// partition.
+pub fn silhouette_from_pairwise(dist: &[Vec<f64>], partition: &Partition) -> Option<f64> {
+    assert_eq!(dist.len(), partition.len(), "length mismatch");
+    silhouette_with(|i, j| dist[i][j], partition)
+}
+
+/// The shared Silhouette loop over an arbitrary pairwise distance oracle.
+fn silhouette_with(distance: impl Fn(usize, usize) -> f64, partition: &Partition) -> Option<f64> {
     let members = partition.cluster_members();
     let non_empty: Vec<&Vec<usize>> = members.iter().filter(|m| !m.is_empty()).collect();
     if non_empty.len() < 2 {
@@ -43,7 +62,7 @@ pub fn silhouette_coefficient<D: Distance + ?Sized>(
             let a: f64 = cluster
                 .iter()
                 .filter(|&&j| j != i)
-                .map(|&j| metric.distance(data.row(i), data.row(j)))
+                .map(|&j| distance(i, j))
                 .sum::<f64>()
                 / (cluster.len() - 1) as f64;
 
@@ -52,11 +71,8 @@ pub fn silhouette_coefficient<D: Distance + ?Sized>(
                 if ci == cj {
                     continue;
                 }
-                let mean_d: f64 = other
-                    .iter()
-                    .map(|&j| metric.distance(data.row(i), data.row(j)))
-                    .sum::<f64>()
-                    / other.len() as f64;
+                let mean_d: f64 =
+                    other.iter().map(|&j| distance(i, j)).sum::<f64>() / other.len() as f64;
                 if mean_d < b {
                     b = mean_d;
                 }
@@ -126,6 +142,24 @@ mod tests {
             Partition::from_optional_ids(&[Some(0), Some(0), None, Some(1), Some(1), None]);
         let s = silhouette_coefficient(&data, &with_noise, &Euclidean).unwrap();
         assert!(s > 0.9);
+    }
+
+    #[test]
+    fn pairwise_variant_is_bit_identical() {
+        let data = two_blobs();
+        let dist = cvcp_data::distance::pairwise_matrix(&data, &Euclidean);
+        for ids in [
+            vec![0, 0, 0, 1, 1, 1],
+            vec![0, 1, 0, 1, 0, 1],
+            vec![0, 0, 1, 1, 2, 2],
+        ] {
+            let p = Partition::from_cluster_ids(&ids);
+            assert_eq!(
+                silhouette_coefficient(&data, &p, &Euclidean),
+                silhouette_from_pairwise(&dist, &p),
+                "ids {ids:?}"
+            );
+        }
     }
 
     #[test]

@@ -28,21 +28,49 @@ impl TTestResult {
     }
 }
 
+/// Error returned by [`paired_t_test`] when the two samples are not paired
+/// (different lengths).
+///
+/// A recoverable error rather than a panic: a malformed request against a
+/// long-lived, shared engine must fail that request alone, not take a worker
+/// thread down with it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleLengthMismatch {
+    /// Length of the first sample.
+    pub len_a: usize,
+    /// Length of the second sample.
+    pub len_b: usize,
+}
+
+impl std::fmt::Display for SampleLengthMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "paired samples must have equal length (got {} and {})",
+            self.len_a, self.len_b
+        )
+    }
+}
+
+impl std::error::Error for SampleLengthMismatch {}
+
 /// Performs a two-sided paired t-test of `a` against `b`.
 ///
-/// Returns `None` when fewer than two pairs are available or when the paired
-/// differences have (numerically) zero variance *and* zero mean — in the
-/// zero-variance, non-zero-mean case the difference is deterministic and the
-/// result reports `p_value = 0.0`.
-///
-/// # Panics
-///
-/// Panics if the slices have different lengths.
-pub fn paired_t_test(a: &[f64], b: &[f64]) -> Option<TTestResult> {
-    assert_eq!(a.len(), b.len(), "paired samples must have equal length");
+/// Returns `Err` when the samples have different lengths (they cannot be
+/// paired).  Returns `Ok(None)` when fewer than two pairs are available or
+/// when the paired differences have (numerically) zero variance *and* zero
+/// mean — in the zero-variance, non-zero-mean case the difference is
+/// deterministic and the result reports `p_value = 0.0`.
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> Result<Option<TTestResult>, SampleLengthMismatch> {
+    if a.len() != b.len() {
+        return Err(SampleLengthMismatch {
+            len_a: a.len(),
+            len_b: b.len(),
+        });
+    }
     let n = a.len();
     if n < 2 {
-        return None;
+        return Ok(None);
     }
     let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
     let mean_d = diffs.iter().sum::<f64>() / n as f64;
@@ -55,10 +83,10 @@ pub fn paired_t_test(a: &[f64], b: &[f64]) -> Option<TTestResult> {
 
     if var_d <= 1e-24 {
         if mean_d.abs() <= 1e-24 {
-            return None;
+            return Ok(None);
         }
         // Deterministic non-zero difference: infinitely significant.
-        return Some(TTestResult {
+        return Ok(Some(TTestResult {
             t_statistic: if mean_d > 0.0 {
                 f64::INFINITY
             } else {
@@ -68,19 +96,19 @@ pub fn paired_t_test(a: &[f64], b: &[f64]) -> Option<TTestResult> {
             p_value: 0.0,
             mean_difference: mean_d,
             n,
-        });
+        }));
     }
 
     let se = (var_d / n as f64).sqrt();
     let t = mean_d / se;
     let p = 2.0 * (1.0 - student_t_cdf(t.abs(), df as f64));
-    Some(TTestResult {
+    Ok(Some(TTestResult {
         t_statistic: t,
         degrees_of_freedom: df,
         p_value: p.clamp(0.0, 1.0),
         mean_difference: mean_d,
         n,
-    })
+    }))
 }
 
 /// CDF of the Student-t distribution with `df` degrees of freedom, evaluated
@@ -246,7 +274,7 @@ mod tests {
     fn paired_t_test_detects_clear_difference() {
         let a = [0.80, 0.82, 0.78, 0.85, 0.79, 0.81, 0.83, 0.80];
         let b = [0.70, 0.71, 0.69, 0.74, 0.68, 0.72, 0.73, 0.70];
-        let r = paired_t_test(&a, &b).unwrap();
+        let r = paired_t_test(&a, &b).unwrap().unwrap();
         assert!(r.t_statistic > 5.0);
         assert!(r.p_value < 0.001);
         assert!(r.significant_at(0.05));
@@ -258,7 +286,7 @@ mod tests {
     fn paired_t_test_no_difference_is_insignificant() {
         let a = [0.5, 0.6, 0.55, 0.62, 0.48, 0.51, 0.59, 0.53];
         let b = [0.51, 0.59, 0.56, 0.61, 0.49, 0.50, 0.60, 0.52];
-        let r = paired_t_test(&a, &b).unwrap();
+        let r = paired_t_test(&a, &b).unwrap().unwrap();
         assert!(!r.significant_at(0.05), "p = {}", r.p_value);
     }
 
@@ -268,7 +296,7 @@ mod tests {
         // t = 3.873
         let a = [2.0, 4.0, 6.0, 8.0];
         let b = [1.0, 2.0, 3.0, 4.0];
-        let r = paired_t_test(&a, &b).unwrap();
+        let r = paired_t_test(&a, &b).unwrap().unwrap();
         assert!((r.t_statistic - 3.872983).abs() < 1e-5);
         assert_eq!(r.degrees_of_freedom, 3);
         // two-sided p ≈ 0.0305
@@ -277,17 +305,23 @@ mod tests {
 
     #[test]
     fn degenerate_inputs() {
-        assert!(paired_t_test(&[1.0], &[2.0]).is_none());
-        assert!(paired_t_test(&[1.0, 1.0], &[1.0, 1.0]).is_none());
-        let det = paired_t_test(&[2.0, 2.0], &[1.0, 1.0]).unwrap();
+        assert!(paired_t_test(&[1.0], &[2.0]).unwrap().is_none());
+        assert!(paired_t_test(&[1.0, 1.0], &[1.0, 1.0]).unwrap().is_none());
+        let det = paired_t_test(&[2.0, 2.0], &[1.0, 1.0]).unwrap().unwrap();
         assert_eq!(det.p_value, 0.0);
         assert!(det.t_statistic.is_infinite());
     }
 
     #[test]
-    #[should_panic(expected = "equal length")]
-    fn mismatched_lengths_panic() {
-        let _ = paired_t_test(&[1.0, 2.0], &[1.0]);
+    fn mismatched_lengths_are_a_recoverable_error() {
+        // A malformed request must come back as an error — never a panic
+        // that could kill a shared engine worker.
+        let err = paired_t_test(&[1.0, 2.0], &[1.0]).unwrap_err();
+        assert_eq!(err, SampleLengthMismatch { len_a: 2, len_b: 1 });
+        assert!(err.to_string().contains("equal length"));
+        assert!(paired_t_test(&[], &[1.0]).is_err());
+        // equal-length empty input is not a mismatch, just too few pairs
+        assert!(paired_t_test(&[], &[]).unwrap().is_none());
     }
 
     proptest! {
@@ -305,7 +339,9 @@ mod tests {
         fn prop_p_value_symmetric(pairs in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 3..30)) {
             let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
             let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
-            if let (Some(r1), Some(r2)) = (paired_t_test(&a, &b), paired_t_test(&b, &a)) {
+            if let (Some(r1), Some(r2)) =
+                (paired_t_test(&a, &b).unwrap(), paired_t_test(&b, &a).unwrap())
+            {
                 prop_assert!((r1.p_value - r2.p_value).abs() < 1e-9);
                 prop_assert!((r1.t_statistic + r2.t_statistic).abs() < 1e-9);
             }

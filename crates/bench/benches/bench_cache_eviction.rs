@@ -16,8 +16,9 @@
 //! build.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use cvcp_bench::aloi_dataset;
+use cvcp_bench::{aloi_dataset, write_bench_json};
 use cvcp_core::experiment::{run_experiment_on, ExperimentConfig, SideInfoSpec, TrialOutcome};
+use cvcp_core::json::{Json, ToJson};
 use cvcp_core::{CvcpConfig, Engine, FoscMethod, MpckMethod};
 use cvcp_engine::CacheConfig;
 use std::time::Instant;
@@ -118,6 +119,24 @@ fn bench_cache_eviction(c: &mut Criterion) {
         stats.evictions,
         stats.evicted_bytes as f64 / (1024.0 * 1024.0),
         stats.peak_resident_bytes as f64 / (1024.0 * 1024.0),
+    );
+
+    // Machine-readable summary for the CI perf-trajectory artifact.
+    write_bench_json(
+        "bench_cache_eviction",
+        &Json::obj([
+            ("working_set_bytes", full.resident_bytes.to_json()),
+            ("budget_bytes", budget.to_json()),
+            ("unbounded_ms", (unbounded_secs * 1e3).to_json()),
+            ("unbounded_hit_rate", full.hit_rate().to_json()),
+            ("bounded_ms", (bounded_secs * 1e3).to_json()),
+            ("bounded_hit_rate", stats.hit_rate().to_json()),
+            ("bounded_evictions", stats.evictions.to_json()),
+            ("bounded_evicted_bytes", stats.evicted_bytes.to_json()),
+            ("bounded_peak_bytes", stats.peak_resident_bytes.to_json()),
+            ("entry_bounded_evictions", entry_stats.evictions.to_json()),
+            ("results_bit_identical_under_budget", true.to_json()),
+        ]),
     );
 
     let mut group = c.benchmark_group("engine/cache_eviction");

@@ -15,10 +15,11 @@
 //! bit-identical across engine thread counts on every measurement.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use cvcp_bench::{aloi_dataset, labels_for};
+use cvcp_bench::{aloi_dataset, labels_for, write_bench_json};
 use cvcp_constraints::folds::label_scenario_folds;
 use cvcp_constraints::SideInformation;
 use cvcp_core::crossval::evaluate_parameter_on_folds;
+use cvcp_core::json::{Json, ToJson};
 use cvcp_core::{select_model_with, CvcpConfig, CvcpSelection, Engine, FoscMethod, MpckMethod};
 use cvcp_data::rng::SeededRng;
 use cvcp_data::Dataset;
@@ -215,6 +216,45 @@ fn bench_engine(c: &mut Criterion) {
     // (FOSC is rng-free, so fold scores are comparable across paths).
     let naive_scores = naive_grid(&ds, &side);
     assert_eq!(naive_scores.len(), reference.scores().len());
+
+    // Machine-readable summary for the CI perf-trajectory artifact.
+    write_bench_json(
+        "bench_engine",
+        &Json::obj([
+            (
+                "fosc_grid",
+                Json::obj([
+                    ("naive_sequential_ms", (naive * 1e3).to_json()),
+                    ("engine_1worker_ms", (engine1 * 1e3).to_json()),
+                    ("engine_4workers_ms", (engine4 * 1e3).to_json()),
+                    ("speedup_1worker", (naive / engine1).to_json()),
+                    ("speedup_4workers", (naive / engine4).to_json()),
+                    ("cache_hit_rate", hit_rate.to_json()),
+                    ("min_hit_rate_gate", MIN_FOSC_HIT_RATE.to_json()),
+                ]),
+            ),
+            (
+                "warm_cache",
+                Json::obj([
+                    ("cold_ms", (cold.0 * 1e3).to_json()),
+                    ("warm_ms", (warm.0 * 1e3).to_json()),
+                    ("speedup", (cold.0 / warm.0).to_json()),
+                ]),
+            ),
+            (
+                "mpck_grid",
+                Json::obj([
+                    ("engine_ms", (mpck_secs * 1e3).to_json()),
+                    ("selected_k", mpck_sel.best_param.to_json()),
+                    ("cache_hit_rate", mpck_stats.hit_rate().to_json()),
+                    ("cache_hits", mpck_stats.hits.to_json()),
+                    ("cache_misses", mpck_stats.misses.to_json()),
+                    ("resident_artifacts", mpck_stats.resident_entries.to_json()),
+                    ("min_hit_rate_gate", MIN_MPCK_HIT_RATE.to_json()),
+                ]),
+            ),
+        ]),
+    );
 }
 
 criterion_group!(benches, bench_engine);

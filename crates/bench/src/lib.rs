@@ -49,6 +49,22 @@ pub fn rng() -> SeededRng {
     SeededRng::new(BENCH_SEED + 3)
 }
 
+/// Writes a benchmark's headline numbers as pretty JSON under the
+/// workspace's `target/bench/`, so CI can upload the perf trajectory as a
+/// per-commit artifact.  The path is anchored on this crate's manifest
+/// directory, making it independent of the invoking working directory.
+pub fn write_bench_json(name: &str, value: &cvcp_core::json::Json) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("target")
+        .join("bench");
+    std::fs::create_dir_all(&dir).expect("create target/bench");
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, value.pretty()).expect("write bench json");
+    println!("[bench json written to {}]", path.display());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

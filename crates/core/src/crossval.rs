@@ -183,17 +183,33 @@ pub(crate) fn evaluate_grid_inline(
         .iter()
         .enumerate()
         .map(|(pi, &param)| {
-            let folds = splits
-                .iter()
-                .filter(|split| !split.test_constraints.is_empty())
-                .map(|split| {
-                    let mut rng = base.fork_stream(grid_salt(pi, split.fold));
-                    score_fold(&*clusterers[pi], data, split, &mut rng, cache)
-                })
-                .collect();
-            reduce_fold_scores(param, folds)
+            evaluate_param_inline(&*clusterers[pi], pi, param, data, splits, base, cache)
         })
         .collect()
+}
+
+/// One column of the inline grid: evaluates candidate `pi` (value `param`)
+/// over every non-empty fold, drawing from the same salted streams as the
+/// engine's job DAG.  Shared by [`evaluate_grid_inline`] and the streaming
+/// selection path, which needs per-parameter completion events.
+pub(crate) fn evaluate_param_inline(
+    clusterer: &dyn SemiSupervisedClusterer,
+    pi: usize,
+    param: usize,
+    data: &DataMatrix,
+    splits: &[FoldSplit],
+    base: &SeededRng,
+    cache: Option<&ArtifactCache>,
+) -> ParameterEvaluation {
+    let folds = splits
+        .iter()
+        .filter(|split| !split.test_constraints.is_empty())
+        .map(|split| {
+            let mut rng = base.fork_stream(grid_salt(pi, split.fold));
+            score_fold(clusterer, data, split, &mut rng, cache)
+        })
+        .collect();
+    reduce_fold_scores(param, folds)
 }
 
 #[cfg(test)]

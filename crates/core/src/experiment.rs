@@ -26,6 +26,7 @@
 use crate::algorithm::{ParameterizedMethod, SemiSupervisedClusterer};
 use crate::baselines::expected_quality;
 use crate::crossval::{build_folds, evaluate_grid_inline, CvcpConfig};
+use crate::json::{Json, ToJson};
 use crate::selection::reduce_evaluations;
 use cvcp_constraints::generate::{constraint_pool, sample_constraints, sample_labeled_subset};
 use cvcp_constraints::SideInformation;
@@ -405,6 +406,63 @@ impl ExperimentSummary {
         self.cvcp_vs_expected
             .as_ref()
             .is_some_and(|t| t.significant_at(alpha) && t.mean_difference > 0.0)
+    }
+}
+
+fn summary_json(s: &Summary) -> Json {
+    Json::obj([
+        ("n", s.n.to_json()),
+        ("mean", s.mean.to_json()),
+        ("std", s.std.to_json()),
+        ("min", s.min.to_json()),
+        ("max", s.max.to_json()),
+    ])
+}
+
+fn ttest_json(t: &TTestResult) -> Json {
+    Json::obj([
+        ("t_statistic", t.t_statistic.to_json()),
+        ("degrees_of_freedom", t.degrees_of_freedom.to_json()),
+        ("p_value", t.p_value.to_json()),
+        ("mean_difference", t.mean_difference.to_json()),
+        ("n", t.n.to_json()),
+    ])
+}
+
+impl ToJson for ExperimentSummary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("dataset", self.dataset.to_json()),
+            ("method", self.method.to_json()),
+            ("side_info", self.side_info.to_json()),
+            ("cvcp", summary_json(&self.cvcp)),
+            ("expected", summary_json(&self.expected)),
+            (
+                "silhouette",
+                match &self.silhouette {
+                    Some(s) => summary_json(s),
+                    None => Json::Null,
+                },
+            ),
+            ("mean_correlation", self.mean_correlation.to_json()),
+            (
+                "cvcp_vs_expected",
+                match &self.cvcp_vs_expected {
+                    Some(t) => ttest_json(t),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "cvcp_vs_silhouette",
+                match &self.cvcp_vs_silhouette {
+                    Some(t) => ttest_json(t),
+                    None => Json::Null,
+                },
+            ),
+            ("cvcp_values", self.cvcp_values.to_json()),
+            ("expected_values", self.expected_values.to_json()),
+            ("silhouette_values", self.silhouette_values.to_json()),
+        ])
     }
 }
 

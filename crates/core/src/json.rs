@@ -1,0 +1,756 @@
+//! Minimal JSON document model shared by the experiment binaries and the
+//! serving front-end.
+//!
+//! The workspace builds in an offline container, so `serde`/`serde_json`
+//! are not available.  This module covers both directions of the wire in a
+//! few hundred lines: a pretty emitter (for the experiment result files), a
+//! compact single-line emitter (for the newline-delimited serving
+//! protocol), and a strict recursive-descent parser ([`Json::parse`]) with
+//! a depth limit so arbitrary network input can never overflow the stack.
+//!
+//! The module used to live in `cvcp-experiments`, which only ever *emitted*
+//! JSON; it moved here when the `cvcp-server` front-end started parsing
+//! requests, so both crates share one document model.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number (non-finite values serialise as `null`, like serde_json).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj<I: IntoIterator<Item = (&'static str, Json)>>(pairs: I) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Pretty-prints with two-space indentation (matching `to_string_pretty`).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, true);
+        out
+    }
+
+    /// Serialises onto a single line with no whitespace — the framing used
+    /// by the newline-delimited serving protocol.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, false);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize, pretty: bool) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => write_number(out, *x),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if pretty {
+                        out.push('\n');
+                        indent(out, depth + 1);
+                    }
+                    item.write(out, depth + 1, pretty);
+                }
+                if pretty {
+                    out.push('\n');
+                    indent(out, depth);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if pretty {
+                        out.push('\n');
+                        indent(out, depth + 1);
+                    }
+                    write_escaped(out, key);
+                    out.push_str(if pretty { ": " } else { ":" });
+                    value.write(out, depth + 1, pretty);
+                }
+                if pretty {
+                    out.push('\n');
+                    indent(out, depth);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    // -- accessors used by the request parser -------------------------------
+
+    /// The value of `key` when this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string content when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, when this is a number with an
+    /// exact `usize` representation.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(x) if x.fract() == 0.0 && *x >= 0.0 && *x < 9e15 => Some(*x as usize),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, when this is a number with an exact
+    /// representation.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if x.fract() == 0.0 && *x >= 0.0 && *x < 9e15 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean value when this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The items when this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses a complete JSON document (a single value followed only by
+    /// whitespace).
+    ///
+    /// The parser is strict — no trailing commas, no comments, no bare
+    /// identifiers — and limits nesting depth so adversarial input cannot
+    /// overflow the stack.  It accepts everything the emitters above
+    /// produce, so `parse(emit(v)) == v` for every finite document.
+    pub fn parse(input: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonParseError::TrailingData { pos: p.pos });
+        }
+        Ok(value)
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+    } else if x.fract() == 0.0 && x.abs() < 9e15 {
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        let _ = write!(out, "{x}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Maximum nesting depth accepted by [`Json::parse`].  Recursive descent
+/// uses one stack frame per level, so the bound is what keeps arbitrary
+/// (possibly adversarial) network input from overflowing the thread stack.
+const MAX_DEPTH: usize = 128;
+
+/// Why [`Json::parse`] rejected a document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonParseError {
+    /// Input ended in the middle of a value.
+    UnexpectedEof,
+    /// An unexpected byte at the given offset.
+    UnexpectedChar {
+        /// Byte offset into the input.
+        pos: usize,
+        /// The offending byte.
+        found: u8,
+    },
+    /// A malformed number literal at the given offset.
+    InvalidNumber {
+        /// Byte offset into the input.
+        pos: usize,
+    },
+    /// A malformed `\` escape (or invalid `\u` surrogate pairing).
+    InvalidEscape {
+        /// Byte offset into the input.
+        pos: usize,
+    },
+    /// A raw control character inside a string literal.
+    ControlInString {
+        /// Byte offset into the input.
+        pos: usize,
+    },
+    /// Nesting exceeded the supported depth.
+    TooDeep,
+    /// A complete value was parsed but non-whitespace input remained.
+    TrailingData {
+        /// Byte offset of the first trailing byte.
+        pos: usize,
+    },
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonParseError::UnexpectedEof => write!(f, "unexpected end of input"),
+            JsonParseError::UnexpectedChar { pos, found } => {
+                write!(f, "unexpected byte 0x{found:02x} at offset {pos}")
+            }
+            JsonParseError::InvalidNumber { pos } => {
+                write!(f, "malformed number at offset {pos}")
+            }
+            JsonParseError::InvalidEscape { pos } => {
+                write!(f, "invalid string escape at offset {pos}")
+            }
+            JsonParseError::ControlInString { pos } => {
+                write!(f, "raw control character in string at offset {pos}")
+            }
+            JsonParseError::TooDeep => write!(f, "nesting deeper than {MAX_DEPTH} levels"),
+            JsonParseError::TrailingData { pos } => {
+                write!(f, "trailing data after the document at offset {pos}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
+        match self.peek() {
+            Some(b) if b == byte => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(found) => Err(JsonParseError::UnexpectedChar {
+                pos: self.pos,
+                found,
+            }),
+            None => Err(JsonParseError::UnexpectedEof),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(JsonParseError::UnexpectedChar {
+                pos: self.pos,
+                found: self.bytes[self.pos],
+            })
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonParseError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(JsonParseError::TooDeep);
+        }
+        match self.peek() {
+            None => Err(JsonParseError::UnexpectedEof),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(found) => Err(JsonParseError::UnexpectedChar {
+                pos: self.pos,
+                found,
+            }),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'[')?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Arr(items));
+                }
+                Some(found) => {
+                    return Err(JsonParseError::UnexpectedChar {
+                        pos: self.pos,
+                        found,
+                    })
+                }
+                None => return Err(JsonParseError::UnexpectedEof),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'{')?;
+        self.depth += 1;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Obj(fields));
+                }
+                Some(found) => {
+                    return Err(JsonParseError::UnexpectedChar {
+                        pos: self.pos,
+                        found,
+                    })
+                }
+                None => return Err(JsonParseError::UnexpectedEof),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            match self.peek() {
+                None => return Err(JsonParseError::UnexpectedEof),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or(JsonParseError::UnexpectedEof)?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4(start)?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // High surrogate: a \uXXXX low surrogate must
+                                // follow immediately.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(JsonParseError::InvalidEscape { pos: start });
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(JsonParseError::InvalidEscape { pos: start });
+                                }
+                                self.pos += 1;
+                                let lo = self.hex4(start)?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(JsonParseError::InvalidEscape { pos: start });
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or(JsonParseError::InvalidEscape { pos: start })?
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or(JsonParseError::InvalidEscape { pos: start })?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(JsonParseError::InvalidEscape { pos: start }),
+                    }
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(JsonParseError::ControlInString { pos: self.pos })
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so the
+                    // byte stream is valid UTF-8 by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).expect("input is valid UTF-8");
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self, escape_start: usize) -> Result<u32, JsonParseError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(JsonParseError::UnexpectedEof);
+        }
+        let digits = &self.bytes[self.pos..self.pos + 4];
+        let s = std::str::from_utf8(digits)
+            .map_err(|_| JsonParseError::InvalidEscape { pos: escape_start })?;
+        let v = u32::from_str_radix(s, 16)
+            .map_err(|_| JsonParseError::InvalidEscape { pos: escape_start })?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: one zero, or a non-zero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(JsonParseError::InvalidNumber { pos: start }),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(JsonParseError::InvalidNumber { pos: start });
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(JsonParseError::InvalidNumber { pos: start });
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| JsonParseError::InvalidNumber { pos: start })
+    }
+}
+
+/// Conversion into the JSON document model.
+pub trait ToJson {
+    /// Converts `self` into a [`Json`] value.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::Num(*self as f64)
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self as f64)
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_printing_matches_expected_shape() {
+        let v = Json::obj([
+            ("name", "aloi".to_json()),
+            ("scores", vec![0.5, 1.0].to_json()),
+            ("missing", Json::Null),
+        ]);
+        let s = v.pretty();
+        assert!(s.starts_with("{\n"));
+        assert!(s.contains("\"name\": \"aloi\""));
+        assert!(s.contains("\"missing\": null"));
+        assert!(s.contains("0.5"));
+    }
+
+    #[test]
+    fn integers_render_without_decimal_point() {
+        assert_eq!(Json::Num(3.0).pretty(), "3");
+        assert_eq!(Json::Num(0.25).pretty(), "0.25");
+        assert_eq!(Json::Num(f64::NAN).pretty(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(
+            Json::Str("a\"b\\c\nd".to_string()).pretty(),
+            "\"a\\\"b\\\\c\\nd\""
+        );
+    }
+
+    #[test]
+    fn empty_containers_are_compact() {
+        assert_eq!(Json::Arr(vec![]).pretty(), "[]");
+        assert_eq!(Json::Obj(vec![]).pretty(), "{}");
+    }
+
+    #[test]
+    fn compact_emits_a_single_line() {
+        let v = Json::obj([
+            ("a", 1.0.to_json()),
+            ("b", vec![true, false].to_json()),
+            ("c", Json::obj([("d", "x\ny".to_json())])),
+        ]);
+        let s = v.compact();
+        assert!(!s.contains('\n'), "compact output must be one line: {s}");
+        assert_eq!(s, r#"{"a":1,"b":[true,false],"c":{"d":"x\ny"}}"#);
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("42").unwrap(), Json::Num(42.0));
+        assert_eq!(Json::parse("-0.5e2").unwrap(), Json::Num(-50.0));
+        assert_eq!(Json::parse("\"hi\"").unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_containers_and_accessors_work() {
+        let v = Json::parse(r#"{"a": [1, 2.5, "x"], "b": {"c": true}, "n": 7}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("n").unwrap().as_usize(), Some(7));
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[2].as_str(), Some("x"));
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        assert_eq!(
+            Json::parse(r#""a\"b\\c\nd\u0041\u00e9""#).unwrap(),
+            Json::Str("a\"b\\c\ndAé".into())
+        );
+        // surrogate pair
+        assert_eq!(
+            Json::parse(r#""\ud834\udd1e""#).unwrap(),
+            Json::Str("\u{1D11E}".into())
+        );
+        // lone surrogate is rejected
+        assert!(Json::parse(r#""\ud834""#).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[",
+            "\"",
+            "nul",
+            "tru",
+            "+1",
+            "01",
+            "1.",
+            "1e",
+            "--1",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{a:1}",
+            "[1] garbage",
+            "\u{1}",
+            "\"\u{1}\"",
+            "\"\\q\"",
+        ] {
+            assert!(
+                Json::parse(bad).is_err(),
+                "expected parse error for {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        assert_eq!(Json::parse(&deep), Err(JsonParseError::TooDeep));
+    }
+
+    #[test]
+    fn emit_parse_round_trips() {
+        let v = Json::obj([
+            ("name", "aloi_like".to_json()),
+            ("scores", vec![0.5, 1.0, 0.3333333333333333].to_json()),
+            ("count", 125usize.to_json()),
+            ("nested", Json::Arr(vec![Json::Null, Json::Bool(true)])),
+            ("text", "line\nbreak \"quoted\" \\ \u{1F600}".to_json()),
+        ]);
+        assert_eq!(Json::parse(&v.pretty()).unwrap(), v);
+        assert_eq!(Json::parse(&v.compact()).unwrap(), v);
+    }
+}

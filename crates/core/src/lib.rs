@@ -55,7 +55,9 @@ pub mod algorithm;
 pub mod baselines;
 pub mod crossval;
 pub mod experiment;
+pub mod json;
 pub mod report;
+pub mod request;
 pub mod selection;
 
 pub use algorithm::{FoscMethod, MpckMethod, ParameterizedMethod, SemiSupervisedClusterer};
@@ -66,7 +68,15 @@ pub use experiment::{
     run_experiment, run_experiment_on, summarize, ExperimentConfig, ExperimentSummary,
     SideInfoSpec, TrialOutcome,
 };
-pub use selection::{select_model, select_model_with, CvcpSelection};
+pub use json::{Json, JsonParseError, ToJson};
+pub use request::{
+    run_selection_request, Algorithm, RealizedSelection, RequestError, RunRequestError,
+    SelectionRequest,
+};
+pub use selection::{
+    select_model, select_model_streaming, select_model_with, CvcpSelection, SelectionCancelled,
+    SelectionProgress,
+};
 
 /// Convenience re-exports.
 pub mod prelude {

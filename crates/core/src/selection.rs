@@ -3,14 +3,15 @@
 
 use crate::algorithm::{ParameterizedMethod, SemiSupervisedClusterer};
 use crate::crossval::{
-    build_folds, evaluate_grid_inline, grid_salt, reduce_fold_scores, score_fold, CvcpConfig,
+    build_folds, evaluate_param_inline, grid_salt, reduce_fold_scores, score_fold, CvcpConfig,
     FoldScore, ParameterEvaluation,
 };
 use cvcp_constraints::folds::FoldSplit;
 use cvcp_constraints::SideInformation;
 use cvcp_data::rng::SeededRng;
 use cvcp_data::{DataMatrix, Partition};
-use cvcp_engine::{Engine, JobGraph, JobId};
+use cvcp_engine::{CancelToken, Engine, JobGraph, JobId};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Salt of the RNG stream that feeds the evaluation grid (applied as one
@@ -89,6 +90,58 @@ pub fn select_model(
     )
 }
 
+/// One per-parameter completion event of a streaming selection.
+///
+/// Events are emitted as soon as every fold of a candidate parameter has
+/// been evaluated; on a multi-threaded engine the emission *order* follows
+/// execution and is therefore not deterministic, but the set of events (and
+/// the final [`CvcpSelection`]) is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectionProgress {
+    /// The candidate parameter that just finished.
+    pub param: usize,
+    /// Its CVCP score (mean F-measure over the folds).
+    pub score: f64,
+    /// How many candidates have finished so far (including this one).
+    pub completed: usize,
+    /// Total number of candidates.
+    pub total: usize,
+}
+
+/// Error returned by [`select_model_streaming`] when its [`CancelToken`]
+/// was cancelled before the selection finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectionCancelled;
+
+impl std::fmt::Display for SelectionCancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "model selection was cancelled")
+    }
+}
+
+impl std::error::Error for SelectionCancelled {}
+
+/// Shared progress state: the caller's callback plus the completion
+/// counter.  Lives behind an `Arc` so per-parameter DAG jobs (which must be
+/// `'static`) can emit into it.
+pub(crate) struct ProgressSink {
+    callback: Mutex<Box<dyn FnMut(SelectionProgress) + Send>>,
+    completed: AtomicUsize,
+    total: usize,
+}
+
+impl ProgressSink {
+    fn emit(&self, param: usize, score: f64) {
+        let completed = self.completed.fetch_add(1, Ordering::SeqCst) + 1;
+        (self.callback.lock().expect("progress callback lock"))(SelectionProgress {
+            param,
+            score,
+            completed,
+            total: self.total,
+        });
+    }
+}
+
 /// Runs CVCP model selection on an execution engine.
 ///
 /// The request is modelled as a job DAG: one artifact job per candidate
@@ -122,11 +175,72 @@ pub fn select_model_with(
         .iter()
         .map(|&p| Arc::from(method.instantiate(p)))
         .collect();
-    select_model_prepared(engine, &clusterers, params, data, &splits, base)
+    select_model_prepared(engine, &clusterers, params, data, &splits, base, None, None)
+        .expect("selection without a cancel token cannot be cancelled")
+}
+
+/// Like [`select_model_with`], but emits a [`SelectionProgress`] event as
+/// each candidate parameter finishes and honours an optional
+/// [`CancelToken`] — the serving front-end's entry point.
+///
+/// The final [`CvcpSelection`] is **bit-identical** to the one
+/// [`select_model_with`] returns for the same inputs: progress jobs only
+/// observe the evaluation grid, they never draw randomness, so the salted
+/// RNG streams of the grid cells are unchanged.
+///
+/// Cancellation skips jobs that have not started; the function then
+/// returns `Err(SelectionCancelled)`.  When the token fires after the
+/// final reduction has already run, the completed selection is returned.
+///
+/// # Panics
+///
+/// Panics if `params` is empty, or if an evaluation job panics.
+#[allow(clippy::too_many_arguments)]
+pub fn select_model_streaming<F>(
+    engine: &Engine,
+    method: &dyn ParameterizedMethod,
+    data: &DataMatrix,
+    side: &SideInformation,
+    params: &[usize],
+    config: &CvcpConfig,
+    rng: &mut SeededRng,
+    cancel: Option<CancelToken>,
+    on_progress: F,
+) -> Result<CvcpSelection, SelectionCancelled>
+where
+    F: FnMut(SelectionProgress) + Send + 'static,
+{
+    assert!(
+        !params.is_empty(),
+        "at least one candidate parameter is required"
+    );
+    let splits = build_folds(side, config, rng);
+    let base = rng.fork(SELECTION_STREAM_SALT);
+    let clusterers: Vec<Arc<dyn SemiSupervisedClusterer>> = params
+        .iter()
+        .map(|&p| Arc::from(method.instantiate(p)))
+        .collect();
+    let sink = Arc::new(ProgressSink {
+        callback: Mutex::new(Box::new(on_progress)),
+        completed: AtomicUsize::new(0),
+        total: params.len(),
+    });
+    select_model_prepared(
+        engine,
+        &clusterers,
+        params,
+        data,
+        &splits,
+        base,
+        cancel,
+        Some(sink),
+    )
 }
 
 /// Grid evaluation on pre-instantiated clusterers (shared by
-/// [`select_model_with`] and the experiment harness).
+/// [`select_model_with`], [`select_model_streaming`] and the experiment
+/// harness).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn select_model_prepared(
     engine: &Engine,
     clusterers: &[Arc<dyn SemiSupervisedClusterer>],
@@ -134,20 +248,34 @@ pub(crate) fn select_model_prepared(
     data: &DataMatrix,
     splits: &[FoldSplit],
     base: SeededRng,
-) -> CvcpSelection {
+    cancel: Option<CancelToken>,
+    sink: Option<Arc<ProgressSink>>,
+) -> Result<CvcpSelection, SelectionCancelled> {
+    let is_cancelled = || cancel.as_ref().is_some_and(CancelToken::is_cancelled);
     // Tiny grids are not worth a DAG round-trip on a sequential engine, but
     // correctness must not depend on this short-cut: the inline evaluator
     // uses the same salted streams as the graph below.
     if engine.n_threads() <= 1 {
-        let evaluations = evaluate_grid_inline(
-            clusterers,
-            params,
-            data,
-            splits,
-            &base,
-            Some(engine.cache()),
-        );
-        return reduce_evaluations(evaluations);
+        let mut evaluations = Vec::with_capacity(params.len());
+        for (pi, clusterer) in clusterers.iter().enumerate() {
+            if is_cancelled() {
+                return Err(SelectionCancelled);
+            }
+            let eval = evaluate_param_inline(
+                &**clusterer,
+                pi,
+                params[pi],
+                data,
+                splits,
+                &base,
+                Some(engine.cache()),
+            );
+            if let Some(sink) = &sink {
+                sink.emit(eval.param, eval.score);
+            }
+            evaluations.push(eval);
+        }
+        return Ok(reduce_evaluations(evaluations));
     }
 
     let data = Arc::new(data.clone());
@@ -159,6 +287,9 @@ pub(crate) fn select_model_prepared(
     ));
 
     let mut graph: JobGraph<Option<CvcpSelection>> = JobGraph::with_base_rng(base);
+    if let Some(token) = cancel.clone() {
+        graph.set_cancel_token(token);
+    }
     // One artifact job per fold precomputes the structures shared by every
     // parameter evaluated on that fold's training information (MPCKMeans'
     // transitive closure and seeding neighbourhoods are k-invariant), so a
@@ -190,6 +321,7 @@ pub(crate) fn select_model_prepared(
                 None
             })
         };
+        let mut param_eval_ids = Vec::new();
         for (si, split) in splits.iter().enumerate() {
             if split.test_constraints.is_empty() {
                 continue;
@@ -208,6 +340,27 @@ pub(crate) fn select_model_prepared(
                 None
             });
             eval_ids.push(id);
+            param_eval_ids.push(id);
+        }
+        // Streaming: one progress job per candidate, downstream of exactly
+        // that candidate's grid cells.  It only reads the grid — no
+        // randomness — so its presence cannot perturb the evaluation
+        // streams, keeping streamed and non-streamed selections
+        // bit-identical.
+        if let Some(sink) = &sink {
+            let sink = Arc::clone(sink);
+            let grid = Arc::clone(&grid);
+            let param = params[pi];
+            graph.add_salted_job(&param_eval_ids, (4 << 48) | pi as u64, move |_ctx| {
+                let folds: Vec<FoldScore> = grid.lock().expect("grid lock")[pi]
+                    .iter()
+                    .flatten()
+                    .cloned()
+                    .collect();
+                let eval = reduce_fold_scores(param, folds);
+                sink.emit(eval.param, eval.score);
+                None
+            });
         }
     }
     {
@@ -226,7 +379,8 @@ pub(crate) fn select_model_prepared(
 
     let mut result = engine.run_graph(graph);
     match result.outcomes.pop() {
-        Some(cvcp_engine::JobOutcome::Completed(Some(selection))) => selection,
+        Some(cvcp_engine::JobOutcome::Completed(Some(selection))) => Ok(selection),
+        _ if is_cancelled() => Err(SelectionCancelled),
         _ => {
             let failure = result
                 .first_failure()

@@ -186,6 +186,50 @@ pub fn uci_corpus(seed: u64) -> Vec<Dataset> {
     ]
 }
 
+/// The names resolvable by [`replica_by_name`], in the paper's table order
+/// (the ALOI collection is addressed as `aloi` or `aloi:<index>`).
+pub const REPLICA_NAMES: [&str; 6] = [
+    "iris_like",
+    "wine_like",
+    "ionosphere_like",
+    "ecoli_like",
+    "zyeast_like",
+    "aloi",
+];
+
+/// `true` when [`replica_by_name`] would resolve `name` — a cheap,
+/// generation-free admission check (validating a network request must not
+/// cost a full replica generation).
+pub fn replica_name_is_known(name: &str) -> bool {
+    REPLICA_NAMES.contains(&name)
+        || name
+            .strip_prefix("aloi:")
+            .is_some_and(|idx| idx.parse::<usize>().is_ok())
+}
+
+/// Resolves a data-set replica by name — the registry behind network
+/// requests that reference their data set as a string.
+///
+/// Accepted names are the five UCI-style replicas ([`REPLICA_NAMES`]),
+/// `aloi` (the first data set of the ALOI k5 collection) and
+/// `aloi:<index>` for a specific member of the collection.  Unknown names
+/// (and malformed `aloi:` indices) return `None`.  Resolution is
+/// deterministic in `(name, seed)`.
+pub fn replica_by_name(name: &str, seed: u64) -> Option<Dataset> {
+    match name {
+        "iris_like" => Some(iris_like(seed)),
+        "wine_like" => Some(wine_like(seed)),
+        "ionosphere_like" => Some(ionosphere_like(seed)),
+        "ecoli_like" => Some(ecoli_like(seed)),
+        "zyeast_like" => Some(zyeast_like(seed)),
+        "aloi" => Some(crate::aloi::aloi_k5_dataset(seed, 0)),
+        _ => {
+            let index: usize = name.strip_prefix("aloi:")?.parse().ok()?;
+            Some(crate::aloi::aloi_k5_dataset(seed, index))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +303,51 @@ mod tests {
                 "zyeast_like"
             ]
         );
+    }
+
+    #[test]
+    fn replica_registry_resolves_every_published_name() {
+        for name in REPLICA_NAMES {
+            let ds = replica_by_name(name, 7).expect("published name resolves");
+            assert!(!ds.is_empty(), "{name} is non-empty");
+        }
+        // by-name resolution matches the direct constructors bit-for-bit
+        assert_eq!(replica_by_name("iris_like", 3).unwrap(), iris_like(3));
+        assert_eq!(
+            replica_by_name("aloi", 3).unwrap(),
+            crate::aloi::aloi_k5_dataset(3, 0)
+        );
+        assert_eq!(
+            replica_by_name("aloi:17", 3).unwrap(),
+            crate::aloi::aloi_k5_dataset(3, 17)
+        );
+    }
+
+    #[test]
+    fn replica_registry_rejects_unknown_names() {
+        for bad in [
+            "",
+            "iris",
+            "Iris_like",
+            "aloi:",
+            "aloi:x",
+            "aloi:-1",
+            "aloi:1.5",
+        ] {
+            assert!(
+                replica_by_name(bad, 1).is_none(),
+                "{bad:?} must not resolve"
+            );
+            assert!(!replica_name_is_known(bad), "{bad:?} must not be known");
+        }
+    }
+
+    #[test]
+    fn name_check_agrees_with_resolution() {
+        for name in REPLICA_NAMES.into_iter().chain(["aloi:42"]) {
+            assert!(replica_name_is_known(name));
+            assert!(replica_by_name(name, 1).is_some());
+        }
     }
 
     #[test]

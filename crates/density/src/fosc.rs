@@ -1,5 +1,5 @@
 //! FOSC — the Framework for Optimal Selection of Clusters from hierarchies
-//! (Campello, Moulavi, Zimek & Sander, DMKD 2013; reference [10] of the CVCP
+//! (Campello, Moulavi, Zimek & Sander, DMKD 2013; reference \[10\] of the CVCP
 //! paper).
 //!
 //! Given the condensed cluster tree, FOSC selects the non-overlapping set of

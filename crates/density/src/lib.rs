@@ -3,7 +3,7 @@
 //! The density-based clustering substrate of the CVCP suite, culminating in
 //! **FOSC-OPTICSDend** — the semi-supervised, density-based algorithm
 //! evaluated by the CVCP paper (Campello, Moulavi, Zimek & Sander 2013,
-//! reference [10] of the paper).
+//! reference \[10\] of the paper).
 //!
 //! Pipeline (all built from scratch):
 //!

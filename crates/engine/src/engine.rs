@@ -2,7 +2,7 @@
 //! sequential (one-thread) execution path.
 
 use crate::cache::{ArtifactCache, CacheConfig};
-use crate::graph::{GraphResult, JobCtx, JobGraph, JobOutcome};
+use crate::graph::{CancelToken, GraphResult, JobCtx, JobGraph, JobOutcome};
 use crate::pool::{PoolHandle, Task, ThreadPool};
 use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -22,7 +22,7 @@ struct ExecState<T> {
     dependents: Vec<Vec<usize>>,
     outcomes: Vec<Mutex<Option<JobOutcome<T>>>>,
     pending: AtomicUsize,
-    cancelled: AtomicBool,
+    cancelled: CancelToken,
     done_tx: Mutex<Option<mpsc::Sender<()>>>,
     cache: Arc<ArtifactCache>,
 }
@@ -45,7 +45,7 @@ fn complete_job<T>(state: &ExecState<T>, idx: usize, outcome: JobOutcome<T>) -> 
             }
             if state.deps_remaining[dependent].fetch_sub(1, Ordering::SeqCst) == 1 {
                 if state.dep_failed[dependent].load(Ordering::SeqCst)
-                    || state.cancelled.load(Ordering::SeqCst)
+                    || state.cancelled.is_cancelled()
                 {
                     // Drop the un-run closure and propagate the skip.
                     state.jobs[dependent].lock().expect("job lock").take();
@@ -66,7 +66,7 @@ fn complete_job<T>(state: &ExecState<T>, idx: usize, outcome: JobOutcome<T>) -> 
 
 /// Runs job `idx` (which must be ready) and returns its outcome.
 fn run_job<T>(state: &ExecState<T>, idx: usize) -> JobOutcome<T> {
-    if state.cancelled.load(Ordering::SeqCst) {
+    if state.cancelled.is_cancelled() {
         state.jobs[idx].lock().expect("job lock").take();
         return JobOutcome::Skipped;
     }
@@ -130,7 +130,16 @@ impl<T> GraphHandle<T> {
     /// Requests cancellation: jobs that have not started yet are skipped;
     /// running jobs finish normally.
     pub fn cancel(&self) {
-        self.state.cancelled.store(true, Ordering::SeqCst);
+        self.state.cancelled.cancel();
+    }
+
+    /// The graph's cancellation token — the one bound via
+    /// [`JobGraph::set_cancel_token`], or the graph's private token
+    /// otherwise.  Clonable and `Send`, so a watcher (e.g. a serving
+    /// front-end's disconnect detector) can cancel the graph without
+    /// holding the handle, which `wait` consumes.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.state.cancelled.clone()
     }
 
     /// Blocks until the graph has finished and returns all outcomes.
@@ -239,6 +248,7 @@ impl Engine {
     pub fn submit<T: Send + 'static>(&self, graph: JobGraph<T>) -> GraphHandle<T> {
         let n = graph.jobs.len();
         let base = graph.base_rng;
+        let cancelled = graph.cancel_token.unwrap_or_default();
         let mut deps_remaining = Vec::with_capacity(n);
         let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut jobs = Vec::with_capacity(n);
@@ -261,7 +271,7 @@ impl Engine {
             dependents,
             outcomes: (0..n).map(|_| Mutex::new(None)).collect(),
             pending: AtomicUsize::new(n),
-            cancelled: AtomicBool::new(false),
+            cancelled,
             done_tx: Mutex::new(Some(done_tx)),
             cache: Arc::clone(&self.cache),
         });
@@ -422,6 +432,62 @@ mod tests {
         handle.cancel();
         let result = handle.wait();
         assert!(result.outcomes.iter().all(|o| *o == JobOutcome::Skipped));
+    }
+
+    #[test]
+    fn pre_cancelled_token_skips_the_whole_graph() {
+        for n_threads in [1, 4] {
+            let engine = Engine::new(n_threads);
+            let token = CancelToken::new();
+            token.cancel();
+            let mut graph: JobGraph<u32> = JobGraph::new(1);
+            graph.add_job(&[], |_| 1);
+            graph.add_job(&[], |_| 2);
+            graph.set_cancel_token(token);
+            let result = engine.submit(graph).wait();
+            assert!(result.outcomes.iter().all(|o| *o == JobOutcome::Skipped));
+        }
+    }
+
+    #[test]
+    fn external_token_cancels_a_running_graph() {
+        // Job 0 blocks until the external watcher cancels; its dependent
+        // must then be skipped while the already-running job completes.
+        let engine = Engine::new(2);
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let token = CancelToken::new();
+        let mut graph: JobGraph<u32> = JobGraph::new(7);
+        let a = graph.add_job(&[], move |_| {
+            started_tx.send(()).expect("watcher alive");
+            release_rx.recv().expect("release signal");
+            1
+        });
+        graph.add_job(&[a], |_| 2);
+        graph.set_cancel_token(token.clone());
+        let handle = engine.submit(graph);
+        assert!(!handle.cancel_token().is_cancelled());
+        started_rx.recv().expect("job started");
+        token.cancel();
+        release_tx.send(()).expect("job alive");
+        let result = handle.wait();
+        assert_eq!(result.outcomes[0], JobOutcome::Completed(1));
+        assert_eq!(result.outcomes[1], JobOutcome::Skipped);
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn handle_token_and_graph_token_are_the_same_flag() {
+        let engine = Engine::sequential();
+        let bound = CancelToken::new();
+        let mut graph: JobGraph<u32> = JobGraph::new(3);
+        graph.add_job(&[], |_| 9);
+        graph.set_cancel_token(bound.clone());
+        let handle = engine.submit(graph);
+        handle.cancel_token().cancel();
+        assert!(bound.is_cancelled());
+        let result = handle.wait();
+        assert_eq!(result.outcomes[0], JobOutcome::Skipped);
     }
 
     #[test]

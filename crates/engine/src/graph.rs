@@ -18,7 +18,37 @@
 
 use crate::cache::ArtifactCache;
 use cvcp_data::rng::SeededRng;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// A shareable cancellation flag.
+///
+/// A token can be bound to a [`JobGraph`] before submission
+/// ([`JobGraph::set_cancel_token`]) or obtained from a running graph's
+/// handle (`GraphHandle::cancel_token`).  Cancelling it skips every job
+/// that has not started yet — running jobs finish normally — and the same
+/// token can be shared by any number of observers (e.g. a serving
+/// front-end's per-connection disconnect watcher), independent of the
+/// graph handle's lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation.  Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
 
 /// Identifier of a job within one [`JobGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -72,6 +102,7 @@ pub(crate) struct GraphJob<T> {
 pub struct JobGraph<T> {
     pub(crate) base_rng: SeededRng,
     pub(crate) jobs: Vec<GraphJob<T>>,
+    pub(crate) cancel_token: Option<CancelToken>,
 }
 
 impl<T> JobGraph<T> {
@@ -87,7 +118,16 @@ impl<T> JobGraph<T> {
         Self {
             base_rng,
             jobs: Vec::new(),
+            cancel_token: None,
         }
+    }
+
+    /// Binds an external [`CancelToken`] to this graph: when the token is
+    /// cancelled (before or after submission), jobs that have not started
+    /// are skipped.  Without a bound token the graph gets a private one,
+    /// reachable through its handle.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel_token = Some(token);
     }
 
     /// Adds a job depending on `deps`, salted by its insertion index.

@@ -60,11 +60,11 @@ pub use cache::{
     CacheStats, Fingerprint, FingerprintBuilder,
 };
 pub use engine::{Engine, GraphHandle};
-pub use graph::{GraphResult, JobCtx, JobGraph, JobId, JobOutcome};
+pub use graph::{CancelToken, GraphResult, JobCtx, JobGraph, JobId, JobOutcome};
 
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::cache::{ArtifactCache, ArtifactKey, ArtifactSize, CacheConfig};
     pub use crate::engine::Engine;
-    pub use crate::graph::{JobCtx, JobGraph};
+    pub use crate::graph::{CancelToken, JobCtx, JobGraph};
 }

@@ -17,12 +17,11 @@ use cvcp_core::experiment::{
 use cvcp_core::{CvcpConfig, FoscMethod, MpckMethod, ParameterizedMethod};
 use cvcp_data::Dataset;
 use cvcp_engine::{CacheConfig, Engine};
-use cvcp_metrics::stats::{mean, std_dev, Summary};
-use cvcp_metrics::ttest::TTestResult;
+use cvcp_metrics::stats::{mean, std_dev};
 use std::path::PathBuf;
 use std::sync::OnceLock;
 
-pub mod json;
+pub use cvcp_core::json;
 
 use json::{Json, ToJson};
 
@@ -74,11 +73,10 @@ impl Mode {
         }
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads (`CVCP_THREADS` overrides the hardware
+    /// default).
     pub fn n_threads(&self) -> usize {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(4)
+        threads_from_env()
     }
 
     /// Builds the [`ExperimentConfig`] for a given parameter range.
@@ -118,16 +116,35 @@ pub fn cache_config_from_env() -> CacheConfig {
     }
 }
 
+/// The engine worker count, from the environment: `CVCP_THREADS` when set
+/// (and parsable), otherwise the machine's available parallelism.
+pub fn threads_from_env() -> usize {
+    std::env::var("CVCP_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
+        })
+}
+
+/// Builds an engine from the environment knobs ([`threads_from_env`] +
+/// [`cache_config_from_env`]) — the one configuration path shared by the
+/// experiment binaries ([`shared_engine`]) and the `serve` front-end.
+pub fn engine_from_env() -> Engine {
+    Engine::with_cache_config(threads_from_env(), cache_config_from_env())
+}
+
 /// The process-wide execution engine: every experiment binary multiplexes
 /// all of its trials over this one pool and shares one artifact cache
 /// (distance matrices, density hierarchies and MPCKMeans seedings are
 /// reused across tables, figures and side-information levels of the same
-/// data sets).  The cache budget comes from [`cache_config_from_env`].
+/// data sets).  The configuration comes from [`engine_from_env`].
 pub fn shared_engine() -> &'static Engine {
     static ENGINE: OnceLock<Engine> = OnceLock::new();
-    ENGINE.get_or_init(|| {
-        Engine::with_cache_config(Mode::from_args().n_threads(), cache_config_from_env())
-    })
+    ENGINE.get_or_init(engine_from_env)
 }
 
 /// Prints the shared engine's cache statistics (hit rate, residency and
@@ -203,63 +220,6 @@ pub fn write_json<T: ToJson>(name: &str, value: &T) {
     let json = value.to_json().pretty();
     std::fs::write(&path, json).expect("write result file");
     println!("\n[written {}]", path.display());
-}
-
-fn summary_json(s: &Summary) -> Json {
-    Json::obj([
-        ("n", s.n.to_json()),
-        ("mean", s.mean.to_json()),
-        ("std", s.std.to_json()),
-        ("min", s.min.to_json()),
-        ("max", s.max.to_json()),
-    ])
-}
-
-fn ttest_json(t: &TTestResult) -> Json {
-    Json::obj([
-        ("t_statistic", t.t_statistic.to_json()),
-        ("degrees_of_freedom", t.degrees_of_freedom.to_json()),
-        ("p_value", t.p_value.to_json()),
-        ("mean_difference", t.mean_difference.to_json()),
-        ("n", t.n.to_json()),
-    ])
-}
-
-impl ToJson for ExperimentSummary {
-    fn to_json(&self) -> Json {
-        Json::obj([
-            ("dataset", self.dataset.to_json()),
-            ("method", self.method.to_json()),
-            ("side_info", self.side_info.to_json()),
-            ("cvcp", summary_json(&self.cvcp)),
-            ("expected", summary_json(&self.expected)),
-            (
-                "silhouette",
-                match &self.silhouette {
-                    Some(s) => summary_json(s),
-                    None => Json::Null,
-                },
-            ),
-            ("mean_correlation", self.mean_correlation.to_json()),
-            (
-                "cvcp_vs_expected",
-                match &self.cvcp_vs_expected {
-                    Some(t) => ttest_json(t),
-                    None => Json::Null,
-                },
-            ),
-            (
-                "cvcp_vs_silhouette",
-                match &self.cvcp_vs_silhouette {
-                    Some(t) => ttest_json(t),
-                    None => Json::Null,
-                },
-            ),
-            ("cvcp_values", self.cvcp_values.to_json()),
-            ("expected_values", self.expected_values.to_json()),
-            ("silhouette_values", self.silhouette_values.to_json()),
-        ])
-    }
 }
 
 // ---------------------------------------------------------------------------

@@ -2,11 +2,11 @@
 //!
 //! Evaluation measures and statistics for the CVCP suite:
 //!
-//! * [`constraint_fmeasure`]: the paper's **internal classification
+//! * [`constraint_fmeasure()`]: the paper's **internal classification
 //!   F-measure** — a clustering is treated as a classifier over must-link
 //!   (class 1) and cannot-link (class 0) constraints, and the average of the
 //!   per-class F-measures is reported (Section 3.2 of the paper);
-//! * [`overall_fmeasure`]: the external **Overall F-Measure** comparing a
+//! * [`overall_fmeasure()`]: the external **Overall F-Measure** comparing a
 //!   partition against ground-truth classes (class-weighted best-match F),
 //!   with support for excluding the objects involved in side information
 //!   ("set aside" evaluation, Section 2);

@@ -1,5 +1,5 @@
 //! Pair-counting external evaluation measures: Rand index and Adjusted Rand
-//! Index (Hubert & Arabie 1985, reference [18] of the paper).
+//! Index (Hubert & Arabie 1985, reference \[18\] of the paper).
 //!
 //! These are provided alongside the Overall F-Measure for completeness and
 //! are used by some of the suite's tests as an independent check that two

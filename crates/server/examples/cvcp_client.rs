@@ -1,0 +1,330 @@
+//! `cvcp-client` — drives a full request round-trip against a running
+//! `cvcp-server` (see the `serve` binary in `cvcp-experiments`).
+//!
+//! Modes:
+//!
+//! * `--mode select` (default): sends a model-selection request, prints the
+//!   streamed progress events and the final ranked result.  With `--verify`
+//!   (default on) the same request is also lowered and run **in-process**
+//!   via `select_model_with`, and the two results are compared
+//!   **bit-for-bit** — the end-to-end contract the CI smoke job asserts.
+//! * `--mode cancel`: sends a selection request and immediately drops the
+//!   connection, then polls `stats` until the server reports the request
+//!   as cancelled — proving client disconnects cancel the job DAG.
+//! * `--mode stats` / `--mode ping` / `--mode shutdown`: the corresponding
+//!   control requests.
+//!
+//! Exit code 0 on success, 1 on verification/protocol failure, 2 on I/O
+//! errors.
+//!
+//! ```text
+//! cvcp-client --addr 127.0.0.1:7878 --mode select --algorithm fosc \
+//!     --dataset aloi:0 --params 3,6,9,12 --labels 0.2 --folds 5 --seed 42
+//! ```
+
+use cvcp_core::{Algorithm, Engine, SelectionRequest, SideInfoSpec};
+use cvcp_server::{RankedSelection, Request, Response};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+struct Options {
+    addr: String,
+    mode: String,
+    algorithm: Algorithm,
+    dataset: String,
+    params: Vec<usize>,
+    side_info: SideInfoSpec,
+    n_folds: usize,
+    seed: u64,
+    id: String,
+    verify: bool,
+    threads: usize,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut opts = Options {
+        addr: std::env::var("CVCP_ADDR").unwrap_or_else(|_| "127.0.0.1:7878".to_string()),
+        mode: "select".to_string(),
+        algorithm: Algorithm::Fosc,
+        dataset: "aloi:0".to_string(),
+        params: Vec::new(),
+        side_info: SideInfoSpec::LabelFraction(0.2),
+        n_folds: 5,
+        seed: 20_140_324,
+        id: String::new(),
+        verify: true,
+        threads: 4,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = || -> Result<&str, String> {
+            i += 1;
+            args.get(i)
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag {
+            "--addr" => opts.addr = value()?.to_string(),
+            "--mode" => opts.mode = value()?.to_string(),
+            "--algorithm" => {
+                let name = value()?;
+                opts.algorithm = Algorithm::parse(name)
+                    .ok_or_else(|| format!("unknown algorithm {name:?} (fosc|mpck)"))?;
+            }
+            "--dataset" => opts.dataset = value()?.to_string(),
+            "--params" => {
+                opts.params = value()?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.trim().parse().map_err(|_| "bad params list".to_string()))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--labels" => {
+                let f: f64 = value()?.parse().map_err(|_| "bad --labels fraction")?;
+                opts.side_info = SideInfoSpec::LabelFraction(f);
+            }
+            "--constraints" => {
+                let spec = value()?;
+                let (pool, sample) = spec
+                    .split_once(',')
+                    .ok_or("--constraints expects POOL,SAMPLE")?;
+                opts.side_info = SideInfoSpec::ConstraintSample {
+                    pool_fraction: pool.trim().parse().map_err(|_| "bad pool fraction")?,
+                    sample_fraction: sample.trim().parse().map_err(|_| "bad sample fraction")?,
+                };
+            }
+            "--folds" => opts.n_folds = value()?.parse().map_err(|_| "bad --folds")?,
+            "--seed" => opts.seed = value()?.parse().map_err(|_| "bad --seed")?,
+            "--id" => opts.id = value()?.to_string(),
+            "--verify" => opts.verify = value()?.parse().map_err(|_| "bad --verify")?,
+            "--threads" => opts.threads = value()?.parse().map_err(|_| "bad --threads")?,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    if opts.id.is_empty() {
+        opts.id = format!(
+            "{}-{}-{}",
+            opts.algorithm.name(),
+            opts.dataset.replace(':', "_"),
+            opts.seed
+        );
+    }
+    Ok(opts)
+}
+
+fn selection_request(opts: &Options) -> SelectionRequest {
+    SelectionRequest {
+        id: opts.id.clone(),
+        dataset: opts.dataset.clone(),
+        algorithm: opts.algorithm,
+        params: opts.params.clone(),
+        side_info: opts.side_info,
+        n_folds: opts.n_folds,
+        stratified: true,
+        seed: opts.seed,
+    }
+}
+
+fn send_request(addr: &str, request: &Request) -> std::io::Result<TcpStream> {
+    let mut stream = TcpStream::connect(addr)?;
+    let mut line = request.to_line();
+    line.push('\n');
+    stream.write_all(line.as_bytes())?;
+    stream.flush()?;
+    Ok(stream)
+}
+
+fn read_responses(stream: TcpStream, mut each: impl FnMut(Response) -> bool) -> Result<(), String> {
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("read failed: {e}"))?;
+        let response =
+            Response::from_line(&line).map_err(|e| format!("bad response line: {}", e.message))?;
+        if !each(response) {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+fn one_shot(addr: &str, request: &Request) -> Result<Response, String> {
+    let stream = send_request(addr, request).map_err(|e| format!("connect failed: {e}"))?;
+    let mut out = None;
+    read_responses(stream, |r| {
+        out = Some(r);
+        false
+    })?;
+    out.ok_or_else(|| "server closed the connection without responding".to_string())
+}
+
+fn run_select(opts: &Options) -> Result<(), String> {
+    let request = selection_request(opts);
+    let stream = send_request(&opts.addr, &Request::Select(request.clone()))
+        .map_err(|e| format!("connect failed: {e}"))?;
+    let mut result: Option<RankedSelection> = None;
+    let mut error: Option<String> = None;
+    read_responses(stream, |response| match response {
+        Response::Progress {
+            param,
+            score,
+            completed,
+            total,
+            ..
+        } => {
+            println!("progress: param {param} -> {score:.6} ({completed}/{total})");
+            true
+        }
+        Response::Result { selection, .. } => {
+            result = Some(selection);
+            false
+        }
+        Response::Error { error: e, .. } => {
+            error = Some(format!("{}: {}", e.code, e.message));
+            false
+        }
+        other => {
+            error = Some(format!("unexpected response: {other:?}"));
+            false
+        }
+    })?;
+    if let Some(e) = error {
+        return Err(format!("server error: {e}"));
+    }
+    let served = result.ok_or("connection closed before a result arrived")?;
+    println!(
+        "result: best {} = {} (score {:.6})",
+        request.algorithm.method().parameter_name(),
+        served.best_param,
+        served.best_score
+    );
+    for entry in &served.ranking {
+        println!("  ranked: param {} score {:.6}", entry.param, entry.score);
+    }
+    if opts.verify {
+        let realized = request
+            .realize()
+            .map_err(|e| format!("local lowering failed: {e}"))?;
+        let local = RankedSelection::from_selection(&realized.select(&Engine::new(opts.threads)));
+        verify_bit_identical(&served, &local)?;
+        println!("verified: served result is bit-identical to in-process select_model_with");
+    }
+    Ok(())
+}
+
+/// Compares the served and the in-process selections bit-for-bit (float
+/// equality via `to_bits`, so even sign/NaN payload differences would
+/// fail).
+fn verify_bit_identical(served: &RankedSelection, local: &RankedSelection) -> Result<(), String> {
+    if served.best_param != local.best_param {
+        return Err(format!(
+            "best_param mismatch: served {} vs local {}",
+            served.best_param, local.best_param
+        ));
+    }
+    if served.best_score.to_bits() != local.best_score.to_bits() {
+        return Err(format!(
+            "best_score bits mismatch: served {} vs local {}",
+            served.best_score, local.best_score
+        ));
+    }
+    for (kind, a, b) in [
+        ("ranking", &served.ranking, &local.ranking),
+        ("evaluations", &served.evaluations, &local.evaluations),
+    ] {
+        if a.len() != b.len() {
+            return Err(format!(
+                "{kind} length mismatch: {} vs {}",
+                a.len(),
+                b.len()
+            ));
+        }
+        for (x, y) in a.iter().zip(b) {
+            if x.param != y.param || x.score.to_bits() != y.score.to_bits() {
+                return Err(format!(
+                    "{kind} entry mismatch: served ({}, {}) vs local ({}, {})",
+                    x.param, x.score, y.param, y.score
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cancelled_count(addr: &str) -> Result<u64, String> {
+    match one_shot(addr, &Request::Stats)? {
+        Response::Stats(stats) => Ok(stats.requests.cancelled),
+        other => Err(format!("unexpected stats response: {other:?}")),
+    }
+}
+
+fn run_cancel(opts: &Options) -> Result<(), String> {
+    let before = cancelled_count(&opts.addr)?;
+    let request = selection_request(opts);
+    // Send the request and immediately drop the connection: the server's
+    // disconnect watcher must cancel the request's DAG.
+    {
+        let stream = send_request(&opts.addr, &Request::Select(request))
+            .map_err(|e| format!("connect failed: {e}"))?;
+        drop(stream);
+    }
+    println!("request sent and connection dropped; polling stats for the cancellation…");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let now = cancelled_count(&opts.addr)?;
+        if now > before {
+            println!("cancelled count rose {before} -> {now}: DAG cancellation confirmed");
+            return Ok(());
+        }
+        if Instant::now() > deadline {
+            return Err(format!(
+                "server never reported the cancellation (cancelled count stuck at {now})"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_options() {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("cvcp-client: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match opts.mode.as_str() {
+        "select" => run_select(&opts),
+        "cancel" => run_cancel(&opts),
+        "stats" => one_shot(&opts.addr, &Request::Stats).map(|r| match r {
+            Response::Stats(_) => println!("{}", r.to_json().pretty()),
+            other => println!("{other:?}"),
+        }),
+        "ping" => one_shot(&opts.addr, &Request::Ping).and_then(|r| match r {
+            Response::Pong => {
+                println!("pong");
+                Ok(())
+            }
+            other => Err(format!("unexpected ping response: {other:?}")),
+        }),
+        "shutdown" => one_shot(&opts.addr, &Request::Shutdown).and_then(|r| match r {
+            Response::ShutdownAck => {
+                println!("server acknowledged shutdown");
+                Ok(())
+            }
+            other => Err(format!("unexpected shutdown response: {other:?}")),
+        }),
+        other => Err(format!("unknown mode {other:?}")),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cvcp-client: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

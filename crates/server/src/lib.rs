@@ -1,0 +1,58 @@
+//! # cvcp-server
+//!
+//! A network serving front-end over the CVCP execution engine: a std-only
+//! TCP server speaking newline-delimited JSON that turns model-selection
+//! requests into job DAGs on a shared [`Engine`](cvcp_engine::Engine) and
+//! streams per-parameter progress followed by a final ranked selection.
+//!
+//! The value proposition is the shared engine: every request served by one
+//! process multiplexes over one worker pool and one content-keyed
+//! [`ArtifactCache`](cvcp_engine::ArtifactCache), so concurrent selections
+//! on the same replicas reuse each other's distance matrices, density
+//! hierarchies and seeding structures — the serving traffic *is* what
+//! makes the cache pay.
+//!
+//! ## Protocol (one JSON object per line, both directions)
+//!
+//! | request                        | response stream                           |
+//! |--------------------------------|-------------------------------------------|
+//! | `{"type":"select", …}`         | `progress`* then `result` (or `error`)     |
+//! | `{"type":"stats"}`             | `stats` (cache, queue, request counters)   |
+//! | `{"type":"ping"}`              | `pong`                                     |
+//! | `{"type":"shutdown"}`          | `shutdown_ack`, then the server stops      |
+//!
+//! A `select` request names a replica (`dataset`), an algorithm family
+//! (`fosc` / `mpck`), a candidate grid (`params`), the side-information
+//! draw (`side_info`), the fold count and a `seed`.  The streamed result
+//! is **bit-identical** to running
+//! [`select_model_with`](cvcp_core::select_model_with) in-process on the
+//! same request — the contract the smoke tests assert end-to-end.
+//!
+//! Each connection carries one request.  Disconnecting while a selection
+//! is queued or running cancels its job DAG (observable in the `stats`
+//! counters); a full request queue answers `queue_full` immediately
+//! instead of blocking.
+//!
+//! ```no_run
+//! use cvcp_engine::Engine;
+//! use cvcp_server::{Server, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! let engine = Arc::new(Engine::parallel());
+//! let server = Server::start(&ServerConfig::from_env(), engine).unwrap();
+//! println!("listening on {}", server.local_addr());
+//! server.wait(); // until a client sends {"type":"shutdown"}
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod queue;
+mod server;
+
+pub use protocol::{
+    RankedEntry, RankedSelection, Request, RequestStats, Response, StatsSnapshot, WireError,
+};
+pub use queue::{BoundedQueue, PushError};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,741 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! Every message — in either direction — is one JSON object on one line,
+//! terminated by `\n`.  Requests carry a `"type"` discriminator
+//! (`select` / `stats` / `ping` / `shutdown`); responses mirror it
+//! (`progress` / `result` / `error` / `stats` / `pong` / `shutdown_ack`).
+//! The document model and parser live in [`cvcp_core::json`]; this module
+//! only maps between [`Json`] trees and typed messages, in both
+//! directions, so the server, the client example and the property tests
+//! all share one codec.
+
+use cvcp_core::json::{Json, ToJson};
+use cvcp_core::{Algorithm, CvcpSelection, SelectionRequest, SideInfoSpec};
+use cvcp_engine::CacheStats;
+
+/// A structured protocol-level failure, sent to clients as an `error`
+/// response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Machine-readable error class (`parse_error`, `invalid_request`,
+    /// `unknown_type`, `queue_full`, `shutting_down`, `cancelled`,
+    /// `internal`).
+    pub code: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// Builds an error with the given code and message.
+    pub fn new(code: &str, message: impl Into<String>) -> Self {
+        Self {
+            code: code.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run a model selection and stream its progress and result.
+    Select(SelectionRequest),
+    /// Report cache / queue / request statistics.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Gracefully shut the server down.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line.  Only *structural* validity is checked
+    /// here (well-formed JSON, known type, fields of the right shape);
+    /// semantic validation — does the dataset exist, are the fractions in
+    /// range — happens in [`SelectionRequest::validate`] on the server.
+    pub fn from_line(line: &str) -> Result<Request, WireError> {
+        let doc = Json::parse(line.trim())
+            .map_err(|e| WireError::new("parse_error", format!("malformed JSON: {e}")))?;
+        let kind = doc
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| WireError::new("invalid_request", "missing string field \"type\""))?;
+        match kind {
+            "select" => Ok(Request::Select(selection_request_from_json(&doc)?)),
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(WireError::new(
+                "unknown_type",
+                format!("unknown request type {other:?}"),
+            )),
+        }
+    }
+
+    /// Serialises the request to its JSON document.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Select(req) => selection_request_to_json(req),
+            Request::Stats => Json::obj([("type", "stats".to_json())]),
+            Request::Ping => Json::obj([("type", "ping".to_json())]),
+            Request::Shutdown => Json::obj([("type", "shutdown".to_json())]),
+        }
+    }
+
+    /// Serialises the request as one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        self.to_json().compact()
+    }
+}
+
+fn require<'a>(doc: &'a Json, field: &str) -> Result<&'a Json, WireError> {
+    doc.get(field)
+        .ok_or_else(|| WireError::new("invalid_request", format!("missing field {field:?}")))
+}
+
+fn require_str(doc: &Json, field: &str) -> Result<String, WireError> {
+    require(doc, field)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| {
+            WireError::new(
+                "invalid_request",
+                format!("field {field:?} must be a string"),
+            )
+        })
+}
+
+fn require_f64(doc: &Json, field: &str) -> Result<f64, WireError> {
+    require(doc, field)?.as_f64().ok_or_else(|| {
+        WireError::new(
+            "invalid_request",
+            format!("field {field:?} must be a number"),
+        )
+    })
+}
+
+fn optional_usize(doc: &Json, field: &str, default: usize) -> Result<usize, WireError> {
+    match doc.get(field) {
+        None | Some(Json::Null) => Ok(default),
+        Some(v) => v.as_usize().ok_or_else(|| {
+            WireError::new(
+                "invalid_request",
+                format!("field {field:?} must be a non-negative integer"),
+            )
+        }),
+    }
+}
+
+fn optional_u64(doc: &Json, field: &str, default: u64) -> Result<u64, WireError> {
+    match doc.get(field) {
+        None | Some(Json::Null) => Ok(default),
+        Some(v) => v.as_u64().ok_or_else(|| {
+            WireError::new(
+                "invalid_request",
+                format!("field {field:?} must be a non-negative integer"),
+            )
+        }),
+    }
+}
+
+fn optional_bool(doc: &Json, field: &str, default: bool) -> Result<bool, WireError> {
+    match doc.get(field) {
+        None | Some(Json::Null) => Ok(default),
+        Some(v) => v.as_bool().ok_or_else(|| {
+            WireError::new(
+                "invalid_request",
+                format!("field {field:?} must be a boolean"),
+            )
+        }),
+    }
+}
+
+fn selection_request_from_json(doc: &Json) -> Result<SelectionRequest, WireError> {
+    let algorithm_name = require_str(doc, "algorithm")?;
+    let algorithm = Algorithm::parse(&algorithm_name).ok_or_else(|| {
+        WireError::new(
+            "invalid_request",
+            format!("unknown algorithm {algorithm_name:?} (expected \"fosc\" or \"mpck\")"),
+        )
+    })?;
+    let params = match doc.get("params") {
+        None | Some(Json::Null) => Vec::new(),
+        Some(v) => {
+            let items = v.as_arr().ok_or_else(|| {
+                WireError::new("invalid_request", "field \"params\" must be an array")
+            })?;
+            items
+                .iter()
+                .map(|p| {
+                    p.as_usize().ok_or_else(|| {
+                        WireError::new(
+                            "invalid_request",
+                            "field \"params\" must contain non-negative integers",
+                        )
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?
+        }
+    };
+    Ok(SelectionRequest {
+        id: match doc.get("id") {
+            None | Some(Json::Null) => String::new(),
+            Some(v) => v.as_str().map(str::to_string).ok_or_else(|| {
+                WireError::new("invalid_request", "field \"id\" must be a string")
+            })?,
+        },
+        dataset: require_str(doc, "dataset")?,
+        algorithm,
+        params,
+        side_info: side_info_from_json(require(doc, "side_info")?)?,
+        n_folds: optional_usize(doc, "n_folds", 5)?,
+        stratified: optional_bool(doc, "stratified", true)?,
+        seed: optional_u64(doc, "seed", 0)?,
+    })
+}
+
+fn selection_request_to_json(req: &SelectionRequest) -> Json {
+    Json::obj([
+        ("type", "select".to_json()),
+        ("id", req.id.to_json()),
+        ("dataset", req.dataset.to_json()),
+        ("algorithm", req.algorithm.name().to_json()),
+        ("params", req.params.to_json()),
+        ("side_info", side_info_to_json(&req.side_info)),
+        ("n_folds", req.n_folds.to_json()),
+        ("stratified", req.stratified.to_json()),
+        ("seed", req.seed.to_json()),
+    ])
+}
+
+fn side_info_to_json(spec: &SideInfoSpec) -> Json {
+    match spec {
+        SideInfoSpec::LabelFraction(fraction) => Json::obj([
+            ("kind", "labels".to_json()),
+            ("fraction", fraction.to_json()),
+        ]),
+        SideInfoSpec::ConstraintSample {
+            pool_fraction,
+            sample_fraction,
+        } => Json::obj([
+            ("kind", "constraints".to_json()),
+            ("pool_fraction", pool_fraction.to_json()),
+            ("sample_fraction", sample_fraction.to_json()),
+        ]),
+    }
+}
+
+fn side_info_from_json(doc: &Json) -> Result<SideInfoSpec, WireError> {
+    let kind = require_str(doc, "kind")?;
+    match kind.as_str() {
+        "labels" => Ok(SideInfoSpec::LabelFraction(require_f64(doc, "fraction")?)),
+        "constraints" => Ok(SideInfoSpec::ConstraintSample {
+            pool_fraction: match doc.get("pool_fraction") {
+                None | Some(Json::Null) => 0.1,
+                Some(v) => v.as_f64().ok_or_else(|| {
+                    WireError::new(
+                        "invalid_request",
+                        "field \"pool_fraction\" must be a number",
+                    )
+                })?,
+            },
+            sample_fraction: require_f64(doc, "sample_fraction")?,
+        }),
+        other => Err(WireError::new(
+            "invalid_request",
+            format!("unknown side_info kind {other:?}"),
+        )),
+    }
+}
+
+/// One entry of a ranked (or evaluation-ordered) score list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedEntry {
+    /// The candidate parameter.
+    pub param: usize,
+    /// Its CVCP score.
+    pub score: f64,
+}
+
+/// The final response payload of a selection request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedSelection {
+    /// The selected (highest-scoring) parameter.
+    pub best_param: usize,
+    /// Its score.
+    pub best_score: f64,
+    /// All candidates, best first (stable on ties, so the paper's
+    /// first-wins argmax stays on top).
+    pub ranking: Vec<RankedEntry>,
+    /// All candidates in the request's evaluation order.
+    pub evaluations: Vec<RankedEntry>,
+}
+
+impl RankedSelection {
+    /// Ranks a [`CvcpSelection`] for the wire.
+    pub fn from_selection(selection: &CvcpSelection) -> Self {
+        let evaluations: Vec<RankedEntry> = selection
+            .evaluations
+            .iter()
+            .map(|e| RankedEntry {
+                param: e.param,
+                score: e.score,
+            })
+            .collect();
+        let mut ranking = evaluations.clone();
+        // Stable descending sort: ties keep candidate order, matching the
+        // selection's first-wins argmax.
+        ranking.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Self {
+            best_param: selection.best_param,
+            best_score: selection.best_score,
+            ranking,
+            evaluations,
+        }
+    }
+}
+
+/// Request / lifecycle counters of the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RequestStats {
+    /// Select requests admitted to the queue.
+    pub received: u64,
+    /// Requests that ran to completion.
+    pub completed: u64,
+    /// Requests cancelled (client disconnect before or during execution).
+    pub cancelled: u64,
+    /// Requests rejected because the queue was full.
+    pub rejected: u64,
+    /// Requests that failed internally (evaluation panic).
+    pub failed: u64,
+}
+
+/// The payload of a `stats` response.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsSnapshot {
+    /// The engine's artifact-cache counters.
+    pub cache: CacheStats,
+    /// Currently queued (pending) requests.
+    pub queue_depth: usize,
+    /// Configured queue capacity.
+    pub queue_capacity: usize,
+    /// Configured worker count.
+    pub workers: usize,
+    /// The engine's thread count.
+    pub engine_threads: usize,
+    /// Request lifecycle counters.
+    pub requests: RequestStats,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// One candidate parameter finished.
+    Progress {
+        /// Echo of the request id.
+        id: String,
+        /// The finished candidate.
+        param: usize,
+        /// Its CVCP score.
+        score: f64,
+        /// Candidates finished so far.
+        completed: usize,
+        /// Total candidates.
+        total: usize,
+    },
+    /// The final ranked selection.
+    Result {
+        /// Echo of the request id.
+        id: String,
+        /// The ranked payload.
+        selection: RankedSelection,
+    },
+    /// A structured failure.
+    Error {
+        /// Echo of the request id, when one was parsed.
+        id: Option<String>,
+        /// The failure.
+        error: WireError,
+    },
+    /// Statistics snapshot.
+    Stats(StatsSnapshot),
+    /// Liveness answer.
+    Pong,
+    /// Shutdown acknowledgement (the listener stops after sending it).
+    ShutdownAck,
+}
+
+impl Response {
+    /// Serialises the response to its JSON document.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Progress {
+                id,
+                param,
+                score,
+                completed,
+                total,
+            } => Json::obj([
+                ("type", "progress".to_json()),
+                ("id", id.to_json()),
+                ("param", param.to_json()),
+                ("score", score.to_json()),
+                ("completed", completed.to_json()),
+                ("total", total.to_json()),
+            ]),
+            Response::Result { id, selection } => Json::obj([
+                ("type", "result".to_json()),
+                ("id", id.to_json()),
+                ("best_param", selection.best_param.to_json()),
+                ("best_score", selection.best_score.to_json()),
+                ("ranking", entries_to_json(&selection.ranking)),
+                ("evaluations", entries_to_json(&selection.evaluations)),
+            ]),
+            Response::Error { id, error } => Json::obj([
+                ("type", "error".to_json()),
+                ("id", id.clone().to_json()),
+                ("code", error.code.to_json()),
+                ("message", error.message.to_json()),
+            ]),
+            Response::Stats(stats) => Json::obj([
+                ("type", "stats".to_json()),
+                (
+                    "cache",
+                    Json::obj([
+                        ("hits", stats.cache.hits.to_json()),
+                        ("misses", stats.cache.misses.to_json()),
+                        ("hit_rate", stats.cache.hit_rate().to_json()),
+                        ("evictions", stats.cache.evictions.to_json()),
+                        ("evicted_bytes", stats.cache.evicted_bytes.to_json()),
+                        ("resident_entries", stats.cache.resident_entries.to_json()),
+                        ("resident_bytes", stats.cache.resident_bytes.to_json()),
+                        (
+                            "peak_resident_bytes",
+                            stats.cache.peak_resident_bytes.to_json(),
+                        ),
+                    ]),
+                ),
+                (
+                    "queue",
+                    Json::obj([
+                        ("depth", stats.queue_depth.to_json()),
+                        ("capacity", stats.queue_capacity.to_json()),
+                        ("workers", stats.workers.to_json()),
+                    ]),
+                ),
+                (
+                    "requests",
+                    Json::obj([
+                        ("received", stats.requests.received.to_json()),
+                        ("completed", stats.requests.completed.to_json()),
+                        ("cancelled", stats.requests.cancelled.to_json()),
+                        ("rejected", stats.requests.rejected.to_json()),
+                        ("failed", stats.requests.failed.to_json()),
+                    ]),
+                ),
+                (
+                    "engine",
+                    Json::obj([("threads", stats.engine_threads.to_json())]),
+                ),
+            ]),
+            Response::Pong => Json::obj([("type", "pong".to_json())]),
+            Response::ShutdownAck => Json::obj([("type", "shutdown_ack".to_json())]),
+        }
+    }
+
+    /// Serialises the response as one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        self.to_json().compact()
+    }
+
+    /// Parses one response line (the client side of the codec).
+    pub fn from_line(line: &str) -> Result<Response, WireError> {
+        let doc = Json::parse(line.trim())
+            .map_err(|e| WireError::new("parse_error", format!("malformed JSON: {e}")))?;
+        let kind = doc
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| WireError::new("invalid_request", "missing string field \"type\""))?;
+        match kind {
+            "progress" => Ok(Response::Progress {
+                id: require_str(&doc, "id")?,
+                param: require_usize(&doc, "param")?,
+                score: require_f64(&doc, "score")?,
+                completed: require_usize(&doc, "completed")?,
+                total: require_usize(&doc, "total")?,
+            }),
+            "result" => Ok(Response::Result {
+                id: require_str(&doc, "id")?,
+                selection: RankedSelection {
+                    best_param: require_usize(&doc, "best_param")?,
+                    best_score: require_f64(&doc, "best_score")?,
+                    ranking: entries_from_json(require(&doc, "ranking")?)?,
+                    evaluations: entries_from_json(require(&doc, "evaluations")?)?,
+                },
+            }),
+            "error" => Ok(Response::Error {
+                id: match doc.get("id") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(v.as_str().map(str::to_string).ok_or_else(|| {
+                        WireError::new("invalid_request", "field \"id\" must be a string")
+                    })?),
+                },
+                error: WireError {
+                    code: require_str(&doc, "code")?,
+                    message: require_str(&doc, "message")?,
+                },
+            }),
+            "stats" => {
+                let cache = require(&doc, "cache")?;
+                let queue = require(&doc, "queue")?;
+                let requests = require(&doc, "requests")?;
+                let engine = require(&doc, "engine")?;
+                Ok(Response::Stats(StatsSnapshot {
+                    cache: CacheStats {
+                        hits: require_u64(cache, "hits")?,
+                        misses: require_u64(cache, "misses")?,
+                        evictions: require_u64(cache, "evictions")?,
+                        evicted_bytes: require_u64(cache, "evicted_bytes")?,
+                        resident_entries: require_usize(cache, "resident_entries")?,
+                        resident_bytes: require_usize(cache, "resident_bytes")?,
+                        peak_resident_bytes: require_usize(cache, "peak_resident_bytes")?,
+                    },
+                    queue_depth: require_usize(queue, "depth")?,
+                    queue_capacity: require_usize(queue, "capacity")?,
+                    workers: require_usize(queue, "workers")?,
+                    engine_threads: require_usize(engine, "threads")?,
+                    requests: RequestStats {
+                        received: require_u64(requests, "received")?,
+                        completed: require_u64(requests, "completed")?,
+                        cancelled: require_u64(requests, "cancelled")?,
+                        rejected: require_u64(requests, "rejected")?,
+                        failed: require_u64(requests, "failed")?,
+                    },
+                }))
+            }
+            "pong" => Ok(Response::Pong),
+            "shutdown_ack" => Ok(Response::ShutdownAck),
+            other => Err(WireError::new(
+                "unknown_type",
+                format!("unknown response type {other:?}"),
+            )),
+        }
+    }
+}
+
+fn require_usize(doc: &Json, field: &str) -> Result<usize, WireError> {
+    require(doc, field)?.as_usize().ok_or_else(|| {
+        WireError::new(
+            "invalid_request",
+            format!("field {field:?} must be a non-negative integer"),
+        )
+    })
+}
+
+fn require_u64(doc: &Json, field: &str) -> Result<u64, WireError> {
+    require(doc, field)?.as_u64().ok_or_else(|| {
+        WireError::new(
+            "invalid_request",
+            format!("field {field:?} must be a non-negative integer"),
+        )
+    })
+}
+
+fn entries_to_json(entries: &[RankedEntry]) -> Json {
+    Json::Arr(
+        entries
+            .iter()
+            .map(|e| Json::obj([("param", e.param.to_json()), ("score", e.score.to_json())]))
+            .collect(),
+    )
+}
+
+fn entries_from_json(doc: &Json) -> Result<Vec<RankedEntry>, WireError> {
+    let items = doc
+        .as_arr()
+        .ok_or_else(|| WireError::new("invalid_request", "ranking fields must be arrays"))?;
+    items
+        .iter()
+        .map(|item| {
+            Ok(RankedEntry {
+                param: require_usize(item, "param")?,
+                score: require_f64(item, "score")?,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> SelectionRequest {
+        SelectionRequest {
+            id: "req-7".into(),
+            dataset: "aloi:3".into(),
+            algorithm: Algorithm::MpckMeans,
+            params: vec![2, 3, 4],
+            side_info: SideInfoSpec::ConstraintSample {
+                pool_fraction: 0.1,
+                sample_fraction: 0.5,
+            },
+            n_folds: 5,
+            stratified: true,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn select_request_round_trips() {
+        let req = Request::Select(sample_request());
+        let line = req.to_line();
+        assert!(!line.contains('\n'));
+        assert_eq!(Request::from_line(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn control_requests_round_trip() {
+        for req in [Request::Stats, Request::Ping, Request::Shutdown] {
+            assert_eq!(Request::from_line(&req.to_line()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn missing_fields_are_invalid_not_panics() {
+        for bad in [
+            "{}",
+            r#"{"type":"select"}"#,
+            r#"{"type":"select","dataset":"iris_like"}"#,
+            r#"{"type":"select","dataset":"iris_like","algorithm":"kmeans","side_info":{"kind":"labels","fraction":0.1}}"#,
+            r#"{"type":"select","dataset":5,"algorithm":"fosc","side_info":{"kind":"labels","fraction":0.1}}"#,
+            r#"{"type":"select","dataset":"iris_like","algorithm":"fosc","side_info":{"kind":"lab"}}"#,
+            r#"{"type":"select","dataset":"iris_like","algorithm":"fosc","side_info":{"kind":"labels","fraction":0.1},"params":[1,-2]}"#,
+            r#"{"type":"wat"}"#,
+            "not json at all",
+        ] {
+            let err = Request::from_line(bad).unwrap_err();
+            assert!(
+                ["parse_error", "invalid_request", "unknown_type"].contains(&err.code.as_str()),
+                "unexpected code {} for {bad:?}",
+                err.code
+            );
+        }
+    }
+
+    #[test]
+    fn optional_fields_take_defaults() {
+        let line = r#"{"type":"select","dataset":"iris_like","algorithm":"fosc","side_info":{"kind":"labels","fraction":0.2}}"#;
+        let Request::Select(req) = Request::from_line(line).unwrap() else {
+            panic!("expected select");
+        };
+        assert_eq!(req.id, "");
+        assert!(req.params.is_empty());
+        assert_eq!(req.n_folds, 5);
+        assert!(req.stratified);
+        assert_eq!(req.seed, 0);
+    }
+
+    #[test]
+    fn ranked_selection_sorts_stably_best_first() {
+        let selection = CvcpSelection {
+            best_param: 6,
+            best_score: 0.9,
+            evaluations: vec![
+                cvcp_core::crossval::ParameterEvaluation {
+                    param: 3,
+                    score: 0.9,
+                    folds: vec![],
+                },
+                cvcp_core::crossval::ParameterEvaluation {
+                    param: 6,
+                    score: 0.9,
+                    folds: vec![],
+                },
+                cvcp_core::crossval::ParameterEvaluation {
+                    param: 9,
+                    score: 0.2,
+                    folds: vec![],
+                },
+            ],
+        };
+        // NB: best_param above is deliberately the *second* tied candidate
+        // to document that ranking order is independent of it.
+        let ranked = RankedSelection::from_selection(&selection);
+        let order: Vec<usize> = ranked.ranking.iter().map(|e| e.param).collect();
+        assert_eq!(
+            order,
+            vec![3, 6, 9],
+            "stable sort keeps tied candidate order"
+        );
+        assert_eq!(ranked.evaluations.len(), 3);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = [
+            Response::Progress {
+                id: "a".into(),
+                param: 3,
+                score: 0.8125,
+                completed: 1,
+                total: 8,
+            },
+            Response::Result {
+                id: "a".into(),
+                selection: RankedSelection {
+                    best_param: 9,
+                    best_score: 0.75,
+                    ranking: vec![RankedEntry {
+                        param: 9,
+                        score: 0.75,
+                    }],
+                    evaluations: vec![RankedEntry {
+                        param: 9,
+                        score: 0.75,
+                    }],
+                },
+            },
+            Response::Error {
+                id: None,
+                error: WireError::new("queue_full", "32 requests already queued"),
+            },
+            Response::Error {
+                id: Some("b".into()),
+                error: WireError::new("cancelled", "client disconnected"),
+            },
+            Response::Stats(StatsSnapshot {
+                cache: CacheStats {
+                    hits: 10,
+                    misses: 3,
+                    evictions: 1,
+                    evicted_bytes: 4096,
+                    resident_entries: 2,
+                    resident_bytes: 1234,
+                    peak_resident_bytes: 5000,
+                },
+                queue_depth: 1,
+                queue_capacity: 32,
+                workers: 2,
+                engine_threads: 8,
+                requests: RequestStats {
+                    received: 5,
+                    completed: 3,
+                    cancelled: 1,
+                    rejected: 1,
+                    failed: 0,
+                },
+            }),
+            Response::Pong,
+            Response::ShutdownAck,
+        ];
+        for response in responses {
+            let line = response.to_line();
+            assert!(!line.contains('\n'));
+            assert_eq!(Response::from_line(&line).unwrap(), response, "{line}");
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! A bounded multi-producer / multi-consumer request queue.
+//!
+//! Admission control is the queue's whole point: [`BoundedQueue::try_push`]
+//! **never blocks** — when the queue is at capacity the request is handed
+//! back to the caller so the front-end can answer with a structured
+//! `queue_full` error instead of stalling the accepting connection (and,
+//! transitively, the client) for an unbounded time.  Consumers block in
+//! [`BoundedQueue::pop`] until an item arrives or the queue is closed;
+//! items still queued at close time are drained before `pop` starts
+//! returning `None`.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why [`BoundedQueue::try_push`] handed an item back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item was not enqueued.
+    Full(T),
+    /// The queue was closed; the item was not enqueued.
+    Closed(T),
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A capacity-bounded FIFO queue with non-blocking admission.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` pending items (0 rejects every
+    /// push — useful to pin rejection behaviour in tests).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently queued items.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `item`, or returns it immediately when the queue is full or
+    /// closed.  Never blocks.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available and returns it; returns `None`
+    /// once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: pending pushes are rejected, blocked consumers
+    /// wake up, queued items remain poppable until drained.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_queue_rejects_instead_of_blocking() {
+        // The regression this pins: a full queue must hand the item back
+        // immediately (so the server can answer `queue_full`), never park
+        // the pushing connection thread.
+        let queue = BoundedQueue::new(2);
+        assert_eq!(queue.try_push(1), Ok(()));
+        assert_eq!(queue.try_push(2), Ok(()));
+        let start = std::time::Instant::now();
+        assert_eq!(queue.try_push(3), Err(PushError::Full(3)));
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(100),
+            "rejection must be immediate"
+        );
+        assert_eq!(queue.len(), 2);
+        // freeing a slot re-admits
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.try_push(3), Ok(()));
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let queue = BoundedQueue::new(0);
+        assert_eq!(queue.try_push(9), Err(PushError::Full(9)));
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers_and_drains_first() {
+        let queue = Arc::new(BoundedQueue::new(4));
+        queue.try_push(7).unwrap();
+        let q = Arc::clone(&queue);
+        let consumer = std::thread::spawn(move || {
+            let mut seen = Vec::new();
+            while let Some(v) = q.pop() {
+                seen.push(v);
+            }
+            seen
+        });
+        queue.try_push(8).unwrap();
+        queue.close();
+        assert_eq!(queue.try_push(9), Err(PushError::Closed(9)));
+        let seen = consumer.join().unwrap();
+        assert_eq!(seen, vec![7, 8]);
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let queue = BoundedQueue::new(8);
+        for i in 0..5 {
+            queue.try_push(i).unwrap();
+        }
+        let drained: Vec<i32> = (0..5).map(|_| queue.pop().unwrap()).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+    }
+}

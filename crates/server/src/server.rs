@@ -1,0 +1,493 @@
+//! The TCP front-end: accept loop, per-connection protocol handling,
+//! bounded request queue and selection workers.
+//!
+//! ## Connection lifecycle
+//!
+//! Each connection carries **one** request line and its response stream,
+//! then closes — the simplest framing that keeps disconnect semantics
+//! unambiguous: while a selection is in flight, a watcher thread owns the
+//! connection's read half, so the moment the client goes away (EOF or
+//! reset) the request's [`CancelToken`] fires and the engine skips every
+//! job of the request's DAG that has not started yet.
+//!
+//! ## Admission control
+//!
+//! `select` requests are validated, then enqueued with
+//! [`BoundedQueue::try_push`].  A full queue answers `queue_full`
+//! *immediately* — the connection is never parked waiting for capacity —
+//! so clients see back-pressure as a structured error they can retry,
+//! instead of an unbounded stall.
+
+use crate::protocol::{RankedSelection, Request, RequestStats, Response, StatsSnapshot, WireError};
+use crate::queue::{BoundedQueue, PushError};
+use cvcp_core::{run_selection_request, RunRequestError, SelectionRequest};
+use cvcp_engine::{CancelToken, Engine};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Longest accepted request line, in bytes.
+const MAX_LINE_BYTES: u64 = 1 << 20;
+
+/// How often the disconnect watcher polls for request completion.
+const WATCH_POLL: Duration = Duration::from_millis(25);
+
+/// Server configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
+    pub addr: String,
+    /// Maximum number of queued (admitted but not yet running) requests.
+    pub queue_depth: usize,
+    /// Number of selection worker threads.  `0` is accepted and means "no
+    /// execution at all" — requests queue until rejected — which tests use
+    /// to pin admission-control behaviour deterministically.
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_string(),
+            queue_depth: 32,
+            workers: 2,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Reads the configuration from the environment:
+    ///
+    /// * `CVCP_ADDR` — listen address (default `127.0.0.1:7878`);
+    /// * `CVCP_QUEUE_DEPTH` — request queue capacity (default 32);
+    /// * `CVCP_SERVER_WORKERS` — selection workers (default 2).
+    ///
+    /// Unset or unparsable variables keep their defaults.
+    pub fn from_env() -> Self {
+        let defaults = Self::default();
+        let read_usize = |var: &str, default: usize| -> usize {
+            std::env::var(var)
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(default)
+        };
+        Self {
+            addr: std::env::var("CVCP_ADDR").unwrap_or(defaults.addr),
+            queue_depth: read_usize("CVCP_QUEUE_DEPTH", defaults.queue_depth),
+            workers: read_usize("CVCP_SERVER_WORKERS", defaults.workers),
+        }
+    }
+}
+
+/// An admitted request travelling from a connection to a worker.
+struct QueuedJob {
+    request: SelectionRequest,
+    events: mpsc::Sender<Response>,
+    cancel: CancelToken,
+}
+
+#[derive(Default)]
+struct Counters {
+    received: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> RequestStats {
+        RequestStats {
+            received: self.received.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Shared {
+    engine: Arc<Engine>,
+    queue: BoundedQueue<QueuedJob>,
+    counters: Counters,
+    workers: usize,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            cache: self.engine.cache().stats(),
+            queue_depth: self.queue.len(),
+            queue_capacity: self.queue.capacity(),
+            workers: self.workers,
+            engine_threads: self.engine.n_threads(),
+            requests: self.counters.snapshot(),
+        }
+    }
+
+    /// Initiates shutdown: flips the flag, closes the queue (workers drain
+    /// and exit) and pokes the accept loop awake with a loopback connect.
+    /// A wildcard bind address (`0.0.0.0` / `::`) is not connectable on
+    /// every platform, so fall back to loopback on the bound port.
+    fn initiate_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+        let timeout = Duration::from_millis(200);
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        if TcpStream::connect_timeout(&wake, timeout).is_err() && wake != self.addr {
+            let _ = TcpStream::connect_timeout(&self.addr, timeout);
+        }
+    }
+}
+
+/// A running serving front-end.
+///
+/// Dropping the handle does **not** stop the server; call
+/// [`Server::shutdown`] for a synchronous stop or [`Server::wait`] to
+/// block until a client sends the `shutdown` request.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `config.addr` and starts the accept loop and worker threads
+    /// on the given engine.
+    pub fn start(config: &ServerConfig, engine: Arc<Engine>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine,
+            queue: BoundedQueue::new(config.queue_depth),
+            counters: Counters::default(),
+            workers: config.workers,
+            shutdown: AtomicBool::new(false),
+            addr,
+        });
+        let workers = (0..config.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A statistics snapshot — the same payload the `stats` request
+    /// returns over the wire.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats()
+    }
+
+    /// Stops the server: no new connections, queued requests are drained
+    /// by the workers, then all server threads are joined.
+    pub fn shutdown(mut self) {
+        self.shared.initiate_shutdown();
+        self.join_threads();
+    }
+
+    /// Blocks until the server shuts down (via a `shutdown` request or
+    /// another handle), then joins all server threads.
+    pub fn wait(mut self) {
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || handle_connection(&shared, stream));
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept errors (aborted handshakes, fd
+                // exhaustion under a connection flood) are not fatal to
+                // the listener, but must not busy-spin the accept thread
+                // either — back off briefly before retrying.
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// Reads one `\n`-terminated line, bounded by [`MAX_LINE_BYTES`].
+/// `Ok(None)` means the client closed without sending anything.
+fn read_request_line(reader: &mut BufReader<TcpStream>) -> Result<Option<String>, WireError> {
+    let mut line = String::new();
+    let mut limited = Read::take(reader, MAX_LINE_BYTES);
+    let n = limited
+        .read_line(&mut line)
+        .map_err(|e| WireError::new("parse_error", format!("request line unreadable: {e}")))?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if !line.ends_with('\n') && n as u64 >= MAX_LINE_BYTES {
+        return Err(WireError::new(
+            "invalid_request",
+            format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+        ));
+    }
+    Ok(Some(line))
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let mut line = response.to_line();
+    line.push('\n');
+    stream.write_all(line.as_bytes())?;
+    stream.flush()
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let mut reader = BufReader::new(read_half);
+    let line = match read_request_line(&mut reader) {
+        Ok(Some(line)) => line,
+        Ok(None) => return,
+        Err(error) => {
+            let _ = write_response(&mut writer, &Response::Error { id: None, error });
+            return;
+        }
+    };
+    match Request::from_line(&line) {
+        Err(error) => {
+            let _ = write_response(&mut writer, &Response::Error { id: None, error });
+        }
+        Ok(Request::Ping) => {
+            let _ = write_response(&mut writer, &Response::Pong);
+        }
+        Ok(Request::Stats) => {
+            let _ = write_response(&mut writer, &Response::Stats(shared.stats()));
+        }
+        Ok(Request::Shutdown) => {
+            let _ = write_response(&mut writer, &Response::ShutdownAck);
+            shared.initiate_shutdown();
+        }
+        Ok(Request::Select(request)) => handle_select(shared, writer, request),
+    }
+}
+
+fn handle_select(shared: &Arc<Shared>, mut writer: TcpStream, request: SelectionRequest) {
+    let id = request.id.clone();
+    // Reject invalid requests before they occupy a queue slot.
+    if let Err(e) = request.validate() {
+        let _ = write_response(
+            &mut writer,
+            &Response::Error {
+                id: Some(id),
+                error: WireError::new("invalid_request", e.to_string()),
+            },
+        );
+        return;
+    }
+    let (events_tx, events_rx) = mpsc::channel();
+    let cancel = CancelToken::new();
+    let job = QueuedJob {
+        request,
+        events: events_tx,
+        cancel: cancel.clone(),
+    };
+    match shared.queue.try_push(job) {
+        Ok(()) => {}
+        Err(PushError::Full(_)) => {
+            shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            let _ = write_response(
+                &mut writer,
+                &Response::Error {
+                    id: Some(id),
+                    error: WireError::new(
+                        "queue_full",
+                        format!(
+                            "request queue is at capacity ({}); retry later",
+                            shared.queue.capacity()
+                        ),
+                    ),
+                },
+            );
+            return;
+        }
+        // A closed queue means the server is going away — telling the
+        // client to "retry later" (or counting it as back-pressure) would
+        // be wrong on both counts.
+        Err(PushError::Closed(_)) => {
+            let _ = write_response(
+                &mut writer,
+                &Response::Error {
+                    id: Some(id),
+                    error: WireError::new("shutting_down", "server is shutting down"),
+                },
+            );
+            return;
+        }
+    }
+    shared.counters.received.fetch_add(1, Ordering::Relaxed);
+
+    // While the request is queued/running, a watcher owns the read half:
+    // EOF or a reset from the client cancels the request's DAG.
+    let done = Arc::new(AtomicBool::new(false));
+    let watcher = {
+        let stream = writer.try_clone().ok();
+        let cancel = cancel.clone();
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let Some(stream) = stream else {
+                return;
+            };
+            watch_for_disconnect(stream, &cancel, &done);
+        })
+    };
+    // Pump events until the terminal response (or until writing fails,
+    // which also means the client is gone).
+    while let Ok(event) = events_rx.recv() {
+        let terminal = matches!(event, Response::Result { .. } | Response::Error { .. });
+        if write_response(&mut writer, &event).is_err() {
+            cancel.cancel();
+            break;
+        }
+        if terminal {
+            break;
+        }
+    }
+    done.store(true, Ordering::SeqCst);
+    let _ = watcher.join();
+}
+
+fn watch_for_disconnect(mut stream: TcpStream, cancel: &CancelToken, done: &AtomicBool) {
+    if stream.set_read_timeout(Some(WATCH_POLL)).is_err() {
+        return;
+    }
+    let mut buf = [0u8; 128];
+    while !done.load(Ordering::SeqCst) {
+        match stream.read(&mut buf) {
+            // EOF: the client closed its end.
+            Ok(0) => {
+                cancel.cancel();
+                return;
+            }
+            // The one-request-per-connection protocol has no further
+            // client input; stray bytes are ignored.
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            // Reset / broken pipe: the client is gone.
+            Err(_) => {
+                cancel.cancel();
+                return;
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let QueuedJob {
+            request,
+            events,
+            cancel,
+        } = job;
+        let id = request.id.clone();
+        if cancel.is_cancelled() {
+            shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            let _ = events.send(Response::Error {
+                id: Some(id),
+                error: WireError::new("cancelled", "client disconnected before the request ran"),
+            });
+            continue;
+        }
+        let progress_events = events.clone();
+        let progress_id = id.clone();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run_selection_request(&shared.engine, &request, Some(cancel.clone()), move |p| {
+                let _ = progress_events.send(Response::Progress {
+                    id: progress_id.clone(),
+                    param: p.param,
+                    score: p.score,
+                    completed: p.completed,
+                    total: p.total,
+                });
+            })
+        }));
+        let response = match outcome {
+            Ok(Ok(selection)) => {
+                shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+                Response::Result {
+                    id,
+                    selection: RankedSelection::from_selection(&selection),
+                }
+            }
+            Ok(Err(RunRequestError::Cancelled)) => {
+                shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                Response::Error {
+                    id: Some(id),
+                    error: WireError::new("cancelled", "client disconnected; selection cancelled"),
+                }
+            }
+            Ok(Err(RunRequestError::Invalid(e))) => {
+                shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                Response::Error {
+                    id: Some(id),
+                    error: WireError::new("invalid_request", e.to_string()),
+                }
+            }
+            Err(panic) => {
+                shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                let message = panic
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "selection panicked".to_string());
+                Response::Error {
+                    id: Some(id),
+                    error: WireError::new("internal", message),
+                }
+            }
+        };
+        let _ = events.send(response);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests for the wire codec under the vendored proptest shim:
+//!
+//! * the JSON parser never panics, whatever bytes arrive on the socket;
+//! * parse ∘ emit is the identity on finite documents (pretty and
+//!   compact framing alike);
+//! * the typed request codec round-trips arbitrary selection requests.
+
+use cvcp_core::json::Json;
+use cvcp_core::{Algorithm, SelectionRequest, SideInfoSpec};
+use cvcp_data::rng::SeededRng;
+use cvcp_server::Request;
+use proptest::prelude::*;
+
+/// Characters chosen to stress the string escaping paths: quotes,
+/// backslashes, control characters, multi-byte UTF-8.
+const STRING_PALETTE: [char; 16] = [
+    'a', 'Z', '0', ' ', '"', '\\', '/', '\n', '\r', '\t', '\u{0}', '\u{1f}', 'é', '✓', '🦀',
+    '\u{7f}',
+];
+
+fn arb_string(rng: &mut SeededRng, max_len: usize) -> String {
+    let len = rng.index(max_len + 1);
+    (0..len)
+        .map(|_| STRING_PALETTE[rng.index(STRING_PALETTE.len())])
+        .collect()
+}
+
+fn arb_number(rng: &mut SeededRng) -> f64 {
+    match rng.index(4) {
+        0 => rng.index(10_000) as f64,           // small integer
+        1 => -(rng.index(10_000) as f64),        // negative integer
+        2 => rng.uniform_in(-1.0e9, 1.0e9),      // wide float
+        _ => rng.uniform_in(-1.0, 1.0) * 1.0e-6, // tiny float
+    }
+}
+
+fn arb_json(rng: &mut SeededRng, depth: usize) -> Json {
+    let variants = if depth == 0 { 4 } else { 6 };
+    match rng.index(variants) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.index(2) == 0),
+        2 => Json::Num(arb_number(rng)),
+        3 => Json::Str(arb_string(rng, 12)),
+        4 => Json::Arr(
+            (0..rng.index(4))
+                .map(|_| arb_json(rng, depth - 1))
+                .collect(),
+        ),
+        _ => Json::Obj(
+            (0..rng.index(4))
+                .map(|i| {
+                    (
+                        format!("k{i}_{}", arb_string(rng, 4)),
+                        arb_json(rng, depth - 1),
+                    )
+                })
+                .collect(),
+        ),
+    }
+}
+
+/// A strategy producing arbitrary finite JSON documents.
+struct ArbJson;
+
+impl proptest::Strategy for ArbJson {
+    type Value = Json;
+
+    fn sample(&self, rng: &mut SeededRng) -> Json {
+        arb_json(rng, 3)
+    }
+}
+
+/// A strategy producing arbitrary (mostly malformed) input strings.
+struct ArbGarbage;
+
+impl proptest::Strategy for ArbGarbage {
+    type Value = String;
+
+    fn sample(&self, rng: &mut SeededRng) -> String {
+        const PALETTE: &[u8] = b"{}[]\",:.0123456789eE+-truefalsnl \t\n\\u\x00\x1f\x7f";
+        let len = rng.index(64);
+        let bytes: Vec<u8> = (0..len)
+            .map(|_| PALETTE[rng.index(PALETTE.len())])
+            .collect();
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+}
+
+/// A strategy producing arbitrary selection requests (not necessarily
+/// semantically valid — the codec must round-trip them regardless).
+struct ArbRequest;
+
+impl proptest::Strategy for ArbRequest {
+    type Value = SelectionRequest;
+
+    fn sample(&self, rng: &mut SeededRng) -> SelectionRequest {
+        let algorithm = if rng.index(2) == 0 {
+            Algorithm::Fosc
+        } else {
+            Algorithm::MpckMeans
+        };
+        let side_info = if rng.index(2) == 0 {
+            SideInfoSpec::LabelFraction(rng.uniform_in(0.0, 1.5))
+        } else {
+            SideInfoSpec::ConstraintSample {
+                pool_fraction: rng.uniform_in(0.0, 1.0),
+                sample_fraction: rng.uniform_in(0.0, 1.0),
+            }
+        };
+        SelectionRequest {
+            id: arb_string(rng, 8),
+            dataset: ["iris_like", "aloi:3", "no_such_set", ""][rng.index(4)].to_string(),
+            algorithm,
+            params: (0..rng.index(6)).map(|_| rng.index(30)).collect(),
+            side_info,
+            n_folds: rng.index(12),
+            stratified: rng.index(2) == 0,
+            seed: rng.index(1 << 30) as u64,
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn parser_never_panics_on_garbage(input in ArbGarbage) {
+        // The property is "returns, never panics": the Result itself is
+        // irrelevant.
+        let _ = Json::parse(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_mutated_valid_documents(
+        (doc, flip) in (ArbJson, 0usize..1024)
+    ) {
+        let mut bytes = doc.compact().into_bytes();
+        if !bytes.is_empty() {
+            let pos = flip % bytes.len();
+            bytes[pos] = bytes[pos].wrapping_add(1 + (flip % 7) as u8);
+        }
+        let _ = Json::parse(&String::from_utf8_lossy(&bytes));
+    }
+
+    #[test]
+    fn parse_emit_parse_round_trips(doc in ArbJson) {
+        let compact = Json::parse(&doc.compact()).expect("compact emit parses");
+        prop_assert_eq!(&compact, &doc);
+        let pretty = Json::parse(&doc.pretty()).expect("pretty emit parses");
+        prop_assert_eq!(&pretty, &doc);
+        // and a second emit→parse cycle is stable
+        prop_assert_eq!(Json::parse(&compact.compact()).expect("stable"), doc);
+    }
+
+    #[test]
+    fn request_codec_round_trips(request in ArbRequest) {
+        let wire = Request::Select(request.clone());
+        let line = wire.to_line();
+        prop_assert!(!line.contains('\n'));
+        prop_assert_eq!(Request::from_line(&line).expect("codec output parses"), wire);
+    }
+}

@@ -1,0 +1,302 @@
+//! End-to-end smoke tests: a real TCP server on a loopback port, driven
+//! through the wire protocol, asserted against the in-process engine.
+//!
+//! These are the same three contracts the CI `server-smoke` job asserts
+//! via the `serve` binary and the `cvcp-client` example:
+//!
+//! 1. a served FOSC selection is bit-identical to `select_model_with`;
+//! 2. a served MPCKMeans selection is bit-identical to `select_model_with`;
+//! 3. a client disconnect mid-request cancels the DAG (visible in `stats`).
+
+use cvcp_core::{Algorithm, Engine, SelectionRequest, SideInfoSpec};
+use cvcp_server::{RankedSelection, Request, Response, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn start_server(workers: usize, queue_depth: usize) -> Server {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        queue_depth,
+        workers,
+    };
+    Server::start(&config, Arc::new(Engine::new(4))).expect("bind loopback")
+}
+
+fn send_line(server: &Server, request: &Request) -> TcpStream {
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut line = request.to_line();
+    line.push('\n');
+    stream.write_all(line.as_bytes()).expect("send request");
+    stream.flush().expect("flush request");
+    stream
+}
+
+fn collect_responses(stream: TcpStream) -> Vec<Response> {
+    let reader = BufReader::new(stream);
+    let mut out = Vec::new();
+    for line in reader.lines() {
+        let line = line.expect("read response line");
+        let response = Response::from_line(&line).expect("well-formed response");
+        let terminal = matches!(response, Response::Result { .. } | Response::Error { .. });
+        out.push(response);
+        if terminal {
+            break;
+        }
+    }
+    out
+}
+
+fn request_for(algorithm: Algorithm, id: &str) -> SelectionRequest {
+    SelectionRequest {
+        id: id.to_string(),
+        dataset: "iris_like".to_string(),
+        algorithm,
+        params: match algorithm {
+            Algorithm::Fosc => vec![3, 6, 9],
+            Algorithm::MpckMeans => vec![2, 3, 4],
+        },
+        side_info: SideInfoSpec::LabelFraction(0.2),
+        n_folds: 4,
+        stratified: true,
+        seed: 20_140_324,
+    }
+}
+
+fn assert_bit_identical(served: &RankedSelection, local: &RankedSelection) {
+    assert_eq!(served.best_param, local.best_param);
+    assert_eq!(
+        served.best_score.to_bits(),
+        local.best_score.to_bits(),
+        "best_score bits differ"
+    );
+    assert_eq!(served.evaluations.len(), local.evaluations.len());
+    for (s, l) in served.evaluations.iter().zip(&local.evaluations) {
+        assert_eq!(s.param, l.param);
+        assert_eq!(
+            s.score.to_bits(),
+            l.score.to_bits(),
+            "score bits differ at param {}",
+            s.param
+        );
+    }
+    assert_eq!(served.ranking.len(), local.ranking.len());
+    for (s, l) in served.ranking.iter().zip(&local.ranking) {
+        assert_eq!((s.param, s.score.to_bits()), (l.param, l.score.to_bits()));
+    }
+}
+
+fn served_selection_matches_in_process(algorithm: Algorithm) {
+    let server = start_server(2, 8);
+    let request = request_for(algorithm, "smoke");
+    let stream = send_line(&server, &Request::Select(request.clone()));
+    let responses = collect_responses(stream);
+
+    let progress: Vec<_> = responses
+        .iter()
+        .filter_map(|r| match r {
+            Response::Progress {
+                param,
+                score,
+                total,
+                ..
+            } => Some((*param, *score, *total)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        progress.len(),
+        request.params.len(),
+        "one progress event per candidate: {responses:?}"
+    );
+    assert!(progress
+        .iter()
+        .all(|&(_, _, total)| total == request.params.len()));
+
+    let served = match responses.last() {
+        Some(Response::Result { id, selection }) => {
+            assert_eq!(id, "smoke");
+            selection.clone()
+        }
+        other => panic!("expected a result, got {other:?}"),
+    };
+
+    // The reference: the identical request lowered and run in-process.
+    let local = RankedSelection::from_selection(
+        &request
+            .realize()
+            .expect("valid request")
+            .select(&Engine::new(4)),
+    );
+    assert_bit_identical(&served, &local);
+
+    // Progress events carry the same scores as the final evaluations.
+    for (param, score, _) in progress {
+        let eval = served
+            .evaluations
+            .iter()
+            .find(|e| e.param == param)
+            .expect("progress param is a candidate");
+        assert_eq!(eval.score.to_bits(), score.to_bits());
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.requests.completed, 1);
+    assert_eq!(stats.requests.cancelled, 0);
+    server.shutdown();
+}
+
+#[test]
+fn served_fosc_selection_is_bit_identical_to_in_process() {
+    served_selection_matches_in_process(Algorithm::Fosc);
+}
+
+#[test]
+fn served_mpck_selection_is_bit_identical_to_in_process() {
+    served_selection_matches_in_process(Algorithm::MpckMeans);
+}
+
+#[test]
+fn client_disconnect_mid_request_cancels_the_dag() {
+    let server = start_server(1, 8);
+    // A heavyweight request (125×144 ALOI replica, full MPCK k-grid) so the
+    // selection is reliably still running when the disconnect lands.
+    let request = SelectionRequest {
+        id: "to-cancel".to_string(),
+        dataset: "aloi:0".to_string(),
+        algorithm: Algorithm::MpckMeans,
+        params: vec![],
+        side_info: SideInfoSpec::LabelFraction(0.2),
+        n_folds: 5,
+        stratified: true,
+        seed: 7,
+    };
+    let stream = send_line(&server, &Request::Select(request));
+    // Drop the connection immediately: the watcher sees EOF and cancels.
+    drop(stream);
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = server.stats();
+        if stats.requests.cancelled == 1 {
+            assert_eq!(stats.requests.completed, 0, "request must not complete");
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "cancellation never surfaced in stats: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // The engine survives: a fresh request on the same server still works.
+    let follow_up = request_for(Algorithm::Fosc, "after-cancel");
+    let responses = collect_responses(send_line(&server, &Request::Select(follow_up)));
+    assert!(
+        matches!(responses.last(), Some(Response::Result { .. })),
+        "follow-up failed: {responses:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_rejects_with_a_structured_error() {
+    // workers = 0: nothing drains the queue, so admission control is
+    // deterministic — the first request occupies the single slot, the
+    // second must be rejected with `queue_full` immediately.
+    let server = start_server(0, 1);
+    let first = send_line(
+        &server,
+        &Request::Select(request_for(Algorithm::Fosc, "first")),
+    );
+    // Wait until the first request is actually queued.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().queue_depth == 0 {
+        assert!(Instant::now() < deadline, "first request never queued");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let responses = collect_responses(send_line(
+        &server,
+        &Request::Select(request_for(Algorithm::Fosc, "second")),
+    ));
+    match responses.as_slice() {
+        [Response::Error { id, error }] => {
+            assert_eq!(id.as_deref(), Some("second"));
+            assert_eq!(error.code, "queue_full");
+        }
+        other => panic!("expected queue_full, got {other:?}"),
+    }
+    let stats = server.stats();
+    assert_eq!(stats.requests.rejected, 1);
+    assert_eq!(stats.requests.received, 1);
+    assert_eq!(stats.queue_capacity, 1);
+    drop(first);
+    server.shutdown();
+}
+
+#[test]
+fn invalid_and_malformed_requests_get_structured_errors() {
+    let server = start_server(1, 4);
+
+    // Malformed JSON.
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.write_all(b"this is not json\n").expect("send");
+    let responses = collect_responses(stream);
+    match responses.as_slice() {
+        [Response::Error { error, .. }] => assert_eq!(error.code, "parse_error"),
+        other => panic!("expected parse_error, got {other:?}"),
+    }
+
+    // Unknown dataset (semantically invalid).
+    let mut bad = request_for(Algorithm::Fosc, "bad");
+    bad.dataset = "does_not_exist".to_string();
+    let responses = collect_responses(send_line(&server, &Request::Select(bad)));
+    match responses.as_slice() {
+        [Response::Error { id, error }] => {
+            assert_eq!(id.as_deref(), Some("bad"));
+            assert_eq!(error.code, "invalid_request");
+        }
+        other => panic!("expected invalid_request, got {other:?}"),
+    }
+
+    // Neither touched the request counters' happy paths.
+    let stats = server.stats();
+    assert_eq!(stats.requests.received, 0);
+    assert_eq!(stats.requests.completed, 0);
+    server.shutdown();
+}
+
+#[test]
+fn stats_ping_and_protocol_shutdown_round_trip() {
+    let server = start_server(1, 4);
+    let addr = server.local_addr();
+
+    let responses = collect_responses(send_line(&server, &Request::Ping));
+    assert_eq!(responses, vec![Response::Pong]);
+
+    match collect_responses(send_line(&server, &Request::Stats)).as_slice() {
+        [Response::Stats(stats)] => {
+            assert_eq!(stats.queue_capacity, 4);
+            assert_eq!(stats.workers, 1);
+            assert_eq!(stats.engine_threads, 4);
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+
+    let responses = collect_responses(send_line(&server, &Request::Shutdown));
+    assert_eq!(responses, vec![Response::ShutdownAck]);
+    server.wait();
+
+    // The listener is gone after a protocol-initiated shutdown.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match TcpStream::connect(addr) {
+            Err(_) => break,
+            Ok(_) => {
+                assert!(Instant::now() < deadline, "listener still accepting");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}

@@ -124,7 +124,7 @@ pub mod collection {
     use super::{SeededRng, Strategy};
     use std::ops::Range;
 
-    /// Accepted size specifications for [`vec`].
+    /// Accepted size specifications for [`vec()`].
     pub struct SizeRange {
         lo: usize,
         hi: usize, // exclusive
@@ -155,7 +155,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

@@ -16,7 +16,9 @@
 //! * [`engine`] — the deterministic, cache-aware parallel execution engine
 //!   that evaluates the (parameter × fold × replica) grid;
 //! * [`core`] — the CVCP model-selection framework, baselines and the
-//!   experiment harness.
+//!   experiment harness;
+//! * [`server`] — the newline-delimited-JSON TCP serving front-end over
+//!   the engine.
 //!
 //! See the `examples/` directory for end-to-end usage and `EXPERIMENTS.md`
 //! for the reproduction of the paper's tables and figures.
@@ -31,6 +33,7 @@ pub use cvcp_density as density;
 pub use cvcp_engine as engine;
 pub use cvcp_kmeans as kmeans;
 pub use cvcp_metrics as metrics;
+pub use cvcp_server as server;
 
 /// One-stop prelude re-exporting the most commonly used items.
 pub mod prelude {
@@ -55,5 +58,6 @@ mod tests {
         let _ = crate::density::Dbscan::new(1.0, 3);
         let _ = crate::engine::Engine::sequential();
         let _ = crate::core::CvcpConfig::default();
+        let _ = crate::server::ServerConfig::default();
     }
 }

@@ -1,4 +1,4 @@
-//! Content-keyed artifact cache with a bounded-memory lifecycle.
+//! Content-keyed artifact cache with a sharded, bounded-memory lifecycle.
 //!
 //! CVCP model selection evaluates a grid of (parameter × fold × replica)
 //! cells, and many expensive intermediates — pairwise distance matrices,
@@ -11,23 +11,46 @@
 //! Long-lived serving engines cannot let the cache grow monotonically, so
 //! the store is *size-bounded*: a [`CacheConfig`] caps the resident bytes
 //! (measured per artifact via [`ArtifactSize`]) and/or the resident entry
-//! count, and the least-recently-used artifacts are evicted when a budget is
-//! exceeded.  Eviction is purely a time/space trade: an evicted artifact is
-//! recomputed on next use, results never change.
+//! count, and artifacts are evicted when a budget is exceeded.  Eviction is
+//! purely a time/space trade: an evicted artifact is recomputed on next
+//! use, results never change.
+//!
+//! ## Sharding
+//!
+//! The store is split into `CacheConfig::shards` independent shards
+//! (a power of two), selected by a **deterministic** content hash of the
+//! [`ArtifactKey`] — identical across runs, thread counts and processes
+//! (see [`ArtifactCache::shard_of`]).  Each shard has its own lock and its
+//! own slice of the global byte/entry budgets, so concurrent requests for
+//! unrelated keys never contend on one map lock.
+//!
+//! ## Ordered eviction
+//!
+//! Each shard keeps its committed entries on an intrusive, index-linked
+//! LRU list over a slab (no `unsafe`): lookups and commits splice in O(1),
+//! and the eviction victim is the list head — **O(1) per victim**, never a
+//! scan over the resident set.  Two policies are available
+//! ([`EvictionPolicy`]): plain LRU (the deterministic default) and an
+//! opt-in cost-benefit policy that weighs victims by their recompute cost
+//! per byte (the BJI-style benefit/space ratio), using per-artifact compute
+//! times recorded at commit.
 //!
 //! Concurrency contract: two threads requesting the same key race to a
 //! per-key [`OnceLock`]; the loser blocks until the winner's value is ready,
 //! so an artifact is never computed twice *while in flight* and concurrent
 //! callers always observe the same `Arc` (see the pointer-equality tests).
-//! Only fully-initialized slots are eviction candidates — an in-flight
+//! Only fully-committed entries are eviction candidates — an in-flight
 //! `get_or_compute` can never have its slot torn out from under it, and
 //! callers holding an `Arc` to an evicted artifact keep a valid value (the
-//! bytes are merely no longer counted as resident).
+//! bytes are merely no longer counted as resident).  If a computation
+//! panics, its in-flight slot is removed on unwind, so the key stays
+//! retryable and the map never accumulates zombie entries.
 
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 use cvcp_data::DataMatrix;
 
@@ -168,6 +191,54 @@ pub enum ArtifactKey {
     },
 }
 
+impl ArtifactKey {
+    /// Deterministic routing hash over the key's content — deliberately
+    /// *not* `std::hash::Hash` (whose `RandomState` seeds differ per map),
+    /// so shard assignment is identical across runs, threads and processes
+    /// (the future seam for consistent hashing across serving hosts).
+    fn route_hash(&self) -> u64 {
+        let mut h = FingerprintBuilder::new();
+        match *self {
+            ArtifactKey::PairwiseDistances { data } => {
+                h.write_u64(1).write_u64(data);
+            }
+            ArtifactKey::CoreDistances { data, min_pts } => {
+                h.write_u64(2).write_u64(data).write_u64(min_pts as u64);
+            }
+            ArtifactKey::MutualReachabilityMst { data, min_pts } => {
+                h.write_u64(3).write_u64(data).write_u64(min_pts as u64);
+            }
+            ArtifactKey::DensityHierarchy {
+                data,
+                min_pts,
+                min_cluster_size,
+            } => {
+                h.write_u64(4)
+                    .write_u64(data)
+                    .write_u64(min_pts as u64)
+                    .write_u64(min_cluster_size as u64);
+            }
+            ArtifactKey::FoldClosure { side, fold } => {
+                h.write_u64(5).write_u64(side).write_u64(fold as u64);
+            }
+            ArtifactKey::MpckSeeding {
+                data,
+                constraints,
+                use_closure,
+            } => {
+                h.write_u64(6)
+                    .write_u64(data)
+                    .write_u64(constraints)
+                    .write_u64(use_closure as u64);
+            }
+            ArtifactKey::Custom { domain, key } => {
+                h.write_u64(7).write_u64(domain).write_u64(key);
+            }
+        }
+        h.finish()
+    }
+}
+
 /// Approximate resident size of a cached artifact, in bytes.
 ///
 /// The cache charges every artifact against [`CacheConfig::max_bytes`] using
@@ -212,18 +283,86 @@ impl<A: ArtifactSize, B: ArtifactSize> ArtifactSize for (A, B) {
     }
 }
 
-/// Memory budget of an [`ArtifactCache`].
-///
-/// `None` means "unbounded" for either knob.  Budgets apply to *resident*
-/// (fully computed) artifacts: in-flight computations are never evicted, so
-/// the map may transiently hold more uninitialized slots than
-/// `max_entries`.
+/// How a shard picks its eviction victim when a budget is exceeded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Evict the least-recently-used committed artifact (the list head) —
+    /// deterministic and O(1); the default.
+    #[default]
+    Lru,
+    /// Among a bounded window of the least-recently-used artifacts, evict
+    /// the one with the lowest recompute-cost per byte (the BJI-style
+    /// benefit/space ratio, using per-artifact compute times recorded at
+    /// commit).  Cheap-to-recompute bulky artifacts go first; expensive
+    /// dense ones are retained beyond their LRU position.  Still O(1) per
+    /// victim (the window is constant-sized), but victim choice depends on
+    /// measured wall-clock compute times — cached *values* are unaffected,
+    /// results stay bit-identical.
+    CostBenefit,
+}
+
+impl EvictionPolicy {
+    /// Parses a policy name (`lru`, `cost` / `cost_benefit` /
+    /// `cost-benefit`); `None` for anything else.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "lru" => Some(Self::Lru),
+            "cost" | "cost_benefit" | "cost-benefit" => Some(Self::CostBenefit),
+            _ => None,
+        }
+    }
+
+    /// The canonical name of the policy.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Lru => "lru",
+            Self::CostBenefit => "cost_benefit",
+        }
+    }
+}
+
+/// Hard ceiling on the shard count (itself a power of two).
+pub const MAX_SHARDS: usize = 1024;
+
+/// Memory budget and layout of an [`ArtifactCache`].
+///
+/// `None` means "unbounded" for either budget knob.  Budgets apply to
+/// *resident* (fully committed) artifacts: in-flight computations are never
+/// evicted, so the map may transiently hold more uninitialized slots than
+/// `max_entries`.
+///
+/// With `shards > 1` the global budgets are split evenly: each shard
+/// enforces `max_bytes / shards` and `max_entries / shards`, so the global
+/// budgets are never exceeded.  A nonzero `max_entries` smaller than the
+/// shard count clamps the shard count down (each shard keeps at least one
+/// entry of budget) rather than silently disabling caching.  An artifact
+/// larger than its shard's byte slice (or any artifact, when `max_entries`
+/// is zero) bypasses residency entirely — it is computed, handed to the
+/// caller and immediately counted as evicted, without disturbing the
+/// resident set.  Pick `max_bytes` at least `shards ×` the largest
+/// artifact you want resident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Maximum resident artifact bytes (as measured by [`ArtifactSize`]).
     pub max_bytes: Option<usize>,
     /// Maximum number of resident artifacts.
     pub max_entries: Option<usize>,
+    /// Number of independent shards.  Normalized by the cache to a power of
+    /// two in `1..=`[`MAX_SHARDS`].
+    pub shards: usize,
+    /// Eviction victim selection policy.
+    pub policy: EvictionPolicy,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            max_bytes: None,
+            max_entries: None,
+            shards: 1,
+            policy: EvictionPolicy::Lru,
+        }
+    }
 }
 
 impl CacheConfig {
@@ -244,9 +383,28 @@ impl CacheConfig {
         self
     }
 
+    /// Sets the shard count (normalized to a power of two in
+    /// `1..=`[`MAX_SHARDS`] when the cache is built).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the eviction policy.
+    pub fn with_policy(mut self, policy: EvictionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
     /// `true` when neither budget is set.
     pub fn is_unbounded(&self) -> bool {
         self.max_bytes.is_none() && self.max_entries.is_none()
+    }
+
+    /// The shard count the cache will actually use: the next power of two
+    /// of `shards`, clamped to `1..=`[`MAX_SHARDS`].
+    pub fn normalized_shards(&self) -> usize {
+        self.shards.clamp(1, MAX_SHARDS).next_power_of_two()
     }
 }
 
@@ -254,32 +412,250 @@ impl CacheConfig {
 type Stored = (Arc<dyn Any + Send + Sync>, usize);
 type Slot = Arc<OnceLock<Stored>>;
 
-/// One cache entry: the shared slot, its byte size once committed, and the
-/// logical timestamp of its last use (for LRU eviction).
+/// Sentinel slab index ("null pointer" of the intrusive list).
+const NIL: usize = usize::MAX;
+
+/// How many LRU-end candidates [`EvictionPolicy::CostBenefit`] compares per
+/// eviction (constant, so eviction stays O(1) per victim).
+const COST_BENEFIT_WINDOW: usize = 8;
+
+/// One slab node: the shared slot plus the intrusive LRU links.
 #[derive(Debug)]
-struct Entry {
+struct Node {
+    key: ArtifactKey,
     slot: Slot,
     /// `Some(bytes)` once the artifact is computed *and* committed to the
     /// resident accounting; `None` while the computation is in flight.
     bytes: Option<usize>,
-    last_used: u64,
+    /// Wall-clock nanoseconds the artifact took to compute, recorded at
+    /// commit — the recompute-cost profile [`EvictionPolicy::CostBenefit`]
+    /// scores victims with.
+    cost_nanos: u64,
+    /// Previous node on the LRU list (towards the LRU head), or [`NIL`].
+    prev: usize,
+    /// Next node on the LRU list (towards the MRU tail), or [`NIL`].
+    next: usize,
+    /// Whether the node is linked on the LRU list (committed entries only).
+    in_lru: bool,
 }
 
-/// The lock-protected part of the cache.
-#[derive(Debug, Default)]
-struct CacheMap {
-    entries: HashMap<ArtifactKey, Entry>,
+/// The lock-protected part of one shard: a slab of nodes, a key index and
+/// an intrusive LRU list threaded through the committed nodes.
+#[derive(Debug)]
+struct ShardMap {
+    index: HashMap<ArtifactKey, usize>,
+    nodes: Vec<Option<Node>>,
+    free: Vec<usize>,
+    /// Least-recently-used committed node, or [`NIL`].
+    head: usize,
+    /// Most-recently-used committed node, or [`NIL`].
+    tail: usize,
     /// Sum of `bytes` over committed entries.
     resident_bytes: usize,
     /// Number of committed entries.
     resident_entries: usize,
     /// High-water mark of `resident_bytes` (after budget enforcement).
     peak_resident_bytes: usize,
-    /// Logical clock for LRU ordering.
-    tick: u64,
 }
 
-/// Cache hit/miss/eviction counters plus a snapshot of residency.
+impl Default for ShardMap {
+    fn default() -> Self {
+        Self {
+            index: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            resident_bytes: 0,
+            resident_entries: 0,
+            peak_resident_bytes: 0,
+        }
+    }
+}
+
+impl ShardMap {
+    fn node(&self, i: usize) -> &Node {
+        self.nodes[i].as_ref().expect("live slab node")
+    }
+
+    fn node_mut(&mut self, i: usize) -> &mut Node {
+        self.nodes[i].as_mut().expect("live slab node")
+    }
+
+    /// Places `node` into a free slab slot and returns its index.
+    fn alloc(&mut self, node: Node) -> usize {
+        match self.free.pop() {
+            Some(i) => {
+                debug_assert!(self.nodes[i].is_none(), "free-list slot occupied");
+                self.nodes[i] = Some(node);
+                i
+            }
+            None => {
+                self.nodes.push(Some(node));
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    /// Removes node `i` from the slab (it must already be off the LRU
+    /// list) and recycles its slot.
+    fn release(&mut self, i: usize) -> Node {
+        let node = self.nodes[i].take().expect("released slab node live");
+        debug_assert!(!node.in_lru, "released node still linked");
+        self.free.push(i);
+        node
+    }
+
+    /// Splices node `i` onto the MRU tail of the LRU list.  O(1).
+    fn attach_tail(&mut self, i: usize) {
+        debug_assert!(!self.node(i).in_lru, "node already linked");
+        let old_tail = self.tail;
+        {
+            let node = self.node_mut(i);
+            node.prev = old_tail;
+            node.next = NIL;
+            node.in_lru = true;
+        }
+        if old_tail == NIL {
+            self.head = i;
+        } else {
+            self.node_mut(old_tail).next = i;
+        }
+        self.tail = i;
+    }
+
+    /// Unlinks node `i` from the LRU list.  O(1).
+    fn detach(&mut self, i: usize) {
+        let (prev, next) = {
+            let node = self.node_mut(i);
+            debug_assert!(node.in_lru, "detaching unlinked node");
+            let links = (node.prev, node.next);
+            node.prev = NIL;
+            node.next = NIL;
+            node.in_lru = false;
+            links
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.node_mut(prev).next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.node_mut(next).prev = prev;
+        }
+    }
+
+    /// Re-stamps recency: moves a committed node to the MRU tail (no-op for
+    /// in-flight nodes, which are not on the list).
+    fn touch(&mut self, i: usize) {
+        if self.node(i).in_lru {
+            self.detach(i);
+            self.attach_tail(i);
+        }
+    }
+
+    /// The [`EvictionPolicy::CostBenefit`] victim: among the first
+    /// [`COST_BENEFIT_WINDOW`] nodes from the LRU head, the one with the
+    /// lowest recompute-cost per byte; ties keep the least recent.  The
+    /// MRU tail — the just-committed artifact — is never sampled unless it
+    /// is the only resident, matching LRU's "the fresh artifact is evicted
+    /// last" contract.
+    fn cost_benefit_victim(&self) -> usize {
+        let mut best = NIL;
+        let mut cursor = self.head;
+        let mut seen = 0;
+        while cursor != NIL && seen < COST_BENEFIT_WINDOW {
+            if cursor == self.tail && best != NIL {
+                break;
+            }
+            let candidate = self.node(cursor);
+            if best == NIL || cost_ratio_less(candidate, self.node(best)) {
+                best = cursor;
+            }
+            cursor = candidate.next;
+            seen += 1;
+        }
+        best
+    }
+}
+
+/// `a.cost/a.bytes < b.cost/b.bytes`, exactly, via u128 cross
+/// multiplication (no float rounding in victim selection).
+fn cost_ratio_less(a: &Node, b: &Node) -> bool {
+    let (a_bytes, b_bytes) = (
+        a.bytes.expect("LRU node committed"),
+        b.bytes.expect("LRU node committed"),
+    );
+    (a.cost_nanos as u128) * (b_bytes as u128) < (b.cost_nanos as u128) * (a_bytes as u128)
+}
+
+/// One independent cache shard: its map plus its lock-free counters.
+#[derive(Debug, Default)]
+struct Shard {
+    map: Mutex<ShardMap>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    evicted_bytes: AtomicU64,
+}
+
+/// Removes the in-flight entry left behind by a panicked `compute` (the
+/// regression this guards: a panic inside `get_or_compute` used to leave a
+/// permanently uncommitted entry in the map — never an eviction candidate,
+/// invisible to `len()`, accumulating forever).  Disarmed on success; on
+/// unwind it removes the entry only if it is still *this* computation's
+/// uninitialized slot, so a concurrent retry that won a value is kept.
+struct InFlightGuard<'a> {
+    shard: &'a Shard,
+    key: ArtifactKey,
+    slot: &'a Slot,
+    armed: bool,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut map = self.shard.map.lock().expect("artifact cache shard lock");
+        if let Some(&i) = map.index.get(&self.key) {
+            let node = map.node(i);
+            if Arc::ptr_eq(&node.slot, self.slot)
+                && node.bytes.is_none()
+                && node.slot.get().is_none()
+            {
+                debug_assert!(!node.in_lru);
+                map.index.remove(&self.key);
+                map.release(i);
+            }
+        }
+    }
+}
+
+/// Per-shard counters plus a snapshot of the shard's residency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Lookups this shard answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute (or found nothing).
+    pub misses: u64,
+    /// Artifacts evicted to stay within the shard's budget slice.
+    pub evictions: u64,
+    /// Total bytes released by evictions.
+    pub evicted_bytes: u64,
+    /// Resident (committed) artifacts at snapshot time.
+    pub resident_entries: usize,
+    /// Resident artifact bytes at snapshot time.
+    pub resident_bytes: usize,
+    /// High-water mark of the shard's resident bytes.
+    pub peak_resident_bytes: usize,
+}
+
+/// Cache hit/miss/eviction counters plus a snapshot of residency,
+/// aggregated over all shards (see [`ArtifactCache::shard_stats`] for the
+/// per-shard breakdown).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
@@ -295,8 +671,12 @@ pub struct CacheStats {
     pub resident_entries: usize,
     /// Resident artifact bytes at snapshot time.
     pub resident_bytes: usize,
-    /// High-water mark of resident bytes over the cache's lifetime.
+    /// Sum of the per-shard high-water marks of resident bytes — never
+    /// exceeds the sum of the per-shard budgets (and with one shard it is
+    /// exactly the cache-lifetime peak).
     pub peak_resident_bytes: usize,
+    /// Number of independent shards.
+    pub shards: usize,
 }
 
 impl CacheStats {
@@ -312,44 +692,96 @@ impl CacheStats {
 }
 
 /// A concurrent, content-keyed, size-bounded store of shared computation
-/// artifacts with LRU eviction.
-#[derive(Debug, Default)]
+/// artifacts — sharded, with ordered O(1) eviction per shard.
+#[derive(Debug)]
 pub struct ArtifactCache {
-    map: Mutex<CacheMap>,
+    shards: Box<[Shard]>,
+    shard_mask: usize,
+    /// Each shard's slice of [`CacheConfig::max_bytes`].
+    shard_max_bytes: Option<usize>,
+    /// Each shard's slice of [`CacheConfig::max_entries`].
+    shard_max_entries: Option<usize>,
+    policy: EvictionPolicy,
     config: CacheConfig,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    evicted_bytes: AtomicU64,
+}
+
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        Self::with_config(CacheConfig::default())
+    }
 }
 
 impl ArtifactCache {
-    /// An empty, unbounded cache.
+    /// An empty, unbounded, single-shard cache.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// An empty cache with the given memory budget.
+    /// An empty cache with the given budget/shard configuration.  The
+    /// shard count is normalized per [`CacheConfig::normalized_shards`],
+    /// then halved (down to 1) while a nonzero `max_entries` would slice
+    /// to zero entries per shard — more shards than entry budget would
+    /// silently bypass *every* commit, i.e. disable caching.  (A byte
+    /// budget cannot be pre-clamped the same way: artifact sizes are only
+    /// known at commit time — pick `max_bytes` ≥ `shards ×` the largest
+    /// artifact you want resident.)
     pub fn with_config(config: CacheConfig) -> Self {
+        let mut n = config.normalized_shards();
+        if let Some(e) = config.max_entries {
+            while n > 1 && e / n == 0 {
+                n /= 2;
+            }
+        }
+        let config = CacheConfig {
+            shards: n,
+            ..config
+        };
         Self {
+            shards: (0..n).map(|_| Shard::default()).collect(),
+            shard_mask: n - 1,
+            shard_max_bytes: config.max_bytes.map(|b| b / n),
+            shard_max_entries: config.max_entries.map(|e| e / n),
+            policy: config.policy,
             config,
-            ..Self::default()
         }
     }
 
-    /// The cache's budget configuration.
+    /// The cache's configuration (with the shard count normalized).
     pub fn config(&self) -> CacheConfig {
         self.config
+    }
+
+    /// Number of independent shards (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `key` routes to — a pure function of the key's
+    /// content and the shard count, identical across runs, thread counts
+    /// and processes (the determinism the sharded tests pin).
+    pub fn shard_of(&self, key: &ArtifactKey) -> usize {
+        // Fibonacci-mix the FNV routing hash and take high bits: FNV's low
+        // bits alone distribute poorly for small structured inputs.
+        ((key.route_hash().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) & self.shard_mask
+    }
+
+    fn shard_for(&self, key: &ArtifactKey) -> &Shard {
+        &self.shards[self.shard_of(key)]
     }
 
     /// Returns the cached artifact for `key`, computing it with `compute` on
     /// first use.  Concurrent callers for the same key block until the first
     /// computation finishes and then share the same `Arc`.
     ///
-    /// When a budget is configured, committing a new artifact evicts the
-    /// least-recently-used resident artifacts until the budgets hold again
-    /// (the freshly computed artifact is evicted last, and only if it alone
-    /// exceeds the budget — the returned `Arc` stays valid either way).
+    /// When a budget is configured, committing a new artifact evicts
+    /// resident artifacts of the key's shard (victims per the configured
+    /// [`EvictionPolicy`], O(1) each) until the shard's budget slice holds
+    /// again.  An artifact that alone exceeds the byte slice bypasses
+    /// residency — it is counted as immediately evicted and the resident
+    /// set is left untouched (the returned `Arc` stays valid either way).
+    ///
+    /// If `compute` panics, the panic propagates, the in-flight entry is
+    /// removed, and the key remains retryable.
     ///
     /// # Panics
     ///
@@ -360,34 +792,57 @@ impl ArtifactCache {
         T: Send + Sync + ArtifactSize + 'static,
         F: FnOnce() -> T,
     {
+        let shard = self.shard_for(&key);
         let slot: Slot = {
-            let mut map = self.map.lock().expect("artifact cache lock");
-            map.tick += 1;
-            let tick = map.tick;
-            let entry = map.entries.entry(key).or_insert_with(|| Entry {
-                slot: Arc::default(),
-                bytes: None,
-                last_used: tick,
-            });
-            entry.last_used = tick;
-            entry.slot.clone()
+            let mut map = shard.map.lock().expect("artifact cache shard lock");
+            match map.index.get(&key).copied() {
+                Some(i) => {
+                    map.touch(i);
+                    map.node(i).slot.clone()
+                }
+                None => {
+                    let slot: Slot = Arc::default();
+                    let i = map.alloc(Node {
+                        key,
+                        slot: Arc::clone(&slot),
+                        bytes: None,
+                        cost_nanos: 0,
+                        prev: NIL,
+                        next: NIL,
+                        in_lru: false,
+                    });
+                    map.index.insert(key, i);
+                    slot
+                }
+            }
         };
-        // The map lock is released before (potentially slow) initialisation,
-        // so unrelated keys never serialise behind each other.
+        // The shard lock is released before (potentially slow)
+        // initialisation, so unrelated keys never serialise behind each
+        // other; the guard cleans up the in-flight entry on unwind.
         let mut computed = false;
+        let mut cost_nanos = 0u64;
+        let mut guard = InFlightGuard {
+            shard,
+            key,
+            slot: &slot,
+            armed: true,
+        };
         let (value, bytes) = slot
             .get_or_init(|| {
                 computed = true;
+                let started = Instant::now();
                 let value = compute();
+                cost_nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 let bytes = value.artifact_bytes();
                 (Arc::new(value) as Arc<dyn Any + Send + Sync>, bytes)
             })
             .clone();
+        guard.armed = false;
         if computed {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            self.commit(key, &slot, bytes);
+            shard.misses.fetch_add(1, Ordering::Relaxed);
+            self.commit(shard, key, &slot, bytes, cost_nanos);
         } else {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            shard.hits.fetch_add(1, Ordering::Relaxed);
         }
         value
             .downcast::<T>()
@@ -398,24 +853,23 @@ impl ArtifactCache {
     /// computed value is present, a miss otherwise; never computes or
     /// blocks on an in-flight computation).
     pub fn get<T: Send + Sync + 'static>(&self, key: ArtifactKey) -> Option<Arc<T>> {
+        let shard = self.shard_for(&key);
         let slot = {
-            let mut map = self.map.lock().expect("artifact cache lock");
-            map.tick += 1;
-            let tick = map.tick;
-            match map.entries.get_mut(&key) {
-                Some(entry) if entry.slot.get().is_some() => {
-                    entry.last_used = tick;
-                    Some(entry.slot.clone())
+            let mut map = shard.map.lock().expect("artifact cache shard lock");
+            match map.index.get(&key).copied() {
+                Some(i) if map.node(i).slot.get().is_some() => {
+                    map.touch(i);
+                    Some(map.node(i).slot.clone())
                 }
                 _ => None,
             }
         };
         let Some(slot) = slot else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            shard.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         };
         let (value, _) = slot.get().expect("slot checked initialized").clone();
-        self.hits.fetch_add(1, Ordering::Relaxed);
+        shard.hits.fetch_add(1, Ordering::Relaxed);
         Some(
             value
                 .downcast::<T>()
@@ -423,72 +877,106 @@ impl ArtifactCache {
         )
     }
 
-    /// Books a freshly computed artifact into the resident accounting and
-    /// enforces the budgets.  `slot` identifies the computation: if the
-    /// entry was removed (or replaced) concurrently — e.g. by [`Self::clear`]
-    /// — the bytes are simply not counted as resident.
-    fn commit(&self, key: ArtifactKey, slot: &Slot, bytes: usize) {
-        let mut map = self.map.lock().expect("artifact cache lock");
-        map.tick += 1;
-        let tick = map.tick;
-        if let Some(entry) = map.entries.get_mut(&key) {
-            if Arc::ptr_eq(&entry.slot, slot) && entry.bytes.is_none() {
-                entry.bytes = Some(bytes);
-                // Re-stamp recency at commit time: the lookup tick was taken
-                // before a potentially slow compute, during which other keys
-                // may have been touched — without this, the freshly computed
+    /// Books a freshly computed artifact into the shard's resident
+    /// accounting and enforces its budget slice.  `slot` identifies the
+    /// computation: if the entry was removed (or replaced) concurrently —
+    /// e.g. by [`Self::clear`] — the bytes are simply not counted as
+    /// resident.
+    fn commit(&self, shard: &Shard, key: ArtifactKey, slot: &Slot, bytes: usize, cost_nanos: u64) {
+        let mut map = shard.map.lock().expect("artifact cache shard lock");
+        // Over-budget singleton bypass: an artifact that alone exceeds the
+        // shard's byte slice (or any artifact, when the entry slice is 0)
+        // can never stay resident — admitting it first would evict *every*
+        // other resident (a cache wipe) only to be evicted itself.  Count
+        // it as immediately evicted and leave the residents untouched.
+        let oversized = self.shard_max_bytes.is_some_and(|max| bytes > max)
+            || self.shard_max_entries.is_some_and(|max| max == 0);
+        if oversized {
+            if let Some(&i) = map.index.get(&key) {
+                let node = map.node(i);
+                if Arc::ptr_eq(&node.slot, slot) && node.bytes.is_none() {
+                    map.index.remove(&key);
+                    map.release(i);
+                }
+            }
+            shard.evictions.fetch_add(1, Ordering::Relaxed);
+            shard
+                .evicted_bytes
+                .fetch_add(bytes as u64, Ordering::Relaxed);
+            return;
+        }
+        if let Some(&i) = map.index.get(&key) {
+            let committed = {
+                let node = map.node_mut(i);
+                if Arc::ptr_eq(&node.slot, slot) && node.bytes.is_none() {
+                    node.bytes = Some(bytes);
+                    node.cost_nanos = cost_nanos;
+                    true
+                } else {
+                    false
+                }
+            };
+            if committed {
+                // Commit-time recency: the lookup happened before a
+                // potentially slow compute, during which other keys may
+                // have been touched — without this, the freshly computed
                 // artifact could be the immediate LRU victim.
-                entry.last_used = tick;
+                map.attach_tail(i);
                 map.resident_bytes += bytes;
                 map.resident_entries += 1;
             }
         }
-        self.enforce_budget(&mut map);
+        self.enforce_budget(shard, &mut map);
         map.peak_resident_bytes = map.peak_resident_bytes.max(map.resident_bytes);
     }
 
-    /// Evicts least-recently-used *committed* entries until both budgets
-    /// hold.  In-flight (uninitialized) slots are never candidates, so
-    /// concurrent `get_or_compute` calls are never torn.
-    fn enforce_budget(&self, map: &mut CacheMap) {
-        loop {
-            let over_bytes = self
-                .config
-                .max_bytes
-                .is_some_and(|max| map.resident_bytes > max);
-            let over_entries = self
-                .config
-                .max_entries
-                .is_some_and(|max| map.resident_entries > max);
-            if !over_bytes && !over_entries {
+    fn over_budget(&self, map: &ShardMap) -> bool {
+        self.shard_max_bytes
+            .is_some_and(|max| map.resident_bytes > max)
+            || self
+                .shard_max_entries
+                .is_some_and(|max| map.resident_entries > max)
+    }
+
+    /// Evicts committed entries — O(1) per victim, from the ordered LRU
+    /// list — until the shard's budget slice holds.  In-flight
+    /// (uncommitted) entries are never on the list, so concurrent
+    /// `get_or_compute` calls are never torn.
+    fn enforce_budget(&self, shard: &Shard, map: &mut ShardMap) {
+        while self.over_budget(map) {
+            let victim = match self.policy {
+                EvictionPolicy::Lru => map.head,
+                EvictionPolicy::CostBenefit => map.cost_benefit_victim(),
+            };
+            if victim == NIL {
                 return;
             }
-            let victim = map
-                .entries
-                .iter()
-                .filter(|(_, e)| e.bytes.is_some())
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(&k, _)| k);
-            let Some(victim) = victim else { return };
-            let entry = map.entries.remove(&victim).expect("victim present");
-            let bytes = entry.bytes.expect("victim committed");
+            map.detach(victim);
+            let node = map.release(victim);
+            map.index.remove(&node.key);
+            let bytes = node.bytes.expect("LRU node committed");
             map.resident_bytes -= bytes;
             map.resident_entries -= 1;
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-            self.evicted_bytes
+            shard.evictions.fetch_add(1, Ordering::Relaxed);
+            shard
+                .evicted_bytes
                 .fetch_add(bytes as u64, Ordering::Relaxed);
         }
     }
 
-    /// Number of populated entries.
+    /// Number of populated entries (across all shards).
     pub fn len(&self) -> usize {
-        self.map
-            .lock()
-            .expect("artifact cache lock")
-            .entries
-            .values()
-            .filter(|entry| entry.slot.get().is_some())
-            .count()
+        self.shards
+            .iter()
+            .map(|shard| {
+                let map = shard.map.lock().expect("artifact cache shard lock");
+                map.nodes
+                    .iter()
+                    .flatten()
+                    .filter(|node| node.slot.get().is_some())
+                    .count()
+            })
+            .sum()
     }
 
     /// `true` when no entry has been populated.
@@ -496,62 +984,144 @@ impl ArtifactCache {
         self.len() == 0
     }
 
-    /// Drops every entry and resets the residency accounting (does not reset
-    /// the hit/miss/eviction counters or the peak watermark).
-    pub fn clear(&self) {
-        let mut map = self.map.lock().expect("artifact cache lock");
-        map.entries.clear();
-        map.resident_bytes = 0;
-        map.resident_entries = 0;
+    /// Total map entries including uncommitted in-flight slots — the probe
+    /// the panic-leak regression test uses (a leaked slot is invisible to
+    /// [`Self::len`], which only counts populated entries).
+    #[doc(hidden)]
+    pub fn raw_entry_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .map
+                    .lock()
+                    .expect("artifact cache shard lock")
+                    .index
+                    .len()
+            })
+            .sum()
     }
 
-    /// Snapshot of the counters and residency state.
-    pub fn stats(&self) -> CacheStats {
-        let map = self.map.lock().expect("artifact cache lock");
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            evicted_bytes: self.evicted_bytes.load(Ordering::Relaxed),
-            resident_entries: map.resident_entries,
-            resident_bytes: map.resident_bytes,
-            peak_resident_bytes: map.peak_resident_bytes,
+    /// Drops every entry and resets the residency accounting (does not reset
+    /// the hit/miss/eviction counters or the peak watermarks).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            let mut map = shard.map.lock().expect("artifact cache shard lock");
+            let peak = map.peak_resident_bytes;
+            *map = ShardMap {
+                peak_resident_bytes: peak,
+                ..ShardMap::default()
+            };
         }
     }
 
-    /// Asserts that the incremental residency accounting matches the live
-    /// map exactly (test/diagnostic helper).
+    /// Per-shard snapshot of the counters and residency state.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let map = shard.map.lock().expect("artifact cache shard lock");
+                ShardStats {
+                    hits: shard.hits.load(Ordering::Relaxed),
+                    misses: shard.misses.load(Ordering::Relaxed),
+                    evictions: shard.evictions.load(Ordering::Relaxed),
+                    evicted_bytes: shard.evicted_bytes.load(Ordering::Relaxed),
+                    resident_entries: map.resident_entries,
+                    resident_bytes: map.resident_bytes,
+                    peak_resident_bytes: map.peak_resident_bytes,
+                }
+            })
+            .collect()
+    }
+
+    /// Snapshot of the counters and residency state, aggregated over all
+    /// shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats {
+            shards: self.shards.len(),
+            ..CacheStats::default()
+        };
+        for s in self.shard_stats() {
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.evicted_bytes += s.evicted_bytes;
+            total.resident_entries += s.resident_entries;
+            total.resident_bytes += s.resident_bytes;
+            total.peak_resident_bytes += s.peak_resident_bytes;
+        }
+        total
+    }
+
+    /// Asserts that every shard's incremental residency accounting matches
+    /// its live map exactly, that its budget slice holds, and that the
+    /// intrusive LRU list is coherent (test/diagnostic helper).
     ///
     /// # Panics
     ///
     /// Panics when `resident_bytes`/`resident_entries` drifted from the sum
-    /// over committed entries.
+    /// over committed entries, a budget slice is exceeded, or the LRU list
+    /// is inconsistent with the slab.
     #[doc(hidden)]
     pub fn assert_accounting_consistent(&self) {
-        let map = self.map.lock().expect("artifact cache lock");
-        let (entries, bytes) = map
-            .entries
-            .values()
-            .filter_map(|e| e.bytes)
-            .fold((0usize, 0usize), |(n, b), eb| (n + 1, b + eb));
-        assert_eq!(
-            (map.resident_entries, map.resident_bytes),
-            (entries, bytes),
-            "residency accounting drifted from the live map"
-        );
-        if let Some(max) = self.config.max_bytes {
-            assert!(
-                map.resident_bytes <= max,
-                "resident bytes {} exceed the budget {max}",
-                map.resident_bytes
+        for (shard_idx, shard) in self.shards.iter().enumerate() {
+            let map = shard.map.lock().expect("artifact cache shard lock");
+            let (entries, bytes) = map
+                .nodes
+                .iter()
+                .flatten()
+                .filter_map(|node| node.bytes)
+                .fold((0usize, 0usize), |(n, b), eb| (n + 1, b + eb));
+            assert_eq!(
+                (map.resident_entries, map.resident_bytes),
+                (entries, bytes),
+                "shard {shard_idx}: residency accounting drifted from the live map"
             );
-        }
-        if let Some(max) = self.config.max_entries {
-            assert!(
-                map.resident_entries <= max,
-                "resident entries {} exceed the budget {max}",
-                map.resident_entries
+            if let Some(max) = self.shard_max_bytes {
+                assert!(
+                    map.resident_bytes <= max,
+                    "shard {shard_idx}: resident bytes {} exceed the shard budget {max}",
+                    map.resident_bytes
+                );
+            }
+            if let Some(max) = self.shard_max_entries {
+                assert!(
+                    map.resident_entries <= max,
+                    "shard {shard_idx}: resident entries {} exceed the shard budget {max}",
+                    map.resident_entries
+                );
+            }
+            // LRU list integrity: exactly the committed nodes, linked both
+            // ways, every key indexed back to its node.
+            let mut walked = 0usize;
+            let mut cursor = map.head;
+            let mut prev = NIL;
+            while cursor != NIL {
+                let node = map.node(cursor);
+                assert!(node.in_lru, "shard {shard_idx}: listed node unflagged");
+                assert!(
+                    node.bytes.is_some(),
+                    "shard {shard_idx}: uncommitted node on the LRU list"
+                );
+                assert_eq!(node.prev, prev, "shard {shard_idx}: broken back-link");
+                assert_eq!(
+                    map.index.get(&node.key),
+                    Some(&cursor),
+                    "shard {shard_idx}: listed node not indexed"
+                );
+                walked += 1;
+                assert!(
+                    walked <= map.resident_entries,
+                    "shard {shard_idx}: LRU list longer than the resident count (cycle?)"
+                );
+                prev = cursor;
+                cursor = node.next;
+            }
+            assert_eq!(
+                walked, map.resident_entries,
+                "shard {shard_idx}: LRU list does not cover the committed entries"
             );
+            assert_eq!(map.tail, prev, "shard {shard_idx}: stale tail pointer");
         }
     }
 }
@@ -586,6 +1156,7 @@ mod tests {
         assert_eq!(stats.resident_entries, 1);
         assert_eq!(stats.resident_bytes, a.artifact_bytes());
         assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.shards, 1);
     }
 
     #[test]
@@ -692,8 +1263,8 @@ mod tests {
 
     #[test]
     fn freshly_computed_artifact_is_not_the_first_eviction_victim() {
-        // The lookup tick is taken before a potentially slow compute; other
-        // keys touched during that compute (here: a nested get_or_compute,
+        // The lookup happens before a potentially slow compute; other keys
+        // touched during that compute (here: a nested get_or_compute,
         // exactly the FOSC tree-over-pairwise pattern) must not make the
         // fresh artifact look least-recently-used at commit time.
         let artifact_bytes = vec![0u64; 8].artifact_bytes();
@@ -728,6 +1299,207 @@ mod tests {
     }
 
     #[test]
+    fn oversized_commit_does_not_evict_other_residents() {
+        // The thrash regression: committing one artifact larger than the
+        // whole byte budget used to evict *every* other resident (and then
+        // the oversized artifact itself) — a full cache wipe.  Over-budget
+        // singletons must bypass residency without touching their
+        // neighbours.
+        let artifact_bytes = vec![0u64; 10].artifact_bytes();
+        let budget = 3 * artifact_bytes;
+        let cache = ArtifactCache::with_config(CacheConfig::default().with_max_bytes(budget));
+        // Warm the cache with three residents that fill the budget exactly.
+        for k in 0..3u64 {
+            let _: Arc<Vec<u64>> = cache.get_or_compute(custom(k), || vec![k; 10]);
+        }
+        assert_eq!(cache.stats().resident_entries, 3);
+        // Commit a 2×-budget artifact.
+        let big: Arc<Vec<u64>> = cache.get_or_compute(custom(99), || vec![9; 2 * budget / 8]);
+        assert_eq!(big.len(), 2 * budget / 8);
+        let stats = cache.stats();
+        assert_eq!(
+            stats.resident_entries, 3,
+            "prior residents must survive an oversized commit"
+        );
+        for k in 0..3u64 {
+            assert!(
+                cache.get::<Vec<u64>>(custom(k)).is_some(),
+                "resident {k} was evicted by an oversized artifact"
+            );
+        }
+        assert_eq!(
+            stats.evictions, 1,
+            "the oversized artifact counts as one immediate eviction"
+        );
+        assert!(cache.get::<Vec<u64>>(custom(99)).is_none());
+        cache.assert_accounting_consistent();
+    }
+
+    #[test]
+    fn panicking_compute_releases_the_in_flight_slot() {
+        // The leak regression: a panic inside `compute` used to leave a
+        // permanently uncommitted entry in the map — never an eviction
+        // candidate, invisible to `len()`, accumulating per failed key.
+        let cache = ArtifactCache::with_config(CacheConfig::default().with_max_entries(4));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _: Arc<u64> = cache.get_or_compute(custom(1), || panic!("compute exploded"));
+        }));
+        assert!(result.is_err(), "the compute panic must propagate");
+        assert_eq!(
+            cache.raw_entry_count(),
+            0,
+            "a panicked compute must not leak its in-flight entry"
+        );
+        // The key stays retryable and commits normally afterwards.
+        let v: Arc<u64> = cache.get_or_compute(custom(1), || 7);
+        assert_eq!(*v, 7);
+        assert_eq!(cache.stats().resident_entries, 1);
+        cache.assert_accounting_consistent();
+    }
+
+    #[test]
+    fn shard_assignment_is_deterministic_and_spread() {
+        let a = ArtifactCache::with_config(CacheConfig::default().with_shards(8));
+        let b = ArtifactCache::with_config(CacheConfig::default().with_shards(8));
+        assert_eq!(a.shard_count(), 8);
+        let keys: Vec<ArtifactKey> = (0..64)
+            .map(|i| ArtifactKey::DensityHierarchy {
+                data: 0xD00D + i,
+                min_pts: 3 + (i as usize % 8),
+                min_cluster_size: 2,
+            })
+            .chain((0..64).map(custom))
+            .collect();
+        let mut used = std::collections::BTreeSet::new();
+        for key in &keys {
+            let shard = a.shard_of(key);
+            assert!(shard < 8);
+            assert_eq!(
+                shard,
+                b.shard_of(key),
+                "shard assignment must be identical across cache instances"
+            );
+            used.insert(shard);
+        }
+        assert!(
+            used.len() >= 4,
+            "128 distinct keys should spread over most of 8 shards, used {used:?}"
+        );
+    }
+
+    #[test]
+    fn sharded_cache_returns_identical_values_and_respects_budget_slices() {
+        let artifact_bytes = vec![0u64; 10].artifact_bytes();
+        let unsharded = ArtifactCache::new();
+        let sharded =
+            ArtifactCache::with_config(CacheConfig::default().with_max_entries(8).with_shards(4));
+        for k in 0..40u64 {
+            let a: Arc<Vec<u64>> = unsharded.get_or_compute(custom(k), || vec![k; 10]);
+            let b: Arc<Vec<u64>> = sharded.get_or_compute(custom(k), || vec![k; 10]);
+            assert_eq!(*a, *b, "sharding must never change cached values");
+            assert_eq!(a.artifact_bytes(), artifact_bytes);
+        }
+        let stats = sharded.stats();
+        assert_eq!(stats.shards, 4);
+        assert!(
+            stats.resident_entries <= 8,
+            "global entry budget exceeded: {}",
+            stats.resident_entries
+        );
+        assert!(stats.evictions >= 32);
+        let per_shard = sharded.shard_stats();
+        assert_eq!(per_shard.len(), 4);
+        assert_eq!(
+            per_shard.iter().map(|s| s.misses).sum::<u64>(),
+            stats.misses,
+            "aggregate stats must equal the per-shard sum"
+        );
+        for s in &per_shard {
+            assert!(s.resident_entries <= 2, "per-shard slice is max_entries/4");
+        }
+        sharded.assert_accounting_consistent();
+    }
+
+    #[test]
+    fn shard_count_is_normalized_to_a_power_of_two() {
+        for (requested, expect) in [(0, 1), (1, 1), (2, 2), (3, 4), (5, 8), (9, 16)] {
+            let cache = ArtifactCache::with_config(CacheConfig::default().with_shards(requested));
+            assert_eq!(cache.shard_count(), expect, "requested {requested}");
+            assert_eq!(cache.config().shards, expect);
+        }
+    }
+
+    #[test]
+    fn shard_count_is_clamped_so_entry_slices_stay_nonzero() {
+        // More shards than entry budget would slice to 0 entries per shard
+        // — every commit would bypass and caching would silently turn off.
+        // The shard count is halved until each shard keeps ≥ 1 entry.
+        let cache =
+            ArtifactCache::with_config(CacheConfig::default().with_max_entries(4).with_shards(8));
+        assert_eq!(cache.shard_count(), 4);
+        for k in 0..8u64 {
+            let _: Arc<u64> = cache.get_or_compute(custom(k), || k);
+        }
+        let stats = cache.stats();
+        assert!(
+            stats.resident_entries >= 1,
+            "a clamped sharded cache must still cache"
+        );
+        assert!(stats.resident_entries <= 4, "global entry budget holds");
+        cache.assert_accounting_consistent();
+        // A zero entry budget is honoured as "cache nothing" on one shard.
+        let none =
+            ArtifactCache::with_config(CacheConfig::default().with_max_entries(0).with_shards(8));
+        assert_eq!(none.shard_count(), 1);
+        let _: Arc<u64> = none.get_or_compute(custom(1), || 1);
+        assert_eq!(none.stats().resident_entries, 0);
+        none.assert_accounting_consistent();
+    }
+
+    #[test]
+    fn cost_benefit_policy_retains_expensive_artifacts() {
+        // Two same-sized artifacts, one ~40 ms to recompute and one ~free:
+        // under entry pressure, plain LRU would evict the older (expensive)
+        // one; the cost-benefit policy keeps it and drops the cheap one.
+        let cache = ArtifactCache::with_config(
+            CacheConfig::default()
+                .with_max_entries(2)
+                .with_policy(EvictionPolicy::CostBenefit),
+        );
+        let _: Arc<Vec<u64>> = cache.get_or_compute(custom(1), || {
+            std::thread::sleep(std::time::Duration::from_millis(40));
+            vec![1; 16]
+        });
+        let _: Arc<Vec<u64>> = cache.get_or_compute(custom(2), || vec![2; 16]);
+        let _: Arc<Vec<u64>> = cache.get_or_compute(custom(3), || vec![3; 16]);
+        assert!(
+            cache.get::<Vec<u64>>(custom(1)).is_some(),
+            "the expensive artifact must be retained beyond its LRU position"
+        );
+        assert!(
+            cache.get::<Vec<u64>>(custom(2)).is_none(),
+            "the cheap artifact is the cost-benefit victim"
+        );
+        assert_eq!(cache.stats().evictions, 1);
+        cache.assert_accounting_consistent();
+    }
+
+    #[test]
+    fn eviction_policy_parses_names() {
+        assert_eq!(EvictionPolicy::parse("lru"), Some(EvictionPolicy::Lru));
+        assert_eq!(
+            EvictionPolicy::parse(" Cost "),
+            Some(EvictionPolicy::CostBenefit)
+        );
+        assert_eq!(
+            EvictionPolicy::parse("cost_benefit"),
+            Some(EvictionPolicy::CostBenefit)
+        );
+        assert_eq!(EvictionPolicy::parse("clock"), None);
+        assert_eq!(EvictionPolicy::default().name(), "lru");
+    }
+
+    #[test]
     fn unbounded_cache_never_evicts() {
         let cache = ArtifactCache::new();
         assert!(cache.config().is_unbounded());
@@ -746,45 +1518,52 @@ mod tests {
         // N threads hammer an over-budget cache: artifacts must never be
         // observed torn, a key must never be computed twice concurrently,
         // and the byte/entry accounting must match the live map afterwards.
+        // Runs once unsharded and once with 4 shards (per-shard budget
+        // slices) — the contract is identical.
         const KEYS: u64 = 16;
         const THREADS: usize = 8;
         const ROUNDS: usize = 200;
         let artifact_bytes = vec![0u64; 32].artifact_bytes();
-        // room for ~4 of the 16 artifacts -> constant eviction pressure
-        let cache = Arc::new(ArtifactCache::with_config(
-            CacheConfig::default().with_max_bytes(4 * artifact_bytes + 1),
-        ));
-        let in_flight: Arc<Vec<AtomicUsize>> =
-            Arc::new((0..KEYS).map(|_| AtomicUsize::new(0)).collect());
-        let handles: Vec<_> = (0..THREADS)
-            .map(|t| {
-                let cache = Arc::clone(&cache);
-                let in_flight = Arc::clone(&in_flight);
-                std::thread::spawn(move || {
-                    for round in 0..ROUNDS {
-                        let key = ((t + round) as u64 * 7 + round as u64) % KEYS;
-                        let v: Arc<Vec<u64>> = cache.get_or_compute(custom(key), || {
-                            let running = in_flight[key as usize].fetch_add(1, Ordering::SeqCst);
-                            assert_eq!(running, 0, "key {key} computed twice concurrently");
-                            let value = vec![key; 32];
-                            in_flight[key as usize].fetch_sub(1, Ordering::SeqCst);
-                            value
-                        });
-                        // a torn artifact would have wrong length or content
-                        assert_eq!(v.len(), 32);
-                        assert!(v.iter().all(|&x| x == key), "torn artifact for key {key}");
-                    }
+        for shards in [1usize, 4] {
+            // room for ~4 of the 16 artifacts -> constant eviction pressure
+            let cache = Arc::new(ArtifactCache::with_config(
+                CacheConfig::default()
+                    .with_max_bytes(4 * artifact_bytes + 1)
+                    .with_shards(shards),
+            ));
+            let in_flight: Arc<Vec<AtomicUsize>> =
+                Arc::new((0..KEYS).map(|_| AtomicUsize::new(0)).collect());
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let cache = Arc::clone(&cache);
+                    let in_flight = Arc::clone(&in_flight);
+                    std::thread::spawn(move || {
+                        for round in 0..ROUNDS {
+                            let key = ((t + round) as u64 * 7 + round as u64) % KEYS;
+                            let v: Arc<Vec<u64>> = cache.get_or_compute(custom(key), || {
+                                let running =
+                                    in_flight[key as usize].fetch_add(1, Ordering::SeqCst);
+                                assert_eq!(running, 0, "key {key} computed twice concurrently");
+                                let value = vec![key; 32];
+                                in_flight[key as usize].fetch_sub(1, Ordering::SeqCst);
+                                value
+                            });
+                            // a torn artifact would have wrong length or content
+                            assert_eq!(v.len(), 32);
+                            assert!(v.iter().all(|&x| x == key), "torn artifact for key {key}");
+                        }
+                    })
                 })
-            })
-            .collect();
-        for h in handles {
-            h.join().unwrap();
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            cache.assert_accounting_consistent();
+            let stats = cache.stats();
+            assert!(stats.evictions > 0, "budget pressure must cause evictions");
+            assert!(stats.resident_bytes <= 4 * artifact_bytes + 1);
+            assert_eq!(stats.hits + stats.misses, (THREADS * ROUNDS) as u64);
         }
-        cache.assert_accounting_consistent();
-        let stats = cache.stats();
-        assert!(stats.evictions > 0, "budget pressure must cause evictions");
-        assert!(stats.resident_bytes <= 4 * artifact_bytes + 1);
-        assert_eq!(stats.hits + stats.misses, (THREADS * ROUNDS) as u64);
     }
 
     #[test]

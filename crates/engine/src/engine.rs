@@ -1,7 +1,7 @@
 //! The engine proper: graph submission, batch multiplexing and the
 //! sequential (one-thread) execution path.
 
-use crate::cache::{ArtifactCache, CacheConfig};
+use crate::cache::{ArtifactCache, CacheConfig, CacheStats, ShardStats};
 use crate::graph::{CancelToken, GraphResult, JobCtx, JobGraph, JobOutcome};
 use crate::pool::{PoolHandle, Task, ThreadPool};
 use std::collections::BTreeSet;
@@ -232,6 +232,17 @@ impl Engine {
     /// The engine's shared artifact cache.
     pub fn cache(&self) -> &Arc<ArtifactCache> {
         &self.cache
+    }
+
+    /// Aggregate statistics of the engine's artifact cache (the payload the
+    /// serving front-end's `stats` endpoint reports).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Per-shard statistics of the engine's artifact cache.
+    pub fn cache_shard_stats(&self) -> Vec<ShardStats> {
+        self.cache.shard_stats()
     }
 
     /// Submits a graph for execution and returns a handle.
@@ -571,8 +582,39 @@ mod tests {
         }
         let out = engine.run_graph(graph).expect_all("cache jobs");
         assert!(out.iter().all(|&l| l == 3));
-        let stats = engine.cache().stats();
+        let stats = engine.cache_stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 7);
+    }
+
+    #[test]
+    fn job_panic_inside_get_or_compute_releases_the_in_flight_slot() {
+        // The leak regression, through the pool's panic isolation: a job
+        // that panics inside `get_or_compute` fails its graph, but the
+        // cache must not keep the uncommitted in-flight entry (it would be
+        // invisible to `len()`, never an eviction candidate, and pile up
+        // once per failed key on a long-lived serving engine).
+        use crate::cache::ArtifactKey;
+        let engine = Engine::new(2);
+        let key = ArtifactKey::Custom { domain: 9, key: 1 };
+        let mut graph: JobGraph<u64> = JobGraph::new(1);
+        graph.add_job(&[], move |ctx| {
+            let v: Arc<u64> = ctx
+                .cache()
+                .get_or_compute(key, || panic!("compute exploded"));
+            *v
+        });
+        let result = engine.run_graph(graph);
+        assert!(matches!(&result.outcomes[0], JobOutcome::Failed(m) if m.contains("exploded")));
+        assert_eq!(
+            engine.cache().raw_entry_count(),
+            0,
+            "panicked compute must not leak its in-flight slot"
+        );
+        // The same key is retryable on the same engine afterwards.
+        let v: Arc<u64> = engine.cache().get_or_compute(key, || 7);
+        assert_eq!(*v, 7);
+        assert_eq!(engine.cache_stats().resident_entries, 1);
+        engine.cache().assert_accounting_consistent();
     }
 }

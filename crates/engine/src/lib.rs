@@ -21,9 +21,12 @@
 //!   dependents without poisoning the pool; graphs can be cancelled.
 //! * [`ArtifactCache`] — a content-keyed, concurrency-deduplicated store so
 //!   each artifact is computed once and shared (`Arc`) across folds,
-//!   trials and concurrent requests.  A [`CacheConfig`] bounds the resident
-//!   bytes/entries with LRU eviction, so long-lived serving engines run
-//!   within a fixed memory budget without ever changing results.
+//!   trials and concurrent requests.  The store is *sharded* (deterministic
+//!   key-hash routing, one lock and one budget slice per shard) and a
+//!   [`CacheConfig`] bounds the resident bytes/entries with ordered,
+//!   O(1)-per-victim eviction ([`EvictionPolicy`]: LRU or cost-benefit), so
+//!   long-lived serving engines run within a fixed memory budget without
+//!   ever changing results.
 //!
 //! Batch submission ([`Engine::submit`] / [`Engine::run_batch`])
 //! multiplexes many selection requests over one pool — the seam for a
@@ -57,14 +60,14 @@ mod pool;
 
 pub use cache::{
     fingerprint_indices, fingerprint_matrix, ArtifactCache, ArtifactKey, ArtifactSize, CacheConfig,
-    CacheStats, Fingerprint, FingerprintBuilder,
+    CacheStats, EvictionPolicy, Fingerprint, FingerprintBuilder, ShardStats, MAX_SHARDS,
 };
 pub use engine::{Engine, GraphHandle};
 pub use graph::{CancelToken, GraphResult, JobCtx, JobGraph, JobId, JobOutcome};
 
 /// Convenience re-exports.
 pub mod prelude {
-    pub use crate::cache::{ArtifactCache, ArtifactKey, ArtifactSize, CacheConfig};
+    pub use crate::cache::{ArtifactCache, ArtifactKey, ArtifactSize, CacheConfig, EvictionPolicy};
     pub use crate::engine::Engine;
     pub use crate::graph::{CancelToken, JobCtx, JobGraph};
 }

@@ -16,7 +16,7 @@ use cvcp_core::experiment::{
 };
 use cvcp_core::{CvcpConfig, FoscMethod, MpckMethod, ParameterizedMethod};
 use cvcp_data::Dataset;
-use cvcp_engine::{CacheConfig, Engine};
+use cvcp_engine::{CacheConfig, Engine, EvictionPolicy};
 use cvcp_metrics::stats::{mean, std_dev};
 use std::path::PathBuf;
 use std::sync::OnceLock;
@@ -95,24 +95,39 @@ impl Mode {
     }
 }
 
-/// The artifact-cache budget for the shared engine, read from the
+/// The artifact-cache configuration for the shared engine, read from the
 /// environment:
 ///
 /// * `CVCP_CACHE_MAX_MB` — cap on resident artifact bytes, in MiB;
-/// * `CVCP_CACHE_MAX_ENTRIES` — cap on resident artifact count.
+/// * `CVCP_CACHE_MAX_ENTRIES` — cap on resident artifact count;
+/// * `CVCP_CACHE_SHARDS` — independent cache shards (rounded up to a power
+///   of two; default 1).  Each shard takes its own lock and its own even
+///   slice of the byte/entry budgets;
+/// * `CVCP_CACHE_POLICY` — eviction policy: `lru` (default) or `cost`
+///   (cost-benefit: victims weighed by recompute cost per byte).
 ///
-/// Unset (or unparsable) variables leave the corresponding knob unbounded.
-/// Budgets only trade recompute time for memory — results are bit-identical
-/// to an unbounded cache.
+/// Unset (or unparsable) variables keep their defaults (budgets stay
+/// unbounded).  None of these knobs can change results — sharding only
+/// repartitions the store and budgets/policies only trade recompute time
+/// for memory; selections are bit-identical under any setting.
 pub fn cache_config_from_env() -> CacheConfig {
-    fn read(var: &str) -> Option<usize> {
-        std::env::var(var).ok()?.trim().parse().ok()
-    }
+    cache_config_from(|var| std::env::var(var).ok())
+}
+
+/// [`cache_config_from_env`] with the variable lookup injected — pure, so
+/// the knob parsing is testable without mutating the process environment
+/// (`set_var` concurrent with `getenv` in parallel tests is a data race).
+fn cache_config_from(lookup: impl Fn(&str) -> Option<String>) -> CacheConfig {
+    let read = |var: &str| -> Option<usize> { lookup(var)?.trim().parse().ok() };
     CacheConfig {
         // Saturating: an absurdly large MiB value means "effectively
         // unbounded", not an overflow panic (or silent wrap) at startup.
         max_bytes: read("CVCP_CACHE_MAX_MB").map(|mb| mb.saturating_mul(1024 * 1024)),
         max_entries: read("CVCP_CACHE_MAX_ENTRIES"),
+        shards: read("CVCP_CACHE_SHARDS").unwrap_or(1),
+        policy: lookup("CVCP_CACHE_POLICY")
+            .and_then(|name| EvictionPolicy::parse(&name))
+            .unwrap_or_default(),
     }
 }
 
@@ -150,10 +165,11 @@ pub fn shared_engine() -> &'static Engine {
 /// Prints the shared engine's cache statistics (hit rate, residency and
 /// eviction counters) — called by the binaries after their last experiment.
 pub fn print_cache_stats() {
-    let stats = shared_engine().cache().stats();
+    let stats = shared_engine().cache_stats();
     println!(
-        "\n[artifact cache] hit rate {:.1}% ({} hits / {} misses) | resident {} artifacts, {:.1} MiB \
-         (peak {:.1} MiB) | evicted {} artifacts, {:.1} MiB",
+        "\n[artifact cache] {} shard(s) | hit rate {:.1}% ({} hits / {} misses) | \
+         resident {} artifacts, {:.1} MiB (peak {:.1} MiB) | evicted {} artifacts, {:.1} MiB",
+        stats.shards,
         stats.hit_rate() * 100.0,
         stats.hits,
         stats.misses,
@@ -613,6 +629,44 @@ mod tests {
         let full = Mode { full: true };
         assert_eq!(full.n_trials(), 50);
         assert_eq!(full.aloi_collection_size(), 100);
+    }
+
+    #[test]
+    fn cache_env_knobs_feed_the_config() {
+        // Exercised through the injected-lookup seam: mutating the real
+        // process environment from a parallel test would race with other
+        // tests (and `shared_engine()`) reading it.
+        let env = |pairs: &'static [(&'static str, &'static str)]| {
+            move |var: &str| {
+                pairs
+                    .iter()
+                    .find(|(k, _)| *k == var)
+                    .map(|(_, v)| v.to_string())
+            }
+        };
+        let cfg = cache_config_from(env(&[
+            ("CVCP_CACHE_SHARDS", "6"),
+            ("CVCP_CACHE_POLICY", "cost"),
+        ]));
+        assert_eq!(cfg.shards, 6);
+        assert_eq!(
+            cfg.normalized_shards(),
+            8,
+            "shard count rounds up to a power of two"
+        );
+        assert_eq!(cfg.policy, cvcp_engine::EvictionPolicy::CostBenefit);
+        // Defaults when unset: one shard, LRU, unbounded.
+        let cfg = cache_config_from(env(&[]));
+        assert_eq!(cfg.shards, 1);
+        assert_eq!(cfg.policy, cvcp_engine::EvictionPolicy::Lru);
+        assert!(cfg.is_unbounded());
+        // Unparsable values keep their defaults.
+        let cfg = cache_config_from(env(&[
+            ("CVCP_CACHE_SHARDS", "many"),
+            ("CVCP_CACHE_POLICY", "clock"),
+        ]));
+        assert_eq!(cfg.shards, 1);
+        assert_eq!(cfg.policy, cvcp_engine::EvictionPolicy::Lru);
     }
 
     #[test]

@@ -301,7 +301,29 @@ fn main() -> ExitCode {
         "select" => run_select(&opts),
         "cancel" => run_cancel(&opts),
         "stats" => one_shot(&opts.addr, &Request::Stats).map(|r| match r {
-            Response::Stats(_) => println!("{}", r.to_json().pretty()),
+            Response::Stats(ref stats) => {
+                println!("{}", r.to_json().pretty());
+                println!(
+                    "cache: {} shard(s), hit rate {:.1}%, {} resident entries / {} bytes",
+                    stats.cache.shards,
+                    stats.cache.hit_rate() * 100.0,
+                    stats.cache.resident_entries,
+                    stats.cache.resident_bytes,
+                );
+                for (i, s) in stats.cache_shards.iter().enumerate() {
+                    println!(
+                        "  shard {i}: {} hits / {} misses | {} evictions ({} B) | \
+                         resident {} entries / {} B (peak {} B)",
+                        s.hits,
+                        s.misses,
+                        s.evictions,
+                        s.evicted_bytes,
+                        s.resident_entries,
+                        s.resident_bytes,
+                        s.peak_resident_bytes,
+                    );
+                }
+            }
             other => println!("{other:?}"),
         }),
         "ping" => one_shot(&opts.addr, &Request::Ping).and_then(|r| match r {

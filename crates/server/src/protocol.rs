@@ -11,7 +11,7 @@
 
 use cvcp_core::json::{Json, ToJson};
 use cvcp_core::{Algorithm, CvcpSelection, SelectionRequest, SideInfoSpec};
-use cvcp_engine::CacheStats;
+use cvcp_engine::{CacheStats, ShardStats};
 
 /// A structured protocol-level failure, sent to clients as an `error`
 /// response.
@@ -315,10 +315,13 @@ pub struct RequestStats {
 }
 
 /// The payload of a `stats` response.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StatsSnapshot {
-    /// The engine's artifact-cache counters.
+    /// The engine's artifact-cache counters, aggregated over all shards.
     pub cache: CacheStats,
+    /// Per-shard breakdown of the cache counters (one entry per shard, in
+    /// shard order; `cache.shards` long).
+    pub cache_shards: Vec<ShardStats>,
     /// Currently queued (pending) requests.
     pub queue_depth: usize,
     /// Configured queue capacity.
@@ -417,6 +420,8 @@ impl Response {
                             "peak_resident_bytes",
                             stats.cache.peak_resident_bytes.to_json(),
                         ),
+                        ("shards", stats.cache.shards.to_json()),
+                        ("per_shard", shard_stats_to_json(&stats.cache_shards)),
                     ]),
                 ),
                 (
@@ -503,7 +508,9 @@ impl Response {
                         resident_entries: require_usize(cache, "resident_entries")?,
                         resident_bytes: require_usize(cache, "resident_bytes")?,
                         peak_resident_bytes: require_usize(cache, "peak_resident_bytes")?,
+                        shards: require_usize(cache, "shards")?,
                     },
+                    cache_shards: shard_stats_from_json(require(cache, "per_shard")?)?,
                     queue_depth: require_usize(queue, "depth")?,
                     queue_capacity: require_usize(queue, "capacity")?,
                     workers: require_usize(queue, "workers")?,
@@ -543,6 +550,45 @@ fn require_u64(doc: &Json, field: &str) -> Result<u64, WireError> {
             format!("field {field:?} must be a non-negative integer"),
         )
     })
+}
+
+fn shard_stats_to_json(shards: &[ShardStats]) -> Json {
+    Json::Arr(
+        shards
+            .iter()
+            .map(|s| {
+                Json::obj([
+                    ("hits", s.hits.to_json()),
+                    ("misses", s.misses.to_json()),
+                    ("evictions", s.evictions.to_json()),
+                    ("evicted_bytes", s.evicted_bytes.to_json()),
+                    ("resident_entries", s.resident_entries.to_json()),
+                    ("resident_bytes", s.resident_bytes.to_json()),
+                    ("peak_resident_bytes", s.peak_resident_bytes.to_json()),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn shard_stats_from_json(doc: &Json) -> Result<Vec<ShardStats>, WireError> {
+    let items = doc
+        .as_arr()
+        .ok_or_else(|| WireError::new("invalid_request", "field \"per_shard\" must be an array"))?;
+    items
+        .iter()
+        .map(|item| {
+            Ok(ShardStats {
+                hits: require_u64(item, "hits")?,
+                misses: require_u64(item, "misses")?,
+                evictions: require_u64(item, "evictions")?,
+                evicted_bytes: require_u64(item, "evicted_bytes")?,
+                resident_entries: require_usize(item, "resident_entries")?,
+                resident_bytes: require_usize(item, "resident_bytes")?,
+                peak_resident_bytes: require_usize(item, "peak_resident_bytes")?,
+            })
+        })
+        .collect()
 }
 
 fn entries_to_json(entries: &[RankedEntry]) -> Json {
@@ -716,7 +762,28 @@ mod tests {
                     resident_entries: 2,
                     resident_bytes: 1234,
                     peak_resident_bytes: 5000,
+                    shards: 2,
                 },
+                cache_shards: vec![
+                    ShardStats {
+                        hits: 6,
+                        misses: 2,
+                        evictions: 1,
+                        evicted_bytes: 4096,
+                        resident_entries: 1,
+                        resident_bytes: 1000,
+                        peak_resident_bytes: 3000,
+                    },
+                    ShardStats {
+                        hits: 4,
+                        misses: 1,
+                        evictions: 0,
+                        evicted_bytes: 0,
+                        resident_entries: 1,
+                        resident_bytes: 234,
+                        peak_resident_bytes: 2000,
+                    },
+                ],
                 queue_depth: 1,
                 queue_capacity: 32,
                 workers: 2,

@@ -8,6 +8,13 @@
 //! [`BoundedQueue::pop`] until an item arrives or the queue is closed;
 //! items still queued at close time are drained before `pop` starts
 //! returning `None`.
+//!
+//! Fairness: admission order is the *only* order.  A request rejected with
+//! `queue_full` and re-submitted once a slot frees is served strictly
+//! before any request admitted after it — there is no LIFO path, priority
+//! lane or wakeup-order dependence that could starve retried requests
+//! (items are handed out FIFO regardless of which blocked consumer wakes
+//! first).
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -160,5 +167,84 @@ mod tests {
         }
         let drained: Vec<i32> = (0..5).map(|_| queue.pop().unwrap()).collect();
         assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn readmission_after_rejection_preserves_fifo_order() {
+        // The admission-ordering contract under reject-and-retry: a
+        // request bounced with `queue_full` and re-submitted once a slot
+        // frees must be served before any request admitted after it —
+        // otherwise a client that dutifully retries could be starved by
+        // later arrivals.
+        let queue = BoundedQueue::new(2);
+        queue.try_push("r1").unwrap();
+        queue.try_push("r2").unwrap();
+        assert_eq!(queue.try_push("r3"), Err(PushError::Full("r3")));
+        assert_eq!(queue.pop(), Some("r1"));
+        queue.try_push("r3").unwrap(); // the retry is admitted…
+        assert_eq!(queue.try_push("r4"), Err(PushError::Full("r4")));
+        assert_eq!(queue.pop(), Some("r2"));
+        queue.try_push("r4").unwrap(); // …and a later request after it
+        assert_eq!(
+            queue.pop(),
+            Some("r3"),
+            "the re-submitted request must precede the later admission"
+        );
+        assert_eq!(queue.pop(), Some("r4"));
+    }
+
+    #[test]
+    fn retries_under_contention_are_never_starved_or_reordered() {
+        // Producers hammer a tiny queue, retrying on `queue_full`; a
+        // consumer asserts that each producer's items arrive in submission
+        // order (FIFO per producer ⇒ no retried item was overtaken by a
+        // later item from the same producer) and that every item arrives
+        // (no starvation).
+        const PRODUCERS: usize = 4;
+        const ITEMS: usize = 64;
+        let queue = Arc::new(BoundedQueue::new(3));
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    for seq in 0..ITEMS {
+                        let mut item = (p, seq);
+                        loop {
+                            match queue.try_push(item) {
+                                Ok(()) => break,
+                                Err(PushError::Full(back)) => {
+                                    item = back;
+                                    std::thread::yield_now();
+                                }
+                                Err(PushError::Closed(_)) => panic!("queue closed early"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let consumer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                let mut next_expected = [0usize; PRODUCERS];
+                for _ in 0..PRODUCERS * ITEMS {
+                    let (p, seq) = queue.pop().expect("producers still pushing");
+                    assert_eq!(
+                        seq, next_expected[p],
+                        "producer {p}'s items arrived out of admission order"
+                    );
+                    next_expected[p] = seq + 1;
+                }
+                next_expected
+            })
+        };
+        for h in producers {
+            h.join().unwrap();
+        }
+        let next_expected = consumer.join().unwrap();
+        assert_eq!(
+            next_expected, [ITEMS; PRODUCERS],
+            "every retried item must eventually be admitted and served"
+        );
     }
 }

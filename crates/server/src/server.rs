@@ -123,7 +123,8 @@ struct Shared {
 impl Shared {
     fn stats(&self) -> StatsSnapshot {
         StatsSnapshot {
-            cache: self.engine.cache().stats(),
+            cache: self.engine.cache_stats(),
+            cache_shards: self.engine.cache_shard_stats(),
             queue_depth: self.queue.len(),
             queue_capacity: self.queue.capacity(),
             workers: self.workers,

@@ -19,8 +19,11 @@ use cvcp_bench::{aloi_dataset, labels_for, write_bench_json};
 use cvcp_constraints::folds::label_scenario_folds;
 use cvcp_constraints::SideInformation;
 use cvcp_core::crossval::evaluate_parameter_on_folds;
+use cvcp_core::experiment::{run_experiment_on, run_experiment_trialwise, ExperimentConfig};
 use cvcp_core::json::{Json, ToJson};
-use cvcp_core::{select_model_with, CvcpConfig, CvcpSelection, Engine, FoscMethod, MpckMethod};
+use cvcp_core::{
+    select_model_with, CvcpConfig, CvcpSelection, Engine, FoscMethod, MpckMethod, SideInfoSpec,
+};
 use cvcp_data::rng::SeededRng;
 use cvcp_data::Dataset;
 use std::time::Instant;
@@ -212,6 +215,58 @@ fn bench_engine(c: &mut Criterion) {
         MIN_MPCK_HIT_RATE * 100.0
     );
 
+    // Few-trial experiment: with fewer trials than workers, the old
+    // trial-only lowering (one inline job per trial) leaves (parameter ×
+    // fold) parallelism on the table; the unified plan fans the full
+    // (trial × parameter × fold) grid into one graph.  Results must be
+    // bit-identical; the wall-clock comparison is the point of the
+    // refactor (on a single hardware thread both collapse to the same
+    // inline work and the ratio approaches 1×).
+    let exp_config = ExperimentConfig {
+        n_trials: 2,
+        cvcp: CvcpConfig {
+            n_folds: N_FOLDS,
+            stratified: true,
+        },
+        params: MINPTS_GRID.to_vec(),
+        seed: 7,
+        with_silhouette: false,
+        n_threads: 4, // unused: engines are built explicitly below
+    };
+    let spec = SideInfoSpec::LabelFraction(0.2);
+    let mut trialwise_outcomes = None;
+    let trialwise_secs = best_of(|| {
+        let engine = Engine::new(4);
+        let start = Instant::now();
+        let outcomes =
+            run_experiment_trialwise(&engine, &FoscMethod::default(), &ds, spec, &exp_config);
+        let secs = start.elapsed().as_secs_f64();
+        trialwise_outcomes = Some(outcomes);
+        secs
+    });
+    let mut unified_outcomes = None;
+    let unified_secs = best_of(|| {
+        let engine = Engine::new(4);
+        let start = Instant::now();
+        let outcomes = run_experiment_on(&engine, &FoscMethod::default(), &ds, spec, &exp_config);
+        let secs = start.elapsed().as_secs_f64();
+        unified_outcomes = Some(outcomes);
+        secs
+    });
+    assert_eq!(
+        unified_outcomes, trialwise_outcomes,
+        "the unified full-grid plan must reproduce the trial-only path bit-for-bit"
+    );
+    println!(
+        "engine/few_trial_experiment (2 trials × {} params × {} folds, 4 workers): \
+         trial-only {:.1} ms | unified full-grid plan {:.1} ms ({:.2}x)",
+        MINPTS_GRID.len(),
+        N_FOLDS,
+        trialwise_secs * 1e3,
+        unified_secs * 1e3,
+        trialwise_secs / unified_secs,
+    );
+
     // Sanity: the naive path and the engine agree on the internal scores
     // (FOSC is rng-free, so fold scores are comparable across paths).
     let naive_scores = naive_grid(&ds, &side);
@@ -239,6 +294,17 @@ fn bench_engine(c: &mut Criterion) {
                     ("cold_ms", (cold.0 * 1e3).to_json()),
                     ("warm_ms", (warm.0 * 1e3).to_json()),
                     ("speedup", (cold.0 / warm.0).to_json()),
+                ]),
+            ),
+            (
+                "few_trial_experiment",
+                Json::obj([
+                    ("trialwise_ms", (trialwise_secs * 1e3).to_json()),
+                    ("unified_plan_ms", (unified_secs * 1e3).to_json()),
+                    ("speedup", (trialwise_secs / unified_secs).to_json()),
+                    ("n_trials", 2usize.to_json()),
+                    ("n_params", MINPTS_GRID.len().to_json()),
+                    ("n_folds", N_FOLDS.to_json()),
                 ]),
             ),
             (

@@ -16,7 +16,6 @@ use cvcp_data::rng::SeededRng;
 use cvcp_data::DataMatrix;
 use cvcp_engine::ArtifactCache;
 use cvcp_metrics::constraint_fmeasure;
-use std::sync::Arc;
 
 /// Configuration of the CVCP cross-validation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -165,33 +164,10 @@ pub(crate) fn reduce_fold_scores(param: usize, folds: Vec<FoldScore>) -> Paramet
     }
 }
 
-/// Inline (single-thread, no-DAG) evaluation of the whole parameter × fold
-/// grid with the *same* salted RNG streams as the engine's job graph, so
-/// both paths produce bit-identical evaluations.  Used by experiment trial
-/// jobs, which already run on an engine worker and must not submit nested
-/// graphs.
-pub(crate) fn evaluate_grid_inline(
-    clusterers: &[Arc<dyn SemiSupervisedClusterer>],
-    params: &[usize],
-    data: &DataMatrix,
-    splits: &[FoldSplit],
-    base: &SeededRng,
-    cache: Option<&ArtifactCache>,
-) -> Vec<ParameterEvaluation> {
-    assert_eq!(clusterers.len(), params.len());
-    params
-        .iter()
-        .enumerate()
-        .map(|(pi, &param)| {
-            evaluate_param_inline(&*clusterers[pi], pi, param, data, splits, base, cache)
-        })
-        .collect()
-}
-
 /// One column of the inline grid: evaluates candidate `pi` (value `param`)
 /// over every non-empty fold, drawing from the same salted streams as the
-/// engine's job DAG.  Shared by [`evaluate_grid_inline`] and the streaming
-/// selection path, which needs per-parameter completion events.
+/// engine's job DAG (what makes the plan's inline executor and its DAG
+/// lowering bit-identical).
 pub(crate) fn evaluate_param_inline(
     clusterer: &dyn SemiSupervisedClusterer,
     pi: usize,

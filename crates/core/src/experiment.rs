@@ -15,30 +15,31 @@
 //! 4. records the Pearson correlation between internal and external scores
 //!    (Tables 1–4).
 //!
-//! The paper repeats every experiment over 50 independent trials; trials
-//! are independent jobs multiplexed over the execution engine's worker
-//! pool, and every trial derives all of its randomness from the experiment
-//! seed and its own trial index — so results are bit-identical at any
-//! thread count.  Within a trial, shareable artifacts (distance matrices,
-//! per-`MinPts` density hierarchies) come from the engine's content-keyed
-//! cache and are therefore also shared *across* trials and experiments.
+//! The paper repeats every experiment over 50 independent trials.  The
+//! harness lowers the **full (trial × parameter × fold) grid** — plus the
+//! per-parameter final clusterings of every trial — into one engine
+//! [`JobGraph`](cvcp_engine::JobGraph) through the unified
+//! [`crate::plan::ExecutionPlan`], so even a few-trial run saturates the
+//! pool with (parameter × fold) parallelism.  Every cell derives all of
+//! its randomness from the experiment seed and its own (trial, parameter,
+//! fold) coordinates — so results are bit-identical at any thread count,
+//! on either scheduling lane, and identical to the trial-only reference
+//! lowering ([`run_experiment_trialwise`]).  Shareable artifacts
+//! (distance matrices, per-`MinPts` density hierarchies) come from the
+//! engine's content-keyed cache and are therefore also shared *across*
+//! trials and experiments.
 
 use crate::algorithm::{ParameterizedMethod, SemiSupervisedClusterer};
-use crate::baselines::expected_quality;
-use crate::crossval::{build_folds, evaluate_grid_inline, CvcpConfig};
+use crate::crossval::{build_folds, CvcpConfig};
 use crate::json::{Json, ToJson};
-use crate::selection::reduce_evaluations;
+use crate::plan::{evaluate_trial_inline, ExecutionPlan, ExternalStage, PlanOptions, PlanTrial};
 use cvcp_constraints::generate::{constraint_pool, sample_constraints, sample_labeled_subset};
 use cvcp_constraints::SideInformation;
-use cvcp_data::distance::{pairwise_matrix, Euclidean};
 use cvcp_data::rng::SeededRng;
 use cvcp_data::Dataset;
-use cvcp_engine::{fingerprint_matrix, ArtifactCache, ArtifactKey, Engine};
+use cvcp_engine::{ArtifactCache, Engine, Priority};
 use cvcp_metrics::stats::Summary;
 use cvcp_metrics::ttest::{paired_t_test, TTestResult};
-use cvcp_metrics::{
-    overall_fmeasure_excluding, pearson, silhouette_coefficient, silhouette_from_pairwise,
-};
 use std::sync::Arc;
 
 use crate::selection::SELECTION_STREAM_SALT;
@@ -191,10 +192,69 @@ pub fn run_experiment(
 /// Runs a repeated-trial experiment on an existing engine, so many
 /// experiments multiplex over one worker pool and share cached artifacts.
 ///
-/// Every trial is one engine job whose randomness derives solely from
-/// `config.seed` and the trial index — results are bit-identical for any
-/// thread count and any batch composition.
+/// The whole experiment is lowered into **one job graph** through the
+/// unified [`ExecutionPlan`]: every (trial × parameter × fold) grid cell
+/// and every per-parameter final clustering is its own engine job, queued
+/// on the [`Priority::Batch`] lane (so concurrent interactive selections
+/// overtake it).  Every cell's randomness derives solely from
+/// `config.seed` and its structural coordinates — results are
+/// bit-identical for any thread count, either lane, any batch
+/// composition, and to the trial-only reference path
+/// ([`run_experiment_trialwise`]).
 pub fn run_experiment_on(
+    engine: &Engine,
+    method: &dyn ParameterizedMethod,
+    dataset: &Dataset,
+    spec: SideInfoSpec,
+    config: &ExperimentConfig,
+) -> Vec<TrialOutcome> {
+    let params = if config.params.is_empty() {
+        method.default_parameter_range(dataset.n_classes())
+    } else {
+        config.params.clone()
+    };
+    let prepared = PreparedMethod::new(method, &params, config.with_silhouette);
+    let n_trials = config.n_trials.max(1);
+    let labels = Arc::new(dataset.labels().to_vec());
+    let trials: Vec<PlanTrial> = (0..n_trials)
+        .map(|trial| {
+            realize_trial(
+                &prepared,
+                dataset,
+                &labels,
+                spec,
+                &config.cvcp,
+                config.seed,
+                trial,
+            )
+        })
+        .collect();
+    let plan = ExecutionPlan::new(
+        Arc::new(dataset.matrix().clone()),
+        prepared.clusterers,
+        prepared.params,
+        trials,
+    );
+    plan.run(engine, PlanOptions::with_priority(Priority::Batch))
+        .expect("experiment plans run without a cancel token")
+        .into_iter()
+        .map(|r| {
+            r.outcome
+                .expect("experiment trials carry an external stage")
+        })
+        .collect()
+}
+
+/// The trial-only reference lowering: one engine job per trial with
+/// inline intra-trial evaluation — exactly the shape `run_experiment_on`
+/// had before the unified plan.
+///
+/// Kept (a) as the reference the unified full-grid plan is asserted
+/// **bit-identical** against in the determinism suite, and (b) as the
+/// comparison baseline of `bench_engine`'s few-trial section: with fewer
+/// trials than workers this path leaves (parameter × fold) parallelism on
+/// the table, which is precisely what the unified plan reclaims.
+pub fn run_experiment_trialwise(
     engine: &Engine,
     method: &dyn ParameterizedMethod,
     dataset: &Dataset,
@@ -253,9 +313,47 @@ pub fn run_trial(
     )
 }
 
-/// The body of one trial.  All randomness is derived from `seed` and
-/// `trial`; the optional cache only shares artifacts, never changes
-/// results.
+/// Realizes one trial of the experiment plan: draws the side information,
+/// builds the folds and freezes the grid/external RNG bases.  All
+/// randomness is derived from `seed` and `trial` in a fixed sequence, so
+/// realization is independent of how (or where) the trial later executes.
+/// `labels` is the dataset's ground truth, shared across every trial of
+/// one experiment.
+fn realize_trial(
+    prepared: &PreparedMethod,
+    dataset: &Dataset,
+    labels: &Arc<Vec<usize>>,
+    spec: SideInfoSpec,
+    cvcp: &CvcpConfig,
+    seed: u64,
+    trial: usize,
+) -> PlanTrial {
+    let mut rng = SeededRng::new(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(trial as u64),
+    );
+    let side = spec.generate(dataset, &mut rng);
+    let involved = side.involved_objects();
+    let splits = build_folds(&side, cvcp, &mut rng);
+    let grid_base = rng.fork(SELECTION_STREAM_SALT);
+    let external_base = rng.fork(EXTERNAL_STREAM_SALT);
+    PlanTrial {
+        trial,
+        splits: Arc::new(splits),
+        grid_base,
+        external: Some(ExternalStage {
+            side: Arc::new(side),
+            involved,
+            external_base,
+            with_silhouette: prepared.with_silhouette,
+            labels: Arc::clone(labels),
+        }),
+    }
+}
+
+/// The body of one trial, evaluated inline through the plan's shared cell
+/// helpers.  All randomness is derived from `seed` and `trial`; the
+/// optional cache only shares artifacts, never changes results.
 fn run_trial_prepared(
     prepared: &PreparedMethod,
     dataset: &Dataset,
@@ -265,108 +363,20 @@ fn run_trial_prepared(
     trial: usize,
     cache: Option<&ArtifactCache>,
 ) -> TrialOutcome {
-    let params = &prepared.params;
-    let mut rng = SeededRng::new(
-        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(trial as u64),
-    );
-    let side = spec.generate(dataset, &mut rng);
-    let involved = side.involved_objects();
-
-    // Step 1–3: CVCP selection with internal scores.  Runs the same salted
-    // grid streams as `select_model_with`, but inline — a trial job already
-    // occupies an engine worker and must not submit nested graphs.
-    let splits = build_folds(&side, cvcp, &mut rng);
-    let grid_base = rng.fork(SELECTION_STREAM_SALT);
-    let evaluations = evaluate_grid_inline(
+    let labels = Arc::new(dataset.labels().to_vec());
+    let plan_trial = realize_trial(prepared, dataset, &labels, spec, cvcp, seed, trial);
+    evaluate_trial_inline(
         &prepared.clusterers,
-        params,
+        &prepared.params,
         dataset.matrix(),
-        &splits,
-        &grid_base,
+        &plan_trial,
         cache,
-    );
-    let selection = reduce_evaluations(evaluations);
-    let internal_scores = selection.scores();
-
-    // Step 4 + external evaluation per parameter, each from its own salted
-    // stream so parameter order cannot influence results.
-    //
-    // The Silhouette baseline needs the full O(n²·d) pairwise distance
-    // matrix per candidate partition; with a cache it is computed once per
-    // replica and shared across every candidate, trial and experiment (the
-    // same artifact FOSC's hierarchies are built from).  Both paths are
-    // bit-identical — see `silhouette_from_pairwise`.
-    let cached_pairwise = match (cache, prepared.with_silhouette) {
-        (Some(cache), true) => Some(cache.get_or_compute(
-            ArtifactKey::PairwiseDistances {
-                data: fingerprint_matrix(dataset.matrix()),
-            },
-            || pairwise_matrix(dataset.matrix(), &Euclidean),
-        )),
-        _ => None,
-    };
-    let external_base = rng.fork(EXTERNAL_STREAM_SALT);
-    let mut external_scores = Vec::with_capacity(params.len());
-    let mut silhouettes: Vec<Option<f64>> = Vec::with_capacity(params.len());
-    for (pi, clusterer) in prepared.clusterers.iter().enumerate() {
-        let mut param_rng = external_base.fork_stream(pi as u64);
-        let partition = match cache {
-            Some(cache) => {
-                clusterer.cluster_with_cache(dataset.matrix(), &side, &mut param_rng, cache)
-            }
-            None => clusterer.cluster(dataset.matrix(), &side, &mut param_rng),
-        };
-        let f = overall_fmeasure_excluding(&partition, dataset.labels(), &involved);
-        external_scores.push(f);
-        if prepared.with_silhouette {
-            silhouettes.push(match &cached_pairwise {
-                Some(dist) => silhouette_from_pairwise(dist, &partition),
-                None => silhouette_coefficient(dataset.matrix(), &partition, &Euclidean),
-            });
-        } else {
-            silhouettes.push(None);
-        }
-    }
-
-    let selected_idx = params
-        .iter()
-        .position(|&p| p == selection.best_param)
-        .expect("selected parameter is in the range");
-    let cvcp_external = external_scores[selected_idx];
-    let expected_external = expected_quality(&external_scores);
-
-    let (silhouette_param, silhouette_external) = if prepared.with_silhouette {
-        let mut best: Option<(usize, f64)> = None;
-        for (i, s) in silhouettes.iter().enumerate() {
-            if let Some(v) = s {
-                if best.is_none_or(|(_, bv)| *v > bv) {
-                    best = Some((i, *v));
-                }
-            }
-        }
-        match best {
-            Some((i, _)) => (Some(params[i]), Some(external_scores[i])),
-            None => (Some(params[0]), Some(external_scores[0])),
-        }
-    } else {
-        (None, None)
-    };
-
-    let correlation = pearson(&internal_scores, &external_scores);
-
-    TrialOutcome {
-        trial,
-        params: params.to_vec(),
-        internal_scores,
-        external_scores,
-        selected_param: selection.best_param,
-        cvcp_external,
-        expected_external,
-        silhouette_param,
-        silhouette_external,
-        correlation,
-    }
+        None,
+        None,
+    )
+    .expect("inline trials run without a cancel token")
+    .outcome
+    .expect("experiment trials carry an external stage")
 }
 
 /// Aggregated results of an experiment, mirroring one row of the paper's
@@ -635,6 +645,33 @@ mod tests {
             &cfg,
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unified_plan_matches_the_trialwise_reference_bit_for_bit() {
+        // The refactor contract: lowering the full (trial × parameter ×
+        // fold) grid into one graph must reproduce the trial-only path —
+        // the PR-4 shape — exactly, with and without Silhouette.
+        let ds = blobs();
+        for with_silhouette in [true, false] {
+            let mut cfg = quick_config(4);
+            cfg.with_silhouette = with_silhouette;
+            let unified = run_experiment_on(
+                &Engine::new(4),
+                &MpckMethod::default(),
+                &ds,
+                SideInfoSpec::LabelFraction(0.2),
+                &cfg,
+            );
+            let reference = run_experiment_trialwise(
+                &Engine::new(4),
+                &MpckMethod::default(),
+                &ds,
+                SideInfoSpec::LabelFraction(0.2),
+                &cfg,
+            );
+            assert_eq!(unified, reference);
+        }
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod baselines;
 pub mod crossval;
 pub mod experiment;
 pub mod json;
+pub mod plan;
 pub mod report;
 pub mod request;
 pub mod selection;
@@ -63,12 +64,13 @@ pub mod selection;
 pub use algorithm::{FoscMethod, MpckMethod, ParameterizedMethod, SemiSupervisedClusterer};
 pub use baselines::{expected_quality, silhouette_selection, SilhouetteSelection};
 pub use crossval::{evaluate_parameter, CvcpConfig, FoldScore, ParameterEvaluation};
-pub use cvcp_engine::{ArtifactCache, Engine};
+pub use cvcp_engine::{ArtifactCache, Engine, Priority};
 pub use experiment::{
-    run_experiment, run_experiment_on, summarize, ExperimentConfig, ExperimentSummary,
-    SideInfoSpec, TrialOutcome,
+    run_experiment, run_experiment_on, run_experiment_trialwise, summarize, ExperimentConfig,
+    ExperimentSummary, SideInfoSpec, TrialOutcome,
 };
 pub use json::{Json, JsonParseError, ToJson};
+pub use plan::{ExecutionPlan, ExternalStage, PlanOptions, PlanTrial, TrialEvaluation};
 pub use request::{
     run_selection_request, Algorithm, RealizedSelection, RequestError, RunRequestError,
     SelectionRequest,

@@ -25,7 +25,7 @@ use cvcp_constraints::SideInformation;
 use cvcp_data::replicas::{replica_by_name, replica_name_is_known};
 use cvcp_data::rng::SeededRng;
 use cvcp_data::Dataset;
-use cvcp_engine::{CancelToken, Engine};
+use cvcp_engine::{CancelToken, Engine, Priority};
 
 /// The algorithm families a request can select over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +83,11 @@ pub struct SelectionRequest {
     /// Seed pinning the replica generation, side-information draw and
     /// every evaluation stream.
     pub seed: u64,
+    /// Requested scheduling lane; `None` lets the serving front-end apply
+    /// its configured default ([`Priority::Interactive`] unless
+    /// overridden).  Pure scheduling — results are bit-identical across
+    /// lanes.
+    pub priority: Option<Priority>,
 }
 
 /// Why a [`SelectionRequest`] could not be lowered.
@@ -138,6 +143,8 @@ pub struct RealizedSelection {
     /// RNG state after the side-information draw; fold construction and the
     /// grid streams continue from here.
     pub rng: SeededRng,
+    /// The scheduling lane the lowered graph is queued on.
+    pub priority: Priority,
 }
 
 impl SelectionRequest {
@@ -206,6 +213,7 @@ impl SelectionRequest {
             params,
             method,
             rng,
+            priority: self.priority.unwrap_or_default(),
         })
     }
 }
@@ -225,8 +233,8 @@ impl RealizedSelection {
     }
 
     /// The serving lowering: [`select_model_streaming`] with per-parameter
-    /// progress and cancellation.  Bit-identical to [`Self::select`] when
-    /// it completes.
+    /// progress, cancellation and the request's scheduling lane.
+    /// Bit-identical to [`Self::select`] when it completes.
     pub fn select_streaming<F>(
         mut self,
         engine: &Engine,
@@ -244,6 +252,7 @@ impl RealizedSelection {
             &self.params,
             &self.config,
             &mut self.rng,
+            self.priority,
             cancel,
             on_progress,
         )
@@ -306,6 +315,7 @@ mod tests {
             n_folds: 4,
             stratified: true,
             seed: 21,
+            priority: None,
         }
     }
 
@@ -384,6 +394,17 @@ mod tests {
                 assert_eq!(eval.map(|v| v.score), Some(e.score), "progress score drift");
             }
         }
+    }
+
+    #[test]
+    fn explicit_priority_does_not_change_results() {
+        let mut batch = request(Algorithm::Fosc, vec![3, 6]);
+        batch.priority = Some(Priority::Batch);
+        let mut interactive = request(Algorithm::Fosc, vec![3, 6]);
+        interactive.priority = Some(Priority::Interactive);
+        let a = run_selection_request(&Engine::new(4), &batch, None, |_| {}).unwrap();
+        let b = run_selection_request(&Engine::new(4), &interactive, None, |_| {}).unwrap();
+        assert_eq!(a, b, "the scheduling lane must never change results");
     }
 
     #[test]

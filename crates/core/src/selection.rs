@@ -1,16 +1,18 @@
 //! Steps 2–4 of the CVCP framework: sweep the parameter range, pick the
 //! highest-scoring value, and re-run the algorithm with all side information.
+//!
+//! Both entry points are thin wrappers over the unified
+//! [`crate::plan::ExecutionPlan`]: they realize a single-trial plan (folds
+//! + frozen grid RNG base) and hand it to the plan's one lowering.
 
 use crate::algorithm::{ParameterizedMethod, SemiSupervisedClusterer};
-use crate::crossval::{
-    build_folds, evaluate_param_inline, grid_salt, reduce_fold_scores, score_fold, CvcpConfig,
-    FoldScore, ParameterEvaluation,
-};
+use crate::crossval::{build_folds, CvcpConfig, ParameterEvaluation};
+use crate::plan::{ExecutionPlan, PlanOptions, PlanTrial};
 use cvcp_constraints::folds::FoldSplit;
 use cvcp_constraints::SideInformation;
 use cvcp_data::rng::SeededRng;
 use cvcp_data::{DataMatrix, Partition};
-use cvcp_engine::{CancelToken, Engine, JobGraph, JobId};
+use cvcp_engine::{CancelToken, Engine, Priority};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -92,10 +94,11 @@ pub fn select_model(
 
 /// One per-parameter completion event of a streaming selection.
 ///
-/// Events are emitted as soon as every fold of a candidate parameter has
-/// been evaluated; on a multi-threaded engine the emission *order* follows
-/// execution and is therefore not deterministic, but the set of events (and
-/// the final [`CvcpSelection`]) is.
+/// Exactly one event is emitted per candidate parameter, **in ascending
+/// candidate order** — deterministically, even on a multi-threaded engine
+/// where fold jobs complete out of order (the plan chains each
+/// candidate's progress job on its predecessor's).  `completed` therefore
+/// counts `1..=total` in emission order.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SelectionProgress {
     /// The candidate parameter that just finished.
@@ -131,7 +134,7 @@ pub(crate) struct ProgressSink {
 }
 
 impl ProgressSink {
-    fn emit(&self, param: usize, score: f64) {
+    pub(crate) fn emit(&self, param: usize, score: f64) {
         let completed = self.completed.fetch_add(1, Ordering::SeqCst) + 1;
         (self.callback.lock().expect("progress callback lock"))(SelectionProgress {
             param,
@@ -175,18 +178,31 @@ pub fn select_model_with(
         .iter()
         .map(|&p| Arc::from(method.instantiate(p)))
         .collect();
-    select_model_prepared(engine, &clusterers, params, data, &splits, base, None, None)
-        .expect("selection without a cancel token cannot be cancelled")
+    select_model_prepared(
+        engine,
+        &clusterers,
+        params,
+        data,
+        splits,
+        base,
+        Priority::Interactive,
+        None,
+        None,
+    )
+    .expect("selection without a cancel token cannot be cancelled")
 }
 
 /// Like [`select_model_with`], but emits a [`SelectionProgress`] event as
-/// each candidate parameter finishes and honours an optional
-/// [`CancelToken`] — the serving front-end's entry point.
+/// each candidate parameter finishes, honours an optional [`CancelToken`]
+/// and queues its jobs on the given [`Priority`] lane — the serving
+/// front-end's entry point.
 ///
 /// The final [`CvcpSelection`] is **bit-identical** to the one
-/// [`select_model_with`] returns for the same inputs: progress jobs only
-/// observe the evaluation grid, they never draw randomness, so the salted
-/// RNG streams of the grid cells are unchanged.
+/// [`select_model_with`] returns for the same inputs, on either lane:
+/// progress jobs only observe the evaluation grid, they never draw
+/// randomness, so the salted RNG streams of the grid cells are unchanged.
+/// Events arrive exactly once per candidate, in ascending candidate
+/// order (see [`SelectionProgress`]).
 ///
 /// Cancellation skips jobs that have not started; the function then
 /// returns `Err(SelectionCancelled)`.  When the token fires after the
@@ -204,6 +220,7 @@ pub fn select_model_streaming<F>(
     params: &[usize],
     config: &CvcpConfig,
     rng: &mut SeededRng,
+    priority: Priority,
     cancel: Option<CancelToken>,
     on_progress: F,
 ) -> Result<CvcpSelection, SelectionCancelled>
@@ -230,165 +247,68 @@ where
         &clusterers,
         params,
         data,
-        &splits,
+        splits,
         base,
+        priority,
         cancel,
         Some(sink),
     )
 }
 
-/// Grid evaluation on pre-instantiated clusterers (shared by
-/// [`select_model_with`], [`select_model_streaming`] and the experiment
-/// harness).
+/// Grid evaluation on pre-instantiated clusterers: realizes a
+/// single-trial [`ExecutionPlan`] and runs it through the unified
+/// lowering (shared by [`select_model_with`] and
+/// [`select_model_streaming`]).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn select_model_prepared(
     engine: &Engine,
     clusterers: &[Arc<dyn SemiSupervisedClusterer>],
     params: &[usize],
     data: &DataMatrix,
-    splits: &[FoldSplit],
+    splits: Vec<FoldSplit>,
     base: SeededRng,
+    priority: Priority,
     cancel: Option<CancelToken>,
     sink: Option<Arc<ProgressSink>>,
 ) -> Result<CvcpSelection, SelectionCancelled> {
-    let is_cancelled = || cancel.as_ref().is_some_and(CancelToken::is_cancelled);
-    // Tiny grids are not worth a DAG round-trip on a sequential engine, but
-    // correctness must not depend on this short-cut: the inline evaluator
-    // uses the same salted streams as the graph below.
+    let trial = PlanTrial {
+        trial: 0,
+        splits: Arc::new(splits),
+        grid_base: base,
+        external: None,
+    };
+    // On the sequential engine, skip plan construction entirely — the
+    // inline executor works on borrowed data, so the per-request
+    // O(objects²·dims) matrix clone that 'static DAG jobs need is never
+    // paid (it is the same executor the plan's own inline branch uses,
+    // so both paths stay bit-identical).
     if engine.n_threads() <= 1 {
-        let mut evaluations = Vec::with_capacity(params.len());
-        for (pi, clusterer) in clusterers.iter().enumerate() {
-            if is_cancelled() {
-                return Err(SelectionCancelled);
-            }
-            let eval = evaluate_param_inline(
-                &**clusterer,
-                pi,
-                params[pi],
-                data,
-                splits,
-                &base,
-                Some(engine.cache()),
-            );
-            if let Some(sink) = &sink {
-                sink.emit(eval.param, eval.score);
-            }
-            evaluations.push(eval);
-        }
-        return Ok(reduce_evaluations(evaluations));
+        return crate::plan::evaluate_trial_inline(
+            clusterers,
+            params,
+            data,
+            &trial,
+            Some(engine.cache()),
+            sink.as_deref(),
+            cancel.as_ref(),
+        )
+        .map(|result| result.selection);
     }
-
-    let data = Arc::new(data.clone());
-    let splits: Arc<Vec<FoldSplit>> = Arc::new(splits.to_vec());
-    // Grid accumulator: [param][split] fold scores, written by evaluation
-    // jobs, read by the reduction job (which depends on all of them).
-    let grid: Arc<Mutex<Vec<Vec<Option<FoldScore>>>>> = Arc::new(Mutex::new(
-        params.iter().map(|_| vec![None; splits.len()]).collect(),
-    ));
-
-    let mut graph: JobGraph<Option<CvcpSelection>> = JobGraph::with_base_rng(base);
-    if let Some(token) = cancel.clone() {
-        graph.set_cancel_token(token);
-    }
-    // One artifact job per fold precomputes the structures shared by every
-    // parameter evaluated on that fold's training information (MPCKMeans'
-    // transitive closure and seeding neighbourhoods are k-invariant), so a
-    // whole parameter sweep warms up behind a single computation instead of
-    // racing on the first evaluation of each fold.
-    let mut fold_artifact_ids: Vec<Option<JobId>> = vec![None; splits.len()];
-    for (si, split) in splits.iter().enumerate() {
-        if split.test_constraints.is_empty() {
-            continue;
-        }
-        let clusterer = Arc::clone(&clusterers[0]);
-        let data = Arc::clone(&data);
-        let splits = Arc::clone(&splits);
-        fold_artifact_ids[si] =
-            Some(
-                graph.add_salted_job(&[], (3 << 48) | si as u64, move |ctx| {
-                    clusterer.prepare_fold_artifacts(&data, &splits[si].training, ctx.cache());
-                    None
-                }),
-            );
-    }
-    let mut eval_ids = Vec::new();
-    for (pi, clusterer) in clusterers.iter().enumerate() {
-        let artifact_id = {
-            let clusterer = Arc::clone(clusterer);
-            let data = Arc::clone(&data);
-            graph.add_salted_job(&[], (1 << 48) | pi as u64, move |ctx| {
-                clusterer.prepare_artifacts(&data, ctx.cache());
-                None
-            })
-        };
-        let mut param_eval_ids = Vec::new();
-        for (si, split) in splits.iter().enumerate() {
-            if split.test_constraints.is_empty() {
-                continue;
-            }
-            let clusterer = Arc::clone(clusterer);
-            let data = Arc::clone(&data);
-            let splits = Arc::clone(&splits);
-            let grid = Arc::clone(&grid);
-            let deps: Vec<JobId> = std::iter::once(artifact_id)
-                .chain(fold_artifact_ids[si])
-                .collect();
-            let id = graph.add_salted_job(&deps, grid_salt(pi, split.fold), move |ctx| {
-                let cache = ctx.cache_arc();
-                let score = score_fold(&*clusterer, &data, &splits[si], ctx.rng(), Some(&cache));
-                grid.lock().expect("grid lock")[pi][si] = Some(score);
-                None
-            });
-            eval_ids.push(id);
-            param_eval_ids.push(id);
-        }
-        // Streaming: one progress job per candidate, downstream of exactly
-        // that candidate's grid cells.  It only reads the grid — no
-        // randomness — so its presence cannot perturb the evaluation
-        // streams, keeping streamed and non-streamed selections
-        // bit-identical.
-        if let Some(sink) = &sink {
-            let sink = Arc::clone(sink);
-            let grid = Arc::clone(&grid);
-            let param = params[pi];
-            graph.add_salted_job(&param_eval_ids, (4 << 48) | pi as u64, move |_ctx| {
-                let folds: Vec<FoldScore> = grid.lock().expect("grid lock")[pi]
-                    .iter()
-                    .flatten()
-                    .cloned()
-                    .collect();
-                let eval = reduce_fold_scores(param, folds);
-                sink.emit(eval.param, eval.score);
-                None
-            });
-        }
-    }
-    {
-        let grid = Arc::clone(&grid);
-        let params = params.to_vec();
-        graph.add_salted_job(&eval_ids, 2 << 48, move |_ctx| {
-            let grid = grid.lock().expect("grid lock");
-            let evaluations = params
-                .iter()
-                .enumerate()
-                .map(|(pi, &p)| reduce_fold_scores(p, grid[pi].iter().flatten().cloned().collect()))
-                .collect();
-            Some(reduce_evaluations(evaluations))
-        });
-    }
-
-    let mut result = engine.run_graph(graph);
-    match result.outcomes.pop() {
-        Some(cvcp_engine::JobOutcome::Completed(Some(selection))) => Ok(selection),
-        _ if is_cancelled() => Err(SelectionCancelled),
-        _ => {
-            let failure = result
-                .first_failure()
-                .unwrap_or("reduction job did not run")
-                .to_string();
-            panic!("model selection failed on the engine: {failure}");
-        }
-    }
+    let plan = ExecutionPlan::new(
+        Arc::new(data.clone()),
+        clusterers.to_vec(),
+        params.to_vec(),
+        vec![trial],
+    );
+    let mut results = plan.run(
+        engine,
+        PlanOptions {
+            priority,
+            cancel,
+            sink,
+        },
+    )?;
+    Ok(results.pop().expect("single-trial plan").selection)
 }
 
 /// Step 4 of the framework: run the algorithm with the selected parameter and
@@ -538,6 +458,87 @@ mod tests {
             &CvcpConfig::default(),
             &mut rng,
         );
+    }
+
+    #[test]
+    fn streaming_progress_events_are_deterministic_in_parameter_order() {
+        // The regression this pins: on a multi-threaded engine, fold jobs
+        // of later candidates can finish before earlier candidates', yet
+        // exactly one event must arrive per candidate, in ascending
+        // candidate order, with `completed` counting 1..=total — no
+        // duplicates, no reordering.
+        use std::sync::mpsc;
+        let mut rng = SeededRng::new(8);
+        let ds = separated_blobs(3, 18, 3, 11.0, &mut rng);
+        let labeled = sample_labeled_subset(ds.labels(), 0.3, 2, &mut rng);
+        let side = SideInformation::Labels(labeled);
+        let cfg = CvcpConfig {
+            n_folds: 4,
+            stratified: true,
+        };
+        let params = vec![2usize, 3, 4, 5, 6, 7];
+        let engine = Engine::new(8);
+        for round in 0..5u64 {
+            let (tx, rx) = mpsc::channel();
+            let mut rng = SeededRng::new(100 + round);
+            let sel = select_model_streaming(
+                &engine,
+                &MpckMethod::default(),
+                ds.matrix(),
+                &side,
+                &params,
+                &cfg,
+                &mut rng,
+                Priority::Interactive,
+                None,
+                move |p| tx.send(p).expect("receiver alive"),
+            )
+            .expect("no cancellation");
+            let events: Vec<SelectionProgress> = rx.iter().collect();
+            assert_eq!(
+                events.iter().map(|e| e.param).collect::<Vec<_>>(),
+                params,
+                "round {round}: events must arrive exactly once per candidate, in order"
+            );
+            assert_eq!(
+                events.iter().map(|e| e.completed).collect::<Vec<_>>(),
+                (1..=params.len()).collect::<Vec<_>>(),
+                "round {round}: completed must count 1..=total in order"
+            );
+            assert!(events.iter().all(|e| e.total == params.len()));
+            assert!(params.contains(&sel.best_param));
+        }
+    }
+
+    #[test]
+    fn selection_is_bit_identical_across_priority_lanes() {
+        let mut rng = SeededRng::new(9);
+        let ds = separated_blobs(3, 16, 3, 11.0, &mut rng);
+        let labeled = sample_labeled_subset(ds.labels(), 0.3, 2, &mut rng);
+        let side = SideInformation::Labels(labeled);
+        let cfg = CvcpConfig {
+            n_folds: 3,
+            stratified: true,
+        };
+        let params = vec![2usize, 3, 4];
+        let run = |priority: Priority| {
+            let engine = Engine::new(4);
+            let mut rng = SeededRng::new(55);
+            select_model_streaming(
+                &engine,
+                &MpckMethod::default(),
+                ds.matrix(),
+                &side,
+                &params,
+                &cfg,
+                &mut rng,
+                priority,
+                None,
+                |_| {},
+            )
+            .expect("no cancellation")
+        };
+        assert_eq!(run(Priority::Interactive), run(Priority::Batch));
     }
 
     #[test]

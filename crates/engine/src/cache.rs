@@ -192,6 +192,32 @@ pub enum ArtifactKey {
 }
 
 impl ArtifactKey {
+    /// The artifact-kind names a [`CostProfile`] is keyed by, in canonical
+    /// order.
+    pub const KIND_NAMES: [&'static str; 7] = [
+        "pairwise_distances",
+        "core_distances",
+        "mutual_reachability_mst",
+        "density_hierarchy",
+        "fold_closure",
+        "mpck_seeding",
+        "custom",
+    ];
+
+    /// The key's artifact-kind name (the granularity compute-time cost
+    /// profiles are learned and persisted at).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            ArtifactKey::PairwiseDistances { .. } => Self::KIND_NAMES[0],
+            ArtifactKey::CoreDistances { .. } => Self::KIND_NAMES[1],
+            ArtifactKey::MutualReachabilityMst { .. } => Self::KIND_NAMES[2],
+            ArtifactKey::DensityHierarchy { .. } => Self::KIND_NAMES[3],
+            ArtifactKey::FoldClosure { .. } => Self::KIND_NAMES[4],
+            ArtifactKey::MpckSeeding { .. } => Self::KIND_NAMES[5],
+            ArtifactKey::Custom { .. } => Self::KIND_NAMES[6],
+        }
+    }
+
     /// Deterministic routing hash over the key's content — deliberately
     /// *not* `std::hash::Hash` (whose `RandomState` seeds differ per map),
     /// so shard assignment is identical across runs, threads and processes
@@ -324,6 +350,45 @@ impl EvictionPolicy {
 /// Hard ceiling on the shard count (itself a power of two).
 pub const MAX_SHARDS: usize = 1024;
 
+/// Weight of the newest measurement in the per-kind compute-time EWMA:
+/// `ewma' = (1 - w)·ewma + w·measured` (the first sample of a kind sets
+/// the EWMA outright).
+const COST_EWMA_WEIGHT: f64 = 0.3;
+
+/// One artifact kind's learned compute-time average.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostProfileEntry {
+    /// The artifact-kind name (see [`ArtifactKey::kind_name`]).
+    pub kind: &'static str,
+    /// Exponentially-weighted moving average of the kind's compute time,
+    /// in nanoseconds.
+    pub ewma_nanos: f64,
+    /// Number of measurements folded into the EWMA (including any carried
+    /// over from a preloaded profile).
+    pub samples: u64,
+}
+
+/// Per-artifact-kind compute-time EWMAs — the recompute-cost knowledge the
+/// [`EvictionPolicy::CostBenefit`] policy scores victims with.
+///
+/// The profile is updated at every commit and can be exported
+/// ([`ArtifactCache::cost_profile`]) and preloaded into a fresh cache
+/// ([`ArtifactCache::preload_cost_profile`]), so a cold serving engine
+/// starts with the weights a previous process learned instead of treating
+/// its first artifact of each kind as the sole evidence.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CostProfile {
+    /// One entry per observed kind, in [`ArtifactKey::KIND_NAMES`] order.
+    pub entries: Vec<CostProfileEntry>,
+}
+
+/// In-memory per-kind EWMA state.
+#[derive(Debug, Clone, Copy, Default)]
+struct KindCost {
+    ewma_nanos: f64,
+    samples: u64,
+}
+
 /// Memory budget and layout of an [`ArtifactCache`].
 ///
 /// `None` means "unbounded" for either budget knob.  Budgets apply to
@@ -427,8 +492,9 @@ struct Node {
     /// `Some(bytes)` once the artifact is computed *and* committed to the
     /// resident accounting; `None` while the computation is in flight.
     bytes: Option<usize>,
-    /// Wall-clock nanoseconds the artifact took to compute, recorded at
-    /// commit — the recompute-cost profile [`EvictionPolicy::CostBenefit`]
+    /// Estimated recompute cost in nanoseconds, recorded at commit: the
+    /// measured wall-clock compute time folded into the artifact kind's
+    /// EWMA (see [`CostProfile`]) — what [`EvictionPolicy::CostBenefit`]
     /// scores victims with.
     cost_nanos: u64,
     /// Previous node on the LRU list (towards the LRU head), or [`NIL`].
@@ -703,6 +769,9 @@ pub struct ArtifactCache {
     shard_max_entries: Option<usize>,
     policy: EvictionPolicy,
     config: CacheConfig,
+    /// Per-kind compute-time EWMAs (one global map — commits are rare
+    /// relative to lookups, so the extra lock is off the hot hit path).
+    profile: Mutex<HashMap<&'static str, KindCost>>,
 }
 
 impl Default for ArtifactCache {
@@ -743,7 +812,69 @@ impl ArtifactCache {
             shard_max_entries: config.max_entries.map(|e| e / n),
             policy: config.policy,
             config,
+            profile: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Snapshot of the per-kind compute-time EWMAs, in
+    /// [`ArtifactKey::KIND_NAMES`] order (kinds with no samples omitted).
+    pub fn cost_profile(&self) -> CostProfile {
+        let profile = self.profile.lock().expect("cost profile lock");
+        CostProfile {
+            entries: ArtifactKey::KIND_NAMES
+                .iter()
+                .filter_map(|&kind| {
+                    profile.get(kind).map(|c| CostProfileEntry {
+                        kind,
+                        ewma_nanos: c.ewma_nanos,
+                        samples: c.samples,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Seeds the per-kind compute-time EWMAs from a previously exported
+    /// [`CostProfile`], so a cold cache scores its first
+    /// [`EvictionPolicy::CostBenefit`] victims with learned weights
+    /// instead of single-sample measurements.  Unknown kind names are
+    /// ignored; entries without samples are ignored too.  Victim choice is
+    /// a pure time/space trade — preloading can never change cached
+    /// values or results.
+    pub fn preload_cost_profile(&self, profile: &CostProfile) {
+        let mut map = self.profile.lock().expect("cost profile lock");
+        for entry in &profile.entries {
+            if entry.samples == 0 || !entry.ewma_nanos.is_finite() || entry.ewma_nanos < 0.0 {
+                continue;
+            }
+            if let Some(&kind) = ArtifactKey::KIND_NAMES.iter().find(|&&k| k == entry.kind) {
+                map.insert(
+                    kind,
+                    KindCost {
+                        ewma_nanos: entry.ewma_nanos,
+                        samples: entry.samples,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Folds one measured compute time into the key's kind EWMA and
+    /// returns the smoothed estimate — the recompute cost recorded on the
+    /// committed node.  Smoothing keeps one noisy wall-clock measurement
+    /// (a loaded machine, a cold file cache) from dominating victim
+    /// selection, and lets a preloaded profile inform the first
+    /// evictions of a cold cache.
+    fn smoothed_cost(&self, key: &ArtifactKey, measured_nanos: u64) -> u64 {
+        let mut map = self.profile.lock().expect("cost profile lock");
+        let entry = map.entry(key.kind_name()).or_default();
+        entry.samples = entry.samples.saturating_add(1);
+        entry.ewma_nanos = if entry.samples == 1 {
+            measured_nanos as f64
+        } else {
+            (1.0 - COST_EWMA_WEIGHT) * entry.ewma_nanos + COST_EWMA_WEIGHT * measured_nanos as f64
+        };
+        entry.ewma_nanos as u64
     }
 
     /// The cache's configuration (with the shard count normalized).
@@ -883,6 +1014,10 @@ impl ArtifactCache {
     /// e.g. by [`Self::clear`] — the bytes are simply not counted as
     /// resident.
     fn commit(&self, shard: &Shard, key: ArtifactKey, slot: &Slot, bytes: usize, cost_nanos: u64) {
+        // The kind EWMA learns from every computation — including ones
+        // whose artifact cannot stay resident — and the node records the
+        // smoothed estimate rather than the raw one-shot measurement.
+        let cost_nanos = self.smoothed_cost(&key, cost_nanos);
         let mut map = shard.map.lock().expect("artifact cache shard lock");
         // Over-budget singleton bypass: an artifact that alone exceeds the
         // shard's byte slice (or any artifact, when the entry slice is 0)
@@ -1482,6 +1617,109 @@ mod tests {
         );
         assert_eq!(cache.stats().evictions, 1);
         cache.assert_accounting_consistent();
+    }
+
+    #[test]
+    fn cost_profile_learns_per_kind_ewmas() {
+        let cache = ArtifactCache::new();
+        let _: Arc<u64> = cache.get_or_compute(custom(1), || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            1
+        });
+        let _: Arc<u64> = cache.get_or_compute(ArtifactKey::PairwiseDistances { data: 9 }, || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            2
+        });
+        // A hit must not add a sample.
+        let _: Arc<u64> = cache.get_or_compute(custom(1), || 1);
+        let profile = cache.cost_profile();
+        assert_eq!(profile.entries.len(), 2);
+        // KIND_NAMES order: pairwise before custom.
+        assert_eq!(profile.entries[0].kind, "pairwise_distances");
+        assert_eq!(profile.entries[0].samples, 1);
+        assert!(profile.entries[0].ewma_nanos >= 2e6);
+        assert_eq!(profile.entries[1].kind, "custom");
+        assert_eq!(profile.entries[1].samples, 1);
+        assert!(profile.entries[1].ewma_nanos >= 5e6);
+    }
+
+    #[test]
+    fn preloaded_cost_profile_seeds_the_kind_ewmas() {
+        let warm = ArtifactCache::new();
+        let _: Arc<u64> = warm.get_or_compute(custom(1), || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            1
+        });
+        let exported = warm.cost_profile();
+
+        let cold = ArtifactCache::new();
+        cold.preload_cost_profile(&exported);
+        let reloaded = cold.cost_profile();
+        assert_eq!(reloaded, exported, "preload must round-trip the profile");
+
+        // The first measurement on the cold cache blends with the learned
+        // prior instead of replacing it: a ~0 ms compute lands well above
+        // zero (at (1 - w)·prior) because the prior was ~20 ms.
+        let _: Arc<u64> = cold.get_or_compute(custom(2), || 2);
+        let after = cold.cost_profile();
+        assert_eq!(after.entries[0].samples, 2);
+        assert!(
+            after.entries[0].ewma_nanos >= 0.5 * exported.entries[0].ewma_nanos,
+            "cold-start estimate {} must be anchored by the preloaded prior {}",
+            after.entries[0].ewma_nanos,
+            exported.entries[0].ewma_nanos
+        );
+
+        // Unknown kinds and empty entries are ignored.
+        let fresh = ArtifactCache::new();
+        fresh.preload_cost_profile(&CostProfile {
+            entries: vec![
+                CostProfileEntry {
+                    kind: "warp_drive",
+                    ewma_nanos: 1e9,
+                    samples: 3,
+                },
+                CostProfileEntry {
+                    kind: "custom",
+                    ewma_nanos: 1e6,
+                    samples: 0,
+                },
+            ],
+        });
+        assert!(fresh.cost_profile().entries.is_empty());
+    }
+
+    #[test]
+    fn kind_names_cover_every_key_variant() {
+        let keys = [
+            ArtifactKey::PairwiseDistances { data: 1 },
+            ArtifactKey::CoreDistances {
+                data: 1,
+                min_pts: 2,
+            },
+            ArtifactKey::MutualReachabilityMst {
+                data: 1,
+                min_pts: 2,
+            },
+            ArtifactKey::DensityHierarchy {
+                data: 1,
+                min_pts: 2,
+                min_cluster_size: 2,
+            },
+            ArtifactKey::FoldClosure { side: 1, fold: 0 },
+            ArtifactKey::MpckSeeding {
+                data: 1,
+                constraints: 2,
+                use_closure: true,
+            },
+            custom(1),
+        ];
+        for key in keys {
+            assert!(
+                ArtifactKey::KIND_NAMES.contains(&key.kind_name()),
+                "{key:?} has an unlisted kind name"
+            );
+        }
     }
 
     #[test]

@@ -9,6 +9,11 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 
+/// A callback run exactly once when the engine is dropped, with access to
+/// its artifact cache (the seam the cost-profile persistence uses to dump
+/// learned per-kind compute-time EWMAs on shutdown).
+type DropHook = Box<dyn FnOnce(&ArtifactCache) + Send>;
+
 struct Prepared<T> {
     f: crate::graph::JobFn<T>,
     rng: cvcp_data::rng::SeededRng,
@@ -25,6 +30,9 @@ struct ExecState<T> {
     cancelled: CancelToken,
     done_tx: Mutex<Option<mpsc::Sender<()>>>,
     cache: Arc<ArtifactCache>,
+    /// The pool lane the graph's jobs are queued on (from the graph's
+    /// [`crate::graph::Priority`]).
+    lane: usize,
 }
 
 /// Records `outcome` for job `idx`, propagates skips through the DAG and
@@ -101,13 +109,14 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// unblocks, onto the pool.
 fn spawn_job<T: Send + 'static>(state: Arc<ExecState<T>>, pool: PoolHandle, idx: usize) {
     let task_pool = pool.clone();
+    let lane = state.lane;
     let task: Task = Box::new(move || {
         let outcome = run_job(&state, idx);
         for next in complete_job(&state, idx, outcome) {
             spawn_job(Arc::clone(&state), task_pool.clone(), next);
         }
     });
-    pool.spawn(task);
+    pool.spawn(task, lane);
 }
 
 /// How a submitted graph will be driven to completion.
@@ -183,6 +192,7 @@ pub struct Engine {
     pool: Option<ThreadPool>,
     cache: Arc<ArtifactCache>,
     n_threads: usize,
+    drop_hook: Mutex<Option<DropHook>>,
 }
 
 impl Engine {
@@ -208,7 +218,17 @@ impl Engine {
             pool: (n > 1).then(|| ThreadPool::new(n)),
             cache,
             n_threads: n,
+            drop_hook: Mutex::new(None),
         }
+    }
+
+    /// Installs a callback that runs exactly once when the engine is
+    /// dropped, with access to its artifact cache.  The serving front-end
+    /// uses this to persist the cache's learned cost profile on shutdown
+    /// (see [`ArtifactCache::cost_profile`]).  A later call replaces an
+    /// earlier hook.
+    pub fn set_drop_hook(&self, hook: impl FnOnce(&ArtifactCache) + Send + 'static) {
+        *self.drop_hook.lock().expect("drop hook lock") = Some(Box::new(hook));
     }
 
     /// The sequential engine: one thread, inline execution.
@@ -259,6 +279,7 @@ impl Engine {
     pub fn submit<T: Send + 'static>(&self, graph: JobGraph<T>) -> GraphHandle<T> {
         let n = graph.jobs.len();
         let base = graph.base_rng;
+        let lane = graph.priority.lane_index();
         let cancelled = graph.cancel_token.unwrap_or_default();
         let mut deps_remaining = Vec::with_capacity(n);
         let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -285,6 +306,7 @@ impl Engine {
             cancelled,
             done_tx: Mutex::new(Some(done_tx)),
             cache: Arc::clone(&self.cache),
+            lane,
         });
         let ready: BTreeSet<usize> = (0..n)
             .filter(|&i| state.deps_remaining[i].load(Ordering::SeqCst) == 0)
@@ -346,6 +368,14 @@ impl Engine {
             graph.add_job(&[], f);
         }
         self.run_graph(graph).expect_all("run_jobs")
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        if let Some(hook) = self.drop_hook.lock().expect("drop hook lock").take() {
+            hook(&self.cache);
+        }
     }
 }
 
@@ -585,6 +615,97 @@ mod tests {
         let stats = engine.cache_stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 7);
+    }
+
+    #[test]
+    fn interactive_graph_leapfrogs_queued_batch_jobs() {
+        // The starvation regression: two workers are occupied by batch
+        // jobs blocked on a gate, 40 more batch jobs are queued behind
+        // them, and only then is an interactive graph submitted.  Once the
+        // gate opens, the interactive job must run before (almost all of)
+        // the queued batch jobs — under the old single-lane FIFO injector
+        // it would have run after all 40.
+        use crate::graph::Priority;
+        let engine = Engine::new(2);
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = Arc::new(Mutex::new(release_rx));
+        let batch_done = Arc::new(AtomicUsize::new(0));
+        let mut batch: JobGraph<u32> = JobGraph::new(1);
+        batch.set_priority(Priority::Batch);
+        for _ in 0..2 {
+            let started_tx = started_tx.clone();
+            let release_rx = Arc::clone(&release_rx);
+            batch.add_job(&[], move |_| {
+                started_tx.send(()).expect("watcher alive");
+                release_rx
+                    .lock()
+                    .expect("release lock")
+                    .recv()
+                    .expect("release signal");
+                0
+            });
+        }
+        for _ in 0..40 {
+            let batch_done = Arc::clone(&batch_done);
+            batch.add_job(&[], move |_| {
+                batch_done.fetch_add(1, Ordering::SeqCst) as u32
+            });
+        }
+        let batch_handle = engine.submit(batch);
+        started_rx.recv().expect("first blocker started");
+        started_rx.recv().expect("second blocker started");
+
+        // Both workers blocked, 40 batch jobs queued; now the interactive
+        // graph arrives and records how much batch work ran before it.
+        let seen = Arc::clone(&batch_done);
+        let mut interactive: JobGraph<u32> = JobGraph::new(2);
+        interactive.add_job(&[], move |_| seen.load(Ordering::SeqCst) as u32);
+        let interactive_handle = engine.submit(interactive);
+        release_tx.send(()).expect("blocker alive");
+        release_tx.send(()).expect("blocker alive");
+        let seen_at_interactive = interactive_handle.wait().expect_all("interactive graph")[0];
+        assert!(
+            seen_at_interactive <= 4,
+            "interactive job observed {seen_at_interactive} completed batch jobs — it was \
+             starved behind the queued batch lane"
+        );
+        let batch_result = batch_handle.wait();
+        assert!(batch_result.all_completed());
+        assert_eq!(batch_done.load(Ordering::SeqCst), 40);
+    }
+
+    #[test]
+    fn priority_lane_does_not_change_results() {
+        use crate::graph::Priority;
+        let draws = |priority: Priority| -> Vec<u64> {
+            let engine = Engine::new(4);
+            let mut graph: JobGraph<u64> = JobGraph::new(77);
+            graph.set_priority(priority);
+            for _ in 0..16 {
+                graph.add_job(&[], |ctx| ctx.rng().next_u64());
+            }
+            engine.run_graph(graph).expect_all("lane draws")
+        };
+        assert_eq!(draws(Priority::Interactive), draws(Priority::Batch));
+    }
+
+    #[test]
+    fn drop_hook_runs_once_with_the_cache() {
+        use crate::cache::ArtifactKey;
+        let ran = Arc::new(AtomicUsize::new(0));
+        {
+            let engine = Engine::new(1);
+            let _: Arc<u64> = engine
+                .cache()
+                .get_or_compute(ArtifactKey::Custom { domain: 3, key: 3 }, || 9);
+            let ran = Arc::clone(&ran);
+            engine.set_drop_hook(move |cache| {
+                assert_eq!(cache.stats().resident_entries, 1);
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
     }
 
     #[test]

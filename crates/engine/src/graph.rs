@@ -21,6 +21,66 @@ use cvcp_data::rng::SeededRng;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+/// Scheduling lane of a submitted graph.
+///
+/// The engine's worker pool keeps two lanes of queues and always drains
+/// the [`Priority::Interactive`] lane first: jobs of an interactive graph
+/// overtake *queued* (not yet started) jobs of any batch graph, so a
+/// latency-sensitive selection request is never stuck behind a large
+/// experiment fan-out.  Within a lane, queues keep their usual order
+/// (local LIFO, injector FIFO, steal-oldest).
+///
+/// Priority is pure scheduling: every job draws from its own salted RNG
+/// stream, so results are **bit-identical across lanes** — only waiting
+/// time changes.  Note that the lane is strict: batch work only runs while
+/// no interactive job is queued, so a saturating interactive stream can
+/// starve batch graphs (acceptable for this workload, where interactive
+/// requests are short).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// Latency-sensitive work (served selection requests); drained first.
+    #[default]
+    Interactive,
+    /// Throughput work (experiment fan-outs); drained when no interactive
+    /// job is queued.
+    Batch,
+}
+
+/// Number of scheduling lanes — one queue set per [`Priority`] variant,
+/// drained in ascending [`Priority::lane_index`] order.  Shared by the
+/// engine's pool and any priority-aware queue in front of it (e.g. the
+/// serving front-end's admission queue), so the mapping cannot drift.
+pub const N_LANES: usize = 2;
+
+impl Priority {
+    /// Parses a lane name (`interactive` / `batch`); `None` otherwise.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "interactive" => Some(Self::Interactive),
+            "batch" => Some(Self::Batch),
+            _ => None,
+        }
+    }
+
+    /// The canonical lane name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Interactive => "interactive",
+            Self::Batch => "batch",
+        }
+    }
+
+    /// The lane's queue index, in `0..`[`N_LANES`]: lanes are drained in
+    /// ascending index order, so interactive (0) always precedes batch
+    /// (1).
+    pub fn lane_index(self) -> usize {
+        match self {
+            Self::Interactive => 0,
+            Self::Batch => 1,
+        }
+    }
+}
+
 /// A shareable cancellation flag.
 ///
 /// A token can be bound to a [`JobGraph`] before submission
@@ -103,6 +163,7 @@ pub struct JobGraph<T> {
     pub(crate) base_rng: SeededRng,
     pub(crate) jobs: Vec<GraphJob<T>>,
     pub(crate) cancel_token: Option<CancelToken>,
+    pub(crate) priority: Priority,
 }
 
 impl<T> JobGraph<T> {
@@ -119,6 +180,7 @@ impl<T> JobGraph<T> {
             base_rng,
             jobs: Vec::new(),
             cancel_token: None,
+            priority: Priority::default(),
         }
     }
 
@@ -128,6 +190,18 @@ impl<T> JobGraph<T> {
     /// reachable through its handle.
     pub fn set_cancel_token(&mut self, token: CancelToken) {
         self.cancel_token = Some(token);
+    }
+
+    /// Chooses the scheduling lane the graph's jobs are queued on
+    /// (default: [`Priority::Interactive`]).  Pure scheduling — results
+    /// are bit-identical across lanes.
+    pub fn set_priority(&mut self, priority: Priority) {
+        self.priority = priority;
+    }
+
+    /// The graph's scheduling lane.
+    pub fn priority(&self) -> Priority {
+        self.priority
     }
 
     /// Adds a job depending on `deps`, salted by its insertion index.

@@ -60,14 +60,15 @@ mod pool;
 
 pub use cache::{
     fingerprint_indices, fingerprint_matrix, ArtifactCache, ArtifactKey, ArtifactSize, CacheConfig,
-    CacheStats, EvictionPolicy, Fingerprint, FingerprintBuilder, ShardStats, MAX_SHARDS,
+    CacheStats, CostProfile, CostProfileEntry, EvictionPolicy, Fingerprint, FingerprintBuilder,
+    ShardStats, MAX_SHARDS,
 };
 pub use engine::{Engine, GraphHandle};
-pub use graph::{CancelToken, GraphResult, JobCtx, JobGraph, JobId, JobOutcome};
+pub use graph::{CancelToken, GraphResult, JobCtx, JobGraph, JobId, JobOutcome, Priority, N_LANES};
 
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::cache::{ArtifactCache, ArtifactKey, ArtifactSize, CacheConfig, EvictionPolicy};
     pub use crate::engine::Engine;
-    pub use crate::graph::{CancelToken, JobCtx, JobGraph};
+    pub use crate::graph::{CancelToken, JobCtx, JobGraph, Priority};
 }

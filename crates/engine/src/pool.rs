@@ -1,19 +1,25 @@
-//! A work-stealing thread pool built on `std::thread` + condvar wake-ups.
+//! A work-stealing thread pool built on `std::thread` + condvar wake-ups,
+//! with two priority lanes.
 //!
-//! Each worker owns a local deque; tasks spawned *from* a worker go to that
-//! worker's deque (LIFO — the continuation of a job is cache-hot), tasks
-//! submitted from outside go to a shared injector queue (FIFO), and idle
-//! workers steal the *oldest* task from the most loaded sibling.  All queues
-//! live behind one mutex: with `unsafe` forbidden workspace-wide a lock-free
-//! Chase–Lev deque is off the table, and at this workload's job granularity
-//! (one clustering run per job, ≥ 100 µs) the single lock is invisible in
-//! profiles — the *policy* (local LIFO, steal-oldest) is what matters for
-//! cache behaviour.
+//! Each worker owns one local deque *per lane*; tasks spawned *from* a
+//! worker go to that worker's deque for the task's lane (LIFO — the
+//! continuation of a job is cache-hot), tasks submitted from outside go to
+//! the lane's shared injector queue (FIFO), and idle workers steal the
+//! *oldest* task from the most loaded sibling.  Workers always drain the
+//! interactive lane (index 0) completely before touching the batch lane:
+//! an interactive graph submitted while a large batch graph is queued
+//! overtakes every batch job that has not started yet (see
+//! [`crate::graph::Priority`]).  All queues live behind one mutex: with
+//! `unsafe` forbidden workspace-wide a lock-free Chase–Lev deque is off the
+//! table, and at this workload's job granularity (one clustering run per
+//! job, ≥ 100 µs) the single lock is invisible in profiles — the *policy*
+//! (interactive first, local LIFO, steal-oldest) is what matters.
 //!
 //! Panic isolation: a panicking task never takes down its worker; the panic
 //! is caught and the worker returns to the queue loop, so a failed job
 //! cannot poison the pool (verified by `tests/engine_determinism.rs`).
 
+use crate::graph::N_LANES;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -34,8 +40,8 @@ thread_local! {
 }
 
 struct State {
-    injector: VecDeque<Task>,
-    locals: Vec<VecDeque<Task>>,
+    injectors: [VecDeque<Task>; N_LANES],
+    locals: Vec<[VecDeque<Task>; N_LANES]>,
     shutdown: bool,
 }
 
@@ -52,15 +58,17 @@ pub(crate) struct PoolHandle {
 }
 
 impl PoolHandle {
-    /// Enqueues a task: on one of *this* pool's worker threads onto that
-    /// worker's local deque, otherwise onto the shared injector.
-    pub(crate) fn spawn(&self, task: Task) {
+    /// Enqueues a task on the given lane: on one of *this* pool's worker
+    /// threads onto that worker's local deque, otherwise onto the lane's
+    /// shared injector.
+    pub(crate) fn spawn(&self, task: Task, lane: usize) {
+        debug_assert!(lane < N_LANES);
         let mut state = self.inner.state.lock().expect("pool lock");
         match WORKER.with(Cell::get) {
             Some((pool, me)) if pool == self.inner.id && me < state.locals.len() => {
-                state.locals[me].push_back(task)
+                state.locals[me][lane].push_back(task)
             }
-            _ => state.injector.push_back(task),
+            _ => state.injectors[lane].push_back(task),
         }
         drop(state);
         self.inner.work_available.notify_one();
@@ -82,8 +90,10 @@ impl ThreadPool {
         let inner = Arc::new(Inner {
             id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
             state: Mutex::new(State {
-                injector: VecDeque::new(),
-                locals: (0..n).map(|_| VecDeque::new()).collect(),
+                injectors: std::array::from_fn(|_| VecDeque::new()),
+                locals: (0..n)
+                    .map(|_| std::array::from_fn(|_| VecDeque::new()))
+                    .collect(),
                 shutdown: false,
             }),
             work_available: Condvar::new(),
@@ -134,29 +144,35 @@ impl Drop for ThreadPool {
     }
 }
 
+/// Finds the next task for worker `me` on `lane`: own deque first
+/// (newest-first — the continuation of the job this worker just ran is the
+/// cache-hot one), then the lane's shared injector (oldest-first,
+/// submission order), then the *oldest* task of the most loaded sibling.
+fn next_task_on_lane(state: &mut State, me: usize, lane: usize) -> Option<Task> {
+    if let Some(task) = state.locals[me][lane].pop_back() {
+        return Some(task);
+    }
+    if let Some(task) = state.injectors[lane].pop_front() {
+        return Some(task);
+    }
+    let victim = (0..state.locals.len())
+        .filter(|&i| i != me)
+        .max_by_key(|&i| state.locals[i][lane].len())
+        .filter(|&i| !state.locals[i][lane].is_empty());
+    victim.and_then(|v| state.locals[v][lane].pop_front())
+}
+
 fn worker_loop(inner: &Inner, me: usize) {
     WORKER.with(|cell| cell.set(Some((inner.id, me))));
     loop {
         let task = {
             let mut state = inner.state.lock().expect("pool lock");
-            loop {
-                // Own deque first, newest-first: the continuation of the job
-                // this worker just ran is the cache-hot one.
-                if let Some(task) = state.locals[me].pop_back() {
-                    break task;
-                }
-                // Then the shared injector, oldest-first (submission order).
-                if let Some(task) = state.injector.pop_front() {
-                    break task;
-                }
-                // Then steal the *oldest* task from the most loaded sibling.
-                let victim = (0..state.locals.len())
-                    .filter(|&i| i != me)
-                    .max_by_key(|&i| state.locals[i].len())
-                    .filter(|&i| !state.locals[i].is_empty());
-                if let Some(v) = victim {
-                    if let Some(task) = state.locals[v].pop_front() {
-                        break task;
+            'wait: loop {
+                // Lanes in priority order: the batch lane is only touched
+                // when no interactive task is queued anywhere.
+                for lane in 0..N_LANES {
+                    if let Some(task) = next_task_on_lane(&mut state, me, lane) {
+                        break 'wait task;
                     }
                 }
                 if state.shutdown {
@@ -177,19 +193,26 @@ mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::mpsc;
 
+    const INTERACTIVE: usize = 0;
+    const BATCH: usize = 1;
+
     #[test]
     fn runs_submitted_tasks_on_all_workers() {
         let pool = ThreadPool::new(4);
         let handle = pool.handle();
         let counter = Arc::new(AtomicUsize::new(0));
         let (tx, rx) = mpsc::channel();
-        for _ in 0..64 {
+        for i in 0..64 {
             let counter = Arc::clone(&counter);
             let tx = tx.clone();
-            handle.spawn(Box::new(move || {
-                counter.fetch_add(1, Ordering::SeqCst);
-                tx.send(()).unwrap();
-            }));
+            let lane = i % N_LANES;
+            handle.spawn(
+                Box::new(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    tx.send(()).unwrap();
+                }),
+                lane,
+            );
         }
         for _ in 0..64 {
             rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
@@ -202,10 +225,10 @@ mod tests {
         let pool = ThreadPool::new(2);
         let handle = pool.handle();
         let (tx, rx) = mpsc::channel();
-        handle.spawn(Box::new(|| panic!("boom")));
+        handle.spawn(Box::new(|| panic!("boom")), INTERACTIVE);
         // Give the panic a chance to land first.
         std::thread::sleep(std::time::Duration::from_millis(20));
-        handle.spawn(Box::new(move || tx.send(42).unwrap()));
+        handle.spawn(Box::new(move || tx.send(42).unwrap()), INTERACTIVE);
         assert_eq!(
             rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap(),
             42
@@ -218,10 +241,13 @@ mod tests {
         let handle = pool.handle();
         let (tx, rx) = mpsc::channel();
         let inner_handle = handle.clone();
-        handle.spawn(Box::new(move || {
-            // spawned from a worker → lands on the local deque
-            inner_handle.spawn(Box::new(move || tx.send(7).unwrap()));
-        }));
+        handle.spawn(
+            Box::new(move || {
+                // spawned from a worker → lands on the local deque
+                inner_handle.spawn(Box::new(move || tx.send(7).unwrap()), BATCH);
+            }),
+            BATCH,
+        );
         assert_eq!(
             rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap(),
             7
@@ -232,5 +258,62 @@ mod tests {
     fn zero_threads_is_clamped_to_one() {
         let pool = ThreadPool::new(0);
         assert_eq!(pool.n_threads(), 1);
+    }
+
+    #[test]
+    fn interactive_lane_drains_before_queued_batch_tasks() {
+        // One worker, fully deterministic: while the worker is blocked on a
+        // gate task, three batch tasks and then two interactive tasks are
+        // queued.  On release the worker must run the interactive tasks
+        // first, even though the batch tasks were submitted earlier.
+        let pool = ThreadPool::new(1);
+        let handle = pool.handle();
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        handle.spawn(
+            Box::new(move || {
+                started_tx.send(()).unwrap();
+                gate_rx.recv().unwrap();
+            }),
+            BATCH,
+        );
+        started_rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        for label in ["b1", "b2", "b3"] {
+            let order = Arc::clone(&order);
+            let done_tx = done_tx.clone();
+            handle.spawn(
+                Box::new(move || {
+                    order.lock().unwrap().push(label);
+                    done_tx.send(()).unwrap();
+                }),
+                BATCH,
+            );
+        }
+        for label in ["i1", "i2"] {
+            let order = Arc::clone(&order);
+            let done_tx = done_tx.clone();
+            handle.spawn(
+                Box::new(move || {
+                    order.lock().unwrap().push(label);
+                    done_tx.send(()).unwrap();
+                }),
+                INTERACTIVE,
+            );
+        }
+        gate_tx.send(()).unwrap();
+        for _ in 0..5 {
+            done_rx
+                .recv_timeout(std::time::Duration::from_secs(5))
+                .unwrap();
+        }
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec!["i1", "i2", "b1", "b2", "b3"],
+            "interactive tasks must overtake earlier-queued batch tasks, FIFO within each lane"
+        );
     }
 }

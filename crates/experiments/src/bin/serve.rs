@@ -8,9 +8,14 @@
 //! * `CVCP_THREADS` — engine worker threads (default: hardware);
 //! * `CVCP_CACHE_MAX_MB` / `CVCP_CACHE_MAX_ENTRIES` — artifact-cache
 //!   budget (default: unbounded);
+//! * `CVCP_CACHE_COST_PROFILE` — path for persisting the per-artifact-kind
+//!   compute-time EWMAs across restarts (reloaded at startup, dumped on
+//!   shutdown), so a cold serve starts with learned cost-benefit weights;
 //! * `CVCP_ADDR` — listen address;
 //! * `CVCP_QUEUE_DEPTH` — request queue capacity (default 32);
-//! * `CVCP_SERVER_WORKERS` — concurrent selection workers (default 2).
+//! * `CVCP_SERVER_WORKERS` — concurrent selection workers (default 2);
+//! * `CVCP_DEFAULT_PRIORITY` — scheduling lane for requests without an
+//!   explicit `"priority"` field: `interactive` (default) or `batch`.
 //!
 //! Drive it with the `cvcp-client` example of `cvcp-server`, e.g.:
 //!
@@ -22,7 +27,7 @@
 //!
 //! The process runs until a client sends `{"type":"shutdown"}`.
 
-use cvcp_experiments::engine_from_env;
+use cvcp_experiments::{cost_profile_path_from_env, engine_from_env, save_cost_profile};
 use cvcp_server::{Server, ServerConfig};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -38,11 +43,13 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "cvcp-server listening on {} ({} engine threads, {} workers, queue depth {})",
+        "cvcp-server listening on {} ({} engine threads, {} workers, queue depth {}, \
+         default priority {})",
         server.local_addr(),
         engine.n_threads(),
         config.workers,
-        config.queue_depth
+        config.queue_depth,
+        config.default_priority.name(),
     );
     let cache = engine.cache().config();
     match (cache.max_bytes, cache.max_entries) {
@@ -53,7 +60,18 @@ fn main() -> ExitCode {
             entries.map_or("-".to_string(), |e| e.to_string()),
         ),
     }
+    if let Some(path) = cost_profile_path_from_env() {
+        println!("cost profile: persisted at {}", path.display());
+    }
     server.wait();
+    // Persist the learned cost profile eagerly: the engine's drop hook
+    // (installed by `engine_from_env`) covers the normal teardown, but
+    // detached connection threads may still hold an engine reference at
+    // process exit — the explicit save makes shutdown persistence
+    // unconditional (writing the same profile twice is harmless).
+    if let Some(path) = cost_profile_path_from_env() {
+        save_cost_profile(engine.cache(), &path);
+    }
     println!("cvcp-server shut down");
     ExitCode::SUCCESS
 }

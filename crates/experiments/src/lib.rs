@@ -16,9 +16,11 @@ use cvcp_core::experiment::{
 };
 use cvcp_core::{CvcpConfig, FoscMethod, MpckMethod, ParameterizedMethod};
 use cvcp_data::Dataset;
-use cvcp_engine::{CacheConfig, Engine, EvictionPolicy};
+use cvcp_engine::{
+    ArtifactCache, CacheConfig, CostProfile, CostProfileEntry, Engine, EvictionPolicy,
+};
 use cvcp_metrics::stats::{mean, std_dev};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 
 pub use cvcp_core::json;
@@ -148,8 +150,100 @@ pub fn threads_from_env() -> usize {
 /// Builds an engine from the environment knobs ([`threads_from_env`] +
 /// [`cache_config_from_env`]) — the one configuration path shared by the
 /// experiment binaries ([`shared_engine`]) and the `serve` front-end.
+///
+/// When `CVCP_CACHE_COST_PROFILE=<path>` is set, the per-artifact-kind
+/// compute-time EWMAs are reloaded from that file (when it exists and
+/// parses) so a cold engine starts with learned
+/// [`EvictionPolicy::CostBenefit`] weights, and a drop hook is installed
+/// that dumps the updated profile back to the same path when the engine
+/// shuts down.  Profiles are pure scheduling/eviction hints — they can
+/// never change results.
 pub fn engine_from_env() -> Engine {
-    Engine::with_cache_config(threads_from_env(), cache_config_from_env())
+    let engine = Engine::with_cache_config(threads_from_env(), cache_config_from_env());
+    if let Some(path) = cost_profile_path_from_env() {
+        if let Some(profile) = load_cost_profile(&path) {
+            engine.cache().preload_cost_profile(&profile);
+        }
+        engine.set_drop_hook(move |cache| save_cost_profile(cache, &path));
+    }
+    engine
+}
+
+/// The cost-profile persistence path, from `CVCP_CACHE_COST_PROFILE`
+/// (unset or empty: no persistence).
+pub fn cost_profile_path_from_env() -> Option<PathBuf> {
+    std::env::var("CVCP_CACHE_COST_PROFILE")
+        .ok()
+        .map(|v| v.trim().to_string())
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+}
+
+/// Serialises a [`CostProfile`] to its JSON document:
+/// `{"cost_profile":[{"kind":…,"ewma_nanos":…,"samples":…},…]}`.
+pub fn cost_profile_to_json(profile: &CostProfile) -> Json {
+    Json::obj([(
+        "cost_profile",
+        Json::Arr(
+            profile
+                .entries
+                .iter()
+                .map(|e| {
+                    Json::obj([
+                        ("kind", e.kind.to_json()),
+                        ("ewma_nanos", e.ewma_nanos.to_json()),
+                        ("samples", e.samples.to_json()),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
+/// Parses a [`CostProfile`] from its JSON document.  Entries with unknown
+/// kind names are dropped (they could come from a newer build);
+/// structurally broken entries make the whole parse fail.
+pub fn cost_profile_from_json(doc: &Json) -> Option<CostProfile> {
+    let entries = doc.get("cost_profile")?.as_arr()?;
+    let mut profile = CostProfile::default();
+    for entry in entries {
+        let kind_name = entry.get("kind")?.as_str()?;
+        let ewma_nanos = entry.get("ewma_nanos")?.as_f64()?;
+        let samples = entry.get("samples")?.as_u64()?;
+        // Kind names are interned against the engine's canonical list;
+        // names this build does not know are skipped, not fatal.
+        if let Some(&kind) = cvcp_engine::ArtifactKey::KIND_NAMES
+            .iter()
+            .find(|&&k| k == kind_name)
+        {
+            profile.entries.push(CostProfileEntry {
+                kind,
+                ewma_nanos,
+                samples,
+            });
+        }
+    }
+    Some(profile)
+}
+
+/// Loads a persisted cost profile; `None` when the file is missing or
+/// unparsable (a cold start simply begins with an empty profile).
+pub fn load_cost_profile(path: &Path) -> Option<CostProfile> {
+    let text = std::fs::read_to_string(path).ok()?;
+    cost_profile_from_json(&Json::parse(&text).ok()?)
+}
+
+/// Dumps the cache's current cost profile to `path` (pretty JSON).
+/// Failures are reported on stderr but never fatal — profile persistence
+/// is an optimisation, not a correctness requirement.
+pub fn save_cost_profile(cache: &ArtifactCache, path: &Path) {
+    let json = cost_profile_to_json(&cache.cost_profile()).pretty();
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!(
+            "warning: could not persist the cache cost profile to {}: {e}",
+            path.display()
+        );
+    }
 }
 
 /// The process-wide execution engine: every experiment binary multiplexes
@@ -188,7 +282,16 @@ pub fn run_experiment(
     spec: SideInfoSpec,
     config: &ExperimentConfig,
 ) -> Vec<cvcp_core::experiment::TrialOutcome> {
-    run_experiment_on(shared_engine(), method, dataset, spec, config)
+    let outcomes = run_experiment_on(shared_engine(), method, dataset, spec, config);
+    // The shared engine is a never-dropped static, so the drop hook
+    // installed by `engine_from_env` cannot fire for the experiment
+    // binaries — persist the learned cost profile after every experiment
+    // cell instead (a tiny JSON write next to seconds of evaluation, and
+    // crash-safe for long table runs).
+    if let Some(path) = cost_profile_path_from_env() {
+        save_cost_profile(shared_engine().cache(), &path);
+    }
+    outcomes
 }
 
 /// The evaluation corpus: the five UCI-style replicas (the ALOI collection is
@@ -667,6 +770,74 @@ mod tests {
         ]));
         assert_eq!(cfg.shards, 1);
         assert_eq!(cfg.policy, cvcp_engine::EvictionPolicy::Lru);
+    }
+
+    #[test]
+    fn cost_profile_json_round_trips() {
+        let profile = CostProfile {
+            entries: vec![
+                CostProfileEntry {
+                    kind: "pairwise_distances",
+                    ewma_nanos: 1.5e6,
+                    samples: 12,
+                },
+                CostProfileEntry {
+                    kind: "mpck_seeding",
+                    ewma_nanos: 42.0,
+                    samples: 1,
+                },
+            ],
+        };
+        let doc = cost_profile_to_json(&profile);
+        assert_eq!(cost_profile_from_json(&doc), Some(profile.clone()));
+        // …through the actual emit/parse cycle too.
+        let reparsed = Json::parse(&doc.pretty()).expect("profile JSON parses");
+        assert_eq!(cost_profile_from_json(&reparsed), Some(profile));
+        // Unknown kinds are skipped, not fatal.
+        let foreign = Json::parse(
+            r#"{"cost_profile":[{"kind":"quantum_oracle","ewma_nanos":1,"samples":1}]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            cost_profile_from_json(&foreign),
+            Some(CostProfile::default())
+        );
+        // Structurally broken documents fail as a whole.
+        let broken = Json::parse(r#"{"cost_profile":[{"kind":"custom"}]}"#).unwrap();
+        assert_eq!(cost_profile_from_json(&broken), None);
+    }
+
+    #[test]
+    fn cost_profile_survives_a_save_load_cycle() {
+        let cache = ArtifactCache::new();
+        let _: std::sync::Arc<u64> = cache.get_or_compute(
+            cvcp_engine::ArtifactKey::Custom { domain: 5, key: 5 },
+            || {
+                std::thread::sleep(std::time::Duration::from_millis(3));
+                7
+            },
+        );
+        let exported = cache.cost_profile();
+        assert_eq!(exported.entries.len(), 1);
+
+        let path = output_dir().join("cost_profile_roundtrip_test.json");
+        save_cost_profile(&cache, &path);
+        let loaded = load_cost_profile(&path).expect("saved profile loads");
+        assert_eq!(loaded, exported);
+
+        // A cold cache preloaded from the file reports the same profile.
+        let cold = ArtifactCache::new();
+        cold.preload_cost_profile(&loaded);
+        assert_eq!(cold.cost_profile(), exported);
+        let _ = std::fs::remove_file(&path);
+
+        // Missing files are a clean cold start.
+        assert_eq!(
+            load_cost_profile(std::path::Path::new(
+                "target/experiments/definitely_absent.json"
+            )),
+            None
+        );
     }
 
     #[test]

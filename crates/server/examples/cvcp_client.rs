@@ -21,8 +21,13 @@
 //! cvcp-client --addr 127.0.0.1:7878 --mode select --algorithm fosc \
 //!     --dataset aloi:0 --params 3,6,9,12 --labels 0.2 --folds 5 --seed 42
 //! ```
+//!
+//! `--priority interactive|batch` picks the request's scheduling lane
+//! (omitted: the server's default, normally interactive).  Batch requests
+//! are overtaken by interactive ones at the server queue and inside the
+//! engine's worker pool; the lane never changes results.
 
-use cvcp_core::{Algorithm, Engine, SelectionRequest, SideInfoSpec};
+use cvcp_core::{Algorithm, Engine, Priority, SelectionRequest, SideInfoSpec};
 use cvcp_server::{RankedSelection, Request, Response};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -41,6 +46,7 @@ struct Options {
     id: String,
     verify: bool,
     threads: usize,
+    priority: Option<Priority>,
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -56,6 +62,7 @@ fn parse_options() -> Result<Options, String> {
         id: String::new(),
         verify: true,
         threads: 4,
+        priority: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -102,6 +109,13 @@ fn parse_options() -> Result<Options, String> {
             "--id" => opts.id = value()?.to_string(),
             "--verify" => opts.verify = value()?.parse().map_err(|_| "bad --verify")?,
             "--threads" => opts.threads = value()?.parse().map_err(|_| "bad --threads")?,
+            "--priority" => {
+                let name = value()?;
+                opts.priority = Some(
+                    Priority::parse(name)
+                        .ok_or_else(|| format!("unknown priority {name:?} (interactive|batch)"))?,
+                );
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
         i += 1;
@@ -127,6 +141,7 @@ fn selection_request(opts: &Options) -> SelectionRequest {
         n_folds: opts.n_folds,
         stratified: true,
         seed: opts.seed,
+        priority: opts.priority,
     }
 }
 
@@ -309,6 +324,14 @@ fn main() -> ExitCode {
                     stats.cache.hit_rate() * 100.0,
                     stats.cache.resident_entries,
                     stats.cache.resident_bytes,
+                );
+                println!(
+                    "queue: {}/{} queued (interactive {}, batch {}) | {} worker(s)",
+                    stats.queue_depth,
+                    stats.queue_capacity,
+                    stats.queue_interactive,
+                    stats.queue_batch,
+                    stats.workers,
                 );
                 for (i, s) in stats.cache_shards.iter().enumerate() {
                     println!(

@@ -33,6 +33,13 @@
 //! counters); a full request queue answers `queue_full` immediately
 //! instead of blocking.
 //!
+//! Requests may carry an optional `"priority"` field (`"interactive"` /
+//! `"batch"`, default interactive or `CVCP_DEFAULT_PRIORITY`): the
+//! request queue and the engine's worker pool both drain the interactive
+//! lane first, so a latency-sensitive selection overtakes queued batch
+//! work — at the queue *and* at the job level, while a batch graph is
+//! already in flight.  The lane never changes results.
+//!
 //! ```no_run
 //! use cvcp_engine::Engine;
 //! use cvcp_server::{Server, ServerConfig};

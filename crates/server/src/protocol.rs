@@ -11,7 +11,7 @@
 
 use cvcp_core::json::{Json, ToJson};
 use cvcp_core::{Algorithm, CvcpSelection, SelectionRequest, SideInfoSpec};
-use cvcp_engine::{CacheStats, ShardStats};
+use cvcp_engine::{CacheStats, Priority, ShardStats};
 
 /// A structured protocol-level failure, sent to clients as an `error`
 /// response.
@@ -177,6 +177,23 @@ fn selection_request_from_json(doc: &Json) -> Result<SelectionRequest, WireError
                 .collect::<Result<Vec<_>, _>>()?
         }
     };
+    // The optional scheduling lane: absent (or null) means "let the
+    // server apply its configured default" — interactive unless
+    // overridden via `CVCP_DEFAULT_PRIORITY`.
+    let priority = match doc.get("priority") {
+        None | Some(Json::Null) => None,
+        Some(v) => {
+            let name = v.as_str().ok_or_else(|| {
+                WireError::new("invalid_request", "field \"priority\" must be a string")
+            })?;
+            Some(Priority::parse(name).ok_or_else(|| {
+                WireError::new(
+                    "invalid_request",
+                    format!("unknown priority {name:?} (expected \"interactive\" or \"batch\")"),
+                )
+            })?)
+        }
+    };
     Ok(SelectionRequest {
         id: match doc.get("id") {
             None | Some(Json::Null) => String::new(),
@@ -191,11 +208,12 @@ fn selection_request_from_json(doc: &Json) -> Result<SelectionRequest, WireError
         n_folds: optional_usize(doc, "n_folds", 5)?,
         stratified: optional_bool(doc, "stratified", true)?,
         seed: optional_u64(doc, "seed", 0)?,
+        priority,
     })
 }
 
 fn selection_request_to_json(req: &SelectionRequest) -> Json {
-    Json::obj([
+    let mut fields = vec![
         ("type", "select".to_json()),
         ("id", req.id.to_json()),
         ("dataset", req.dataset.to_json()),
@@ -205,7 +223,13 @@ fn selection_request_to_json(req: &SelectionRequest) -> Json {
         ("n_folds", req.n_folds.to_json()),
         ("stratified", req.stratified.to_json()),
         ("seed", req.seed.to_json()),
-    ])
+    ];
+    // Optional on the wire: only an explicitly chosen lane is written, so
+    // "absent = server default" round-trips.
+    if let Some(priority) = req.priority {
+        fields.push(("priority", priority.name().to_json()));
+    }
+    Json::obj(fields)
 }
 
 fn side_info_to_json(spec: &SideInfoSpec) -> Json {
@@ -322,9 +346,13 @@ pub struct StatsSnapshot {
     /// Per-shard breakdown of the cache counters (one entry per shard, in
     /// shard order; `cache.shards` long).
     pub cache_shards: Vec<ShardStats>,
-    /// Currently queued (pending) requests.
+    /// Currently queued (pending) requests, across both priority lanes.
     pub queue_depth: usize,
-    /// Configured queue capacity.
+    /// Currently queued requests on the interactive lane.
+    pub queue_interactive: usize,
+    /// Currently queued requests on the batch lane.
+    pub queue_batch: usize,
+    /// Configured queue capacity (shared across lanes).
     pub queue_capacity: usize,
     /// Configured worker count.
     pub workers: usize,
@@ -428,6 +456,8 @@ impl Response {
                     "queue",
                     Json::obj([
                         ("depth", stats.queue_depth.to_json()),
+                        ("interactive_depth", stats.queue_interactive.to_json()),
+                        ("batch_depth", stats.queue_batch.to_json()),
                         ("capacity", stats.queue_capacity.to_json()),
                         ("workers", stats.workers.to_json()),
                     ]),
@@ -512,6 +542,8 @@ impl Response {
                     },
                     cache_shards: shard_stats_from_json(require(cache, "per_shard")?)?,
                     queue_depth: require_usize(queue, "depth")?,
+                    queue_interactive: require_usize(queue, "interactive_depth")?,
+                    queue_batch: require_usize(queue, "batch_depth")?,
                     queue_capacity: require_usize(queue, "capacity")?,
                     workers: require_usize(queue, "workers")?,
                     engine_threads: require_usize(engine, "threads")?,
@@ -632,6 +664,7 @@ mod tests {
             n_folds: 5,
             stratified: true,
             seed: 99,
+            priority: None,
         }
     }
 
@@ -641,6 +674,26 @@ mod tests {
         let line = req.to_line();
         assert!(!line.contains('\n'));
         assert_eq!(Request::from_line(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn priority_round_trips_and_rejects_unknown_lanes() {
+        // An explicit lane survives the round trip…
+        for priority in [Priority::Interactive, Priority::Batch] {
+            let mut request = sample_request();
+            request.priority = Some(priority);
+            let line = Request::Select(request.clone()).to_line();
+            assert!(line.contains(&format!("\"priority\":\"{}\"", priority.name())));
+            assert_eq!(Request::from_line(&line).unwrap(), Request::Select(request));
+        }
+        // …absence stays absent (server default applies)…
+        let line = Request::Select(sample_request()).to_line();
+        assert!(!line.contains("priority"));
+        // …and unknown lane names are structured errors.
+        let bad = r#"{"type":"select","dataset":"iris_like","algorithm":"fosc","side_info":{"kind":"labels","fraction":0.2},"priority":"turbo"}"#;
+        let err = Request::from_line(bad).unwrap_err();
+        assert_eq!(err.code, "invalid_request");
+        assert!(err.message.contains("turbo"));
     }
 
     #[test]
@@ -683,6 +736,7 @@ mod tests {
         assert_eq!(req.n_folds, 5);
         assert!(req.stratified);
         assert_eq!(req.seed, 0);
+        assert_eq!(req.priority, None);
     }
 
     #[test]
@@ -785,6 +839,8 @@ mod tests {
                     },
                 ],
                 queue_depth: 1,
+                queue_interactive: 1,
+                queue_batch: 0,
                 queue_capacity: 32,
                 workers: 2,
                 engine_threads: 8,

@@ -1,4 +1,5 @@
-//! A bounded multi-producer / multi-consumer request queue.
+//! A bounded multi-producer / multi-consumer request queue with two
+//! priority lanes.
 //!
 //! Admission control is the queue's whole point: [`BoundedQueue::try_push`]
 //! **never blocks** — when the queue is at capacity the request is handed
@@ -9,13 +10,23 @@
 //! items still queued at close time are drained before `pop` starts
 //! returning `None`.
 //!
-//! Fairness: admission order is the *only* order.  A request rejected with
-//! `queue_full` and re-submitted once a slot frees is served strictly
-//! before any request admitted after it — there is no LIFO path, priority
-//! lane or wakeup-order dependence that could starve retried requests
-//! (items are handed out FIFO regardless of which blocked consumer wakes
-//! first).
+//! Priority: items are admitted to one of two lanes
+//! ([`Priority::Interactive`] / [`Priority::Batch`]); `pop` always drains
+//! the interactive lane first, so an interactive request admitted while
+//! batch work is queued leapfrogs every batch item that has not been
+//! popped yet.  The capacity bound is shared across both lanes.
+//!
+//! Fairness **within a lane**: admission order is the only order.  A
+//! request rejected with `queue_full` and re-submitted once a slot frees
+//! is served strictly before any same-lane request admitted after it —
+//! there is no LIFO path or wakeup-order dependence that could starve
+//! retried requests (items are handed out FIFO regardless of which
+//! blocked consumer wakes first).  Across lanes the priority is strict:
+//! a saturating interactive stream can starve queued batch items, which
+//! is the intended trade for this workload (interactive requests are
+//! short; batch fan-outs are long).
 
+use cvcp_engine::{Priority, N_LANES};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
@@ -29,11 +40,21 @@ pub enum PushError<T> {
 }
 
 struct QueueState<T> {
-    items: VecDeque<T>,
+    /// One FIFO per lane, indexed by [`Priority::lane_index`]
+    /// (interactive-first — the engine's own lane mapping, so queue
+    /// admission and pool scheduling can never disagree).
+    lanes: [VecDeque<T>; N_LANES],
     closed: bool,
 }
 
-/// A capacity-bounded FIFO queue with non-blocking admission.
+impl<T> QueueState<T> {
+    fn len(&self) -> usize {
+        self.lanes.iter().map(VecDeque::len).sum()
+    }
+}
+
+/// A capacity-bounded two-lane queue with non-blocking admission:
+/// FIFO within each lane, interactive drained first.
 pub struct BoundedQueue<T> {
     state: Mutex<QueueState<T>>,
     available: Condvar,
@@ -41,12 +62,13 @@ pub struct BoundedQueue<T> {
 }
 
 impl<T> BoundedQueue<T> {
-    /// A queue admitting at most `capacity` pending items (0 rejects every
-    /// push — useful to pin rejection behaviour in tests).
+    /// A queue admitting at most `capacity` pending items across both
+    /// lanes (0 rejects every push — useful to pin rejection behaviour in
+    /// tests).
     pub fn new(capacity: usize) -> Self {
         Self {
             state: Mutex::new(QueueState {
-                items: VecDeque::new(),
+                lanes: std::array::from_fn(|_| VecDeque::new()),
                 closed: false,
             }),
             available: Condvar::new(),
@@ -54,14 +76,23 @@ impl<T> BoundedQueue<T> {
         }
     }
 
-    /// The configured capacity.
+    /// The configured capacity (shared across lanes).
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
-    /// Number of currently queued items.
+    /// Number of currently queued items, across both lanes.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock").items.len()
+        self.state.lock().expect("queue lock").len()
+    }
+
+    /// Queued items per lane: `(interactive, batch)`.
+    pub fn lane_depths(&self) -> (usize, usize) {
+        let state = self.state.lock().expect("queue lock");
+        (
+            state.lanes[Priority::Interactive.lane_index()].len(),
+            state.lanes[Priority::Batch.lane_index()].len(),
+        )
     }
 
     /// `true` when nothing is queued.
@@ -69,29 +100,38 @@ impl<T> BoundedQueue<T> {
         self.len() == 0
     }
 
-    /// Enqueues `item`, or returns it immediately when the queue is full or
-    /// closed.  Never blocks.
+    /// Enqueues `item` on the [`Priority::Interactive`] lane, or returns
+    /// it immediately when the queue is full or closed.  Never blocks.
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        self.try_push_with(item, Priority::Interactive)
+    }
+
+    /// Enqueues `item` on the given lane, or returns it immediately when
+    /// the queue is full or closed.  Never blocks.
+    pub fn try_push_with(&self, item: T, priority: Priority) -> Result<(), PushError<T>> {
         let mut state = self.state.lock().expect("queue lock");
         if state.closed {
             return Err(PushError::Closed(item));
         }
-        if state.items.len() >= self.capacity {
+        if state.len() >= self.capacity {
             return Err(PushError::Full(item));
         }
-        state.items.push_back(item);
+        state.lanes[priority.lane_index()].push_back(item);
         drop(state);
         self.available.notify_one();
         Ok(())
     }
 
-    /// Blocks until an item is available and returns it; returns `None`
-    /// once the queue is closed *and* drained.
+    /// Blocks until an item is available and returns it — interactive
+    /// lane first, FIFO within a lane; returns `None` once the queue is
+    /// closed *and* both lanes are drained.
     pub fn pop(&self) -> Option<T> {
         let mut state = self.state.lock().expect("queue lock");
         loop {
-            if let Some(item) = state.items.pop_front() {
-                return Some(item);
+            for lane in 0..state.lanes.len() {
+                if let Some(item) = state.lanes[lane].pop_front() {
+                    return Some(item);
+                }
             }
             if state.closed {
                 return None;
@@ -134,6 +174,18 @@ mod tests {
     }
 
     #[test]
+    fn capacity_is_shared_across_lanes() {
+        let queue = BoundedQueue::new(2);
+        assert_eq!(queue.try_push_with(1, Priority::Batch), Ok(()));
+        assert_eq!(queue.try_push_with(2, Priority::Interactive), Ok(()));
+        assert_eq!(
+            queue.try_push_with(3, Priority::Interactive),
+            Err(PushError::Full(3))
+        );
+        assert_eq!(queue.lane_depths(), (1, 1));
+    }
+
+    #[test]
     fn zero_capacity_rejects_everything() {
         let queue = BoundedQueue::new(0);
         assert_eq!(queue.try_push(9), Err(PushError::Full(9)));
@@ -160,22 +212,39 @@ mod tests {
     }
 
     #[test]
-    fn fifo_order_is_preserved() {
-        let queue = BoundedQueue::new(8);
+    fn fifo_order_is_preserved_within_a_lane() {
+        let queue = BoundedQueue::new(16);
         for i in 0..5 {
-            queue.try_push(i).unwrap();
+            queue.try_push_with(i, Priority::Batch).unwrap();
         }
         let drained: Vec<i32> = (0..5).map(|_| queue.pop().unwrap()).collect();
         assert_eq!(drained, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]
+    fn interactive_items_leapfrog_queued_batch_items() {
+        // The prioritisation contract: an interactive request admitted
+        // *after* a pile of batch work is served first — FIFO holds within
+        // each lane.
+        let queue = BoundedQueue::new(8);
+        queue.try_push_with("b1", Priority::Batch).unwrap();
+        queue.try_push_with("b2", Priority::Batch).unwrap();
+        queue.try_push_with("i1", Priority::Interactive).unwrap();
+        queue.try_push_with("b3", Priority::Batch).unwrap();
+        queue.try_push_with("i2", Priority::Interactive).unwrap();
+        assert_eq!(queue.lane_depths(), (2, 3));
+        let drained: Vec<&str> = (0..5).map(|_| queue.pop().unwrap()).collect();
+        assert_eq!(drained, vec!["i1", "i2", "b1", "b2", "b3"]);
+        assert_eq!(queue.lane_depths(), (0, 0));
+    }
+
+    #[test]
     fn readmission_after_rejection_preserves_fifo_order() {
         // The admission-ordering contract under reject-and-retry: a
         // request bounced with `queue_full` and re-submitted once a slot
-        // frees must be served before any request admitted after it —
-        // otherwise a client that dutifully retries could be starved by
-        // later arrivals.
+        // frees must be served before any same-lane request admitted after
+        // it — otherwise a client that dutifully retries could be starved
+        // by later arrivals.
         let queue = BoundedQueue::new(2);
         queue.try_push("r1").unwrap();
         queue.try_push("r2").unwrap();
@@ -198,8 +267,8 @@ mod tests {
         // Producers hammer a tiny queue, retrying on `queue_full`; a
         // consumer asserts that each producer's items arrive in submission
         // order (FIFO per producer ⇒ no retried item was overtaken by a
-        // later item from the same producer) and that every item arrives
-        // (no starvation).
+        // later item from the same producer, all producers push to one
+        // lane) and that every item arrives (no starvation).
         const PRODUCERS: usize = 4;
         const ITEMS: usize = 64;
         let queue = Arc::new(BoundedQueue::new(3));

@@ -21,7 +21,7 @@
 use crate::protocol::{RankedSelection, Request, RequestStats, Response, StatsSnapshot, WireError};
 use crate::queue::{BoundedQueue, PushError};
 use cvcp_core::{run_selection_request, RunRequestError, SelectionRequest};
-use cvcp_engine::{CancelToken, Engine};
+use cvcp_engine::{CancelToken, Engine, Priority};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -47,6 +47,9 @@ pub struct ServerConfig {
     /// execution at all" — requests queue until rejected — which tests use
     /// to pin admission-control behaviour deterministically.
     pub workers: usize,
+    /// The scheduling lane applied to requests that do not carry an
+    /// explicit `"priority"` field (default [`Priority::Interactive`]).
+    pub default_priority: Priority,
 }
 
 impl Default for ServerConfig {
@@ -55,6 +58,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7878".to_string(),
             queue_depth: 32,
             workers: 2,
+            default_priority: Priority::Interactive,
         }
     }
 }
@@ -64,7 +68,9 @@ impl ServerConfig {
     ///
     /// * `CVCP_ADDR` — listen address (default `127.0.0.1:7878`);
     /// * `CVCP_QUEUE_DEPTH` — request queue capacity (default 32);
-    /// * `CVCP_SERVER_WORKERS` — selection workers (default 2).
+    /// * `CVCP_SERVER_WORKERS` — selection workers (default 2);
+    /// * `CVCP_DEFAULT_PRIORITY` — lane for requests without an explicit
+    ///   `"priority"` field: `interactive` (default) or `batch`.
     ///
     /// Unset or unparsable variables keep their defaults.
     pub fn from_env() -> Self {
@@ -79,6 +85,10 @@ impl ServerConfig {
             addr: std::env::var("CVCP_ADDR").unwrap_or(defaults.addr),
             queue_depth: read_usize("CVCP_QUEUE_DEPTH", defaults.queue_depth),
             workers: read_usize("CVCP_SERVER_WORKERS", defaults.workers),
+            default_priority: std::env::var("CVCP_DEFAULT_PRIORITY")
+                .ok()
+                .and_then(|v| Priority::parse(&v))
+                .unwrap_or(defaults.default_priority),
         }
     }
 }
@@ -116,16 +126,20 @@ struct Shared {
     queue: BoundedQueue<QueuedJob>,
     counters: Counters,
     workers: usize,
+    default_priority: Priority,
     shutdown: AtomicBool,
     addr: SocketAddr,
 }
 
 impl Shared {
     fn stats(&self) -> StatsSnapshot {
+        let (queue_interactive, queue_batch) = self.queue.lane_depths();
         StatsSnapshot {
             cache: self.engine.cache_stats(),
             cache_shards: self.engine.cache_shard_stats(),
-            queue_depth: self.queue.len(),
+            queue_depth: queue_interactive + queue_batch,
+            queue_interactive,
+            queue_batch,
             queue_capacity: self.queue.capacity(),
             workers: self.workers,
             engine_threads: self.engine.n_threads(),
@@ -176,6 +190,7 @@ impl Server {
             queue: BoundedQueue::new(config.queue_depth),
             counters: Counters::default(),
             workers: config.workers,
+            default_priority: config.default_priority,
             shutdown: AtomicBool::new(false),
             addr,
         });
@@ -313,7 +328,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     }
 }
 
-fn handle_select(shared: &Arc<Shared>, mut writer: TcpStream, request: SelectionRequest) {
+fn handle_select(shared: &Arc<Shared>, mut writer: TcpStream, mut request: SelectionRequest) {
     let id = request.id.clone();
     // Reject invalid requests before they occupy a queue slot.
     if let Err(e) = request.validate() {
@@ -326,6 +341,12 @@ fn handle_select(shared: &Arc<Shared>, mut writer: TcpStream, request: Selection
         );
         return;
     }
+    // Resolve the lane at admission: an explicit request priority wins,
+    // otherwise the server's configured default.  The resolved lane is
+    // pinned onto the request so the engine lowering queues the job DAG on
+    // the same lane the queue admitted it to.
+    let priority = request.priority.unwrap_or(shared.default_priority);
+    request.priority = Some(priority);
     let (events_tx, events_rx) = mpsc::channel();
     let cancel = CancelToken::new();
     let job = QueuedJob {
@@ -333,7 +354,7 @@ fn handle_select(shared: &Arc<Shared>, mut writer: TcpStream, request: Selection
         events: events_tx,
         cancel: cancel.clone(),
     };
-    match shared.queue.try_push(job) {
+    match shared.queue.try_push_with(job, priority) {
         Ok(()) => {}
         Err(PushError::Full(_)) => {
             shared.counters.rejected.fetch_add(1, Ordering::Relaxed);

@@ -6,7 +6,7 @@
 //! * the typed request codec round-trips arbitrary selection requests.
 
 use cvcp_core::json::Json;
-use cvcp_core::{Algorithm, SelectionRequest, SideInfoSpec};
+use cvcp_core::{Algorithm, Priority, SelectionRequest, SideInfoSpec};
 use cvcp_data::rng::SeededRng;
 use cvcp_server::Request;
 use proptest::prelude::*;
@@ -116,6 +116,7 @@ impl proptest::Strategy for ArbRequest {
             n_folds: rng.index(12),
             stratified: rng.index(2) == 0,
             seed: rng.index(1 << 30) as u64,
+            priority: [None, Some(Priority::Interactive), Some(Priority::Batch)][rng.index(3)],
         }
     }
 }

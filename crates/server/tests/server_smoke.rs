@@ -8,7 +8,7 @@
 //! 2. a served MPCKMeans selection is bit-identical to `select_model_with`;
 //! 3. a client disconnect mid-request cancels the DAG (visible in `stats`).
 
-use cvcp_core::{Algorithm, Engine, SelectionRequest, SideInfoSpec};
+use cvcp_core::{Algorithm, Engine, Priority, SelectionRequest, SideInfoSpec};
 use cvcp_server::{RankedSelection, Request, Response, Server, ServerConfig};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -20,6 +20,7 @@ fn start_server(workers: usize, queue_depth: usize) -> Server {
         addr: "127.0.0.1:0".to_string(),
         queue_depth,
         workers,
+        ..ServerConfig::default()
     };
     Server::start(&config, Arc::new(Engine::new(4))).expect("bind loopback")
 }
@@ -61,6 +62,7 @@ fn request_for(algorithm: Algorithm, id: &str) -> SelectionRequest {
         n_folds: 4,
         stratified: true,
         seed: 20_140_324,
+        priority: None,
     }
 }
 
@@ -171,6 +173,7 @@ fn client_disconnect_mid_request_cancels_the_dag() {
         n_folds: 5,
         stratified: true,
         seed: 7,
+        priority: None,
     };
     let stream = send_line(&server, &Request::Select(request));
     // Drop the connection immediately: the watcher sees EOF and cancels.
@@ -197,6 +200,77 @@ fn client_disconnect_mid_request_cancels_the_dag() {
         matches!(responses.last(), Some(Response::Result { .. })),
         "follow-up failed: {responses:?}"
     );
+    server.shutdown();
+}
+
+#[test]
+fn interactive_request_completes_while_batch_graph_is_in_flight() {
+    // The starvation regression: a large batch selection saturates the
+    // engine's workers with queued jobs; an interactive request submitted
+    // afterwards must still complete while the batch graph is in flight —
+    // its jobs jump the engine's interactive lane instead of queueing
+    // behind the batch fan-out.
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        queue_depth: 8,
+        workers: 2,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(&config, Arc::new(Engine::new(2))).expect("bind loopback");
+
+    // The batch request: a heavyweight full-k-grid MPCKMeans selection on
+    // the 125×144 ALOI replica (tens of engine jobs).
+    let batch = SelectionRequest {
+        id: "big-batch".to_string(),
+        dataset: "aloi:0".to_string(),
+        algorithm: Algorithm::MpckMeans,
+        params: vec![],
+        side_info: SideInfoSpec::LabelFraction(0.2),
+        n_folds: 5,
+        stratified: true,
+        seed: 11,
+        priority: Some(Priority::Batch),
+    };
+    let batch_stream = send_line(&server, &Request::Select(batch));
+    // Wait until the batch request has been admitted and picked up.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().requests.received == 0 {
+        assert!(Instant::now() < deadline, "batch request never admitted");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The interactive request: small FOSC grid on the iris-like replica.
+    let mut interactive = request_for(Algorithm::Fosc, "small-interactive");
+    interactive.priority = Some(Priority::Interactive);
+    let responses = collect_responses(send_line(&server, &Request::Select(interactive)));
+    assert!(
+        matches!(responses.last(), Some(Response::Result { .. })),
+        "interactive request failed: {responses:?}"
+    );
+
+    // The batch request must still be in flight: only the interactive one
+    // has completed.
+    let stats = server.stats();
+    assert_eq!(
+        stats.requests.completed, 1,
+        "interactive must complete while the batch graph is in flight: {stats:?}"
+    );
+
+    // Dropping the batch connection cancels its DAG; wait for the server
+    // to notice so shutdown is clean.
+    drop(batch_stream);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let stats = server.stats();
+        if stats.requests.cancelled + stats.requests.completed >= 2 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "batch request neither completed nor cancelled: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
     server.shutdown();
 }
 

@@ -15,7 +15,9 @@ use cvcp_suite::constraints::generate::{
     constraint_pool, sample_constraints, sample_labeled_subset,
 };
 use cvcp_suite::constraints::SideInformation;
-use cvcp_suite::core::experiment::{run_experiment, ExperimentConfig, SideInfoSpec};
+use cvcp_suite::core::experiment::{
+    run_experiment, run_experiment_on, run_experiment_trialwise, ExperimentConfig, SideInfoSpec,
+};
 use cvcp_suite::core::{select_model, select_model_with, CvcpConfig, FoscMethod, MpckMethod};
 use cvcp_suite::data::rng::SeededRng;
 use cvcp_suite::data::synthetic::separated_blobs;
@@ -129,6 +131,44 @@ fn experiments_are_bit_identical_across_thread_counts() {
         &config(8),
     );
     assert_eq!(a, b);
+}
+
+#[test]
+fn unified_experiment_plan_is_bit_identical_to_the_trialwise_reference() {
+    // The full-grid lowering contract: `run_experiment_on` fans the whole
+    // (trial × parameter × fold) grid — plus every per-parameter final
+    // clustering — into one batch-lane job graph, and its reports must be
+    // bit-identical to the trial-only reference lowering (the pre-unified
+    // shape, one inline job per trial) at 1, 2 and 8 threads.
+    let ds = blobs(95);
+    let config = ExperimentConfig {
+        n_trials: 3,
+        cvcp: CvcpConfig {
+            n_folds: 3,
+            stratified: true,
+        },
+        params: vec![2, 3, 4],
+        seed: 23,
+        with_silhouette: true,
+        n_threads: 1, // unused: engines are built explicitly below
+    };
+    let spec = SideInfoSpec::LabelFraction(0.2);
+    let reference =
+        run_experiment_trialwise(&Engine::new(4), &MpckMethod::default(), &ds, spec, &config);
+    assert_eq!(reference.len(), 3);
+    for threads in [1usize, 2, 8] {
+        let unified = run_experiment_on(
+            &Engine::new(threads),
+            &MpckMethod::default(),
+            &ds,
+            spec,
+            &config,
+        );
+        assert_eq!(
+            unified, reference,
+            "unified plan diverged from the trialwise reference at {threads} threads"
+        );
+    }
 }
 
 #[test]

@@ -20,7 +20,7 @@
 //! build.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use cvcp_bench::{aloi_dataset, write_bench_json};
+use cvcp_bench::{aloi_dataset, bench_meta, write_bench_json};
 use cvcp_core::experiment::{run_experiment_on, ExperimentConfig, SideInfoSpec, TrialOutcome};
 use cvcp_core::json::{Json, ToJson};
 use cvcp_core::{CvcpConfig, Engine, FoscMethod, MpckMethod};
@@ -185,6 +185,13 @@ fn bench_cache_eviction(c: &mut Criterion) {
     write_bench_json(
         "bench_cache_eviction",
         &Json::obj([
+            (
+                "meta",
+                bench_meta(&[
+                    ("n_trials", experiment_config().n_trials),
+                    ("n_folds", experiment_config().cvcp.n_folds),
+                ]),
+            ),
             ("working_set_bytes", full.resident_bytes.to_json()),
             ("budget_bytes", budget.to_json()),
             ("unbounded_ms", (unbounded_secs * 1e3).to_json()),

@@ -15,7 +15,7 @@
 //! bit-identical across engine thread counts on every measurement.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use cvcp_bench::{aloi_dataset, labels_for, write_bench_json};
+use cvcp_bench::{aloi_dataset, bench_meta, labels_for, write_bench_json};
 use cvcp_constraints::folds::label_scenario_folds;
 use cvcp_constraints::SideInformation;
 use cvcp_core::crossval::evaluate_parameter_on_folds;
@@ -272,10 +272,59 @@ fn bench_engine(c: &mut Criterion) {
     let naive_scores = naive_grid(&ds, &side);
     assert_eq!(naive_scores.len(), reference.scores().len());
 
+    // Always-on metrics overhead: the same 4-worker FOSC grid on a normal
+    // engine vs. one with the metrics sink compiled out of the hot path
+    // (`Engine::with_metrics_disabled`).  Best-of-5 cold runs each; the
+    // overhead budget is 2% of grid wall time — beyond that the always-on
+    // counters are no longer "free" and the gate fails.
+    const METRICS_OVERHEAD_RUNS: usize = 5;
+    const MAX_METRICS_OVERHEAD: f64 = 0.02;
+    fn best_of_n(n: usize, mut f: impl FnMut() -> f64) -> f64 {
+        (0..n).map(|_| f()).fold(f64::INFINITY, f64::min)
+    }
+    let with_metrics = best_of_n(METRICS_OVERHEAD_RUNS, || {
+        let engine = Engine::new(4);
+        let start = Instant::now();
+        let sel = engine_grid(&engine, &ds, &side);
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(sel, reference, "metered run diverged");
+        secs
+    });
+    let without_metrics = best_of_n(METRICS_OVERHEAD_RUNS, || {
+        let engine = Engine::with_metrics_disabled(4);
+        let start = Instant::now();
+        let sel = engine_grid(&engine, &ds, &side);
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(sel, reference, "metrics-disabled run diverged");
+        secs
+    });
+    let metrics_overhead = with_metrics / without_metrics - 1.0;
+    println!(
+        "engine/metrics_overhead: enabled {:.2} ms | disabled {:.2} ms | overhead {:+.2}% \
+         (gate {:.0}%)",
+        with_metrics * 1e3,
+        without_metrics * 1e3,
+        metrics_overhead * 100.0,
+        MAX_METRICS_OVERHEAD * 100.0,
+    );
+    assert!(
+        metrics_overhead <= MAX_METRICS_OVERHEAD,
+        "always-on metrics cost {:.2}% of fosc_grid wall time (budget {:.0}%)",
+        metrics_overhead * 100.0,
+        MAX_METRICS_OVERHEAD * 100.0,
+    );
+
     // Machine-readable summary for the CI perf-trajectory artifact.
     write_bench_json(
         "bench_engine",
         &Json::obj([
+            (
+                "meta",
+                bench_meta(&[
+                    ("best_of_cold_runs", 3),
+                    ("metrics_overhead_runs", METRICS_OVERHEAD_RUNS),
+                ]),
+            ),
             (
                 "fosc_grid",
                 Json::obj([
@@ -305,6 +354,15 @@ fn bench_engine(c: &mut Criterion) {
                     ("n_trials", 2usize.to_json()),
                     ("n_params", MINPTS_GRID.len().to_json()),
                     ("n_folds", N_FOLDS.to_json()),
+                ]),
+            ),
+            (
+                "metrics_overhead",
+                Json::obj([
+                    ("enabled_ms", (with_metrics * 1e3).to_json()),
+                    ("disabled_ms", (without_metrics * 1e3).to_json()),
+                    ("overhead_ratio", metrics_overhead.to_json()),
+                    ("max_overhead_gate", MAX_METRICS_OVERHEAD.to_json()),
                 ]),
             ),
             (

@@ -49,6 +49,43 @@ pub fn rng() -> SeededRng {
     SeededRng::new(BENCH_SEED + 3)
 }
 
+/// A `meta` block for bench JSON artifacts: the commit the numbers were
+/// measured at (from `GITHUB_SHA` in CI, `git rev-parse HEAD` locally,
+/// `"unknown"` without either), the host's hardware thread count, and the
+/// per-section iteration counts the bench used — enough to interpret a
+/// perf-trajectory artifact without the CI log that produced it.
+pub fn bench_meta(iterations: &[(&str, usize)]) -> cvcp_core::json::Json {
+    use cvcp_core::json::{Json, ToJson};
+    let commit = std::env::var("GITHUB_SHA")
+        .ok()
+        .filter(|sha| !sha.trim().is_empty())
+        .or_else(|| {
+            std::process::Command::new("git")
+                .args(["rev-parse", "HEAD"])
+                .current_dir(env!("CARGO_MANIFEST_DIR"))
+                .output()
+                .ok()
+                .filter(|out| out.status.success())
+                .map(|out| String::from_utf8_lossy(&out.stdout).trim().to_string())
+        })
+        .filter(|sha| !sha.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    Json::obj([
+        ("commit", commit.to_json()),
+        ("host_threads", threads.to_json()),
+        (
+            "iterations",
+            Json::Obj(
+                iterations
+                    .iter()
+                    .map(|&(name, n)| (name.to_string(), n.to_json()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 /// Writes a benchmark's headline numbers as pretty JSON under the
 /// workspace's `target/bench/`, so CI can upload the perf trajectory as a
 /// per-commit artifact.  The path is anchored on this crate's manifest

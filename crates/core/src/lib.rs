@@ -60,11 +60,12 @@ pub mod plan;
 pub mod report;
 pub mod request;
 pub mod selection;
+pub mod trace_export;
 
 pub use algorithm::{FoscMethod, MpckMethod, ParameterizedMethod, SemiSupervisedClusterer};
 pub use baselines::{expected_quality, silhouette_selection, SilhouetteSelection};
 pub use crossval::{evaluate_parameter, CvcpConfig, FoldScore, ParameterEvaluation};
-pub use cvcp_engine::{ArtifactCache, Engine, Priority};
+pub use cvcp_engine::{ArtifactCache, Engine, GraphProfile, GraphTrace, Priority};
 pub use experiment::{
     run_experiment, run_experiment_on, run_experiment_trialwise, summarize, ExperimentConfig,
     ExperimentSummary, SideInfoSpec, TrialOutcome,
@@ -72,13 +73,14 @@ pub use experiment::{
 pub use json::{Json, JsonParseError, ToJson};
 pub use plan::{ExecutionPlan, ExternalStage, PlanOptions, PlanTrial, TrialEvaluation};
 pub use request::{
-    run_selection_request, Algorithm, RealizedSelection, RequestError, RunRequestError,
-    SelectionRequest,
+    run_selection_request, run_selection_request_traced, Algorithm, RealizedSelection,
+    RequestError, RunRequestError, SelectionRequest,
 };
 pub use selection::{
-    select_model, select_model_streaming, select_model_with, CvcpSelection, SelectionCancelled,
-    SelectionProgress,
+    select_model, select_model_streaming, select_model_streaming_traced, select_model_with,
+    CvcpSelection, SelectionCancelled, SelectionProgress,
 };
+pub use trace_export::{chrome_trace_json, graph_profile_json, write_chrome_trace};
 
 /// Convenience re-exports.
 pub mod prelude {

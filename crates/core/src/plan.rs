@@ -57,8 +57,8 @@ use cvcp_data::distance::{pairwise_matrix, Euclidean};
 use cvcp_data::rng::SeededRng;
 use cvcp_data::DataMatrix;
 use cvcp_engine::{
-    fingerprint_matrix, ArtifactCache, ArtifactKey, CancelToken, Engine, JobGraph, JobId,
-    JobOutcome, Priority,
+    fingerprint_matrix, ArtifactCache, ArtifactKey, CancelToken, Engine, GraphTrace, JobGraph,
+    JobId, JobOutcome, Priority,
 };
 use cvcp_metrics::{
     overall_fmeasure_excluding, pearson, silhouette_coefficient, silhouette_from_pairwise,
@@ -124,6 +124,11 @@ pub struct PlanOptions {
     pub cancel: Option<CancelToken>,
     /// Progress sink for single-trial streaming selections.
     pub(crate) sink: Option<Arc<ProgressSink>>,
+    /// When set, the plan records a per-job timeline ([`GraphTrace`])
+    /// under this name.  Tracing is timing-only — the salted RNG streams
+    /// are untouched, so traced and untraced runs are bit-identical.  Use
+    /// [`ExecutionPlan::run_traced`] to receive the recorded trace.
+    pub trace: Option<String>,
 }
 
 impl PlanOptions {
@@ -199,11 +204,25 @@ impl ExecutionPlan {
         engine: &Engine,
         options: PlanOptions,
     ) -> Result<Vec<TrialEvaluation>, SelectionCancelled> {
-        if engine.n_threads() <= 1 {
+        if engine.n_threads() <= 1 && options.trace.is_none() {
             self.run_inline(engine.cache(), options)
         } else {
-            self.run_on_graph(engine, options)
+            // Tracing needs the graph lowering (the timeline is recorded
+            // per job); the engine executes it inline on one thread, so
+            // results stay bit-identical either way.
+            self.run_on_graph(engine, options).map(|(out, _)| out)
         }
+    }
+
+    /// Like [`run`](Self::run), but always lowers onto a [`JobGraph`] and
+    /// returns the recorded [`GraphTrace`] alongside the evaluations when
+    /// `options.trace` is set.
+    pub fn run_traced(
+        self,
+        engine: &Engine,
+        options: PlanOptions,
+    ) -> Result<(Vec<TrialEvaluation>, Option<GraphTrace>), SelectionCancelled> {
+        self.run_on_graph(engine, options)
     }
 
     /// The sequential executor: trials, then candidates, in order — with
@@ -239,7 +258,7 @@ impl ExecutionPlan {
         self,
         engine: &Engine,
         options: PlanOptions,
-    ) -> Result<Vec<TrialEvaluation>, SelectionCancelled> {
+    ) -> Result<(Vec<TrialEvaluation>, Option<GraphTrace>), SelectionCancelled> {
         let ExecutionPlan {
             data,
             clusterers,
@@ -250,6 +269,7 @@ impl ExecutionPlan {
             priority,
             cancel,
             sink,
+            trace,
         } = options;
         let n_trials = trials.len();
         let n_params = params.len();
@@ -260,19 +280,30 @@ impl ExecutionPlan {
         if let Some(token) = cancel.clone() {
             graph.set_cancel_token(token);
         }
+        // Labels are only materialised on traced graphs — the untraced
+        // path allocates nothing per job.
+        let tracing = trace.is_some();
+        if let Some(name) = trace {
+            graph.enable_trace(name);
+        }
 
         // Plan-level artifact jobs: the per-parameter artifacts (pairwise
         // matrix, density hierarchies) depend only on (clusterer, data),
         // so one job warms them for every trial of the plan.
         let artifact_ids: Vec<JobId> = clusterers
             .iter()
-            .map(|clusterer| {
+            .enumerate()
+            .map(|(pi, clusterer)| {
                 let clusterer = Arc::clone(clusterer);
                 let data = Arc::clone(&data);
-                graph.add_job(&[], move |ctx| {
+                let id = graph.add_job(&[], move |ctx| {
                     clusterer.prepare_artifacts(&data, ctx.cache());
                     None
-                })
+                });
+                if tracing {
+                    graph.set_job_label(id, format!("artifact/p{}", params[pi]));
+                }
+                id
             })
             .collect();
 
@@ -302,10 +333,14 @@ impl ExecutionPlan {
                 let clusterer = Arc::clone(&clusterers[0]);
                 let data = Arc::clone(&data);
                 let splits = Arc::clone(&splits);
-                fold_artifact_ids[si] = Some(graph.add_job(&[], move |ctx| {
+                let id = graph.add_job(&[], move |ctx| {
                     clusterer.prepare_fold_artifacts(&data, &splits[si].training, ctx.cache());
                     None
-                }));
+                });
+                if tracing {
+                    graph.set_job_label(id, format!("t{t}/fold{}", split.fold));
+                }
+                fold_artifact_ids[si] = Some(id);
             }
 
             // Grid accumulator: [param][split] fold scores, written by
@@ -340,6 +375,9 @@ impl ExecutionPlan {
                         grid.lock().expect("grid lock")[pi][si] = Some(score);
                         None
                     });
+                    if tracing {
+                        graph.set_job_label(id, format!("t{t}/p{}/f{fold}", params[pi]));
+                    }
                     eval_ids.push(id);
                     per_param_eval_ids[pi].push(id);
                 }
@@ -367,6 +405,9 @@ impl ExecutionPlan {
                         sink.emit(eval.param, eval.score);
                         None
                     });
+                    if tracing {
+                        graph.set_job_label(id, format!("progress/p{param}"));
+                    }
                     prev_progress = Some(id);
                 }
             }
@@ -388,6 +429,9 @@ impl ExecutionPlan {
                         externals.lock().expect("externals lock")[pi] = Some(cell);
                         None
                     });
+                    if tracing {
+                        graph.set_job_label(id, format!("external/t{t}/p{}", params[pi]));
+                    }
                     external_ids.push(id);
                 }
             }
@@ -432,6 +476,9 @@ impl ExecutionPlan {
                         Some(TrialEvaluation { selection, outcome });
                     None
                 });
+                if tracing {
+                    graph.set_job_label(id, format!("reduce/t{t}"));
+                }
                 finalize_ids.push(id);
             }
         }
@@ -439,7 +486,7 @@ impl ExecutionPlan {
         // Report stage: collect every trial, in trial order.
         {
             let results = Arc::clone(&results);
-            graph.add_job(&finalize_ids, move |_ctx| {
+            let id = graph.add_job(&finalize_ids, move |_ctx| {
                 Some(
                     results
                         .lock()
@@ -449,11 +496,15 @@ impl ExecutionPlan {
                         .collect(),
                 )
             });
+            if tracing {
+                graph.set_job_label(id, "report".to_string());
+            }
         }
 
         let mut result = engine.run_graph(graph);
+        let trace = result.trace.take();
         match result.outcomes.pop() {
-            Some(JobOutcome::Completed(Some(evaluations))) => Ok(evaluations),
+            Some(JobOutcome::Completed(Some(evaluations))) => Ok((evaluations, trace)),
             _ if cancel.as_ref().is_some_and(CancelToken::is_cancelled) => Err(SelectionCancelled),
             _ => {
                 let failure = result

@@ -19,13 +19,14 @@ use crate::algorithm::{FoscMethod, MpckMethod, ParameterizedMethod};
 use crate::crossval::CvcpConfig;
 use crate::experiment::SideInfoSpec;
 use crate::selection::{
-    select_model_streaming, select_model_with, CvcpSelection, SelectionCancelled, SelectionProgress,
+    select_model_streaming, select_model_streaming_traced, select_model_with, CvcpSelection,
+    SelectionCancelled, SelectionProgress,
 };
 use cvcp_constraints::SideInformation;
 use cvcp_data::replicas::{replica_by_name, replica_name_is_known};
 use cvcp_data::rng::SeededRng;
 use cvcp_data::Dataset;
-use cvcp_engine::{CancelToken, Engine, Priority};
+use cvcp_engine::{CancelToken, Engine, GraphTrace, Priority};
 
 /// The algorithm families a request can select over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +89,11 @@ pub struct SelectionRequest {
     /// overridden).  Pure scheduling — results are bit-identical across
     /// lanes.
     pub priority: Option<Priority>,
+    /// Whether the caller asked for a per-job execution timeline
+    /// ([`GraphTrace`]).  Timing-only — results are bit-identical with
+    /// tracing on or off; serving front-ends honour it by calling
+    /// [`run_selection_request_traced`].
+    pub trace: bool,
 }
 
 /// Why a [`SelectionRequest`] could not be lowered.
@@ -257,6 +263,34 @@ impl RealizedSelection {
             on_progress,
         )
     }
+
+    /// [`Self::select_streaming`] with a per-job timeline recorded under
+    /// `trace_name`.  The selection is bit-identical to the untraced
+    /// lowering; the trace is `None` only if the run was cancelled.
+    pub fn select_streaming_traced<F>(
+        mut self,
+        engine: &Engine,
+        trace_name: String,
+        cancel: Option<CancelToken>,
+        on_progress: F,
+    ) -> Result<(CvcpSelection, Option<GraphTrace>), SelectionCancelled>
+    where
+        F: FnMut(SelectionProgress) + Send + 'static,
+    {
+        select_model_streaming_traced(
+            engine,
+            &*self.method,
+            self.dataset.matrix(),
+            &self.side,
+            &self.params,
+            &self.config,
+            &mut self.rng,
+            self.priority,
+            cancel,
+            Some(trace_name),
+            on_progress,
+        )
+    }
 }
 
 /// How running a request can fail.
@@ -300,6 +334,27 @@ where
         .map_err(|SelectionCancelled| RunRequestError::Cancelled)
 }
 
+/// [`run_selection_request`] with a per-job timeline recorded under the
+/// request's `id`.  The selection is bit-identical to the untraced run —
+/// tracing is timing-only (the serving smoke tests assert this end-to-end
+/// over TCP).  The trace covers the full evaluation graph; render it with
+/// [`crate::trace_export::write_chrome_trace`] or summarise it via
+/// [`cvcp_engine::GraphProfile`].
+pub fn run_selection_request_traced<F>(
+    engine: &Engine,
+    request: &SelectionRequest,
+    cancel: Option<CancelToken>,
+    on_progress: F,
+) -> Result<(CvcpSelection, Option<GraphTrace>), RunRequestError>
+where
+    F: FnMut(SelectionProgress) + Send + 'static,
+{
+    let realized = request.realize().map_err(RunRequestError::Invalid)?;
+    realized
+        .select_streaming_traced(engine, request.id.clone(), cancel, on_progress)
+        .map_err(|SelectionCancelled| RunRequestError::Cancelled)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,6 +371,7 @@ mod tests {
             stratified: true,
             seed: 21,
             priority: None,
+            trace: false,
         }
     }
 
@@ -392,6 +448,34 @@ mod tests {
                 assert_eq!(e.total, params.len());
                 let eval = reference.evaluations.iter().find(|v| v.param == e.param);
                 assert_eq!(eval.map(|v| v.score), Some(e.score), "progress score drift");
+            }
+        }
+    }
+
+    #[test]
+    fn traced_request_is_bit_identical_and_yields_a_full_timeline() {
+        let req = request(Algorithm::Fosc, vec![3, 6, 9]);
+        let reference = req.realize().unwrap().select(&Engine::sequential());
+        for threads in [1usize, 2, 8] {
+            let (selection, trace) =
+                run_selection_request_traced(&Engine::new(threads), &req, None, |_| {}).unwrap();
+            assert_eq!(
+                selection, reference,
+                "tracing must never change results ({threads} threads)"
+            );
+            let trace = trace.expect("completed traced run yields a trace");
+            assert_eq!(trace.name, req.id);
+            assert_eq!(
+                trace.spans.len(),
+                trace.n_jobs,
+                "every graph job executed and was recorded ({threads} threads)"
+            );
+            for p in [3usize, 6, 9] {
+                let label = format!("/p{p}/");
+                assert!(
+                    trace.spans.iter().any(|s| s.label.contains(&label)),
+                    "at least one evaluation span per candidate parameter {p}"
+                );
             }
         }
     }

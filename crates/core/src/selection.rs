@@ -12,7 +12,7 @@ use cvcp_constraints::folds::FoldSplit;
 use cvcp_constraints::SideInformation;
 use cvcp_data::rng::SeededRng;
 use cvcp_data::{DataMatrix, Partition};
-use cvcp_engine::{CancelToken, Engine, Priority};
+use cvcp_engine::{CancelToken, Engine, GraphTrace, Priority};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -188,8 +188,10 @@ pub fn select_model_with(
         Priority::Interactive,
         None,
         None,
+        None,
     )
     .expect("selection without a cancel token cannot be cancelled")
+    .0
 }
 
 /// Like [`select_model_with`], but emits a [`SelectionProgress`] event as
@@ -227,6 +229,52 @@ pub fn select_model_streaming<F>(
 where
     F: FnMut(SelectionProgress) + Send + 'static,
 {
+    select_model_streaming_traced(
+        engine,
+        method,
+        data,
+        side,
+        params,
+        config,
+        rng,
+        priority,
+        cancel,
+        None,
+        on_progress,
+    )
+    .map(|(selection, _)| selection)
+}
+
+/// Like [`select_model_streaming`], but optionally records a per-job
+/// timeline ([`GraphTrace`]) of the evaluation graph under `trace_name`.
+///
+/// Tracing is timing-only: it forces the DAG lowering (even on a
+/// one-thread engine, where the graph executes inline) but never touches
+/// the salted RNG streams, so the returned [`CvcpSelection`] is
+/// **bit-identical** to the untraced run at any thread count.  When
+/// `trace_name` is `None` this *is* [`select_model_streaming`] and the
+/// returned trace is `None`.
+///
+/// # Panics
+///
+/// Panics if `params` is empty, or if an evaluation job panics.
+#[allow(clippy::too_many_arguments)]
+pub fn select_model_streaming_traced<F>(
+    engine: &Engine,
+    method: &dyn ParameterizedMethod,
+    data: &DataMatrix,
+    side: &SideInformation,
+    params: &[usize],
+    config: &CvcpConfig,
+    rng: &mut SeededRng,
+    priority: Priority,
+    cancel: Option<CancelToken>,
+    trace_name: Option<String>,
+    on_progress: F,
+) -> Result<(CvcpSelection, Option<GraphTrace>), SelectionCancelled>
+where
+    F: FnMut(SelectionProgress) + Send + 'static,
+{
     assert!(
         !params.is_empty(),
         "at least one candidate parameter is required"
@@ -252,6 +300,7 @@ where
         priority,
         cancel,
         Some(sink),
+        trace_name,
     )
 }
 
@@ -270,7 +319,8 @@ pub(crate) fn select_model_prepared(
     priority: Priority,
     cancel: Option<CancelToken>,
     sink: Option<Arc<ProgressSink>>,
-) -> Result<CvcpSelection, SelectionCancelled> {
+    trace: Option<String>,
+) -> Result<(CvcpSelection, Option<GraphTrace>), SelectionCancelled> {
     let trial = PlanTrial {
         trial: 0,
         splits: Arc::new(splits),
@@ -281,8 +331,10 @@ pub(crate) fn select_model_prepared(
     // inline executor works on borrowed data, so the per-request
     // O(objects²·dims) matrix clone that 'static DAG jobs need is never
     // paid (it is the same executor the plan's own inline branch uses,
-    // so both paths stay bit-identical).
-    if engine.n_threads() <= 1 {
+    // so both paths stay bit-identical).  A traced run takes the plan
+    // path regardless: the timeline is recorded per graph job, and the
+    // graph executes inline on a one-thread engine anyway.
+    if engine.n_threads() <= 1 && trace.is_none() {
         return crate::plan::evaluate_trial_inline(
             clusterers,
             params,
@@ -292,7 +344,7 @@ pub(crate) fn select_model_prepared(
             sink.as_deref(),
             cancel.as_ref(),
         )
-        .map(|result| result.selection);
+        .map(|result| (result.selection, None));
     }
     let plan = ExecutionPlan::new(
         Arc::new(data.clone()),
@@ -300,15 +352,16 @@ pub(crate) fn select_model_prepared(
         params.to_vec(),
         vec![trial],
     );
-    let mut results = plan.run(
+    let (mut results, trace) = plan.run_traced(
         engine,
         PlanOptions {
             priority,
             cancel,
             sink,
+            trace,
         },
     )?;
-    Ok(results.pop().expect("single-trial plan").selection)
+    Ok((results.pop().expect("single-trial plan").selection, trace))
 }
 
 /// Step 4 of the framework: run the algorithm with the selected parameter and

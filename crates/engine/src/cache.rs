@@ -47,12 +47,45 @@
 //! retryable and the map never accumulates zombie entries.
 
 use std::any::Any;
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use cvcp_data::DataMatrix;
+use cvcp_obs::{HistogramSnapshot, LogHistogram};
+
+thread_local! {
+    /// `(hits, misses)` observed by the *current thread* since the last
+    /// reset — the per-job cache attribution used by span tracing.  Jobs
+    /// run one at a time per worker thread, so the engine resets the pair
+    /// before a traced job and takes it after; the two `Cell` updates per
+    /// cache access are free compared to the shard lock either side.
+    static THREAD_CACHE_EVENTS: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+}
+
+/// Zeroes the calling thread's cache hit/miss attribution counters.
+pub(crate) fn reset_thread_cache_events() {
+    THREAD_CACHE_EVENTS.with(|c| c.set((0, 0)));
+}
+
+/// Returns and zeroes the calling thread's `(hits, misses)` since the last
+/// reset.
+pub(crate) fn take_thread_cache_events() -> (u64, u64) {
+    THREAD_CACHE_EVENTS.with(|c| c.replace((0, 0)))
+}
+
+fn note_thread_cache_event(hit: bool) {
+    THREAD_CACHE_EVENTS.with(|c| {
+        let (hits, misses) = c.get();
+        c.set(if hit {
+            (hits + 1, misses)
+        } else {
+            (hits, misses + 1)
+        })
+    });
+}
 
 /// A 64-bit content fingerprint (FNV-1a over the value's raw bytes).
 pub type Fingerprint = u64;
@@ -207,14 +240,20 @@ impl ArtifactKey {
     /// The key's artifact-kind name (the granularity compute-time cost
     /// profiles are learned and persisted at).
     pub fn kind_name(&self) -> &'static str {
+        Self::KIND_NAMES[self.kind_index()]
+    }
+
+    /// Index of the key's kind into [`ArtifactKey::KIND_NAMES`] — also the
+    /// index of its row in the cache's per-kind latency histograms.
+    pub fn kind_index(&self) -> usize {
         match self {
-            ArtifactKey::PairwiseDistances { .. } => Self::KIND_NAMES[0],
-            ArtifactKey::CoreDistances { .. } => Self::KIND_NAMES[1],
-            ArtifactKey::MutualReachabilityMst { .. } => Self::KIND_NAMES[2],
-            ArtifactKey::DensityHierarchy { .. } => Self::KIND_NAMES[3],
-            ArtifactKey::FoldClosure { .. } => Self::KIND_NAMES[4],
-            ArtifactKey::MpckSeeding { .. } => Self::KIND_NAMES[5],
-            ArtifactKey::Custom { .. } => Self::KIND_NAMES[6],
+            ArtifactKey::PairwiseDistances { .. } => 0,
+            ArtifactKey::CoreDistances { .. } => 1,
+            ArtifactKey::MutualReachabilityMst { .. } => 2,
+            ArtifactKey::DensityHierarchy { .. } => 3,
+            ArtifactKey::FoldClosure { .. } => 4,
+            ArtifactKey::MpckSeeding { .. } => 5,
+            ArtifactKey::Custom { .. } => 6,
         }
     }
 
@@ -772,6 +811,31 @@ pub struct ArtifactCache {
     /// Per-kind compute-time EWMAs (one global map — commits are rare
     /// relative to lookups, so the extra lock is off the hot hit path).
     profile: Mutex<HashMap<&'static str, KindCost>>,
+    /// Per-kind get/compute latency histograms, indexed by
+    /// [`ArtifactKey::kind_index`].  Always-on: recording is a few relaxed
+    /// atomic adds per access.
+    latencies: Box<[KindLatency]>,
+}
+
+/// Always-on latency histograms for one artifact kind.
+#[derive(Debug, Default)]
+struct KindLatency {
+    /// Duration of lookups that found a value (including any wait for an
+    /// in-flight computation to finish — the cache-stall time).
+    get: LogHistogram,
+    /// Duration of `compute` closures run on misses.
+    compute: LogHistogram,
+}
+
+/// A plain copy of one kind's latency histograms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KindLatencySnapshot {
+    /// The artifact kind, from [`ArtifactKey::KIND_NAMES`].
+    pub kind: &'static str,
+    /// Hit-path lookup latency (including in-flight waits).
+    pub get: HistogramSnapshot,
+    /// Miss-path compute latency.
+    pub compute: HistogramSnapshot,
 }
 
 impl Default for ArtifactCache {
@@ -813,7 +877,26 @@ impl ArtifactCache {
             policy: config.policy,
             config,
             profile: Mutex::new(HashMap::new()),
+            latencies: ArtifactKey::KIND_NAMES
+                .iter()
+                .map(|_| KindLatency::default())
+                .collect(),
         }
+    }
+
+    /// Per-kind get/compute latency histogram snapshots, in
+    /// [`ArtifactKey::KIND_NAMES`] order (one row per kind, including
+    /// kinds with no samples yet).
+    pub fn kind_latency_snapshots(&self) -> Vec<KindLatencySnapshot> {
+        ArtifactKey::KIND_NAMES
+            .iter()
+            .zip(self.latencies.iter())
+            .map(|(&kind, lat)| KindLatencySnapshot {
+                kind,
+                get: lat.get.snapshot(),
+                compute: lat.compute.snapshot(),
+            })
+            .collect()
     }
 
     /// Snapshot of the per-kind compute-time EWMAs, in
@@ -923,6 +1006,7 @@ impl ArtifactCache {
         T: Send + Sync + ArtifactSize + 'static,
         F: FnOnce() -> T,
     {
+        let lookup_from = Instant::now();
         let shard = self.shard_for(&key);
         let slot: Slot = {
             let mut map = shard.map.lock().expect("artifact cache shard lock");
@@ -969,11 +1053,17 @@ impl ArtifactCache {
             })
             .clone();
         guard.armed = false;
+        let latency = &self.latencies[key.kind_index()];
+        note_thread_cache_event(!computed);
         if computed {
             shard.misses.fetch_add(1, Ordering::Relaxed);
+            latency.compute.record(cost_nanos);
             self.commit(shard, key, &slot, bytes, cost_nanos);
         } else {
             shard.hits.fetch_add(1, Ordering::Relaxed);
+            latency
+                .get
+                .record(u64::try_from(lookup_from.elapsed().as_nanos()).unwrap_or(u64::MAX));
         }
         value
             .downcast::<T>()
@@ -984,6 +1074,7 @@ impl ArtifactCache {
     /// computed value is present, a miss otherwise; never computes or
     /// blocks on an in-flight computation).
     pub fn get<T: Send + Sync + 'static>(&self, key: ArtifactKey) -> Option<Arc<T>> {
+        let lookup_from = Instant::now();
         let shard = self.shard_for(&key);
         let slot = {
             let mut map = shard.map.lock().expect("artifact cache shard lock");
@@ -997,10 +1088,15 @@ impl ArtifactCache {
         };
         let Some(slot) = slot else {
             shard.misses.fetch_add(1, Ordering::Relaxed);
+            note_thread_cache_event(false);
             return None;
         };
         let (value, _) = slot.get().expect("slot checked initialized").clone();
         shard.hits.fetch_add(1, Ordering::Relaxed);
+        note_thread_cache_event(true);
+        self.latencies[key.kind_index()]
+            .get
+            .record(u64::try_from(lookup_from.elapsed().as_nanos()).unwrap_or(u64::MAX));
         Some(
             value
                 .downcast::<T>()

@@ -2,12 +2,14 @@
 //! sequential (one-thread) execution path.
 
 use crate::cache::{ArtifactCache, CacheConfig, CacheStats, ShardStats};
-use crate::graph::{CancelToken, GraphResult, JobCtx, JobGraph, JobOutcome};
+use crate::graph::{CancelToken, GraphResult, JobCtx, JobGraph, JobOutcome, N_LANES};
 use crate::pool::{PoolHandle, Task, ThreadPool};
+use cvcp_obs::{EngineMetrics, MetricsSnapshot, SpanRecorder};
 use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
 
 /// A callback run exactly once when the engine is dropped, with access to
 /// its artifact cache (the seam the cost-profile persistence uses to dump
@@ -33,6 +35,18 @@ struct ExecState<T> {
     /// The pool lane the graph's jobs are queued on (from the graph's
     /// [`crate::graph::Priority`]).
     lane: usize,
+    /// The engine's always-on metrics registry.
+    metrics: Arc<EngineMetrics>,
+    /// When the graph was submitted — the start of its queue wait.
+    submitted_at: Instant,
+    /// Latch for the first job start (records the graph's queue wait once).
+    started: AtomicBool,
+    /// Identity of the engine's pool, for worker attribution in spans
+    /// (`None` on a sequential engine).
+    pool_id: Option<u64>,
+    /// Opt-in span recorder — present only when the graph was submitted
+    /// with [`JobGraph::enable_trace`].
+    recorder: Option<SpanRecorder>,
 }
 
 /// Records `outcome` for job `idx`, propagates skips through the DAG and
@@ -73,10 +87,18 @@ fn complete_job<T>(state: &ExecState<T>, idx: usize, outcome: JobOutcome<T>) -> 
 }
 
 /// Runs job `idx` (which must be ready) and returns its outcome.
+///
+/// Instrumentation here is timing-only — the job's RNG stream was frozen
+/// at submit, so recording can never perturb results.
 fn run_job<T>(state: &ExecState<T>, idx: usize) -> JobOutcome<T> {
     if state.cancelled.is_cancelled() {
         state.jobs[idx].lock().expect("job lock").take();
         return JobOutcome::Skipped;
+    }
+    if !state.started.swap(true, Ordering::Relaxed) {
+        state
+            .metrics
+            .record_graph_queue_wait(state.lane, state.submitted_at.elapsed().as_nanos() as u64);
     }
     let prepared = state.jobs[idx]
         .lock()
@@ -89,10 +111,27 @@ fn run_job<T>(state: &ExecState<T>, idx: usize) -> JobOutcome<T> {
         index: idx,
     };
     let f = prepared.f;
-    match catch_unwind(AssertUnwindSafe(move || f(&mut ctx))) {
+    let recorder = state.recorder.as_ref();
+    let start_tick = recorder.map(|r| {
+        crate::cache::reset_thread_cache_events();
+        r.now_ns()
+    });
+    let run_from = state.metrics.is_enabled().then(Instant::now);
+    let outcome = match catch_unwind(AssertUnwindSafe(move || f(&mut ctx))) {
         Ok(value) => JobOutcome::Completed(value),
         Err(payload) => JobOutcome::Failed(panic_message(payload.as_ref())),
+    };
+    if let Some(from) = run_from {
+        state
+            .metrics
+            .record_job_run(state.lane, from.elapsed().as_nanos() as u64);
     }
+    if let (Some(r), Some(start_ns)) = (recorder, start_tick) {
+        let (hits, misses) = crate::cache::take_thread_cache_events();
+        let worker = state.pool_id.and_then(crate::pool::current_worker_in);
+        r.record_span(idx, worker, state.lane, start_ns, r.now_ns(), hits, misses);
+    }
+    outcome
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -108,6 +147,12 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// Recursively schedules `idx` and, transitively, every job its completion
 /// unblocks, onto the pool.
 fn spawn_job<T: Send + 'static>(state: Arc<ExecState<T>>, pool: PoolHandle, idx: usize) {
+    if let Some(recorder) = &state.recorder {
+        // The enqueuing worker (None when submitted from outside the pool)
+        // is what the pool's spawn routing keys on too, so span steal
+        // attribution matches the deque the task actually landed on.
+        recorder.mark_enqueue(idx, state.pool_id.and_then(crate::pool::current_worker_in));
+    }
     let task_pool = pool.clone();
     let lane = state.lane;
     let task: Task = Box::new(move || {
@@ -164,7 +209,12 @@ impl<T> GraphHandle<T> {
             HandleMode::Inline { mut ready } => {
                 while let Some(idx) = ready.pop_first() {
                     let outcome = run_job(&self.state, idx);
-                    ready.extend(complete_job(&self.state, idx, outcome));
+                    for next in complete_job(&self.state, idx, outcome) {
+                        if let Some(recorder) = &self.state.recorder {
+                            recorder.mark_enqueue(next, None);
+                        }
+                        ready.insert(next);
+                    }
                 }
             }
         }
@@ -179,7 +229,10 @@ impl<T> GraphHandle<T> {
                     .unwrap_or(JobOutcome::Skipped)
             })
             .collect();
-        GraphResult { outcomes }
+        GraphResult {
+            outcomes,
+            trace: self.state.recorder.as_ref().map(SpanRecorder::finish),
+        }
     }
 }
 
@@ -193,6 +246,7 @@ pub struct Engine {
     cache: Arc<ArtifactCache>,
     n_threads: usize,
     drop_hook: Mutex<Option<DropHook>>,
+    metrics: Arc<EngineMetrics>,
 }
 
 impl Engine {
@@ -213,13 +267,44 @@ impl Engine {
     /// An engine sharing an existing artifact cache (e.g. across engines or
     /// with a previous engine's warm cache).
     pub fn with_cache(n_threads: usize, cache: Arc<ArtifactCache>) -> Self {
+        Self::build(n_threads, cache, true)
+    }
+
+    /// An engine whose always-on metrics registry is a no-op.  This exists
+    /// for one purpose: giving `bench_engine` a true baseline to measure
+    /// the metrics overhead against.  Everything else (results, tracing
+    /// opt-in) behaves identically.
+    pub fn with_metrics_disabled(n_threads: usize) -> Self {
+        Self::build(n_threads, Arc::new(ArtifactCache::new()), false)
+    }
+
+    fn build(n_threads: usize, cache: Arc<ArtifactCache>, metrics_enabled: bool) -> Self {
         let n = n_threads.max(1);
+        let pool_workers = if n > 1 { n } else { 0 };
+        let metrics = Arc::new(if metrics_enabled {
+            EngineMetrics::new(pool_workers, N_LANES)
+        } else {
+            EngineMetrics::disabled(pool_workers, N_LANES)
+        });
         Self {
-            pool: (n > 1).then(|| ThreadPool::new(n)),
+            pool: (n > 1).then(|| ThreadPool::new(n, Arc::clone(&metrics))),
             cache,
             n_threads: n,
             drop_hook: Mutex::new(None),
+            metrics,
         }
+    }
+
+    /// The engine's always-on metrics registry (job run times, graph queue
+    /// waits, per-worker busy/steal/park counters).
+    pub fn metrics(&self) -> &Arc<EngineMetrics> {
+        &self.metrics
+    }
+
+    /// A plain copy of the current metrics state — the payload behind the
+    /// serving front-end's `metrics` endpoint.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// Installs a callback that runs exactly once when the engine is
@@ -281,6 +366,19 @@ impl Engine {
         let base = graph.base_rng;
         let lane = graph.priority.lane_index();
         let cancelled = graph.cancel_token.unwrap_or_default();
+        // Opt-in span recording: the recorder's epoch is the submit
+        // instant, so span ticks read as "ns since submit".
+        let recorder = graph.trace_name.map(|name| {
+            let mut labels = graph.labels;
+            labels.resize(n, String::new());
+            let deps = graph.jobs.iter().map(|job| job.deps.clone()).collect();
+            SpanRecorder::new(
+                name,
+                self.pool.as_ref().map_or(0, |_| self.n_threads),
+                labels,
+                deps,
+            )
+        });
         let mut deps_remaining = Vec::with_capacity(n);
         let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut jobs = Vec::with_capacity(n);
@@ -307,6 +405,11 @@ impl Engine {
             done_tx: Mutex::new(Some(done_tx)),
             cache: Arc::clone(&self.cache),
             lane,
+            metrics: Arc::clone(&self.metrics),
+            submitted_at: Instant::now(),
+            started: AtomicBool::new(false),
+            pool_id: self.pool.as_ref().map(ThreadPool::id),
+            recorder,
         });
         let ready: BTreeSet<usize> = (0..n)
             .filter(|&i| state.deps_remaining[i].load(Ordering::SeqCst) == 0)
@@ -706,6 +809,131 @@ mod tests {
             });
         }
         assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn traced_graph_records_one_span_per_executed_job() {
+        for n_threads in [1, 4] {
+            let engine = Engine::new(n_threads);
+            let mut graph: JobGraph<u64> = JobGraph::new(5);
+            let a = graph.add_job(&[], |ctx| ctx.rng().next_u64());
+            graph.set_job_label(a, "artifact/a");
+            for _ in 0..7 {
+                let j = graph.add_job(&[a], |ctx| ctx.rng().next_u64());
+                graph.set_job_label(j, "eval");
+            }
+            graph.enable_trace("unit");
+            let result = engine.run_graph(graph);
+            assert!(result.all_completed());
+            let trace = result.trace.expect("tracing was enabled");
+            assert_eq!(trace.n_jobs, 8);
+            assert_eq!(trace.spans.len(), 8, "one span per executed job");
+            assert_eq!(trace.name, "unit");
+            assert_eq!(trace.spans[0].label, "artifact/a");
+            assert_eq!(trace.spans[1].label, "eval");
+            assert_eq!(trace.deps[1], vec![0]);
+            for s in &trace.spans {
+                assert!(
+                    s.enqueue_ns <= s.start_ns,
+                    "job {} enqueued after start",
+                    s.job
+                );
+                assert!(s.start_ns <= s.end_ns);
+                assert!(s.end_ns <= trace.wall_ns);
+            }
+            // Dependencies are respected on the recorded timeline too.
+            let root_end = trace.spans[0].end_ns;
+            assert!(trace.spans[1..].iter().all(|s| s.start_ns >= root_end));
+        }
+    }
+
+    #[test]
+    fn tracing_does_not_change_results() {
+        let draws = |n_threads: usize, trace: bool| -> Vec<u64> {
+            let engine = Engine::new(n_threads);
+            let mut graph: JobGraph<u64> = JobGraph::new(123);
+            for _ in 0..16 {
+                graph.add_job(&[], |ctx| ctx.rng().next_u64());
+            }
+            if trace {
+                graph.enable_trace("ab");
+            }
+            engine.run_graph(graph).expect_all("traced draws")
+        };
+        let plain = draws(1, false);
+        for n_threads in [1, 2, 8] {
+            assert_eq!(draws(n_threads, true), plain);
+            assert_eq!(draws(n_threads, false), plain);
+        }
+    }
+
+    #[test]
+    fn untraced_graph_returns_no_trace() {
+        let engine = Engine::new(2);
+        let mut graph: JobGraph<u32> = JobGraph::new(1);
+        graph.add_job(&[], |_| 1);
+        assert!(engine.run_graph(graph).trace.is_none());
+    }
+
+    #[test]
+    fn metrics_record_job_runs_and_graph_queue_wait() {
+        use crate::graph::Priority;
+        let engine = Engine::new(2);
+        let mut graph: JobGraph<u32> = JobGraph::new(9);
+        graph.set_priority(Priority::Batch);
+        for _ in 0..6 {
+            graph.add_job(&[], |_| 1);
+        }
+        engine.run_graph(graph).expect_all("metered");
+        let snap = engine.metrics_snapshot();
+        let batch = Priority::Batch.lane_index();
+        assert_eq!(snap.job_run[batch].count(), 6);
+        assert_eq!(snap.job_run[Priority::Interactive.lane_index()].count(), 0);
+        assert_eq!(snap.graphs_submitted[batch], 1);
+        assert_eq!(snap.graph_queue_wait[batch].count(), 1);
+        assert_eq!(snap.workers.len(), 2);
+        let tasks: u64 = snap.workers.iter().map(|w| w.tasks).sum();
+        assert_eq!(tasks, 6);
+    }
+
+    #[test]
+    fn disabled_metrics_record_nothing_but_results_match() {
+        let run = |engine: &Engine| -> Vec<u64> {
+            let mut graph: JobGraph<u64> = JobGraph::new(7);
+            for _ in 0..8 {
+                graph.add_job(&[], |ctx| ctx.rng().next_u64());
+            }
+            engine.run_graph(graph).expect_all("metrics A/B")
+        };
+        let on = Engine::new(2);
+        let off = Engine::with_metrics_disabled(2);
+        assert!(!off.metrics().is_enabled());
+        assert_eq!(run(&on), run(&off));
+        assert_eq!(off.metrics_snapshot().job_run[0].count(), 0);
+        assert!(on.metrics_snapshot().job_run[0].count() > 0);
+    }
+
+    #[test]
+    fn traced_spans_attribute_cache_hits_to_jobs() {
+        use crate::cache::ArtifactKey;
+        let engine = Engine::sequential();
+        let key = ArtifactKey::Custom { domain: 4, key: 4 };
+        let mut graph: JobGraph<u64> = JobGraph::new(2);
+        let a = graph.add_job(&[], move |ctx| *ctx.cache().get_or_compute(key, || 5u64));
+        graph.add_job(&[a], move |ctx| *ctx.cache().get_or_compute(key, || 5u64));
+        graph.enable_trace("cache-attribution");
+        let result = engine.run_graph(graph);
+        let trace = result.trace.expect("traced");
+        assert_eq!(
+            (trace.spans[0].cache_hits, trace.spans[0].cache_misses),
+            (0, 1),
+            "first toucher computes"
+        );
+        assert_eq!(
+            (trace.spans[1].cache_hits, trace.spans[1].cache_misses),
+            (1, 0),
+            "second toucher hits"
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 use crate::cache::ArtifactCache;
 use cvcp_data::rng::SeededRng;
+use cvcp_obs::GraphTrace;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -164,6 +165,11 @@ pub struct JobGraph<T> {
     pub(crate) jobs: Vec<GraphJob<T>>,
     pub(crate) cancel_token: Option<CancelToken>,
     pub(crate) priority: Priority,
+    /// Span recording for this graph (opt-in; `None` = no tracing).
+    pub(crate) trace_name: Option<String>,
+    /// Per-job display labels for traces; indexed by job, resized lazily
+    /// so untraced graphs never allocate here.
+    pub(crate) labels: Vec<String>,
 }
 
 impl<T> JobGraph<T> {
@@ -181,7 +187,35 @@ impl<T> JobGraph<T> {
             jobs: Vec::new(),
             cancel_token: None,
             priority: Priority::default(),
+            trace_name: None,
+            labels: Vec::new(),
         }
+    }
+
+    /// Enables span recording for this graph's execution: every executed
+    /// job gets a [`cvcp_obs::JobSpan`] (enqueue/start/end ticks, worker,
+    /// lane, cache hits), and the finished [`GraphTrace`] is returned on
+    /// [`GraphResult::trace`].  `name` becomes the trace's display name
+    /// (and, downstream, its file stem).  Tracing is timing-only: results
+    /// stay bit-identical with it on or off.
+    pub fn enable_trace(&mut self, name: impl Into<String>) {
+        self.trace_name = Some(name.into());
+    }
+
+    /// `true` once [`enable_trace`](Self::enable_trace) was called.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace_name.is_some()
+    }
+
+    /// Attaches a human-readable label to a job, shown in exported
+    /// timelines (e.g. `t0/p9/f3` for trial 0, parameter 9, fold 3).
+    /// Labels are only meaningful together with
+    /// [`enable_trace`](Self::enable_trace).
+    pub fn set_job_label(&mut self, id: JobId, label: impl Into<String>) {
+        if self.labels.len() < self.jobs.len() {
+            self.labels.resize(self.jobs.len(), String::new());
+        }
+        self.labels[id.0] = label.into();
     }
 
     /// Binds an external [`CancelToken`] to this graph: when the token is
@@ -271,6 +305,9 @@ impl<T> JobOutcome<T> {
 pub struct GraphResult<T> {
     /// One outcome per job, in insertion order.
     pub outcomes: Vec<JobOutcome<T>>,
+    /// The recorded execution timeline, when the graph was submitted with
+    /// [`JobGraph::enable_trace`]; `None` otherwise.
+    pub trace: Option<GraphTrace>,
 }
 
 impl<T> GraphResult<T> {

@@ -61,10 +61,19 @@ mod pool;
 pub use cache::{
     fingerprint_indices, fingerprint_matrix, ArtifactCache, ArtifactKey, ArtifactSize, CacheConfig,
     CacheStats, CostProfile, CostProfileEntry, EvictionPolicy, Fingerprint, FingerprintBuilder,
-    ShardStats, MAX_SHARDS,
+    KindLatencySnapshot, ShardStats, MAX_SHARDS,
 };
 pub use engine::{Engine, GraphHandle};
 pub use graph::{CancelToken, GraphResult, JobCtx, JobGraph, JobId, JobOutcome, Priority, N_LANES};
+
+// The observability vocabulary (histograms, metrics snapshots, traces,
+// profiles) is re-exported whole so downstream crates need no direct
+// `cvcp-obs` dependency.
+pub use cvcp_obs as obs;
+pub use cvcp_obs::{
+    EngineMetrics, GraphProfile, GraphTrace, HistogramSnapshot, JobSpan, MetricsSnapshot,
+    SpanRecorder, WorkerOccupancy, WorkerSnapshot,
+};
 
 /// Convenience re-exports.
 pub mod prelude {

@@ -20,12 +20,14 @@
 //! cannot poison the pool (verified by `tests/engine_determinism.rs`).
 
 use crate::graph::N_LANES;
+use cvcp_obs::EngineMetrics;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 pub(crate) type Task = Box<dyn FnOnce() + Send + 'static>;
 
@@ -39,6 +41,17 @@ thread_local! {
     static WORKER: Cell<Option<(u64, usize)>> = const { Cell::new(None) };
 }
 
+/// Index of the calling thread's worker *within the pool identified by
+/// `pool_id`* — `None` on non-worker threads and on workers of other
+/// pools.  Used to attribute trace spans to the right lane of the right
+/// pool's timeline.
+pub(crate) fn current_worker_in(pool_id: u64) -> Option<usize> {
+    WORKER
+        .with(Cell::get)
+        .filter(|&(pool, _)| pool == pool_id)
+        .map(|(_, index)| index)
+}
+
 struct State {
     injectors: [VecDeque<Task>; N_LANES],
     locals: Vec<[VecDeque<Task>; N_LANES]>,
@@ -49,6 +62,7 @@ struct Inner {
     id: u64,
     state: Mutex<State>,
     work_available: Condvar,
+    metrics: Arc<EngineMetrics>,
 }
 
 /// Cloneable submission handle onto a pool's queues.
@@ -84,9 +98,12 @@ pub(crate) struct ThreadPool {
 }
 
 impl ThreadPool {
-    /// Spawns `n_threads` workers (at least one).
-    pub(crate) fn new(n_threads: usize) -> Self {
+    /// Spawns `n_threads` workers (at least one).  Worker activity (tasks
+    /// executed, busy time, steals, parks) is recorded into `metrics`,
+    /// which must have been built for at least `n_threads` workers.
+    pub(crate) fn new(n_threads: usize, metrics: Arc<EngineMetrics>) -> Self {
         let n = n_threads.max(1);
+        debug_assert!(metrics.n_workers() >= n, "metrics sized for the pool");
         let inner = Arc::new(Inner {
             id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
             state: Mutex::new(State {
@@ -97,6 +114,7 @@ impl ThreadPool {
                 shutdown: false,
             }),
             work_available: Condvar::new(),
+            metrics,
         });
         let workers = (0..n)
             .map(|index| {
@@ -124,6 +142,12 @@ impl ThreadPool {
             .is_some_and(|(pool, _)| pool == self.inner.id)
     }
 
+    /// This pool's identity, matchable against [`current_worker_in`] from
+    /// any thread.
+    pub(crate) fn id(&self) -> u64 {
+        self.inner.id
+    }
+
     /// Number of workers.
     #[cfg(test)]
     pub(crate) fn n_threads(&self) -> usize {
@@ -148,42 +172,51 @@ impl Drop for ThreadPool {
 /// (newest-first — the continuation of the job this worker just ran is the
 /// cache-hot one), then the lane's shared injector (oldest-first,
 /// submission order), then the *oldest* task of the most loaded sibling.
-fn next_task_on_lane(state: &mut State, me: usize, lane: usize) -> Option<Task> {
+/// The `bool` says whether the task was stolen from a sibling.
+fn next_task_on_lane(state: &mut State, me: usize, lane: usize) -> Option<(Task, bool)> {
     if let Some(task) = state.locals[me][lane].pop_back() {
-        return Some(task);
+        return Some((task, false));
     }
     if let Some(task) = state.injectors[lane].pop_front() {
-        return Some(task);
+        return Some((task, false));
     }
     let victim = (0..state.locals.len())
         .filter(|&i| i != me)
         .max_by_key(|&i| state.locals[i][lane].len())
         .filter(|&i| !state.locals[i][lane].is_empty());
-    victim.and_then(|v| state.locals[v][lane].pop_front())
+    victim.and_then(|v| state.locals[v][lane].pop_front().map(|t| (t, true)))
 }
 
 fn worker_loop(inner: &Inner, me: usize) {
     WORKER.with(|cell| cell.set(Some((inner.id, me))));
+    let record = inner.metrics.is_enabled();
     loop {
-        let task = {
+        let (task, stolen) = {
             let mut state = inner.state.lock().expect("pool lock");
             'wait: loop {
                 // Lanes in priority order: the batch lane is only touched
                 // when no interactive task is queued anywhere.
                 for lane in 0..N_LANES {
-                    if let Some(task) = next_task_on_lane(&mut state, me, lane) {
-                        break 'wait task;
+                    if let Some(found) = next_task_on_lane(&mut state, me, lane) {
+                        break 'wait found;
                     }
                 }
                 if state.shutdown {
                     return;
                 }
+                inner.metrics.record_park(me);
                 state = inner.work_available.wait(state).expect("pool condvar wait");
             }
         };
+        let busy_from = record.then(Instant::now);
         // Backstop: graph jobs catch their own panics to record a Failed
         // outcome; this guard keeps the worker alive even for raw tasks.
         let _ = catch_unwind(AssertUnwindSafe(task));
+        if let Some(from) = busy_from {
+            inner
+                .metrics
+                .record_task(me, from.elapsed().as_nanos() as u64, stolen);
+        }
     }
 }
 
@@ -196,9 +229,18 @@ mod tests {
     const INTERACTIVE: usize = 0;
     const BATCH: usize = 1;
 
+    fn pool_with_metrics(n: usize) -> (ThreadPool, Arc<EngineMetrics>) {
+        let metrics = Arc::new(EngineMetrics::new(n.max(1), N_LANES));
+        (ThreadPool::new(n, Arc::clone(&metrics)), metrics)
+    }
+
+    fn pool(n: usize) -> ThreadPool {
+        pool_with_metrics(n).0
+    }
+
     #[test]
     fn runs_submitted_tasks_on_all_workers() {
-        let pool = ThreadPool::new(4);
+        let pool = pool(4);
         let handle = pool.handle();
         let counter = Arc::new(AtomicUsize::new(0));
         let (tx, rx) = mpsc::channel();
@@ -222,7 +264,7 @@ mod tests {
 
     #[test]
     fn panicking_task_does_not_kill_workers() {
-        let pool = ThreadPool::new(2);
+        let pool = pool(2);
         let handle = pool.handle();
         let (tx, rx) = mpsc::channel();
         handle.spawn(Box::new(|| panic!("boom")), INTERACTIVE);
@@ -237,7 +279,7 @@ mod tests {
 
     #[test]
     fn tasks_spawned_from_workers_are_executed() {
-        let pool = ThreadPool::new(2);
+        let pool = pool(2);
         let handle = pool.handle();
         let (tx, rx) = mpsc::channel();
         let inner_handle = handle.clone();
@@ -256,7 +298,7 @@ mod tests {
 
     #[test]
     fn zero_threads_is_clamped_to_one() {
-        let pool = ThreadPool::new(0);
+        let pool = pool(0);
         assert_eq!(pool.n_threads(), 1);
     }
 
@@ -266,7 +308,7 @@ mod tests {
         // gate task, three batch tasks and then two interactive tasks are
         // queued.  On release the worker must run the interactive tasks
         // first, even though the batch tasks were submitted earlier.
-        let pool = ThreadPool::new(1);
+        let pool = pool(1);
         let handle = pool.handle();
         let (gate_tx, gate_rx) = mpsc::channel::<()>();
         let (started_tx, started_rx) = mpsc::channel::<()>();

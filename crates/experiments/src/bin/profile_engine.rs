@@ -1,0 +1,156 @@
+//! `profile_engine` — the timeline / critical-path profiler behind the
+//! engine-scaling writeup in `EXPERIMENTS.md`.
+//!
+//! Runs the benchmark FOSC grid (the 125×144 ALOI-like replica, MinPts ∈
+//! {3..24 step 3}, 8 stratified folds, 10% labels) as a **traced**
+//! selection request at 1, 2, 4 and 8 engine workers, then:
+//!
+//! * asserts every run is bit-identical to the sequential reference
+//!   (tracing must never change results);
+//! * writes one Chrome `trace_event` file per worker count into
+//!   `CVCP_TRACE_DIR` (default `target/trace/`) — load them in Perfetto
+//!   or `about:tracing` to see the per-worker timeline;
+//! * prints each run's [`GraphProfile`] (critical path vs. wall time,
+//!   per-worker occupancy, steal ratio, queue waits) and writes the
+//!   whole sweep as JSON under `target/experiments/profile_engine.json`.
+//!
+//! Of `RUNS` traced runs per worker count, the fastest is reported — the
+//! slower ones serve as warm-up and noise rejection.
+
+use cvcp_core::json::{Json, ToJson};
+use cvcp_core::trace_export::{graph_profile_json, write_chrome_trace};
+use cvcp_core::{
+    run_selection_request_traced, Algorithm, Engine, GraphProfile, GraphTrace, SelectionRequest,
+    SideInfoSpec,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const RUNS: usize = 3;
+
+fn request(workers: usize) -> SelectionRequest {
+    SelectionRequest {
+        id: format!("fosc_grid_w{workers}"),
+        dataset: "aloi:0".to_string(),
+        algorithm: Algorithm::Fosc,
+        params: cvcp_experiments::MINPTS_RANGE.to_vec(),
+        side_info: SideInfoSpec::LabelFraction(0.1),
+        n_folds: 8,
+        stratified: true,
+        seed: 1,
+        priority: None,
+        trace: true,
+    }
+}
+
+fn trace_dir() -> PathBuf {
+    std::env::var("CVCP_TRACE_DIR")
+        .ok()
+        .filter(|v| !v.trim().is_empty())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target").join("trace"))
+}
+
+fn print_profile(profile: &GraphProfile) {
+    println!(
+        "\n[{}] {} workers | {} jobs ({} executed)",
+        profile.name, profile.n_workers, profile.n_jobs, profile.n_executed
+    );
+    println!(
+        "  wall {:.2} ms | busy {:.2} ms | critical path {:.2} ms ({} jobs deep)",
+        profile.wall_ns as f64 / 1e6,
+        profile.total_busy_ns as f64 / 1e6,
+        profile.critical_path_ns as f64 / 1e6,
+        profile.critical_path_jobs.len(),
+    );
+    println!(
+        "  parallelism {:.2}x | schedule overhead {:.1}% | steal ratio {:.3} | \
+         queue wait mean {:.3} ms / max {:.3} ms",
+        profile.parallelism,
+        profile.schedule_overhead * 100.0,
+        profile.steal_ratio,
+        profile.mean_queue_wait_ns() as f64 / 1e6,
+        profile.max_queue_wait_ns as f64 / 1e6,
+    );
+    for w in &profile.workers {
+        println!(
+            "    worker {}: {} tasks, busy {:.2} ms, occupancy {:.1}%",
+            w.worker,
+            w.tasks,
+            w.busy_ns as f64 / 1e6,
+            w.occupancy * 100.0,
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let dir = trace_dir();
+    let reference = {
+        let engine = Engine::sequential();
+        match run_selection_request_traced(&engine, &request(1), None, |_| {}) {
+            Ok((selection, _)) => selection,
+            Err(e) => {
+                eprintln!("profile_engine: reference run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    println!(
+        "profile_engine: FOSC grid, {} params x 8 folds; best of {RUNS} traced runs per \
+         worker count; traces under {}",
+        cvcp_experiments::MINPTS_RANGE.len(),
+        dir.display(),
+    );
+
+    let mut sweep: Vec<(usize, Json)> = Vec::new();
+    for &workers in &WORKER_COUNTS {
+        let mut best: Option<GraphTrace> = None;
+        for _ in 0..RUNS {
+            let engine = Engine::new(workers);
+            let (selection, trace) =
+                match run_selection_request_traced(&engine, &request(workers), None, |_| {}) {
+                    Ok(done) => done,
+                    Err(e) => {
+                        eprintln!("profile_engine: {workers}-worker run failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            assert_eq!(
+                selection, reference,
+                "traced {workers}-worker selection diverged from the sequential reference"
+            );
+            let trace = trace.expect("traced request returns a trace");
+            if best.as_ref().is_none_or(|b| trace.wall_ns < b.wall_ns) {
+                best = Some(trace);
+            }
+        }
+        let trace = best.expect("at least one run");
+        match write_chrome_trace(&trace, &dir) {
+            Ok(path) => println!("trace written: {}", path.display()),
+            Err(e) => {
+                eprintln!(
+                    "profile_engine: cannot write trace under {}: {e}",
+                    dir.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        let profile = GraphProfile::from_trace(&trace);
+        print_profile(&profile);
+        sweep.push((workers, graph_profile_json(&profile)));
+    }
+
+    let doc = Json::obj([
+        ("dataset", "aloi:0".to_json()),
+        ("params", cvcp_experiments::MINPTS_RANGE.to_vec().to_json()),
+        ("n_folds", 8usize.to_json()),
+        ("runs_per_worker_count", RUNS.to_json()),
+        (
+            "profiles",
+            Json::Arr(sweep.into_iter().map(|(_, p)| p).collect()),
+        ),
+    ]);
+    cvcp_experiments::write_json("profile_engine", &doc);
+    ExitCode::SUCCESS
+}

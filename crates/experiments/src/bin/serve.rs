@@ -15,7 +15,10 @@
 //! * `CVCP_QUEUE_DEPTH` — request queue capacity (default 32);
 //! * `CVCP_SERVER_WORKERS` — concurrent selection workers (default 2);
 //! * `CVCP_DEFAULT_PRIORITY` — scheduling lane for requests without an
-//!   explicit `"priority"` field: `interactive` (default) or `batch`.
+//!   explicit `"priority"` field: `interactive` (default) or `batch`;
+//! * `CVCP_TRACE_DIR` — when set, every served selection runs traced and
+//!   its Chrome `trace_event` file (`<request-id>.trace.json`, loadable
+//!   in Perfetto / `about:tracing`) is written into that directory.
 //!
 //! Drive it with the `cvcp-client` example of `cvcp-server`, e.g.:
 //!
@@ -62,6 +65,12 @@ fn main() -> ExitCode {
     }
     if let Some(path) = cost_profile_path_from_env() {
         println!("cost profile: persisted at {}", path.display());
+    }
+    if let Some(dir) = &config.trace_dir {
+        println!(
+            "tracing: every selection traced, files under {}",
+            dir.display()
+        );
     }
     server.wait();
     // Persist the learned cost profile eagerly: the engine's drop hook

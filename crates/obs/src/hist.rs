@@ -1,0 +1,260 @@
+//! Log-bucketed latency histograms with lock-free recording.
+//!
+//! [`LogHistogram`] is the always-on primitive behind every latency metric
+//! in the workspace: 64 power-of-two buckets over nanoseconds, one relaxed
+//! `fetch_add` per recorded sample, no locks and no allocation on the hot
+//! path.  The trade is resolution — a bucket spans one octave — which is
+//! exactly enough to answer "is p99 job latency 100µs or 10ms?" without
+//! perturbing the thing being measured.
+//!
+//! Reads go through [`LogHistogram::snapshot`], which produces a plain
+//! [`HistogramSnapshot`] value.  Snapshots merge *deterministically*
+//! (bucket-wise addition — merging per-shard or per-worker histograms in
+//! any order yields identical counts), and percentile queries are a pure
+//! function of the snapshot, so two observers of the same state always
+//! report the same p50/p90/p99.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two buckets: one per possible `floor(log2(nanos))`,
+/// covering the full `u64` nanosecond range (bucket 63 ≈ 292 years).
+pub const N_BUCKETS: usize = 64;
+
+/// Bucket index for a sample: `floor(log2(nanos))`, with 0ns sharing the
+/// `[1, 2)` bucket so every sample lands somewhere.
+fn bucket_of(nanos: u64) -> usize {
+    (63 - nanos.max(1).leading_zeros()) as usize
+}
+
+/// A concurrent histogram over nanosecond samples with power-of-two
+/// buckets.  Recording is wait-free (relaxed atomics); reading is a full
+/// [`snapshot`](LogHistogram::snapshot).
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one nanosecond sample.  Wait-free; safe to call from any
+    /// number of threads concurrently.
+    pub fn record(&self, nanos: u64) {
+        self.buckets[bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+        self.max.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Copies the current state into a plain value.  Concurrent recorders
+    /// may land between the bucket reads and the aggregate reads, so a
+    /// snapshot taken *during* recording is approximate at the margin; a
+    /// snapshot taken at rest is exact.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`LogHistogram`]: merges deterministically,
+/// answers percentile queries as a pure function of its buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: [u64; N_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with no samples.
+    pub fn empty() -> Self {
+        Self {
+            buckets: [0; N_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples in nanoseconds (saturating only at
+    /// `u64::MAX`, which no realistic workload reaches).
+    pub fn sum_nanos(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample, exact (not bucket-quantised).
+    pub fn max_nanos(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean in nanoseconds, 0 when empty.
+    pub fn mean_nanos(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The per-bucket counts (`buckets[i]` holds samples in
+    /// `[2^i, 2^(i+1))` nanoseconds, with 0ns folded into bucket 0).
+    pub fn buckets(&self) -> &[u64; N_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Bucket-wise sum of two snapshots.  Deterministic: merging any
+    /// partition of a sample set in any order reproduces the snapshot of
+    /// the whole set.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i] + other.buckets[i]),
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`q` in `[0, 1]`) in
+    /// nanoseconds: the inclusive upper edge of the bucket containing the
+    /// `ceil(q·count)`-th sample, clamped to the exact observed maximum.
+    /// Returns 0 for an empty snapshot.  Monotone in `q` by construction.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // The rank is at least 1 so p0 reports the first bucket's edge.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if i == 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median upper bound — see [`percentile`](Self::percentile).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th-percentile upper bound.
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th-percentile upper bound.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_octaves() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn empty_snapshot_reports_zeroes() {
+        let h = LogHistogram::new();
+        let s = h.snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean_nanos(), 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+    }
+
+    #[test]
+    fn percentiles_bound_the_true_quantile_from_above() {
+        let h = LogHistogram::new();
+        for v in [100u64, 200, 400, 800, 1600, 3200, 6400, 12800, 25600, 51200] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 10);
+        // The true median is between 1600 and 3200; the bucketed answer
+        // must be >= 1600 and <= the max.
+        assert!(s.p50() >= 1600 && s.p50() <= 51200);
+        assert_eq!(s.p99(), 51200, "p99 clamps to the exact max");
+        assert_eq!(s.max_nanos(), 51200);
+        assert_eq!(s.mean_nanos(), 10230);
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_exact() {
+        let h = LogHistogram::new();
+        h.record(777);
+        let s = h.snapshot();
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(s.percentile(q), 777, "q={q}");
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LogHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 4000);
+        assert_eq!(s.buckets().iter().sum::<u64>(), 4000);
+    }
+}

@@ -1,0 +1,240 @@
+//! The always-on engine metrics registry.
+//!
+//! One [`EngineMetrics`] lives for the lifetime of an engine and is shared
+//! (via `Arc`) with its thread pool and every graph execution.  Recording
+//! is a handful of relaxed atomic adds per event — cheap enough to leave
+//! on in production and in benchmarks (the `bench_engine` artifact asserts
+//! the overhead stays within budget).  A metrics-disabled registry (for
+//! the A/B half of that assertion) turns every record call into a branch
+//! on a constant-false bool.
+//!
+//! What is recorded, and where from:
+//!
+//! * **per-job run time** — the engine records each job's execute duration
+//!   ([`EngineMetrics::record_job_run`]), bucketed per lane;
+//! * **per-graph queue wait** — submit → first job start, per lane
+//!   ([`EngineMetrics::record_graph_queue_wait`]): how long a whole graph
+//!   sat before any worker touched it;
+//! * **per-worker activity** — tasks executed, busy nanoseconds, tasks
+//!   obtained by stealing, and parks (condvar waits), recorded by the pool
+//!   worker loop.
+
+use crate::hist::{HistogramSnapshot, LogHistogram};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Wait-free per-worker activity counters, recorded by the pool's worker
+/// loop.
+#[derive(Debug, Default)]
+struct WorkerCounters {
+    tasks: AtomicU64,
+    busy_nanos: AtomicU64,
+    steals: AtomicU64,
+    parks: AtomicU64,
+}
+
+/// A plain copy of one worker's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerSnapshot {
+    /// Tasks this worker executed (own, injected, or stolen).
+    pub tasks: u64,
+    /// Nanoseconds spent executing tasks (excludes queue handling and
+    /// parked time).
+    pub busy_nanos: u64,
+    /// Tasks obtained by stealing from a sibling's local deque.
+    pub steals: u64,
+    /// Times the worker parked on the pool condvar with no work found.
+    pub parks: u64,
+}
+
+/// The engine-wide always-on metrics registry.
+#[derive(Debug)]
+pub struct EngineMetrics {
+    enabled: bool,
+    job_run: Vec<LogHistogram>,
+    graph_queue_wait: Vec<LogHistogram>,
+    graphs_submitted: Vec<AtomicU64>,
+    workers: Vec<WorkerCounters>,
+}
+
+impl EngineMetrics {
+    /// A recording registry for `n_workers` pool workers and `n_lanes`
+    /// priority lanes.  `n_workers` may be 0 (inline engines have no
+    /// pool); graph- and job-level metrics still record.
+    pub fn new(n_workers: usize, n_lanes: usize) -> Self {
+        Self::build(n_workers, n_lanes, true)
+    }
+
+    /// A registry whose record calls all no-op.  Exists so benchmarks can
+    /// measure the cost of the enabled one against a true baseline.
+    pub fn disabled(n_workers: usize, n_lanes: usize) -> Self {
+        Self::build(n_workers, n_lanes, false)
+    }
+
+    fn build(n_workers: usize, n_lanes: usize, enabled: bool) -> Self {
+        Self {
+            enabled,
+            job_run: (0..n_lanes).map(|_| LogHistogram::new()).collect(),
+            graph_queue_wait: (0..n_lanes).map(|_| LogHistogram::new()).collect(),
+            graphs_submitted: (0..n_lanes).map(|_| AtomicU64::new(0)).collect(),
+            workers: (0..n_workers).map(|_| WorkerCounters::default()).collect(),
+        }
+    }
+
+    /// Whether record calls do anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Number of lanes this registry was built for.
+    pub fn n_lanes(&self) -> usize {
+        self.job_run.len()
+    }
+
+    /// Number of workers this registry was built for.
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Records one job's execute duration on `lane`.
+    pub fn record_job_run(&self, lane: usize, nanos: u64) {
+        if self.enabled {
+            self.job_run[lane].record(nanos);
+        }
+    }
+
+    /// Records a graph's submit → first-job-start wait on `lane`, and
+    /// counts the graph as submitted.
+    pub fn record_graph_queue_wait(&self, lane: usize, nanos: u64) {
+        if self.enabled {
+            self.graph_queue_wait[lane].record(nanos);
+            self.graphs_submitted[lane].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one executed task on `worker`: `stolen` says whether it
+    /// came from a sibling's local deque.
+    pub fn record_task(&self, worker: usize, busy_nanos: u64, stolen: bool) {
+        if self.enabled {
+            let w = &self.workers[worker];
+            w.tasks.fetch_add(1, Ordering::Relaxed);
+            w.busy_nanos.fetch_add(busy_nanos, Ordering::Relaxed);
+            if stolen {
+                w.steals.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records one park (condvar wait with empty queues) on `worker`.
+    pub fn record_park(&self, worker: usize) {
+        if self.enabled {
+            self.workers[worker].parks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Copies the whole registry into a plain value.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            job_run: self.job_run.iter().map(LogHistogram::snapshot).collect(),
+            graph_queue_wait: self
+                .graph_queue_wait
+                .iter()
+                .map(LogHistogram::snapshot)
+                .collect(),
+            graphs_submitted: self
+                .graphs_submitted
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            workers: self
+                .workers
+                .iter()
+                .map(|w| WorkerSnapshot {
+                    tasks: w.tasks.load(Ordering::Relaxed),
+                    busy_nanos: w.busy_nanos.load(Ordering::Relaxed),
+                    steals: w.steals.load(Ordering::Relaxed),
+                    parks: w.parks.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A plain copy of an [`EngineMetrics`] registry, one histogram snapshot
+/// per lane plus per-worker counters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Per-lane job execute-duration histograms.
+    pub job_run: Vec<HistogramSnapshot>,
+    /// Per-lane graph submit→first-start wait histograms.
+    pub graph_queue_wait: Vec<HistogramSnapshot>,
+    /// Graphs submitted per lane.
+    pub graphs_submitted: Vec<u64>,
+    /// Per-worker activity counters.
+    pub workers: Vec<WorkerSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// All lanes' job-run histograms merged into one.
+    pub fn job_run_all_lanes(&self) -> HistogramSnapshot {
+        self.job_run
+            .iter()
+            .fold(HistogramSnapshot::empty(), |acc, h| acc.merge(h))
+    }
+
+    /// Total tasks stolen across workers divided by total tasks executed;
+    /// 0 when nothing ran.
+    pub fn steal_ratio(&self) -> f64 {
+        let tasks: u64 = self.workers.iter().map(|w| w.tasks).sum();
+        if tasks == 0 {
+            return 0.0;
+        }
+        let steals: u64 = self.workers.iter().map(|w| w.steals).sum();
+        steals as f64 / tasks as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let m = EngineMetrics::disabled(2, 2);
+        m.record_job_run(0, 1000);
+        m.record_graph_queue_wait(1, 2000);
+        m.record_task(0, 500, true);
+        m.record_park(1);
+        let s = m.snapshot();
+        assert_eq!(
+            s,
+            MetricsSnapshot {
+                job_run: vec![HistogramSnapshot::empty(); 2],
+                graph_queue_wait: vec![HistogramSnapshot::empty(); 2],
+                graphs_submitted: vec![0, 0],
+                workers: vec![WorkerSnapshot::default(); 2],
+            }
+        );
+    }
+
+    #[test]
+    fn enabled_registry_attributes_events() {
+        let m = EngineMetrics::new(2, 2);
+        m.record_job_run(0, 1000);
+        m.record_job_run(0, 3000);
+        m.record_job_run(1, 8000);
+        m.record_graph_queue_wait(1, 4000);
+        m.record_task(0, 500, false);
+        m.record_task(1, 700, true);
+        m.record_park(1);
+        let s = m.snapshot();
+        assert_eq!(s.job_run[0].count(), 2);
+        assert_eq!(s.job_run[1].count(), 1);
+        assert_eq!(s.job_run_all_lanes().count(), 3);
+        assert_eq!(s.graphs_submitted, vec![0, 1]);
+        assert_eq!(s.graph_queue_wait[1].max_nanos(), 4000);
+        assert_eq!(s.workers[0].tasks, 1);
+        assert_eq!(s.workers[1].steals, 1);
+        assert_eq!(s.workers[1].parks, 1);
+        assert!((s.steal_ratio() - 0.5).abs() < 1e-12);
+    }
+}

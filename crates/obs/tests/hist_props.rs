@@ -1,0 +1,83 @@
+//! Property tests for the log-bucketed histogram under the vendored
+//! proptest shim:
+//!
+//! * merging the snapshots of any partition of a sample set reproduces
+//!   the snapshot of the whole set, in any merge order;
+//! * percentile queries are monotone in `q` and bound the exact sample
+//!   quantile from above (clamped to the exact max);
+//! * bucket totals always account for every recorded sample.
+
+use cvcp_obs::{HistogramSnapshot, LogHistogram};
+use proptest::prelude::*;
+
+/// Samples spanning many octaves, including the 0/1 shared bucket.
+fn arb_nanos() -> impl Strategy<Value = u64> {
+    (0u64..40, 0u64..1000).prop_map(|(shift, fill)| (1u64 << shift).saturating_add(fill) - 1)
+}
+
+fn record_all(samples: &[u64]) -> HistogramSnapshot {
+    let h = LogHistogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #[test]
+    fn merge_of_splits_equals_whole(
+        samples in proptest::collection::vec(arb_nanos(), 0..200),
+        cut_a in 0usize..201,
+        cut_b in 0usize..201,
+    ) {
+        let (lo, hi) = if cut_a <= cut_b { (cut_a, cut_b) } else { (cut_b, cut_a) };
+        let lo = lo.min(samples.len());
+        let hi = hi.min(samples.len());
+        let whole = record_all(&samples);
+        let a = record_all(&samples[..lo]);
+        let b = record_all(&samples[lo..hi]);
+        let c = record_all(&samples[hi..]);
+        // Any merge order reproduces the whole.
+        prop_assert_eq!(&a.merge(&b).merge(&c), &whole);
+        prop_assert_eq!(&c.merge(&a).merge(&b), &whole);
+        prop_assert_eq!(&HistogramSnapshot::empty().merge(&whole), &whole);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bound_the_sample_quantile(
+        samples in proptest::collection::vec(arb_nanos(), 1..150),
+    ) {
+        let snap = record_all(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let mut last = 0u64;
+        for &q in &qs {
+            let p = snap.percentile(q);
+            prop_assert!(p >= last, "percentile must be monotone in q");
+            last = p;
+
+            // The bucketed answer bounds the exact quantile from above.
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            prop_assert!(
+                p >= exact,
+                "p({q}) = {p} underestimates exact quantile {exact}"
+            );
+            prop_assert!(p <= snap.max_nanos(), "percentile exceeds the observed max");
+        }
+        prop_assert_eq!(snap.percentile(1.0), *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn bucket_totals_account_for_every_sample(
+        samples in proptest::collection::vec(arb_nanos(), 0..150),
+    ) {
+        let snap = record_all(&samples);
+        prop_assert_eq!(snap.count(), samples.len() as u64);
+        prop_assert_eq!(snap.buckets().iter().sum::<u64>(), samples.len() as u64);
+        prop_assert_eq!(snap.sum_nanos(), samples.iter().sum::<u64>());
+        prop_assert_eq!(snap.max_nanos(), samples.iter().copied().max().unwrap_or(0));
+    }
+}

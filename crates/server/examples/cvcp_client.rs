@@ -11,6 +11,13 @@
 //! * `--mode cancel`: sends a selection request and immediately drops the
 //!   connection, then polls `stats` until the server reports the request
 //!   as cancelled — proving client disconnects cancel the job DAG.
+//! * `--mode trace`: like `select`, but the request opts into per-job
+//!   tracing (`"trace": true`) and the returned critical-path profile is
+//!   printed after the ranking.  `--trace` adds the same opt-in to a
+//!   plain `select`.
+//! * `--mode metrics`: fetches the engine-wide metrics payload (latency
+//!   histograms, per-worker counters, cache latencies, queue admission
+//!   waits, last traced profile) and prints it as JSON.
 //! * `--mode stats` / `--mode ping` / `--mode shutdown`: the corresponding
 //!   control requests.
 //!
@@ -47,6 +54,7 @@ struct Options {
     verify: bool,
     threads: usize,
     priority: Option<Priority>,
+    trace: bool,
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -63,6 +71,7 @@ fn parse_options() -> Result<Options, String> {
         verify: true,
         threads: 4,
         priority: None,
+        trace: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -108,6 +117,7 @@ fn parse_options() -> Result<Options, String> {
             "--seed" => opts.seed = value()?.parse().map_err(|_| "bad --seed")?,
             "--id" => opts.id = value()?.to_string(),
             "--verify" => opts.verify = value()?.parse().map_err(|_| "bad --verify")?,
+            "--trace" => opts.trace = true,
             "--threads" => opts.threads = value()?.parse().map_err(|_| "bad --threads")?,
             "--priority" => {
                 let name = value()?;
@@ -142,6 +152,7 @@ fn selection_request(opts: &Options) -> SelectionRequest {
         stratified: true,
         seed: opts.seed,
         priority: opts.priority,
+        trace: opts.trace,
     }
 }
 
@@ -182,6 +193,7 @@ fn run_select(opts: &Options) -> Result<(), String> {
     let stream = send_request(&opts.addr, &Request::Select(request.clone()))
         .map_err(|e| format!("connect failed: {e}"))?;
     let mut result: Option<RankedSelection> = None;
+    let mut profile = None;
     let mut error: Option<String> = None;
     read_responses(stream, |response| match response {
         Response::Progress {
@@ -194,8 +206,13 @@ fn run_select(opts: &Options) -> Result<(), String> {
             println!("progress: param {param} -> {score:.6} ({completed}/{total})");
             true
         }
-        Response::Result { selection, .. } => {
+        Response::Result {
+            selection,
+            profile: p,
+            ..
+        } => {
             result = Some(selection);
+            profile = p;
             false
         }
         Response::Error { error: e, .. } => {
@@ -219,6 +236,12 @@ fn run_select(opts: &Options) -> Result<(), String> {
     );
     for entry in &served.ranking {
         println!("  ranked: param {} score {:.6}", entry.param, entry.score);
+    }
+    if opts.trace {
+        match profile {
+            Some(profile) => println!("profile: {}", profile.pretty()),
+            None => return Err("traced request returned no profile".to_string()),
+        }
     }
     if opts.verify {
         let realized = request
@@ -305,7 +328,7 @@ fn run_cancel(opts: &Options) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    let opts = match parse_options() {
+    let mut opts = match parse_options() {
         Ok(opts) => opts,
         Err(e) => {
             eprintln!("cvcp-client: {e}");
@@ -314,7 +337,24 @@ fn main() -> ExitCode {
     };
     let outcome = match opts.mode.as_str() {
         "select" => run_select(&opts),
+        "trace" => {
+            opts.trace = true;
+            run_select(&opts)
+        }
         "cancel" => run_cancel(&opts),
+        "metrics" => one_shot(&opts.addr, &Request::Metrics).and_then(|r| match r {
+            Response::Metrics(ref metrics) => {
+                println!("{}", r.to_json().pretty());
+                let tasks: u64 = metrics.workers.iter().map(|w| w.tasks).sum();
+                println!(
+                    "engine: {} thread(s), {} pool worker(s) | {} task(s) executed, \
+                     steal ratio {:.3}",
+                    metrics.engine_threads, metrics.pool_workers, tasks, metrics.steal_ratio,
+                );
+                Ok(())
+            }
+            other => Err(format!("unexpected metrics response: {other:?}")),
+        }),
         "stats" => one_shot(&opts.addr, &Request::Stats).map(|r| match r {
             Response::Stats(ref stats) => {
                 println!("{}", r.to_json().pretty());

@@ -18,6 +18,8 @@
 //! |--------------------------------|-------------------------------------------|
 //! | `{"type":"select", …}`         | `progress`* then `result` (or `error`)     |
 //! | `{"type":"stats"}`             | `stats` (cache, queue, request counters)   |
+//! | `{"type":"metrics"}`           | `metrics` (latency histograms, workers,    |
+//! |                                | cache latencies, last traced profile)      |
 //! | `{"type":"ping"}`              | `pong`                                     |
 //! | `{"type":"shutdown"}`          | `shutdown_ack`, then the server stops      |
 //!
@@ -40,6 +42,12 @@
 //! work — at the queue *and* at the job level, while a batch graph is
 //! already in flight.  The lane never changes results.
 //!
+//! Requests may also carry `"trace": true` to run traced: the `result`
+//! then includes a `"profile"` object (critical path, per-worker
+//! occupancy, steal ratio), and when the server was started with
+//! `CVCP_TRACE_DIR` a Chrome `trace_event` file named after the request
+//! id is written there.  Tracing never changes the selection itself.
+//!
 //! ```no_run
 //! use cvcp_engine::Engine;
 //! use cvcp_server::{Server, ServerConfig};
@@ -59,7 +67,8 @@ pub mod queue;
 mod server;
 
 pub use protocol::{
-    RankedEntry, RankedSelection, Request, RequestStats, Response, StatsSnapshot, WireError,
+    HistogramSummary, KindLatencyMetrics, MetricsPayload, RankedEntry, RankedSelection, Request,
+    RequestStats, Response, StatsSnapshot, WireError, WorkerMetrics,
 };
 pub use queue::{BoundedQueue, PushError};
 pub use server::{Server, ServerConfig};

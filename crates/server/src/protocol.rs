@@ -2,8 +2,9 @@
 //!
 //! Every message — in either direction — is one JSON object on one line,
 //! terminated by `\n`.  Requests carry a `"type"` discriminator
-//! (`select` / `stats` / `ping` / `shutdown`); responses mirror it
-//! (`progress` / `result` / `error` / `stats` / `pong` / `shutdown_ack`).
+//! (`select` / `stats` / `metrics` / `ping` / `shutdown`); responses
+//! mirror it (`progress` / `result` / `error` / `stats` / `metrics` /
+//! `pong` / `shutdown_ack`).
 //! The document model and parser live in [`cvcp_core::json`]; this module
 //! only maps between [`Json`] trees and typed messages, in both
 //! directions, so the server, the client example and the property tests
@@ -11,6 +12,7 @@
 
 use cvcp_core::json::{Json, ToJson};
 use cvcp_core::{Algorithm, CvcpSelection, SelectionRequest, SideInfoSpec};
+use cvcp_engine::obs::HistogramSnapshot;
 use cvcp_engine::{CacheStats, Priority, ShardStats};
 
 /// A structured protocol-level failure, sent to clients as an `error`
@@ -42,6 +44,9 @@ pub enum Request {
     Select(SelectionRequest),
     /// Report cache / queue / request statistics.
     Stats,
+    /// Report engine metrics: latency histograms, per-worker counters,
+    /// cache latencies and the profile of the last traced graph.
+    Metrics,
     /// Liveness probe.
     Ping,
     /// Gracefully shut the server down.
@@ -63,6 +68,7 @@ impl Request {
         match kind {
             "select" => Ok(Request::Select(selection_request_from_json(&doc)?)),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(WireError::new(
@@ -77,6 +83,7 @@ impl Request {
         match self {
             Request::Select(req) => selection_request_to_json(req),
             Request::Stats => Json::obj([("type", "stats".to_json())]),
+            Request::Metrics => Json::obj([("type", "metrics".to_json())]),
             Request::Ping => Json::obj([("type", "ping".to_json())]),
             Request::Shutdown => Json::obj([("type", "shutdown".to_json())]),
         }
@@ -209,6 +216,7 @@ fn selection_request_from_json(doc: &Json) -> Result<SelectionRequest, WireError
         stratified: optional_bool(doc, "stratified", true)?,
         seed: optional_u64(doc, "seed", 0)?,
         priority,
+        trace: optional_bool(doc, "trace", false)?,
     })
 }
 
@@ -228,6 +236,10 @@ fn selection_request_to_json(req: &SelectionRequest) -> Json {
     // "absent = server default" round-trips.
     if let Some(priority) = req.priority {
         fields.push(("priority", priority.name().to_json()));
+    }
+    // Tracing is strictly opt-in; the default (off) is never serialised.
+    if req.trace {
+        fields.push(("trace", true.to_json()));
     }
     Json::obj(fields)
 }
@@ -323,6 +335,138 @@ impl RankedSelection {
     }
 }
 
+/// A latency distribution condensed for the wire: count and the
+/// percentile ladder of a [`HistogramSnapshot`], in nanoseconds.  Full
+/// bucket arrays stay server-side; the summary is what dashboards need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSummary {
+    /// Recorded samples.
+    pub count: u64,
+    /// Mean of the recorded values.
+    pub mean_ns: u64,
+    /// Median upper bound (log-bucket resolution).
+    pub p50_ns: u64,
+    /// 90th-percentile upper bound.
+    pub p90_ns: u64,
+    /// 99th-percentile upper bound.
+    pub p99_ns: u64,
+    /// Exact maximum recorded value.
+    pub max_ns: u64,
+}
+
+impl HistogramSummary {
+    /// Condenses a snapshot.
+    pub fn from_snapshot(snapshot: &HistogramSnapshot) -> Self {
+        Self {
+            count: snapshot.count(),
+            mean_ns: snapshot.mean_nanos(),
+            p50_ns: snapshot.p50(),
+            p90_ns: snapshot.p90(),
+            p99_ns: snapshot.p99(),
+            max_ns: snapshot.max_nanos(),
+        }
+    }
+}
+
+fn summary_to_json(s: &HistogramSummary) -> Json {
+    Json::obj([
+        ("count", s.count.to_json()),
+        ("mean_ns", s.mean_ns.to_json()),
+        ("p50_ns", s.p50_ns.to_json()),
+        ("p90_ns", s.p90_ns.to_json()),
+        ("p99_ns", s.p99_ns.to_json()),
+        ("max_ns", s.max_ns.to_json()),
+    ])
+}
+
+fn summary_from_json(doc: &Json) -> Result<HistogramSummary, WireError> {
+    Ok(HistogramSummary {
+        count: require_u64(doc, "count")?,
+        mean_ns: require_u64(doc, "mean_ns")?,
+        p50_ns: require_u64(doc, "p50_ns")?,
+        p90_ns: require_u64(doc, "p90_ns")?,
+        p99_ns: require_u64(doc, "p99_ns")?,
+        max_ns: require_u64(doc, "max_ns")?,
+    })
+}
+
+fn summaries_to_json(summaries: &[HistogramSummary]) -> Json {
+    Json::Arr(summaries.iter().map(summary_to_json).collect())
+}
+
+fn summaries_from_json(doc: &Json, field: &str) -> Result<Vec<HistogramSummary>, WireError> {
+    doc.as_arr()
+        .ok_or_else(|| {
+            WireError::new(
+                "invalid_request",
+                format!("field {field:?} must be an array"),
+            )
+        })?
+        .iter()
+        .map(summary_from_json)
+        .collect()
+}
+
+/// One pool worker's counters on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerMetrics {
+    /// Worker index.
+    pub worker: usize,
+    /// Tasks executed.
+    pub tasks: u64,
+    /// Nanoseconds spent executing tasks.
+    pub busy_ns: u64,
+    /// Tasks stolen from a sibling's deque.
+    pub steals: u64,
+    /// Times the worker parked waiting for work.
+    pub parks: u64,
+}
+
+/// Per-artifact-kind cache latency summaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KindLatencyMetrics {
+    /// Artifact kind name (see `cvcp_engine::cache`).
+    pub kind: String,
+    /// Latency of cache hits (lookup only).
+    pub get: HistogramSummary,
+    /// Latency of misses (the artifact computation).
+    pub compute: HistogramSummary,
+}
+
+/// The payload of a `metrics` response: engine-wide latency
+/// distributions, per-worker counters, per-kind cache latencies, the
+/// serving queue's admission waits, and the [`cvcp_engine::GraphProfile`]
+/// of the most recent traced selection (as its JSON rendering, when one
+/// exists).
+///
+/// Per-lane vectors are indexed by [`Priority::lane_index`]
+/// (interactive first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsPayload {
+    /// The engine's thread count.
+    pub engine_threads: usize,
+    /// Pool workers (0 on a sequential engine — all lanes still count).
+    pub pool_workers: usize,
+    /// Graphs submitted per lane.
+    pub graphs_submitted: Vec<u64>,
+    /// Per-job run-time distribution per lane.
+    pub job_run: Vec<HistogramSummary>,
+    /// Submit-to-first-job-start wait per lane.
+    pub graph_queue_wait: Vec<HistogramSummary>,
+    /// Per-worker counters, in worker order.
+    pub workers: Vec<WorkerMetrics>,
+    /// Stolen tasks over executed tasks, across all workers.
+    pub steal_ratio: f64,
+    /// Cache get/compute latency per artifact kind, in kind order.
+    pub cache_kinds: Vec<KindLatencyMetrics>,
+    /// Accept-to-dequeue wait of the serving queue per lane.
+    pub queue_admission_wait: Vec<HistogramSummary>,
+    /// JSON rendering of the last traced graph's profile
+    /// (`cvcp_core::trace_export::graph_profile_json`), if any selection
+    /// ran traced since startup.
+    pub last_profile: Option<Json>,
+}
+
 /// Request / lifecycle counters of the server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RequestStats {
@@ -354,6 +498,9 @@ pub struct StatsSnapshot {
     pub queue_batch: usize,
     /// Configured queue capacity (shared across lanes).
     pub queue_capacity: usize,
+    /// Accept-to-dequeue wait distribution per lane, in
+    /// [`Priority::lane_index`] order (interactive first).
+    pub queue_wait: Vec<HistogramSummary>,
     /// Configured worker count.
     pub workers: usize,
     /// The engine's thread count.
@@ -384,6 +531,10 @@ pub enum Response {
         id: String,
         /// The ranked payload.
         selection: RankedSelection,
+        /// The traced run's profile (JSON rendering of
+        /// [`cvcp_engine::GraphProfile`]), present only when the request
+        /// asked for tracing (`"trace": true`).
+        profile: Option<Json>,
     },
     /// A structured failure.
     Error {
@@ -394,6 +545,8 @@ pub enum Response {
     },
     /// Statistics snapshot.
     Stats(StatsSnapshot),
+    /// Engine metrics snapshot.
+    Metrics(MetricsPayload),
     /// Liveness answer.
     Pong,
     /// Shutdown acknowledgement (the listener stops after sending it).
@@ -418,14 +571,24 @@ impl Response {
                 ("completed", completed.to_json()),
                 ("total", total.to_json()),
             ]),
-            Response::Result { id, selection } => Json::obj([
-                ("type", "result".to_json()),
-                ("id", id.to_json()),
-                ("best_param", selection.best_param.to_json()),
-                ("best_score", selection.best_score.to_json()),
-                ("ranking", entries_to_json(&selection.ranking)),
-                ("evaluations", entries_to_json(&selection.evaluations)),
-            ]),
+            Response::Result {
+                id,
+                selection,
+                profile,
+            } => {
+                let mut fields = vec![
+                    ("type", "result".to_json()),
+                    ("id", id.to_json()),
+                    ("best_param", selection.best_param.to_json()),
+                    ("best_score", selection.best_score.to_json()),
+                    ("ranking", entries_to_json(&selection.ranking)),
+                    ("evaluations", entries_to_json(&selection.evaluations)),
+                ];
+                if let Some(profile) = profile {
+                    fields.push(("profile", profile.clone()));
+                }
+                Json::obj(fields)
+            }
             Response::Error { id, error } => Json::obj([
                 ("type", "error".to_json()),
                 ("id", id.clone().to_json()),
@@ -459,6 +622,7 @@ impl Response {
                         ("interactive_depth", stats.queue_interactive.to_json()),
                         ("batch_depth", stats.queue_batch.to_json()),
                         ("capacity", stats.queue_capacity.to_json()),
+                        ("admission_wait", summaries_to_json(&stats.queue_wait)),
                         ("workers", stats.workers.to_json()),
                     ]),
                 ),
@@ -477,6 +641,68 @@ impl Response {
                     Json::obj([("threads", stats.engine_threads.to_json())]),
                 ),
             ]),
+            Response::Metrics(metrics) => {
+                let mut engine = vec![
+                    ("threads", metrics.engine_threads.to_json()),
+                    ("pool_workers", metrics.pool_workers.to_json()),
+                    ("graphs_submitted", metrics.graphs_submitted.to_json()),
+                    ("job_run", summaries_to_json(&metrics.job_run)),
+                    (
+                        "graph_queue_wait",
+                        summaries_to_json(&metrics.graph_queue_wait),
+                    ),
+                    ("steal_ratio", metrics.steal_ratio.to_json()),
+                    (
+                        "workers",
+                        Json::Arr(
+                            metrics
+                                .workers
+                                .iter()
+                                .map(|w| {
+                                    Json::obj([
+                                        ("worker", w.worker.to_json()),
+                                        ("tasks", w.tasks.to_json()),
+                                        ("busy_ns", w.busy_ns.to_json()),
+                                        ("steals", w.steals.to_json()),
+                                        ("parks", w.parks.to_json()),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ];
+                engine.push((
+                    "cache_kinds",
+                    Json::Arr(
+                        metrics
+                            .cache_kinds
+                            .iter()
+                            .map(|k| {
+                                Json::obj([
+                                    ("kind", k.kind.to_json()),
+                                    ("get", summary_to_json(&k.get)),
+                                    ("compute", summary_to_json(&k.compute)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+                let mut fields = vec![
+                    ("type", "metrics".to_json()),
+                    ("engine", Json::obj(engine)),
+                    (
+                        "queue",
+                        Json::obj([(
+                            "admission_wait",
+                            summaries_to_json(&metrics.queue_admission_wait),
+                        )]),
+                    ),
+                ];
+                if let Some(profile) = &metrics.last_profile {
+                    fields.push(("last_profile", profile.clone()));
+                }
+                Json::obj(fields)
+            }
             Response::Pong => Json::obj([("type", "pong".to_json())]),
             Response::ShutdownAck => Json::obj([("type", "shutdown_ack".to_json())]),
         }
@@ -510,6 +736,10 @@ impl Response {
                     best_score: require_f64(&doc, "best_score")?,
                     ranking: entries_from_json(require(&doc, "ranking")?)?,
                     evaluations: entries_from_json(require(&doc, "evaluations")?)?,
+                },
+                profile: match doc.get("profile") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(v.clone()),
                 },
             }),
             "error" => Ok(Response::Error {
@@ -545,6 +775,10 @@ impl Response {
                     queue_interactive: require_usize(queue, "interactive_depth")?,
                     queue_batch: require_usize(queue, "batch_depth")?,
                     queue_capacity: require_usize(queue, "capacity")?,
+                    queue_wait: summaries_from_json(
+                        require(queue, "admission_wait")?,
+                        "admission_wait",
+                    )?,
                     workers: require_usize(queue, "workers")?,
                     engine_threads: require_usize(engine, "threads")?,
                     requests: RequestStats {
@@ -553,6 +787,82 @@ impl Response {
                         cancelled: require_u64(requests, "cancelled")?,
                         rejected: require_u64(requests, "rejected")?,
                         failed: require_u64(requests, "failed")?,
+                    },
+                }))
+            }
+            "metrics" => {
+                let engine = require(&doc, "engine")?;
+                let queue = require(&doc, "queue")?;
+                let workers = engine
+                    .get("workers")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| {
+                        WireError::new("invalid_request", "field \"workers\" must be an array")
+                    })?
+                    .iter()
+                    .map(|w| {
+                        Ok(WorkerMetrics {
+                            worker: require_usize(w, "worker")?,
+                            tasks: require_u64(w, "tasks")?,
+                            busy_ns: require_u64(w, "busy_ns")?,
+                            steals: require_u64(w, "steals")?,
+                            parks: require_u64(w, "parks")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, WireError>>()?;
+                let cache_kinds = engine
+                    .get("cache_kinds")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| {
+                        WireError::new("invalid_request", "field \"cache_kinds\" must be an array")
+                    })?
+                    .iter()
+                    .map(|k| {
+                        Ok(KindLatencyMetrics {
+                            kind: require_str(k, "kind")?,
+                            get: summary_from_json(require(k, "get")?)?,
+                            compute: summary_from_json(require(k, "compute")?)?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, WireError>>()?;
+                let graphs_submitted = engine
+                    .get("graphs_submitted")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| {
+                        WireError::new(
+                            "invalid_request",
+                            "field \"graphs_submitted\" must be an array",
+                        )
+                    })?
+                    .iter()
+                    .map(|v| {
+                        v.as_u64().ok_or_else(|| {
+                            WireError::new(
+                                "invalid_request",
+                                "field \"graphs_submitted\" must contain integers",
+                            )
+                        })
+                    })
+                    .collect::<Result<Vec<_>, WireError>>()?;
+                Ok(Response::Metrics(MetricsPayload {
+                    engine_threads: require_usize(engine, "threads")?,
+                    pool_workers: require_usize(engine, "pool_workers")?,
+                    graphs_submitted,
+                    job_run: summaries_from_json(require(engine, "job_run")?, "job_run")?,
+                    graph_queue_wait: summaries_from_json(
+                        require(engine, "graph_queue_wait")?,
+                        "graph_queue_wait",
+                    )?,
+                    workers,
+                    steal_ratio: require_f64(engine, "steal_ratio")?,
+                    cache_kinds,
+                    queue_admission_wait: summaries_from_json(
+                        require(queue, "admission_wait")?,
+                        "admission_wait",
+                    )?,
+                    last_profile: match doc.get("last_profile") {
+                        None | Some(Json::Null) => None,
+                        Some(v) => Some(v.clone()),
                     },
                 }))
             }
@@ -665,6 +975,7 @@ mod tests {
             stratified: true,
             seed: 99,
             priority: None,
+            trace: false,
         }
     }
 
@@ -698,9 +1009,30 @@ mod tests {
 
     #[test]
     fn control_requests_round_trip() {
-        for req in [Request::Stats, Request::Ping, Request::Shutdown] {
+        for req in [
+            Request::Stats,
+            Request::Metrics,
+            Request::Ping,
+            Request::Shutdown,
+        ] {
             assert_eq!(Request::from_line(&req.to_line()).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn trace_flag_round_trips_and_defaults_off() {
+        // Tracing is strictly opt-in: the default is absent on the wire…
+        let line = Request::Select(sample_request()).to_line();
+        assert!(!line.contains("trace"));
+        // …an explicit request round-trips…
+        let mut request = sample_request();
+        request.trace = true;
+        let line = Request::Select(request.clone()).to_line();
+        assert!(line.contains("\"trace\":true"));
+        assert_eq!(Request::from_line(&line).unwrap(), Request::Select(request));
+        // …and non-boolean values are structured errors.
+        let bad = r#"{"type":"select","dataset":"iris_like","algorithm":"fosc","side_info":{"kind":"labels","fraction":0.2},"trace":"yes"}"#;
+        assert_eq!(Request::from_line(bad).unwrap_err().code, "invalid_request");
     }
 
     #[test]
@@ -798,6 +1130,26 @@ mod tests {
                         score: 0.75,
                     }],
                 },
+                profile: None,
+            },
+            Response::Result {
+                id: "traced".into(),
+                selection: RankedSelection {
+                    best_param: 3,
+                    best_score: 0.5,
+                    ranking: vec![RankedEntry {
+                        param: 3,
+                        score: 0.5,
+                    }],
+                    evaluations: vec![RankedEntry {
+                        param: 3,
+                        score: 0.5,
+                    }],
+                },
+                profile: Some(Json::obj([
+                    ("graph", "traced".to_json()),
+                    ("parallelism", 2.5.to_json()),
+                ])),
             },
             Response::Error {
                 id: None,
@@ -842,6 +1194,17 @@ mod tests {
                 queue_interactive: 1,
                 queue_batch: 0,
                 queue_capacity: 32,
+                queue_wait: vec![
+                    HistogramSummary {
+                        count: 4,
+                        mean_ns: 1500,
+                        p50_ns: 1023,
+                        p90_ns: 4095,
+                        p99_ns: 4095,
+                        max_ns: 3999,
+                    },
+                    HistogramSummary::default(),
+                ],
                 workers: 2,
                 engine_threads: 8,
                 requests: RequestStats {
@@ -856,6 +1219,60 @@ mod tests {
             Response::ShutdownAck,
         ];
         for response in responses {
+            let line = response.to_line();
+            assert!(!line.contains('\n'));
+            assert_eq!(Response::from_line(&line).unwrap(), response, "{line}");
+        }
+    }
+
+    #[test]
+    fn metrics_response_round_trips() {
+        let summary = HistogramSummary {
+            count: 12,
+            mean_ns: 2048,
+            p50_ns: 2047,
+            p90_ns: 8191,
+            p99_ns: 8191,
+            max_ns: 8000,
+        };
+        for last_profile in [
+            None,
+            Some(Json::obj([
+                ("graph", "req-7".to_json()),
+                ("critical_path_us", 1234.5.to_json()),
+            ])),
+        ] {
+            let response = Response::Metrics(MetricsPayload {
+                engine_threads: 4,
+                pool_workers: 4,
+                graphs_submitted: vec![3, 1],
+                job_run: vec![summary, HistogramSummary::default()],
+                graph_queue_wait: vec![summary, HistogramSummary::default()],
+                workers: vec![
+                    WorkerMetrics {
+                        worker: 0,
+                        tasks: 40,
+                        busy_ns: 9_000_000,
+                        steals: 3,
+                        parks: 7,
+                    },
+                    WorkerMetrics {
+                        worker: 1,
+                        tasks: 38,
+                        busy_ns: 8_500_000,
+                        steals: 5,
+                        parks: 9,
+                    },
+                ],
+                steal_ratio: 0.1025390625,
+                cache_kinds: vec![KindLatencyMetrics {
+                    kind: "pairwise_distances".into(),
+                    get: summary,
+                    compute: HistogramSummary::default(),
+                }],
+                queue_admission_wait: vec![summary, HistogramSummary::default()],
+                last_profile,
+            });
             let line = response.to_line();
             assert!(!line.contains('\n'));
             assert_eq!(Response::from_line(&line).unwrap(), response, "{line}");

@@ -26,9 +26,11 @@
 //! is the intended trade for this workload (interactive requests are
 //! short; batch fan-outs are long).
 
+use cvcp_engine::obs::{HistogramSnapshot, LogHistogram};
 use cvcp_engine::{Priority, N_LANES};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 /// Why [`BoundedQueue::try_push`] handed an item back.
 #[derive(Debug, PartialEq, Eq)]
@@ -42,8 +44,10 @@ pub enum PushError<T> {
 struct QueueState<T> {
     /// One FIFO per lane, indexed by [`Priority::lane_index`]
     /// (interactive-first — the engine's own lane mapping, so queue
-    /// admission and pool scheduling can never disagree).
-    lanes: [VecDeque<T>; N_LANES],
+    /// admission and pool scheduling can never disagree).  Each item
+    /// carries its admission instant so `pop` can attribute the
+    /// accept-to-dequeue wait to the lane it was queued on.
+    lanes: [VecDeque<(Instant, T)>; N_LANES],
     closed: bool,
 }
 
@@ -59,6 +63,11 @@ pub struct BoundedQueue<T> {
     state: Mutex<QueueState<T>>,
     available: Condvar,
     capacity: usize,
+    /// Accept-to-dequeue wait per lane (always-on; a few relaxed atomic
+    /// adds per item).  This is *admission* wait — time a request spent in
+    /// this queue before a worker picked it up — as opposed to the
+    /// engine-side queue wait the [`cvcp_engine::EngineMetrics`] track.
+    admission_wait: [LogHistogram; N_LANES],
 }
 
 impl<T> BoundedQueue<T> {
@@ -73,7 +82,17 @@ impl<T> BoundedQueue<T> {
             }),
             available: Condvar::new(),
             capacity,
+            admission_wait: std::array::from_fn(|_| LogHistogram::new()),
         }
+    }
+
+    /// Accept-to-dequeue wait distributions, one [`HistogramSnapshot`] per
+    /// lane in [`Priority::lane_index`] order (interactive first).
+    pub fn admission_wait_snapshots(&self) -> Vec<HistogramSnapshot> {
+        self.admission_wait
+            .iter()
+            .map(LogHistogram::snapshot)
+            .collect()
     }
 
     /// The configured capacity (shared across lanes).
@@ -116,7 +135,7 @@ impl<T> BoundedQueue<T> {
         if state.len() >= self.capacity {
             return Err(PushError::Full(item));
         }
-        state.lanes[priority.lane_index()].push_back(item);
+        state.lanes[priority.lane_index()].push_back((Instant::now(), item));
         drop(state);
         self.available.notify_one();
         Ok(())
@@ -129,7 +148,8 @@ impl<T> BoundedQueue<T> {
         let mut state = self.state.lock().expect("queue lock");
         loop {
             for lane in 0..state.lanes.len() {
-                if let Some(item) = state.lanes[lane].pop_front() {
+                if let Some((admitted, item)) = state.lanes[lane].pop_front() {
+                    self.admission_wait[lane].record(admitted.elapsed().as_nanos() as u64);
                     return Some(item);
                 }
             }
@@ -260,6 +280,24 @@ mod tests {
             "the re-submitted request must precede the later admission"
         );
         assert_eq!(queue.pop(), Some("r4"));
+    }
+
+    #[test]
+    fn admission_wait_is_attributed_per_lane() {
+        let queue = BoundedQueue::new(4);
+        queue.try_push_with("i", Priority::Interactive).unwrap();
+        queue.try_push_with("b", Priority::Batch).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert_eq!(queue.pop(), Some("i"));
+        assert_eq!(queue.pop(), Some("b"));
+        let waits = queue.admission_wait_snapshots();
+        assert_eq!(waits.len(), N_LANES);
+        assert_eq!(waits[Priority::Interactive.lane_index()].count(), 1);
+        assert_eq!(waits[Priority::Batch.lane_index()].count(), 1);
+        assert!(
+            waits.iter().all(|w| w.max_nanos() >= 2_000_000),
+            "both items waited at least the 2ms sleep"
+        );
     }
 
     #[test]

@@ -18,15 +18,23 @@
 //! so clients see back-pressure as a structured error they can retry,
 //! instead of an unbounded stall.
 
-use crate::protocol::{RankedSelection, Request, RequestStats, Response, StatsSnapshot, WireError};
+use crate::protocol::{
+    HistogramSummary, KindLatencyMetrics, MetricsPayload, RankedSelection, Request, RequestStats,
+    Response, StatsSnapshot, WireError, WorkerMetrics,
+};
 use crate::queue::{BoundedQueue, PushError};
-use cvcp_core::{run_selection_request, RunRequestError, SelectionRequest};
-use cvcp_engine::{CancelToken, Engine, Priority};
+use cvcp_core::json::Json;
+use cvcp_core::trace_export::{graph_profile_json, write_chrome_trace};
+use cvcp_core::{
+    run_selection_request, run_selection_request_traced, RunRequestError, SelectionRequest,
+};
+use cvcp_engine::{CancelToken, Engine, GraphProfile, Priority};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -50,6 +58,11 @@ pub struct ServerConfig {
     /// The scheduling lane applied to requests that do not carry an
     /// explicit `"priority"` field (default [`Priority::Interactive`]).
     pub default_priority: Priority,
+    /// When set, **every** selection runs traced and its Chrome trace
+    /// file is written into this directory (`<id>.trace.json`).  `None`
+    /// (the default) keeps tracing strictly per-request opt-in via the
+    /// `"trace": true` wire field.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +72,7 @@ impl Default for ServerConfig {
             queue_depth: 32,
             workers: 2,
             default_priority: Priority::Interactive,
+            trace_dir: None,
         }
     }
 }
@@ -70,7 +84,9 @@ impl ServerConfig {
     /// * `CVCP_QUEUE_DEPTH` — request queue capacity (default 32);
     /// * `CVCP_SERVER_WORKERS` — selection workers (default 2);
     /// * `CVCP_DEFAULT_PRIORITY` — lane for requests without an explicit
-    ///   `"priority"` field: `interactive` (default) or `batch`.
+    ///   `"priority"` field: `interactive` (default) or `batch`;
+    /// * `CVCP_TRACE_DIR` — when set (non-empty), every selection runs
+    ///   traced and its Chrome trace file lands in that directory.
     ///
     /// Unset or unparsable variables keep their defaults.
     pub fn from_env() -> Self {
@@ -89,6 +105,10 @@ impl ServerConfig {
                 .ok()
                 .and_then(|v| Priority::parse(&v))
                 .unwrap_or(defaults.default_priority),
+            trace_dir: std::env::var("CVCP_TRACE_DIR")
+                .ok()
+                .filter(|v| !v.trim().is_empty())
+                .map(PathBuf::from),
         }
     }
 }
@@ -129,6 +149,10 @@ struct Shared {
     default_priority: Priority,
     shutdown: AtomicBool,
     addr: SocketAddr,
+    trace_dir: Option<PathBuf>,
+    /// JSON rendering of the most recent traced selection's
+    /// [`GraphProfile`], served by the `metrics` endpoint.
+    last_profile: Mutex<Option<Json>>,
 }
 
 impl Shared {
@@ -144,6 +168,62 @@ impl Shared {
             workers: self.workers,
             engine_threads: self.engine.n_threads(),
             requests: self.counters.snapshot(),
+            queue_wait: self
+                .queue
+                .admission_wait_snapshots()
+                .iter()
+                .map(HistogramSummary::from_snapshot)
+                .collect(),
+        }
+    }
+
+    fn metrics(&self) -> MetricsPayload {
+        let snapshot = self.engine.metrics_snapshot();
+        MetricsPayload {
+            engine_threads: self.engine.n_threads(),
+            pool_workers: snapshot.workers.len(),
+            graphs_submitted: snapshot.graphs_submitted.clone(),
+            job_run: snapshot
+                .job_run
+                .iter()
+                .map(HistogramSummary::from_snapshot)
+                .collect(),
+            graph_queue_wait: snapshot
+                .graph_queue_wait
+                .iter()
+                .map(HistogramSummary::from_snapshot)
+                .collect(),
+            workers: snapshot
+                .workers
+                .iter()
+                .enumerate()
+                .map(|(worker, w)| WorkerMetrics {
+                    worker,
+                    tasks: w.tasks,
+                    busy_ns: w.busy_nanos,
+                    steals: w.steals,
+                    parks: w.parks,
+                })
+                .collect(),
+            steal_ratio: snapshot.steal_ratio(),
+            cache_kinds: self
+                .engine
+                .cache()
+                .kind_latency_snapshots()
+                .iter()
+                .map(|k| KindLatencyMetrics {
+                    kind: k.kind.to_string(),
+                    get: HistogramSummary::from_snapshot(&k.get),
+                    compute: HistogramSummary::from_snapshot(&k.compute),
+                })
+                .collect(),
+            queue_admission_wait: self
+                .queue
+                .admission_wait_snapshots()
+                .iter()
+                .map(HistogramSummary::from_snapshot)
+                .collect(),
+            last_profile: self.last_profile.lock().expect("profile lock").clone(),
         }
     }
 
@@ -193,6 +273,8 @@ impl Server {
             default_priority: config.default_priority,
             shutdown: AtomicBool::new(false),
             addr,
+            trace_dir: config.trace_dir.clone(),
+            last_profile: Mutex::new(None),
         });
         let workers = (0..config.workers)
             .map(|_| {
@@ -319,6 +401,9 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
         }
         Ok(Request::Stats) => {
             let _ = write_response(&mut writer, &Response::Stats(shared.stats()));
+        }
+        Ok(Request::Metrics) => {
+            let _ = write_response(&mut writer, &Response::Metrics(shared.metrics()));
         }
         Ok(Request::Shutdown) => {
             let _ = write_response(&mut writer, &Response::ShutdownAck);
@@ -464,8 +549,13 @@ fn worker_loop(shared: &Arc<Shared>) {
         }
         let progress_events = events.clone();
         let progress_id = id.clone();
+        // A request is traced when the client asked for it on the wire or
+        // the server is configured with a trace directory.  Tracing never
+        // changes the selection itself (pinned by tests), only what is
+        // recorded alongside it.
+        let traced = request.trace || shared.trace_dir.is_some();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            run_selection_request(&shared.engine, &request, Some(cancel.clone()), move |p| {
+            let on_progress = move |p: cvcp_core::SelectionProgress| {
                 let _ = progress_events.send(Response::Progress {
                     id: progress_id.clone(),
                     param: p.param,
@@ -473,14 +563,40 @@ fn worker_loop(shared: &Arc<Shared>) {
                     completed: p.completed,
                     total: p.total,
                 });
-            })
+            };
+            if traced {
+                run_selection_request_traced(
+                    &shared.engine,
+                    &request,
+                    Some(cancel.clone()),
+                    on_progress,
+                )
+            } else {
+                run_selection_request(&shared.engine, &request, Some(cancel.clone()), on_progress)
+                    .map(|selection| (selection, None))
+            }
         }));
         let response = match outcome {
-            Ok(Ok(selection)) => {
+            Ok(Ok((selection, trace))) => {
                 shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+                let profile = trace
+                    .as_ref()
+                    .map(|trace| graph_profile_json(&GraphProfile::from_trace(trace)));
+                if let (Some(trace), Some(dir)) = (trace.as_ref(), shared.trace_dir.as_deref()) {
+                    if let Err(e) = write_chrome_trace(trace, dir) {
+                        eprintln!("cvcp-server: failed to write trace for {id}: {e}");
+                    }
+                }
+                if let Some(profile) = profile.clone() {
+                    *shared.last_profile.lock().expect("profile lock") = Some(profile);
+                }
                 Response::Result {
                     id,
                     selection: RankedSelection::from_selection(&selection),
+                    // The profile rides on the wire only when the client
+                    // opted in; a server-side trace dir alone should not
+                    // change what existing clients receive.
+                    profile: if request.trace { profile } else { None },
                 }
             }
             Ok(Err(RunRequestError::Cancelled)) => {

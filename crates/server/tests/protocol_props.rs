@@ -117,6 +117,7 @@ impl proptest::Strategy for ArbRequest {
             stratified: rng.index(2) == 0,
             seed: rng.index(1 << 30) as u64,
             priority: [None, Some(Priority::Interactive), Some(Priority::Batch)][rng.index(3)],
+            trace: rng.index(2) == 0,
         }
     }
 }

@@ -63,6 +63,7 @@ fn request_for(algorithm: Algorithm, id: &str) -> SelectionRequest {
         stratified: true,
         seed: 20_140_324,
         priority: None,
+        trace: false,
     }
 }
 
@@ -117,7 +118,7 @@ fn served_selection_matches_in_process(algorithm: Algorithm) {
         .all(|&(_, _, total)| total == request.params.len()));
 
     let served = match responses.last() {
-        Some(Response::Result { id, selection }) => {
+        Some(Response::Result { id, selection, .. }) => {
             assert_eq!(id, "smoke");
             selection.clone()
         }
@@ -174,6 +175,7 @@ fn client_disconnect_mid_request_cancels_the_dag() {
         stratified: true,
         seed: 7,
         priority: None,
+        trace: false,
     };
     let stream = send_line(&server, &Request::Select(request));
     // Drop the connection immediately: the watcher sees EOF and cancels.
@@ -230,6 +232,7 @@ fn interactive_request_completes_while_batch_graph_is_in_flight() {
         stratified: true,
         seed: 11,
         priority: Some(Priority::Batch),
+        trace: false,
     };
     let batch_stream = send_line(&server, &Request::Select(batch));
     // Wait until the batch request has been admitted and picked up.
@@ -339,6 +342,119 @@ fn invalid_and_malformed_requests_get_structured_errors() {
     assert_eq!(stats.requests.received, 0);
     assert_eq!(stats.requests.completed, 0);
     server.shutdown();
+}
+
+#[test]
+fn traced_request_carries_a_profile_and_stays_bit_identical() {
+    let server = start_server(2, 8);
+    // Reference: the identical request served untraced.
+    let untraced = request_for(Algorithm::Fosc, "plain");
+    let responses = collect_responses(send_line(&server, &Request::Select(untraced)));
+    let (plain, plain_profile) = match responses.last() {
+        Some(Response::Result {
+            selection, profile, ..
+        }) => (selection.clone(), profile.clone()),
+        other => panic!("expected a result, got {other:?}"),
+    };
+    assert!(
+        plain_profile.is_none(),
+        "profile must not appear unless the request opts in"
+    );
+
+    let mut traced = request_for(Algorithm::Fosc, "traced");
+    traced.trace = true;
+    let responses = collect_responses(send_line(&server, &Request::Select(traced.clone())));
+    let (served, profile) = match responses.last() {
+        Some(Response::Result {
+            id,
+            selection,
+            profile,
+        }) => {
+            assert_eq!(id, "traced");
+            (selection.clone(), profile.clone())
+        }
+        other => panic!("expected a result, got {other:?}"),
+    };
+    assert_bit_identical(&served, &plain);
+
+    let profile = profile.expect("traced request returns a profile");
+    let n_jobs = profile
+        .get("n_jobs")
+        .and_then(|v| v.as_usize())
+        .expect("profile.n_jobs");
+    assert!(n_jobs > 0, "profile covers the graph: {profile:?}");
+    assert_eq!(
+        profile.get("graph").and_then(|v| v.as_str()),
+        Some("traced"),
+        "profile is named after the request id"
+    );
+
+    // The metrics endpoint retains the last traced profile and reports
+    // engine activity from both requests.
+    match collect_responses(send_line(&server, &Request::Metrics)).as_slice() {
+        [Response::Metrics(metrics)] => {
+            assert_eq!(metrics.engine_threads, 4);
+            let last = metrics.last_profile.as_ref().expect("last_profile is set");
+            assert_eq!(last.get("graph").and_then(|v| v.as_str()), Some("traced"));
+            let jobs: u64 = metrics.job_run.iter().map(|h| h.count).sum();
+            assert!(jobs > 0, "job-run histograms saw work: {metrics:?}");
+            let admitted: u64 = metrics.queue_admission_wait.iter().map(|h| h.count).sum();
+            assert!(admitted >= 2, "both requests waited in the queue");
+        }
+        other => panic!("expected metrics, got {other:?}"),
+    }
+
+    // The stats payload exposes the same admission waits per lane.
+    match collect_responses(send_line(&server, &Request::Stats)).as_slice() {
+        [Response::Stats(stats)] => {
+            let admitted: u64 = stats.queue_wait.iter().map(|h| h.count).sum();
+            assert!(admitted >= 2, "stats carry admission waits: {stats:?}");
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn trace_dir_exports_a_chrome_trace_per_selection() {
+    let dir = std::env::temp_dir().join(format!("cvcp-trace-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        queue_depth: 8,
+        workers: 1,
+        trace_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(&config, Arc::new(Engine::new(2))).expect("bind loopback");
+
+    // The request does NOT opt in on the wire: the server-side trace dir
+    // alone must produce the file, and the wire result must stay
+    // profile-free.
+    let responses = collect_responses(send_line(
+        &server,
+        &Request::Select(request_for(Algorithm::Fosc, "to-disk")),
+    ));
+    match responses.last() {
+        Some(Response::Result { profile, .. }) => assert!(profile.is_none()),
+        other => panic!("expected a result, got {other:?}"),
+    }
+
+    let path = dir.join("to-disk.trace.json");
+    let raw = std::fs::read_to_string(&path).expect("trace file written");
+    let doc = cvcp_core::Json::parse(&raw).expect("trace file is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+    assert!(
+        events
+            .iter()
+            .any(|e| e.get("ph").and_then(|v| v.as_str()) == Some("X")),
+        "trace contains span events"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

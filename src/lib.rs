@@ -13,6 +13,8 @@
 //! * [`metrics`] — internal and external evaluation measures and statistics;
 //! * [`kmeans`] — MPCKMeans and friends;
 //! * [`density`] — OPTICS, dendrograms, FOSC and FOSC-OPTICSDend;
+//! * [`obs`] — always-on engine metrics (log-bucketed histograms), the
+//!   opt-in per-job span recorder and the critical-path profiler;
 //! * [`engine`] — the deterministic, cache-aware parallel execution engine
 //!   that evaluates the (parameter × fold × replica) grid;
 //! * [`core`] — the CVCP model-selection framework, baselines and the
@@ -33,6 +35,7 @@ pub use cvcp_density as density;
 pub use cvcp_engine as engine;
 pub use cvcp_kmeans as kmeans;
 pub use cvcp_metrics as metrics;
+pub use cvcp_obs as obs;
 pub use cvcp_server as server;
 
 /// One-stop prelude re-exporting the most commonly used items.
@@ -57,6 +60,7 @@ mod tests {
         let _ = crate::kmeans::KMeans::new(2);
         let _ = crate::density::Dbscan::new(1.0, 3);
         let _ = crate::engine::Engine::sequential();
+        let _ = crate::obs::LogHistogram::new();
         let _ = crate::core::CvcpConfig::default();
         let _ = crate::server::ServerConfig::default();
     }

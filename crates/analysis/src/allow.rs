@@ -1,0 +1,201 @@
+//! Inline suppression comments.
+//!
+//! Syntax (line or block comment, anywhere a comment is legal):
+//!
+//! ```text
+//! // cvcp: allow(D2, reason = "metrics-only timing, never reaches results")
+//! ```
+//!
+//! Placement: a trailing allow suppresses violations on its own line; a
+//! standalone allow suppresses violations on its own line *and* on the
+//! next code line below it (so an allow can sit directly above the
+//! offending statement, doc-comment style). The `reason` is mandatory —
+//! an allow without one is itself reported — and every allow must
+//! suppress something, or it is reported as unused (stale suppressions
+//! rot into lies about the code).
+
+use crate::lexer::Comment;
+use crate::rules::Violation;
+use std::cell::Cell;
+
+/// One parsed `cvcp: allow(...)` suppression.
+#[derive(Debug)]
+pub struct Allow {
+    pub rule: String,
+    pub reason: Option<String>,
+    /// File the comment lives in (repo-relative).
+    pub file: String,
+    /// Line of the comment itself.
+    pub line: usize,
+    /// Lines this allow suppresses.
+    pub covers: Vec<usize>,
+    used: Cell<bool>,
+}
+
+/// All allows of one analysis run, with use tracking.
+#[derive(Debug, Default)]
+pub struct AllowSet {
+    allows: Vec<Allow>,
+}
+
+const MARKER: &str = "cvcp: allow(";
+
+impl AllowSet {
+    /// Parses the allow comments of one file and adds them to the set.
+    /// `next_code_line` maps a comment line to the first following line
+    /// holding a code token (for standalone comments).
+    pub fn collect_file(
+        &mut self,
+        file: &str,
+        comments: &[Comment],
+        mut next_code_line: impl FnMut(usize) -> Option<usize>,
+    ) {
+        for c in comments {
+            let Some(start) = c.text.find(MARKER) else {
+                continue;
+            };
+            let body = &c.text[start + MARKER.len()..];
+            let Some(close) = body.find(')') else {
+                continue;
+            };
+            let inner = &body[..close];
+            let (rule, reason) = match inner.split_once(',') {
+                Some((r, rest)) => (r.trim().to_string(), parse_reason(rest)),
+                None => (inner.trim().to_string(), None),
+            };
+            let mut covers = vec![c.line];
+            if c.standalone {
+                if let Some(next) = next_code_line(c.line) {
+                    covers.push(next);
+                }
+            }
+            self.allows.push(Allow {
+                rule,
+                reason,
+                file: file.to_string(),
+                line: c.line,
+                covers,
+                used: Cell::new(false),
+            });
+        }
+    }
+
+    /// `true` (and marks the allow used) when a violation of `rule` at
+    /// `file:line` is suppressed.
+    pub fn suppresses(&self, rule: &str, file: &str, line: usize) -> bool {
+        let mut hit = false;
+        for a in self
+            .allows
+            .iter()
+            .filter(|a| a.rule == rule && a.file == file && a.covers.contains(&line))
+        {
+            a.used.set(true);
+            hit = true;
+        }
+        hit
+    }
+
+    /// Governance violations: allows without a reason, and allows that
+    /// suppressed nothing. Call after all rules have run.
+    pub fn governance_violations(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for a in &self.allows {
+            if a.reason.as_deref().is_none_or(|r| r.trim().is_empty()) {
+                out.push(Violation {
+                    rule: "allow-no-reason".into(),
+                    file: a.file.clone(),
+                    line: a.line,
+                    message: format!(
+                        "allow({}) has no reason — write `cvcp: allow({}, reason = \"...\")`",
+                        a.rule, a.rule
+                    ),
+                });
+            }
+            if !a.used.get() {
+                out.push(Violation {
+                    rule: "allow-unused".into(),
+                    file: a.file.clone(),
+                    line: a.line,
+                    message: format!(
+                        "allow({}) suppresses nothing — remove it or move it to the violation",
+                        a.rule
+                    ),
+                });
+            }
+        }
+        out
+    }
+
+    pub fn len(&self) -> usize {
+        self.allows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.allows.is_empty()
+    }
+}
+
+/// Parses ` reason = "..."` (quotes required; the reason may contain
+/// anything but a double quote).
+fn parse_reason(rest: &str) -> Option<String> {
+    let rest = rest.trim();
+    let rest = rest.strip_prefix("reason")?.trim_start();
+    let rest = rest.strip_prefix('=')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn allows_for(src: &str) -> AllowSet {
+        let lexed = lex(src);
+        let tokens = lexed.tokens;
+        let mut set = AllowSet::default();
+        set.collect_file("src/x.rs", &lexed.comments, |line| {
+            tokens.iter().map(|t| t.line).find(|&l| l > line)
+        });
+        set
+    }
+
+    #[test]
+    fn trailing_allow_covers_its_own_line() {
+        let set = allows_for("let x = 1; // cvcp: allow(D1, reason = \"why\")\nlet y = 2;\n");
+        assert!(set.suppresses("D1", "src/x.rs", 1));
+        assert!(!set.suppresses("D1", "src/x.rs", 2));
+        assert!(!set.suppresses("D2", "src/x.rs", 1), "rule must match");
+    }
+
+    #[test]
+    fn standalone_allow_covers_the_next_code_line() {
+        let set = allows_for("// cvcp: allow(D2, reason = \"why\")\n\nlet x = 1;\n");
+        assert!(set.suppresses("D2", "src/x.rs", 3));
+    }
+
+    #[test]
+    fn missing_reason_is_reported_but_still_suppresses() {
+        let set = allows_for("let x = 1; // cvcp: allow(D1)\n");
+        assert!(set.suppresses("D1", "src/x.rs", 1));
+        let gov = set.governance_violations();
+        assert_eq!(gov.len(), 1);
+        assert_eq!(gov[0].rule, "allow-no-reason");
+    }
+
+    #[test]
+    fn unused_allow_is_reported() {
+        let set = allows_for("// cvcp: allow(D1, reason = \"stale\")\nlet x = 1;\n");
+        let gov = set.governance_violations();
+        assert_eq!(gov.len(), 1);
+        assert_eq!(gov[0].rule, "allow-unused");
+    }
+
+    #[test]
+    fn used_allow_with_reason_is_clean() {
+        let set = allows_for("let x = 1; // cvcp: allow(D1, reason = \"fine\")\n");
+        assert!(set.suppresses("D1", "src/x.rs", 1));
+        assert!(set.governance_violations().is_empty());
+    }
+}

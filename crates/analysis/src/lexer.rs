@@ -1,0 +1,449 @@
+//! A minimal Rust lexer — just enough fidelity for the analysis rules.
+//!
+//! The rules pattern-match on identifier/punctuation sequences
+//! (`Instant :: now`, `. lock (`), on string-literal *values*
+//! (`"CVCP_THREADS"`), and on comments (`// cvcp: allow(...)`), so the
+//! lexer must get exactly four things right that a naive `contains`
+//! scan gets wrong:
+//!
+//! 1. string and char literals (including raw strings and escapes) must
+//!    not leak their contents into the token stream as code;
+//! 2. lifetimes (`'a`) must not be confused with char literals (`'a'`);
+//! 3. comments — line, block, nested block — must be stripped from the
+//!    code stream but *kept* (with line numbers) for the allow parser;
+//! 4. every token carries its 1-based source line so violations and
+//!    suppressions anchor to real locations.
+//!
+//! Everything else (numeric suffix grammar, float edge cases, shebangs)
+//! is handled loosely: the scanner only needs to not desynchronise.
+
+/// One lexical token of interest to the rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// String literal — the *cooked-ish* contents between the quotes
+    /// (escape sequences are left as written; the rules only look at
+    /// literals like `"CVCP_THREADS"` that contain none).
+    Str(String),
+    /// Char literal (contents irrelevant to the rules).
+    Char,
+    /// Lifetime such as `'a` (distinct from a char literal).
+    Lifetime,
+    /// Numeric literal (contents irrelevant to the rules).
+    Num,
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub line: usize,
+    pub kind: TokKind,
+}
+
+/// A comment, preserved for the allow parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Text without the `//` / `/*` markers, trimmed.
+    pub text: String,
+    /// `true` when no code token precedes the comment on its line.
+    pub standalone: bool,
+}
+
+/// Lexer output: the code token stream and the comment side channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source. Never fails: on a malformed literal the scanner
+/// consumes to end of line/file and keeps going — a static-analysis
+/// pass should degrade, not abort, on code `rustc` will reject anyway.
+pub fn lex(src: &str) -> Lexed {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    // Line of the most recent code token, to classify comments as
+    // standalone vs trailing.
+    let mut last_code_line = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: bytes[start..j]
+                        .iter()
+                        .collect::<String>()
+                        .trim()
+                        .to_string(),
+                    standalone: last_code_line != line,
+                });
+                i = j;
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1usize;
+                let mut j = start;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if bytes[j] == '/' && bytes.get(j + 1) == Some(&'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == '*' && bytes.get(j + 1) == Some(&'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: bytes[start..end]
+                        .iter()
+                        .collect::<String>()
+                        .trim()
+                        .to_string(),
+                    standalone: last_code_line != start_line,
+                });
+                i = j;
+            }
+            '"' => {
+                let (value, next_i, next_line) = scan_string(&bytes, i + 1, line);
+                out.tokens.push(Tok {
+                    line,
+                    kind: TokKind::Str(value),
+                });
+                last_code_line = line;
+                line = next_line;
+                i = next_i;
+            }
+            'r' | 'b' if is_raw_or_byte_string(&bytes, i) => {
+                let (kind, next_i, next_line) = scan_prefixed_literal(&bytes, i, line);
+                out.tokens.push(Tok { line, kind });
+                last_code_line = line;
+                line = next_line;
+                i = next_i;
+            }
+            '\'' => {
+                // Lifetime vs char literal: `'ident` not followed by a
+                // closing quote is a lifetime.
+                let mut j = i + 1;
+                if j < bytes.len() && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    let mut k = j;
+                    while k < bytes.len() && (bytes[k].is_alphanumeric() || bytes[k] == '_') {
+                        k += 1;
+                    }
+                    if bytes.get(k) != Some(&'\'') {
+                        out.tokens.push(Tok {
+                            line,
+                            kind: TokKind::Lifetime,
+                        });
+                        last_code_line = line;
+                        i = k;
+                        continue;
+                    }
+                    // `'x'` char literal
+                    out.tokens.push(Tok {
+                        line,
+                        kind: TokKind::Char,
+                    });
+                    last_code_line = line;
+                    i = k + 1;
+                    continue;
+                }
+                // Escaped char literal `'\n'`, `'\''`, `'\u{..}'`.
+                if bytes.get(j) == Some(&'\\') {
+                    j += 2; // skip the escape introducer and escaped char
+                    while j < bytes.len() && bytes[j] != '\'' && bytes[j] != '\n' {
+                        j += 1;
+                    }
+                    out.tokens.push(Tok {
+                        line,
+                        kind: TokKind::Char,
+                    });
+                    last_code_line = line;
+                    i = (j + 1).min(bytes.len());
+                    continue;
+                }
+                // Bare `'` (malformed or macro edge): emit as punct.
+                out.tokens.push(Tok {
+                    line,
+                    kind: TokKind::Punct('\''),
+                });
+                last_code_line = line;
+                i += 1;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    line,
+                    kind: TokKind::Ident(bytes[start..i].iter().collect()),
+                });
+                last_code_line = line;
+            }
+            c if c.is_ascii_digit() => {
+                while i < bytes.len()
+                    && (bytes[i].is_alphanumeric()
+                        || bytes[i] == '_'
+                        || (bytes[i] == '.'
+                            && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                            && bytes.get(i.wrapping_sub(1)) != Some(&'.')))
+                {
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    line,
+                    kind: TokKind::Num,
+                });
+                last_code_line = line;
+            }
+            p => {
+                out.tokens.push(Tok {
+                    line,
+                    kind: TokKind::Punct(p),
+                });
+                last_code_line = line;
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// `r"..."`, `r#"..."#`, `b"..."`, `br"..."`, `b'x'` — but NOT a plain
+/// identifier starting with `r`/`b`.
+fn is_raw_or_byte_string(bytes: &[char], i: usize) -> bool {
+    match bytes[i] {
+        'r' => {
+            matches!(bytes.get(i + 1), Some('"') | Some('#'))
+                && raw_hashes_lead_to_quote(bytes, i + 1)
+        }
+        'b' => match bytes.get(i + 1) {
+            Some('"') | Some('\'') => true,
+            Some('r') => raw_hashes_lead_to_quote(bytes, i + 2),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+fn raw_hashes_lead_to_quote(bytes: &[char], mut i: usize) -> bool {
+    while bytes.get(i) == Some(&'#') {
+        i += 1;
+    }
+    bytes.get(i) == Some(&'"')
+}
+
+/// Scans a normal (escaped) string body starting just after the opening
+/// quote. Returns (contents, index past closing quote, updated line).
+fn scan_string(bytes: &[char], mut i: usize, mut line: usize) -> (String, usize, usize) {
+    let mut value = String::new();
+    while i < bytes.len() {
+        match bytes[i] {
+            '"' => return (value, i + 1, line),
+            '\\' => {
+                if let Some(&esc) = bytes.get(i + 1) {
+                    value.push('\\');
+                    value.push(esc);
+                    if esc == '\n' {
+                        line += 1;
+                    }
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            '\n' => {
+                line += 1;
+                value.push('\n');
+                i += 1;
+            }
+            c => {
+                value.push(c);
+                i += 1;
+            }
+        }
+    }
+    (value, i, line)
+}
+
+/// Scans `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'x'` from the prefix
+/// character. Returns (token kind, index past the literal, updated line).
+fn scan_prefixed_literal(bytes: &[char], mut i: usize, mut line: usize) -> (TokKind, usize, usize) {
+    let mut _byte = false;
+    if bytes[i] == 'b' {
+        _byte = true;
+        i += 1;
+    }
+    if bytes.get(i) == Some(&'\'') {
+        // byte char b'x' / b'\n'
+        i += 1;
+        if bytes.get(i) == Some(&'\\') {
+            i += 1;
+        }
+        while i < bytes.len() && bytes[i] != '\'' {
+            i += 1;
+        }
+        return (TokKind::Char, (i + 1).min(bytes.len()), line);
+    }
+    let raw = bytes.get(i) == Some(&'r');
+    if raw {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert_eq!(bytes.get(i), Some(&'"'));
+    i += 1; // opening quote
+    if !raw {
+        let (value, next_i, next_line) = scan_string(bytes, i, line);
+        return (TokKind::Str(value), next_i, next_line);
+    }
+    // Raw string: no escapes; terminated by `"` followed by `hashes` #s.
+    let start = i;
+    while i < bytes.len() {
+        if bytes[i] == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if bytes[i] == '"' {
+            let mut k = 0usize;
+            while k < hashes && bytes.get(i + 1 + k) == Some(&'#') {
+                k += 1;
+            }
+            if k == hashes {
+                let value: String = bytes[start..i].iter().collect();
+                return (TokKind::Str(value), i + 1 + hashes, line);
+            }
+        }
+        i += 1;
+    }
+    (TokKind::Str(bytes[start..i].iter().collect()), i, line)
+}
+
+impl Tok {
+    /// Convenience: `Some(name)` when this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Convenience: `true` when this token is the given punct char.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn strings_do_not_leak_into_code_tokens() {
+        let src = r#"let x = "HashMap inside a string"; let y = 1;"#;
+        assert_eq!(idents(src), ["let", "x", "let", "y"]);
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let lexed = lex(r##"let s = r#"a "quoted" CVCP_THING"#;"##);
+        let strs: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, [r#"a "quoted" CVCP_THING"#]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn nested_block_comments_and_line_numbers() {
+        let src = "/* outer /* inner */ still comment */\nfn g() {}\n// trailing\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.tokens[0].line, 2);
+        assert_eq!(lexed.comments[1].line, 3);
+        assert!(lexed.comments[1].standalone);
+    }
+
+    #[test]
+    fn trailing_comments_are_not_standalone() {
+        let lexed = lex("let x = 1; // cvcp: allow(D1, reason = \"test\")\n");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(!lexed.comments[0].standalone);
+        assert!(lexed.comments[0].text.starts_with("cvcp: allow"));
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let lexed = lex(r#"let s = "with \" escaped"; let t = 2;"#);
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| matches!(t.kind, TokKind::Str(_)))
+                .count(),
+            1
+        );
+        assert_eq!(
+            idents(r#"let s = "with \" escaped"; let t = 2;"#),
+            ["let", "s", "let", "t"]
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! CLI entry point.
+//!
+//! ```text
+//! cargo run -p cvcp-analysis --                 # report, always exit 0
+//! cargo run -p cvcp-analysis -- --deny          # CI gate: exit 1 on any violation
+//! cargo run -p cvcp-analysis -- --list-rules    # print the rule catalogue
+//! cargo run -p cvcp-analysis -- --root <path>   # analyze another checkout
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--list-rules" => {
+                for (id, what) in cvcp_analysis::rule_catalogue() {
+                    println!("{id:<26} {what}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: cvcp-analysis [--deny] [--list-rules] [--root <path>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Walk up from the invocation directory to the workspace root (the
+    // manifest that declares [workspace]), so the tool works from any
+    // subdirectory of the checkout.
+    let root = match find_workspace_root(&root) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "no workspace Cargo.toml found at or above {}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match cvcp_analysis::analyze_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analysis failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for v in &report.violations {
+        println!("{v}");
+    }
+    println!(
+        "cvcp-analysis: {} file(s), {} suppression(s), {} violation(s)",
+        report.files,
+        report.allows,
+        report.violations.len()
+    );
+
+    if deny && !report.is_clean() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn find_workspace_root(start: &std::path::Path) -> Option<PathBuf> {
+    let mut dir = start.canonicalize().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

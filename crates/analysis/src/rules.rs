@@ -1,0 +1,417 @@
+//! The determinism rules (D1–D4) and the lint-policy rule (L1).
+//!
+//! Scope conventions shared by the D rules:
+//! - vendor crates (`crates/vendor/*`) are never scanned;
+//! - `cvcp-analysis` itself is exempt — its sources name the very
+//!   patterns it hunts (rule ids, `"CVCP_"` prefixes) as data;
+//! - `tests/` and `benches/` targets and `#[cfg(test)]` items are
+//!   skipped: tests may freely use hash maps, clocks and thread ids
+//!   without affecting published results.
+
+use crate::allow::AllowSet;
+use crate::lexer::TokKind;
+use crate::workspace::{FileKind, Manifest, ParsedFile};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub rule: String,
+    pub file: String,
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{rule}: {file}:{line}: {msg}",
+            rule = self.rule,
+            file = self.file,
+            line = self.line,
+            msg = self.message
+        )
+    }
+}
+
+/// Crates whose outputs ARE the experiment results: anything
+/// iteration-order-dependent here can silently change published numbers.
+pub const RESULT_PATH_CRATES: &[&str] = &[
+    "cvcp-data",
+    "cvcp-density",
+    "cvcp-constraints",
+    "cvcp-kmeans",
+    "cvcp-metrics",
+    "cvcp-core",
+];
+
+/// Crates allowed to read wall clocks: observability, the server's
+/// queue-latency accounting, and the benchmark harness.
+pub const CLOCK_EXEMPT_CRATES: &[&str] = &["cvcp-obs", "cvcp-server", "cvcp-bench"];
+
+const SELF_CRATE: &str = "cvcp-analysis";
+
+fn skip_content_rules(p: &ParsedFile) -> bool {
+    p.file.crate_name == SELF_CRATE || matches!(p.file.kind, FileKind::Test | FileKind::Bench)
+}
+
+/// D1: no `HashMap`/`HashSet` in result-path crates. The ban is total,
+/// not iteration-only: a lookup-only hash map is one refactor away from
+/// an iteration-order dependency, and `BTreeMap`/`BTreeSet` cost nothing
+/// at these sizes. (This is why `condensed.rs`, `fosc.rs` and
+/// `synthetic.rs` carry BTree collections with pinned-bit regression
+/// tests.)
+pub fn rule_d1(p: &ParsedFile, allows: &AllowSet, out: &mut Vec<Violation>) {
+    if skip_content_rules(p) || !RESULT_PATH_CRATES.contains(&p.file.crate_name.as_str()) {
+        return;
+    }
+    for t in &p.tokens {
+        let Some(name @ ("HashMap" | "HashSet")) = t.ident() else {
+            continue;
+        };
+        if p.in_test_span(t.line) || allows.suppresses("D1", &p.file.rel_path, t.line) {
+            continue;
+        }
+        out.push(Violation {
+            rule: "D1".into(),
+            file: p.file.rel_path.clone(),
+            line: t.line,
+            message: format!(
+                "`{name}` in result-path crate `{}` — use BTreeMap/BTreeSet (iteration order must be deterministic)",
+                p.file.crate_name
+            ),
+        });
+    }
+}
+
+/// D2: no `Instant::now` / `SystemTime` outside the clock-exempt crates.
+/// Engine metrics timing is legitimate but must be individually
+/// justified with an allow, keeping every clock read in a result-adjacent
+/// crate auditable.
+pub fn rule_d2(p: &ParsedFile, allows: &AllowSet, out: &mut Vec<Violation>) {
+    if skip_content_rules(p) || CLOCK_EXEMPT_CRATES.contains(&p.file.crate_name.as_str()) {
+        return;
+    }
+    for (i, t) in p.tokens.iter().enumerate() {
+        let flagged = match t.ident() {
+            // Any associated use (`SystemTime::now`, `::UNIX_EPOCH`) — a
+            // bare type mention in a signature reads no clock.
+            Some("SystemTime") => {
+                let assoc = p.tokens.get(i + 1).is_some_and(|a| a.is_punct(':'))
+                    && p.tokens.get(i + 2).is_some_and(|a| a.is_punct(':'));
+                assoc.then_some("SystemTime")
+            }
+            Some("Instant") => {
+                // `Instant::now` (a bare `Instant` type mention, e.g. in a
+                // field declaration, is fine — only the clock *read* is
+                // nondeterministic).
+                let now = p.tokens.get(i + 1).is_some_and(|a| a.is_punct(':'))
+                    && p.tokens.get(i + 2).is_some_and(|a| a.is_punct(':'))
+                    && p.tokens.get(i + 3).and_then(|a| a.ident()) == Some("now");
+                now.then_some("Instant::now")
+            }
+            _ => None,
+        };
+        let Some(what) = flagged else { continue };
+        if p.in_test_span(t.line) || allows.suppresses("D2", &p.file.rel_path, t.line) {
+            continue;
+        }
+        out.push(Violation {
+            rule: "D2".into(),
+            file: p.file.rel_path.clone(),
+            line: t.line,
+            message: format!(
+                "`{what}` in `{}` — clock reads belong in obs/server/bench; justify metrics timing with an allow",
+                p.file.crate_name
+            ),
+        });
+    }
+}
+
+/// The knob table parsed out of `EXPERIMENTS.md`: knob name → first line
+/// it is documented on.
+pub fn knob_table(experiments_md: &str) -> BTreeMap<String, usize> {
+    let mut table = BTreeMap::new();
+    for (idx, line) in experiments_md.lines().enumerate() {
+        let line = line.trim();
+        // Table rows look like: | `CVCP_THREADS` | description |
+        if !line.starts_with('|') {
+            continue;
+        }
+        let Some(start) = line.find("`CVCP_") else {
+            continue;
+        };
+        let rest = &line[start + 1..];
+        let Some(end) = rest.find('`') else { continue };
+        table.entry(rest[..end].to_string()).or_insert(idx + 1);
+    }
+    table
+}
+
+/// D3: environment knobs and their documentation stay in sync, both ways.
+///
+/// - every `"CVCP_*"` string literal in code must be a knob documented in
+///   the EXPERIMENTS.md table;
+/// - every `std::env::var` read must take a `"CVCP_*"` literal (non-CVCP
+///   names and non-literal arguments need an allow);
+/// - every knob in the table must be referenced by some scanned literal
+///   (documentation for a knob nothing reads is a lie-in-waiting).
+pub fn rule_d3(
+    files: &[ParsedFile],
+    experiments_md: Option<&str>,
+    allows: &AllowSet,
+    out: &mut Vec<Violation>,
+) {
+    let table = experiments_md.map(knob_table).unwrap_or_default();
+    let mut referenced: BTreeMap<&str, bool> = table.keys().map(|k| (k.as_str(), false)).collect();
+
+    for p in files {
+        if skip_content_rules(p) {
+            continue;
+        }
+        // Examples ARE user-facing knob consumers; include them.
+        for (i, t) in p.tokens.iter().enumerate() {
+            if p.in_test_span(t.line) {
+                continue;
+            }
+            if let TokKind::Str(s) = &t.kind {
+                if let Some(stripped) = s.strip_prefix("CVCP_") {
+                    let _ = stripped;
+                    if let Some(hit) = referenced.get_mut(s.as_str()) {
+                        *hit = true;
+                    } else if !allows.suppresses("D3", &p.file.rel_path, t.line) {
+                        out.push(Violation {
+                            rule: "D3".into(),
+                            file: p.file.rel_path.clone(),
+                            line: t.line,
+                            message: format!(
+                                "`\"{s}\"` is not documented in the EXPERIMENTS.md knob table — add a row or rename"
+                            ),
+                        });
+                    }
+                }
+            }
+            // env::var( <arg> ) — the arg must be a CVCP_* literal.
+            if t.ident() == Some("var")
+                && i >= 3
+                && p.tokens[i - 1].is_punct(':')
+                && p.tokens[i - 2].is_punct(':')
+                && p.tokens[i - 3].ident() == Some("env")
+                && p.tokens.get(i + 1).is_some_and(|a| a.is_punct('('))
+            {
+                let arg = p.tokens.get(i + 2);
+                let problem = match arg.map(|a| &a.kind) {
+                    Some(TokKind::Str(s)) if s.starts_with("CVCP_") => None,
+                    Some(TokKind::Str(s)) => Some(format!(
+                        "env read of non-CVCP variable `\"{s}\"` — rename to CVCP_* and document it, or justify with an allow"
+                    )),
+                    _ => Some(
+                        "env::var with a non-literal name — the D3 doc-sync check cannot see it; justify with an allow"
+                            .to_string(),
+                    ),
+                };
+                if let Some(message) = problem {
+                    if !allows.suppresses("D3", &p.file.rel_path, t.line) {
+                        out.push(Violation {
+                            rule: "D3".into(),
+                            file: p.file.rel_path.clone(),
+                            line: t.line,
+                            message,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    for (knob, hit) in &referenced {
+        if !hit {
+            out.push(Violation {
+                rule: "D3".into(),
+                file: "EXPERIMENTS.md".into(),
+                line: table.get(*knob).copied().unwrap_or(0),
+                message: format!(
+                    "knob `{knob}` is documented but never referenced in code — stale documentation"
+                ),
+            });
+        }
+    }
+}
+
+/// D4: result paths must not read thread identity or worker counts —
+/// `thread::current()`, `ThreadId`, `available_parallelism` make output
+/// depend on scheduling. (Worker counts are configuration that belongs
+/// in `cvcp-experiments`/`cvcp-server`, which then *pass values in*.)
+pub fn rule_d4(p: &ParsedFile, allows: &AllowSet, out: &mut Vec<Violation>) {
+    if skip_content_rules(p) || !RESULT_PATH_CRATES.contains(&p.file.crate_name.as_str()) {
+        return;
+    }
+    for (i, t) in p.tokens.iter().enumerate() {
+        let flagged = match t.ident() {
+            Some("ThreadId") => Some("ThreadId"),
+            Some("available_parallelism") => Some("available_parallelism"),
+            Some("thread") => {
+                let current = p.tokens.get(i + 1).is_some_and(|a| a.is_punct(':'))
+                    && p.tokens.get(i + 2).is_some_and(|a| a.is_punct(':'))
+                    && p.tokens.get(i + 3).and_then(|a| a.ident()) == Some("current");
+                current.then_some("thread::current")
+            }
+            _ => None,
+        };
+        let Some(what) = flagged else { continue };
+        if p.in_test_span(t.line) || allows.suppresses("D4", &p.file.rel_path, t.line) {
+            continue;
+        }
+        out.push(Violation {
+            rule: "D4".into(),
+            file: p.file.rel_path.clone(),
+            line: t.line,
+            message: format!(
+                "`{what}` in result-path crate `{}` — results must be independent of thread identity and worker count",
+                p.file.crate_name
+            ),
+        });
+    }
+}
+
+/// L1: the no-unsafe policy has exactly one owner. The workspace
+/// manifest forbids `unsafe_code` for everyone; each first-party crate
+/// opts in with `[lints] workspace = true`; vendor shims (which cannot
+/// inherit workspace lints without touching their manifests' semantics)
+/// keep a crate-level `#![forbid(unsafe_code)]`.
+pub fn rule_l1(
+    root_manifest: &str,
+    manifests: &[Manifest],
+    vendor_lib_sources: &BTreeMap<String, String>,
+    out: &mut Vec<Violation>,
+) {
+    let has_workspace_forbid = {
+        let mut in_section = false;
+        let mut found = false;
+        for line in root_manifest.lines() {
+            let line = line.trim();
+            if line.starts_with('[') {
+                in_section = line == "[workspace.lints.rust]";
+                continue;
+            }
+            if in_section && line.starts_with("unsafe_code") && line.contains("forbid") {
+                found = true;
+            }
+        }
+        found
+    };
+    if !has_workspace_forbid {
+        out.push(Violation {
+            rule: "L1".into(),
+            file: "Cargo.toml".into(),
+            line: 1,
+            message: "workspace manifest lacks `[workspace.lints.rust] unsafe_code = \"forbid\"`"
+                .into(),
+        });
+    }
+
+    for m in manifests {
+        if m.is_vendor {
+            let lib = vendor_lib_sources.get(&m.crate_name);
+            if !lib.is_some_and(|s| s.contains("#![forbid(unsafe_code)]")) {
+                out.push(Violation {
+                    rule: "L1".into(),
+                    file: m.rel_path.clone(),
+                    line: 1,
+                    message: format!(
+                        "vendor crate `{}` must carry `#![forbid(unsafe_code)]` in its lib.rs",
+                        m.crate_name
+                    ),
+                });
+            }
+            continue;
+        }
+        let opts_in = {
+            let mut in_lints = false;
+            let mut found = false;
+            for line in m.text.lines() {
+                let line = line.trim();
+                if line.starts_with('[') {
+                    in_lints = line == "[lints]";
+                    continue;
+                }
+                if in_lints && line.replace(' ', "") == "workspace=true" {
+                    found = true;
+                }
+            }
+            found
+        };
+        if !opts_in {
+            out.push(Violation {
+                rule: "L1".into(),
+                file: m.rel_path.clone(),
+                line: 1,
+                message: format!(
+                    "crate `{}` does not opt into workspace lints — add `[lints] workspace = true`",
+                    m.crate_name
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::SourceFile;
+
+    pub(crate) fn parsed(crate_name: &str, kind: FileKind, src: &str) -> ParsedFile {
+        ParsedFile::parse(SourceFile {
+            crate_name: crate_name.into(),
+            rel_path: "crates/x/src/lib.rs".to_string(),
+            kind,
+            text: src.into(),
+        })
+    }
+
+    #[test]
+    fn d1_flags_hash_collections_in_result_crates_only() {
+        let allows = AllowSet::default();
+        let mut out = Vec::new();
+        let p = parsed(
+            "cvcp-density",
+            FileKind::Src,
+            "use std::collections::HashMap;\n",
+        );
+        rule_d1(&p, &allows, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        out.clear();
+        let p = parsed(
+            "cvcp-engine",
+            FileKind::Src,
+            "use std::collections::HashMap;\n",
+        );
+        rule_d1(&p, &allows, &mut out);
+        assert!(out.is_empty(), "engine is not a result-path crate");
+    }
+
+    #[test]
+    fn d2_distinguishes_type_mentions_from_clock_reads() {
+        let allows = AllowSet::default();
+        let mut out = Vec::new();
+        let p = parsed(
+            "cvcp-engine",
+            FileKind::Src,
+            "struct S { at: Instant }\nfn f() -> Instant { Instant::now() }\n",
+        );
+        rule_d2(&p, &allows, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn knob_table_parses_rows() {
+        let md =
+            "| `CVCP_THREADS` | workers |\n| `CVCP_ADDR` | listen |\nplain text `CVCP_NOT_A_ROW`\n";
+        let table = knob_table(md);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table["CVCP_THREADS"], 1);
+    }
+}

@@ -1,0 +1,346 @@
+//! Workspace discovery and per-file parsing context.
+//!
+//! The walker reads the workspace member list from the root `Cargo.toml`
+//! (plus the root package itself), classifies every `.rs` file by crate
+//! and target kind, and pre-computes the `#[cfg(test)]` spans that most
+//! rules skip. All paths are repo-root-relative so reports are stable
+//! across machines.
+
+use crate::lexer::{lex, Comment, Tok};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// What kind of compilation target a file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/**` — library, binaries under `src/bin/`, modules.
+    Src,
+    /// `examples/**`
+    Example,
+    /// `tests/**`
+    Test,
+    /// `benches/**`
+    Bench,
+}
+
+/// One source file, classified.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Package name from the crate's `Cargo.toml` (e.g. `cvcp-engine`).
+    pub crate_name: String,
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel_path: String,
+    pub kind: FileKind,
+    pub text: String,
+}
+
+/// A lexed file plus its `#[cfg(test)]` line spans.
+pub struct ParsedFile {
+    pub file: SourceFile,
+    pub tokens: Vec<Tok>,
+    pub comments: Vec<Comment>,
+    /// Inclusive 1-based line ranges covered by `#[cfg(test)]` items.
+    pub test_spans: Vec<(usize, usize)>,
+}
+
+impl ParsedFile {
+    pub fn parse(file: SourceFile) -> Self {
+        let lexed = lex(&file.text);
+        let test_spans = cfg_test_spans(&lexed.tokens);
+        Self {
+            file,
+            tokens: lexed.tokens,
+            comments: lexed.comments,
+            test_spans,
+        }
+    }
+
+    /// `true` when the line falls inside a `#[cfg(test)]` item.
+    pub fn in_test_span(&self, line: usize) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+}
+
+/// Finds the line spans of items gated behind `#[cfg(test)]` — the
+/// attribute, any stacked attributes after it, and the following
+/// `mod … { … }` or `fn … { … }` body up to its matching brace.
+fn cfg_test_spans(tokens: &[Tok]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            let start_line = tokens[i].line;
+            // Skip this attribute group, then any further `#[...]` groups.
+            let mut j = skip_attr(tokens, i);
+            while j < tokens.len() && tokens[j].is_punct('#') {
+                j = skip_attr(tokens, j);
+            }
+            // Find the item's opening brace (mod/fn/impl bodies). Stop at a
+            // `;` (e.g. `#[cfg(test)] mod foo;` outline module: span is just
+            // the declaration — the module file itself is under `tests
+            // -adjacent` paths the walker already classifies).
+            let mut k = j;
+            while k < tokens.len() && !tokens[k].is_punct('{') && !tokens[k].is_punct(';') {
+                k += 1;
+            }
+            if k < tokens.len() && tokens[k].is_punct('{') {
+                let mut depth = 0usize;
+                while k < tokens.len() {
+                    if tokens[k].is_punct('{') {
+                        depth += 1;
+                    } else if tokens[k].is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+            }
+            let end_line = tokens.get(k).map_or(start_line, |t| t.line);
+            spans.push((start_line, end_line));
+            i = k + 1;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// Matches `# [ cfg ( test ) ]` and `# [ cfg ( all ( test , … ) ) ]`.
+fn is_cfg_test_attr(tokens: &[Tok], i: usize) -> bool {
+    if !(tokens[i].is_punct('#')
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+        && tokens.get(i + 2).and_then(Tok::ident) == Some("cfg"))
+    {
+        return false;
+    }
+    // Within the attribute group, require a bare `test` ident.
+    let end = skip_attr(tokens, i);
+    tokens[i..end].iter().any(|t| t.ident() == Some("test"))
+}
+
+/// Returns the index just past a `#[...]` group starting at `i`.
+fn skip_attr(tokens: &[Tok], i: usize) -> usize {
+    let mut j = i + 1; // at '['
+    let mut depth = 0usize;
+    while j < tokens.len() {
+        if tokens[j].is_punct('[') {
+            depth += 1;
+        } else if tokens[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// A crate manifest, for the L1 lint-policy rule.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    pub crate_name: String,
+    pub rel_path: String,
+    pub text: String,
+    pub is_vendor: bool,
+}
+
+/// Everything the rules need from the repository.
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+    pub manifests: Vec<Manifest>,
+    /// Vendor crate name → its `src/lib.rs` text (rule L1 checks these
+    /// for a crate-level `#![forbid(unsafe_code)]`).
+    pub vendor_lib_sources: BTreeMap<String, String>,
+    /// Root `Cargo.toml` text (workspace-level lint policy lives here).
+    pub root_manifest: String,
+    /// `EXPERIMENTS.md` text, when present (rule D3's knob table).
+    pub experiments_md: Option<String>,
+    /// `crates/obs/src/lock_rank.rs` text, when present (rule C1
+    /// cross-checks its declared ranks).
+    pub lock_rank_src: Option<String>,
+}
+
+impl Workspace {
+    /// Loads the workspace rooted at `root` (the directory holding the
+    /// workspace `Cargo.toml`).
+    pub fn load(root: &Path) -> Result<Self, String> {
+        let root_manifest_path = root.join("Cargo.toml");
+        let root_manifest = fs::read_to_string(&root_manifest_path)
+            .map_err(|e| format!("{}: {e}", root_manifest_path.display()))?;
+
+        let mut member_dirs: Vec<PathBuf> = vec![root.to_path_buf()];
+        for member in workspace_members(&root_manifest) {
+            member_dirs.push(root.join(member));
+        }
+
+        let mut files = Vec::new();
+        let mut manifests = Vec::new();
+        let mut vendor_lib_sources = BTreeMap::new();
+        for dir in &member_dirs {
+            let manifest_path = dir.join("Cargo.toml");
+            let text = fs::read_to_string(&manifest_path)
+                .map_err(|e| format!("{}: {e}", manifest_path.display()))?;
+            let crate_name = package_name(&text)
+                .ok_or_else(|| format!("{}: no [package] name", manifest_path.display()))?;
+            let rel_manifest = rel(root, &manifest_path);
+            let is_vendor = rel_manifest.starts_with("crates/vendor/");
+            manifests.push(Manifest {
+                crate_name: crate_name.clone(),
+                rel_path: rel_manifest,
+                text,
+                is_vendor,
+            });
+            if is_vendor {
+                // Vendor shims are exempt from content rules entirely; only
+                // their lib.rs is read, for the L1 forbid(unsafe_code) check.
+                if let Ok(lib) = fs::read_to_string(dir.join("src/lib.rs")) {
+                    vendor_lib_sources.insert(crate_name.clone(), lib);
+                }
+                continue;
+            }
+            for (sub, kind) in [
+                ("src", FileKind::Src),
+                ("examples", FileKind::Example),
+                ("tests", FileKind::Test),
+                ("benches", FileKind::Bench),
+            ] {
+                let sub_dir = dir.join(sub);
+                if !sub_dir.is_dir() {
+                    continue;
+                }
+                // The root package's src/ is a member dir AND the workspace
+                // root; don't descend into crates/ from the root's walk.
+                collect_rs_files(&sub_dir, &mut |path| {
+                    files.push(SourceFile {
+                        crate_name: crate_name.clone(),
+                        rel_path: rel(root, path),
+                        kind,
+                        text: fs::read_to_string(path).unwrap_or_default(),
+                    });
+                });
+            }
+        }
+        files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+
+        Ok(Self {
+            files,
+            manifests,
+            vendor_lib_sources,
+            root_manifest,
+            experiments_md: fs::read_to_string(root.join("EXPERIMENTS.md")).ok(),
+            lock_rank_src: fs::read_to_string(root.join("crates/obs/src/lock_rank.rs")).ok(),
+        })
+    }
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn collect_rs_files(dir: &Path, push: &mut dyn FnMut(&Path)) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs_files(&path, push);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            push(&path);
+        }
+    }
+}
+
+/// Extracts `members = [ ... ]` entries from the workspace manifest.
+/// Line-oriented: entries are one-per-line quoted strings, which is how
+/// this repository (and rustfmt'd manifests generally) writes them.
+fn workspace_members(manifest: &str) -> Vec<String> {
+    let mut members = Vec::new();
+    let mut in_members = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with("members") && line.contains('[') {
+            in_members = true;
+        }
+        if in_members {
+            if let Some(open) = line.find('"') {
+                if let Some(close) = line[open + 1..].find('"') {
+                    members.push(line[open + 1..open + 1 + close].to_string());
+                }
+            }
+            if line.contains(']') {
+                break;
+            }
+        }
+    }
+    members
+}
+
+/// Extracts the `name = "..."` from a `[package]` section.
+fn package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package && line.starts_with("name") {
+            let open = line.find('"')?;
+            let close = line[open + 1..].find('"')?;
+            return Some(line[open + 1..open + 1 + close].to_string());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> ParsedFile {
+        ParsedFile::parse(SourceFile {
+            crate_name: "test-crate".into(),
+            rel_path: "src/lib.rs".into(),
+            kind: FileKind::Src,
+            text: src.into(),
+        })
+    }
+
+    #[test]
+    fn cfg_test_mod_span_covers_the_body() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn after() {}\n";
+        let parsed = parse(src);
+        assert_eq!(parsed.test_spans, vec![(2, 5)]);
+        assert!(!parsed.in_test_span(1));
+        assert!(parsed.in_test_span(4));
+        assert!(!parsed.in_test_span(6));
+    }
+
+    #[test]
+    fn stacked_attributes_and_cfg_all_are_covered() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\n#[allow(dead_code)]\nfn probe() {\n}\n";
+        let parsed = parse(src);
+        assert_eq!(parsed.test_spans, vec![(1, 4)]);
+    }
+
+    #[test]
+    fn members_parser_reads_this_shape() {
+        let manifest = "[workspace]\nmembers = [\n    \"crates/a\",\n    \"crates/b\",\n]\n";
+        assert_eq!(workspace_members(manifest), ["crates/a", "crates/b"]);
+    }
+
+    #[test]
+    fn package_name_parser() {
+        let manifest = "[package]\nname = \"cvcp-thing\"\nversion = \"0.1.0\"\n";
+        assert_eq!(package_name(manifest).as_deref(), Some("cvcp-thing"));
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: nothing to report.
+use std::collections::BTreeMap;
+
+pub fn deterministic() -> BTreeMap<usize, f64> {
+    BTreeMap::new()
+}

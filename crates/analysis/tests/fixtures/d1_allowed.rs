@@ -1,0 +1,7 @@
+// Fixture: a justified, suppressed hash-map use.
+use std::collections::HashMap; // cvcp: allow(D1, reason = "fixture: justified use")
+
+// cvcp: allow(D1, reason = "fixture: standalone allow above the site")
+pub fn build() -> HashMap<usize, f64> {
+    lookup()
+}

@@ -1,0 +1,16 @@
+// Fixture: HashMap/HashSet in a result-path crate (rule D1).
+use std::collections::{HashMap, HashSet};
+
+pub fn scores() -> HashMap<usize, f64> {
+    let mut m = HashMap::new();
+    m.insert(1, 0.5);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    // HashSet in a test module is fine.
+    fn helper() -> std::collections::HashSet<u32> {
+        std::collections::HashSet::new()
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: clock reads in a non-exempt crate (rule D2).
+use std::time::{Instant, SystemTime};
+
+pub struct Stamped {
+    pub at: Instant, // type mention only: not a violation
+}
+
+pub fn now_twice() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}
+
+pub fn in_a_string() -> &'static str {
+    "Instant::now() inside a string literal is not a clock read"
+}

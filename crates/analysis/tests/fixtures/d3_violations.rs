@@ -1,0 +1,16 @@
+// Fixture: env-knob doc-sync breaks (rule D3).
+pub fn undocumented() -> Option<String> {
+    std::env::var("CVCP_UNDOCUMENTED_KNOB").ok()
+}
+
+pub fn non_cvcp() -> Option<String> {
+    std::env::var("HOME").ok()
+}
+
+pub fn dynamic(name: &str) -> Option<String> {
+    std::env::var(name).ok()
+}
+
+pub fn documented() -> Option<String> {
+    std::env::var("CVCP_FIXTURE_KNOB").ok()
+}

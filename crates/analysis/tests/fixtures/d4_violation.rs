@@ -1,0 +1,7 @@
+// Fixture: thread-identity reads in a result-path crate (rule D4).
+pub fn worker_dependent_seed() -> u64 {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let id = std::thread::current().id();
+    let _ = id;
+    threads as u64
+}

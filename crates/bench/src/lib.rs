@@ -56,6 +56,7 @@ pub fn rng() -> SeededRng {
 /// perf-trajectory artifact without the CI log that produced it.
 pub fn bench_meta(iterations: &[(&str, usize)]) -> cvcp_core::json::Json {
     use cvcp_core::json::{Json, ToJson};
+    // cvcp: allow(D3, reason = "CI-provided commit id for bench provenance, not a CVCP knob")
     let commit = std::env::var("GITHUB_SHA")
         .ok()
         .filter(|sha| !sha.trim().is_empty())

@@ -32,7 +32,6 @@
 //! assert_eq!(closed.n_must_link(), 2);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod closure;

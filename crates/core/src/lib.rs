@@ -48,7 +48,6 @@
 //! assert!([2, 3, 4, 5].contains(&selection.best_param));
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algorithm;

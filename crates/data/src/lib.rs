@@ -27,7 +27,6 @@
 //! assert!(d >= 0.0);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aloi;

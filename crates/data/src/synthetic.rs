@@ -280,7 +280,9 @@ fn normalise_labels(labels: Vec<usize>) -> Vec<usize> {
     let mut present: Vec<usize> = labels.clone();
     present.sort_unstable();
     present.dedup();
-    let map: std::collections::HashMap<usize, usize> = present
+    // BTreeMap, not HashMap: lookup-only, but rule D1 (cvcp-analysis)
+    // keeps hash collections out of result-path crates entirely.
+    let map: std::collections::BTreeMap<usize, usize> = present
         .into_iter()
         .enumerate()
         .map(|(new, old)| (old, new))
@@ -414,5 +416,40 @@ mod tests {
         let renamed = rename(base.clone(), "other");
         assert_eq!(renamed.name(), "other");
         assert_eq!(renamed.matrix(), base.matrix());
+    }
+
+    /// Regression pin for the D1 fix: `normalise_labels` used to hold its
+    /// old-label -> new-label map in a `HashMap`.  The map is lookup-only,
+    /// so the `BTreeMap` swap must be value-identical — this checks the
+    /// production remapping against a `HashMap` reference on inputs with
+    /// gaps, duplicates, and out-of-order first appearances.
+    #[test]
+    fn normalise_labels_matches_a_hash_map_reference() {
+        use std::collections::HashMap;
+        let cases: &[Vec<usize>] = &[
+            vec![],
+            vec![0, 0, 0],
+            vec![5, 2, 2, 9, 5, 2],
+            vec![9, 8, 7, 7, 8, 9, 0],
+            vec![3, 100, 3, 50, 100, 0, 50],
+        ];
+        for labels in cases {
+            let map: HashMap<usize, usize> = {
+                let mut present = labels.clone();
+                present.sort_unstable();
+                present.dedup();
+                present
+                    .into_iter()
+                    .enumerate()
+                    .map(|(new, old)| (old, new))
+                    .collect()
+            };
+            let reference: Vec<usize> = labels.iter().map(|l| map[l]).collect();
+            assert_eq!(
+                normalise_labels(labels.clone()),
+                reference,
+                "remap differs for {labels:?}"
+            );
+        }
     }
 }

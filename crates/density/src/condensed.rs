@@ -159,8 +159,12 @@ impl CondensedTree {
                     .map(|&(_, l)| l)
                     .fold(node.birth_lambda, f64::max);
             }
-            let mut leave_of: std::collections::HashMap<usize, f64> =
-                std::collections::HashMap::new();
+            // BTreeMap, not HashMap: this map is lookup-only today, but a
+            // hash map in a result path is one refactor away from an
+            // iteration-order dependency (cvcp-analysis rule D1 forbids it
+            // in this crate).
+            let mut leave_of: std::collections::BTreeMap<usize, f64> =
+                std::collections::BTreeMap::new();
             for &(m, l) in &leave_lambda[id] {
                 let entry = leave_of.entry(m).or_insert(l);
                 if l < *entry {
@@ -369,5 +373,24 @@ mod tests {
         let mst = mutual_reachability_mst(ds.matrix(), &Euclidean, 3);
         let dend = Dendrogram::from_mst(ds.len(), &mst);
         let _ = CondensedTree::build(&dend, 1);
+    }
+
+    /// Regression pin for the D1 fix: `CondensedTree::build` used to hold
+    /// its per-node `leave_of` map in a `HashMap`.  The map is lookup-only,
+    /// so swapping it for a `BTreeMap` must be bit-identical — this pins the
+    /// exact stability bits for a fixed input so any future change that
+    /// makes stabilities depend on map iteration order fails loudly.
+    #[test]
+    fn stability_bits_are_pinned_for_a_fixed_input() {
+        let (tree, _) = tree_for_blobs(3, 20, 15.0, 5, 7);
+        assert_eq!(tree.nodes().len(), 5);
+        let checksum = tree
+            .nodes()
+            .iter()
+            .fold(0u64, |acc, n| acc.rotate_left(7) ^ n.stability.to_bits());
+        assert_eq!(
+            checksum, 0x278f74928187085e,
+            "stability bits drifted — result-path determinism regression"
+        );
     }
 }

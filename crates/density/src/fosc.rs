@@ -157,7 +157,10 @@ fn constraint_credit(tree: &CondensedTree, id: usize, constraints: &ConstraintSe
     if constraints.is_empty() {
         return 0.0;
     }
-    let members: std::collections::HashSet<usize> = tree.node(id).members.iter().copied().collect();
+    // BTreeSet, not HashSet: membership tests only, but rule D1 keeps hash
+    // collections out of result-path crates entirely.
+    let members: std::collections::BTreeSet<usize> =
+        tree.node(id).members.iter().copied().collect();
     let mut credit = 0.0;
     for c in constraints.iter() {
         let a_in = members.contains(&c.a);
@@ -359,5 +362,62 @@ mod tests {
         cs.add_cannot_link(inside, outside); // half credit -> 0.5
         let q = super::constraint_credit(&tree, leaf.id, &cs);
         assert!((q - 1.5).abs() < 1e-12, "credit = {q}");
+    }
+
+    /// Regression pin for the D1 fix: `constraint_credit` used to collect
+    /// cluster members into a `HashSet`.  Membership tests are order-free,
+    /// so the `BTreeSet` swap must be bit-identical — this checks the
+    /// production credit against an order-insensitive `HashSet` reference
+    /// for every candidate cluster, requiring exact `f64` bit equality.
+    #[test]
+    fn constraint_credit_matches_a_hash_set_reference_bit_for_bit() {
+        use std::collections::HashSet;
+        let mut rng = SeededRng::new(9);
+        let ds = separated_blobs(3, 15, 2, 12.0, &mut rng);
+        let tree = tree_for(&ds, 4);
+        let mut cs = ConstraintSet::new(ds.len());
+        for i in 0..ds.len() {
+            let j = (i * 7 + 3) % ds.len();
+            if i == j {
+                continue;
+            }
+            if ds.labels()[i] == ds.labels()[j] {
+                cs.add_must_link(i, j);
+            } else {
+                cs.add_cannot_link(i, j);
+            }
+        }
+        let reference = |id: usize| -> f64 {
+            let members: HashSet<usize> = tree.node(id).members.iter().copied().collect();
+            let mut credit = 0.0;
+            for c in cs.iter() {
+                let (a_in, b_in) = (members.contains(&c.a), members.contains(&c.b));
+                match c.kind {
+                    ConstraintKind::MustLink => {
+                        if a_in && b_in {
+                            credit += 1.0;
+                        }
+                    }
+                    ConstraintKind::CannotLink => {
+                        if a_in && !b_in {
+                            credit += 0.5;
+                        }
+                        if b_in && !a_in {
+                            credit += 0.5;
+                        }
+                    }
+                }
+            }
+            credit
+        };
+        for node in tree.nodes() {
+            let got = super::constraint_credit(&tree, node.id, &cs);
+            assert_eq!(
+                got.to_bits(),
+                reference(node.id).to_bits(),
+                "credit bits differ for cluster {}",
+                node.id
+            );
+        }
     }
 }

@@ -24,7 +24,6 @@
 //!    free parameter is `MinPts` — exactly what CVCP selects in the paper;
 //! 8. [`dbscan`]: DBSCAN, as an unsupervised density baseline for ablations.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod condensed;

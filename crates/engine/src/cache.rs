@@ -50,11 +50,12 @@ use std::any::Any;
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use cvcp_data::DataMatrix;
-use cvcp_obs::{HistogramSnapshot, LogHistogram};
+use cvcp_obs::lock_rank::{CACHE_PROFILE, CACHE_SHARD};
+use cvcp_obs::{HistogramSnapshot, LogHistogram, RankedMutex};
 
 thread_local! {
     /// `(hits, misses)` observed by the *current thread* since the last
@@ -697,13 +698,27 @@ fn cost_ratio_less(a: &Node, b: &Node) -> bool {
 }
 
 /// One independent cache shard: its map plus its lock-free counters.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Shard {
-    map: Mutex<ShardMap>,
+    /// Rank [`CACHE_SHARD`]: shard locks never nest (neither with each
+    /// other nor under the cost-profile lock — see `cvcp_obs::lock_rank`).
+    map: RankedMutex<ShardMap>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     evicted_bytes: AtomicU64,
+}
+
+impl Default for Shard {
+    fn default() -> Self {
+        Self {
+            map: RankedMutex::new(&CACHE_SHARD, ShardMap::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            evicted_bytes: AtomicU64::new(0),
+        }
+    }
 }
 
 /// Removes the in-flight entry left behind by a panicked `compute` (the
@@ -810,7 +825,8 @@ pub struct ArtifactCache {
     config: CacheConfig,
     /// Per-kind compute-time EWMAs (one global map — commits are rare
     /// relative to lookups, so the extra lock is off the hot hit path).
-    profile: Mutex<HashMap<&'static str, KindCost>>,
+    /// Rank [`CACHE_PROFILE`], the innermost lock of the workspace.
+    profile: RankedMutex<HashMap<&'static str, KindCost>>,
     /// Per-kind get/compute latency histograms, indexed by
     /// [`ArtifactKey::kind_index`].  Always-on: recording is a few relaxed
     /// atomic adds per access.
@@ -876,7 +892,7 @@ impl ArtifactCache {
             shard_max_entries: config.max_entries.map(|e| e / n),
             policy: config.policy,
             config,
-            profile: Mutex::new(HashMap::new()),
+            profile: RankedMutex::new(&CACHE_PROFILE, HashMap::new()),
             latencies: ArtifactKey::KIND_NAMES
                 .iter()
                 .map(|_| KindLatency::default())
@@ -1006,6 +1022,7 @@ impl ArtifactCache {
         T: Send + Sync + ArtifactSize + 'static,
         F: FnOnce() -> T,
     {
+        // cvcp: allow(D2, reason = "cache lookup-latency histogram; observability only")
         let lookup_from = Instant::now();
         let shard = self.shard_for(&key);
         let slot: Slot = {
@@ -1045,6 +1062,7 @@ impl ArtifactCache {
         let (value, bytes) = slot
             .get_or_init(|| {
                 computed = true;
+                // cvcp: allow(D2, reason = "compute-cost EWMA feeding the cost-benefit evictor; affects only what is cached, never what is computed")
                 let started = Instant::now();
                 let value = compute();
                 cost_nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -1074,6 +1092,7 @@ impl ArtifactCache {
     /// computed value is present, a miss otherwise; never computes or
     /// blocks on an in-flight computation).
     pub fn get<T: Send + Sync + 'static>(&self, key: ArtifactKey) -> Option<Arc<T>> {
+        // cvcp: allow(D2, reason = "cache lookup-latency histogram; observability only")
         let lookup_from = Instant::now();
         let shard = self.shard_for(&key);
         let slot = {

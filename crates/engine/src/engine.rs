@@ -116,6 +116,7 @@ fn run_job<T>(state: &ExecState<T>, idx: usize) -> JobOutcome<T> {
         crate::cache::reset_thread_cache_events();
         r.now_ns()
     });
+    // cvcp: allow(D2, reason = "metrics-only job timing; the RNG stream was frozen at submit, so timing never reaches results")
     let run_from = state.metrics.is_enabled().then(Instant::now);
     let outcome = match catch_unwind(AssertUnwindSafe(move || f(&mut ctx))) {
         Ok(value) => JobOutcome::Completed(value),
@@ -406,6 +407,7 @@ impl Engine {
             cache: Arc::clone(&self.cache),
             lane,
             metrics: Arc::clone(&self.metrics),
+            // cvcp: allow(D2, reason = "queue-wait metrics timestamp; observability only")
             submitted_at: Instant::now(),
             started: AtomicBool::new(false),
             pool_id: self.pool.as_ref().map(ThreadPool::id),

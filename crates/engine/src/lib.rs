@@ -50,7 +50,6 @@
 //!
 //! [`SeededRng::fork_stream`]: cvcp_data::rng::SeededRng::fork_stream
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;

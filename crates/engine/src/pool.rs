@@ -20,12 +20,13 @@
 //! cannot poison the pool (verified by `tests/engine_determinism.rs`).
 
 use crate::graph::N_LANES;
-use cvcp_obs::EngineMetrics;
+use cvcp_obs::lock_rank::POOL_STATE;
+use cvcp_obs::{EngineMetrics, RankedCondvar, RankedMutex};
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -60,8 +61,10 @@ struct State {
 
 struct Inner {
     id: u64,
-    state: Mutex<State>,
-    work_available: Condvar,
+    /// Rank [`POOL_STATE`]: acquired after the server's admission queue,
+    /// before any cache lock (see `cvcp_obs::lock_rank`).
+    state: RankedMutex<State>,
+    work_available: RankedCondvar,
     metrics: Arc<EngineMetrics>,
 }
 
@@ -106,14 +109,17 @@ impl ThreadPool {
         debug_assert!(metrics.n_workers() >= n, "metrics sized for the pool");
         let inner = Arc::new(Inner {
             id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
-            state: Mutex::new(State {
-                injectors: std::array::from_fn(|_| VecDeque::new()),
-                locals: (0..n)
-                    .map(|_| std::array::from_fn(|_| VecDeque::new()))
-                    .collect(),
-                shutdown: false,
-            }),
-            work_available: Condvar::new(),
+            state: RankedMutex::new(
+                &POOL_STATE,
+                State {
+                    injectors: std::array::from_fn(|_| VecDeque::new()),
+                    locals: (0..n)
+                        .map(|_| std::array::from_fn(|_| VecDeque::new()))
+                        .collect(),
+                    shutdown: false,
+                },
+            ),
+            work_available: RankedCondvar::new(),
             metrics,
         });
         let workers = (0..n)
@@ -208,6 +214,7 @@ fn worker_loop(inner: &Inner, me: usize) {
                 state = inner.work_available.wait(state).expect("pool condvar wait");
             }
         };
+        // cvcp: allow(D2, reason = "worker busy-time metrics; observability only")
         let busy_from = record.then(Instant::now);
         // Backstop: graph jobs catch their own panics to record a Failed
         // outcome; this guard keeps the worker alive even for raw tasks.
@@ -224,7 +231,7 @@ fn worker_loop(inner: &Inner, me: usize) {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::mpsc;
+    use std::sync::{mpsc, Mutex};
 
     const INTERACTIVE: usize = 0;
     const BATCH: usize = 1;

@@ -1,0 +1,81 @@
+//! The runtime half of the lock-discipline contract (the static half is
+//! `cvcp-analysis` rule C1): every engine/cache/queue mutex carries a
+//! `LockRank`, and debug builds assert the declared global acquisition
+//! order on every acquisition.  These tests pin that
+//!
+//! 1. the guard is *armed* in debug-profile test runs — reversing two
+//!    engine lock ranks panics immediately instead of deadlocking some day;
+//! 2. the real engine paths (pool scheduling, cache sharing, eviction)
+//!    run clean under the guard, i.e. the declared order matches reality.
+
+use cvcp_engine::obs::lock_rank::{
+    checking_enabled, RankedMutex, CACHE_PROFILE, CACHE_SHARD, POOL_STATE, SERVER_QUEUE,
+};
+use cvcp_engine::{ArtifactKey, CacheConfig, Engine, JobGraph};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// The satellite contract from ISSUE 7: deliberately acquire two engine
+/// locks in reversed rank order under `debug_assertions` and assert the
+/// guard panics.  The mutexes here are stand-ins, but the *ranks* are the
+/// very statics the engine's pool (`POOL_STATE`) and artifact cache
+/// (`CACHE_SHARD`) register themselves under, so this pins the deployed
+/// order, not a copy.
+#[test]
+fn reversed_engine_lock_order_panics_in_debug_builds() {
+    if !checking_enabled() {
+        // Release profile: the guard compiles away by design.
+        return;
+    }
+    let pool_like = RankedMutex::new(&POOL_STATE, ());
+    let shard_like = RankedMutex::new(&CACHE_SHARD, ());
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _shard_first = shard_like.lock().unwrap();
+        let _pool_second = pool_like.lock().unwrap(); // rank 20 under rank 30: violation
+    }));
+    let message = *result
+        .expect_err("acquiring pool-state under cache-shard must panic")
+        .downcast::<String>()
+        .expect("panic carries a message");
+    assert!(message.contains("lock-rank violation"), "{message}");
+}
+
+#[test]
+fn declared_order_is_queue_pool_shard_profile() {
+    assert!(SERVER_QUEUE.rank < POOL_STATE.rank);
+    assert!(POOL_STATE.rank < CACHE_SHARD.rank);
+    assert!(CACHE_SHARD.rank < CACHE_PROFILE.rank);
+}
+
+/// A real multi-worker engine run over a bounded, sharded, eviction-active
+/// cache: every ranked lock in the engine fires many times.  If any actual
+/// code path acquired them against the declared order, the guard would
+/// panic here (debug profile) instead of this test passing.
+#[test]
+fn engine_paths_run_clean_under_the_guard() {
+    let engine = Engine::with_cache_config(
+        4,
+        CacheConfig {
+            max_bytes: Some(1 << 14),
+            max_entries: Some(8),
+            shards: 4,
+            ..CacheConfig::default()
+        },
+    );
+    let mut graph: JobGraph<u64> = JobGraph::new(17);
+    for domain in 0..32u64 {
+        graph.add_job(&[], move |ctx| {
+            let v: Arc<Vec<u8>> = ctx.cache().get_or_compute(
+                ArtifactKey::Custom {
+                    domain: domain % 6,
+                    key: 1,
+                },
+                || vec![7u8; 512],
+            );
+            v.len() as u64 + ctx.rng().next_u64() % 3
+        });
+    }
+    let out = engine.run_graph(graph).expect_all("guarded run");
+    assert_eq!(out.len(), 32);
+    engine.cache().assert_accounting_consistent();
+}

@@ -113,6 +113,7 @@ impl Mode {
 /// repartitions the store and budgets/policies only trade recompute time
 /// for memory; selections are bit-identical under any setting.
 pub fn cache_config_from_env() -> CacheConfig {
+    // cvcp: allow(D3, reason = "generic reader closure; the literal CVCP_CACHE_* names are passed in below and checked there")
     cache_config_from(|var| std::env::var(var).ok())
 }
 

@@ -16,7 +16,6 @@
 //! All algorithms consume a [`cvcp_constraints::ConstraintSet`] (possibly
 //! empty) and produce a [`cvcp_data::Partition`] with no noise objects.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cop_kmeans;

@@ -19,7 +19,6 @@
 //! * [`ttest`]: the paired t-test used for the significance marks in
 //!   Tables 5–16, with a self-contained Student-t CDF.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod constraint_fmeasure;

@@ -25,14 +25,14 @@
 //! RNG stream, so enabling metrics or tracing can never change a
 //! selection result.
 
-#![forbid(unsafe_code)]
-
 pub mod hist;
+pub mod lock_rank;
 pub mod metrics;
 pub mod profile;
 pub mod trace;
 
 pub use hist::{HistogramSnapshot, LogHistogram, N_BUCKETS};
+pub use lock_rank::{LockRank, RankedCondvar, RankedMutex, RankedMutexGuard};
 pub use metrics::{EngineMetrics, MetricsSnapshot, WorkerSnapshot};
 pub use profile::{GraphProfile, WorkerOccupancy};
 pub use trace::{GraphTrace, JobSpan, SpanRecorder};

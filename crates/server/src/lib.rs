@@ -59,7 +59,6 @@
 //! server.wait(); // until a client sends {"type":"shutdown"}
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod protocol;

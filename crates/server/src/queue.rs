@@ -26,10 +26,10 @@
 //! is the intended trade for this workload (interactive requests are
 //! short; batch fan-outs are long).
 
-use cvcp_engine::obs::{HistogramSnapshot, LogHistogram};
+use cvcp_engine::obs::lock_rank::SERVER_QUEUE;
+use cvcp_engine::obs::{HistogramSnapshot, LogHistogram, RankedCondvar, RankedMutex};
 use cvcp_engine::{Priority, N_LANES};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 /// Why [`BoundedQueue::try_push`] handed an item back.
@@ -60,8 +60,11 @@ impl<T> QueueState<T> {
 /// A capacity-bounded two-lane queue with non-blocking admission:
 /// FIFO within each lane, interactive drained first.
 pub struct BoundedQueue<T> {
-    state: Mutex<QueueState<T>>,
-    available: Condvar,
+    /// Rank [`SERVER_QUEUE`]: the outermost lock of the workspace — held
+    /// only to admit or pop a request, never across an engine call (see
+    /// `cvcp_obs::lock_rank`).
+    state: RankedMutex<QueueState<T>>,
+    available: RankedCondvar,
     capacity: usize,
     /// Accept-to-dequeue wait per lane (always-on; a few relaxed atomic
     /// adds per item).  This is *admission* wait — time a request spent in
@@ -76,11 +79,14 @@ impl<T> BoundedQueue<T> {
     /// tests).
     pub fn new(capacity: usize) -> Self {
         Self {
-            state: Mutex::new(QueueState {
-                lanes: std::array::from_fn(|_| VecDeque::new()),
-                closed: false,
-            }),
-            available: Condvar::new(),
+            state: RankedMutex::new(
+                &SERVER_QUEUE,
+                QueueState {
+                    lanes: std::array::from_fn(|_| VecDeque::new()),
+                    closed: false,
+                },
+            ),
+            available: RankedCondvar::new(),
             capacity,
             admission_wait: std::array::from_fn(|_| LogHistogram::new()),
         }

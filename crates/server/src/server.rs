@@ -92,6 +92,7 @@ impl ServerConfig {
     pub fn from_env() -> Self {
         let defaults = Self::default();
         let read_usize = |var: &str, default: usize| -> usize {
+            // cvcp: allow(D3, reason = "generic reader helper; the literal CVCP_* names at the call sites are checked")
             std::env::var(var)
                 .ok()
                 .and_then(|v| v.trim().parse().ok())

@@ -25,7 +25,6 @@
 //! See the `examples/` directory for end-to-end usage and `EXPERIMENTS.md`
 //! for the reproduction of the paper's tables and figures.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use cvcp_constraints as constraints;

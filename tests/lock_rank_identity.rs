@@ -1,0 +1,60 @@
+//! The LockRank guard is *observation only*: it may panic on a
+//! lock-order violation, but it must never change what the engine
+//! computes.  This pins the acceptance criterion of ISSUE 7 — selection
+//! output is bit-identical with the guard's checking enabled and disabled
+//! (and, in release profiles where the guard compiles away, trivially so).
+//!
+//! The on→off→on sequence lives in a single `#[test]` on purpose: the
+//! checking switch is process-global, and this file being its own test
+//! binary keeps the toggle from racing unrelated parallel tests.
+
+use cvcp_engine::obs::lock_rank::{checking_enabled, set_checking_enabled};
+use cvcp_suite::constraints::generate::sample_labeled_subset;
+use cvcp_suite::constraints::SideInformation;
+use cvcp_suite::core::{select_model_with, CvcpConfig, CvcpSelection, FoscMethod};
+use cvcp_suite::data::rng::SeededRng;
+use cvcp_suite::data::synthetic::separated_blobs;
+use cvcp_suite::engine::Engine;
+
+fn run_selection() -> CvcpSelection {
+    let mut rng = SeededRng::new(31);
+    let ds = separated_blobs(3, 18, 4, 10.0, &mut rng);
+    let side = {
+        let mut rng = SeededRng::new(32);
+        SideInformation::Labels(sample_labeled_subset(ds.labels(), 0.3, 2, &mut rng))
+    };
+    let cfg = CvcpConfig {
+        n_folds: 4,
+        stratified: true,
+    };
+    let engine = Engine::new(4);
+    let mut rng = SeededRng::new(33);
+    select_model_with(
+        &engine,
+        &FoscMethod::default(),
+        ds.matrix(),
+        &side,
+        &[3usize, 5, 7, 9],
+        &cfg,
+        &mut rng,
+    )
+}
+
+#[test]
+fn selection_is_bit_identical_with_the_guard_on_and_off() {
+    let initially_checking = checking_enabled();
+    set_checking_enabled(true);
+    let guarded = run_selection();
+    set_checking_enabled(false);
+    let unguarded = run_selection();
+    set_checking_enabled(true);
+    let guarded_again = run_selection();
+    set_checking_enabled(initially_checking || !cfg!(debug_assertions));
+
+    assert_eq!(
+        guarded, unguarded,
+        "LockRank checking must not change the selection"
+    );
+    assert_eq!(guarded, guarded_again, "and must be deterministic itself");
+    assert_eq!(guarded.evaluations.len(), 4, "every candidate evaluated");
+}

@@ -67,7 +67,13 @@ impl Algorithm {
 /// A fully-specified, serializable model-selection request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectionRequest {
-    /// Caller-chosen request identifier, echoed on every response event.
+    /// Caller-chosen request identifier, echoed on every response event
+    /// — the correlation key of the wire protocol.  On a pipelined
+    /// (protocol-v2) connection the id is how interleaved response
+    /// streams are demultiplexed, so it must be unique among the
+    /// connection's in-flight requests (the server refuses reuse with
+    /// `duplicate_id` and assigns `req-<n>` when left empty); an empty
+    /// id is fine for in-process use.
     pub id: String,
     /// Replica name (see `cvcp_data::replicas::replica_by_name`).
     pub dataset: String,

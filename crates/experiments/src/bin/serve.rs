@@ -16,9 +16,18 @@
 //! * `CVCP_SERVER_WORKERS` — concurrent selection workers (default 2);
 //! * `CVCP_DEFAULT_PRIORITY` — scheduling lane for requests without an
 //!   explicit `"priority"` field: `interactive` (default) or `batch`;
+//! * `CVCP_MAX_CONNECTIONS` — open-connection cap; connections beyond it
+//!   are refused with `server_busy` (default 1024);
+//! * `CVCP_MAX_IN_FLIGHT` — per-connection pipelining cap for v2
+//!   connections, advertised in the `hello_ack` (default 32);
 //! * `CVCP_TRACE_DIR` — when set, every served selection runs traced and
 //!   its Chrome `trace_event` file (`<request-id>.trace.json`, loadable
 //!   in Perfetto / `about:tracing`) is written into that directory.
+//!
+//! Connections are served by a single readiness event loop: clients that
+//! open with `{"hello":{"version":2}}` get a persistent, pipelined
+//! connection (responses correlated by request id); clients that send a
+//! bare request speak the original one-request-per-connection v1.
 //!
 //! Drive it with the `cvcp-client` example of `cvcp-server`, e.g.:
 //!
@@ -53,6 +62,11 @@ fn main() -> ExitCode {
         config.workers,
         config.queue_depth,
         config.default_priority.name(),
+    );
+    println!(
+        "protocol: v1 (one-shot) and v2 (pipelined); up to {} connections, \
+         {} in-flight requests per v2 connection",
+        config.max_connections, config.max_in_flight,
     );
     let cache = engine.cache().config();
     match (cache.max_bytes, cache.max_entries) {

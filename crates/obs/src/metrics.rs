@@ -20,7 +20,47 @@
 //!   worker loop.
 
 use crate::hist::{HistogramSnapshot, LogHistogram};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A wait-free up/down counter for "how many right now" metrics — open
+/// connections, in-flight requests, resident entries.  All operations are
+/// single relaxed atomics; [`Gauge::dec`] saturates at zero instead of
+/// wrapping, so a stray double-decrement shows up as a too-small gauge
+/// rather than a 2^64-ish nonsense value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicUsize);
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments and returns the new value.
+    pub fn inc(&self) -> usize {
+        self.0.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Decrements (saturating at zero) and returns the new value.
+    pub fn dec(&self) -> usize {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(1);
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return next,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> usize {
+        self.0.load(Ordering::Relaxed)
+    }
+}
 
 /// Wait-free per-worker activity counters, recorded by the pool's worker
 /// loop.
@@ -196,6 +236,18 @@ impl MetricsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gauge_counts_up_and_down_and_saturates_at_zero() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0);
+        assert_eq!(g.inc(), 1);
+        assert_eq!(g.inc(), 2);
+        assert_eq!(g.dec(), 1);
+        assert_eq!(g.dec(), 0);
+        assert_eq!(g.dec(), 0, "dec saturates instead of wrapping");
+        assert_eq!(g.get(), 0);
+    }
 
     #[test]
     fn disabled_registry_records_nothing() {

@@ -1,0 +1,183 @@
+//! A small client library for the wire protocol: one persistent,
+//! pipelined v2 [`Connection`] handle (plus v1 one-shot helpers), shared
+//! by the `cvcp-client` example, the integration tests and the CI
+//! probes.
+//!
+//! The handle is deliberately synchronous and thin — connect once, pump
+//! requests in with [`Connection::send`], pump events out with
+//! [`Connection::next_event`] — because the multiplexing intelligence
+//! lives on the wire: every response carries the `"id"` of the request
+//! it answers, so a caller keeping a map of its outstanding ids can
+//! drive any number of in-flight selections over one socket.
+//!
+//! ```no_run
+//! use cvcp_core::{Algorithm, SelectionRequest, SideInfoSpec};
+//! use cvcp_server::client::Connection;
+//! use cvcp_server::Response;
+//!
+//! let request = SelectionRequest {
+//!     id: String::new(), // empty: `send` assigns `client-<n>`
+//!     dataset: "aloi:0".into(),
+//!     algorithm: Algorithm::Fosc,
+//!     params: vec![3, 6, 9],
+//!     side_info: SideInfoSpec::LabelFraction(0.2),
+//!     n_folds: 5,
+//!     stratified: true,
+//!     seed: 42,
+//!     priority: None,
+//!     trace: false,
+//! };
+//! let mut conn = Connection::connect("127.0.0.1:7878").unwrap();
+//! let a = conn.send(&request).unwrap();
+//! let b = conn.send(&request).unwrap(); // pipelined on the same socket
+//! let mut pending = vec![a, b];
+//! while !pending.is_empty() {
+//!     match conn.next_event().unwrap() {
+//!         Response::Result { id, .. } => pending.retain(|p| *p != id),
+//!         Response::Error { id, .. } => pending.retain(|p| Some(p) != id.as_ref()),
+//!         _ => {}
+//!     }
+//! }
+//! ```
+
+use crate::protocol::{Request, Response};
+use cvcp_core::SelectionRequest;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A persistent connection to a `cvcp-server`, speaking the negotiated
+/// protocol version (v2 unless constructed via
+/// [`Connection::connect_v1`]).
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    version: u64,
+    max_in_flight: usize,
+    max_frame_bytes: usize,
+    auto_id: u64,
+}
+
+impl Connection {
+    /// Connects and negotiates protocol v2: sends
+    /// `{"hello":{"version":2}}` and consumes the server's `hello_ack`.
+    /// The granted version and the connection limits are available via
+    /// the accessors afterwards.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Connection> {
+        Self::connect_with_version(addr, 2)
+    }
+
+    /// Connects and negotiates the given protocol version (useful for
+    /// compatibility testing).  The server grants `min(version, 2)`.
+    pub fn connect_with_version(
+        addr: impl ToSocketAddrs,
+        version: u64,
+    ) -> std::io::Result<Connection> {
+        let mut conn = Self::connect_v1(addr)?;
+        conn.send_request(&Request::Hello { version })?;
+        match conn.next_event()? {
+            Response::HelloAck {
+                version,
+                max_in_flight,
+                max_frame_bytes,
+            } => {
+                conn.version = version;
+                conn.max_in_flight = max_in_flight;
+                conn.max_frame_bytes = max_frame_bytes;
+                Ok(conn)
+            }
+            Response::Error { error, .. } => Err(std::io::Error::other(format!(
+                "negotiation failed: {}: {}",
+                error.code, error.message
+            ))),
+            other => Err(std::io::Error::other(format!(
+                "negotiation failed: unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Connects **without** a hello: the connection speaks v1 (one
+    /// request, one response stream, then the server closes it).
+    pub fn connect_v1(addr: impl ToSocketAddrs) -> std::io::Result<Connection> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true).ok();
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Connection {
+            reader,
+            writer,
+            version: 1,
+            max_in_flight: 1,
+            max_frame_bytes: 0,
+            auto_id: 0,
+        })
+    }
+
+    /// The negotiated protocol version (1 or 2).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The server's per-connection pipelining cap (from the `hello_ack`;
+    /// 1 on a v1 connection, which carries one request by construction).
+    pub fn max_in_flight(&self) -> usize {
+        self.max_in_flight
+    }
+
+    /// The server's frame-size limit in bytes (from the `hello_ack`;
+    /// 0 when unknown, i.e. on a v1 connection).
+    pub fn max_frame_bytes(&self) -> usize {
+        self.max_frame_bytes
+    }
+
+    /// Sends one selection request and returns the id its responses will
+    /// echo.  An empty `request.id` gets a client-assigned `client-<n>`
+    /// id first, so the returned id always correlates.
+    pub fn send(&mut self, request: &SelectionRequest) -> std::io::Result<String> {
+        let mut request = request.clone();
+        if request.id.is_empty() {
+            self.auto_id += 1;
+            request.id = format!("client-{}", self.auto_id);
+        }
+        let id = request.id.clone();
+        self.send_request(&Request::Select(request))?;
+        Ok(id)
+    }
+
+    /// Writes one raw request line (control requests, explicit hellos).
+    pub fn send_request(&mut self, request: &Request) -> std::io::Result<()> {
+        let mut line = request.to_line();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Blocks for the next server event on this connection.  Events of
+    /// concurrently in-flight requests arrive interleaved in completion
+    /// order; correlate by their echoed id.  EOF surfaces as
+    /// [`std::io::ErrorKind::UnexpectedEof`], unparsable lines as
+    /// [`std::io::ErrorKind::InvalidData`].
+    pub fn next_event(&mut self) -> std::io::Result<Response> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Response::from_line(&line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad response line: {}: {}", e.code, e.message),
+            )
+        })
+    }
+}
+
+/// v1 one-shot: opens a fresh connection, sends one request and returns
+/// the first response — the pre-v2 interaction pattern, kept for
+/// backward-compatible tooling (`--mode stats` / `ping` / `shutdown`).
+pub fn one_shot(addr: impl ToSocketAddrs, request: &Request) -> std::io::Result<Response> {
+    let mut conn = Connection::connect_v1(addr)?;
+    conn.send_request(request)?;
+    conn.next_event()
+}

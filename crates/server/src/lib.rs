@@ -16,8 +16,10 @@
 //!
 //! | request                        | response stream                           |
 //! |--------------------------------|-------------------------------------------|
+//! | `{"hello":{"version":2}}`      | `hello_ack` (granted version + limits)     |
 //! | `{"type":"select", …}`         | `progress`* then `result` (or `error`)     |
-//! | `{"type":"stats"}`             | `stats` (cache, queue, request counters)   |
+//! | `{"type":"stats"}`             | `stats` (cache, queue, connections,        |
+//! |                                | request counters)                          |
 //! | `{"type":"metrics"}`           | `metrics` (latency histograms, workers,    |
 //! |                                | cache latencies, last traced profile)      |
 //! | `{"type":"ping"}`              | `pong`                                     |
@@ -30,10 +32,21 @@
 //! [`select_model_with`](cvcp_core::select_model_with) in-process on the
 //! same request — the contract the smoke tests assert end-to-end.
 //!
-//! Each connection carries one request.  Disconnecting while a selection
-//! is queued or running cancels its job DAG (observable in the `stats`
-//! counters); a full request queue answers `queue_full` immediately
-//! instead of blocking.
+//! Connections are served by a single readiness event loop rather than a
+//! thread each, so open connections cost buffers, not threads.  A
+//! connection's first line selects its protocol version (the full matrix
+//! lives in [`protocol`]): without a hello it speaks **v1** — one
+//! request, one response stream, then the server closes it — exactly
+//! what pre-v2 clients expect.  After `{"hello":{"version":2}}` it is
+//! **v2**: persistent and pipelined, any number of requests in flight at
+//! once (up to `CVCP_MAX_IN_FLIGHT`), responses correlated by their
+//! echoed `"id"`.  The [`client::Connection`] handle wraps the client
+//! side of both.
+//!
+//! In either version, disconnecting while selections are queued or
+//! running cancels their job DAGs (observable in the `stats` counters);
+//! a full request queue answers `queue_full` immediately instead of
+//! blocking.
 //!
 //! Requests may carry an optional `"priority"` field (`"interactive"` /
 //! `"batch"`, default interactive or `CVCP_DEFAULT_PRIORITY`): the
@@ -61,13 +74,16 @@
 
 #![warn(missing_docs)]
 
+pub mod client;
+mod event_loop;
 pub mod protocol;
 pub mod queue;
 mod server;
 
+pub use client::Connection;
 pub use protocol::{
-    HistogramSummary, KindLatencyMetrics, MetricsPayload, RankedEntry, RankedSelection, Request,
-    RequestStats, Response, StatsSnapshot, WireError, WorkerMetrics,
+    ConnectionGauges, HistogramSummary, KindLatencyMetrics, MetricsPayload, RankedEntry,
+    RankedSelection, Request, RequestStats, Response, StatsSnapshot, WireError, WorkerMetrics,
 };
 pub use queue::{BoundedQueue, PushError};
 pub use server::{Server, ServerConfig};

@@ -1,14 +1,42 @@
-//! The newline-delimited JSON wire protocol.
+//! The newline-delimited JSON wire protocol (v1 and v2).
 //!
 //! Every message — in either direction — is one JSON object on one line,
 //! terminated by `\n`.  Requests carry a `"type"` discriminator
 //! (`select` / `stats` / `metrics` / `ping` / `shutdown`); responses
 //! mirror it (`progress` / `result` / `error` / `stats` / `metrics` /
-//! `pong` / `shutdown_ack`).
+//! `pong` / `shutdown_ack` / `hello_ack`).
 //! The document model and parser live in [`cvcp_core::json`]; this module
 //! only maps between [`Json`] trees and typed messages, in both
 //! directions, so the server, the client example and the property tests
 //! all share one codec.
+//!
+//! ## Version negotiation
+//!
+//! A connection's first line decides its protocol version.  A client that
+//! opens with `{"hello":{"version":N}}` negotiates explicitly: the server
+//! answers with a `hello_ack` carrying the **granted** version
+//! (`min(N, 2)`, i.e. the highest version both sides speak) plus the
+//! connection limits (`max_in_flight`, `max_frame_bytes`).  A first line
+//! that is an ordinary request implies version 1 — exactly the protocol
+//! existing clients speak, unchanged.
+//!
+//! ## Compatibility matrix
+//!
+//! | first client line                  | granted | connection semantics |
+//! |------------------------------------|---------|----------------------|
+//! | any request (no `hello`)           | v1      | one request per connection; the server closes the connection after the terminal response; further client bytes are ignored |
+//! | `{"hello":{"version":1}}`          | v1      | `hello_ack` with `"version":1`, then v1 semantics for the one following request |
+//! | `{"hello":{"version":2}}` (or any higher version) | v2 | persistent connection: any number of requests, pipelined and interleaved; every request must carry a client-chosen `"id"` (the server assigns `req-<n>` to an absent/empty one) and every `progress` / `result` / `error` echoes it |
+//! | `{"hello":{"version":0}}` or a malformed `hello` | — | `unsupported_version` error, then the server closes the connection |
+//!
+//! Under v2 the connection is full-duplex: responses of different
+//! requests interleave in completion order, and `progress` events of
+//! concurrently running selections may alternate freely.  The `"id"` echo
+//! is the only correlation mechanism — clients must not assume any
+//! ordering between events of *different* ids (events of one id keep
+//! their order: progress in evaluation order, terminal last).  Disconnect
+//! semantics generalize from v1: closing a v2 connection cancels **all**
+//! of its queued and in-flight requests.
 
 use cvcp_core::json::{Json, ToJson};
 use cvcp_core::{Algorithm, CvcpSelection, SelectionRequest, SideInfoSpec};
@@ -21,7 +49,8 @@ use cvcp_engine::{CacheStats, Priority, ShardStats};
 pub struct WireError {
     /// Machine-readable error class (`parse_error`, `invalid_request`,
     /// `unknown_type`, `queue_full`, `shutting_down`, `cancelled`,
-    /// `internal`).
+    /// `internal`, `frame_too_large`, `in_flight_limit`, `duplicate_id`,
+    /// `unsupported_version`, `server_busy`).
     pub code: String,
     /// Human-readable detail.
     pub message: String,
@@ -40,6 +69,14 @@ impl WireError {
 /// A client → server message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
+    /// Protocol-version negotiation: `{"hello":{"version":N}}`, sent as a
+    /// connection's first line.  The server grants `min(N, 2)` via
+    /// [`Response::HelloAck`]; a connection that never sends a hello
+    /// speaks v1 (see the module-level compatibility matrix).
+    Hello {
+        /// The highest protocol version the client speaks.
+        version: u64,
+    },
     /// Run a model selection and stream its progress and result.
     Select(SelectionRequest),
     /// Report cache / queue / request statistics.
@@ -61,6 +98,17 @@ impl Request {
     pub fn from_line(line: &str) -> Result<Request, WireError> {
         let doc = Json::parse(line.trim())
             .map_err(|e| WireError::new("parse_error", format!("malformed JSON: {e}")))?;
+        // The hello opener has no "type" discriminator — `{"hello":{…}}`
+        // is the whole message — so it is matched before the type switch.
+        if let Some(hello) = doc.get("hello") {
+            let version = hello.get("version").and_then(Json::as_u64).ok_or_else(|| {
+                WireError::new(
+                    "unsupported_version",
+                    "hello must carry a non-negative integer \"version\"",
+                )
+            })?;
+            return Ok(Request::Hello { version });
+        }
         let kind = doc
             .get("type")
             .and_then(Json::as_str)
@@ -81,6 +129,9 @@ impl Request {
     /// Serialises the request to its JSON document.
     pub fn to_json(&self) -> Json {
         match self {
+            Request::Hello { version } => {
+                Json::obj([("hello", Json::obj([("version", version.to_json())]))])
+            }
             Request::Select(req) => selection_request_to_json(req),
             Request::Stats => Json::obj([("type", "stats".to_json())]),
             Request::Metrics => Json::obj([("type", "metrics".to_json())]),
@@ -482,6 +533,21 @@ pub struct RequestStats {
     pub failed: u64,
 }
 
+/// Point-in-time connection gauges of the serving front-end's event loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConnectionGauges {
+    /// Connections currently open (v1 and v2 alike).
+    pub open: usize,
+    /// Open connections with no queued or running request — `open` minus
+    /// [`ConnectionGauges::active`].
+    pub idle: usize,
+    /// Open connections with at least one request queued or running.
+    pub active: usize,
+    /// Requests queued or running across all connections (a v2 connection
+    /// can contribute several).
+    pub in_flight_requests: usize,
+}
+
 /// The payload of a `stats` response.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StatsSnapshot {
@@ -507,6 +573,9 @@ pub struct StatsSnapshot {
     pub engine_threads: usize,
     /// Request lifecycle counters.
     pub requests: RequestStats,
+    /// Connection gauges of the readiness loop (open / idle / active
+    /// connections, total in-flight requests).
+    pub connections: ConnectionGauges,
 }
 
 /// A server → client message.
@@ -547,6 +616,18 @@ pub enum Response {
     Stats(StatsSnapshot),
     /// Engine metrics snapshot.
     Metrics(MetricsPayload),
+    /// Version-negotiation answer: the granted protocol version and the
+    /// connection's limits.
+    HelloAck {
+        /// The granted protocol version (`min(requested, 2)`).
+        version: u64,
+        /// Selections this connection may have queued or running at once
+        /// (v2; a v1 connection carries one request by construction).
+        max_in_flight: usize,
+        /// Longest accepted request line, in bytes; longer frames are
+        /// rejected with a `frame_too_large` error.
+        max_frame_bytes: usize,
+    },
     /// Liveness answer.
     Pong,
     /// Shutdown acknowledgement (the listener stops after sending it).
@@ -637,6 +718,18 @@ impl Response {
                     ]),
                 ),
                 (
+                    "connections",
+                    Json::obj([
+                        ("open", stats.connections.open.to_json()),
+                        ("idle", stats.connections.idle.to_json()),
+                        ("active", stats.connections.active.to_json()),
+                        (
+                            "in_flight_requests",
+                            stats.connections.in_flight_requests.to_json(),
+                        ),
+                    ]),
+                ),
+                (
                     "engine",
                     Json::obj([("threads", stats.engine_threads.to_json())]),
                 ),
@@ -703,6 +796,16 @@ impl Response {
                 }
                 Json::obj(fields)
             }
+            Response::HelloAck {
+                version,
+                max_in_flight,
+                max_frame_bytes,
+            } => Json::obj([
+                ("type", "hello_ack".to_json()),
+                ("version", version.to_json()),
+                ("max_in_flight", max_in_flight.to_json()),
+                ("max_frame_bytes", max_frame_bytes.to_json()),
+            ]),
             Response::Pong => Json::obj([("type", "pong".to_json())]),
             Response::ShutdownAck => Json::obj([("type", "shutdown_ack".to_json())]),
         }
@@ -758,6 +861,7 @@ impl Response {
                 let cache = require(&doc, "cache")?;
                 let queue = require(&doc, "queue")?;
                 let requests = require(&doc, "requests")?;
+                let connections = require(&doc, "connections")?;
                 let engine = require(&doc, "engine")?;
                 Ok(Response::Stats(StatsSnapshot {
                     cache: CacheStats {
@@ -787,6 +891,12 @@ impl Response {
                         cancelled: require_u64(requests, "cancelled")?,
                         rejected: require_u64(requests, "rejected")?,
                         failed: require_u64(requests, "failed")?,
+                    },
+                    connections: ConnectionGauges {
+                        open: require_usize(connections, "open")?,
+                        idle: require_usize(connections, "idle")?,
+                        active: require_usize(connections, "active")?,
+                        in_flight_requests: require_usize(connections, "in_flight_requests")?,
                     },
                 }))
             }
@@ -866,6 +976,11 @@ impl Response {
                     },
                 }))
             }
+            "hello_ack" => Ok(Response::HelloAck {
+                version: require_u64(&doc, "version")?,
+                max_in_flight: require_usize(&doc, "max_in_flight")?,
+                max_frame_bytes: require_usize(&doc, "max_frame_bytes")?,
+            }),
             "pong" => Ok(Response::Pong),
             "shutdown_ack" => Ok(Response::ShutdownAck),
             other => Err(WireError::new(
@@ -1005,6 +1120,33 @@ mod tests {
         let err = Request::from_line(bad).unwrap_err();
         assert_eq!(err.code, "invalid_request");
         assert!(err.message.contains("turbo"));
+    }
+
+    #[test]
+    fn hello_round_trips_and_malformed_hello_is_unsupported_version() {
+        // The negotiation opener survives the round trip…
+        for version in [1u64, 2, 7] {
+            let req = Request::Hello { version };
+            let line = req.to_line();
+            assert_eq!(line, format!("{{\"hello\":{{\"version\":{version}}}}}"));
+            assert_eq!(Request::from_line(&line).unwrap(), req);
+        }
+        // …a version 0 hello parses (the server rejects it at the
+        // connection layer, not the codec)…
+        assert_eq!(
+            Request::from_line(r#"{"hello":{"version":0}}"#).unwrap(),
+            Request::Hello { version: 0 }
+        );
+        // …and a hello without a usable version is a structured error.
+        for bad in [
+            r#"{"hello":{}}"#,
+            r#"{"hello":{"version":"two"}}"#,
+            r#"{"hello":{"version":-1}}"#,
+            r#"{"hello":true}"#,
+        ] {
+            let err = Request::from_line(bad).unwrap_err();
+            assert_eq!(err.code, "unsupported_version", "for {bad:?}");
+        }
     }
 
     #[test]
@@ -1214,7 +1356,18 @@ mod tests {
                     rejected: 1,
                     failed: 0,
                 },
+                connections: ConnectionGauges {
+                    open: 17,
+                    idle: 15,
+                    active: 2,
+                    in_flight_requests: 3,
+                },
             }),
+            Response::HelloAck {
+                version: 2,
+                max_in_flight: 32,
+                max_frame_bytes: 1 << 20,
+            },
             Response::Pong,
             Response::ShutdownAck,
         ];

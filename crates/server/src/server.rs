@@ -1,26 +1,42 @@
-//! The TCP front-end: accept loop, per-connection protocol handling,
-//! bounded request queue and selection workers.
+//! The TCP front-end: accept thread, readiness event loop, bounded
+//! request queue and selection workers.
+//!
+//! ## Thread model
+//!
+//! The server runs exactly `workers + 2` threads regardless of how many
+//! clients are connected: one accept thread (blocking `accept`, hands
+//! each stream to the loop over a channel), one readiness event loop
+//! owning every connection (see [`crate::event_loop`]), and the
+//! selection workers.  Connections cost buffers, not threads — the
+//! property the idle-connections test pins.
 //!
 //! ## Connection lifecycle
 //!
-//! Each connection carries **one** request line and its response stream,
-//! then closes — the simplest framing that keeps disconnect semantics
-//! unambiguous: while a selection is in flight, a watcher thread owns the
-//! connection's read half, so the moment the client goes away (EOF or
-//! reset) the request's [`CancelToken`] fires and the engine skips every
-//! job of the request's DAG that has not started yet.
+//! A connection's first line selects its protocol version (see
+//! [`crate::protocol`] for the matrix).  v1 connections carry **one**
+//! request line and its response stream, then close — unchanged from the
+//! pre-v2 server.  v2 connections (negotiated via
+//! `{"hello":{"version":2}}`) are persistent and pipelined: many
+//! requests in flight at once, responses correlated by the echoed
+//! `"id"`.  In both versions, disconnect cancels the connection's
+//! queued and running requests via their [`CancelToken`]s, so the
+//! engine skips every job of their DAGs that has not started yet.
 //!
 //! ## Admission control
 //!
 //! `select` requests are validated, then enqueued with
-//! [`BoundedQueue::try_push`].  A full queue answers `queue_full`
+//! [`BoundedQueue::try_push_with`].  A full queue answers `queue_full`
 //! *immediately* — the connection is never parked waiting for capacity —
 //! so clients see back-pressure as a structured error they can retry,
-//! instead of an unbounded stall.
+//! instead of an unbounded stall.  Two more caps guard the front-end
+//! itself: `max_connections` (excess connections are refused with
+//! `server_busy`) and `max_in_flight` (a v2 connection pipelining past
+//! its cap gets `in_flight_limit` errors).
 
+use crate::event_loop::{event_loop, ConnGauges, EventSink, LoopMsg};
 use crate::protocol::{
-    HistogramSummary, KindLatencyMetrics, MetricsPayload, RankedSelection, Request, RequestStats,
-    Response, StatsSnapshot, WireError, WorkerMetrics,
+    ConnectionGauges, HistogramSummary, KindLatencyMetrics, MetricsPayload, RankedSelection,
+    RequestStats, Response, StatsSnapshot, WireError, WorkerMetrics,
 };
 use crate::queue::{BoundedQueue, PushError};
 use cvcp_core::json::Json;
@@ -29,7 +45,6 @@ use cvcp_core::{
     run_selection_request, run_selection_request_traced, RunRequestError, SelectionRequest,
 };
 use cvcp_engine::{CancelToken, Engine, GraphProfile, Priority};
-use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -37,12 +52,6 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
-
-/// Longest accepted request line, in bytes.
-const MAX_LINE_BYTES: u64 = 1 << 20;
-
-/// How often the disconnect watcher polls for request completion.
-const WATCH_POLL: Duration = Duration::from_millis(25);
 
 /// Server configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +72,13 @@ pub struct ServerConfig {
     /// (the default) keeps tracing strictly per-request opt-in via the
     /// `"trace": true` wire field.
     pub trace_dir: Option<PathBuf>,
+    /// Maximum simultaneously open connections; further connections are
+    /// refused with a `server_busy` error (default 1024).
+    pub max_connections: usize,
+    /// Maximum requests one v2 connection may have queued or running at
+    /// once; pipelining past the cap earns `in_flight_limit` errors
+    /// (default 32).
+    pub max_in_flight: usize,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +89,8 @@ impl Default for ServerConfig {
             workers: 2,
             default_priority: Priority::Interactive,
             trace_dir: None,
+            max_connections: 1024,
+            max_in_flight: 32,
         }
     }
 }
@@ -86,7 +104,11 @@ impl ServerConfig {
     /// * `CVCP_DEFAULT_PRIORITY` — lane for requests without an explicit
     ///   `"priority"` field: `interactive` (default) or `batch`;
     /// * `CVCP_TRACE_DIR` — when set (non-empty), every selection runs
-    ///   traced and its Chrome trace file lands in that directory.
+    ///   traced and its Chrome trace file lands in that directory;
+    /// * `CVCP_MAX_CONNECTIONS` — simultaneously open connections before
+    ///   `server_busy` refusals (default 1024);
+    /// * `CVCP_MAX_IN_FLIGHT` — per-connection pipelined-request cap
+    ///   before `in_flight_limit` errors (default 32).
     ///
     /// Unset or unparsable variables keep their defaults.
     pub fn from_env() -> Self {
@@ -110,14 +132,16 @@ impl ServerConfig {
                 .ok()
                 .filter(|v| !v.trim().is_empty())
                 .map(PathBuf::from),
+            max_connections: read_usize("CVCP_MAX_CONNECTIONS", defaults.max_connections),
+            max_in_flight: read_usize("CVCP_MAX_IN_FLIGHT", defaults.max_in_flight),
         }
     }
 }
 
-/// An admitted request travelling from a connection to a worker.
+/// An admitted request travelling from the event loop to a worker.
 struct QueuedJob {
     request: SelectionRequest,
-    events: mpsc::Sender<Response>,
+    sink: EventSink,
     cancel: CancelToken,
 }
 
@@ -142,23 +166,34 @@ impl Counters {
     }
 }
 
-struct Shared {
+pub(crate) struct Shared {
     engine: Arc<Engine>,
     queue: BoundedQueue<QueuedJob>,
     counters: Counters,
     workers: usize,
     default_priority: Priority,
+    /// Per-connection pipelining cap, enforced by the event loop.
+    pub(crate) max_in_flight: usize,
+    /// Open-connection cap, enforced by the event loop at registration.
+    pub(crate) max_connections: usize,
+    /// Connection gauges maintained by the event loop.
+    pub(crate) gauges: ConnGauges,
     shutdown: AtomicBool,
     addr: SocketAddr,
     trace_dir: Option<PathBuf>,
+    /// The event loop's wakeup channel; kept here to mint the final
+    /// [`LoopMsg::Shutdown`] at join time.
+    loop_tx: mpsc::Sender<LoopMsg>,
     /// JSON rendering of the most recent traced selection's
     /// [`GraphProfile`], served by the `metrics` endpoint.
     last_profile: Mutex<Option<Json>>,
 }
 
 impl Shared {
-    fn stats(&self) -> StatsSnapshot {
+    pub(crate) fn stats(&self) -> StatsSnapshot {
         let (queue_interactive, queue_batch) = self.queue.lane_depths();
+        let open = self.gauges.open.get();
+        let active = self.gauges.active.get();
         StatsSnapshot {
             cache: self.engine.cache_stats(),
             cache_shards: self.engine.cache_shard_stats(),
@@ -175,10 +210,18 @@ impl Shared {
                 .iter()
                 .map(HistogramSummary::from_snapshot)
                 .collect(),
+            connections: ConnectionGauges {
+                open,
+                // Gauges are updated independently; clamp so a read
+                // between two updates can never report negative idleness.
+                idle: open.saturating_sub(active),
+                active,
+                in_flight_requests: self.gauges.in_flight.get(),
+            },
         }
     }
 
-    fn metrics(&self) -> MetricsPayload {
+    pub(crate) fn metrics(&self) -> MetricsPayload {
         let snapshot = self.engine.metrics_snapshot();
         MetricsPayload {
             engine_threads: self.engine.n_threads(),
@@ -228,11 +271,68 @@ impl Shared {
         }
     }
 
+    /// Validates and admits one selection.  On success the job is queued
+    /// with the given sink and the request's [`CancelToken`] is returned
+    /// (for the event loop's in-flight table); on failure the error
+    /// response to route back is returned instead.
+    pub(crate) fn admit_select(
+        &self,
+        mut request: SelectionRequest,
+        sink: EventSink,
+    ) -> Result<CancelToken, Box<Response>> {
+        let id = request.id.clone();
+        // Reject invalid requests before they occupy a queue slot.
+        if let Err(e) = request.validate() {
+            return Err(Box::new(Response::Error {
+                id: Some(id),
+                error: WireError::new("invalid_request", e.to_string()),
+            }));
+        }
+        // Resolve the lane at admission: an explicit request priority
+        // wins, otherwise the server's configured default.  The resolved
+        // lane is pinned onto the request so the engine lowering queues
+        // the job DAG on the same lane the queue admitted it to.
+        let priority = request.priority.unwrap_or(self.default_priority);
+        request.priority = Some(priority);
+        let cancel = CancelToken::new();
+        let job = QueuedJob {
+            request,
+            sink,
+            cancel: cancel.clone(),
+        };
+        match self.queue.try_push_with(job, priority) {
+            Ok(()) => {
+                self.counters.received.fetch_add(1, Ordering::Relaxed);
+                Ok(cancel)
+            }
+            Err(PushError::Full(_)) => {
+                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(Box::new(Response::Error {
+                    id: Some(id),
+                    error: WireError::new(
+                        "queue_full",
+                        format!(
+                            "request queue is at capacity ({}); retry later",
+                            self.queue.capacity()
+                        ),
+                    ),
+                }))
+            }
+            // A closed queue means the server is going away — telling the
+            // client to "retry later" (or counting it as back-pressure)
+            // would be wrong on both counts.
+            Err(PushError::Closed(_)) => Err(Box::new(Response::Error {
+                id: Some(id),
+                error: WireError::new("shutting_down", "server is shutting down"),
+            })),
+        }
+    }
+
     /// Initiates shutdown: flips the flag, closes the queue (workers drain
     /// and exit) and pokes the accept loop awake with a loopback connect.
     /// A wildcard bind address (`0.0.0.0` / `::`) is not connectable on
     /// every platform, so fall back to loopback on the bound port.
-    fn initiate_shutdown(&self) {
+    pub(crate) fn initiate_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.queue.close();
         let timeout = Duration::from_millis(200);
@@ -257,24 +357,30 @@ impl Shared {
 pub struct Server {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
+    event: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds `config.addr` and starts the accept loop and worker threads
-    /// on the given engine.
+    /// Binds `config.addr` and starts the accept thread, the event loop
+    /// and the worker threads on the given engine.
     pub fn start(config: &ServerConfig, engine: Arc<Engine>) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let (loop_tx, loop_rx) = mpsc::channel();
         let shared = Arc::new(Shared {
             engine,
             queue: BoundedQueue::new(config.queue_depth),
             counters: Counters::default(),
             workers: config.workers,
             default_priority: config.default_priority,
+            max_in_flight: config.max_in_flight,
+            max_connections: config.max_connections,
+            gauges: ConnGauges::default(),
             shutdown: AtomicBool::new(false),
             addr,
             trace_dir: config.trace_dir.clone(),
+            loop_tx: loop_tx.clone(),
             last_profile: Mutex::new(None),
         });
         let workers = (0..config.workers)
@@ -283,6 +389,10 @@ impl Server {
                 std::thread::spawn(move || worker_loop(&shared))
             })
             .collect();
+        let event = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || event_loop(shared, loop_tx, loop_rx))
+        };
         let accept = {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || accept_loop(&listener, &shared))
@@ -290,6 +400,7 @@ impl Server {
         Ok(Server {
             shared,
             accept: Some(accept),
+            event: Some(event),
             workers,
         })
     }
@@ -322,8 +433,15 @@ impl Server {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
+        // Workers first: they drain the queue and may still be streaming
+        // responses through the loop — only once they are done may the
+        // loop flush its last buffers and exit.
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if let Some(event) = self.event.take() {
+            let _ = self.shared.loop_tx.send(LoopMsg::Shutdown);
+            let _ = event.join();
         }
     }
 }
@@ -335,8 +453,11 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                let shared = Arc::clone(shared);
-                std::thread::spawn(move || handle_connection(&shared, stream));
+                // Hand the stream to the event loop; if the loop is gone
+                // the server is tearing down anyway.
+                if shared.loop_tx.send(LoopMsg::Register(stream)).is_err() {
+                    return;
+                }
             }
             Err(_) => {
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -352,203 +473,23 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
-/// Reads one `\n`-terminated line, bounded by [`MAX_LINE_BYTES`].
-/// `Ok(None)` means the client closed without sending anything.
-fn read_request_line(reader: &mut BufReader<TcpStream>) -> Result<Option<String>, WireError> {
-    let mut line = String::new();
-    let mut limited = Read::take(reader, MAX_LINE_BYTES);
-    let n = limited
-        .read_line(&mut line)
-        .map_err(|e| WireError::new("parse_error", format!("request line unreadable: {e}")))?;
-    if n == 0 {
-        return Ok(None);
-    }
-    if !line.ends_with('\n') && n as u64 >= MAX_LINE_BYTES {
-        return Err(WireError::new(
-            "invalid_request",
-            format!("request line exceeds {MAX_LINE_BYTES} bytes"),
-        ));
-    }
-    Ok(Some(line))
-}
-
-fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
-    let mut line = response.to_line();
-    line.push('\n');
-    stream.write_all(line.as_bytes())?;
-    stream.flush()
-}
-
-fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut writer = stream;
-    let mut reader = BufReader::new(read_half);
-    let line = match read_request_line(&mut reader) {
-        Ok(Some(line)) => line,
-        Ok(None) => return,
-        Err(error) => {
-            let _ = write_response(&mut writer, &Response::Error { id: None, error });
-            return;
-        }
-    };
-    match Request::from_line(&line) {
-        Err(error) => {
-            let _ = write_response(&mut writer, &Response::Error { id: None, error });
-        }
-        Ok(Request::Ping) => {
-            let _ = write_response(&mut writer, &Response::Pong);
-        }
-        Ok(Request::Stats) => {
-            let _ = write_response(&mut writer, &Response::Stats(shared.stats()));
-        }
-        Ok(Request::Metrics) => {
-            let _ = write_response(&mut writer, &Response::Metrics(shared.metrics()));
-        }
-        Ok(Request::Shutdown) => {
-            let _ = write_response(&mut writer, &Response::ShutdownAck);
-            shared.initiate_shutdown();
-        }
-        Ok(Request::Select(request)) => handle_select(shared, writer, request),
-    }
-}
-
-fn handle_select(shared: &Arc<Shared>, mut writer: TcpStream, mut request: SelectionRequest) {
-    let id = request.id.clone();
-    // Reject invalid requests before they occupy a queue slot.
-    if let Err(e) = request.validate() {
-        let _ = write_response(
-            &mut writer,
-            &Response::Error {
-                id: Some(id),
-                error: WireError::new("invalid_request", e.to_string()),
-            },
-        );
-        return;
-    }
-    // Resolve the lane at admission: an explicit request priority wins,
-    // otherwise the server's configured default.  The resolved lane is
-    // pinned onto the request so the engine lowering queues the job DAG on
-    // the same lane the queue admitted it to.
-    let priority = request.priority.unwrap_or(shared.default_priority);
-    request.priority = Some(priority);
-    let (events_tx, events_rx) = mpsc::channel();
-    let cancel = CancelToken::new();
-    let job = QueuedJob {
-        request,
-        events: events_tx,
-        cancel: cancel.clone(),
-    };
-    match shared.queue.try_push_with(job, priority) {
-        Ok(()) => {}
-        Err(PushError::Full(_)) => {
-            shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
-            let _ = write_response(
-                &mut writer,
-                &Response::Error {
-                    id: Some(id),
-                    error: WireError::new(
-                        "queue_full",
-                        format!(
-                            "request queue is at capacity ({}); retry later",
-                            shared.queue.capacity()
-                        ),
-                    ),
-                },
-            );
-            return;
-        }
-        // A closed queue means the server is going away — telling the
-        // client to "retry later" (or counting it as back-pressure) would
-        // be wrong on both counts.
-        Err(PushError::Closed(_)) => {
-            let _ = write_response(
-                &mut writer,
-                &Response::Error {
-                    id: Some(id),
-                    error: WireError::new("shutting_down", "server is shutting down"),
-                },
-            );
-            return;
-        }
-    }
-    shared.counters.received.fetch_add(1, Ordering::Relaxed);
-
-    // While the request is queued/running, a watcher owns the read half:
-    // EOF or a reset from the client cancels the request's DAG.
-    let done = Arc::new(AtomicBool::new(false));
-    let watcher = {
-        let stream = writer.try_clone().ok();
-        let cancel = cancel.clone();
-        let done = Arc::clone(&done);
-        std::thread::spawn(move || {
-            let Some(stream) = stream else {
-                return;
-            };
-            watch_for_disconnect(stream, &cancel, &done);
-        })
-    };
-    // Pump events until the terminal response (or until writing fails,
-    // which also means the client is gone).
-    while let Ok(event) = events_rx.recv() {
-        let terminal = matches!(event, Response::Result { .. } | Response::Error { .. });
-        if write_response(&mut writer, &event).is_err() {
-            cancel.cancel();
-            break;
-        }
-        if terminal {
-            break;
-        }
-    }
-    done.store(true, Ordering::SeqCst);
-    let _ = watcher.join();
-}
-
-fn watch_for_disconnect(mut stream: TcpStream, cancel: &CancelToken, done: &AtomicBool) {
-    if stream.set_read_timeout(Some(WATCH_POLL)).is_err() {
-        return;
-    }
-    let mut buf = [0u8; 128];
-    while !done.load(Ordering::SeqCst) {
-        match stream.read(&mut buf) {
-            // EOF: the client closed its end.
-            Ok(0) => {
-                cancel.cancel();
-                return;
-            }
-            // The one-request-per-connection protocol has no further
-            // client input; stray bytes are ignored.
-            Ok(_) => {}
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut => {}
-            // Reset / broken pipe: the client is gone.
-            Err(_) => {
-                cancel.cancel();
-                return;
-            }
-        }
-    }
-}
-
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
         let QueuedJob {
             request,
-            events,
+            sink,
             cancel,
         } = job;
         let id = request.id.clone();
         if cancel.is_cancelled() {
             shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
-            let _ = events.send(Response::Error {
+            sink.send(Response::Error {
                 id: Some(id),
                 error: WireError::new("cancelled", "client disconnected before the request ran"),
             });
             continue;
         }
-        let progress_events = events.clone();
+        let progress_sink = sink.clone();
         let progress_id = id.clone();
         // A request is traced when the client asked for it on the wire or
         // the server is configured with a trace directory.  Tracing never
@@ -557,7 +498,7 @@ fn worker_loop(shared: &Arc<Shared>) {
         let traced = request.trace || shared.trace_dir.is_some();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let on_progress = move |p: cvcp_core::SelectionProgress| {
-                let _ = progress_events.send(Response::Progress {
+                progress_sink.send(Response::Progress {
                     id: progress_id.clone(),
                     param: p.param,
                     score: p.score,
@@ -627,6 +568,6 @@ fn worker_loop(shared: &Arc<Shared>) {
                 }
             }
         };
-        let _ = events.send(response);
+        sink.send(response);
     }
 }

@@ -1,0 +1,76 @@
+//! The headline scaling property of the readiness loop: hundreds of idle
+//! v2 connections cost buffers, not threads.
+//!
+//! This test lives in its own integration-test binary on purpose — it
+//! counts this process's threads via `/proc/self/status`, and sibling
+//! tests running concurrently in the same binary would pollute the
+//! count.
+
+use cvcp_core::Engine;
+use cvcp_server::client::Connection;
+use cvcp_server::{Server, ServerConfig};
+use std::sync::Arc;
+
+/// Reads this process's live thread count from `/proc/self/status`.
+fn thread_count() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("read /proc/self/status");
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line")
+}
+
+#[test]
+fn hundreds_of_idle_connections_do_not_cost_threads() {
+    const IDLE_CONNECTIONS: usize = 500;
+    const WORKERS: usize = 2;
+
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        queue_depth: 8,
+        workers: WORKERS,
+        max_connections: IDLE_CONNECTIONS + 8,
+        ..ServerConfig::default()
+    };
+    let engine = Arc::new(Engine::new(2));
+    let before = thread_count();
+    let server = Server::start(&config, Arc::clone(&engine)).expect("bind loopback");
+    let with_server = thread_count();
+    // workers + accept + event loop (the engine pool was already up).
+    assert!(
+        with_server <= before + WORKERS + 2,
+        "server startup spawned {} threads, expected at most {}",
+        with_server - before,
+        WORKERS + 2
+    );
+
+    // Open hundreds of fully negotiated v2 connections and keep them
+    // idle.  Each handshake round-trips, so by the time `connect`
+    // returns the server has registered the connection with its loop.
+    let mut held = Vec::with_capacity(IDLE_CONNECTIONS);
+    for i in 0..IDLE_CONNECTIONS {
+        let conn = Connection::connect(server.local_addr())
+            .unwrap_or_else(|e| panic!("handshake {i} failed: {e}"));
+        assert_eq!(conn.version(), 2);
+        held.push(conn);
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.connections.open, IDLE_CONNECTIONS);
+    assert_eq!(stats.connections.idle, IDLE_CONNECTIONS);
+    assert_eq!(stats.connections.active, 0);
+    assert_eq!(stats.connections.in_flight_requests, 0);
+
+    // The property under test: the thread count is bounded by the worker
+    // count plus O(1) loop threads — NOT by the connection count.
+    let with_connections = thread_count();
+    assert!(
+        with_connections <= before + WORKERS + 2,
+        "{IDLE_CONNECTIONS} idle connections raised the thread count \
+         from {with_server} to {with_connections}; connections must not cost threads"
+    );
+
+    drop(held);
+    server.shutdown();
+}

@@ -50,9 +50,16 @@ pub fn registry() -> BTreeMap<(&'static str, &'static str), LockClass> {
     };
     let leaf = |name| LockClass { name, rank: None };
     BTreeMap::from([
-        // The four ranked classes — must match cvcp_obs::lock_rank.
+        // The ranked classes — must match cvcp_obs::lock_rank.
         (("cvcp-server", "state"), ranked("server-queue", 10)),
+        // The pool's sharded deques: every per-worker per-lane local and
+        // every lane injector is its own mutex, all at the pool rank —
+        // same-class nesting (two deques held at once) is a violation, so
+        // every scheduler acquisition must be transient.
         (("cvcp-engine", "state"), ranked("pool-state", 20)),
+        (("cvcp-engine", "locals"), ranked("pool-state", 20)),
+        (("cvcp-engine", "injectors"), ranked("pool-state", 20)),
+        (("cvcp-engine", "sleep"), ranked("pool-sleep", 25)),
         (("cvcp-engine", "map"), ranked("cache-shard", 30)),
         (("cvcp-engine", "profile"), ranked("cache-profile", 40)),
         // Leaf locks: completion plumbing and observability buffers.

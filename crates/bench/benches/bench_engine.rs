@@ -22,7 +22,8 @@ use cvcp_core::crossval::evaluate_parameter_on_folds;
 use cvcp_core::experiment::{run_experiment_on, run_experiment_trialwise, ExperimentConfig};
 use cvcp_core::json::{Json, ToJson};
 use cvcp_core::{
-    select_model_with, CvcpConfig, CvcpSelection, Engine, FoscMethod, MpckMethod, SideInfoSpec,
+    select_model_with, select_model_with_granularity, CvcpConfig, CvcpSelection, Engine,
+    FoscMethod, Granularity, MpckMethod, SideInfoSpec,
 };
 use cvcp_data::rng::SeededRng;
 use cvcp_data::Dataset;
@@ -37,6 +38,13 @@ const MIN_FOSC_HIT_RATE: f64 = 0.5;
 /// artifacts must be shared across the parameter sweep (this was 0% before
 /// MPCKMeans became cache-aware).
 const MIN_MPCK_HIT_RATE: f64 = 0.3;
+
+/// Minimum `speedup_4workers / speedup_1worker` ratio: 4 workers must not
+/// be slower than 1 (the ISSUE 9 parallel-speedup gate).  The tolerance
+/// below 1.0 absorbs shared-runner noise; on a single hardware thread the
+/// 4-worker grid can at best tie the 1-worker grid, so the gate is really
+/// "parallel lowering overhead stays within noise of inline execution".
+const MIN_SPEEDUP_RATIO_4V1: f64 = 0.95;
 
 const MINPTS_GRID: [usize; 8] = [3, 6, 9, 12, 15, 18, 21, 24];
 const N_FOLDS: usize = 8;
@@ -76,6 +84,30 @@ fn engine_grid(engine: &Engine, ds: &Dataset, side: &SideInformation) -> CvcpSel
     )
 }
 
+/// The engine path with the grid-lowering granularity pinned, for the
+/// fused-vs-per-fold comparison.
+fn engine_grid_with(
+    engine: &Engine,
+    ds: &Dataset,
+    side: &SideInformation,
+    granularity: Granularity,
+) -> CvcpSelection {
+    let cfg = CvcpConfig {
+        n_folds: N_FOLDS,
+        stratified: true,
+    };
+    select_model_with_granularity(
+        engine,
+        &FoscMethod::default(),
+        ds.matrix(),
+        &side.clone(),
+        &MINPTS_GRID,
+        &cfg,
+        &mut SeededRng::new(1),
+        granularity,
+    )
+}
+
 fn bench_engine(c: &mut Criterion) {
     let (ds, side) = fixture();
 
@@ -102,33 +134,87 @@ fn bench_engine(c: &mut Criterion) {
         start.elapsed().as_secs_f64()
     });
     let reference = engine_grid(&Engine::new(1), &ds, &side);
+    // Interleave the 1- and 4-worker measurements round-robin with
+    // alternating order (plus one untimed warm-up pass each) so clock,
+    // cache, and allocator drift on the host hits both configurations
+    // equally instead of biasing the speedup ratio; best-of-6 cold runs
+    // per configuration.
+    const GRID_ROUNDS: usize = 6;
     let mut hit_rate = 0.0;
-    let engine1 = best_of(|| {
+    let mut engine1 = f64::INFINITY;
+    let mut engine4 = f64::INFINITY;
+    let mut time_1worker = |secs: &mut f64| {
         let engine = Engine::new(1);
         let start = Instant::now();
         let sel = engine_grid(&engine, &ds, &side);
-        let secs = start.elapsed().as_secs_f64();
+        *secs = secs.min(start.elapsed().as_secs_f64());
         assert_eq!(sel, reference, "1-worker run diverged");
         hit_rate = engine.cache().stats().hit_rate();
-        secs
-    });
-    let engine4 = best_of(|| {
+    };
+    let time_4workers = |secs: &mut f64| {
         let engine = Engine::new(4);
         let start = Instant::now();
         let sel = engine_grid(&engine, &ds, &side);
-        let secs = start.elapsed().as_secs_f64();
+        *secs = secs.min(start.elapsed().as_secs_f64());
         assert_eq!(sel, reference, "4-worker run diverged from sequential");
-        secs
-    });
+    };
+    time_1worker(&mut engine1);
+    time_4workers(&mut engine4);
+    engine1 = f64::INFINITY;
+    engine4 = f64::INFINITY;
+    for round in 0..GRID_ROUNDS {
+        if round % 2 == 0 {
+            time_4workers(&mut engine4);
+            time_1worker(&mut engine1);
+        } else {
+            time_1worker(&mut engine1);
+            time_4workers(&mut engine4);
+        }
+    }
+    let speedup_ratio_4v1 = (naive / engine4) / (naive / engine1);
     println!(
         "engine/fosc_grid: naive sequential {:.1} ms | engine 1 worker {:.1} ms ({:.2}x) | \
-         engine 4 workers {:.1} ms ({:.2}x) | cache hit rate {:.1}%",
+         engine 4 workers {:.1} ms ({:.2}x) | 4v1 ratio {:.2} | cache hit rate {:.1}%",
         naive * 1e3,
         engine1 * 1e3,
         naive / engine1,
         engine4 * 1e3,
         naive / engine4,
+        speedup_ratio_4v1,
         hit_rate * 100.0
+    );
+    assert!(
+        speedup_ratio_4v1 >= MIN_SPEEDUP_RATIO_4V1,
+        "4 workers regressed vs 1 worker: speedup ratio {speedup_ratio_4v1:.3} < \
+         {MIN_SPEEDUP_RATIO_4V1} (1 worker {:.1} ms, 4 workers {:.1} ms)",
+        engine1 * 1e3,
+        engine4 * 1e3,
+    );
+
+    // Fused vs per-fold lowering of the same grid on 4 workers: the fused
+    // chunk jobs amortize per-job overhead (the Auto cost model picks the
+    // winner at run time); results must be bit-identical.
+    let per_fold_secs = best_of(|| {
+        let engine = Engine::new(4);
+        let start = Instant::now();
+        let sel = engine_grid_with(&engine, &ds, &side, Granularity::PerFold);
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(sel, reference, "per-fold lowering diverged");
+        secs
+    });
+    let fused_secs = best_of(|| {
+        let engine = Engine::new(4);
+        let start = Instant::now();
+        let sel = engine_grid_with(&engine, &ds, &side, Granularity::Fused);
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(sel, reference, "fused lowering diverged");
+        secs
+    });
+    println!(
+        "engine/fosc_grid granularity (4 workers): per-fold {:.1} ms | fused {:.1} ms ({:.2}x)",
+        per_fold_secs * 1e3,
+        fused_secs * 1e3,
+        per_fold_secs / fused_secs,
     );
 
     // Warm-cache behaviour: a second identical request on a live engine is
@@ -234,25 +320,45 @@ fn bench_engine(c: &mut Criterion) {
         n_threads: 4, // unused: engines are built explicitly below
     };
     let spec = SideInfoSpec::LabelFraction(0.2);
+    // Interleave the two paths round-robin (rather than timing one in a
+    // block and then the other) and alternate which goes first each round,
+    // so slow clock / cache / allocator drift on the host hits both
+    // equally; best-of-6 per path.
+    const FEW_TRIAL_ROUNDS: usize = 6;
     let mut trialwise_outcomes = None;
-    let trialwise_secs = best_of(|| {
-        let engine = Engine::new(4);
-        let start = Instant::now();
-        let outcomes =
-            run_experiment_trialwise(&engine, &FoscMethod::default(), &ds, spec, &exp_config);
-        let secs = start.elapsed().as_secs_f64();
-        trialwise_outcomes = Some(outcomes);
-        secs
-    });
     let mut unified_outcomes = None;
-    let unified_secs = best_of(|| {
+    let mut trialwise_secs = f64::INFINITY;
+    let mut unified_secs = f64::INFINITY;
+    let time_trialwise = |outcomes: &mut Option<Vec<_>>, secs: &mut f64| {
         let engine = Engine::new(4);
         let start = Instant::now();
-        let outcomes = run_experiment_on(&engine, &FoscMethod::default(), &ds, spec, &exp_config);
-        let secs = start.elapsed().as_secs_f64();
-        unified_outcomes = Some(outcomes);
-        secs
-    });
+        let run = run_experiment_trialwise(&engine, &FoscMethod::default(), &ds, spec, &exp_config);
+        *secs = secs.min(start.elapsed().as_secs_f64());
+        *outcomes = Some(run);
+    };
+    let time_unified = |outcomes: &mut Option<Vec<_>>, secs: &mut f64| {
+        let engine = Engine::new(4);
+        let start = Instant::now();
+        let run = run_experiment_on(&engine, &FoscMethod::default(), &ds, spec, &exp_config);
+        *secs = secs.min(start.elapsed().as_secs_f64());
+        *outcomes = Some(run);
+    };
+    // One untimed pass of each path first: the very first execution runs
+    // with cold i-cache and (on burst-clocked hosts) at a different
+    // frequency than the steady state the rest of the loop sees.
+    time_trialwise(&mut trialwise_outcomes, &mut trialwise_secs);
+    time_unified(&mut unified_outcomes, &mut unified_secs);
+    trialwise_secs = f64::INFINITY;
+    unified_secs = f64::INFINITY;
+    for round in 0..FEW_TRIAL_ROUNDS {
+        if round % 2 == 0 {
+            time_unified(&mut unified_outcomes, &mut unified_secs);
+            time_trialwise(&mut trialwise_outcomes, &mut trialwise_secs);
+        } else {
+            time_trialwise(&mut trialwise_outcomes, &mut trialwise_secs);
+            time_unified(&mut unified_outcomes, &mut unified_secs);
+        }
+    }
     assert_eq!(
         unified_outcomes, trialwise_outcomes,
         "the unified full-grid plan must reproduce the trial-only path bit-for-bit"
@@ -333,8 +439,18 @@ fn bench_engine(c: &mut Criterion) {
                     ("engine_4workers_ms", (engine4 * 1e3).to_json()),
                     ("speedup_1worker", (naive / engine1).to_json()),
                     ("speedup_4workers", (naive / engine4).to_json()),
+                    ("speedup_ratio_4v1", speedup_ratio_4v1.to_json()),
+                    ("min_speedup_ratio_gate", MIN_SPEEDUP_RATIO_4V1.to_json()),
                     ("cache_hit_rate", hit_rate.to_json()),
                     ("min_hit_rate_gate", MIN_FOSC_HIT_RATE.to_json()),
+                ]),
+            ),
+            (
+                "granularity",
+                Json::obj([
+                    ("per_fold_4workers_ms", (per_fold_secs * 1e3).to_json()),
+                    ("fused_4workers_ms", (fused_secs * 1e3).to_json()),
+                    ("fused_speedup", (per_fold_secs / fused_secs).to_json()),
                 ]),
             ),
             (

@@ -49,11 +49,37 @@ pub fn rng() -> SeededRng {
     SeededRng::new(BENCH_SEED + 3)
 }
 
+/// The host's hardware thread count, read from `/proc/cpuinfo` where
+/// available.  `std::thread::available_parallelism` answers a different
+/// question — the parallelism *this process* may use — and reports 1
+/// inside affinity masks / cgroup cpu quotas even on multi-core hosts,
+/// which made bench artifacts from CI runners uninterpretable (a
+/// "4-worker regression" on a 1-thread budget is expected, on a 16-core
+/// host it is a bug).  Falls back to `available_parallelism` on
+/// platforms without `/proc`.
+fn host_threads() -> usize {
+    let from_cpuinfo = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .map(|info| {
+            info.lines()
+                .filter(|l| {
+                    l.strip_prefix("processor")
+                        .is_some_and(|rest| rest.trim_start().starts_with(':'))
+                })
+                .count()
+        })
+        .filter(|&n| n > 0);
+    from_cpuinfo.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
 /// A `meta` block for bench JSON artifacts: the commit the numbers were
 /// measured at (from `GITHUB_SHA` in CI, `git rev-parse HEAD` locally,
-/// `"unknown"` without either), the host's hardware thread count, and the
-/// per-section iteration counts the bench used — enough to interpret a
-/// perf-trajectory artifact without the CI log that produced it.
+/// `"unknown"` without either), the host's hardware thread count
+/// (`host_threads`) next to the parallelism actually available to the
+/// bench process (`available_threads` — smaller under affinity masks or
+/// cpu quotas), and the per-section iteration counts the bench used —
+/// enough to interpret a perf-trajectory artifact without the CI log
+/// that produced it.
 pub fn bench_meta(iterations: &[(&str, usize)]) -> cvcp_core::json::Json {
     use cvcp_core::json::{Json, ToJson};
     // cvcp: allow(D3, reason = "CI-provided commit id for bench provenance, not a CVCP knob")
@@ -71,10 +97,11 @@ pub fn bench_meta(iterations: &[(&str, usize)]) -> cvcp_core::json::Json {
         })
         .filter(|sha| !sha.is_empty())
         .unwrap_or_else(|| "unknown".to_string());
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
     Json::obj([
         ("commit", commit.to_json()),
-        ("host_threads", threads.to_json()),
+        ("host_threads", host_threads().to_json()),
+        ("available_threads", available.to_json()),
         (
             "iterations",
             Json::Obj(
@@ -106,6 +133,24 @@ pub fn write_bench_json(name: &str, value: &cvcp_core::json::Json) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn host_threads_counts_cpuinfo_processors() {
+        let n = host_threads();
+        assert!(n >= 1);
+        if let Ok(info) = std::fs::read_to_string("/proc/cpuinfo") {
+            let processors = info
+                .lines()
+                .filter(|l| {
+                    l.strip_prefix("processor")
+                        .is_some_and(|rest| rest.trim_start().starts_with(':'))
+                })
+                .count();
+            if processors > 0 {
+                assert_eq!(n, processors);
+            }
+        }
+    }
 
     #[test]
     fn fixtures_have_expected_shapes() {

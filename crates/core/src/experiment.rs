@@ -229,6 +229,31 @@ pub fn run_experiment_on(
             )
         })
         .collect();
+    // On the sequential engine, skip plan construction entirely — the
+    // inline executor works on borrowed data (mirroring the
+    // `select_model_prepared` shortcut), so the per-experiment matrix
+    // clone and the job-graph Arcs that 'static DAG jobs need are never
+    // paid.  It is the same executor the plan's own inline branch uses,
+    // so both paths stay bit-identical.
+    if engine.n_threads() <= 1 {
+        return trials
+            .iter()
+            .map(|trial| {
+                evaluate_trial_inline(
+                    &prepared.clusterers,
+                    &prepared.params,
+                    dataset.matrix(),
+                    trial,
+                    Some(engine.cache()),
+                    None,
+                    None,
+                )
+                .expect("experiment plans run without a cancel token")
+                .outcome
+                .expect("experiment trials carry an external stage")
+            })
+            .collect();
+    }
     let plan = ExecutionPlan::new(
         Arc::new(dataset.matrix().clone()),
         prepared.clusterers,

@@ -55,7 +55,7 @@ use std::time::Instant;
 
 use cvcp_data::DataMatrix;
 use cvcp_obs::lock_rank::{CACHE_PROFILE, CACHE_SHARD};
-use cvcp_obs::{HistogramSnapshot, LogHistogram, RankedMutex};
+use cvcp_obs::{HistogramSnapshot, LogHistogram, RankedCondvar, RankedMutex};
 
 thread_local! {
     /// `(hits, misses)` observed by the *current thread* since the last
@@ -86,6 +86,32 @@ fn note_thread_cache_event(hit: bool) {
             (hits, misses + 1)
         })
     });
+}
+
+thread_local! {
+    /// Nesting depth of in-flight `compute` closures on this thread.  A
+    /// joiner only *helps* (runs other pool tasks while waiting, see
+    /// [`crate::pool::help_run_one_task`]) at depth 0: a winner that
+    /// recursed into the pool could pick up a task that joins the very
+    /// artifact this thread is computing and deadlock on itself.
+    static COMPUTE_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// RAII bump of [`COMPUTE_DEPTH`] — unwinds correctly when `compute`
+/// panics, so a caught panic can never wedge helping off for the thread.
+struct ComputeDepthGuard;
+
+impl ComputeDepthGuard {
+    fn enter() -> Self {
+        COMPUTE_DEPTH.with(|depth| depth.set(depth.get() + 1));
+        Self
+    }
+}
+
+impl Drop for ComputeDepthGuard {
+    fn drop(&mut self) {
+        COMPUTE_DEPTH.with(|depth| depth.set(depth.get() - 1));
+    }
 }
 
 /// A 64-bit content fingerprint (FNV-1a over the value's raw bytes).
@@ -703,6 +729,10 @@ struct Shard {
     /// Rank [`CACHE_SHARD`]: shard locks never nest (neither with each
     /// other nor under the cost-profile lock — see `cvcp_obs::lock_rank`).
     map: RankedMutex<ShardMap>,
+    /// Parks joiners of in-flight computations (companion to `map`).
+    /// Notified whenever an in-flight entry resolves: the winner committed
+    /// a value, its panic guard removed the entry, or `clear` dropped it.
+    join_cv: RankedCondvar,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -713,6 +743,7 @@ impl Default for Shard {
     fn default() -> Self {
         Self {
             map: RankedMutex::new(&CACHE_SHARD, ShardMap::default()),
+            join_cv: RankedCondvar::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -739,18 +770,23 @@ impl Drop for InFlightGuard<'_> {
         if !self.armed {
             return;
         }
-        let mut map = self.shard.map.lock().expect("artifact cache shard lock");
-        if let Some(&i) = map.index.get(&self.key) {
-            let node = map.node(i);
-            if Arc::ptr_eq(&node.slot, self.slot)
-                && node.bytes.is_none()
-                && node.slot.get().is_none()
-            {
-                debug_assert!(!node.in_lru);
-                map.index.remove(&self.key);
-                map.release(i);
+        {
+            let mut map = self.shard.map.lock().expect("artifact cache shard lock");
+            if let Some(&i) = map.index.get(&self.key) {
+                let node = map.node(i);
+                if Arc::ptr_eq(&node.slot, self.slot)
+                    && node.bytes.is_none()
+                    && node.slot.get().is_none()
+                {
+                    debug_assert!(!node.in_lru);
+                    map.index.remove(&self.key);
+                    map.release(i);
+                }
             }
         }
+        // Joiners parked on this computation must re-claim (and possibly
+        // become the new winner) — the value is never coming.
+        self.shard.join_cv.notify_all();
     }
 }
 
@@ -1000,8 +1036,13 @@ impl ArtifactCache {
     }
 
     /// Returns the cached artifact for `key`, computing it with `compute` on
-    /// first use.  Concurrent callers for the same key block until the first
-    /// computation finishes and then share the same `Arc`.
+    /// first use.  Concurrent callers for the same key **join the in-flight
+    /// computation cooperatively** — never computing it twice — and then
+    /// share the same `Arc`: a pool worker that would otherwise idle runs
+    /// other ready pool tasks while it waits (so a convoy of sibling fold
+    /// jobs behind one hierarchy build turns into throughput instead of
+    /// blocked threads), and any other thread parks on the shard's condvar
+    /// until the winner commits.
     ///
     /// When a budget is configured, committing a new artifact evicts
     /// resident artifacts of the key's shard (victims per the configured
@@ -1025,67 +1066,135 @@ impl ArtifactCache {
         // cvcp: allow(D2, reason = "cache lookup-latency histogram; observability only")
         let lookup_from = Instant::now();
         let shard = self.shard_for(&key);
-        let slot: Slot = {
-            let mut map = shard.map.lock().expect("artifact cache shard lock");
-            match map.index.get(&key).copied() {
-                Some(i) => {
-                    map.touch(i);
-                    map.node(i).slot.clone()
+        let mut compute = Some(compute);
+        // Claim outcome for one attempt; a `Join` that resolves without a
+        // value (winner panicked, cache cleared) loops back to re-claim.
+        enum Claim {
+            Hit(Stored),
+            Winner(Slot),
+            Join(Slot),
+        }
+        loop {
+            let claim = {
+                let mut map = shard.map.lock().expect("artifact cache shard lock");
+                match map.index.get(&key).copied() {
+                    Some(i) => {
+                        map.touch(i);
+                        let slot = map.node(i).slot.clone();
+                        match slot.get() {
+                            Some(stored) => Claim::Hit(stored.clone()),
+                            None => Claim::Join(slot),
+                        }
+                    }
+                    None => {
+                        let slot: Slot = Arc::default();
+                        let i = map.alloc(Node {
+                            key,
+                            slot: Arc::clone(&slot),
+                            bytes: None,
+                            cost_nanos: 0,
+                            prev: NIL,
+                            next: NIL,
+                            in_lru: false,
+                        });
+                        map.index.insert(key, i);
+                        Claim::Winner(slot)
+                    }
                 }
-                None => {
-                    let slot: Slot = Arc::default();
-                    let i = map.alloc(Node {
+            };
+            let latency = &self.latencies[key.kind_index()];
+            let stored = match claim {
+                Claim::Hit(stored) => stored,
+                Claim::Winner(slot) => {
+                    // The shard lock is released before the (potentially
+                    // slow) computation, so unrelated keys never serialise
+                    // behind each other; the guard cleans up the in-flight
+                    // entry — and wakes joiners — on unwind.
+                    let mut guard = InFlightGuard {
+                        shard,
                         key,
-                        slot: Arc::clone(&slot),
-                        bytes: None,
-                        cost_nanos: 0,
-                        prev: NIL,
-                        next: NIL,
-                        in_lru: false,
-                    });
-                    map.index.insert(key, i);
-                    slot
+                        slot: &slot,
+                        armed: true,
+                    };
+                    // cvcp: allow(D2, reason = "compute-cost EWMA feeding the cost-benefit evictor; affects only what is cached, never what is computed")
+                    let started = Instant::now();
+                    let depth = ComputeDepthGuard::enter();
+                    let value = Arc::new((compute
+                        .take()
+                        .expect("only the winner consumes `compute`"))(
+                    ));
+                    drop(depth);
+                    let cost_nanos =
+                        u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    let bytes = value.artifact_bytes();
+                    let stored: Stored = (Arc::clone(&value) as Arc<dyn Any + Send + Sync>, bytes);
+                    let won = slot.set(stored).is_ok();
+                    debug_assert!(won, "an in-flight slot is initialised only by its inserter");
+                    guard.armed = false;
+                    shard.misses.fetch_add(1, Ordering::Relaxed);
+                    note_thread_cache_event(false);
+                    latency.compute.record(cost_nanos);
+                    // `commit` re-takes the shard lock, ordering the slot
+                    // publication above against every joiner's under-lock
+                    // pre-park check — the notification can never be lost.
+                    self.commit(shard, key, &slot, bytes, cost_nanos);
+                    shard.join_cv.notify_all();
+                    return value;
                 }
-            }
-        };
-        // The shard lock is released before (potentially slow)
-        // initialisation, so unrelated keys never serialise behind each
-        // other; the guard cleans up the in-flight entry on unwind.
-        let mut computed = false;
-        let mut cost_nanos = 0u64;
-        let mut guard = InFlightGuard {
-            shard,
-            key,
-            slot: &slot,
-            armed: true,
-        };
-        let (value, bytes) = slot
-            .get_or_init(|| {
-                computed = true;
-                // cvcp: allow(D2, reason = "compute-cost EWMA feeding the cost-benefit evictor; affects only what is cached, never what is computed")
-                let started = Instant::now();
-                let value = compute();
-                cost_nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                let bytes = value.artifact_bytes();
-                (Arc::new(value) as Arc<dyn Any + Send + Sync>, bytes)
-            })
-            .clone();
-        guard.armed = false;
-        let latency = &self.latencies[key.kind_index()];
-        note_thread_cache_event(!computed);
-        if computed {
-            shard.misses.fetch_add(1, Ordering::Relaxed);
-            latency.compute.record(cost_nanos);
-            self.commit(shard, key, &slot, bytes, cost_nanos);
-        } else {
+                Claim::Join(slot) => match self.join_in_flight(shard, &key, &slot) {
+                    Some(stored) => stored,
+                    None => continue,
+                },
+            };
             shard.hits.fetch_add(1, Ordering::Relaxed);
+            note_thread_cache_event(true);
             latency
                 .get
                 .record(u64::try_from(lookup_from.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            let (value, _) = stored;
+            return value
+                .downcast::<T>()
+                .unwrap_or_else(|_| panic!("artifact type mismatch for cache key {key:?}"));
         }
-        value
-            .downcast::<T>()
-            .unwrap_or_else(|_| panic!("artifact type mismatch for cache key {key:?}"))
+    }
+
+    /// Waits for another caller's in-flight computation of `key` to publish
+    /// a value into `slot`.  A pool worker that is not itself inside a
+    /// `compute` closure *helps* — runs ready pool tasks while it waits —
+    /// instead of sleeping; any other thread parks on the shard's join
+    /// condvar.  Returns `None` when the in-flight entry vanished without a
+    /// value (the winner panicked, or the cache was cleared), in which case
+    /// the caller must re-claim the key.
+    fn join_in_flight(&self, shard: &Shard, key: &ArtifactKey, slot: &Slot) -> Option<Stored> {
+        loop {
+            if let Some(stored) = slot.get() {
+                return Some(stored.clone());
+            }
+            if COMPUTE_DEPTH.with(Cell::get) == 0 && crate::pool::help_run_one_task() {
+                continue;
+            }
+            // Nothing to help with: park until the winner publishes or the
+            // entry vanishes.  Both pre-wait checks run under the shard
+            // lock, and every resolution path takes that lock before
+            // notifying, so the wake-up cannot be lost.
+            let mut map = shard.map.lock().expect("artifact cache shard lock");
+            loop {
+                if slot.get().is_some() {
+                    break;
+                }
+                let in_flight = map
+                    .index
+                    .get(key)
+                    .copied()
+                    .is_some_and(|i| Arc::ptr_eq(&map.node(i).slot, slot));
+                if !in_flight {
+                    drop(map);
+                    return slot.get().cloned();
+                }
+                map = shard.join_cv.wait(map).expect("artifact cache shard lock");
+            }
+            drop(map);
+        }
     }
 
     /// Returns the artifact for `key` if it is already cached (a hit when a
@@ -1256,12 +1365,16 @@ impl ArtifactCache {
     /// the hit/miss/eviction counters or the peak watermarks).
     pub fn clear(&self) {
         for shard in self.shards.iter() {
-            let mut map = shard.map.lock().expect("artifact cache shard lock");
-            let peak = map.peak_resident_bytes;
-            *map = ShardMap {
-                peak_resident_bytes: peak,
-                ..ShardMap::default()
-            };
+            {
+                let mut map = shard.map.lock().expect("artifact cache shard lock");
+                let peak = map.peak_resident_bytes;
+                *map = ShardMap {
+                    peak_resident_bytes: peak,
+                    ..ShardMap::default()
+                };
+            }
+            // Joiners parked on a dropped in-flight entry must re-claim.
+            shard.join_cv.notify_all();
         }
     }
 
@@ -1456,6 +1569,146 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 7);
+    }
+
+    #[test]
+    fn parked_joiners_reclaim_after_winner_panic() {
+        // The cooperative join must not strand joiners when the winner
+        // panics: the panic guard removes the in-flight entry and wakes
+        // them, exactly one re-claims as the new winner, and everyone gets
+        // the recomputed value.
+        let cache = Arc::new(ArtifactCache::new());
+        let key = ArtifactKey::Custom { domain: 8, key: 8 };
+        let calls = Arc::new(AtomicUsize::new(0));
+        let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
+        let winner = {
+            let cache = Arc::clone(&cache);
+            let calls = Arc::clone(&calls);
+            std::thread::spawn(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let _: Arc<u64> = cache.get_or_compute(key, || {
+                        calls.fetch_add(1, Ordering::SeqCst);
+                        started_tx.send(()).unwrap();
+                        std::thread::sleep(std::time::Duration::from_millis(40));
+                        panic!("winner dies mid-flight")
+                    });
+                }));
+                assert!(result.is_err(), "the winning computation panics");
+            })
+        };
+        started_rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .expect("winner claims the key first");
+        let joiners: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let calls = Arc::clone(&calls);
+                std::thread::spawn(move || {
+                    let v: Arc<u64> = cache.get_or_compute(key, || {
+                        calls.fetch_add(1, Ordering::SeqCst);
+                        77
+                    });
+                    *v
+                })
+            })
+            .collect();
+        winner.join().unwrap();
+        for joiner in joiners {
+            assert_eq!(joiner.join().unwrap(), 77);
+        }
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            2,
+            "one panicked attempt plus exactly one successful recompute"
+        );
+    }
+
+    #[test]
+    fn clear_wakes_parked_joiners() {
+        // `clear` drops in-flight entries; a parked joiner must wake and
+        // re-claim instead of sleeping forever on a vanished computation.
+        let cache = Arc::new(ArtifactCache::new());
+        let key = ArtifactKey::Custom { domain: 8, key: 9 };
+        let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        let winner = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                let v: Arc<u64> = cache.get_or_compute(key, || {
+                    started_tx.send(()).unwrap();
+                    gate_rx
+                        .recv_timeout(std::time::Duration::from_secs(5))
+                        .unwrap();
+                    5
+                });
+                *v
+            })
+        };
+        started_rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .unwrap();
+        let joiner = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                let v: Arc<u64> = cache.get_or_compute(key, || 5);
+                *v
+            })
+        };
+        // Give the joiner a moment to park, then drop the entry from under
+        // both of them and release the winner.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        cache.clear();
+        gate_tx.send(()).unwrap();
+        assert_eq!(winner.join().unwrap(), 5);
+        assert_eq!(joiner.join().unwrap(), 5);
+    }
+
+    #[test]
+    fn joining_pool_workers_help_run_ready_tasks() {
+        // Two pool workers race to compute one key; the winner blocks until
+        // a third queued task has run.  With the old blocking join this
+        // deadlocks (both workers wedged on one computation); with the
+        // cooperative join the losing worker runs the third task itself.
+        use crate::graph::N_LANES;
+        use cvcp_obs::EngineMetrics;
+        let metrics = Arc::new(EngineMetrics::new(2, N_LANES));
+        let pool = crate::pool::ThreadPool::new(2, metrics);
+        let handle = pool.handle();
+        let cache = Arc::new(ArtifactCache::new());
+        let key = ArtifactKey::Custom { domain: 9, key: 1 };
+        let (helped_tx, helped_rx) = std::sync::mpsc::channel::<()>();
+        let helped_rx = Arc::new(std::sync::Mutex::new(helped_rx));
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<u64>();
+        for _ in 0..2 {
+            let cache = Arc::clone(&cache);
+            let helped_rx = Arc::clone(&helped_rx);
+            let done_tx = done_tx.clone();
+            handle.spawn(
+                Box::new(move || {
+                    let v: Arc<u64> = cache.get_or_compute(key, || {
+                        helped_rx
+                            .lock()
+                            .unwrap()
+                            .recv_timeout(std::time::Duration::from_secs(10))
+                            .expect("the joining worker must help run the queued task");
+                        42
+                    });
+                    done_tx.send(*v).unwrap();
+                }),
+                1,
+            );
+        }
+        handle.spawn(Box::new(move || helped_tx.send(()).unwrap()), 1);
+        for _ in 0..2 {
+            assert_eq!(
+                done_rx
+                    .recv_timeout(std::time::Duration::from_secs(10))
+                    .unwrap(),
+                42
+            );
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
     }
 
     #[test]

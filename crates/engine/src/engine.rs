@@ -250,33 +250,74 @@ pub struct Engine {
     metrics: Arc<EngineMetrics>,
 }
 
+/// The host parallelism worker counts are clamped to (requested count on
+/// platforms where `available_parallelism` is unavailable).
+fn host_parallelism(requested: usize) -> usize {
+    std::thread::available_parallelism().map_or(requested, |p| p.get())
+}
+
 impl Engine {
-    /// An engine with `n_threads` workers (clamped to ≥ 1).  With one
-    /// thread no worker is spawned at all: graphs run inline on the calling
-    /// thread in deterministic ascending-index order — the sequential path.
+    /// An engine with **up to** `n_threads` workers (clamped to ≥ 1 and to
+    /// the host's available parallelism).  With one effective thread no
+    /// worker is spawned at all: graphs run inline on the calling thread in
+    /// deterministic ascending-index order — the sequential path.
+    ///
+    /// The upper clamp exists because CPU-bound workers beyond the host's
+    /// hardware threads add only context-switch churn and busy-time
+    /// inflation (every runnable worker accrues wall-clock while
+    /// descheduled) — results are thread-count invariant, so trimming
+    /// workers is pure scheduling.  Tests and profilers that study the
+    /// oversubscribed schedule itself can pin the count with
+    /// [`Engine::with_exact_threads`] / [`Engine::with_cache_config_exact`].
     pub fn new(n_threads: usize) -> Self {
         Self::with_cache(n_threads, Arc::new(ArtifactCache::new()))
     }
 
-    /// An engine with `n_threads` workers and a fresh artifact cache bounded
-    /// by `config` (LRU eviction keeps the resident artifacts within the
-    /// configured byte/entry budgets; see [`CacheConfig`]).
+    /// An engine with *exactly* `n_threads` workers (clamped to ≥ 1 only),
+    /// even beyond the host's available parallelism.  Scheduler tests and
+    /// `profile_engine` use this so multi-worker interleavings (steals,
+    /// parks, cooperative joins) stay exercised on small CI hosts.
+    pub fn with_exact_threads(n_threads: usize) -> Self {
+        Self::build(n_threads.max(1), Arc::new(ArtifactCache::new()), true)
+    }
+
+    /// An engine with `n_threads` workers (clamped like [`Engine::new`])
+    /// and a fresh artifact cache bounded by `config` (LRU eviction keeps
+    /// the resident artifacts within the configured byte/entry budgets; see
+    /// [`CacheConfig`]).
     pub fn with_cache_config(n_threads: usize, config: CacheConfig) -> Self {
         Self::with_cache(n_threads, Arc::new(ArtifactCache::with_config(config)))
     }
 
+    /// [`Engine::with_cache_config`] without the host-parallelism clamp —
+    /// the bounded-cache counterpart of [`Engine::with_exact_threads`].
+    pub fn with_cache_config_exact(n_threads: usize, config: CacheConfig) -> Self {
+        Self::build(
+            n_threads.max(1),
+            Arc::new(ArtifactCache::with_config(config)),
+            true,
+        )
+    }
+
     /// An engine sharing an existing artifact cache (e.g. across engines or
-    /// with a previous engine's warm cache).
+    /// with a previous engine's warm cache).  The worker count is clamped
+    /// like [`Engine::new`].
     pub fn with_cache(n_threads: usize, cache: Arc<ArtifactCache>) -> Self {
-        Self::build(n_threads, cache, true)
+        let requested = n_threads.max(1);
+        Self::build(requested.min(host_parallelism(requested)), cache, true)
     }
 
     /// An engine whose always-on metrics registry is a no-op.  This exists
     /// for one purpose: giving `bench_engine` a true baseline to measure
     /// the metrics overhead against.  Everything else (results, tracing
-    /// opt-in) behaves identically.
+    /// opt-in, the worker clamp) behaves identically.
     pub fn with_metrics_disabled(n_threads: usize) -> Self {
-        Self::build(n_threads, Arc::new(ArtifactCache::new()), false)
+        let requested = n_threads.max(1);
+        Self::build(
+            requested.min(host_parallelism(requested)),
+            Arc::new(ArtifactCache::new()),
+            false,
+        )
     }
 
     fn build(n_threads: usize, cache: Arc<ArtifactCache>, metrics_enabled: bool) -> Self {
@@ -330,7 +371,8 @@ impl Engine {
         Self::new(n)
     }
 
-    /// Number of worker threads (1 for the sequential engine).
+    /// Number of *effective* worker threads (1 for the sequential engine;
+    /// at most the host's available parallelism for clamped constructors).
     pub fn n_threads(&self) -> usize {
         self.n_threads
     }
@@ -492,7 +534,7 @@ mod tests {
     #[test]
     fn dependencies_run_before_dependents() {
         for n_threads in [1, 4] {
-            let engine = Engine::new(n_threads);
+            let engine = Engine::with_exact_threads(n_threads);
             let mut graph: JobGraph<u64> = JobGraph::new(1);
             let order = Arc::new(Mutex::new(Vec::new()));
             let (o1, o2, o3) = (order.clone(), order.clone(), order.clone());
@@ -519,7 +561,7 @@ mod tests {
     #[test]
     fn job_rng_streams_are_thread_count_invariant() {
         let draws = |n_threads: usize| -> Vec<u64> {
-            let engine = Engine::new(n_threads);
+            let engine = Engine::with_exact_threads(n_threads);
             let mut graph: JobGraph<u64> = JobGraph::new(99);
             for _ in 0..16 {
                 graph.add_job(&[], |ctx| ctx.rng().next_u64());
@@ -539,7 +581,7 @@ mod tests {
     #[test]
     fn failed_job_skips_dependents_but_not_siblings() {
         for n_threads in [1, 4] {
-            let engine = Engine::new(n_threads);
+            let engine = Engine::with_exact_threads(n_threads);
             let mut graph: JobGraph<u32> = JobGraph::new(3);
             let bad = graph.add_job(&[], |_| panic!("deliberate failure"));
             let child = graph.add_job(&[bad], |_| 10);
@@ -557,7 +599,7 @@ mod tests {
 
     #[test]
     fn engine_survives_a_failed_graph() {
-        let engine = Engine::new(2);
+        let engine = Engine::with_exact_threads(2);
         let mut bad: JobGraph<u32> = JobGraph::new(1);
         bad.add_job(&[], |_| panic!("boom"));
         let result = engine.run_graph(bad);
@@ -583,7 +625,7 @@ mod tests {
     #[test]
     fn pre_cancelled_token_skips_the_whole_graph() {
         for n_threads in [1, 4] {
-            let engine = Engine::new(n_threads);
+            let engine = Engine::with_exact_threads(n_threads);
             let token = CancelToken::new();
             token.cancel();
             let mut graph: JobGraph<u32> = JobGraph::new(1);
@@ -599,7 +641,7 @@ mod tests {
     fn external_token_cancels_a_running_graph() {
         // Job 0 blocks until the external watcher cancels; its dependent
         // must then be skipped while the already-running job completes.
-        let engine = Engine::new(2);
+        let engine = Engine::with_exact_threads(2);
         let (started_tx, started_rx) = mpsc::channel::<()>();
         let (release_tx, release_rx) = mpsc::channel::<()>();
         let token = CancelToken::new();
@@ -638,7 +680,7 @@ mod tests {
 
     #[test]
     fn batch_results_come_back_in_submission_order() {
-        let engine = Engine::new(4);
+        let engine = Engine::with_exact_threads(4);
         let graphs: Vec<JobGraph<usize>> = (0..6)
             .map(|i| {
                 let mut g = JobGraph::new(i as u64);
@@ -656,7 +698,7 @@ mod tests {
 
     #[test]
     fn run_jobs_preserves_order_and_parallelises() {
-        let engine = Engine::new(4);
+        let engine = Engine::with_exact_threads(4);
         let touched = Arc::new(AtomicU64::new(0));
         let jobs: Vec<_> = (0..32u64)
             .map(|i| {
@@ -677,7 +719,7 @@ mod tests {
         // Every worker occupies itself with an outer job that submits and
         // waits on a nested graph; without the inline re-entrancy guard
         // this deadlocks (all workers blocked, nested jobs unrunnable).
-        let engine = Arc::new(Engine::new(2));
+        let engine = Arc::new(Engine::with_exact_threads(2));
         let mut outer: JobGraph<u64> = JobGraph::new(11);
         for i in 0..4u64 {
             let engine = Arc::clone(&engine);
@@ -695,7 +737,7 @@ mod tests {
 
     #[test]
     fn empty_graph_completes_immediately() {
-        let engine = Engine::new(2);
+        let engine = Engine::with_exact_threads(2);
         let graph: JobGraph<u32> = JobGraph::new(0);
         let result = engine.run_graph(graph);
         assert!(result.outcomes.is_empty());
@@ -705,7 +747,7 @@ mod tests {
     #[test]
     fn jobs_share_the_engine_cache() {
         use crate::cache::ArtifactKey;
-        let engine = Engine::new(4);
+        let engine = Engine::with_exact_threads(4);
         let mut graph: JobGraph<usize> = JobGraph::new(5);
         for _ in 0..8 {
             graph.add_job(&[], |ctx| {
@@ -731,7 +773,7 @@ mod tests {
         // the queued batch jobs — under the old single-lane FIFO injector
         // it would have run after all 40.
         use crate::graph::Priority;
-        let engine = Engine::new(2);
+        let engine = Engine::with_exact_threads(2);
         let (started_tx, started_rx) = mpsc::channel::<()>();
         let (release_tx, release_rx) = mpsc::channel::<()>();
         let release_rx = Arc::new(Mutex::new(release_rx));
@@ -784,7 +826,7 @@ mod tests {
     fn priority_lane_does_not_change_results() {
         use crate::graph::Priority;
         let draws = |priority: Priority| -> Vec<u64> {
-            let engine = Engine::new(4);
+            let engine = Engine::with_exact_threads(4);
             let mut graph: JobGraph<u64> = JobGraph::new(77);
             graph.set_priority(priority);
             for _ in 0..16 {
@@ -800,7 +842,7 @@ mod tests {
         use crate::cache::ArtifactKey;
         let ran = Arc::new(AtomicUsize::new(0));
         {
-            let engine = Engine::new(1);
+            let engine = Engine::with_exact_threads(1);
             let _: Arc<u64> = engine
                 .cache()
                 .get_or_compute(ArtifactKey::Custom { domain: 3, key: 3 }, || 9);
@@ -816,7 +858,7 @@ mod tests {
     #[test]
     fn traced_graph_records_one_span_per_executed_job() {
         for n_threads in [1, 4] {
-            let engine = Engine::new(n_threads);
+            let engine = Engine::with_exact_threads(n_threads);
             let mut graph: JobGraph<u64> = JobGraph::new(5);
             let a = graph.add_job(&[], |ctx| ctx.rng().next_u64());
             graph.set_job_label(a, "artifact/a");
@@ -852,7 +894,7 @@ mod tests {
     #[test]
     fn tracing_does_not_change_results() {
         let draws = |n_threads: usize, trace: bool| -> Vec<u64> {
-            let engine = Engine::new(n_threads);
+            let engine = Engine::with_exact_threads(n_threads);
             let mut graph: JobGraph<u64> = JobGraph::new(123);
             for _ in 0..16 {
                 graph.add_job(&[], |ctx| ctx.rng().next_u64());
@@ -871,7 +913,7 @@ mod tests {
 
     #[test]
     fn untraced_graph_returns_no_trace() {
-        let engine = Engine::new(2);
+        let engine = Engine::with_exact_threads(2);
         let mut graph: JobGraph<u32> = JobGraph::new(1);
         graph.add_job(&[], |_| 1);
         assert!(engine.run_graph(graph).trace.is_none());
@@ -880,7 +922,7 @@ mod tests {
     #[test]
     fn metrics_record_job_runs_and_graph_queue_wait() {
         use crate::graph::Priority;
-        let engine = Engine::new(2);
+        let engine = Engine::with_exact_threads(2);
         let mut graph: JobGraph<u32> = JobGraph::new(9);
         graph.set_priority(Priority::Batch);
         for _ in 0..6 {
@@ -907,7 +949,7 @@ mod tests {
             }
             engine.run_graph(graph).expect_all("metrics A/B")
         };
-        let on = Engine::new(2);
+        let on = Engine::with_exact_threads(2);
         let off = Engine::with_metrics_disabled(2);
         assert!(!off.metrics().is_enabled());
         assert_eq!(run(&on), run(&off));
@@ -946,7 +988,7 @@ mod tests {
         // invisible to `len()`, never an eviction candidate, and pile up
         // once per failed key on a long-lived serving engine).
         use crate::cache::ArtifactKey;
-        let engine = Engine::new(2);
+        let engine = Engine::with_exact_threads(2);
         let key = ArtifactKey::Custom { domain: 9, key: 1 };
         let mut graph: JobGraph<u64> = JobGraph::new(1);
         graph.add_job(&[], move |ctx| {

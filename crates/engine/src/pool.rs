@@ -1,32 +1,54 @@
 //! A work-stealing thread pool built on `std::thread` + condvar wake-ups,
-//! with two priority lanes.
+//! with two priority lanes and **per-worker, per-lane sharded deque locks**.
 //!
 //! Each worker owns one local deque *per lane*; tasks spawned *from* a
 //! worker go to that worker's deque for the task's lane (LIFO — the
 //! continuation of a job is cache-hot), tasks submitted from outside go to
 //! the lane's shared injector queue (FIFO), and idle workers steal the
-//! *oldest* task from the most loaded sibling.  Workers always drain the
-//! interactive lane (index 0) completely before touching the batch lane:
-//! an interactive graph submitted while a large batch graph is queued
-//! overtakes every batch job that has not started yet (see
-//! [`crate::graph::Priority`]).  All queues live behind one mutex: with
-//! `unsafe` forbidden workspace-wide a lock-free Chase–Lev deque is off the
-//! table, and at this workload's job granularity (one clustering run per
-//! job, ≥ 100 µs) the single lock is invisible in profiles — the *policy*
-//! (interactive first, local LIFO, steal-oldest) is what matters.
+//! *oldest* task from a sibling.  Workers always drain the interactive lane
+//! (index 0) completely before touching the batch lane: an interactive
+//! graph submitted while a large batch graph is queued overtakes every
+//! batch job that has not started yet (see [`crate::graph::Priority`]).
+//!
+//! **Lock sharding.** Every deque — each worker's per-lane local and each
+//! lane's injector — sits behind its own [`RankedMutex`] at rank
+//! `POOL_STATE`; with `unsafe` forbidden workspace-wide a lock-free
+//! Chase–Lev deque is off the table, but one short-lived lock per deque is
+//! safe Rust and removes the old design's single pool mutex from every
+//! push, pop and steal.  The strict rank order doubles as a guard: pool
+//! deque locks share one rank, so *holding two at once* panics in debug
+//! builds — every acquisition here is transient (lock, move one task,
+//! unlock).  Sleeping is coordinated by a separate epoch counter behind
+//! `POOL_SLEEP`: producers push, bump the epoch and notify; an idle worker
+//! baselines the epoch, rescans once, and only parks if the epoch is still
+//! unchanged, so a task published between scan and park can never be lost.
+//!
+//! **Deterministic stealing.** An idle worker probes victims in a fixed
+//! rotation starting at its right-hand neighbour ([`steal_order`]): worker
+//! `me` of `n` scans `me+1, me+2, …` (mod `n`).  The probe order depends
+//! only on the worker id, never on queue lengths sampled under a racing
+//! lock, so scheduling decisions are reproducible given the same arrival
+//! order (results never depend on them either way — RNG streams are
+//! structural).
+//!
+//! **Cooperative helping.** A worker that must wait for a result someone
+//! else is producing (an in-flight artifact-cache computation) can run one
+//! ready pool task instead of blocking — see [`help_run_one_task`], used by
+//! the cache's cooperative joins.  Helping depth is capped so a pathological
+//! chain of waiting jobs cannot overflow the stack.
 //!
 //! Panic isolation: a panicking task never takes down its worker; the panic
 //! is caught and the worker returns to the queue loop, so a failed job
 //! cannot poison the pool (verified by `tests/engine_determinism.rs`).
 
 use crate::graph::N_LANES;
-use cvcp_obs::lock_rank::POOL_STATE;
+use cvcp_obs::lock_rank::{POOL_SLEEP, POOL_STATE};
 use cvcp_obs::{EngineMetrics, RankedCondvar, RankedMutex};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -37,9 +59,18 @@ pub(crate) type Task = Box<dyn FnOnce() + Send + 'static>;
 /// its own workers inline instead of deadlocking the pool).
 static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(0);
 
+/// Cap on nested [`help_run_one_task`] frames per thread: a helped task may
+/// itself wait on an in-flight artifact and help again, so the recursion is
+/// bounded before the waiter falls back to parking.
+const MAX_HELP_DEPTH: usize = 4;
+
 thread_local! {
     /// `(pool id, worker index)` of the pool worker running on this thread.
     static WORKER: Cell<Option<(u64, usize)>> = const { Cell::new(None) };
+    /// Weak handle back to this worker's pool, for [`help_run_one_task`].
+    static CURRENT_POOL: RefCell<Option<Weak<Inner>>> = const { RefCell::new(None) };
+    /// Live [`help_run_one_task`] frames on this thread.
+    static HELP_DEPTH: Cell<usize> = const { Cell::new(0) };
 }
 
 /// Index of the calling thread's worker *within the pool identified by
@@ -53,19 +84,122 @@ pub(crate) fn current_worker_in(pool_id: u64) -> Option<usize> {
         .map(|(_, index)| index)
 }
 
-struct State {
-    injectors: [VecDeque<Task>; N_LANES],
-    locals: Vec<[VecDeque<Task>; N_LANES]>,
-    shutdown: bool,
+/// Victim probe order for worker `me` in a pool of `n` workers: the fixed
+/// rotation `me+1, me+2, …, me+n-1` (mod `n`).  Pure — the steal schedule
+/// is a function of the worker id alone.
+pub(crate) fn steal_order(me: usize, n: usize) -> impl Iterator<Item = usize> {
+    (1..n).map(move |offset| (me + offset) % n)
+}
+
+/// Runs one ready pool task on the calling thread, if the thread is a pool
+/// worker with ready work and the helping depth cap is not exhausted.
+/// Returns whether a task ran.  This is the cache's cooperative-join hook:
+/// a worker waiting for an in-flight artifact computed by a sibling turns
+/// its wait into throughput instead of blocking the thread.
+pub(crate) fn help_run_one_task() -> bool {
+    if HELP_DEPTH.with(Cell::get) >= MAX_HELP_DEPTH {
+        return false;
+    }
+    let Some(inner) = CURRENT_POOL.with(|pool| pool.borrow().as_ref().and_then(Weak::upgrade))
+    else {
+        return false;
+    };
+    let Some(me) = current_worker_in(inner.id) else {
+        return false;
+    };
+    let Some((task, stolen)) = inner.next_task(me) else {
+        return false;
+    };
+    HELP_DEPTH.with(|depth| depth.set(depth.get() + 1));
+    inner.run_task(me, task, stolen);
+    HELP_DEPTH.with(|depth| depth.set(depth.get() - 1));
+    true
 }
 
 struct Inner {
     id: u64,
-    /// Rank [`POOL_STATE`]: acquired after the server's admission queue,
-    /// before any cache lock (see `cvcp_obs::lock_rank`).
-    state: RankedMutex<State>,
+    n_workers: usize,
+    /// One shared injector per lane, each behind its own `POOL_STATE` lock.
+    injectors: [RankedMutex<VecDeque<Task>>; N_LANES],
+    /// Per-worker per-lane deques, flat-indexed `worker * N_LANES + lane`,
+    /// each behind its own `POOL_STATE` lock.  Acquisitions are transient:
+    /// same-rank nesting panics under the debug lock-rank guard.
+    locals: Vec<RankedMutex<VecDeque<Task>>>,
+    /// Wake-up epoch (rank `POOL_SLEEP`): bumped on every publish so a
+    /// worker that found nothing can detect a racing push before parking.
+    sleep: RankedMutex<u64>,
     work_available: RankedCondvar,
+    shutdown: AtomicBool,
     metrics: Arc<EngineMetrics>,
+}
+
+impl Inner {
+    fn slot(&self, worker: usize, lane: usize) -> usize {
+        worker * N_LANES + lane
+    }
+
+    /// Finds the next task for worker `me`: lanes in priority order (the
+    /// batch lane is only touched when no interactive task is ready), and
+    /// within a lane own deque first (newest-first — the continuation of
+    /// the job this worker just ran is the cache-hot one), then the lane's
+    /// injector (oldest-first, submission order), then the *oldest* task of
+    /// the first non-empty victim in [`steal_order`].  The `bool` says
+    /// whether the task was stolen from a sibling.
+    fn next_task(&self, me: usize) -> Option<(Task, bool)> {
+        for lane in 0..N_LANES {
+            let own = self.slot(me, lane);
+            if let Some(task) = self.locals[own].lock().expect("pool deque lock").pop_back() {
+                return Some((task, false));
+            }
+            if let Some(task) = self.injectors[lane]
+                .lock()
+                .expect("pool injector lock")
+                .pop_front()
+            {
+                return Some((task, false));
+            }
+            for victim in steal_order(me, self.n_workers) {
+                let vslot = self.slot(victim, lane);
+                if let Some(task) = self.locals[vslot]
+                    .lock()
+                    .expect("pool deque lock")
+                    .pop_front()
+                {
+                    return Some((task, true));
+                }
+            }
+        }
+        None
+    }
+
+    /// Publishes a wake-up: bump the epoch so a parking worker rescans, and
+    /// wake one sleeper.
+    fn bump_and_notify_one(&self) {
+        *self.sleep.lock().expect("pool sleep lock") += 1;
+        self.work_available.notify_one();
+    }
+
+    /// Reads the current wake-up epoch (transient acquisition — the
+    /// guard never outlives the read).
+    fn epoch(&self) -> u64 {
+        *self.sleep.lock().expect("pool sleep lock")
+    }
+
+    fn run_task(&self, me: usize, task: Task, stolen: bool) {
+        // Count the pick-up before executing: the task body may publish
+        // the result a snapshotting thread is waiting on, and post-hoc
+        // counters would race that snapshot.
+        self.metrics.record_task_start(me, stolen);
+        // cvcp: allow(D2, reason = "worker busy-time metrics; observability only")
+        let busy_from = self.metrics.is_enabled().then(Instant::now);
+        // Backstop: graph jobs catch their own panics to record a Failed
+        // outcome; this guard keeps the worker alive even for raw tasks.
+        let _ = catch_unwind(AssertUnwindSafe(task));
+        if let Some(from) = busy_from {
+            self.metrics
+                .record_task_busy(me, from.elapsed().as_nanos() as u64);
+        }
+    }
 }
 
 /// Cloneable submission handle onto a pool's queues.
@@ -80,15 +214,21 @@ impl PoolHandle {
     /// shared injector.
     pub(crate) fn spawn(&self, task: Task, lane: usize) {
         debug_assert!(lane < N_LANES);
-        let mut state = self.inner.state.lock().expect("pool lock");
+        let inner = &self.inner;
         match WORKER.with(Cell::get) {
-            Some((pool, me)) if pool == self.inner.id && me < state.locals.len() => {
-                state.locals[me][lane].push_back(task)
+            Some((pool, me)) if pool == inner.id && me < inner.n_workers => {
+                let own = inner.slot(me, lane);
+                inner.locals[own]
+                    .lock()
+                    .expect("pool deque lock")
+                    .push_back(task);
             }
-            _ => state.injectors[lane].push_back(task),
+            _ => inner.injectors[lane]
+                .lock()
+                .expect("pool injector lock")
+                .push_back(task),
         }
-        drop(state);
-        self.inner.work_available.notify_one();
+        inner.bump_and_notify_one();
     }
 }
 
@@ -109,17 +249,14 @@ impl ThreadPool {
         debug_assert!(metrics.n_workers() >= n, "metrics sized for the pool");
         let inner = Arc::new(Inner {
             id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
-            state: RankedMutex::new(
-                &POOL_STATE,
-                State {
-                    injectors: std::array::from_fn(|_| VecDeque::new()),
-                    locals: (0..n)
-                        .map(|_| std::array::from_fn(|_| VecDeque::new()))
-                        .collect(),
-                    shutdown: false,
-                },
-            ),
+            n_workers: n,
+            injectors: std::array::from_fn(|_| RankedMutex::new(&POOL_STATE, VecDeque::new())),
+            locals: (0..n * N_LANES)
+                .map(|_| RankedMutex::new(&POOL_STATE, VecDeque::new()))
+                .collect(),
+            sleep: RankedMutex::new(&POOL_SLEEP, 0),
             work_available: RankedCondvar::new(),
+            shutdown: AtomicBool::new(false),
             metrics,
         });
         let workers = (0..n)
@@ -163,10 +300,8 @@ impl ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        {
-            let mut state = self.inner.state.lock().expect("pool lock");
-            state.shutdown = true;
-        }
+        self.inner.shutdown.store(true, Ordering::Release);
+        *self.inner.sleep.lock().expect("pool sleep lock") += 1;
         self.inner.work_available.notify_all();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -174,55 +309,31 @@ impl Drop for ThreadPool {
     }
 }
 
-/// Finds the next task for worker `me` on `lane`: own deque first
-/// (newest-first — the continuation of the job this worker just ran is the
-/// cache-hot one), then the lane's shared injector (oldest-first,
-/// submission order), then the *oldest* task of the most loaded sibling.
-/// The `bool` says whether the task was stolen from a sibling.
-fn next_task_on_lane(state: &mut State, me: usize, lane: usize) -> Option<(Task, bool)> {
-    if let Some(task) = state.locals[me][lane].pop_back() {
-        return Some((task, false));
-    }
-    if let Some(task) = state.injectors[lane].pop_front() {
-        return Some((task, false));
-    }
-    let victim = (0..state.locals.len())
-        .filter(|&i| i != me)
-        .max_by_key(|&i| state.locals[i][lane].len())
-        .filter(|&i| !state.locals[i][lane].is_empty());
-    victim.and_then(|v| state.locals[v][lane].pop_front().map(|t| (t, true)))
-}
-
-fn worker_loop(inner: &Inner, me: usize) {
+fn worker_loop(inner: &Arc<Inner>, me: usize) {
     WORKER.with(|cell| cell.set(Some((inner.id, me))));
-    let record = inner.metrics.is_enabled();
+    CURRENT_POOL.with(|pool| *pool.borrow_mut() = Some(Arc::downgrade(inner)));
     loop {
-        let (task, stolen) = {
-            let mut state = inner.state.lock().expect("pool lock");
-            'wait: loop {
-                // Lanes in priority order: the batch lane is only touched
-                // when no interactive task is queued anywhere.
-                for lane in 0..N_LANES {
-                    if let Some(found) = next_task_on_lane(&mut state, me, lane) {
-                        break 'wait found;
-                    }
-                }
-                if state.shutdown {
-                    return;
-                }
-                inner.metrics.record_park(me);
-                state = inner.work_available.wait(state).expect("pool condvar wait");
-            }
-        };
-        // cvcp: allow(D2, reason = "worker busy-time metrics; observability only")
-        let busy_from = record.then(Instant::now);
-        // Backstop: graph jobs catch their own panics to record a Failed
-        // outcome; this guard keeps the worker alive even for raw tasks.
-        let _ = catch_unwind(AssertUnwindSafe(task));
-        if let Some(from) = busy_from {
-            inner
-                .metrics
-                .record_task(me, from.elapsed().as_nanos() as u64, stolen);
+        if let Some((task, stolen)) = inner.next_task(me) {
+            inner.run_task(me, task, stolen);
+            continue;
+        }
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Park protocol, per-deque locks edition: baseline the wake-up
+        // epoch, rescan once, and only sleep while the epoch is unchanged.
+        // A producer pushes *then* bumps the epoch, so a task published
+        // after the rescan forces the epoch check to fail and a task
+        // published before it is found by the rescan — no lost wake-ups.
+        let seen = inner.epoch();
+        if let Some((task, stolen)) = inner.next_task(me) {
+            inner.run_task(me, task, stolen);
+            continue;
+        }
+        inner.metrics.record_park(me);
+        let mut epoch = inner.sleep.lock().expect("pool sleep lock");
+        while *epoch == seen && !inner.shutdown.load(Ordering::Acquire) {
+            epoch = inner.work_available.wait(epoch).expect("pool condvar wait");
         }
     }
 }
@@ -307,6 +418,92 @@ mod tests {
     fn zero_threads_is_clamped_to_one() {
         let pool = pool(0);
         assert_eq!(pool.n_threads(), 1);
+    }
+
+    #[test]
+    fn steal_order_is_a_deterministic_rotation() {
+        assert_eq!(steal_order(0, 4).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(steal_order(2, 4).collect::<Vec<_>>(), vec![3, 0, 1]);
+        assert_eq!(steal_order(3, 4).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(steal_order(0, 1).count(), 0, "no self-steal in a pool of 1");
+        // The schedule is a pure function of the worker id: identical on
+        // every call, and each worker visits every sibling exactly once.
+        for me in 0..8 {
+            let first: Vec<_> = steal_order(me, 8).collect();
+            let second: Vec<_> = steal_order(me, 8).collect();
+            assert_eq!(first, second);
+            let mut sorted = first.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..8).filter(|&i| i != me).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn blocked_workers_local_tasks_are_stolen_by_siblings() {
+        // One worker parks on a gate *inside a task*, after pushing two
+        // follow-ups onto its own local deque.  The other worker must steal
+        // and run them while the owner is still blocked — per-worker deque
+        // locks must not trap tasks on a busy worker.
+        let pool = pool(2);
+        let handle = pool.handle();
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (done_tx, done_rx) = mpsc::channel::<&'static str>();
+        let inner_handle = handle.clone();
+        handle.spawn(
+            Box::new(move || {
+                for label in ["s1", "s2"] {
+                    let done_tx = done_tx.clone();
+                    inner_handle.spawn(Box::new(move || done_tx.send(label).unwrap()), BATCH);
+                }
+                gate_rx.recv().unwrap();
+            }),
+            BATCH,
+        );
+        let mut ran = Vec::new();
+        for _ in 0..2 {
+            ran.push(
+                done_rx
+                    .recv_timeout(std::time::Duration::from_secs(5))
+                    .unwrap(),
+            );
+        }
+        gate_tx.send(()).unwrap();
+        ran.sort_unstable();
+        assert_eq!(ran, vec!["s1", "s2"]);
+    }
+
+    #[test]
+    fn help_run_one_task_is_a_no_op_off_pool_threads() {
+        assert!(
+            !help_run_one_task(),
+            "non-worker threads have no pool to help"
+        );
+    }
+
+    #[test]
+    fn workers_help_run_ready_tasks_while_waiting() {
+        // A worker blocked inside a task (waiting on the channel) calls
+        // help_run_one_task in its wait loop and must execute the queued
+        // sibling task itself — this is the cooperative-join primitive.
+        let pool = pool(1);
+        let handle = pool.handle();
+        let (tx, rx) = mpsc::channel::<i32>();
+        let inner_handle = handle.clone();
+        handle.spawn(
+            Box::new(move || {
+                let tx2 = tx.clone();
+                inner_handle.spawn(Box::new(move || tx2.send(11).unwrap()), BATCH);
+                // The pool has one worker (this thread), so the spawned
+                // task can only run if we help.
+                while rx.try_recv().is_err() {
+                    assert!(help_run_one_task(), "the queued task must be ready");
+                }
+            }),
+            BATCH,
+        );
+        // Drop resolves only after the worker loop drains; reaching here
+        // without a deadlock is the assertion.
+        drop(pool);
     }
 
     #[test]

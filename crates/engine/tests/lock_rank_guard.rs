@@ -9,7 +9,7 @@
 //!    run clean under the guard, i.e. the declared order matches reality.
 
 use cvcp_engine::obs::lock_rank::{
-    checking_enabled, RankedMutex, CACHE_PROFILE, CACHE_SHARD, POOL_STATE, SERVER_QUEUE,
+    checking_enabled, RankedMutex, CACHE_PROFILE, CACHE_SHARD, POOL_SLEEP, POOL_STATE, SERVER_QUEUE,
 };
 use cvcp_engine::{ArtifactKey, CacheConfig, Engine, JobGraph};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -40,10 +40,36 @@ fn reversed_engine_lock_order_panics_in_debug_builds() {
     assert!(message.contains("lock-rank violation"), "{message}");
 }
 
+/// The per-worker deque refactor's contract (ISSUE 9): the pool's
+/// per-worker per-lane deques all share rank `POOL_STATE`, and equal
+/// ranks never nest — every scheduler acquisition must be transient, so
+/// holding one deque while locking a second (the classic symmetric
+/// deadlock of work stealing: worker A steals from B while B steals
+/// from A) panics immediately in debug builds.
+#[test]
+fn nesting_two_pool_deque_locks_panics_in_debug_builds() {
+    if !checking_enabled() {
+        // Release profile: the guard compiles away by design.
+        return;
+    }
+    let my_deque = RankedMutex::new(&POOL_STATE, ());
+    let victim_deque = RankedMutex::new(&POOL_STATE, ());
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _own = my_deque.lock().unwrap();
+        let _steal = victim_deque.lock().unwrap(); // rank 20 under rank 20: violation
+    }));
+    let message = *result
+        .expect_err("holding one pool deque while locking another must panic")
+        .downcast::<String>()
+        .expect("panic carries a message");
+    assert!(message.contains("lock-rank violation"), "{message}");
+}
+
 #[test]
 fn declared_order_is_queue_pool_shard_profile() {
     assert!(SERVER_QUEUE.rank < POOL_STATE.rank);
-    assert!(POOL_STATE.rank < CACHE_SHARD.rank);
+    assert!(POOL_STATE.rank < POOL_SLEEP.rank);
+    assert!(POOL_SLEEP.rank < CACHE_SHARD.rank);
     assert!(CACHE_SHARD.rank < CACHE_PROFILE.rank);
 }
 
@@ -53,7 +79,7 @@ fn declared_order_is_queue_pool_shard_profile() {
 /// panic here (debug profile) instead of this test passing.
 #[test]
 fn engine_paths_run_clean_under_the_guard() {
-    let engine = Engine::with_cache_config(
+    let engine = Engine::with_cache_config_exact(
         4,
         CacheConfig {
             max_bytes: Some(1 << 14),

@@ -107,7 +107,7 @@ fn main() -> ExitCode {
     for &workers in &WORKER_COUNTS {
         let mut best: Option<GraphTrace> = None;
         for _ in 0..RUNS {
-            let engine = Engine::new(workers);
+            let engine = Engine::with_exact_threads(workers);
             let (selection, trace) =
                 match run_selection_request_traced(&engine, &request(workers), None, |_| {}) {
                     Ok(done) => done,

@@ -18,7 +18,8 @@
 //! | rank | lock | holder |
 //! |------|------|--------|
 //! | 10 | [`SERVER_QUEUE`] | `cvcp-server` `BoundedQueue` state |
-//! | 20 | [`POOL_STATE`] | `cvcp-engine` thread-pool queues |
+//! | 20 | [`POOL_STATE`] | one `cvcp-engine` thread-pool deque (per worker per lane) |
+//! | 25 | [`POOL_SLEEP`] | the pool's wake-up epoch behind its park condvar |
 //! | 30 | [`CACHE_SHARD`] | one `ArtifactCache` shard map |
 //! | 40 | [`CACHE_PROFILE`] | the cache's cost-profile EWMAs |
 //!
@@ -57,10 +58,22 @@ pub static SERVER_QUEUE: LockRank = LockRank {
     name: "server-queue",
 };
 
-/// The engine thread pool's shared deques + injectors.
+/// One deque of the engine thread pool (each worker's per-lane deque and
+/// each lane's shared injector carries its own mutex at this rank, so the
+/// strict order makes holding two pool deques at once a violation — every
+/// acquisition on the scheduling hot path must be transient).
 pub static POOL_STATE: LockRank = LockRank {
     rank: 20,
     name: "pool-state",
+};
+
+/// The pool's wake-up epoch counter, guarded separately from the deques so
+/// producers never publish a task and wake a sleeper under one big lock.
+/// Ordered after the deques: a scan may baseline the epoch between deque
+/// probes, never the other way around while a deque lock is held.
+pub static POOL_SLEEP: LockRank = LockRank {
+    rank: 25,
+    name: "pool-sleep",
 };
 
 /// One shard of the engine's `ArtifactCache` (shards never nest: the rank
@@ -111,8 +124,8 @@ fn push_rank(rank: &'static LockRank) {
                 assert!(
                     top < rank.rank,
                     "lock-rank violation: acquiring `{}` (rank {}) while holding `{}` (rank {}); \
-                     the global order is server-queue(10) < pool-state(20) < cache-shard(30) < \
-                     cache-profile(40), strictly increasing",
+                     the global order is server-queue(10) < pool-state(20) < pool-sleep(25) < \
+                     cache-shard(30) < cache-profile(40), strictly increasing",
                     rank.name,
                     rank.rank,
                     top_name,

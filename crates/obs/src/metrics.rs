@@ -153,14 +153,39 @@ impl EngineMetrics {
 
     /// Records one executed task on `worker`: `stolen` says whether it
     /// came from a sibling's local deque.
+    ///
+    /// Single-call form of [`record_task_start`](Self::record_task_start)
+    /// plus [`record_task_busy`](Self::record_task_busy), for recorders
+    /// that only learn about a task after it ran.
     pub fn record_task(&self, worker: usize, busy_nanos: u64, stolen: bool) {
+        self.record_task_start(worker, stolen);
+        self.record_task_busy(worker, busy_nanos);
+    }
+
+    /// Counts one task picked up by `worker` (`stolen` says whether it
+    /// came from a sibling's local deque), *before* it executes.
+    ///
+    /// Recording the pick-up separately from the busy time matters for
+    /// snapshot consistency: a task's own body may publish the result
+    /// that unblocks a thread which immediately snapshots the registry,
+    /// so any counter recorded only after execution could still be
+    /// missing from a snapshot taken "after" the work completed.
+    pub fn record_task_start(&self, worker: usize, stolen: bool) {
         if self.enabled {
             let w = &self.workers[worker];
             w.tasks.fetch_add(1, Ordering::Relaxed);
-            w.busy_nanos.fetch_add(busy_nanos, Ordering::Relaxed);
             if stolen {
                 w.steals.fetch_add(1, Ordering::Relaxed);
             }
+        }
+    }
+
+    /// Adds one finished task's execute duration to `worker`'s busy time.
+    pub fn record_task_busy(&self, worker: usize, busy_nanos: u64) {
+        if self.enabled {
+            self.workers[worker]
+                .busy_nanos
+                .fetch_add(busy_nanos, Ordering::Relaxed);
         }
     }
 

@@ -22,7 +22,7 @@ fn start_server(workers: usize, queue_depth: usize) -> Server {
         workers,
         ..ServerConfig::default()
     };
-    Server::start(&config, Arc::new(Engine::new(4))).expect("bind loopback")
+    Server::start(&config, Arc::new(Engine::with_exact_threads(4))).expect("bind loopback")
 }
 
 fn send_line(server: &Server, request: &Request) -> TcpStream {
@@ -130,7 +130,7 @@ fn served_selection_matches_in_process(algorithm: Algorithm) {
         &request
             .realize()
             .expect("valid request")
-            .select(&Engine::new(4)),
+            .select(&Engine::with_exact_threads(4)),
     );
     assert_bit_identical(&served, &local);
 

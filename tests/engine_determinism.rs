@@ -45,7 +45,7 @@ fn selection_is_bit_identical_at_1_2_and_8_threads() {
     let params = [2usize, 3, 4, 5, 6];
 
     let run = |n_threads: usize| {
-        let engine = Engine::new(n_threads);
+        let engine = Engine::with_exact_threads(n_threads);
         let mut rng = SeededRng::new(7);
         select_model_with(
             &engine,
@@ -87,7 +87,7 @@ fn fosc_selection_is_thread_count_invariant_in_the_constraint_scenario() {
     let params = [3usize, 6, 9, 12, 15];
 
     let run = |n_threads: usize| {
-        let engine = Engine::new(n_threads);
+        let engine = Engine::with_exact_threads(n_threads);
         let mut rng = SeededRng::new(9);
         select_model_with(
             &engine,
@@ -153,12 +153,17 @@ fn unified_experiment_plan_is_bit_identical_to_the_trialwise_reference() {
         n_threads: 1, // unused: engines are built explicitly below
     };
     let spec = SideInfoSpec::LabelFraction(0.2);
-    let reference =
-        run_experiment_trialwise(&Engine::new(4), &MpckMethod::default(), &ds, spec, &config);
+    let reference = run_experiment_trialwise(
+        &Engine::with_exact_threads(4),
+        &MpckMethod::default(),
+        &ds,
+        spec,
+        &config,
+    );
     assert_eq!(reference.len(), 3);
     for threads in [1usize, 2, 8] {
         let unified = run_experiment_on(
-            &Engine::new(threads),
+            &Engine::with_exact_threads(threads),
             &MpckMethod::default(),
             &ds,
             spec,
@@ -186,7 +191,7 @@ fn selection_is_bit_identical_under_cache_sharding() {
     let params = [2usize, 3, 4, 5];
     let run = |n_threads: usize, shards: usize| {
         let engine =
-            Engine::with_cache_config(n_threads, CacheConfig::default().with_shards(shards));
+            Engine::with_cache_config_exact(n_threads, CacheConfig::default().with_shards(shards));
         let mut rng = SeededRng::new(13);
         select_model_with(
             &engine,
@@ -231,7 +236,7 @@ fn artifact_cache_shares_pointer_equal_artifacts_across_folds_and_requests() {
         stratified: true,
     };
     let params = [3usize, 6, 9];
-    let engine = Engine::new(4);
+    let engine = Engine::with_exact_threads(4);
 
     let mut rng = SeededRng::new(3);
     let first = select_model_with(
@@ -281,7 +286,7 @@ fn artifact_cache_shares_pointer_equal_artifacts_across_folds_and_requests() {
 
 #[test]
 fn failed_job_does_not_poison_the_pool() {
-    let engine = Engine::new(2);
+    let engine = Engine::with_exact_threads(2);
 
     // A graph whose middle job panics: dependents are skipped, the sibling
     // completes, and the engine remains fully usable.

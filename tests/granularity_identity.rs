@@ -1,0 +1,103 @@
+//! Granularity is pure scheduling: the fused per-(trial × parameter)
+//! chunk lowering and the per-fold cell lowering must produce
+//! **bit-identical** selections at every thread count (ISSUE 9).  Each
+//! fused cell forks its RNG stream from the trial's frozen base and its
+//! (parameter, fold) coordinates — exactly as a per-fold job does — so
+//! job boundaries cannot leak into results.
+
+use cvcp_engine::Engine;
+use cvcp_suite::constraints::generate::sample_labeled_subset;
+use cvcp_suite::constraints::SideInformation;
+use cvcp_suite::core::{
+    select_model_with, select_model_with_granularity, CvcpConfig, Granularity, MpckMethod,
+};
+use cvcp_suite::data::rng::SeededRng;
+use cvcp_suite::data::synthetic::separated_blobs;
+use cvcp_suite::data::Dataset;
+
+fn blobs(seed: u64) -> Dataset {
+    let mut rng = SeededRng::new(seed);
+    separated_blobs(3, 22, 4, 11.0, &mut rng)
+}
+
+fn label_side(ds: &Dataset, seed: u64) -> SideInformation {
+    let mut rng = SeededRng::new(seed);
+    SideInformation::Labels(sample_labeled_subset(ds.labels(), 0.25, 2, &mut rng))
+}
+
+#[test]
+fn fused_and_per_fold_lowerings_are_bit_identical_at_1_2_and_8_threads() {
+    let ds = blobs(61);
+    let side = label_side(&ds, 62);
+    let cfg = CvcpConfig {
+        n_folds: 5,
+        stratified: true,
+    };
+    let params = [2usize, 3, 4, 5];
+
+    let run = |n_threads: usize, granularity: Granularity| {
+        let engine = Engine::with_exact_threads(n_threads);
+        let mut rng = SeededRng::new(9);
+        select_model_with_granularity(
+            &engine,
+            &MpckMethod::default(),
+            ds.matrix(),
+            &side,
+            &params,
+            &cfg,
+            &mut rng,
+            granularity,
+        )
+    };
+
+    let baseline = run(1, Granularity::PerFold);
+    for n_threads in [1usize, 2, 8] {
+        for granularity in [Granularity::PerFold, Granularity::Fused, Granularity::Auto] {
+            assert_eq!(
+                baseline,
+                run(n_threads, granularity),
+                "{granularity:?} lowering at {n_threads} threads must equal the sequential per-fold run"
+            );
+        }
+    }
+}
+
+#[test]
+fn granularity_pinned_entry_point_matches_the_cost_model_entry_point() {
+    let ds = blobs(71);
+    let side = label_side(&ds, 72);
+    let cfg = CvcpConfig {
+        n_folds: 5,
+        stratified: true,
+    };
+    let params = [2usize, 3, 4];
+
+    let auto = {
+        let engine = Engine::with_exact_threads(4);
+        let mut rng = SeededRng::new(5);
+        select_model_with(
+            &engine,
+            &MpckMethod::default(),
+            ds.matrix(),
+            &side,
+            &params,
+            &cfg,
+            &mut rng,
+        )
+    };
+    for granularity in [Granularity::PerFold, Granularity::Fused] {
+        let engine = Engine::with_exact_threads(4);
+        let mut rng = SeededRng::new(5);
+        let pinned = select_model_with_granularity(
+            &engine,
+            &MpckMethod::default(),
+            ds.matrix(),
+            &side,
+            &params,
+            &cfg,
+            &mut rng,
+            granularity,
+        );
+        assert_eq!(auto, pinned, "{granularity:?} must match the Auto lowering");
+    }
+}

@@ -27,7 +27,7 @@ fn run_selection() -> CvcpSelection {
         n_folds: 4,
         stratified: true,
     };
-    let engine = Engine::new(4);
+    let engine = Engine::with_exact_threads(4);
     let mut rng = SeededRng::new(33);
     select_model_with(
         &engine,

@@ -44,15 +44,23 @@ fn tracing_and_metrics_never_change_the_selection() {
 
     for threads in [1usize, 2, 8] {
         // Untraced, metrics on (the default engine).
-        let plain =
-            run_selection_request(&Engine::new(threads), &request("p", false), None, |_| {})
-                .expect("plain run");
+        let plain = run_selection_request(
+            &Engine::with_exact_threads(threads),
+            &request("p", false),
+            None,
+            |_| {},
+        )
+        .expect("plain run");
         assert_eq!(plain, reference, "untraced diverged at {threads} threads");
 
         // Traced, metrics on.
-        let (traced, trace) =
-            run_selection_request_traced(&Engine::new(threads), &request("t", true), None, |_| {})
-                .expect("traced run");
+        let (traced, trace) = run_selection_request_traced(
+            &Engine::with_exact_threads(threads),
+            &request("t", true),
+            None,
+            |_| {},
+        )
+        .expect("traced run");
         assert_eq!(traced, reference, "traced diverged at {threads} threads");
         let trace = trace.expect("trace recorded");
         assert_eq!(
@@ -78,9 +86,13 @@ fn tracing_and_metrics_never_change_the_selection() {
 
 #[test]
 fn chrome_export_of_a_full_selection_is_well_formed() {
-    let (_, trace) =
-        run_selection_request_traced(&Engine::new(4), &request("export", true), None, |_| {})
-            .expect("traced run");
+    let (_, trace) = run_selection_request_traced(
+        &Engine::with_exact_threads(4),
+        &request("export", true),
+        None,
+        |_| {},
+    )
+    .expect("traced run");
     let trace = trace.expect("trace recorded");
 
     let doc = chrome_trace_json(&trace);

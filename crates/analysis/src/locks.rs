@@ -60,6 +60,11 @@ pub fn registry() -> BTreeMap<(&'static str, &'static str), LockClass> {
         (("cvcp-engine", "locals"), ranked("pool-state", 20)),
         (("cvcp-engine", "injectors"), ranked("pool-state", 20)),
         (("cvcp-engine", "sleep"), ranked("pool-sleep", 25)),
+        // Cache economics (adaptive rebalancing, admission control,
+        // commit-time slice borrowing) added no lock classes: per-shard
+        // budget slices, demand signals and residency hints are atomics,
+        // and the borrower's donor evictions take shard `map` locks one
+        // at a time — same-class nesting stays a violation.
         (("cvcp-engine", "map"), ranked("cache-shard", 30)),
         (("cvcp-engine", "profile"), ranked("cache-profile", 40)),
         // Leaf locks: completion plumbing and observability buffers.

@@ -1,0 +1,377 @@
+//! Startup cache warmup: precompute the highest-benefit artifacts before a
+//! serving engine accepts traffic.
+//!
+//! A freshly started server begins with an empty [`ArtifactCache`], so its
+//! first requests pay the full recompute cost of every shared artifact
+//! (pairwise matrices, density hierarchies) even when the operator knows
+//! exactly which data sets the fleet serves.  [`CacheWarmup`] closes that
+//! gap: given the expected data sets and method families, it ranks each
+//! (data set × family) cell by *expected benefit* — the number of
+//! parameters the family's default sweep evaluates times the learned
+//! per-kind recompute cost (the [`CostProfile`] EWMAs, preloaded from a
+//! persisted profile via `CVCP_CACHE_COST_PROFILE`) — and runs the
+//! families' [`SemiSupervisedClusterer::prepare_artifacts`] jobs on the
+//! engine's batch lane, highest benefit first.
+//!
+//! Warmup is a pure cache population pass: it computes exactly the
+//! artifacts normal selections would compute on first touch, through the
+//! same `prepare_artifacts` entry point the [`crate::plan::ExecutionPlan`]
+//! lowering uses, so it can never change any result — it only moves
+//! recompute cost from the first requests to startup.  Families whose
+//! shareable artifacts all require side information (empty
+//! [`ParameterizedMethod::artifact_kinds`], e.g. MPCKMeans) are skipped:
+//! there is nothing to compute for them before a request arrives.
+//!
+//! Ranking and job order are deterministic functions of the targets,
+//! families and the cost profile — no clocks, no randomness — so a given
+//! configuration always warms the same artifacts in the same order (ties
+//! rank by data-set then family name).
+
+use crate::algorithm::ParameterizedMethod;
+#[cfg(doc)]
+use crate::algorithm::SemiSupervisedClusterer;
+use cvcp_data::{DataMatrix, Dataset};
+#[cfg(doc)]
+use cvcp_engine::ArtifactCache;
+use cvcp_engine::{CostProfile, Engine, JobGraph, Priority};
+use std::sync::Arc;
+
+/// One data set a warmup pass should prepare artifacts for.
+#[derive(Clone)]
+struct WarmupTarget {
+    name: String,
+    data: Arc<DataMatrix>,
+    n_classes_hint: usize,
+}
+
+/// One ranked (data set × method family) cell of a warmup plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmupEntry {
+    /// Data-set name.
+    pub dataset: String,
+    /// Method-family name.
+    pub method: String,
+    /// The parameter values whose artifacts the cell precomputes (the
+    /// family's default sweep for the data set).
+    pub params: Vec<usize>,
+    /// Expected benefit in EWMA-nanoseconds: `params.len() ×` the summed
+    /// learned recompute cost of the family's artifact kinds.  Zero on a
+    /// cold profile — cells are still warmed, in name order.
+    pub benefit_nanos: f64,
+}
+
+/// What a [`CacheWarmup::run`] pass did, for startup logging.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmupReport {
+    /// The executed plan, in rank order (after any job-budget truncation).
+    pub entries: Vec<WarmupEntry>,
+    /// Total `prepare_artifacts` jobs run (one per entry parameter).
+    pub jobs: usize,
+    /// Artifacts resident in the cache after the pass.
+    pub resident_entries: usize,
+    /// Bytes resident in the cache after the pass.
+    pub resident_bytes: usize,
+}
+
+/// A startup cache-warmup plan: data sets × method families, ranked by
+/// expected recompute-cost benefit and executed on the batch lane.
+///
+/// ```
+/// use cvcp_core::prelude::*;
+/// use cvcp_core::warmup::CacheWarmup;
+/// use cvcp_data::rng::SeededRng;
+/// use cvcp_data::synthetic::separated_blobs;
+/// use std::sync::Arc;
+///
+/// let ds = separated_blobs(3, 20, 4, 10.0, &mut SeededRng::new(7));
+/// let engine = Engine::new(2);
+/// let report = CacheWarmup::new()
+///     .add_dataset(&ds)
+///     .add_method(Arc::new(FoscMethod::default()))
+///     .run(&engine);
+/// assert!(report.jobs > 0);
+/// assert!(report.resident_entries > 0);
+/// ```
+#[derive(Default)]
+pub struct CacheWarmup {
+    targets: Vec<WarmupTarget>,
+    methods: Vec<Arc<dyn ParameterizedMethod>>,
+    max_jobs: Option<usize>,
+}
+
+impl CacheWarmup {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a data set (its matrix is shared, not copied per job).
+    pub fn add_dataset(self, dataset: &Dataset) -> Self {
+        self.add_target(
+            dataset.name(),
+            Arc::new(dataset.matrix().clone()),
+            dataset.n_classes(),
+        )
+    }
+
+    /// Adds a raw warmup target: a named matrix plus the class-count hint
+    /// its parameter sweeps are sized from.
+    pub fn add_target(
+        mut self,
+        name: impl Into<String>,
+        data: Arc<DataMatrix>,
+        n_classes_hint: usize,
+    ) -> Self {
+        self.targets.push(WarmupTarget {
+            name: name.into(),
+            data,
+            n_classes_hint,
+        });
+        self
+    }
+
+    /// Adds a method family.  Families with no data-only artifacts (empty
+    /// [`ParameterizedMethod::artifact_kinds`]) are skipped at plan time.
+    pub fn add_method(mut self, method: Arc<dyn ParameterizedMethod>) -> Self {
+        self.methods.push(method);
+        self
+    }
+
+    /// Caps the total number of `prepare_artifacts` jobs; the lowest-ranked
+    /// cells lose their tail parameters first.
+    pub fn with_max_jobs(mut self, max_jobs: usize) -> Self {
+        self.max_jobs = Some(max_jobs);
+        self
+    }
+
+    /// The ranked plan under a given cost profile: every (data set ×
+    /// family) cell with at least one data-only artifact kind, highest
+    /// [`WarmupEntry::benefit_nanos`] first, name order on ties.
+    pub fn plan(&self, profile: &CostProfile) -> Vec<WarmupEntry> {
+        let kind_cost = |kind: &str| -> f64 {
+            profile
+                .entries
+                .iter()
+                .find(|e| e.kind == kind)
+                .map_or(0.0, |e| e.ewma_nanos)
+        };
+        let mut entries: Vec<WarmupEntry> = Vec::new();
+        for target in &self.targets {
+            for method in &self.methods {
+                let kinds = method.artifact_kinds();
+                if kinds.is_empty() {
+                    continue;
+                }
+                let params = method.default_parameter_range(target.n_classes_hint);
+                if params.is_empty() {
+                    continue;
+                }
+                let per_sweep: f64 = kinds.iter().map(|k| kind_cost(k)).sum();
+                entries.push(WarmupEntry {
+                    dataset: target.name.clone(),
+                    method: method.name(),
+                    benefit_nanos: per_sweep * params.len() as f64,
+                    params,
+                });
+            }
+        }
+        entries.sort_by(|a, b| {
+            b.benefit_nanos
+                .total_cmp(&a.benefit_nanos)
+                .then_with(|| a.dataset.cmp(&b.dataset))
+                .then_with(|| a.method.cmp(&b.method))
+        });
+        entries
+    }
+
+    /// Ranks the plan against the engine cache's current cost profile and
+    /// runs it on the batch lane, returning what was warmed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `prepare_artifacts` implementation panics.
+    pub fn run(&self, engine: &Engine) -> WarmupReport {
+        let mut entries = self.plan(&engine.cache().cost_profile());
+
+        // Apply the job budget: rank order is benefit order, so the cap
+        // drops the cheapest-to-skip work first (tail parameters of the
+        // lowest-ranked cells).
+        let mut remaining = self.max_jobs.unwrap_or(usize::MAX);
+        for entry in &mut entries {
+            entry.params.truncate(remaining);
+            remaining -= entry.params.len();
+        }
+        entries.retain(|e| !e.params.is_empty());
+
+        let mut graph: JobGraph<()> = JobGraph::new(0);
+        graph.set_priority(Priority::Batch);
+        let mut jobs = 0usize;
+        for entry in &entries {
+            let target = self
+                .targets
+                .iter()
+                .find(|t| t.name == entry.dataset)
+                .expect("plan entries come from targets");
+            let method = self
+                .methods
+                .iter()
+                .find(|m| m.name() == entry.method)
+                .expect("plan entries come from methods");
+            for &param in &entry.params {
+                let clusterer = method.instantiate(param);
+                let data = Arc::clone(&target.data);
+                graph.add_job(&[], move |ctx| {
+                    clusterer.prepare_artifacts(&data, ctx.cache());
+                });
+                jobs += 1;
+            }
+        }
+        if jobs > 0 {
+            engine.run_graph(graph).expect_all("cache warmup");
+        }
+        let stats = engine.cache_stats();
+        WarmupReport {
+            entries,
+            jobs,
+            resident_entries: stats.resident_entries,
+            resident_bytes: stats.resident_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{FoscMethod, MpckMethod};
+    use crate::crossval::CvcpConfig;
+    use crate::selection::select_model_with;
+    use cvcp_constraints::generate::sample_labeled_subset;
+    use cvcp_constraints::SideInformation;
+    use cvcp_data::rng::SeededRng;
+    use cvcp_data::synthetic::separated_blobs;
+    use cvcp_engine::CostProfileEntry;
+
+    fn blobs(seed: u64) -> Dataset {
+        separated_blobs(3, 20, 4, 10.0, &mut SeededRng::new(seed))
+    }
+
+    #[test]
+    fn warmup_populates_the_cache_and_later_sweeps_hit_it() {
+        let ds = blobs(7);
+        let engine = Engine::new(2);
+        let report = CacheWarmup::new()
+            .add_dataset(&ds)
+            .add_method(Arc::new(FoscMethod::default()))
+            .run(&engine);
+
+        let range = FoscMethod::default().default_parameter_range(ds.n_classes());
+        assert_eq!(report.jobs, range.len());
+        assert_eq!(report.entries.len(), 1);
+        assert_eq!(report.entries[0].dataset, ds.name());
+        assert!(report.resident_entries > 0);
+        assert!(report.resident_bytes > 0);
+
+        // Re-preparing the same artifacts is now pure cache hits.
+        let misses_after_warmup = engine.cache_stats().misses;
+        for &p in &range {
+            FoscMethod::default()
+                .instantiate(p)
+                .prepare_artifacts(ds.matrix(), engine.cache());
+        }
+        assert_eq!(engine.cache_stats().misses, misses_after_warmup);
+        assert!(engine.cache_stats().hits > 0);
+    }
+
+    #[test]
+    fn side_information_only_families_are_skipped() {
+        let ds = blobs(8);
+        let engine = Engine::new(1);
+        let report = CacheWarmup::new()
+            .add_dataset(&ds)
+            .add_method(Arc::new(MpckMethod::default()))
+            .run(&engine);
+        assert_eq!(report.jobs, 0);
+        assert!(report.entries.is_empty());
+        assert_eq!(report.resident_entries, 0);
+    }
+
+    #[test]
+    fn plan_ranks_by_learned_benefit_with_name_order_ties() {
+        let warmup = CacheWarmup::new()
+            .add_target("b_set", Arc::new(blobs(1).matrix().clone()), 3)
+            .add_target("a_set", Arc::new(blobs(2).matrix().clone()), 3)
+            .add_method(Arc::new(FoscMethod::default()));
+
+        // Cold profile: equal (zero) benefit, name order decides.
+        let cold = warmup.plan(&CostProfile::default());
+        assert_eq!(cold.len(), 2);
+        assert_eq!(cold[0].dataset, "a_set");
+        assert!(cold.iter().all(|e| e.benefit_nanos == 0.0));
+
+        // A learned profile prices the sweep: benefit = |params| × Σ kinds.
+        let profile = CostProfile {
+            entries: vec![
+                CostProfileEntry {
+                    kind: "pairwise_distances",
+                    ewma_nanos: 1_000.0,
+                    samples: 4,
+                },
+                CostProfileEntry {
+                    kind: "density_hierarchy",
+                    ewma_nanos: 500.0,
+                    samples: 4,
+                },
+            ],
+        };
+        let priced = warmup.plan(&profile);
+        let expected = priced[0].params.len() as f64 * 1_500.0;
+        assert_eq!(priced[0].benefit_nanos, expected);
+    }
+
+    #[test]
+    fn max_jobs_truncates_the_lowest_ranked_tail() {
+        let ds = blobs(9);
+        let engine = Engine::new(1);
+        let report = CacheWarmup::new()
+            .add_dataset(&ds)
+            .add_method(Arc::new(FoscMethod::default()))
+            .with_max_jobs(3)
+            .run(&engine);
+        assert_eq!(report.jobs, 3);
+        assert_eq!(report.entries[0].params.len(), 3);
+    }
+
+    #[test]
+    fn warmup_never_changes_selection_results() {
+        let ds = blobs(11);
+        let labeled = sample_labeled_subset(ds.labels(), 0.3, 2, &mut SeededRng::new(5));
+        let side = SideInformation::Labels(labeled);
+        let params = [3usize, 6, 9];
+        let config = CvcpConfig::default();
+
+        let select = |engine: &Engine| {
+            select_model_with(
+                engine,
+                &FoscMethod::default(),
+                ds.matrix(),
+                &side,
+                &params,
+                &config,
+                &mut SeededRng::new(42),
+            )
+        };
+
+        let cold_engine = Engine::new(2);
+        let cold = select(&cold_engine);
+
+        let warm_engine = Engine::new(2);
+        CacheWarmup::new()
+            .add_dataset(&ds)
+            .add_method(Arc::new(FoscMethod::default()))
+            .run(&warm_engine);
+        let warm = select(&warm_engine);
+
+        assert_eq!(cold.best_param, warm.best_param);
+        assert_eq!(cold.scores(), warm.scores());
+    }
+}

@@ -35,6 +35,31 @@
 //! per byte (the BJI-style benefit/space ratio), using per-artifact compute
 //! times recorded at commit.
 //!
+//! ## Adaptive shard budgets
+//!
+//! Static even budget slices starve hot shards under tight budgets (the
+//! routing hash spreads *keys* evenly, not *working sets*).  When more
+//! than one shard is bounded, a periodic rebalancer shifts budget toward
+//! the shards with the highest observed **miss-cost** — the accumulated
+//! smoothed recompute cost of their misses, i.e. miss counts weighted by
+//! the per-kind [`CostProfile`] EWMAs — subject to a configurable floor
+//! per shard and with hysteresis (slices move at most halfway toward
+//! their target per round, and the miss-cost signal decays geometrically)
+//! so slices cannot thrash.  The trigger is deterministic: every
+//! [`CacheConfig::rebalance_interval`] cache operations, never wall
+//! clock.  Rebalancing moves budget, never values — results stay
+//! bit-identical under any slice assignment.
+//!
+//! ## Admission control
+//!
+//! Under [`AdmissionPolicy::Cost`], an artifact is only admitted at
+//! commit time when its smoothed (EWMA) recompute cost clears a
+//! store-cost threshold derived from its byte size and the shard's
+//! current pressure: cheap-to-recompute bulky artifacts are handed to the
+//! caller but never displace residents.  Rejections are counted per shard
+//! ([`ShardStats::admission_rejections`]).  Like eviction, admission is a
+//! pure time/space trade — the returned `Arc` is identical either way.
+//!
 //! Concurrency contract: two threads requesting the same key race to a
 //! per-key [`OnceLock`]; the loser blocks until the winner's value is ready,
 //! so an artifact is never computed twice *while in flight* and concurrent
@@ -49,13 +74,13 @@
 use std::any::Any;
 use std::cell::Cell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use cvcp_data::DataMatrix;
 use cvcp_obs::lock_rank::{CACHE_PROFILE, CACHE_SHARD};
-use cvcp_obs::{HistogramSnapshot, LogHistogram, RankedCondvar, RankedMutex};
+use cvcp_obs::{Counter, HistogramSnapshot, LogHistogram, RankedCondvar, RankedMutex};
 
 thread_local! {
     /// `(hits, misses)` observed by the *current thread* since the last
@@ -413,8 +438,72 @@ impl EvictionPolicy {
     }
 }
 
+/// Whether a freshly computed artifact is worth storing at all.
+///
+/// Admission is decided at commit time, after the value has been computed
+/// and handed to the caller — rejecting an artifact can never change a
+/// result, it only means the next request recomputes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Admit every artifact that fits its shard's budget slice (the
+    /// default).
+    #[default]
+    Always,
+    /// Admit only artifacts whose smoothed (EWMA) recompute cost exceeds
+    /// a store-cost threshold derived from the artifact's byte size and
+    /// the shard's current fill pressure (`ArtifactCache::admission_threshold`):
+    /// caching is a purchase of future recompute time with resident bytes,
+    /// and artifacts cheaper to recompute than to keep are declined.
+    Cost,
+}
+
+impl AdmissionPolicy {
+    /// Parses a policy name (`always`, `cost`); `None` for anything else.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "always" => Some(Self::Always),
+            "cost" => Some(Self::Cost),
+            _ => None,
+        }
+    }
+
+    /// The canonical name of the policy.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Always => "always",
+            Self::Cost => "cost",
+        }
+    }
+}
+
 /// Hard ceiling on the shard count (itself a power of two).
 pub const MAX_SHARDS: usize = 1024;
+
+/// Default number of cache operations between adaptive shard-budget
+/// rebalances (see [`CacheConfig::rebalance_interval`]).  Operation
+/// counts, not wall clock: the trigger is deterministic for a fixed
+/// operation sequence and reads no clocks on the hot path.  The interval
+/// is deliberately small — a rebalance is eight uncontended lock
+/// acquisitions plus integer arithmetic, and a CVCP selection drives only
+/// a few artifact lookups per fold, so waiting hundreds of operations
+/// would leave hot shards starved for most of a short workload.
+pub const DEFAULT_REBALANCE_INTERVAL: u64 = 32;
+
+/// Default [`CacheConfig::rebalance_floor_percent`]: every shard keeps at
+/// least this percentage of its even budget split, so a cold shard can
+/// always re-earn residency (a zero-budget shard would never observe the
+/// misses that justify growing it back).  Deliberately low: with n
+/// shards the floors pin `floor × n` of the budget on shards that may
+/// have no demand at all, and a typical artifact is comparable to a
+/// whole even slice — budget parked on cold shards is budget that
+/// cannot push a hot shard past its artifact size.
+pub const DEFAULT_REBALANCE_FLOOR_PERCENT: u32 = 10;
+
+/// Store-cost charged per KiB of artifact at zero shard pressure, in
+/// nanoseconds — the exchange rate [`AdmissionPolicy::Cost`] prices
+/// resident bytes at.  The threshold doubles as the shard fills (see
+/// [`ArtifactCache::admission_threshold`]).
+const ADMISSION_NANOS_PER_KIB: u64 = 200;
 
 /// Weight of the newest measurement in the per-kind compute-time EWMA:
 /// `ewma' = (1 - w)·ewma + w·measured` (the first sample of a kind sets
@@ -462,9 +551,12 @@ struct KindCost {
 /// evicted, so the map may transiently hold more uninitialized slots than
 /// `max_entries`.
 ///
-/// With `shards > 1` the global budgets are split evenly: each shard
-/// enforces `max_bytes / shards` and `max_entries / shards`, so the global
-/// budgets are never exceeded.  A nonzero `max_entries` smaller than the
+/// With `shards > 1` the global budgets start split evenly — each shard
+/// enforces `max_bytes / shards` and `max_entries / shards` — and, when
+/// `rebalance_interval > 0`, the adaptive rebalancer periodically moves
+/// slice budget toward the shards with the highest observed miss-cost;
+/// the slices always sum to at most the global budgets, so those are
+/// never exceeded.  A nonzero `max_entries` smaller than the
 /// shard count clamps the shard count down (each shard keeps at least one
 /// entry of budget) rather than silently disabling caching.  An artifact
 /// larger than its shard's byte slice (or any artifact, when `max_entries`
@@ -483,6 +575,15 @@ pub struct CacheConfig {
     pub shards: usize,
     /// Eviction victim selection policy.
     pub policy: EvictionPolicy,
+    /// Commit-time admission policy.
+    pub admission: AdmissionPolicy,
+    /// Cache operations between adaptive shard-budget rebalances; `0`
+    /// disables rebalancing (shards keep their even slices).  Only
+    /// meaningful with more than one shard and at least one budget.
+    pub rebalance_interval: u64,
+    /// Percentage of the even budget split every shard keeps as a floor
+    /// under rebalancing (clamped to `0..=100` when the cache is built).
+    pub rebalance_floor_percent: u32,
 }
 
 impl Default for CacheConfig {
@@ -492,6 +593,9 @@ impl Default for CacheConfig {
             max_entries: None,
             shards: 1,
             policy: EvictionPolicy::Lru,
+            admission: AdmissionPolicy::Always,
+            rebalance_interval: DEFAULT_REBALANCE_INTERVAL,
+            rebalance_floor_percent: DEFAULT_REBALANCE_FLOOR_PERCENT,
         }
     }
 }
@@ -524,6 +628,26 @@ impl CacheConfig {
     /// Sets the eviction policy.
     pub fn with_policy(mut self, policy: EvictionPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Sets the commit-time admission policy.
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Sets the adaptive rebalance trigger: every `interval` cache
+    /// operations (`0` disables rebalancing).
+    pub fn with_rebalance_interval(mut self, interval: u64) -> Self {
+        self.rebalance_interval = interval;
+        self
+    }
+
+    /// Sets the per-shard budget floor as a percentage of the even split
+    /// (clamped to `0..=100` when the cache is built).
+    pub fn with_rebalance_floor_percent(mut self, percent: u32) -> Self {
+        self.rebalance_floor_percent = percent;
         self
     }
 
@@ -713,6 +837,88 @@ impl ShardMap {
     }
 }
 
+/// One rebalance round's new budget slices: every shard keeps a floor of
+/// `floor_percent`% of the even split, and the rest is targeted
+/// proportionally to the shards' recompute-demand `weights` (the even
+/// split when there is no demand signal at all).
+///
+/// The steps toward the target are deliberately asymmetric.  Shrinking
+/// is gentle — one sixteenth of the gap per round — because shrinking is
+/// how residents die: when decay pushes a slice below its residency, the
+/// shard's LRU evicts from the cold end, which drains artifacts that
+/// will never be requested again (the distributed analogue of the
+/// unsharded cache's global LRU) but must not outrun a workload phase
+/// and evict residents the next phase re-uses.  (Clamping the shrink at
+/// the shard's residency instead freezes the allocation: dead residents
+/// are indistinguishable from phase-idle ones, so every slice pins its
+/// first-arrival contents and the cache degenerates to static slicing.)
+/// Growth takes three quarters of the gap but is funded purely by what
+/// this round's shrinks released (scaled down proportionally when
+/// over-subscribed), so the slice sum never exceeds `total` — urgent
+/// growth does not wait for the periodic round anyway, it goes through
+/// the commit-time slice borrower.  The rounding remainder goes to the
+/// heaviest shard (first among ties), so when `current` sums to `total`
+/// the result does too.
+fn rebalanced_slices(
+    total: usize,
+    current: &[usize],
+    weights: &[u64],
+    floor_percent: u32,
+) -> Vec<usize> {
+    let n = current.len();
+    debug_assert_eq!(n, weights.len());
+    let even = total / n;
+    let floor = ((even * floor_percent as usize) / 100).clamp(usize::from(even > 0), even.max(1));
+    let sum_w: u128 = weights.iter().map(|&w| w as u128).sum();
+    let target: Vec<usize> = if sum_w == 0 {
+        vec![even; n]
+    } else {
+        let spread = total - floor * n;
+        weights
+            .iter()
+            .map(|&w| floor + ((spread as u128 * w as u128) / sum_w) as usize)
+            .collect()
+    };
+    let mut next = current.to_vec();
+    let mut released = 0usize;
+    let mut wants: Vec<usize> = vec![0; n];
+    let mut wanted = 0usize;
+    for i in 0..n {
+        let (c, t) = (current[i], target[i]);
+        if t < c {
+            // `div_ceil` guarantees progress on tiny gaps.
+            let step = (c - t).div_ceil(16);
+            next[i] = c - step;
+            released += step;
+        } else {
+            wants[i] = (3 * (t - c)) / 4;
+            wanted += wants[i];
+        }
+    }
+    if wanted > 0 {
+        for i in 0..n {
+            let grant = if wanted <= released {
+                wants[i]
+            } else {
+                ((wants[i] as u128 * released as u128) / wanted as u128) as usize
+            };
+            next[i] += grant;
+        }
+    }
+    let assigned: usize = next.iter().sum();
+    if let Some(remainder) = total.checked_sub(assigned) {
+        if remainder > 0 {
+            let hottest = weights
+                .iter()
+                .enumerate()
+                .max_by(|(ai, aw), (bi, bw)| aw.cmp(bw).then(bi.cmp(ai)))
+                .map_or(0, |(i, _)| i);
+            next[hottest] += remainder;
+        }
+    }
+    next
+}
+
 /// `a.cost/a.bytes < b.cost/b.bytes`, exactly, via u128 cross
 /// multiplication (no float rounding in victim selection).
 fn cost_ratio_less(a: &Node, b: &Node) -> bool {
@@ -733,10 +939,38 @@ struct Shard {
     /// Notified whenever an in-flight entry resolves: the winner committed
     /// a value, its panic guard removed the entry, or `clear` dropped it.
     join_cv: RankedCondvar,
+    /// The shard's *current* slice of [`CacheConfig::max_bytes`]
+    /// (`usize::MAX` = unbounded).  Starts at the even split; moved by the
+    /// adaptive rebalancer.  An atomic rather than map state so the
+    /// rebalancer can read every shard's slice without taking (equal-rank)
+    /// shard locks together; writers store it under the shard's map lock.
+    byte_slice: AtomicUsize,
+    /// The shard's current slice of [`CacheConfig::max_entries`]
+    /// (`usize::MAX` = unbounded).
+    entry_slice: AtomicUsize,
+    /// Accumulated smoothed recompute demand on this shard, in
+    /// nanoseconds: misses add the recompute cost actually paid, hits add
+    /// the cost the resident spared.  (Miss-only weighting is unstable —
+    /// a shard serving hits accrues no weight, loses its budget, evicts
+    /// its residents, and only re-earns the budget by missing.)  This is
+    /// the rebalancer's weight signal, halved (geometric decay) each time
+    /// it is read so old pressure fades.  Artifacts too large to ever fit
+    /// a slice (see `ArtifactCache::reachable_byte_slice`) contribute
+    /// nothing: budget cannot help them.
+    demand_nanos: AtomicU64,
+    /// Relaxed mirror of the shard map's `resident_bytes`, written under
+    /// the shard lock wherever the map field changes.  Lets the
+    /// commit-time slice borrower read every other shard's *idle*
+    /// headroom (slice − residents) without touching equal-rank shard
+    /// locks.  Momentarily stale reads are benign: a victim shrunk
+    /// slightly below its residency is re-clamped by `enforce_budget` on
+    /// its own next commit.
+    resident_bytes_hint: AtomicUsize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     evicted_bytes: AtomicU64,
+    admission_rejections: Counter,
 }
 
 impl Default for Shard {
@@ -744,10 +978,33 @@ impl Default for Shard {
         Self {
             map: RankedMutex::new(&CACHE_SHARD, ShardMap::default()),
             join_cv: RankedCondvar::new(),
+            byte_slice: AtomicUsize::new(usize::MAX),
+            entry_slice: AtomicUsize::new(usize::MAX),
+            demand_nanos: AtomicU64::new(0),
+            resident_bytes_hint: AtomicUsize::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             evicted_bytes: AtomicU64::new(0),
+            admission_rejections: Counter::new(),
+        }
+    }
+}
+
+impl Shard {
+    /// The shard's current byte-budget slice (`None` = unbounded).
+    fn byte_slice(&self) -> Option<usize> {
+        match self.byte_slice.load(Ordering::Relaxed) {
+            usize::MAX => None,
+            v => Some(v),
+        }
+    }
+
+    /// The shard's current entry-budget slice (`None` = unbounded).
+    fn entry_slice(&self) -> Option<usize> {
+        match self.entry_slice.load(Ordering::Relaxed) {
+            usize::MAX => None,
+            v => Some(v),
         }
     }
 }
@@ -807,6 +1064,14 @@ pub struct ShardStats {
     pub resident_bytes: usize,
     /// High-water mark of the shard's resident bytes.
     pub peak_resident_bytes: usize,
+    /// Commits declined by the admission policy (the artifact was handed
+    /// to the caller but never made resident).
+    pub admission_rejections: u64,
+    /// The shard's *current* byte-budget slice as assigned by the
+    /// adaptive rebalancer (`None` = unbounded).
+    pub byte_slice: Option<usize>,
+    /// The shard's current entry-budget slice (`None` = unbounded).
+    pub entry_slice: Option<usize>,
 }
 
 /// Cache hit/miss/eviction counters plus a snapshot of residency,
@@ -827,12 +1092,20 @@ pub struct CacheStats {
     pub resident_entries: usize,
     /// Resident artifact bytes at snapshot time.
     pub resident_bytes: usize,
-    /// Sum of the per-shard high-water marks of resident bytes — never
-    /// exceeds the sum of the per-shard budgets (and with one shard it is
-    /// exactly the cache-lifetime peak).
+    /// Sum of the per-shard high-water marks of resident bytes.  With one
+    /// shard this is exactly the cache-lifetime peak.  With several
+    /// shards under adaptive rebalancing, the marks are reached at
+    /// different times under different slice assignments, so their sum
+    /// can exceed the global budget even though the *instantaneous*
+    /// resident total never does (the live slices always sum to at most
+    /// the budget — see [`ArtifactCache::assert_accounting_consistent`]).
     pub peak_resident_bytes: usize,
     /// Number of independent shards.
     pub shards: usize,
+    /// Commits declined by the admission policy, summed over shards.
+    pub admission_rejections: u64,
+    /// Adaptive shard-budget rebalance rounds performed so far.
+    pub rebalances: u64,
 }
 
 impl CacheStats {
@@ -853,12 +1126,30 @@ impl CacheStats {
 pub struct ArtifactCache {
     shards: Box<[Shard]>,
     shard_mask: usize,
-    /// Each shard's slice of [`CacheConfig::max_bytes`].
-    shard_max_bytes: Option<usize>,
-    /// Each shard's slice of [`CacheConfig::max_entries`].
-    shard_max_entries: Option<usize>,
     policy: EvictionPolicy,
     config: CacheConfig,
+    /// Cache operations since creation — the deterministic rebalance
+    /// trigger (every [`CacheConfig::rebalance_interval`] operations;
+    /// never a clock read).
+    ops: AtomicU64,
+    /// Single-flight latch for the rebalancer: concurrent triggers skip
+    /// rather than queue.
+    rebalancing: AtomicBool,
+    /// The largest byte slice the rebalancer could ever assign one shard
+    /// (the global budget minus every other shard's floor; the even split
+    /// when rebalancing is disabled; `usize::MAX` when unbounded).
+    /// Artifacts above this can never become resident anywhere, so their
+    /// misses are excluded from the demand signal — budget cannot help
+    /// them, and letting their recompute cost capture budget starves the
+    /// shards budget *could* help.
+    reachable_byte_slice: usize,
+    /// The byte-slice floor each shard is guaranteed (see
+    /// [`CacheConfig::rebalance_floor_percent`]); the commit-time slice
+    /// borrower never shrinks a victim below it.  `0` when the byte
+    /// budget is unbounded or rebalancing is disabled.
+    byte_floor: usize,
+    /// Completed rebalance rounds.
+    rebalances: Counter,
     /// Per-kind compute-time EWMAs (one global map — commits are rare
     /// relative to lookups, so the extra lock is off the hot hit path).
     /// Rank [`CACHE_PROFILE`], the innermost lock of the workspace.
@@ -919,15 +1210,42 @@ impl ArtifactCache {
         }
         let config = CacheConfig {
             shards: n,
+            rebalance_floor_percent: config.rebalance_floor_percent.min(100),
             ..config
         };
+        let shards: Box<[Shard]> = (0..n).map(|_| Shard::default()).collect();
+        // Every shard starts at the even split; the rebalancer moves the
+        // slices from there as miss-cost evidence accumulates.
+        let byte_slice = config.max_bytes.map_or(usize::MAX, |b| b / n);
+        let entry_slice = config.max_entries.map_or(usize::MAX, |e| e / n);
+        for shard in shards.iter() {
+            shard.byte_slice.store(byte_slice, Ordering::Relaxed);
+            shard.entry_slice.store(entry_slice, Ordering::Relaxed);
+        }
+        let mut byte_floor = 0;
+        let reachable_byte_slice = config.max_bytes.map_or(usize::MAX, |total| {
+            let even = total / n;
+            if n == 1 {
+                total
+            } else if config.rebalance_interval == 0 {
+                even
+            } else {
+                let floor = ((even * config.rebalance_floor_percent as usize) / 100)
+                    .clamp(usize::from(even > 0), even.max(1));
+                byte_floor = floor;
+                total - floor * (n - 1)
+            }
+        });
         Self {
-            shards: (0..n).map(|_| Shard::default()).collect(),
+            shards,
             shard_mask: n - 1,
-            shard_max_bytes: config.max_bytes.map(|b| b / n),
-            shard_max_entries: config.max_entries.map(|e| e / n),
             policy: config.policy,
             config,
+            ops: AtomicU64::new(0),
+            rebalancing: AtomicBool::new(false),
+            reachable_byte_slice,
+            byte_floor,
+            rebalances: Counter::new(),
             profile: RankedMutex::new(&CACHE_PROFILE, HashMap::new()),
             latencies: ArtifactKey::KIND_NAMES
                 .iter()
@@ -1063,6 +1381,18 @@ impl ArtifactCache {
         T: Send + Sync + ArtifactSize + 'static,
         F: FnOnce() -> T,
     {
+        let value = self.get_or_compute_unnoted(key, compute);
+        // Counted after all shard locks are released: a rebalance
+        // triggered here takes shard locks one at a time itself.
+        self.note_op();
+        value
+    }
+
+    fn get_or_compute_unnoted<T, F>(&self, key: ArtifactKey, compute: F) -> Arc<T>
+    where
+        T: Send + Sync + ArtifactSize + 'static,
+        F: FnOnce() -> T,
+    {
         // cvcp: allow(D2, reason = "cache lookup-latency histogram; observability only")
         let lookup_from = Instant::now();
         let shard = self.shard_for(&key);
@@ -1080,6 +1410,14 @@ impl ArtifactCache {
                 match map.index.get(&key).copied() {
                     Some(i) => {
                         map.touch(i);
+                        // A hit's value is the recompute it spared: the
+                        // resident keeps attracting the budget that keeps
+                        // it resident.  (Uncommitted in-flight nodes carry
+                        // cost 0 — joiners add nothing here; the winner's
+                        // commit feeds the full cost.)
+                        shard
+                            .demand_nanos
+                            .fetch_add(map.node(i).cost_nanos, Ordering::Relaxed);
                         let slot = map.node(i).slot.clone();
                         match slot.get() {
                             Some(stored) => Claim::Hit(stored.clone()),
@@ -1201,6 +1539,12 @@ impl ArtifactCache {
     /// computed value is present, a miss otherwise; never computes or
     /// blocks on an in-flight computation).
     pub fn get<T: Send + Sync + 'static>(&self, key: ArtifactKey) -> Option<Arc<T>> {
+        let value = self.get_unnoted(key);
+        self.note_op();
+        value
+    }
+
+    fn get_unnoted<T: Send + Sync + 'static>(&self, key: ArtifactKey) -> Option<Arc<T>> {
         // cvcp: allow(D2, reason = "cache lookup-latency histogram; observability only")
         let lookup_from = Instant::now();
         let shard = self.shard_for(&key);
@@ -1209,6 +1553,11 @@ impl ArtifactCache {
             match map.index.get(&key).copied() {
                 Some(i) if map.node(i).slot.get().is_some() => {
                     map.touch(i);
+                    // Hits feed the demand signal too — see the
+                    // `get_or_compute` hit path.
+                    shard
+                        .demand_nanos
+                        .fetch_add(map.node(i).cost_nanos, Ordering::Relaxed);
                     Some(map.node(i).slot.clone())
                 }
                 _ => None,
@@ -1242,14 +1591,48 @@ impl ArtifactCache {
         // whose artifact cannot stay resident — and the node records the
         // smoothed estimate rather than the raw one-shot measurement.
         let cost_nanos = self.smoothed_cost(&key, cost_nanos);
+        // Every *winnable* commit is a paid miss: feed the shard's demand
+        // signal so the rebalancer routes budget to where recompute time
+        // is being spent.  An artifact no slice could ever hold is
+        // excluded — its recompute cost would otherwise capture budget
+        // from shards that could convert the same bytes into hits.
+        if bytes <= self.reachable_byte_slice {
+            shard.demand_nanos.fetch_add(cost_nanos, Ordering::Relaxed);
+        }
+        // On-demand slice borrow: budget moves the instant a shard needs
+        // it, not at the next periodic round.  (The periodic rebalancer
+        // alone always lags the workload: by the time a starved shard's
+        // demand wins budget, the trial that needed it has passed.  An
+        // unsharded cache never has this problem — its budget is a single
+        // pool — so borrowing is what closes the sharded hit-rate gap.)
+        // The commit grows this shard's slice to hold its residents plus
+        // the new artifact — and one artifact's worth of slack, so the
+        // shard is not back at the exact edge (and borrowing again) on
+        // its very next commit.  Runs *before* this shard's map lock is
+        // taken: the borrower may lock donor shards to evict, and
+        // equal-rank shard locks never nest.  (The residency hint it
+        // reads may lag a concurrent commit by a moment; the worst case
+        // is borrowing slightly short and evicting from our own LRU.)
+        if self.config.rebalance_interval != 0 && bytes <= self.reachable_byte_slice {
+            if let Some(slice) = shard.byte_slice() {
+                let wanted = shard
+                    .resident_bytes_hint
+                    .load(Ordering::Relaxed)
+                    .saturating_add(bytes.saturating_mul(2))
+                    .min(self.reachable_byte_slice);
+                if wanted > slice {
+                    self.borrow_byte_slice(shard, wanted - slice);
+                }
+            }
+        }
         let mut map = shard.map.lock().expect("artifact cache shard lock");
         // Over-budget singleton bypass: an artifact that alone exceeds the
         // shard's byte slice (or any artifact, when the entry slice is 0)
         // can never stay resident — admitting it first would evict *every*
         // other resident (a cache wipe) only to be evicted itself.  Count
         // it as immediately evicted and leave the residents untouched.
-        let oversized = self.shard_max_bytes.is_some_and(|max| bytes > max)
-            || self.shard_max_entries.is_some_and(|max| max == 0);
+        let oversized = shard.byte_slice().is_some_and(|max| bytes > max)
+            || shard.entry_slice().is_some_and(|max| max == 0);
         if oversized {
             if let Some(&i) = map.index.get(&key) {
                 let node = map.node(i);
@@ -1262,6 +1645,23 @@ impl ArtifactCache {
             shard
                 .evicted_bytes
                 .fetch_add(bytes as u64, Ordering::Relaxed);
+            return;
+        }
+        // Admission control: decline artifacts whose recompute cost does
+        // not pay for their residency.  Same bypass shape as the
+        // oversized path — the caller's `Arc` stays valid, the resident
+        // set is untouched, only the rejection counter moves.
+        if self.config.admission == AdmissionPolicy::Cost
+            && cost_nanos < Self::admission_threshold(bytes, map.resident_bytes, shard.byte_slice())
+        {
+            if let Some(&i) = map.index.get(&key) {
+                let node = map.node(i);
+                if Arc::ptr_eq(&node.slot, slot) && node.bytes.is_none() {
+                    map.index.remove(&key);
+                    map.release(i);
+                }
+            }
+            shard.admission_rejections.inc();
             return;
         }
         if let Some(&i) = map.index.get(&key) {
@@ -1283,17 +1683,138 @@ impl ArtifactCache {
                 map.attach_tail(i);
                 map.resident_bytes += bytes;
                 map.resident_entries += 1;
+                shard
+                    .resident_bytes_hint
+                    .store(map.resident_bytes, Ordering::Relaxed);
             }
         }
         self.enforce_budget(shard, &mut map);
         map.peak_resident_bytes = map.peak_resident_bytes.max(map.resident_bytes);
     }
 
-    fn over_budget(&self, map: &ShardMap) -> bool {
-        self.shard_max_bytes
+    /// Moves up to `need` bytes of budget from other shards onto
+    /// `needy`, best-effort, in two stages: first *idle* headroom (slice
+    /// minus residency hint, lock-free by CAS), then — if that does not
+    /// cover the need — *occupied* budget reclaimed from the
+    /// coldest-demand shards by shrinking their slices (never below the
+    /// floor) and eagerly evicting their LRU tails.  Donors always
+    /// shrink *before* `needy` grows, so the slice sum never exceeds the
+    /// global budget.  Runs under the single-flight `rebalancing` latch
+    /// shared with the periodic rebalancer — two concurrent writers with
+    /// independent snapshots could otherwise re-inflate a just-shrunk
+    /// slice; a borrow that loses the latch simply skips (the bypass
+    /// path still feeds the demand signal, and the periodic round will
+    /// route budget here).  Callers must hold no shard lock.
+    fn borrow_byte_slice(&self, needy: &Shard, need: usize) {
+        if self.rebalancing.swap(true, Ordering::Acquire) {
+            return;
+        }
+        let mut donors: Vec<(usize, &Shard)> = self
+            .shards
+            .iter()
+            .filter(|s| !std::ptr::eq(*s, needy))
+            .map(|s| {
+                let slice = s.byte_slice.load(Ordering::Relaxed);
+                let keep = s
+                    .resident_bytes_hint
+                    .load(Ordering::Relaxed)
+                    .max(self.byte_floor);
+                (slice.saturating_sub(keep), s)
+            })
+            .collect();
+        // Most idle headroom first: fewest victims disturbed, and a shard
+        // that is actively using its slice is touched last.
+        donors.sort_by_key(|&(headroom, _)| std::cmp::Reverse(headroom));
+        let mut gained = 0usize;
+        for (headroom, donor) in donors {
+            if gained >= need {
+                break;
+            }
+            let mut take = headroom.min(need - gained);
+            while take > 0 {
+                let cur = donor.byte_slice.load(Ordering::Relaxed);
+                if cur == usize::MAX {
+                    break;
+                }
+                take = take.min(cur);
+                if donor
+                    .byte_slice
+                    .compare_exchange(cur, cur - take, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    gained += take;
+                    break;
+                }
+            }
+        }
+        // Second stage, when idle headroom alone cannot cover the need:
+        // reclaim *occupied* budget from the coldest shards — ascending
+        // recompute demand, so a shard whose workload phase has passed
+        // (and whose residents are likely dead) is raided before one
+        // that is actively converting budget into hits.  Each donor's
+        // slice is cut (never below the floor) and its LRU tail evicted
+        // eagerly under its own lock, taken *after* the slice store so
+        // the freed budget is real before `needy` grows.  This is the
+        // distributed analogue of the unsharded cache's global LRU: a
+        // new artifact displaces the system's coldest bytes, wherever
+        // they reside.  The caller holds no shard lock here, and donor
+        // locks are taken one at a time — equal-rank locks never nest.
+        if gained < need {
+            let mut cold: Vec<(u64, &Shard)> = self
+                .shards
+                .iter()
+                .filter(|s| !std::ptr::eq(*s, needy))
+                .map(|s| (s.demand_nanos.load(Ordering::Relaxed), s))
+                .collect();
+            cold.sort_by_key(|&(demand, _)| demand);
+            for (_, donor) in cold {
+                if gained >= need {
+                    break;
+                }
+                let cur = donor.byte_slice.load(Ordering::Relaxed);
+                if cur == usize::MAX {
+                    continue;
+                }
+                let take = cur.saturating_sub(self.byte_floor).min(need - gained);
+                if take == 0 {
+                    continue;
+                }
+                let mut map = donor.map.lock().expect("artifact cache shard lock");
+                donor.byte_slice.store(cur - take, Ordering::Relaxed);
+                self.enforce_budget(donor, &mut map);
+                gained += take;
+            }
+        }
+        if gained > 0 {
+            needy.byte_slice.fetch_add(gained, Ordering::Relaxed);
+        }
+        self.rebalancing.store(false, Ordering::Release);
+    }
+
+    /// The minimum smoothed recompute cost (nanoseconds) an artifact of
+    /// `bytes` must carry to be admitted into a shard currently holding
+    /// `resident_bytes` of a `byte_slice` budget: a base store-cost of
+    /// [`ADMISSION_NANOS_PER_KIB`] per KiB, plus the same again scaled by
+    /// the shard's fill fraction — an empty shard admits anything whose
+    /// cost covers the base rate, a full shard demands double.
+    fn admission_threshold(bytes: usize, resident_bytes: usize, byte_slice: Option<usize>) -> u64 {
+        let kib = (bytes as u64).div_ceil(1024).max(1);
+        let base = kib.saturating_mul(ADMISSION_NANOS_PER_KIB);
+        let pressure = match byte_slice {
+            Some(slice) if slice > 0 => {
+                ((base as u128 * resident_bytes as u128) / slice as u128) as u64
+            }
+            _ => 0,
+        };
+        base.saturating_add(pressure)
+    }
+
+    fn over_budget(&self, shard: &Shard, map: &ShardMap) -> bool {
+        shard
+            .byte_slice()
             .is_some_and(|max| map.resident_bytes > max)
-            || self
-                .shard_max_entries
+            || shard
+                .entry_slice()
                 .is_some_and(|max| map.resident_entries > max)
     }
 
@@ -1302,7 +1823,7 @@ impl ArtifactCache {
     /// (uncommitted) entries are never on the list, so concurrent
     /// `get_or_compute` calls are never torn.
     fn enforce_budget(&self, shard: &Shard, map: &mut ShardMap) {
-        while self.over_budget(map) {
+        while self.over_budget(shard, map) {
             let victim = match self.policy {
                 EvictionPolicy::Lru => map.head,
                 EvictionPolicy::CostBenefit => map.cost_benefit_victim(),
@@ -1316,11 +1837,102 @@ impl ArtifactCache {
             let bytes = node.bytes.expect("LRU node committed");
             map.resident_bytes -= bytes;
             map.resident_entries -= 1;
+            shard
+                .resident_bytes_hint
+                .store(map.resident_bytes, Ordering::Relaxed);
             shard.evictions.fetch_add(1, Ordering::Relaxed);
             shard
                 .evicted_bytes
                 .fetch_add(bytes as u64, Ordering::Relaxed);
         }
+    }
+
+    /// Counts one public cache operation and, every
+    /// [`CacheConfig::rebalance_interval`] of them, runs an adaptive
+    /// shard-budget rebalance.  Called with no shard lock held.  The
+    /// trigger is an operation count, never a clock (D2): for a fixed
+    /// operation sequence the rebalance points are deterministic.
+    fn note_op(&self) {
+        if self.config.rebalance_interval == 0
+            || self.shards.len() < 2
+            || self.config.is_unbounded()
+        {
+            return;
+        }
+        let n = self.ops.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(self.config.rebalance_interval) {
+            self.rebalance();
+        }
+    }
+
+    /// One adaptive rebalance round: reads every shard's accumulated
+    /// recompute demand (decaying it geometrically so old pressure
+    /// fades), computes new byte/entry budget slices proportional to
+    /// that demand above a configured floor, and applies them with
+    /// hysteresis — each slice moves three-quarters of the way toward
+    /// its target per round.
+    /// Shrinking shards are processed before growing ones, so the sum of
+    /// the live slices never exceeds the global budget mid-apply (shard
+    /// locks are taken one at a time — they never nest).  Slices never
+    /// shrink below the shard's residency snapshot, so a rebalance moves
+    /// idle budget rather than evicting (commits racing the snapshot are
+    /// still clamped by `enforce_budget` under the new slice).
+    /// Rebalancing moves budget, never values: results are bit-identical
+    /// under any slice assignment.
+    fn rebalance(&self) {
+        if self.rebalancing.swap(true, Ordering::Acquire) {
+            return; // a round is already running; skip, don't queue
+        }
+        let weights: Vec<u64> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let cost = s.demand_nanos.load(Ordering::Relaxed);
+                s.demand_nanos.store(cost / 2, Ordering::Relaxed);
+                cost
+            })
+            .collect();
+        let floor_percent = self.config.rebalance_floor_percent;
+        let next_bytes = self.config.max_bytes.map(|total| {
+            let current: Vec<usize> = self
+                .shards
+                .iter()
+                .map(|s| s.byte_slice.load(Ordering::Relaxed))
+                .collect();
+            rebalanced_slices(total, &current, &weights, floor_percent)
+        });
+        let next_entries = self.config.max_entries.map(|total| {
+            let current: Vec<usize> = self
+                .shards
+                .iter()
+                .map(|s| s.entry_slice.load(Ordering::Relaxed))
+                .collect();
+            rebalanced_slices(total, &current, &weights, floor_percent)
+        });
+        // Two passes: shrinks first, then grows, so the global budget is
+        // respected at every instant in between.
+        for grow_pass in [false, true] {
+            for (i, shard) in self.shards.iter().enumerate() {
+                let new_bytes = next_bytes.as_ref().map(|v| v[i]);
+                let new_entries = next_entries.as_ref().map(|v| v[i]);
+                let shrinks = new_bytes
+                    .is_some_and(|b| b < shard.byte_slice.load(Ordering::Relaxed))
+                    || new_entries.is_some_and(|e| e < shard.entry_slice.load(Ordering::Relaxed));
+                if shrinks == grow_pass {
+                    continue;
+                }
+                let mut map = shard.map.lock().expect("artifact cache shard lock");
+                if let Some(b) = new_bytes {
+                    shard.byte_slice.store(b, Ordering::Relaxed);
+                }
+                if let Some(e) = new_entries {
+                    shard.entry_slice.store(e, Ordering::Relaxed);
+                }
+                self.enforce_budget(shard, &mut map);
+            }
+        }
+        self.rebalances.inc();
+        self.rebalancing.store(false, Ordering::Release);
     }
 
     /// Number of populated entries (across all shards).
@@ -1372,6 +1984,7 @@ impl ArtifactCache {
                     peak_resident_bytes: peak,
                     ..ShardMap::default()
                 };
+                shard.resident_bytes_hint.store(0, Ordering::Relaxed);
             }
             // Joiners parked on a dropped in-flight entry must re-claim.
             shard.join_cv.notify_all();
@@ -1392,6 +2005,9 @@ impl ArtifactCache {
                     resident_entries: map.resident_entries,
                     resident_bytes: map.resident_bytes,
                     peak_resident_bytes: map.peak_resident_bytes,
+                    admission_rejections: shard.admission_rejections.get(),
+                    byte_slice: shard.byte_slice(),
+                    entry_slice: shard.entry_slice(),
                 }
             })
             .collect()
@@ -1402,6 +2018,7 @@ impl ArtifactCache {
     pub fn stats(&self) -> CacheStats {
         let mut total = CacheStats {
             shards: self.shards.len(),
+            rebalances: self.rebalances.get(),
             ..CacheStats::default()
         };
         for s in self.shard_stats() {
@@ -1412,6 +2029,7 @@ impl ArtifactCache {
             total.resident_entries += s.resident_entries;
             total.resident_bytes += s.resident_bytes;
             total.peak_resident_bytes += s.peak_resident_bytes;
+            total.admission_rejections += s.admission_rejections;
         }
         total
     }
@@ -1427,6 +2045,22 @@ impl ArtifactCache {
     /// is inconsistent with the slab.
     #[doc(hidden)]
     pub fn assert_accounting_consistent(&self) {
+        // Adaptive slices may move budget between shards, but the *sum*
+        // of the live slices must never exceed the global budgets.
+        if let Some(total) = self.config.max_bytes {
+            let sum: usize = self.shards.iter().filter_map(Shard::byte_slice).sum();
+            assert!(
+                sum <= total,
+                "per-shard byte slices sum to {sum}, above the global budget {total}"
+            );
+        }
+        if let Some(total) = self.config.max_entries {
+            let sum: usize = self.shards.iter().filter_map(Shard::entry_slice).sum();
+            assert!(
+                sum <= total,
+                "per-shard entry slices sum to {sum}, above the global budget {total}"
+            );
+        }
         for (shard_idx, shard) in self.shards.iter().enumerate() {
             let map = shard.map.lock().expect("artifact cache shard lock");
             let (entries, bytes) = map
@@ -1440,17 +2074,17 @@ impl ArtifactCache {
                 (entries, bytes),
                 "shard {shard_idx}: residency accounting drifted from the live map"
             );
-            if let Some(max) = self.shard_max_bytes {
+            if let Some(max) = shard.byte_slice() {
                 assert!(
                     map.resident_bytes <= max,
-                    "shard {shard_idx}: resident bytes {} exceed the shard budget {max}",
+                    "shard {shard_idx}: resident bytes {} exceed the shard slice {max}",
                     map.resident_bytes
                 );
             }
-            if let Some(max) = self.shard_max_entries {
+            if let Some(max) = shard.entry_slice() {
                 assert!(
                     map.resident_entries <= max,
-                    "shard {shard_idx}: resident entries {} exceed the shard budget {max}",
+                    "shard {shard_idx}: resident entries {} exceed the shard slice {max}",
                     map.resident_entries
                 );
             }
@@ -1917,9 +2551,26 @@ mod tests {
             stats.misses,
             "aggregate stats must equal the per-shard sum"
         );
+        // The rebalancer may have moved entry budget between shards by
+        // now; the invariants are per-shard residency within the *current*
+        // slice and the slices summing to the global budget (the latter is
+        // also in `assert_accounting_consistent`).
         for s in &per_shard {
-            assert!(s.resident_entries <= 2, "per-shard slice is max_entries/4");
+            let slice = s.entry_slice.expect("entry-bounded shard");
+            assert!(
+                s.resident_entries <= slice,
+                "shard holds {} entries over its slice {slice}",
+                s.resident_entries
+            );
         }
+        assert_eq!(
+            per_shard
+                .iter()
+                .filter_map(|s| s.entry_slice)
+                .sum::<usize>(),
+            8,
+            "entry slices must sum to the global budget"
+        );
         sharded.assert_accounting_consistent();
     }
 
@@ -1957,6 +2608,188 @@ mod tests {
         let _: Arc<u64> = none.get_or_compute(custom(1), || 1);
         assert_eq!(none.stats().resident_entries, 0);
         none.assert_accounting_consistent();
+    }
+
+    #[test]
+    fn rebalanced_slices_respect_floor_hysteresis_and_total() {
+        // All demand on shard 0: its slice grows toward the non-floor
+        // budget, the cold shards shrink toward the floor, and every
+        // round (a) allocates exactly the global total, (b) moves each
+        // cold slice only downward, and gently — at most a sixteenth of
+        // its gap per round — (c) never dips below the 25% floor.
+        let total = 8000usize;
+        let even = 2000usize;
+        let floor = 500usize;
+        let mut slices = vec![even; 4];
+        let weights = [1_000_000u64, 0, 0, 0];
+        for _ in 0..48 {
+            let next = rebalanced_slices(total, &slices, &weights, 25);
+            assert_eq!(next.iter().sum::<usize>(), total, "budget fully allocated");
+            for (i, (&n, &c)) in next.iter().zip(&slices).enumerate() {
+                assert!(n >= floor, "slice {i} fell below the floor: {n}");
+                if i > 0 {
+                    assert!(n <= c, "cold slice {i} must not grow");
+                    assert!(
+                        n >= c - (c - floor).div_ceil(16),
+                        "cold slice {i} shrank by more than a sixteenth of its gap"
+                    );
+                }
+            }
+            slices = next;
+        }
+        assert!(
+            slices[0] > 6000,
+            "hot shard must converge toward the whole distributable budget, got {slices:?}"
+        );
+        for &cold in &slices[1..] {
+            assert!((floor..even).contains(&cold), "cold slices near the floor");
+        }
+        // No demand signal at all: the target is the even split, so an
+        // even assignment is a fixed point.
+        assert_eq!(
+            rebalanced_slices(total, &[even; 4], &[0; 4], 25),
+            vec![even; 4]
+        );
+    }
+
+    #[test]
+    fn adaptive_rebalance_grows_the_hot_shard() {
+        let artifact_bytes = vec![0u64; 32].artifact_bytes();
+        let total = 8 * artifact_bytes;
+        let cache = ArtifactCache::with_config(
+            CacheConfig::default()
+                .with_max_bytes(total)
+                .with_shards(2)
+                .with_rebalance_interval(16),
+        );
+        let even = total / 2;
+        let hot = cache.shard_of(&custom(0));
+        let mut hot_keys = Vec::new();
+        let mut cold_key = None;
+        for k in 0..10_000u64 {
+            if cache.shard_of(&custom(k)) == hot {
+                if hot_keys.len() < 12 {
+                    hot_keys.push(k);
+                }
+            } else if cold_key.is_none() {
+                cold_key = Some(k);
+            }
+            if hot_keys.len() == 12 && cold_key.is_some() {
+                break;
+            }
+        }
+        let cold_key = cold_key.expect("both shards reachable");
+        let _: Arc<Vec<u64>> = cache.get_or_compute(custom(cold_key), || vec![cold_key; 32]);
+        // Hammer the hot shard with a working set 3× its even slice: every
+        // round misses, accumulating recompute demand that the rebalancer
+        // must convert into byte budget.
+        for _ in 0..20 {
+            for &k in &hot_keys {
+                let v: Arc<Vec<u64>> = cache.get_or_compute(custom(k), || {
+                    // Guarantee a measurable (nonzero-EWMA) compute cost.
+                    std::hint::black_box((0..2000u64).sum::<u64>());
+                    vec![k; 32]
+                });
+                assert_eq!(*v, vec![k; 32], "rebalancing must never change values");
+            }
+        }
+        let stats = cache.stats();
+        assert!(stats.rebalances > 0, "the op-count trigger must have fired");
+        let per_shard = cache.shard_stats();
+        let hot_slice = per_shard[hot].byte_slice.expect("bounded shard");
+        let cold_slice = per_shard[1 - hot].byte_slice.expect("bounded shard");
+        assert!(
+            hot_slice > even,
+            "hot shard slice {hot_slice} must grow past the even split {even}"
+        );
+        assert!(
+            cold_slice < even,
+            "cold shard slice {cold_slice} must shrink below the even split {even}"
+        );
+        let floor = (even * DEFAULT_REBALANCE_FLOOR_PERCENT as usize) / 100;
+        assert!(
+            cold_slice >= floor,
+            "cold shard slice {cold_slice} must keep the floor {floor}"
+        );
+        assert!(hot_slice + cold_slice <= total, "global budget holds");
+        cache.assert_accounting_consistent();
+    }
+
+    #[test]
+    fn admission_cost_policy_rejects_cheap_bulky_artifacts() {
+        // A kind with a near-zero recompute EWMA (an instant 8 MiB alloc,
+        // anchored by a preloaded zero-cost prior so scheduling noise in a
+        // loaded test run cannot inflate the estimate past the threshold)
+        // must never be admitted under `cost` — the store-cost threshold
+        // for 8 MiB dwarfs its compute time — while an expensive resident
+        // of another kind stays untouched and the caller's Arc is valid.
+        const CHEAP_LEN: usize = 8 << 20;
+        let cache = ArtifactCache::with_config(
+            CacheConfig::default()
+                .with_max_bytes(64 << 20)
+                .with_admission(AdmissionPolicy::Cost),
+        );
+        cache.preload_cost_profile(&CostProfile {
+            entries: vec![CostProfileEntry {
+                kind: "custom",
+                ewma_nanos: 0.0,
+                samples: 1,
+            }],
+        });
+        let resident_key = ArtifactKey::PairwiseDistances { data: 7 };
+        let _: Arc<Vec<u64>> = cache.get_or_compute(resident_key, || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            vec![1; 16]
+        });
+        assert_eq!(
+            cache.stats().resident_entries,
+            1,
+            "an artifact whose recompute cost clears the threshold is admitted"
+        );
+        let calls = AtomicUsize::new(0);
+        for attempt in 0..3 {
+            let v: Arc<Vec<u8>> = cache.get_or_compute(custom(1), || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                vec![0; CHEAP_LEN]
+            });
+            assert_eq!(v.len(), CHEAP_LEN, "the caller's Arc is always valid");
+            assert_eq!(
+                calls.load(Ordering::SeqCst),
+                attempt + 1,
+                "a rejected artifact is recomputed on every request"
+            );
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.admission_rejections, 3, "every commit was declined");
+        assert_eq!(stats.resident_entries, 1, "residents are untouched");
+        assert!(
+            cache.get::<Vec<u64>>(resident_key).is_some(),
+            "the expensive resident must survive admission rejections"
+        );
+        assert!(cache.get::<Vec<u8>>(custom(1)).is_none());
+        cache.assert_accounting_consistent();
+        // Control: the default `always` policy admits the same artifact.
+        let always = ArtifactCache::with_config(CacheConfig::default().with_max_bytes(64 << 20));
+        let _: Arc<Vec<u8>> = always.get_or_compute(custom(1), || vec![0; CHEAP_LEN]);
+        // Overflow guard on the threshold arithmetic itself.
+        assert!(ArtifactCache::admission_threshold(usize::MAX, usize::MAX, Some(1)) > 0);
+        assert_eq!(always.stats().resident_entries, 1);
+        assert_eq!(always.stats().admission_rejections, 0);
+    }
+
+    #[test]
+    fn admission_policy_parses_names() {
+        assert_eq!(
+            AdmissionPolicy::parse("always"),
+            Some(AdmissionPolicy::Always)
+        );
+        assert_eq!(
+            AdmissionPolicy::parse(" Cost "),
+            Some(AdmissionPolicy::Cost)
+        );
+        assert_eq!(AdmissionPolicy::parse("lfu"), None);
+        assert_eq!(AdmissionPolicy::default().name(), "always");
+        assert_eq!(AdmissionPolicy::Cost.name(), "cost");
     }
 
     #[test]

@@ -765,6 +765,68 @@ mod tests {
     }
 
     #[test]
+    fn cache_policies_preserve_bit_identity_across_thread_counts() {
+        use crate::cache::{AdmissionPolicy, ArtifactKey};
+
+        // Admission, rebalancing, and eviction change *which* computes run
+        // and what stays resident — never the values jobs observe.  The
+        // same workload must therefore produce identical results under
+        // every cache policy at 1/2/8 threads.
+        let run = |n_threads: usize, config: CacheConfig| -> Vec<u64> {
+            let engine = Engine::with_cache_config_exact(n_threads, config);
+            let jobs: Vec<_> = (0..48u64)
+                .map(|i| {
+                    move |ctx: &mut JobCtx| {
+                        let bulk: Arc<Vec<u64>> = ctx.cache().get_or_compute(
+                            ArtifactKey::Custom {
+                                domain: 11,
+                                key: i % 7,
+                            },
+                            || (0..256).map(|j| (i % 7) * 1_000 + j).collect(),
+                        );
+                        let scalar: Arc<u64> = ctx.cache().get_or_compute(
+                            ArtifactKey::Custom {
+                                domain: 12,
+                                key: i % 5,
+                            },
+                            || (i % 5) * 31 + 7,
+                        );
+                        bulk.iter().sum::<u64>() ^ scalar.wrapping_mul(i + 1)
+                    }
+                })
+                .collect();
+            engine.run_jobs(5, jobs)
+        };
+
+        let bounded = || {
+            CacheConfig::default()
+                .with_max_bytes(4 << 10)
+                .with_shards(8)
+        };
+        let configs = [
+            CacheConfig::default(),
+            bounded(),
+            bounded().with_admission(AdmissionPolicy::Cost),
+            bounded().with_rebalance_interval(8),
+            bounded().with_rebalance_interval(0),
+            bounded()
+                .with_admission(AdmissionPolicy::Cost)
+                .with_rebalance_interval(8)
+                .with_rebalance_floor_percent(10),
+        ];
+        let baseline = run(1, CacheConfig::default());
+        for config in configs {
+            for n_threads in [1, 2, 8] {
+                assert_eq!(
+                    run(n_threads, config),
+                    baseline,
+                    "results diverged at {n_threads} threads under {config:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn interactive_graph_leapfrogs_queued_batch_jobs() {
         // The starvation regression: two workers are occupied by batch
         // jobs blocked on a gate, 40 more batch jobs are queued behind

@@ -58,9 +58,10 @@ pub mod graph;
 mod pool;
 
 pub use cache::{
-    fingerprint_indices, fingerprint_matrix, ArtifactCache, ArtifactKey, ArtifactSize, CacheConfig,
-    CacheStats, CostProfile, CostProfileEntry, EvictionPolicy, Fingerprint, FingerprintBuilder,
-    KindLatencySnapshot, ShardStats, MAX_SHARDS,
+    fingerprint_indices, fingerprint_matrix, AdmissionPolicy, ArtifactCache, ArtifactKey,
+    ArtifactSize, CacheConfig, CacheStats, CostProfile, CostProfileEntry, EvictionPolicy,
+    Fingerprint, FingerprintBuilder, KindLatencySnapshot, ShardStats, DEFAULT_REBALANCE_INTERVAL,
+    MAX_SHARDS,
 };
 pub use engine::{Engine, GraphHandle};
 pub use graph::{CancelToken, GraphResult, JobCtx, JobGraph, JobId, JobOutcome, Priority, N_LANES};

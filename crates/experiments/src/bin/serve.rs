@@ -11,6 +11,12 @@
 //! * `CVCP_CACHE_COST_PROFILE` — path for persisting the per-artifact-kind
 //!   compute-time EWMAs across restarts (reloaded at startup, dumped on
 //!   shutdown), so a cold serve starts with learned cost-benefit weights;
+//! * `CVCP_CACHE_ADMISSION` — cache admission policy: `always` (default)
+//!   or `cost` (artifacts cheaper to recompute than to store are not
+//!   cached);
+//! * `CVCP_CACHE_WARMUP` — comma-separated data-set replica names (e.g.
+//!   `iris_like,aloi:0`) whose highest-benefit artifacts are precomputed
+//!   into the cache before the server accepts traffic;
 //! * `CVCP_ADDR` — listen address;
 //! * `CVCP_QUEUE_DEPTH` — request queue capacity (default 32);
 //! * `CVCP_SERVER_WORKERS` — concurrent selection workers (default 2);
@@ -39,13 +45,31 @@
 //!
 //! The process runs until a client sends `{"type":"shutdown"}`.
 
-use cvcp_experiments::{cost_profile_path_from_env, engine_from_env, save_cost_profile};
+use cvcp_experiments::{
+    cost_profile_path_from_env, engine_from_env, run_cache_warmup, save_cost_profile,
+    warmup_replicas_from_env,
+};
 use cvcp_server::{Server, ServerConfig};
 use std::process::ExitCode;
 use std::sync::Arc;
 
 fn main() -> ExitCode {
     let engine = Arc::new(engine_from_env());
+    // Warm the cache *before* binding: the first request a client can
+    // reach already sees the precomputed artifacts.
+    let warmup_replicas = warmup_replicas_from_env();
+    if !warmup_replicas.is_empty() {
+        match run_cache_warmup(&engine, &warmup_replicas) {
+            Some(report) => println!(
+                "cache warmup: {} jobs over {} plan cell(s); {} artifacts ({:.1} MiB) resident",
+                report.jobs,
+                report.entries.len(),
+                report.resident_entries,
+                report.resident_bytes as f64 / (1024.0 * 1024.0),
+            ),
+            None => eprintln!("cache warmup: no known replicas in CVCP_CACHE_WARMUP"),
+        }
+    }
     let config = ServerConfig::from_env();
     let server = match Server::start(&config, Arc::clone(&engine)) {
         Ok(server) => server,

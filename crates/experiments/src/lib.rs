@@ -14,14 +14,17 @@
 use cvcp_core::experiment::{
     run_experiment_on, summarize, ExperimentConfig, ExperimentSummary, SideInfoSpec,
 };
-use cvcp_core::{CvcpConfig, FoscMethod, MpckMethod, ParameterizedMethod};
+use cvcp_core::{
+    CacheWarmup, CvcpConfig, FoscMethod, MpckMethod, ParameterizedMethod, WarmupReport,
+};
 use cvcp_data::Dataset;
 use cvcp_engine::{
-    ArtifactCache, CacheConfig, CostProfile, CostProfileEntry, Engine, EvictionPolicy,
+    AdmissionPolicy, ArtifactCache, CacheConfig, CostProfile, CostProfileEntry, Engine,
+    EvictionPolicy,
 };
 use cvcp_metrics::stats::{mean, std_dev};
 use std::path::{Path, PathBuf};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 pub use cvcp_core::json;
 
@@ -106,12 +109,20 @@ impl Mode {
 ///   of two; default 1).  Each shard takes its own lock and its own even
 ///   slice of the byte/entry budgets;
 /// * `CVCP_CACHE_POLICY` — eviction policy: `lru` (default) or `cost`
-///   (cost-benefit: victims weighed by recompute cost per byte).
+///   (cost-benefit: victims weighed by recompute cost per byte);
+/// * `CVCP_CACHE_ADMISSION` — admission policy: `always` (default) or
+///   `cost` (skip storing artifacts whose learned recompute cost is below
+///   the store-cost threshold derived from their size and shard pressure);
+/// * `CVCP_CACHE_REBALANCE_INTERVAL` — cache operations between adaptive
+///   shard-budget rebalances (default 32; `0` disables rebalancing —
+///   and with it commit-time slice borrowing — pinning the even
+///   per-shard slices).
 ///
 /// Unset (or unparsable) variables keep their defaults (budgets stay
 /// unbounded).  None of these knobs can change results — sharding only
-/// repartitions the store and budgets/policies only trade recompute time
-/// for memory; selections are bit-identical under any setting.
+/// repartitions the store, budgets/policies only trade recompute time
+/// for memory, and admission/rebalancing only decide *what stays
+/// resident*; selections are bit-identical under any setting.
 pub fn cache_config_from_env() -> CacheConfig {
     // cvcp: allow(D3, reason = "generic reader closure; the literal CVCP_CACHE_* names are passed in below and checked there")
     cache_config_from(|var| std::env::var(var).ok())
@@ -131,6 +142,13 @@ fn cache_config_from(lookup: impl Fn(&str) -> Option<String>) -> CacheConfig {
         policy: lookup("CVCP_CACHE_POLICY")
             .and_then(|name| EvictionPolicy::parse(&name))
             .unwrap_or_default(),
+        admission: lookup("CVCP_CACHE_ADMISSION")
+            .and_then(|name| AdmissionPolicy::parse(&name))
+            .unwrap_or_default(),
+        rebalance_interval: lookup("CVCP_CACHE_REBALANCE_INTERVAL")
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(cvcp_engine::DEFAULT_REBALANCE_INTERVAL),
+        ..CacheConfig::default()
     }
 }
 
@@ -178,6 +196,52 @@ pub fn cost_profile_path_from_env() -> Option<PathBuf> {
         .map(|v| v.trim().to_string())
         .filter(|v| !v.is_empty())
         .map(PathBuf::from)
+}
+
+/// The startup cache-warmup replica list from `CVCP_CACHE_WARMUP`: a
+/// comma-separated list of replica names as understood by
+/// [`cvcp_data::replicas::replica_by_name`] (e.g.
+/// `iris_like,wine_like,aloi:3`).  Unset or empty: no warmup.
+pub fn warmup_replicas_from_env() -> Vec<String> {
+    // cvcp: allow(D3, reason = "generic reader closure; the literal CVCP_CACHE_WARMUP name is passed in below and checked there")
+    warmup_replicas_from(|var| std::env::var(var).ok())
+}
+
+/// [`warmup_replicas_from_env`] with the variable lookup injected (see
+/// [`cache_config_from_env`] for why).
+fn warmup_replicas_from(lookup: impl Fn(&str) -> Option<String>) -> Vec<String> {
+    lookup("CVCP_CACHE_WARMUP")
+        .map(|list| {
+            list.split(',')
+                .map(str::trim)
+                .filter(|name| !name.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Runs the startup cache warmup for the named data-set replicas on the
+/// paper's method families (resolved deterministically with [`BASE_SEED`],
+/// so the warmed artifacts fingerprint-match the ones `serve` requests for
+/// those replicas will look up).  Unknown names are reported on stderr and
+/// skipped; `None` when no name resolves.  Warmup only populates the
+/// cache — it can never change any selection result.
+pub fn run_cache_warmup(engine: &Engine, replicas: &[String]) -> Option<WarmupReport> {
+    let mut warmup = CacheWarmup::new()
+        .add_method(Arc::new(FoscMethod::default()))
+        .add_method(Arc::new(MpckMethod::default()));
+    let mut any = false;
+    for name in replicas {
+        match cvcp_data::replicas::replica_by_name(name, BASE_SEED) {
+            Some(ds) => {
+                warmup = warmup.add_dataset(&ds);
+                any = true;
+            }
+            None => eprintln!("warning: unknown warmup replica {name:?} (skipped)"),
+        }
+    }
+    any.then(|| warmup.run(engine))
 }
 
 /// Serialises a [`CostProfile`] to its JSON document:
@@ -751,6 +815,8 @@ mod tests {
         let cfg = cache_config_from(env(&[
             ("CVCP_CACHE_SHARDS", "6"),
             ("CVCP_CACHE_POLICY", "cost"),
+            ("CVCP_CACHE_ADMISSION", "cost"),
+            ("CVCP_CACHE_REBALANCE_INTERVAL", "128"),
         ]));
         assert_eq!(cfg.shards, 6);
         assert_eq!(
@@ -759,18 +825,55 @@ mod tests {
             "shard count rounds up to a power of two"
         );
         assert_eq!(cfg.policy, cvcp_engine::EvictionPolicy::CostBenefit);
-        // Defaults when unset: one shard, LRU, unbounded.
+        assert_eq!(cfg.admission, AdmissionPolicy::Cost);
+        assert_eq!(cfg.rebalance_interval, 128);
+        // Defaults when unset: one shard, LRU, always-admit, unbounded.
         let cfg = cache_config_from(env(&[]));
         assert_eq!(cfg.shards, 1);
         assert_eq!(cfg.policy, cvcp_engine::EvictionPolicy::Lru);
+        assert_eq!(cfg.admission, AdmissionPolicy::Always);
+        assert_eq!(
+            cfg.rebalance_interval,
+            cvcp_engine::DEFAULT_REBALANCE_INTERVAL
+        );
         assert!(cfg.is_unbounded());
         // Unparsable values keep their defaults.
         let cfg = cache_config_from(env(&[
             ("CVCP_CACHE_SHARDS", "many"),
             ("CVCP_CACHE_POLICY", "clock"),
+            ("CVCP_CACHE_ADMISSION", "sometimes"),
+            ("CVCP_CACHE_REBALANCE_INTERVAL", "often"),
         ]));
         assert_eq!(cfg.shards, 1);
         assert_eq!(cfg.policy, cvcp_engine::EvictionPolicy::Lru);
+        assert_eq!(cfg.admission, AdmissionPolicy::Always);
+        assert_eq!(
+            cfg.rebalance_interval,
+            cvcp_engine::DEFAULT_REBALANCE_INTERVAL
+        );
+        // `0` is a meaningful setting: rebalancing disabled.
+        let cfg = cache_config_from(env(&[("CVCP_CACHE_REBALANCE_INTERVAL", "0")]));
+        assert_eq!(cfg.rebalance_interval, 0);
+    }
+
+    #[test]
+    fn warmup_replica_list_parses_and_warms_the_cache() {
+        let names = warmup_replicas_from(|var| {
+            (var == "CVCP_CACHE_WARMUP").then(|| " iris_like, ,aloi:1 ".to_string())
+        });
+        assert_eq!(names, vec!["iris_like".to_string(), "aloi:1".to_string()]);
+        assert!(warmup_replicas_from(|_| None).is_empty());
+
+        // Unknown names are skipped; known ones warm real artifacts.
+        let engine = Engine::new(2);
+        let report = run_cache_warmup(
+            &engine,
+            &["no_such_replica".to_string(), "iris_like".to_string()],
+        )
+        .expect("one replica resolves");
+        assert!(report.jobs > 0);
+        assert!(report.resident_entries > 0);
+        assert!(run_cache_warmup(&engine, &["no_such_replica".to_string()]).is_none());
     }
 
     #[test]

@@ -594,9 +594,12 @@ fn main() -> ExitCode {
                         stats.connections.in_flight_requests,
                     );
                     for (i, s) in stats.cache_shards.iter().enumerate() {
+                        let slice =
+                            |v: Option<usize>| v.map_or("unbounded".to_string(), |n| n.to_string());
                         println!(
                             "  shard {i}: {} hits / {} misses | {} evictions ({} B) | \
-                             resident {} entries / {} B (peak {} B)",
+                             resident {} entries / {} B (peak {} B) | \
+                             budget slice {} B / {} entries | {} admission rejection(s)",
                             s.hits,
                             s.misses,
                             s.evictions,
@@ -604,6 +607,9 @@ fn main() -> ExitCode {
                             s.resident_entries,
                             s.resident_bytes,
                             s.peak_resident_bytes,
+                            slice(s.byte_slice),
+                            slice(s.entry_slice),
+                            s.admission_rejections,
                         );
                     }
                 }

@@ -693,6 +693,11 @@ impl Response {
                             stats.cache.peak_resident_bytes.to_json(),
                         ),
                         ("shards", stats.cache.shards.to_json()),
+                        (
+                            "admission_rejections",
+                            stats.cache.admission_rejections.to_json(),
+                        ),
+                        ("rebalances", stats.cache.rebalances.to_json()),
                         ("per_shard", shard_stats_to_json(&stats.cache_shards)),
                     ]),
                 ),
@@ -873,6 +878,8 @@ impl Response {
                         resident_bytes: require_usize(cache, "resident_bytes")?,
                         peak_resident_bytes: require_usize(cache, "peak_resident_bytes")?,
                         shards: require_usize(cache, "shards")?,
+                        admission_rejections: require_u64(cache, "admission_rejections")?,
+                        rebalances: require_u64(cache, "rebalances")?,
                     },
                     cache_shards: shard_stats_from_json(require(cache, "per_shard")?)?,
                     queue_depth: require_usize(queue, "depth")?,
@@ -1009,6 +1016,20 @@ fn require_u64(doc: &Json, field: &str) -> Result<u64, WireError> {
     })
 }
 
+/// A field that is a non-negative integer, `null`, or absent (the latter
+/// two both mean `None` — "unbounded" for cache budget slices).
+fn nullable_usize(doc: &Json, field: &str) -> Result<Option<usize>, WireError> {
+    match doc.get(field) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_usize().map(Some).ok_or_else(|| {
+            WireError::new(
+                "invalid_request",
+                format!("field {field:?} must be a non-negative integer or null"),
+            )
+        }),
+    }
+}
+
 fn shard_stats_to_json(shards: &[ShardStats]) -> Json {
     Json::Arr(
         shards
@@ -1022,6 +1043,11 @@ fn shard_stats_to_json(shards: &[ShardStats]) -> Json {
                     ("resident_entries", s.resident_entries.to_json()),
                     ("resident_bytes", s.resident_bytes.to_json()),
                     ("peak_resident_bytes", s.peak_resident_bytes.to_json()),
+                    ("admission_rejections", s.admission_rejections.to_json()),
+                    // `null` = unbounded: the rebalancer's *current* budget
+                    // slices, so adaptive shifts are visible over the wire.
+                    ("byte_slice", s.byte_slice.to_json()),
+                    ("entry_slice", s.entry_slice.to_json()),
                 ])
             })
             .collect(),
@@ -1043,6 +1069,9 @@ fn shard_stats_from_json(doc: &Json) -> Result<Vec<ShardStats>, WireError> {
                 resident_entries: require_usize(item, "resident_entries")?,
                 resident_bytes: require_usize(item, "resident_bytes")?,
                 peak_resident_bytes: require_usize(item, "peak_resident_bytes")?,
+                admission_rejections: require_u64(item, "admission_rejections")?,
+                byte_slice: nullable_usize(item, "byte_slice")?,
+                entry_slice: nullable_usize(item, "entry_slice")?,
             })
         })
         .collect()
@@ -1311,6 +1340,8 @@ mod tests {
                     resident_bytes: 1234,
                     peak_resident_bytes: 5000,
                     shards: 2,
+                    admission_rejections: 4,
+                    rebalances: 2,
                 },
                 cache_shards: vec![
                     ShardStats {
@@ -1321,6 +1352,10 @@ mod tests {
                         resident_entries: 1,
                         resident_bytes: 1000,
                         peak_resident_bytes: 3000,
+                        admission_rejections: 4,
+                        // A rebalanced slice: hotter shard holds more budget.
+                        byte_slice: Some(6144),
+                        entry_slice: None,
                     },
                     ShardStats {
                         hits: 4,
@@ -1330,6 +1365,9 @@ mod tests {
                         resident_entries: 1,
                         resident_bytes: 234,
                         peak_resident_bytes: 2000,
+                        admission_rejections: 0,
+                        byte_slice: Some(2048),
+                        entry_slice: None,
                     },
                 ],
                 queue_depth: 1,
